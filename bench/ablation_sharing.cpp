@@ -1,0 +1,93 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The design-choice ablation behind paper **section III**: share profile
+/// data (Jump-Start) or share machine code (ShareJIT-style)?
+///
+/// Sharing machine code wins more warmup (no recompilation at all), but
+/// the code must be compiled under sharing constraints -- no inlining of
+/// user-defined functions, no embedded absolute addresses -- which
+/// "can significantly degrade steady-state performance" (section III,
+/// reason 1).  This harness measures both sides of that trade-off.
+///
+/// Expected shape: ShareJIT's consumer init is shorter than Jump-Start's;
+/// its steady-state throughput is clearly worse than Jump-Start's (and
+/// at or below plain no-Jump-Start, which at least compiles with full
+/// optimizations).
+///
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+#include "support/Assert.h"
+
+using namespace jumpstart;
+using namespace jumpstart::bench;
+
+int main() {
+  std::printf("=== Ablation: share profile data (Jump-Start) vs share "
+              "machine code (ShareJIT-style) ===\n");
+  auto W = fleet::generateWorkload(standardSite());
+  fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 42);
+  vm::ServerConfig Config = figureServerConfig();
+  Config.Jit.ProfileRequestTarget = 400;
+
+  // One package serves both consumers; the ShareJIT fleet would compile
+  // its shared code on the seeder under sharing constraints, which the
+  // consumer-side ShareJitMode flag reproduces.
+  profile::ProfilePackage Pkg = growPackage(*W, Traffic, Config);
+
+  struct Variant {
+    const char *Name;
+    vm::InitStats Init;
+    double CyclesPerRequest = 0;
+  };
+  Variant JumpStart{"jump-start (share profile data)", {}, 0};
+  Variant ShareJit{"sharejit (share machine code)", {}, 0};
+  Variant NoShare{"no sharing (self-warmed)", {}, 0};
+
+  fleet::SteadyStateParams P;
+  P.Requests = 400;
+  P.WarmupRequests = 120;
+  P.Machine = scaledMachine();
+
+  {
+    vm::Server S(W->Repo, Config, 91);
+    alwaysAssert(S.installPackage(Pkg), "package rejected");
+    JumpStart.Init = S.startup();
+    JumpStart.CyclesPerRequest =
+        measureSteadyState(*W, Traffic, S, P).CyclesPerRequest;
+  }
+  {
+    vm::ServerConfig SJ = Config;
+    SJ.Jit.ShareJitMode = true;
+    vm::Server S(W->Repo, SJ, 91);
+    alwaysAssert(S.installPackage(Pkg), "package rejected");
+    ShareJit.Init = S.startup();
+    ShareJit.CyclesPerRequest =
+        measureSteadyState(*W, Traffic, S, P).CyclesPerRequest;
+  }
+  {
+    auto S = fleet::runSeeder(*W, Traffic, Config, 0, 0, 1200, 31);
+    NoShare.CyclesPerRequest =
+        measureSteadyState(*W, Traffic, *S, P).CyclesPerRequest;
+  }
+
+  std::printf("\n%-36s %14s %16s %12s\n", "variant", "consumer init",
+              "cycles/request", "vs jumpstart");
+  for (const Variant *V : {&JumpStart, &ShareJit, &NoShare}) {
+    std::printf("%-36s %12.2fs %16.0f %+11.1f%%\n", V->Name,
+                V->Init.TotalSeconds, V->CyclesPerRequest,
+                100.0 * (V->CyclesPerRequest /
+                             JumpStart.CyclesPerRequest -
+                         1.0));
+  }
+  std::printf("\npaper shape check (section III): sharing machine code "
+              "boots faster but runs slower in steady state -- the "
+              "trade-off that made HHVM share profile data instead\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces **Figure 1**: JITed code size over time for a server running
+/// without Jump-Start, with the paper's labelled lifecycle points:
+///
+///   A -- the JIT stops profiling and starts tier-2 compilation;
+///   B..C -- optimized code is relocated into the code cache in
+///           function-sorted order;
+///   C -- all optimized code available (~90% of peak performance);
+///   D -- JITing ceases (live-code tail complete / area full).
+///
+/// Expected shape: code grows during profiling, keeps growing while
+/// optimizing into temporary buffers (A..B), the relocation step
+/// completes at C, then a long shallow live-code tail until D.
+///
+/// One known divergence from the paper's curve: the paper reports a
+/// *reduced* production rate between A and B.  On our ~1000x smaller
+/// site, code discovery saturates well before A (every hot function is
+/// already profiled), so the pre-A curve flattens early and the A..B
+/// optimized burst is comparatively steep.  The lifecycle points and the
+/// B..C / C..D structure match.
+///
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+using namespace jumpstart;
+using namespace jumpstart::bench;
+
+int main() {
+  std::printf("=== Figure 1: JITed code size over time (no Jump-Start) "
+              "===\n");
+  auto W = fleet::generateWorkload(standardSite());
+  fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 42);
+  vm::ServerConfig Config = figureServerConfig();
+
+  fleet::ServerSimParams P;
+  P.DurationSeconds = 1500; // the paper's 30-minute x-axis, scaled
+  P.OfferedRps = 340;
+  P.Seed = 1;
+  fleet::WarmupResult Res = fleet::runWarmup(*W, Traffic, Config, P);
+
+  printSeries("  time(s)      code (KB)", Res.CodeBytes, 40,
+              1.0 / 1024.0);
+
+  std::printf("\nlifecycle points (virtual seconds):\n");
+  std::printf("  serve start : %7.0f\n", Res.Phases.ServeStart);
+  std::printf("  A (profiling ends)    : %7.0f\n",
+              Res.Phases.ProfilingEnd);
+  std::printf("  B (relocation starts) : %7.0f\n",
+              Res.Phases.RelocationStart);
+  std::printf("  C (relocation done)   : %7.0f\n",
+              Res.Phases.RelocationEnd);
+  std::printf("  D (JITing ceased)     : %7.0f\n",
+              Res.Phases.JitingStopped);
+  std::printf("\nfinal code size: %s (paper: ~500 MB at Facebook "
+              "scale)\n",
+              formatBytes(static_cast<uint64_t>(
+                              Res.CodeBytes.points().back().Value))
+                  .c_str());
+  std::printf("paper shape check: A < B <= C < D, distinct B..C "
+              "relocation step, long shallow tail to D (see the file "
+              "header for the one divergence in the A..B rate)\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces **Figure 2**: normalized requests-per-second over a server
+/// restart without Jump-Start.  At time 0 the old process stops accepting
+/// requests; the new process initializes and ramps as the JIT warms.  The
+/// area above the curve is the *capacity loss* the paper quantifies.
+///
+/// Expected shape: a dead period during initialization, a long ramp while
+/// code is interpreted/profiled, a knee once optimized code lands, peak
+/// late in the window.
+///
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+
+using namespace jumpstart;
+using namespace jumpstart::bench;
+
+int main() {
+  std::printf("=== Figure 2: server capacity loss due to restart and "
+              "warmup (no Jump-Start) ===\n");
+  auto W = fleet::generateWorkload(standardSite());
+  fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 42);
+  vm::ServerConfig Config = figureServerConfig();
+
+  fleet::ServerSimParams P;
+  P.DurationSeconds = 1500;
+  P.OfferedRps = 340;
+  P.Seed = 2;
+  fleet::WarmupResult Res = fleet::runWarmup(*W, Traffic, Config, P);
+
+  printSeries("  time(s)   normalized RPS (%)", Res.NormalizedRps, 30,
+              100.0);
+
+  std::printf("\ncapacity loss over the window: %.1f%% of ideal\n",
+              100.0 * Res.CapacityLossFraction);
+  std::printf("served area: %.1f%%; the paper's Figure 2 shows the same "
+              "restart-dead-time + slow-ramp shape over ~25 min\n",
+              100.0 * (1 - Res.CapacityLossFraction));
+  std::printf("peak reached: %.0f%% of offered at t=%.0fs\n",
+              100.0 * Res.NormalizedRps.points().back().Value,
+              Res.NormalizedRps.points().back().TimeSec);
+  return 0;
+}

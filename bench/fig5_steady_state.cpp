@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces **Figure 5**: steady-state speedup and micro-architectural
+/// miss reductions of Jump-Start (all section V optimizations on) over
+/// running without Jump-Start.
+///
+/// Paper results (shape to match -- all reductions positive, I-TLB
+/// largest, D-cache smallest):
+///   speedup ~5.4%, branch MR -6.8%, I-cache MR -6.2%, I-TLB MR -20.8%,
+///   D-cache MR -1.4%, D-TLB MR -12.1%, LLC MR -3.5%.
+///
+//===----------------------------------------------------------------------===//
+
+#include "FigureCommon.h"
+#include "support/Assert.h"
+
+using namespace jumpstart;
+using namespace jumpstart::bench;
+
+int main() {
+  std::printf("=== Figure 5: steady-state impact of Jump-Start ===\n");
+  auto W = fleet::generateWorkload(standardSite());
+  fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 42);
+  vm::ServerConfig Config = figureServerConfig();
+  Config.Jit.ProfileRequestTarget = 400; // fast maturity for measurement
+
+  // Seeder (C2): collect the package.
+  profile::ProfilePackage Pkg = growPackage(*W, Traffic, Config);
+
+  // Jump-Start consumer with every section V optimization enabled.
+  vm::ServerConfig JsConfig = Config;
+  JsConfig.Jit.UseVasmCounters = true;
+  JsConfig.Jit.UsePackageFuncOrder = true;
+  JsConfig.ReorderProperties = true;
+  vm::Server Js(W->Repo, JsConfig, 77);
+  bool Installed = Js.installPackage(Pkg);
+  alwaysAssert(Installed, "package rejected");
+  Js.startup();
+
+  // No Jump-Start: the server warms itself (profiles its own traffic,
+  // retranslate-all with tier-1-derived weights and tier-1 call graph).
+  std::unique_ptr<vm::Server> NoJs =
+      fleet::runSeeder(*W, Traffic, Config, 0, 0, /*Requests=*/1200,
+                       /*Seed=*/31);
+
+  fleet::SteadyStateParams P;
+  P.Requests = 800;
+  P.WarmupRequests = 150;
+  P.Machine = scaledMachine();
+  fleet::SteadyStateResult RJs = measureSteadyState(*W, Traffic, Js, P);
+  fleet::SteadyStateResult RNo = measureSteadyState(*W, Traffic, *NoJs, P);
+
+  auto Reduction = [](double No, double JsRate) {
+    return No > 0 ? 100.0 * (No - JsRate) / No : 0.0;
+  };
+  double Speedup = 100.0 * (RNo.CyclesPerRequest / RJs.CyclesPerRequest -
+                            1.0);
+
+  std::printf("\n%-28s %10s %10s\n", "metric", "this repro", "paper");
+  std::printf("%-28s %9.1f%% %9.1f%%\n", "throughput speedup", Speedup,
+              5.4);
+  std::printf("%-28s %9.1f%% %9.1f%%\n", "branch miss reduction",
+              Reduction(RNo.BranchMissRate, RJs.BranchMissRate), 6.8);
+  std::printf("%-28s %9.1f%% %9.1f%%\n", "I-cache miss reduction",
+              Reduction(RNo.L1IMissRate, RJs.L1IMissRate), 6.2);
+  std::printf("%-28s %9.1f%% %9.1f%%\n", "I-TLB miss reduction",
+              Reduction(RNo.ITlbMissRate, RJs.ITlbMissRate), 20.8);
+  std::printf("%-28s %9.1f%% %9.1f%%\n", "D-cache miss reduction",
+              Reduction(RNo.L1DMissRate, RJs.L1DMissRate), 1.4);
+  std::printf("%-28s %9.1f%% %9.1f%%\n", "D-TLB miss reduction",
+              Reduction(RNo.DTlbMissRate, RJs.DTlbMissRate), 12.1);
+  std::printf("%-28s %9.1f%% %9.1f%%\n", "LLC miss reduction",
+              Reduction(RNo.LlcMissRate, RJs.LlcMissRate), 3.5);
+
+  std::printf("\nraw counters:\n  JS : %s\n  NoJ: %s\n",
+              strFormat("cycles/req=%.0f brMR=%.4f l1iMR=%.4f "
+                        "itlbMR=%.4f l1dMR=%.4f dtlbMR=%.4f llcMR=%.4f",
+                        RJs.CyclesPerRequest, RJs.BranchMissRate,
+                        RJs.L1IMissRate, RJs.ITlbMissRate, RJs.L1DMissRate,
+                        RJs.DTlbMissRate, RJs.LlcMissRate)
+                  .c_str(),
+              strFormat("cycles/req=%.0f brMR=%.4f l1iMR=%.4f "
+                        "itlbMR=%.4f l1dMR=%.4f dtlbMR=%.4f llcMR=%.4f",
+                        RNo.CyclesPerRequest, RNo.BranchMissRate,
+                        RNo.L1IMissRate, RNo.ITlbMissRate, RNo.L1DMissRate,
+                        RNo.DTlbMissRate, RNo.LlcMissRate)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Micro-benchmarks (google-benchmark) for profile-package serialization:
+/// the cost of the "share profile data, not machine code" design choice
+/// (paper section III) is one serialize on the seeder and one deserialize
+/// per consumer restart -- this harness measures both, plus package size
+/// scaling.
+///
+//===----------------------------------------------------------------------===//
+
+#include "profile/ProfilePackage.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace jumpstart;
+using namespace jumpstart::profile;
+
+namespace {
+
+/// Builds a package with \p Funcs synthetic function profiles.
+ProfilePackage makePackage(size_t Funcs, uint64_t Seed) {
+  Rng R(Seed);
+  ProfilePackage Pkg;
+  Pkg.RepoFingerprint = 0x1234;
+  for (uint32_t F = 0; F < Funcs; ++F) {
+    FuncProfile P;
+    P.Func = F;
+    P.EntryCount = R.nextBelow(100000);
+    P.BlockCounts.resize(4 + R.nextBelow(28));
+    for (uint64_t &C : P.BlockCounts)
+      C = R.nextBelow(100000);
+    if (F % 3 == 0)
+      P.CallTargets[2][F + 1] = R.nextBelow(5000);
+    P.ParamTypes.resize(1 + R.nextBelow(3));
+    for (auto &T : P.ParamTypes)
+      T.observe(runtime::Type::Int);
+    P.LoadTypes[5].observe(runtime::Type::Obj);
+    Pkg.Funcs.push_back(std::move(P));
+    Pkg.Opt.VasmBlockCounts[F].resize(8, R.nextBelow(1000));
+    if (F + 1 < Funcs)
+      Pkg.Opt.CallArcs[{F, F + 1}] = R.nextBelow(9999);
+  }
+  for (int I = 0; I < 200; ++I)
+    Pkg.Opt.PropAccessCounts["K" + std::to_string(I) + "::p"] =
+        R.nextBelow(10000);
+  Pkg.Intermediate.FuncOrder.resize(Funcs);
+  for (uint32_t F = 0; F < Funcs; ++F)
+    Pkg.Intermediate.FuncOrder[F] = F;
+  return Pkg;
+}
+
+void BM_PackageSerialize(benchmark::State &State) {
+  ProfilePackage Pkg = makePackage(static_cast<size_t>(State.range(0)), 3);
+  size_t Bytes = 0;
+  for (auto _ : State) {
+    std::vector<uint8_t> Blob = Pkg.serialize();
+    Bytes = Blob.size();
+    benchmark::DoNotOptimize(Blob.data());
+  }
+  State.counters["package_bytes"] = static_cast<double>(Bytes);
+  State.SetBytesProcessed(static_cast<int64_t>(Bytes) *
+                          State.iterations());
+}
+BENCHMARK(BM_PackageSerialize)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_PackageDeserialize(benchmark::State &State) {
+  ProfilePackage Pkg = makePackage(static_cast<size_t>(State.range(0)), 3);
+  std::vector<uint8_t> Blob = Pkg.serialize();
+  for (auto _ : State) {
+    ProfilePackage Out;
+    bool Ok = ProfilePackage::deserialize(Blob, Out);
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(Blob.size()) *
+                          State.iterations());
+}
+BENCHMARK(BM_PackageDeserialize)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_CorruptRejection(benchmark::State &State) {
+  // Rejection speed matters: consumers probe packages during restart.
+  ProfilePackage Pkg = makePackage(1000, 3);
+  std::vector<uint8_t> Blob = Pkg.serialize();
+  Blob[Blob.size() / 2] ^= 0x40;
+  for (auto _ : State) {
+    ProfilePackage Out;
+    bool Ok = ProfilePackage::deserialize(Blob, Out);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+BENCHMARK(BM_CorruptRejection);
+
+} // namespace
+
+BENCHMARK_MAIN();

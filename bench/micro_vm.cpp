@@ -1,0 +1,149 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Micro-benchmarks (google-benchmark) for the VM substrate itself:
+/// interpreter dispatch throughput, frontend compilation speed, and the
+/// tier-2 pipeline (region selection + lowering + layout) per function --
+/// the costs a downstream user of the library actually pays.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fleet/WorkloadGen.h"
+#include "frontend/Compiler.h"
+#include "interp/Interpreter.h"
+#include "jit/Jit.h"
+#include "jit/Recorders.h"
+#include "jit/Lower.h"
+#include "jit/TransLayout.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace jumpstart;
+
+namespace {
+
+const char *kHotLoop = "function main($n) {"
+                       "  $acc = 0; $i = 0;"
+                       "  while ($i < $n) {"
+                       "    $acc = ($acc * 3 + $i) % 65537;"
+                       "    $i = $i + 1;"
+                       "  }"
+                       "  return $acc;"
+                       "}";
+
+void BM_InterpreterDispatch(benchmark::State &State) {
+  bc::Repo Repo;
+  auto Errors = frontend::compileUnit(
+      Repo, runtime::BuiltinTable::standard(), "b.hack", kHotLoop);
+  if (!Errors.empty())
+    State.SkipWithError("compile failed");
+  runtime::ClassTable Classes(Repo);
+  runtime::Heap Heap;
+  interp::Interpreter Interp(Repo, Classes, Heap,
+                             runtime::BuiltinTable::standard());
+  bc::FuncId Main = Repo.findFunction("main");
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    interp::InterpResult R = Interp.call(
+        Main, {runtime::Value::integer(State.range(0))});
+    Steps += R.Steps;
+    Heap.reset();
+    benchmark::DoNotOptimize(R.Ret);
+  }
+  State.counters["bytecodes_per_s"] = benchmark::Counter(
+      static_cast<double>(Steps), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterDispatch)->Arg(1000)->Arg(10000);
+
+void BM_InterpreterWithProfilingHooks(benchmark::State &State) {
+  bc::Repo Repo;
+  auto Errors = frontend::compileUnit(
+      Repo, runtime::BuiltinTable::standard(), "b.hack", kHotLoop);
+  if (!Errors.empty())
+    State.SkipWithError("compile failed");
+  runtime::ClassTable Classes(Repo);
+  runtime::Heap Heap;
+  interp::Interpreter Interp(Repo, Classes, Heap,
+                             runtime::BuiltinTable::standard());
+  jit::Jit J(Repo, jit::JitConfig());
+  jit::JitProfilingHooks Hooks(J);
+  Interp.setCallbacks(&Hooks);
+  bc::FuncId Main = Repo.findFunction("main");
+  for (auto _ : State) {
+    interp::InterpResult R = Interp.call(
+        Main, {runtime::Value::integer(State.range(0))});
+    Heap.reset();
+    benchmark::DoNotOptimize(R.Ret);
+  }
+}
+BENCHMARK(BM_InterpreterWithProfilingHooks)->Arg(1000);
+
+void BM_FrontendCompile(benchmark::State &State) {
+  // Compile the synthetic site's sources from scratch each iteration.
+  fleet::WorkloadParams P;
+  P.NumHelpers = static_cast<uint32_t>(State.range(0));
+  P.NumClasses = P.NumHelpers / 8;
+  P.NumEndpoints = 16;
+  P.NumUnits = 12;
+  auto W = fleet::generateWorkload(P);
+  std::vector<frontend::SourceFile> Files;
+  for (const auto &[Name, Source] : W->Sources)
+    Files.push_back({Name, Source});
+  size_t Bytecodes = 0;
+  for (auto _ : State) {
+    bc::Repo Repo;
+    auto Errors = frontend::compileProgram(
+        Repo, runtime::BuiltinTable::standard(), Files);
+    if (!Errors.empty())
+      State.SkipWithError("compile failed");
+    Bytecodes = Repo.totalBytecode();
+    benchmark::DoNotOptimize(Repo.numFuncs());
+  }
+  State.counters["bytecodes"] = static_cast<double>(Bytecodes);
+}
+BENCHMARK(BM_FrontendCompile)->Arg(200)->Arg(800);
+
+void BM_Tier2Pipeline(benchmark::State &State) {
+  // Region selection + lowering + Ext-TSP layout for one mid-size
+  // function with a synthetic profile.
+  bc::Repo Repo;
+  std::string Src = "function callee($x) { return $x * 2 + 1; }"
+                    "function main($n) { $a = 0; $i = 0;"
+                    "  while ($i < 10) {"
+                    "    if ($i % 2 == 0) { $a = $a + callee($i); }"
+                    "    else { $a = $a - callee($i); }"
+                    "    $i = $i + 1; }"
+                    "  return $a; }";
+  auto Errors = frontend::compileUnit(
+      Repo, runtime::BuiltinTable::standard(), "b.hack", Src);
+  if (!Errors.empty())
+    State.SkipWithError("compile failed");
+  bc::FuncId Main = Repo.findFunction("main");
+  bc::BlockCache Blocks(Repo);
+  profile::ProfileStore Store;
+  for (bc::FuncId F : {Main, Repo.findFunction("callee")}) {
+    profile::FuncProfile &P = Store.getOrCreate(F.raw());
+    P.EntryCount = 1000;
+    P.BlockCounts.assign(Blocks.blocks(F).numBlocks(), 1000);
+  }
+  for (auto _ : State) {
+    jit::RegionDescriptor Region =
+        jit::selectRegion(Repo, Blocks, Store, Main);
+    jit::LowerOptions Opts;
+    Opts.Kind = jit::TransKind::Optimized;
+    auto Unit =
+        lowerFunction(Repo, Blocks, Main, &Store, &Region, Opts);
+    jit::UnitLayout Layout = layoutUnit(*Unit, jit::LayoutOptions());
+    benchmark::DoNotOptimize(Layout.HotOrder.data());
+  }
+}
+BENCHMARK(BM_Tier2Pipeline);
+
+} // namespace
+
+BENCHMARK_MAIN();

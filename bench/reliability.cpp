@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quantifies the reliability machinery of paper **section VI**, which the
+/// paper describes qualitatively: what happens when a crash-inducing
+/// profile package escapes validation, under each combination of the three
+/// defenses (validation, randomized multi-package selection, automatic
+/// no-Jump-Start fallback).
+///
+/// Expected shapes:
+///  - with randomized selection, the number of crashing consumers decays
+///    exponentially with each restart round ("reducing the number of
+///    affected consumers exponentially with each restart");
+///  - without it, a single bad package takes down every consumer at once
+///    and only the fallback recovers the fleet;
+///  - validation prevents publication outright when it catches the bug.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Reliability.h"
+
+#include <cstdio>
+
+using namespace jumpstart;
+using namespace jumpstart::fleet;
+
+static void printRun(const char *Name, const ReliabilityResult &R,
+                     uint32_t Consumers) {
+  std::printf("%s\n", Name);
+  std::printf("  poisoned packages published: %u\n", R.PoisonedPublished);
+  std::printf("  crashes per restart round  :");
+  for (uint32_t C : R.CrashedPerRound)
+    std::printf(" %u", C);
+  std::printf("\n  peak simultaneous crashes  : %u (%.1f%% of fleet)\n",
+              R.PeakCrashed, 100.0 * R.PeakCrashed / Consumers);
+  std::printf("  consumers in fallback      : %u\n", R.FallbackCount);
+  std::printf("  healthy at end             : %u / %u\n\n", R.HealthyAtEnd,
+              Consumers);
+}
+
+int main() {
+  std::printf("=== Section VI: reliability of Jump-Start deployment ===\n\n");
+  const uint32_t Fleet = 8000;
+
+  // A bad package escapes validation; consumers pick at random from 8.
+  ReliabilityParams Randomized;
+  Randomized.NumConsumers = Fleet;
+  Randomized.NumPackages = 8;
+  Randomized.NumPoisoned = 1;
+  Randomized.RandomizedSelection = true;
+  printRun("[1] randomized selection (paper VI-A technique 2):",
+           simulateCrashLoop(Randomized), Fleet);
+
+  // The "straightforward deployment" the paper warns against: everyone
+  // uses the same package.
+  ReliabilityParams Single = Randomized;
+  Single.RandomizedSelection = false;
+  printRun("[2] single shared package (no randomization):",
+           simulateCrashLoop(Single), Fleet);
+
+  // Validation catches the bug before publication.
+  ReliabilityParams Validated = Randomized;
+  Validated.ValidationCatchProbability = 1.0;
+  printRun("[3] validation catches the bad package (technique 1):",
+           simulateCrashLoop(Validated), Fleet);
+
+  // Worst case: every published package is bad; only fallback saves us.
+  ReliabilityParams AllBad = Randomized;
+  AllBad.NumPackages = 4;
+  AllBad.NumPoisoned = 4;
+  AllBad.MaxJumpStartAttempts = 3;
+  printRun("[4] every package bad; automatic no-Jump-Start fallback "
+           "(technique 3):",
+           simulateCrashLoop(AllBad), Fleet);
+
+  std::printf("paper shape check: [1] decays ~8x per round; [2] is a "
+              "full-fleet outage; [3] zero crashes; [4] bounded by "
+              "attempts x fleet, all consumers recover via fallback\n");
+  return 0;
+}

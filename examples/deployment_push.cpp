@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A complete site push (paper section II-C): the C1/C2/C3 phased
+/// deployment with Jump-Start woven in -- C1 restarts the employee-facing
+/// canary, C2 restarts seeders that collect/validate/publish profile
+/// packages, C3 restarts consumers that boot from them.
+///
+/// Also demonstrates the failure path: a second push in which a latent
+/// JIT bug makes one bucket's packages crash consumers in production;
+/// randomized selection plus fallback keep the fleet serving.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Deployment.h"
+#include "support/StringUtil.h"
+
+#include <cstdio>
+
+using namespace jumpstart;
+
+int main() {
+  fleet::WorkloadParams WP;
+  WP.NumHelpers = 300;
+  WP.NumClasses = 36;
+  WP.NumEndpoints = 20;
+  WP.NumUnits = 24;
+  auto W = fleet::generateWorkload(WP);
+  fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 42);
+  std::printf("site: %zu funcs / %zu bytecodes across %zu units\n\n",
+              W->Repo.numFuncs(), W->Repo.totalBytecode(),
+              W->Repo.numUnits());
+
+  vm::ServerConfig Config;
+  Config.Jit.ProfileRequestTarget = 60;
+  core::JumpStartOptions Opts;
+  Opts.Coverage.MinProfiledFuncs = 5;
+  Opts.Coverage.MinTotalSamples = 100;
+  Opts.ValidationRequests = 15;
+
+  // --- Push 1: the happy path.
+  std::printf("=== push 1: new website version rolls out ===\n");
+  core::PackageStore Store;
+  core::DeploymentParams DP;
+  DP.Regions = 1;
+  DP.Buckets = 3;
+  DP.SeedersPerPair = 2;
+  DP.SeederRequests = 150;
+  DP.ConsumerSamplesPerPair = 1;
+  core::DeploymentReport Report = core::simulateDeployment(
+      *W, Traffic, Config, Opts, Store, DP);
+  for (const std::string &Line : Report.Log)
+    std::printf("  %s\n", Line.c_str());
+  std::printf("summary: %u/%u seeders published; %u/%u consumers used "
+              "jump-start; mean consumer init %.2fs\n\n",
+              Report.PackagesPublished, Report.SeedersRun,
+              Report.ConsumersUsedJumpStart, Report.ConsumersBooted,
+              Report.MeanConsumerInitSeconds);
+
+  // --- Push 2: a rare JIT bug ships.  Packages from bucket 1 trip it in
+  // production but not in the seeder's validation environment (the case
+  // paper section VI-A's randomization + fallback exist for).
+  std::printf("=== push 2: a latent JIT bug affects bucket 1 packages "
+              "===\n");
+  core::ChaosHooks Chaos;
+  Chaos.CrashesInProduction = [](const profile::ProfilePackage &Pkg) {
+    return Pkg.Bucket == 1;
+  };
+  core::PackageStore Store2;
+  core::DeploymentParams DP2 = DP;
+  DP2.Seed = 77;
+  core::DeploymentReport Report2 = core::simulateDeployment(
+      *W, Traffic, Config, Opts, Store2, DP2, &Chaos);
+  for (const std::string &Line : Report2.Log)
+    std::printf("  %s\n", Line.c_str());
+  std::printf("summary: %u/%u consumers used jump-start (bucket 1 "
+              "consumers fell back to self-profiling and kept serving)\n",
+              Report2.ConsumersUsedJumpStart, Report2.ConsumersBooted);
+  return 0;
+}

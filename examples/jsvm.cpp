@@ -1,0 +1,142 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// jsvm: a command-line driver for the VM substrate.
+///
+///   jsvm run <file.hack> [function] [int-arg]   compile + execute
+///   jsvm disasm <file.hack> [function]          compile + disassemble
+///   jsvm check <file.hack>                      compile + verify only
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Disasm.h"
+#include "bytecode/Verifier.h"
+#include "frontend/Compiler.h"
+#include "interp/Interpreter.h"
+#include "runtime/ValueOps.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace jumpstart;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: jsvm run <file.hack> [function] [int-arg]\n"
+               "       jsvm disasm <file.hack> [function]\n"
+               "       jsvm check <file.hack>\n");
+  return 2;
+}
+
+bool readFile(const char *Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path, "rb");
+  if (!F)
+    return false;
+  char Buffer[64 * 1024];
+  size_t N;
+  while ((N = std::fread(Buffer, 1, sizeof(Buffer), F)) > 0)
+    Out.append(Buffer, N);
+  bool Ok = std::ferror(F) == 0;
+  std::fclose(F);
+  return Ok;
+}
+
+/// Compiles and verifies \p Path into \p Repo; prints diagnostics.
+/// \returns true on success.
+bool compileFile(const char *Path, bc::Repo &Repo) {
+  std::string Source;
+  if (!readFile(Path, Source)) {
+    std::fprintf(stderr, "jsvm: cannot read '%s'\n", Path);
+    return false;
+  }
+  const runtime::BuiltinTable &Builtins = runtime::BuiltinTable::standard();
+  std::vector<std::string> Errors =
+      frontend::compileUnit(Repo, Builtins, Path, Source);
+  for (const std::string &E : Errors)
+    std::fprintf(stderr, "%s\n", E.c_str());
+  if (!Errors.empty())
+    return false;
+  std::vector<std::string> VErrors = bc::verifyRepo(Repo, Builtins.size());
+  for (const std::string &E : VErrors)
+    std::fprintf(stderr, "verifier: %s\n", E.c_str());
+  return VErrors.empty();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 3)
+    return usage();
+  const char *Command = argv[1];
+  const char *Path = argv[2];
+
+  bc::Repo Repo;
+  if (!compileFile(Path, Repo))
+    return 1;
+
+  if (std::strcmp(Command, "check") == 0) {
+    std::printf("%s: ok (%zu functions, %zu classes, %zu bytecodes)\n",
+                Path, Repo.numFuncs(), Repo.numClasses(),
+                Repo.totalBytecode());
+    return 0;
+  }
+
+  if (std::strcmp(Command, "disasm") == 0) {
+    if (argc >= 4) {
+      bc::FuncId F = Repo.findFunction(argv[3]);
+      if (!F.valid()) {
+        std::fprintf(stderr, "jsvm: no function '%s'\n", argv[3]);
+        return 1;
+      }
+      std::printf("%s", bc::disasmFunction(Repo, Repo.func(F)).c_str());
+      return 0;
+    }
+    for (const bc::Function &F : Repo.funcs())
+      std::printf("%s\n", bc::disasmFunction(Repo, F).c_str());
+    return 0;
+  }
+
+  if (std::strcmp(Command, "run") == 0) {
+    const char *Entry = argc >= 4 ? argv[3] : "main";
+    bc::FuncId F = Repo.findFunction(Entry);
+    if (!F.valid()) {
+      std::fprintf(stderr, "jsvm: no function '%s'\n", Entry);
+      return 1;
+    }
+    std::vector<runtime::Value> Args;
+    for (uint32_t I = 0; I < Repo.func(F).NumParams; ++I) {
+      int64_t V = (argc >= 5 && I == 0) ? std::strtoll(argv[4], nullptr, 10)
+                                        : 0;
+      Args.push_back(runtime::Value::integer(V));
+    }
+
+    runtime::ClassTable Classes(Repo);
+    runtime::Heap Heap;
+    interp::Interpreter Interp(Repo, Classes, Heap,
+                               runtime::BuiltinTable::standard());
+    std::string Output;
+    Interp.setOutput(&Output);
+    interp::InterpResult R = Interp.call(F, Args);
+    if (!Output.empty())
+      std::printf("%s", Output.c_str());
+    if (!Output.empty() && Output.back() != '\n')
+      std::printf("\n");
+    std::printf("-> %s   [%llu bytecodes, %llu faults%s]\n",
+                runtime::toString(R.Ret).c_str(),
+                static_cast<unsigned long long>(R.Steps),
+                static_cast<unsigned long long>(R.Faults),
+                R.Ok ? "" : ", ABORTED");
+    return R.Ok ? 0 : 1;
+  }
+
+  return usage();
+}

@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: the whole Jump-Start pipeline in one page.
+///
+///  1. Generate and compile a small synthetic website.
+///  2. Run a *seeder* server: it serves traffic, collects the JIT profile
+///     (tier-1 counters, call targets, types) plus the instrumented
+///     optimized-code profile (Vasm counters, tier-2 call arcs, property
+///     accesses), validates, and publishes a package.
+///  3. Boot a *consumer* with the package: it precompiles all optimized
+///     code before serving.
+///  4. Compare warmup with and without Jump-Start.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Consumer.h"
+#include "core/Seeder.h"
+#include "fleet/ServerSim.h"
+#include "support/StringUtil.h"
+
+#include <cstdio>
+
+using namespace jumpstart;
+
+int main() {
+  // 1. The application: a synthetic website, offline-compiled to bytecode.
+  fleet::WorkloadParams WP;
+  WP.NumHelpers = 400;
+  WP.NumClasses = 48;
+  WP.NumEndpoints = 24;
+  WP.NumUnits = 30;
+  std::unique_ptr<fleet::Workload> W = fleet::generateWorkload(WP);
+  std::printf("website: %zu funcs, %zu classes, %zu units, %zu bytecodes\n",
+              W->Repo.numFuncs(), W->Repo.numClasses(), W->Repo.numUnits(),
+              W->Repo.totalBytecode());
+
+  fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), /*Seed=*/42);
+  vm::ServerConfig Config;
+
+  // 2. Seeder: collect + validate + publish (paper Figure 3b).
+  core::PackageStore Store;
+  core::JumpStartOptions Opts;
+  core::SeederParams SP;
+  SP.Requests = 400;
+  core::SeederOutcome Seeded =
+      core::runSeederWorkflow(*W, Traffic, Config, Opts, Store, SP);
+  if (!Seeded.Published) {
+    std::printf("seeder failed: %s\n",
+                Seeded.Problems.empty() ? "?"
+                                        : Seeded.Problems[0].c_str());
+    return 1;
+  }
+  std::printf("seeder: published a %zu-byte package (%zu funcs profiled, "
+              "%llu samples)\n",
+              Seeded.PackageBytes, Seeded.Package.numProfiledFuncs(),
+              static_cast<unsigned long long>(
+                  Seeded.Package.totalSamples()));
+
+  // 3. Consumer boot (paper Figure 3c).
+  core::ConsumerParams CP;
+  core::ConsumerOutcome Consumer =
+      core::startConsumer(*W, Config, Opts, Store, CP);
+  std::printf("consumer: jump-start=%s, init=%.2fs (deserialize %.2fs, "
+              "preload %.2fs, precompile %.2fs, warmup-reqs %.2fs)\n",
+              Consumer.UsedJumpStart ? "yes" : "no",
+              Consumer.Init.TotalSeconds,
+              Consumer.Init.DeserializeSeconds,
+              Consumer.Init.PreloadSeconds,
+              Consumer.Init.PrecompileSeconds,
+              Consumer.Init.WarmupRequestSeconds);
+
+  // 4. Warmup comparison (a miniature Figure 4).
+  fleet::ServerSimParams SimP;
+  SimP.DurationSeconds = 240;
+  SimP.OfferedRps = 300;
+  fleet::WarmupResult NoJs = fleet::runWarmup(*W, Traffic, Config, SimP);
+  fleet::WarmupResult Js =
+      fleet::runWarmup(*W, Traffic, Config, SimP, &Seeded.Package);
+  std::printf("capacity loss over %.0fs: no-jump-start %.1f%%, "
+              "jump-start %.1f%% (reduction %.1f%%)\n",
+              SimP.DurationSeconds, 100 * NoJs.CapacityLossFraction,
+              100 * Js.CapacityLossFraction,
+              100 * (1 - Js.CapacityLossFraction /
+                             NoJs.CapacityLossFraction));
+  std::printf("phases without jump-start: serve@%.0fs A=%.0fs B=%.0fs "
+              "C=%.0fs D=%.0fs\n",
+              NoJs.Phases.ServeStart, NoJs.Phases.ProfilingEnd,
+              NoJs.Phases.RelocationStart, NoJs.Phases.RelocationEnd,
+              NoJs.Phases.JitingStopped);
+  return 0;
+}

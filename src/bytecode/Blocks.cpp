@@ -1,0 +1,75 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Blocks.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+
+using namespace jumpstart;
+using namespace jumpstart::bc;
+
+BlockList BlockList::compute(const Function &F) {
+  BlockList Result;
+  if (F.Code.empty())
+    return Result;
+
+  // Pass 1: find leaders (entry, branch targets, instructions after
+  // block-enders).
+  std::vector<uint32_t> Leaders;
+  Leaders.push_back(0);
+  for (uint32_t I = 0; I < F.Code.size(); ++I) {
+    const Instr &In = F.Code[I];
+    const OpInfo &Info = opInfo(In.Opcode);
+    if (hasFlag(Info.Flags, OpFlags::Branch) ||
+        hasFlag(Info.Flags, OpFlags::CondBranch)) {
+      alwaysAssert(In.targetImm() < F.Code.size(),
+                   "branch target out of range in block computation");
+      Leaders.push_back(In.targetImm());
+    }
+    if (opEndsBlock(In.Opcode) && I + 1 < F.Code.size())
+      Leaders.push_back(I + 1);
+  }
+  std::sort(Leaders.begin(), Leaders.end());
+  Leaders.erase(std::unique(Leaders.begin(), Leaders.end()), Leaders.end());
+
+  // Pass 2: build blocks from consecutive leaders.
+  Result.InstrToBlock.resize(F.Code.size());
+  for (size_t L = 0; L < Leaders.size(); ++L) {
+    BcBlock B;
+    B.Start = Leaders[L];
+    B.End = (L + 1 < Leaders.size()) ? Leaders[L + 1]
+                                     : static_cast<uint32_t>(F.Code.size());
+    for (uint32_t I = B.Start; I < B.End; ++I)
+      Result.InstrToBlock[I] = static_cast<uint32_t>(L);
+    Result.Blocks.push_back(B);
+  }
+
+  // Pass 3: wire successors.
+  for (size_t L = 0; L < Result.Blocks.size(); ++L) {
+    BcBlock &B = Result.Blocks[L];
+    const Instr &Last = F.Code[B.End - 1];
+    const OpInfo &Info = opInfo(Last.Opcode);
+    if (hasFlag(Info.Flags, OpFlags::Terminal))
+      continue;
+    if (hasFlag(Info.Flags, OpFlags::Branch)) {
+      B.Taken = Result.InstrToBlock[Last.targetImm()];
+      continue;
+    }
+    if (hasFlag(Info.Flags, OpFlags::CondBranch)) {
+      B.Taken = Result.InstrToBlock[Last.targetImm()];
+      if (B.End < F.Code.size())
+        B.Fallthru = static_cast<uint32_t>(L + 1);
+      continue;
+    }
+    // Plain fallthrough into the next block.
+    if (B.End < F.Code.size())
+      B.Fallthru = static_cast<uint32_t>(L + 1);
+  }
+  return Result;
+}

@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A class declaration in the bytecode repo.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_BYTECODE_CLASS_H
+#define JUMPSTART_BYTECODE_CLASS_H
+
+#include "bytecode/Ids.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace jumpstart::bc {
+
+/// A class as declared in source: its own (non-inherited) properties in
+/// declared order, and its own methods.  Inherited members are resolved at
+/// runtime by runtime::ClassLayout, which is also where Jump-Start's
+/// property-reordering optimization acts (paper section V-C); the repo
+/// always preserves the declared order, which is observable in the source
+/// language.
+struct Class {
+  ClassId Id;
+  std::string Name;
+  UnitId Unit;
+  /// Parent class, or invalid for a root class.
+  ClassId Parent;
+  /// Non-inherited properties in declared order.
+  std::vector<StringId> DeclProps;
+  /// Non-inherited methods by name.
+  std::unordered_map<uint32_t, FuncId> Methods;
+
+  /// Finds a method declared directly on this class (no inheritance walk);
+  /// \returns an invalid FuncId when absent.
+  FuncId findDeclMethod(StringId Name) const {
+    auto It = Methods.find(Name.raw());
+    if (It == Methods.end())
+      return FuncId();
+    return It->second;
+  }
+};
+
+} // namespace jumpstart::bc
+
+#endif // JUMPSTART_BYTECODE_CLASS_H

@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Disasm.h"
+
+#include "bytecode/Blocks.h"
+#include "support/Assert.h"
+#include "support/StringUtil.h"
+
+#include <cstring>
+
+using namespace jumpstart;
+using namespace jumpstart::bc;
+
+static std::string renderImm(const Repo &R, ImmKind Kind, int64_t Raw) {
+  switch (Kind) {
+  case ImmKind::None:
+    return std::string();
+  case ImmKind::I64:
+  case ImmKind::Count:
+    return strFormat("%lld", static_cast<long long>(Raw));
+  case ImmKind::DblBits: {
+    double D;
+    std::memcpy(&D, &Raw, sizeof(D));
+    return strFormat("%g", D);
+  }
+  case ImmKind::Str: {
+    uint64_t Id = static_cast<uint64_t>(Raw);
+    if (Id < R.numStrings())
+      return strFormat("\"%s\"", R.str(StringId(Id)).c_str());
+    return strFormat("str#%llu!", static_cast<unsigned long long>(Id));
+  }
+  case ImmKind::Local:
+    return strFormat("L%lld", static_cast<long long>(Raw));
+  case ImmKind::Target:
+    return strFormat("->%lld", static_cast<long long>(Raw));
+  case ImmKind::Func: {
+    uint64_t Id = static_cast<uint64_t>(Raw);
+    if (Id < R.numFuncs())
+      return R.func(FuncId(Id)).Name;
+    return strFormat("func#%llu!", static_cast<unsigned long long>(Id));
+  }
+  case ImmKind::Cls: {
+    uint64_t Id = static_cast<uint64_t>(Raw);
+    if (Id < R.numClasses())
+      return R.cls(ClassId(Id)).Name;
+    return strFormat("class#%llu!", static_cast<unsigned long long>(Id));
+  }
+  case ImmKind::Builtin:
+    return strFormat("builtin#%lld", static_cast<long long>(Raw));
+  }
+  unreachable("unhandled ImmKind");
+}
+
+std::string jumpstart::bc::disasmInstr(const Repo &R, const Instr &In) {
+  const OpInfo &Info = opInfo(In.Opcode);
+  std::string Result = Info.Name;
+  std::string A = renderImm(R, Info.ImmA, In.ImmA);
+  std::string B = renderImm(R, Info.ImmB, In.ImmB);
+  if (!A.empty())
+    Result += " " + A;
+  if (!B.empty())
+    Result += ", " + B;
+  return Result;
+}
+
+std::string jumpstart::bc::disasmFunction(const Repo &R, const Function &F) {
+  std::string Result =
+      strFormat(".function %s (params=%u locals=%u)\n", F.Name.c_str(),
+                F.NumParams, F.NumLocals);
+  BlockList Blocks = BlockList::compute(F);
+  uint32_t NextBlock = 0;
+  for (uint32_t I = 0; I < F.Code.size(); ++I) {
+    if (NextBlock < Blocks.numBlocks() && Blocks.block(NextBlock).Start == I) {
+      Result += strFormat("B%u:\n", NextBlock);
+      ++NextBlock;
+    }
+    Result += strFormat("  %4u  %s\n", I, disasmInstr(R, F.Code[I]).c_str());
+  }
+  return Result;
+}

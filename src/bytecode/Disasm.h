@@ -1,0 +1,33 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bytecode disassembler, for debugging and for the jit_debugging example
+/// (paper section III reason 4: replaying serialized profiles to debug the
+/// JIT requires inspectable bytecode and profile dumps).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_BYTECODE_DISASM_H
+#define JUMPSTART_BYTECODE_DISASM_H
+
+#include "bytecode/Repo.h"
+
+#include <string>
+
+namespace jumpstart::bc {
+
+/// Renders one instruction as "Opcode imm, imm" with symbolic immediates.
+std::string disasmInstr(const Repo &R, const Instr &In);
+
+/// Renders a whole function, one instruction per line with indices and
+/// basic-block boundaries marked.
+std::string disasmFunction(const Repo &R, const Function &F);
+
+} // namespace jumpstart::bc
+
+#endif // JUMPSTART_BYTECODE_DISASM_H

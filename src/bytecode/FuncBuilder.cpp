@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/FuncBuilder.h"
+
+#include "support/Assert.h"
+
+using namespace jumpstart;
+using namespace jumpstart::bc;
+
+FuncBuilder::Label FuncBuilder::newLabel() {
+  uint32_t Index = static_cast<uint32_t>(LabelTargets.size());
+  LabelTargets.push_back(kUnbound);
+  return Label{Index};
+}
+
+void FuncBuilder::bind(Label L) {
+  assert(L.Index < LabelTargets.size() && "bind() of unknown label");
+  assert(LabelTargets[L.Index] == kUnbound && "label bound twice");
+  LabelTargets[L.Index] = nextIndex();
+}
+
+void FuncBuilder::emit(Op O, int64_t ImmA, int64_t ImmB) {
+  assert(!Finished && "emit() after finish()");
+  F.Code.emplace_back(O, ImmA, ImmB);
+}
+
+void FuncBuilder::emitJump(Op O, Label L) {
+  assert(opEndsBlock(O) && !hasFlag(opInfo(O).Flags, OpFlags::Terminal) &&
+         "emitJump() requires a branch opcode");
+  uint32_t At = nextIndex();
+  emit(O, /*ImmA=*/0);
+  Pending.emplace_back(At, L.Index);
+}
+
+uint32_t FuncBuilder::newLocal() { return F.NumLocals++; }
+
+void FuncBuilder::finish() {
+  assert(!Finished && "finish() called twice");
+  Finished = true;
+  for (auto [InstrIndex, LabelIndex] : Pending) {
+    uint32_t Target = LabelTargets[LabelIndex];
+    alwaysAssert(Target != kUnbound, "branch to a label that was never bound");
+    F.Code[InstrIndex].ImmA = Target;
+  }
+  Pending.clear();
+}

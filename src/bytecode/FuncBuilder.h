@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bytecode emitter with forward-label support, used by the frontend's
+/// code generator and by tests that hand-assemble functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_BYTECODE_FUNCBUILDER_H
+#define JUMPSTART_BYTECODE_FUNCBUILDER_H
+
+#include "bytecode/Function.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jumpstart::bc {
+
+/// Emits bytecode into a Function, resolving branch targets via labels.
+///
+/// Typical usage:
+/// \code
+///   FuncBuilder B(F);
+///   auto Else = B.newLabel();
+///   B.emit(Op::GetL, 0);
+///   B.emitJump(Op::JmpZ, Else);
+///   ...
+///   B.bind(Else);
+///   ...
+///   B.finish();
+/// \endcode
+class FuncBuilder {
+public:
+  /// An opaque label handle.
+  struct Label {
+    uint32_t Index;
+  };
+
+  explicit FuncBuilder(Function &F) : F(F) {}
+
+  /// Allocates a fresh, unbound label.
+  Label newLabel();
+
+  /// Binds \p L to the next instruction to be emitted.
+  void bind(Label L);
+
+  /// Appends a non-branch instruction.
+  void emit(Op O, int64_t ImmA = 0, int64_t ImmB = 0);
+
+  /// Appends a branch to \p L; the target immediate is patched when the
+  /// label is bound (or already-bound labels resolve immediately).
+  void emitJump(Op O, Label L);
+
+  /// Allocates a new local slot and returns its index.
+  uint32_t newLocal();
+
+  /// Index the next emitted instruction will have.
+  uint32_t nextIndex() const {
+    return static_cast<uint32_t>(F.Code.size());
+  }
+
+  /// Patches all pending branches.  Must be called exactly once, after all
+  /// labels are bound; asserts if any label was used but never bound.
+  void finish();
+
+private:
+  Function &F;
+  static constexpr uint32_t kUnbound = ~0u;
+  std::vector<uint32_t> LabelTargets;
+  /// (instruction index, label index) pairs awaiting resolution.
+  std::vector<std::pair<uint32_t, uint32_t>> Pending;
+  bool Finished = false;
+};
+
+} // namespace jumpstart::bc
+
+#endif // JUMPSTART_BYTECODE_FUNCBUILDER_H

@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A function in the bytecode repo.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_BYTECODE_FUNCTION_H
+#define JUMPSTART_BYTECODE_FUNCTION_H
+
+#include "bytecode/Ids.h"
+#include "bytecode/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace jumpstart::bc {
+
+/// A function (or method) compiled offline into the repo.
+///
+/// Parameters occupy the first NumParams local slots; the frame has
+/// NumLocals locals in total.  Bytecode branch targets are indices into
+/// Code.
+struct Function {
+  FuncId Id;
+  std::string Name;
+  UnitId Unit;
+  /// Owning class when this is a method; invalid for free functions.
+  ClassId Cls;
+  uint32_t NumParams = 0;
+  uint32_t NumLocals = 0;
+  std::vector<Instr> Code;
+
+  bool isMethod() const { return Cls.valid(); }
+
+  /// Number of bytecode instructions.
+  size_t size() const { return Code.size(); }
+};
+
+} // namespace jumpstart::bc
+
+#endif // JUMPSTART_BYTECODE_FUNCTION_H

@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strongly-typed identifiers for entities in the bytecode repo.
+///
+/// Following HHVM, the offline compiler assigns every literal string, unit,
+/// class and function a dense integer id; all cross-references in bytecode
+/// immediates and in the Jump-Start profile package use these ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_BYTECODE_IDS_H
+#define JUMPSTART_BYTECODE_IDS_H
+
+#include <cstdint>
+#include <functional>
+
+namespace jumpstart::bc {
+
+/// A dense id with a distinct tag type per entity kind, so a FuncId cannot
+/// be passed where a ClassId is expected.
+template <typename Tag> struct DenseId {
+  uint32_t Value = kInvalid;
+
+  static constexpr uint32_t kInvalid = ~0u;
+
+  DenseId() = default;
+  explicit DenseId(uint32_t V) : Value(V) {}
+
+  bool valid() const { return Value != kInvalid; }
+  uint32_t raw() const { return Value; }
+
+  friend bool operator==(DenseId A, DenseId B) { return A.Value == B.Value; }
+  friend bool operator!=(DenseId A, DenseId B) { return A.Value != B.Value; }
+  friend bool operator<(DenseId A, DenseId B) { return A.Value < B.Value; }
+};
+
+struct StringIdTag {};
+struct UnitIdTag {};
+struct FuncIdTag {};
+struct ClassIdTag {};
+
+/// Id of an interned literal string in the repo's string table.
+using StringId = DenseId<StringIdTag>;
+/// Id of a compilation unit (one source file).
+using UnitId = DenseId<UnitIdTag>;
+/// Id of a function or method.
+using FuncId = DenseId<FuncIdTag>;
+/// Id of a class.
+using ClassId = DenseId<ClassIdTag>;
+
+} // namespace jumpstart::bc
+
+namespace std {
+template <typename Tag> struct hash<jumpstart::bc::DenseId<Tag>> {
+  size_t operator()(jumpstart::bc::DenseId<Tag> Id) const {
+    return std::hash<uint32_t>()(Id.raw());
+  }
+};
+} // namespace std
+
+#endif // JUMPSTART_BYTECODE_IDS_H

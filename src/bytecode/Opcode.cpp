@@ -1,0 +1,26 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Opcode.h"
+
+#include "support/Assert.h"
+
+using namespace jumpstart;
+using namespace jumpstart::bc;
+
+static const OpInfo OpTable[kNumOpcodes] = {
+#define JUMPSTART_OP_INFO(Name, ImmA, ImmB, Pop, Push, Flags)                  \
+  {#Name, ImmA, ImmB, Pop, Push, Flags},
+    JUMPSTART_OPCODES(JUMPSTART_OP_INFO)
+#undef JUMPSTART_OP_INFO
+};
+
+const OpInfo &jumpstart::bc::opInfo(Op O) {
+  unsigned Index = static_cast<unsigned>(O);
+  assert(Index < kNumOpcodes && "invalid opcode");
+  return OpTable[Index];
+}

@@ -1,0 +1,36 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compilation unit (one source file) in the bytecode repo.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_BYTECODE_UNIT_H
+#define JUMPSTART_BYTECODE_UNIT_H
+
+#include "bytecode/Ids.h"
+
+#include <string>
+#include <vector>
+
+namespace jumpstart::bc {
+
+/// One source file's contribution to the repo: the functions and classes
+/// it defines.  Units are the granularity at which the VM lazily loads
+/// metadata into memory (and which Jump-Start's profile package lists for
+/// preloading -- paper section IV-B category 1).
+struct Unit {
+  UnitId Id;
+  std::string Name;
+  std::vector<FuncId> Funcs;
+  std::vector<ClassId> Classes;
+};
+
+} // namespace jumpstart::bc
+
+#endif // JUMPSTART_BYTECODE_UNIT_H

@@ -1,0 +1,48 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fault injection for reliability experiments (paper section VI).
+///
+/// The paper's failure mode is a profile package that triggers a latent
+/// JIT bug.  Whether a given package trips the bug -- and whether the
+/// seeder's validation environment reproduces it -- is injected here, so
+/// experiments can model bugs that only manifest under full production
+/// traffic (the reason validation is necessary but insufficient, and why
+/// randomized selection and fallback exist).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_CORE_CHAOS_H
+#define JUMPSTART_CORE_CHAOS_H
+
+#include "profile/ProfilePackage.h"
+
+#include <functional>
+
+namespace jumpstart::core {
+
+/// Injection points for reliability experiments.  Default-constructed
+/// hooks inject nothing.
+struct ChaosHooks {
+  /// Does compiling/running with this package crash during the seeder's
+  /// validation run?
+  std::function<bool(const profile::ProfilePackage &)> CrashesInValidation;
+  /// Does it crash a production consumer?
+  std::function<bool(const profile::ProfilePackage &)> CrashesInProduction;
+
+  bool crashesInValidation(const profile::ProfilePackage &Pkg) const {
+    return CrashesInValidation && CrashesInValidation(Pkg);
+  }
+  bool crashesInProduction(const profile::ProfilePackage &Pkg) const {
+    return CrashesInProduction && CrashesInProduction(Pkg);
+  }
+};
+
+} // namespace jumpstart::core
+
+#endif // JUMPSTART_CORE_CHAOS_H

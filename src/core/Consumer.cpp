@@ -1,0 +1,92 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Consumer.h"
+
+#include "support/StringUtil.h"
+
+using namespace jumpstart;
+using namespace jumpstart::core;
+
+void jumpstart::core::applyOptimizationOptions(vm::ServerConfig &Config,
+                                               const JumpStartOptions &Opts) {
+  Config.Jit.UseVasmCounters = Opts.VasmBlockCounters;
+  Config.Jit.UsePackageFuncOrder = Opts.FunctionOrder;
+  Config.ReorderProperties = Opts.PropertyReordering;
+  Config.UseAffinityPropOrder = Opts.AffinityPropertyOrder;
+}
+
+ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
+                                               vm::ServerConfig BaseConfig,
+                                               const JumpStartOptions &Opts,
+                                               const PackageStore &Store,
+                                               const ConsumerParams &P,
+                                               const ChaosHooks *Chaos) {
+  ConsumerOutcome Outcome;
+  Rng R(P.Seed);
+  applyOptimizationOptions(BaseConfig, Opts);
+
+  auto BootWithoutJumpStart = [&](const char *Why) {
+    Outcome.Log.push_back(
+        strFormat("booting without Jump-Start: %s", Why));
+    Outcome.Server =
+        std::make_unique<vm::Server>(W.Repo, BaseConfig, R.next());
+    Outcome.Init = Outcome.Server->startup();
+    Outcome.UsedJumpStart = false;
+  };
+
+  if (!Opts.Enabled) {
+    BootWithoutJumpStart("disabled by configuration");
+    return Outcome;
+  }
+
+  while (Outcome.Attempts < Opts.MaxConsumerAttempts) {
+    ++Outcome.Attempts;
+    std::optional<PackageStore::Selection> Pick =
+        Store.pickRandom(P.Region, P.Bucket, R);
+    if (!Pick) {
+      BootWithoutJumpStart("no suitable profile-data package available");
+      return Outcome;
+    }
+
+    profile::ProfilePackage Pkg;
+    if (!profile::ProfilePackage::deserialize(*Pick->Blob, Pkg)) {
+      Outcome.Log.push_back(strFormat(
+          "package #%u is corrupt (checksum/format); trying another",
+          Pick->Index));
+      continue;
+    }
+
+    // A crash-inducing package that slipped through validation: the
+    // process dies during JIT compilation and restarts, picking a
+    // (probably different) random package.
+    if (Chaos && Chaos->crashesInProduction(Pkg)) {
+      ++Outcome.CrashCount;
+      Outcome.Log.push_back(strFormat(
+          "crashed with package #%u; restarting", Pick->Index));
+      continue;
+    }
+
+    auto Server =
+        std::make_unique<vm::Server>(W.Repo, BaseConfig, R.next());
+    if (!Server->installPackage(Pkg)) {
+      Outcome.Log.push_back(strFormat(
+          "package #%u rejected (fingerprint mismatch); trying another",
+          Pick->Index));
+      continue;
+    }
+    Outcome.Init = Server->startup();
+    Outcome.Server = std::move(Server);
+    Outcome.UsedJumpStart = true;
+    Outcome.Log.push_back(
+        strFormat("booted with package #%u", Pick->Index));
+    return Outcome;
+  }
+
+  BootWithoutJumpStart("repeatedly failed to start healthily");
+  return Outcome;
+}

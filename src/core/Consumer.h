@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Jump-Start consumer workflow (paper Figure 3c + section VI-A).
+///
+/// A consumer (C3 push phase) picks a random package for its
+/// (region, bucket), deserializes it, pre-compiles all optimized code
+/// before serving, and falls back automatically: corrupt or missing
+/// packages are skipped, crash-inducing ones trigger a restart with a
+/// fresh random pick, and after a bounded number of failures the server
+/// boots with Jump-Start disabled, collecting its own profile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_CORE_CONSUMER_H
+#define JUMPSTART_CORE_CONSUMER_H
+
+#include "core/Chaos.h"
+#include "core/JumpStartOptions.h"
+#include "core/PackageStore.h"
+#include "fleet/Traffic.h"
+#include "fleet/WorkloadGen.h"
+#include "vm/Server.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jumpstart::core {
+
+/// Consumer boot parameters.
+struct ConsumerParams {
+  uint32_t Region = 0;
+  uint32_t Bucket = 0;
+  uint64_t Seed = 21;
+};
+
+/// Outcome of booting one consumer.
+struct ConsumerOutcome {
+  /// The started server (always valid: fallback guarantees a boot).
+  std::unique_ptr<vm::Server> Server;
+  bool UsedJumpStart = false;
+  /// Jump-Start boot attempts made (crashes + corrupt packages).
+  uint32_t Attempts = 0;
+  uint32_t CrashCount = 0;
+  vm::InitStats Init;
+  std::vector<std::string> Log;
+};
+
+/// Applies the Jump-Start optimization switches of \p Opts to a server
+/// configuration (used by consumers and by the Figure 6 ablation).
+void applyOptimizationOptions(vm::ServerConfig &Config,
+                              const JumpStartOptions &Opts);
+
+/// Boots one consumer against \p Store with full fallback behaviour.
+ConsumerOutcome startConsumer(const fleet::Workload &W,
+                              vm::ServerConfig BaseConfig,
+                              const JumpStartOptions &Opts,
+                              const PackageStore &Store,
+                              const ConsumerParams &P,
+                              const ChaosHooks *Chaos = nullptr);
+
+} // namespace jumpstart::core
+
+#endif // JUMPSTART_CORE_CONSUMER_H

@@ -1,0 +1,105 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Deployment.h"
+
+#include "support/StringUtil.h"
+
+using namespace jumpstart;
+using namespace jumpstart::core;
+
+DeploymentReport jumpstart::core::simulateDeployment(
+    const fleet::Workload &W, const fleet::TrafficModel &Traffic,
+    const vm::ServerConfig &BaseConfig, const JumpStartOptions &Opts,
+    PackageStore &Store, const DeploymentParams &P,
+    const ChaosHooks *Chaos) {
+  DeploymentReport Report;
+  Rng R(P.Seed);
+
+  // --- C1: restart the employee-facing canary servers (no Jump-Start
+  // data exists yet for the new code version) and verify basic health.
+  {
+    vm::ServerConfig Config = BaseConfig;
+    vm::Server Canary(W.Repo, Config, R.next());
+    Canary.startup();
+    uint64_t Faults = 0;
+    const uint32_t CanaryRequests = 25;
+    for (uint32_t I = 0; I < CanaryRequests; ++I) {
+      uint32_t E = Traffic.sampleEndpoint(0, 0, R);
+      Canary.executeRequest(W.Endpoints[E],
+                            fleet::TrafficModel::makeArgs(R));
+    }
+    Faults = Canary.totalFaults();
+    Report.CanaryHealthy = Faults < CanaryRequests; // < 1 fault/request
+    Report.Log.push_back(strFormat(
+        "C1: canary served %u requests, %llu faults -> %s", CanaryRequests,
+        static_cast<unsigned long long>(Faults),
+        Report.CanaryHealthy ? "healthy" : "UNHEALTHY"));
+    if (!Report.CanaryHealthy)
+      return Report; // push halts before C2
+  }
+
+  // --- C2: restart 2% of the fleet as seeders; each collects, validates
+  // and publishes its own package.
+  for (uint32_t Region = 0; Region < P.Regions; ++Region) {
+    for (uint32_t Bucket = 0; Bucket < P.Buckets; ++Bucket) {
+      for (uint32_t S = 0; S < P.SeedersPerPair; ++S) {
+        SeederParams SP;
+        SP.Region = Region;
+        SP.Bucket = Bucket;
+        SP.SeederId = (static_cast<uint64_t>(Region) << 32) |
+                      (Bucket << 8) | S;
+        SP.Requests = P.SeederRequests;
+        SP.Seed = R.next();
+        ++Report.SeedersRun;
+        SeederOutcome Outcome = runSeederWorkflow(
+            W, Traffic, BaseConfig, Opts, Store, SP, Chaos);
+        if (Outcome.Published) {
+          ++Report.PackagesPublished;
+          Report.Log.push_back(strFormat(
+              "C2: seeder (r%u,b%u,#%u) published %zu bytes", Region,
+              Bucket, S, Outcome.PackageBytes));
+        } else {
+          ++Report.SeederFailures;
+          std::string Why = Outcome.Problems.empty()
+                                ? "unknown"
+                                : Outcome.Problems.front();
+          Report.Log.push_back(strFormat(
+              "C2: seeder (r%u,b%u,#%u) FAILED: %s", Region, Bucket, S,
+              Why.c_str()));
+        }
+      }
+    }
+  }
+
+  // --- C3: restart the rest of the fleet as consumers (a sample of real
+  // boots per (region, bucket)).
+  double InitTotal = 0;
+  for (uint32_t Region = 0; Region < P.Regions; ++Region) {
+    for (uint32_t Bucket = 0; Bucket < P.Buckets; ++Bucket) {
+      for (uint32_t C = 0; C < P.ConsumerSamplesPerPair; ++C) {
+        ConsumerParams CP;
+        CP.Region = Region;
+        CP.Bucket = Bucket;
+        CP.Seed = R.next();
+        ConsumerOutcome Outcome =
+            startConsumer(W, BaseConfig, Opts, Store, CP, Chaos);
+        ++Report.ConsumersBooted;
+        if (Outcome.UsedJumpStart)
+          ++Report.ConsumersUsedJumpStart;
+        InitTotal += Outcome.Init.TotalSeconds;
+        Report.Log.push_back(strFormat(
+            "C3: consumer (r%u,b%u,#%u) init %.2fs, jump-start=%s",
+            Region, Bucket, C, Outcome.Init.TotalSeconds,
+            Outcome.UsedJumpStart ? "yes" : "no"));
+      }
+    }
+  }
+  if (Report.ConsumersBooted)
+    Report.MeanConsumerInitSeconds = InitTotal / Report.ConsumersBooted;
+  return Report;
+}

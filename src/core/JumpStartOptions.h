@@ -1,0 +1,60 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fleet-facing Jump-Start configuration.
+///
+/// These correspond to HHVM runtime options: the master enable switch
+/// (paper section VI: "a simple configuration option to disable
+/// Jump-Start ... as a last resort"), the per-optimization switches the
+/// Figure 6 ablation toggles, and the validation/fallback thresholds of
+/// section VI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_CORE_JUMPSTARTOPTIONS_H
+#define JUMPSTART_CORE_JUMPSTARTOPTIONS_H
+
+#include "profile/Validation.h"
+
+#include <cstdint>
+
+namespace jumpstart::core {
+
+/// All Jump-Start knobs.
+struct JumpStartOptions {
+  /// Master switch.  Off: every server collects its own profile.
+  bool Enabled = true;
+
+  // Steady-state optimizations built on Jump-Start (paper section V).
+  /// V-A: drive block layout with seeder-collected Vasm counters.
+  bool VasmBlockCounters = true;
+  /// V-B: place functions using the seeder-computed (tier-2 call graph)
+  /// order.
+  bool FunctionOrder = true;
+  /// V-C: reorder object properties by access hotness.
+  bool PropertyReordering = true;
+  /// V-C future work: order properties by co-access affinity instead of
+  /// hotness (requires affinity counters in the package).
+  bool AffinityPropertyOrder = false;
+
+  // Reliability (paper section VI).
+  /// Consumer restarts with Jump-Start before automatic no-Jump-Start
+  /// fallback.
+  uint32_t MaxConsumerAttempts = 3;
+  /// Coverage thresholds a package must pass before publication.
+  profile::CoverageThresholds Coverage;
+  /// Requests of the behavioural validation run (the seeder restarts
+  /// itself in consumer mode and must stay healthy).
+  uint32_t ValidationRequests = 40;
+  /// Maximum tolerated faults per validation request.
+  double MaxValidationFaultRate = 0.05;
+};
+
+} // namespace jumpstart::core
+
+#endif // JUMPSTART_CORE_JUMPSTARTOPTIONS_H

@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PackageStore.h"
+
+#include "support/Assert.h"
+
+using namespace jumpstart;
+using namespace jumpstart::core;
+
+uint32_t PackageStore::publish(uint32_t Region, uint32_t Bucket,
+                               std::vector<uint8_t> Blob) {
+  Shelf &S = Shelves[key(Region, Bucket)];
+  S.Blobs.push_back(std::move(Blob));
+  S.IsQuarantined.push_back(false);
+  return static_cast<uint32_t>(S.Blobs.size() - 1);
+}
+
+const PackageStore::Shelf *PackageStore::find(uint32_t Region,
+                                              uint32_t Bucket) const {
+  auto It = Shelves.find(key(Region, Bucket));
+  return It == Shelves.end() ? nullptr : &It->second;
+}
+
+std::optional<PackageStore::Selection>
+PackageStore::pickRandom(uint32_t Region, uint32_t Bucket, Rng &R) const {
+  const Shelf *S = find(Region, Bucket);
+  if (!S)
+    return std::nullopt;
+  std::vector<uint32_t> Alive;
+  for (uint32_t I = 0; I < S->Blobs.size(); ++I)
+    if (!S->IsQuarantined[I])
+      Alive.push_back(I);
+  if (Alive.empty())
+    return std::nullopt;
+  uint32_t Index = Alive[R.nextBelow(Alive.size())];
+  return Selection{Index, &S->Blobs[Index]};
+}
+
+size_t PackageStore::available(uint32_t Region, uint32_t Bucket) const {
+  const Shelf *S = find(Region, Bucket);
+  if (!S)
+    return 0;
+  size_t N = 0;
+  for (bool Q : S->IsQuarantined)
+    if (!Q)
+      ++N;
+  return N;
+}
+
+void PackageStore::quarantine(uint32_t Region, uint32_t Bucket,
+                              uint32_t Index) {
+  auto It = Shelves.find(key(Region, Bucket));
+  alwaysAssert(It != Shelves.end(), "quarantine of unknown shelf");
+  Shelf &S = It->second;
+  alwaysAssert(Index < S.Blobs.size(), "quarantine of unknown package");
+  if (S.IsQuarantined[Index])
+    return;
+  S.IsQuarantined[Index] = true;
+  Quarantined.push_back(S.Blobs[Index]);
+}
+
+void PackageStore::corrupt(uint32_t Region, uint32_t Bucket, uint32_t Index,
+                           Rng &R, uint32_t Flips) {
+  auto It = Shelves.find(key(Region, Bucket));
+  alwaysAssert(It != Shelves.end(), "corrupt() of unknown shelf");
+  Shelf &S = It->second;
+  alwaysAssert(Index < S.Blobs.size(), "corrupt() of unknown package");
+  std::vector<uint8_t> &Blob = S.Blobs[Index];
+  if (Blob.empty())
+    return;
+  for (uint32_t I = 0; I < Flips; ++I) {
+    size_t At = R.nextBelow(Blob.size());
+    Blob[At] ^= static_cast<uint8_t>(1 + R.nextBelow(255));
+  }
+}

@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profile-package distribution store.
+///
+/// Seeders publish serialized packages keyed by (data-center region,
+/// semantic bucket); consumers pick one *at random* per restart (paper
+/// section VI-A technique 2).  The store also implements the paper's
+/// "database of problematic profile data": packages implicated in crashes
+/// are quarantined for offline debugging rather than deleted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_CORE_PACKAGESTORE_H
+#define JUMPSTART_CORE_PACKAGESTORE_H
+
+#include "support/Random.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace jumpstart::core {
+
+/// In-memory package store (one per simulated fleet).
+class PackageStore {
+public:
+  /// A published package's identity within its (region, bucket) shelf.
+  struct Selection {
+    uint32_t Index = 0;
+    const std::vector<uint8_t> *Blob = nullptr;
+  };
+
+  /// Publishes \p Blob for (\p Region, \p Bucket); \returns its index.
+  uint32_t publish(uint32_t Region, uint32_t Bucket,
+                   std::vector<uint8_t> Blob);
+
+  /// Picks a random non-quarantined package, or nullopt when none exist.
+  std::optional<Selection> pickRandom(uint32_t Region, uint32_t Bucket,
+                                      Rng &R) const;
+
+  /// Number of available (non-quarantined) packages.
+  size_t available(uint32_t Region, uint32_t Bucket) const;
+
+  /// Moves a package to the problematic-data database (paper VI-A: kept
+  /// "so that rare bugs ... can later be easily reproduced and
+  /// debugged").
+  void quarantine(uint32_t Region, uint32_t Bucket, uint32_t Index);
+
+  size_t quarantinedCount() const { return Quarantined.size(); }
+
+  /// Test/chaos helper: flips random bytes of a published package,
+  /// simulating distribution-layer corruption.
+  void corrupt(uint32_t Region, uint32_t Bucket, uint32_t Index, Rng &R,
+               uint32_t Flips = 16);
+
+private:
+  struct Shelf {
+    std::vector<std::vector<uint8_t>> Blobs;
+    std::vector<bool> IsQuarantined;
+  };
+  static uint64_t key(uint32_t Region, uint32_t Bucket) {
+    return (static_cast<uint64_t>(Region) << 32) | Bucket;
+  }
+  const Shelf *find(uint32_t Region, uint32_t Bucket) const;
+
+  std::map<uint64_t, Shelf> Shelves;
+  std::vector<std::vector<uint8_t>> Quarantined;
+};
+
+} // namespace jumpstart::core
+
+#endif // JUMPSTART_CORE_PACKAGESTORE_H

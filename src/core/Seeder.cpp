@@ -1,0 +1,87 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Seeder.h"
+
+#include "support/StringUtil.h"
+
+using namespace jumpstart;
+using namespace jumpstart::core;
+
+SeederOutcome jumpstart::core::runSeederWorkflow(
+    const fleet::Workload &W, const fleet::TrafficModel &Traffic,
+    vm::ServerConfig BaseConfig, const JumpStartOptions &Opts,
+    PackageStore &Store, const SeederParams &P, const ChaosHooks *Chaos) {
+  SeederOutcome Outcome;
+
+  // 1. Serve traffic with seeder instrumentation enabled (Figure 3b: the
+  //    optimized code carries extra counters).
+  vm::ServerConfig SeederConfig = BaseConfig;
+  SeederConfig.Jit.SeederInstrumentation = true;
+  std::unique_ptr<vm::Server> Seeder =
+      fleet::runSeeder(W, Traffic, SeederConfig, P.Region, P.Bucket,
+                       P.Requests, P.Seed);
+
+  // 2. Serialize the profile data.
+  Outcome.Package =
+      Seeder->buildSeederPackage(P.Region, P.Bucket, P.SeederId);
+  std::vector<uint8_t> Blob = Outcome.Package.serialize();
+  Outcome.PackageBytes = Blob.size();
+
+  // 3. Coverage validation (section VI-B): catch under-profiled seeders
+  //    (e.g. a drained data center).
+  profile::CoverageThresholds Coverage = Opts.Coverage;
+  Coverage.ExpectedFingerprint = vm::Server::repoFingerprint(W.Repo);
+  profile::CoverageResult CoverageCheck =
+      profile::checkCoverage(Outcome.Package, Blob.size(), Coverage);
+  if (!CoverageCheck.Ok) {
+    Outcome.Problems = CoverageCheck.Problems;
+    return Outcome;
+  }
+
+  // 4. Behavioural validation (section VI-A technique 1): restart in
+  //    consumer mode using the just-collected data and watch health for a
+  //    while before publishing.
+  if (Chaos && Chaos->crashesInValidation(Outcome.Package)) {
+    Outcome.Problems.push_back(
+        "validation: consumer-mode restart crashed during JIT compilation");
+    return Outcome;
+  }
+  vm::ServerConfig ValidationConfig = BaseConfig;
+  ValidationConfig.Jit.SeederInstrumentation = false;
+  vm::Server Validator(W.Repo, ValidationConfig, P.Seed ^ 0xabcdef);
+  if (!Validator.installPackage(Outcome.Package)) {
+    Outcome.Problems.push_back(
+        "validation: package rejected (fingerprint mismatch)");
+    return Outcome;
+  }
+  Validator.startup();
+  Rng R(P.Seed ^ 0x1234);
+  uint64_t FaultsBefore = Validator.totalFaults();
+  for (uint32_t I = 0; I < Opts.ValidationRequests; ++I) {
+    uint32_t E = Traffic.sampleEndpoint(P.Region, P.Bucket, R);
+    Validator.executeRequest(W.Endpoints[E],
+                             fleet::TrafficModel::makeArgs(R));
+  }
+  uint64_t Faults = Validator.totalFaults() - FaultsBefore;
+  double FaultRate = Opts.ValidationRequests
+                         ? static_cast<double>(Faults) /
+                               static_cast<double>(Opts.ValidationRequests)
+                         : 0.0;
+  if (FaultRate > Opts.MaxValidationFaultRate) {
+    Outcome.Problems.push_back(strFormat(
+        "validation: elevated error rate (%.3f faults/request, limit "
+        "%.3f)",
+        FaultRate, Opts.MaxValidationFaultRate));
+    return Outcome;
+  }
+
+  // 5. Publish.
+  Outcome.PackageIndex = Store.publish(P.Region, P.Bucket, std::move(Blob));
+  Outcome.Published = true;
+  return Outcome;
+}

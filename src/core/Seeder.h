@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Jump-Start seeder workflow (paper Figure 3b + section VI-A).
+///
+/// A seeder server (C2 push phase) boots without Jump-Start, serves its
+/// (region, bucket) traffic while its JIT collects the tier-1 profile and
+/// the instrumented-optimized-code profile, then: builds the package,
+/// checks coverage thresholds (section VI-B), *behaviourally validates*
+/// it by restarting in consumer mode and watching health, and only then
+/// publishes to the package store.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_CORE_SEEDER_H
+#define JUMPSTART_CORE_SEEDER_H
+
+#include "core/Chaos.h"
+#include "core/JumpStartOptions.h"
+#include "core/PackageStore.h"
+#include "fleet/ServerSim.h"
+
+#include <string>
+#include <vector>
+
+namespace jumpstart::core {
+
+/// Seeder run parameters.
+struct SeederParams {
+  uint32_t Region = 0;
+  uint32_t Bucket = 0;
+  uint64_t SeederId = 1;
+  /// Requests served while collecting profile data (the C2 window).
+  uint32_t Requests = 500;
+  uint64_t Seed = 11;
+};
+
+/// Outcome of one seeder run.
+struct SeederOutcome {
+  bool Published = false;
+  /// Index in the store when published.
+  uint32_t PackageIndex = 0;
+  size_t PackageBytes = 0;
+  profile::ProfilePackage Package;
+  std::vector<std::string> Problems;
+};
+
+/// Runs the complete seeder workflow against \p Store.  \p BaseConfig is
+/// the fleet's server configuration; seeder instrumentation is enabled on
+/// top of it.  \p Chaos (optional) injects JIT bugs for reliability
+/// experiments.
+SeederOutcome runSeederWorkflow(const fleet::Workload &W,
+                                const fleet::TrafficModel &Traffic,
+                                vm::ServerConfig BaseConfig,
+                                const JumpStartOptions &Opts,
+                                PackageStore &Store, const SeederParams &P,
+                                const ChaosHooks *Chaos = nullptr);
+
+} // namespace jumpstart::core
+
+#endif // JUMPSTART_CORE_SEEDER_H

@@ -1,0 +1,83 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/Reliability.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+
+using namespace jumpstart;
+using namespace jumpstart::fleet;
+
+ReliabilityResult
+jumpstart::fleet::simulateCrashLoop(const ReliabilityParams &P) {
+  alwaysAssert(P.NumPackages > 0, "need at least one package");
+  alwaysAssert(P.NumPoisoned <= P.NumPackages,
+               "more poisoned packages than packages");
+  Rng R(P.Seed);
+  ReliabilityResult Result;
+
+  // Validation: each poisoned package is caught independently.
+  std::vector<bool> Poisoned(P.NumPackages, false);
+  std::vector<uint32_t> Published;
+  for (uint32_t I = 0; I < P.NumPackages; ++I) {
+    bool IsPoisoned = I < P.NumPoisoned;
+    if (IsPoisoned && R.nextBool(P.ValidationCatchProbability))
+      continue; // caught: never published
+    Poisoned[I] = IsPoisoned;
+    Published.push_back(I);
+    if (IsPoisoned)
+      ++Result.PoisonedPublished;
+  }
+  // If validation removed everything, consumers fall back immediately.
+  if (Published.empty()) {
+    Result.FallbackCount = P.NumConsumers;
+    Result.HealthyAtEnd = P.NumConsumers;
+    Result.CrashedPerRound.assign(P.Rounds, 0);
+    return Result;
+  }
+
+  struct Consumer {
+    uint32_t FailedAttempts = 0;
+    bool Fallback = false;
+    bool Healthy = false;
+  };
+  std::vector<Consumer> Consumers(P.NumConsumers);
+
+  for (uint32_t Round = 0; Round < P.Rounds; ++Round) {
+    uint32_t Crashed = 0;
+    for (Consumer &C : Consumers) {
+      if (C.Healthy || C.Fallback)
+        continue;
+      uint32_t Pick =
+          P.RandomizedSelection
+              ? Published[R.nextBelow(Published.size())]
+              : Published.front();
+      if (Poisoned[Pick]) {
+        ++Crashed;
+        ++C.FailedAttempts;
+        if (C.FailedAttempts >= P.MaxJumpStartAttempts) {
+          // Automatic no-Jump-Start fallback: collect own profile.
+          C.Fallback = true;
+        }
+      } else {
+        C.Healthy = true;
+      }
+    }
+    Result.CrashedPerRound.push_back(Crashed);
+    Result.PeakCrashed = std::max(Result.PeakCrashed, Crashed);
+  }
+
+  for (const Consumer &C : Consumers) {
+    if (C.Healthy || C.Fallback)
+      ++Result.HealthyAtEnd;
+    if (C.Fallback)
+      ++Result.FallbackCount;
+  }
+  return Result;
+}

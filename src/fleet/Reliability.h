@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fleet-scale reliability simulation (paper section VI).
+///
+/// Models the failure dynamics the paper describes qualitatively: a
+/// crash-inducing ("poisoned") profile package slips past validation with
+/// some probability; consumers pick packages at random per restart; a
+/// crashed consumer restarts and re-picks; after a bounded number of
+/// failed Jump-Start attempts it falls back to collecting its own profile.
+/// The simulation is analytic over restart rounds -- no VM runs -- and
+/// demonstrates the exponential decay of affected consumers and the
+/// catastrophic alternative without randomized selection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_FLEET_RELIABILITY_H
+#define JUMPSTART_FLEET_RELIABILITY_H
+
+#include "support/Random.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jumpstart::fleet {
+
+/// Crash-loop simulation knobs.
+struct ReliabilityParams {
+  uint32_t NumConsumers = 2000;
+  /// Packages published per (region, bucket) -- "use of multiple,
+  /// randomized profiles".
+  uint32_t NumPackages = 8;
+  uint32_t NumPoisoned = 1;
+  /// Probability that validation catches a poisoned package before
+  /// publication (paper VI-A technique 1).
+  double ValidationCatchProbability = 0.0;
+  /// Restart attempts with Jump-Start before automatic no-Jump-Start
+  /// fallback (technique 3).
+  uint32_t MaxJumpStartAttempts = 3;
+  /// Consumers pick a random package per restart (technique 2).  With
+  /// false, every consumer uses package 0 -- the "straightforward
+  /// deployment" the paper warns about.
+  bool RandomizedSelection = true;
+  uint32_t Rounds = 12;
+  uint64_t Seed = 33;
+};
+
+/// Outcome of the crash-loop simulation.
+struct ReliabilityResult {
+  /// Consumers that crashed in each restart round.
+  std::vector<uint32_t> CrashedPerRound;
+  /// Consumers that ended up in no-Jump-Start fallback.
+  uint32_t FallbackCount = 0;
+  /// Consumers healthy (serving, with or without Jump-Start) at the end.
+  uint32_t HealthyAtEnd = 0;
+  /// Peak simultaneous crash count (site-outage indicator).
+  uint32_t PeakCrashed = 0;
+  /// Packages that were poisoned and published (post-validation).
+  uint32_t PoisonedPublished = 0;
+};
+
+/// Runs the crash-loop model.
+ReliabilityResult simulateCrashLoop(const ReliabilityParams &P);
+
+} // namespace jumpstart::fleet
+
+#endif // JUMPSTART_FLEET_RELIABILITY_H

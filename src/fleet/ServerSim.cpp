@@ -1,0 +1,162 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/ServerSim.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace jumpstart;
+using namespace jumpstart::fleet;
+
+WarmupResult jumpstart::fleet::runWarmup(const Workload &W,
+                                         const TrafficModel &Traffic,
+                                         vm::ServerConfig Config,
+                                         const ServerSimParams &P,
+                                         const profile::ProfilePackage *Pkg) {
+  WarmupResult Result;
+  Rng R(P.Seed);
+
+  // Default warmup requests: a sample of this bucket's mix, enough to
+  // touch the important units (paper section VII-A).
+  if (Config.WarmupEndpoints.empty()) {
+    for (uint32_t I = 0; I < 16; ++I) {
+      uint32_t E = Traffic.sampleEndpoint(P.Region, P.Bucket, R);
+      Config.WarmupEndpoints.push_back(W.Endpoints[E].raw());
+    }
+  }
+
+  auto Server = std::make_unique<vm::Server>(W.Repo, Config, R.next());
+  if (Pkg) {
+    bool Installed = Server->installPackage(*Pkg);
+    alwaysAssert(Installed, "runWarmup: package rejected");
+  }
+  Result.Init = Server->startup();
+
+  jit::Jit &J = Server->theJit();
+  double Now = Result.Init.TotalSeconds;
+  Result.Phases.ServeStart = Now;
+  Result.Rps.record(0, 0);
+  Result.NormalizedRps.record(0, 0);
+  Result.CodeBytes.record(0, 0);
+
+  jit::JitPhase LastPhase = J.phase();
+  if (LastPhase != jit::JitPhase::Profiling) {
+    // Consumer boots already past profiling.
+    Result.Phases.ProfilingEnd = Now;
+    Result.Phases.RelocationStart = Now;
+    Result.Phases.RelocationEnd = Now;
+  }
+  uint64_t LastCodeBytes = J.totalCodeBytes();
+  double LastCodeGrowth = Now;
+
+  double CoreSecondsPerTick =
+      static_cast<double>(Config.Cores) * P.TickSeconds;
+
+  while (Now < P.DurationSeconds) {
+    // Sampled real requests: measure current service time and advance
+    // JIT profiling state.
+    double SampleCost = 0;
+    uint32_t Samples = std::max(1u, P.SamplesPerTick);
+    for (uint32_t S = 0; S < Samples; ++S) {
+      uint32_t E = Traffic.sampleEndpoint(P.Region, P.Bucket, R);
+      SampleCost += Server->executeRequest(W.Endpoints[E],
+                                           TrafficModel::makeArgs(R));
+    }
+    double ServiceSec = SampleCost / Samples;
+
+    // Background JIT work.
+    double JitWall = Server->grantJitTime(P.TickSeconds);
+    double JitCoreSeconds =
+        JitWall * static_cast<double>(Config.JitWorkerCores);
+
+    // Fluid serving: remaining core capacity handles the offered load.
+    double ServeCapacity =
+        std::max(0.0, CoreSecondsPerTick - JitCoreSeconds);
+    double Offered = P.OfferedRps * P.TickSeconds;
+    double Served = std::min(Offered, ServeCapacity / ServiceSec);
+
+    // The analytically-served requests advance the profiling window too.
+    uint64_t Extra = static_cast<uint64_t>(Served);
+    Extra -= std::min<uint64_t>(Extra, Samples);
+    for (uint64_t I = 0; I < Extra; ++I)
+      J.onRequestFinished();
+
+    Now += P.TickSeconds;
+    Result.Rps.record(Now, Served / P.TickSeconds);
+    Result.NormalizedRps.record(Now, Served / Offered);
+    double WallSec = ServiceSec;
+    if (P.ModelQueueing) {
+      // Sakasegawa's M/M/c waiting-time approximation: queueing is
+      // negligible at moderate utilization and explodes only near
+      // saturation, as on a real multi-core server.
+      double MaxRate = ServeCapacity / ServiceSec;
+      double Rho = std::min(0.99, MaxRate > 0 ? Served / MaxRate : 0.99);
+      double C = std::max(1.0, static_cast<double>(Config.Cores) -
+                                   Config.JitWorkerCores);
+      double Wait = std::pow(Rho, std::sqrt(2.0 * (C + 1.0))) /
+                    (C * (1.0 - Rho));
+      WallSec *= 1.0 + Wait;
+    }
+    Result.LatencySeconds.record(Now, WallSec);
+    uint64_t Code = J.totalCodeBytes();
+    Result.CodeBytes.record(Now, static_cast<double>(Code));
+    if (Code > LastCodeBytes) {
+      LastCodeBytes = Code;
+      LastCodeGrowth = Now;
+    }
+
+    // Phase transitions (Figure 1's labelled points).
+    jit::JitPhase Phase = J.phase();
+    if (Phase != LastPhase) {
+      if (LastPhase == jit::JitPhase::Profiling)
+        Result.Phases.ProfilingEnd = Now;
+      if (Phase == jit::JitPhase::Relocating)
+        Result.Phases.RelocationStart = Now;
+      if (Phase == jit::JitPhase::Mature)
+        Result.Phases.RelocationEnd = Now;
+      LastPhase = Phase;
+    }
+  }
+  Result.Phases.JitingStopped = LastCodeGrowth;
+
+  // Capacity loss: area above the normalized curve over the full window
+  // (server restart at t=0; it serves nothing until init finishes).
+  Result.CapacityLossFraction =
+      Result.NormalizedRps.areaAbove(1.0, 0, P.DurationSeconds) /
+      P.DurationSeconds;
+
+  Result.Server = std::move(Server);
+  return Result;
+}
+
+std::unique_ptr<vm::Server> jumpstart::fleet::runSeeder(
+    const Workload &W, const TrafficModel &Traffic, vm::ServerConfig Config,
+    uint32_t Region, uint32_t Bucket, uint32_t Requests, uint64_t Seed) {
+  Rng R(Seed);
+  if (Config.WarmupEndpoints.empty()) {
+    for (uint32_t I = 0; I < 8 && I < W.Endpoints.size(); ++I) {
+      uint32_t E = Traffic.sampleEndpoint(Region, Bucket, R);
+      Config.WarmupEndpoints.push_back(W.Endpoints[E].raw());
+    }
+  }
+  auto Server = std::make_unique<vm::Server>(W.Repo, Config, R.next());
+  Server->startup();
+  for (uint32_t I = 0; I < Requests; ++I) {
+    uint32_t E = Traffic.sampleEndpoint(Region, Bucket, R);
+    Server->executeRequest(W.Endpoints[E], TrafficModel::makeArgs(R));
+    // Give the JIT generous background time: seeders run for a long
+    // window (C2 lasts ~30 minutes); we only need its end state.
+    Server->grantJitTime(0.25);
+  }
+  // Drain any outstanding compile work.
+  while (Server->theJit().hasPendingWork())
+    Server->grantJitTime(1.0);
+  return Server;
+}

@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The warmup simulator for one web server: a fluid queueing model over a
+/// real VM.
+///
+/// Each virtual tick, the simulator executes a few *sampled* requests for
+/// real against the vm::Server (advancing JIT state and measuring the
+/// current per-request service time), grants the JIT its background
+/// worker time, then serves the remaining offered load analytically:
+/// served = min(offered, remaining core capacity / service time).  This
+/// yields the paper's performance-over-uptime curves (Figures 1, 2, 4)
+/// without executing hundreds of thousands of requests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_FLEET_SERVERSIM_H
+#define JUMPSTART_FLEET_SERVERSIM_H
+
+#include "fleet/Traffic.h"
+#include "fleet/WorkloadGen.h"
+#include "support/Stats.h"
+#include "vm/Server.h"
+
+#include <memory>
+#include <optional>
+
+namespace jumpstart::fleet {
+
+/// Simulation knobs for one server's warmup run.
+struct ServerSimParams {
+  double TickSeconds = 1.0;
+  double DurationSeconds = 600;
+  /// Offered load, as requests per second.
+  double OfferedRps = 400;
+  /// Real requests executed per tick to track service time and drive
+  /// JIT state.
+  uint32_t SamplesPerTick = 2;
+  uint32_t Region = 0;
+  uint32_t Bucket = 0;
+  uint64_t Seed = 7;
+  /// Model queueing delay in the reported latency: under utilization
+  /// rho, waiting inflates wall time by ~1 + rho^2/(1-rho) (M/M/1-style,
+  /// capped).  The paper's Figure 4a measures *wall* time per request,
+  /// which includes queueing on saturated warming servers.
+  bool ModelQueueing = true;
+};
+
+/// Timestamps (in virtual seconds) of the JIT lifecycle transitions --
+/// the labelled points of the paper's Figure 1.
+struct PhaseTimes {
+  double ServeStart = 0;       ///< server began accepting requests
+  double ProfilingEnd = -1;    ///< point A
+  double RelocationStart = -1; ///< point B
+  double RelocationEnd = -1;   ///< point C
+  double JitingStopped = -1;   ///< point D (code growth ceased)
+};
+
+/// Result of one warmup run.
+struct WarmupResult {
+  TimeSeries Rps{"rps"};              ///< served requests/second
+  TimeSeries NormalizedRps{"nrps"};   ///< served / offered
+  TimeSeries LatencySeconds{"lat"};   ///< mean wall time per request
+  TimeSeries CodeBytes{"code"};       ///< total JITed code (Figure 1)
+  PhaseTimes Phases;
+  vm::InitStats Init;
+  /// Capacity loss over [0, DurationSeconds]: area above the normalized
+  /// RPS curve, as a fraction of the ideal (paper Figure 2 / section
+  /// VII-A).
+  double CapacityLossFraction = 0;
+  /// The warmed server, for follow-on measurement (steady state).
+  std::unique_ptr<vm::Server> Server;
+};
+
+/// Runs one server's restart-and-warmup.  If \p Package is set the
+/// server boots as a Jump-Start consumer.
+WarmupResult runWarmup(const Workload &W, const TrafficModel &Traffic,
+                       vm::ServerConfig Config, const ServerSimParams &P,
+                       const profile::ProfilePackage *Package = nullptr);
+
+/// Convenience: runs a server as a *seeder*: boots without Jump-Start,
+/// serves \p Requests real requests of its (region, bucket) mix (with
+/// seeder instrumentation enabled by the caller via Config), and returns
+/// the server for package extraction.
+std::unique_ptr<vm::Server> runSeeder(const Workload &W,
+                                      const TrafficModel &Traffic,
+                                      vm::ServerConfig Config,
+                                      uint32_t Region, uint32_t Bucket,
+                                      uint32_t Requests, uint64_t Seed);
+
+} // namespace jumpstart::fleet
+
+#endif // JUMPSTART_FLEET_SERVERSIM_H

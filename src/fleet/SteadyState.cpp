@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fleet/SteadyState.h"
+
+#include "jit/VasmTracer.h"
+
+using namespace jumpstart;
+using namespace jumpstart::fleet;
+
+SteadyStateResult jumpstart::fleet::measureSteadyState(
+    const Workload &W, const TrafficModel &Traffic, vm::Server &Server,
+    const SteadyStateParams &P) {
+  Rng R(P.Seed);
+  sim::MachineSim Machine(P.Machine);
+  jit::VasmTracer Tracer(Server.theJit(), Machine);
+  Server.attachCallbacks(&Tracer);
+
+  auto RunOne = [&] {
+    uint32_t E = Traffic.sampleEndpoint(P.Region, P.Bucket, R);
+    Server.executeRequest(W.Endpoints[E], TrafficModel::makeArgs(R));
+  };
+
+  for (uint32_t I = 0; I < P.WarmupRequests; ++I)
+    RunOne();
+  Machine.reset();
+  for (uint32_t I = 0; I < P.Requests; ++I)
+    RunOne();
+
+  Server.attachCallbacks(nullptr);
+
+  SteadyStateResult Result;
+  Result.Counters = Machine.counters();
+  Result.Cycles = Machine.cycles();
+  Result.CyclesPerRequest = Result.Cycles / std::max(1u, P.Requests);
+  Result.Throughput =
+      Result.Cycles > 0 ? 1.0e6 * P.Requests / Result.Cycles : 0;
+  const sim::PerfCounters &C = Result.Counters;
+  auto Rate = [](uint64_t Misses, uint64_t Accesses) {
+    return Accesses ? static_cast<double>(Misses) /
+                          static_cast<double>(Accesses)
+                    : 0.0;
+  };
+  Result.BranchMissRate = Rate(C.BranchMisses, C.Branches);
+  Result.L1IMissRate = Rate(C.L1IMisses, C.L1IAccesses);
+  Result.L1DMissRate = Rate(C.L1DMisses, C.L1DAccesses);
+  Result.LlcMissRate = Rate(C.LlcMisses, C.LlcAccesses);
+  Result.ITlbMissRate = Rate(C.ITlbMisses, C.ITlbAccesses);
+  Result.DTlbMissRate = Rate(C.DTlbMisses, C.DTlbAccesses);
+  return Result;
+}

@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Steady-state measurement (paper section VII-B): runs a warmed server
+/// under its production mix with the Vasm shadow tracer attached, and
+/// reports throughput and micro-architectural counters from the machine
+/// simulator -- the data behind Figures 5 and 6.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_FLEET_STEADYSTATE_H
+#define JUMPSTART_FLEET_STEADYSTATE_H
+
+#include "fleet/Traffic.h"
+#include "fleet/WorkloadGen.h"
+#include "sim/Machine.h"
+#include "vm/Server.h"
+
+namespace jumpstart::fleet {
+
+/// Measurement knobs.
+struct SteadyStateParams {
+  uint32_t Requests = 300;
+  /// Requests run before counters reset (cache warmup inside the
+  /// measurement itself).
+  uint32_t WarmupRequests = 60;
+  uint32_t Region = 0;
+  uint32_t Bucket = 0;
+  uint64_t Seed = 99;
+  sim::MachineConfig Machine;
+};
+
+/// Result of one steady-state measurement.
+struct SteadyStateResult {
+  sim::PerfCounters Counters;
+  double Cycles = 0;
+  double CyclesPerRequest = 0;
+  /// Relative throughput: requests per million cycles.
+  double Throughput = 0;
+  double BranchMissRate = 0;
+  double L1IMissRate = 0;
+  double L1DMissRate = 0;
+  double LlcMissRate = 0;
+  double ITlbMissRate = 0;
+  double DTlbMissRate = 0;
+};
+
+/// Measures \p Server (which must already be warmed: JIT mature).
+SteadyStateResult measureSteadyState(const Workload &W,
+                                     const TrafficModel &Traffic,
+                                     vm::Server &Server,
+                                     const SteadyStateParams &P);
+
+} // namespace jumpstart::fleet
+
+#endif // JUMPSTART_FLEET_STEADYSTATE_H

@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The synthetic-website generator: the reproduction's stand-in for the
+/// Facebook website workload (see DESIGN.md substitution table).
+///
+/// The generator emits mini-Hack *source code* -- many units, a long tail
+/// of helper functions with a very flat hotness profile, class hierarchies
+/// with virtual dispatch, and endpoint functions partitioned into semantic
+/// buckets -- then compiles it through the offline compiler into a
+/// bytecode repo, exactly as production deployment would.
+///
+/// Properties engineered to match the paper's workload description
+/// (section II-B/II-C):
+///  - flat profile: no function dominates; a long tail executes;
+///  - per-(region, bucket) endpoint mixes differ, but within a pair the
+///    traffic is homogeneous;
+///  - type polymorphism: some helpers receive different argument types
+///    from different endpoints, so type specialization and its guards
+///    matter;
+///  - data-dependent branching: request ids steer conditions, so block
+///    and call-target profiles carry real information.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_FLEET_WORKLOADGEN_H
+#define JUMPSTART_FLEET_WORKLOADGEN_H
+
+#include "bytecode/Repo.h"
+#include "support/Random.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jumpstart::fleet {
+
+/// Generator knobs.  Defaults produce a site big enough to exhibit the
+/// paper's warmup phenomenology while keeping simulations fast.
+struct WorkloadParams {
+  uint64_t Seed = 2021;
+  uint32_t NumUnits = 60;
+  uint32_t NumEndpoints = 48;
+  uint32_t NumHelpers = 900;
+  uint32_t NumClasses = 90;
+  /// Semantic partitions (the paper's load balancers use 10).
+  uint32_t NumPartitions = 10;
+  /// Zipf exponent of helper hotness; small = flat (paper: "very flat
+  /// execution profile").
+  double Flatness = 0.45;
+  /// Average helpers called directly per endpoint.
+  uint32_t CallsPerEndpoint = 14;
+};
+
+/// The generated application.
+struct Workload {
+  bc::Repo Repo;
+  /// Endpoint functions, index = endpoint id.
+  std::vector<bc::FuncId> Endpoints;
+  /// Semantic partition of each endpoint.
+  std::vector<uint32_t> EndpointPartition;
+  uint32_t NumPartitions = 0;
+  /// The generated source (kept for the examples and debugging).
+  std::vector<std::pair<std::string, std::string>> Sources;
+};
+
+/// Generates and compiles a workload.  Aborts (alwaysAssert) on generator
+/// bugs -- generated code must always compile and verify.
+std::unique_ptr<Workload> generateWorkload(const WorkloadParams &P);
+
+} // namespace jumpstart::fleet
+
+#endif // JUMPSTART_FLEET_WORKLOADGEN_H

@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline compiler: mini-Hack source files -> bytecode repo.
+///
+/// Mirrors HHVM's repo-authoritative pipeline (paper section II-A): the
+/// whole program is compiled ahead of deployment, with global knowledge of
+/// every unit, so cross-unit calls resolve to direct FuncIds and class
+/// hierarchies are fully known.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_FRONTEND_COMPILER_H
+#define JUMPSTART_FRONTEND_COMPILER_H
+
+#include "bytecode/Repo.h"
+#include "runtime/Builtins.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jumpstart::frontend {
+
+/// One source file handed to the offline compiler.
+struct SourceFile {
+  std::string Name;
+  std::string Source;
+};
+
+/// Compiles a whole program (any number of source files) into \p R.
+/// Declarations are gathered globally first, so forward and cross-unit
+/// references work.  \returns diagnostics; empty means success.  On
+/// failure the repo may contain partial declarations and must be
+/// discarded.
+std::vector<std::string> compileProgram(bc::Repo &R,
+                                        const runtime::BuiltinTable &Builtins,
+                                        const std::vector<SourceFile> &Files);
+
+/// Convenience wrapper compiling a single source buffer as unit
+/// \p UnitName.
+std::vector<std::string> compileUnit(bc::Repo &R,
+                                     const runtime::BuiltinTable &Builtins,
+                                     std::string_view UnitName,
+                                     std::string_view Source);
+
+} // namespace jumpstart::frontend
+
+#endif // JUMPSTART_FRONTEND_COMPILER_H

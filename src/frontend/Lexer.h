@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lexer for the mini-Hack source language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_FRONTEND_LEXER_H
+#define JUMPSTART_FRONTEND_LEXER_H
+
+#include "frontend/Token.h"
+
+#include <string_view>
+
+namespace jumpstart::frontend {
+
+/// Produces tokens from a source buffer.  Malformed input yields an Error
+/// token carrying a diagnostic in Text; the lexer never aborts.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Src(Source) {}
+
+  /// Lexes and returns the next token.
+  Token next();
+
+private:
+  void skipTrivia();
+  Token lexNumber();
+  Token lexString();
+  Token lexIdent();
+  Token lexVariable();
+  Token makeToken(TokKind K);
+  Token errorToken(const char *Msg);
+  char peek(size_t Ahead = 0) const;
+  char advance();
+  bool match(char C);
+
+  std::string_view Src;
+  size_t Pos = 0;
+  uint32_t Line = 1;
+};
+
+} // namespace jumpstart::frontend
+
+#endif // JUMPSTART_FRONTEND_LEXER_H

@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens of the mini-Hack source language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_FRONTEND_TOKEN_H
+#define JUMPSTART_FRONTEND_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace jumpstart::frontend {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Error,
+  // Literals and names.
+  IntLit,
+  DblLit,
+  StrLit,
+  Ident,    ///< bare identifier: function/class/method names, keywords.
+  Variable, ///< $name
+  // Keywords (recognized from Ident during lexing).
+  KwFunction,
+  KwClass,
+  KwExtends,
+  KwProp,
+  KwMethod,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  KwNew,
+  KwThis,
+  KwVec,
+  KwDict,
+  // Punctuation and operators.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semi,
+  Arrow,      ///< ->
+  FatArrow,   ///< =>
+  Assign,     ///< =
+  PlusAssign, ///< +=
+  MinusAssign,///< -=
+  DotAssign,  ///< .=
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Dot,
+  Not,
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  AndAnd,
+  OrOr,
+};
+
+/// \returns a printable name for \p K (for diagnostics).
+const char *tokKindName(TokKind K);
+
+/// One lexed token.  Text holds the identifier / literal spelling.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  int64_t IntValue = 0;
+  double DblValue = 0;
+  uint32_t Line = 0;
+};
+
+} // namespace jumpstart::frontend
+
+#endif // JUMPSTART_FRONTEND_TOKEN_H

@@ -1,0 +1,110 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution observation interface.
+///
+/// The interpreter is the single semantic core for every execution tier;
+/// tiers differ in *what is observed* while code runs.  The tier-1
+/// profiling translator attaches a callback that bumps bytecode-block
+/// counters and call-target profiles; the seeder's instrumented optimized
+/// code attaches one that additionally counts Vasm blocks, function entries
+/// and property accesses; steady-state measurement attaches the Vasm
+/// tracer that feeds the micro-architecture simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_INTERP_EXECCALLBACKS_H
+#define JUMPSTART_INTERP_EXECCALLBACKS_H
+
+#include "bytecode/Ids.h"
+#include "runtime/Value.h"
+
+#include <cstdint>
+
+namespace jumpstart::interp {
+
+/// Observation hooks; all default to no-ops.  Invoked only when a callback
+/// object is attached, so the unobserved interpreter stays fast.
+class ExecCallbacks {
+public:
+  virtual ~ExecCallbacks() = default;
+
+  /// A frame for \p Callee was entered from \p Caller (invalid FuncId for
+  /// the request's entry point) with \p NumArgs arguments in \p Args.
+  virtual void onFuncEnter(bc::FuncId Callee, bc::FuncId Caller,
+                           const runtime::Value *Args, uint32_t NumArgs) {
+    (void)Callee;
+    (void)Caller;
+    (void)Args;
+    (void)NumArgs;
+  }
+
+  /// The frame for \p F returned.
+  virtual void onFuncExit(bc::FuncId F) { (void)F; }
+
+  /// Execution entered bytecode basic block \p Block of \p F.
+  virtual void onBlockEnter(bc::FuncId F, uint32_t Block) {
+    (void)F;
+    (void)Block;
+  }
+
+  /// Per-instruction trace filter: when true for \p F, onInstr fires for
+  /// each executed instruction of \p F.  Queried once per frame entry.
+  virtual bool wantsInstrTrace(bc::FuncId F) {
+    (void)F;
+    return false;
+  }
+
+  /// Instruction \p InstrIndex of \p F is about to execute at call depth
+  /// \p Depth (only when wantsInstrTrace(F) returned true).
+  virtual void onInstr(bc::FuncId F, uint32_t InstrIndex, uint32_t Depth) {
+    (void)F;
+    (void)InstrIndex;
+    (void)Depth;
+  }
+
+  /// A virtual (FCallObj) dispatch at \p InstrIndex of \p Caller resolved
+  /// to \p Callee.  Drives the JIT's call-target profiles.
+  virtual void onVirtualCall(bc::FuncId Caller, uint32_t InstrIndex,
+                             bc::FuncId Callee) {
+    (void)Caller;
+    (void)InstrIndex;
+    (void)Callee;
+  }
+
+  /// A dynamically-typed operation at instruction \p InstrIndex of \p F
+  /// observed runtime type \p T (the primary operand or result type).
+  /// Drives the tier-1 type profile used for specialization.
+  virtual void onTypeObserve(bc::FuncId F, uint32_t InstrIndex,
+                             runtime::Type T) {
+    (void)F;
+    (void)InstrIndex;
+    (void)T;
+  }
+
+  /// Property \p Prop of class \p Cls was accessed at simulated address
+  /// \p Addr.  Drives the property-access profile (paper section V-C) and
+  /// the D-cache simulation.
+  virtual void onPropAccess(bc::ClassId Cls, bc::StringId Prop, bool IsWrite,
+                            uint64_t Addr) {
+    (void)Cls;
+    (void)Prop;
+    (void)IsWrite;
+    (void)Addr;
+  }
+
+  /// A container element at simulated address \p Addr was accessed.
+  virtual void onDataAccess(uint64_t Addr, bool IsWrite) {
+    (void)Addr;
+    (void)IsWrite;
+  }
+};
+
+} // namespace jumpstart::interp
+
+#endif // JUMPSTART_INTERP_EXECCALLBACKS_H

@@ -1,0 +1,245 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JIT controller: tiering policy, the retranslate-all pipeline, and
+/// the Jump-Start consumer precompile path.
+///
+/// The controller reproduces the lifecycle behind the paper's Figure 1:
+///
+///   Profiling   -- requests run profiling translations; tier-1 data
+///                  accumulates.  Ends after ProfileRequestTarget requests
+///                  (point "A").
+///   Optimizing  -- retranslate-all: every profiled function is compiled
+///                  in optimized mode into temporary buffers (A..B).
+///   Relocating  -- optimized translations are placed into the code cache
+///                  in the function-sorted order (B..C).
+///   Mature      -- all optimized code reachable; new code gets live
+///                  translations until the live area fills (C..D).
+///
+/// A Jump-Start consumer skips Profiling entirely: it loads the package,
+/// runs Optimizing and Relocating with all cores before serving (paper
+/// Figure 3c).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_JIT_JIT_H
+#define JUMPSTART_JIT_JIT_H
+
+#include "bytecode/BlockCache.h"
+#include "bytecode/Repo.h"
+#include "jit/CodeCache.h"
+#include "jit/Lower.h"
+#include "jit/Region.h"
+#include "jit/TransDb.h"
+#include "jit/TransLayout.h"
+#include "profile/ProfilePackage.h"
+#include "profile/ProfileStore.h"
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace jumpstart::jit {
+
+/// All JIT tunables.  Field-by-field these correspond to HHVM runtime
+/// options; the Jump-Start flags map to the optimizations of paper
+/// section V.
+struct JitConfig {
+  CodeCacheConfig Cache;
+  RegionParams Region;
+  double TypeMonoThreshold = 0.95;
+
+  /// Requests executed with profiling before retranslate-all fires
+  /// (HHVM's ProfileRequests; point "A" of Figure 1).
+  uint64_t ProfileRequestTarget = 300;
+
+  // Cost model (cost units; 1 unit ~ 1 simulated cycle).
+  double InterpCostPerBytecode = 25.0;
+  double ProfileCompileCostPerBytecode = 40.0;
+  double LiveCompileCostPerBytecode = 30.0;
+  double OptCompileCostPerBytecode = 400.0;
+  double RelocateCostPerByte = 0.15;
+
+  // Code-layout optimizations.
+  bool UseExtTsp = true;
+  bool SplitHotCold = true;
+  /// Place optimized translations in C3 order (otherwise compile order).
+  bool UseFunctionSort = true;
+
+  /// ShareJIT comparison mode (paper section III): consumers adopt the
+  /// seeder's machine code directly.  Compilation degrades to cheap
+  /// relocation/patching, but the code must be compiled under sharing
+  /// constraints (no inlining, no embedded absolute addresses), which
+  /// costs steady-state performance -- the trade-off that made HHVM
+  /// choose profile sharing instead.
+  bool ShareJitMode = false;
+
+  // Jump-Start-specific behaviour.
+  /// Instrument optimized code with Vasm block and entry counters (run on
+  /// seeders; paper sections V-A and V-B).
+  bool SeederInstrumentation = false;
+  /// Consume the package's accurate Vasm block counters for layout
+  /// (section V-A optimization).
+  bool UseVasmCounters = true;
+  /// Consume the package's precomputed function order (section V-B /
+  /// category 4).
+  bool UsePackageFuncOrder = true;
+  /// Also pre-compile the package's live-function list before serving
+  /// (the section IV-A alternative HHVM decided against: it removes the
+  /// post-start tracelet tail at the cost of longer consumer init and a
+  /// much longer seeder collection window).
+  bool PrecompileLiveCode = false;
+};
+
+/// Lifecycle phase (see file header).
+enum class JitPhase : uint8_t {
+  Profiling,
+  Optimizing,
+  Relocating,
+  Mature,
+};
+
+const char *jitPhaseName(JitPhase P);
+
+/// One server's JIT.
+class Jit {
+public:
+  Jit(const bc::Repo &R, JitConfig Config = JitConfig());
+
+  //===--------------------------------------------------------------------===
+  // Queries.
+  //===--------------------------------------------------------------------===
+
+  JitPhase phase() const { return Phase; }
+
+  const bc::Repo &repo() const { return R; }
+
+  /// Execution cost (cost units per bytecode) of running \p F right now.
+  double execCostPerBytecode(bc::FuncId F) const;
+
+  /// The translation \p F currently executes, or nullptr (interpreter).
+  const Translation *currentTranslation(bc::FuncId F) const {
+    return Db.best(F);
+  }
+
+  const TransDb &transDb() const { return Db; }
+  TransDb &transDbMutable() { return Db; }
+  CodeCache &codeCache() { return Cache; }
+  bc::BlockCache &blockCache() { return Blocks; }
+  profile::ProfileStore &profileStore() { return Store; }
+  const profile::ProfileStore &profileStore() const { return Store; }
+  /// Seeder-side optimized-code profile (section V data).
+  profile::OptProfile &optProfile() { return OptProf; }
+  /// Property-access counters ("Class::prop" -> count; section V-C).
+  std::unordered_map<std::string, uint64_t> &propCounts() {
+    return PropCounts;
+  }
+  /// Property-affinity counters ("Class::a::b" -> count; the section V-C
+  /// future-work extension).
+  std::unordered_map<std::string, uint64_t> &propAffinity() {
+    return PropAffinity;
+  }
+  const JitConfig &config() const { return Config; }
+
+  /// Total bytes of JITed code produced so far (Figure 1's y-axis):
+  /// profile + live + optimized, whether placed or still in temporary
+  /// buffers.
+  uint64_t totalCodeBytes() const;
+
+  /// True when the JIT has stopped producing code (live area full or no
+  /// pending work and nothing new arriving) -- Figure 1's point "D" is
+  /// when this first holds in Mature phase with a full live area.
+  bool liveAreaFull() const {
+    return Cache.isFull(CodeArea::Live);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Events from the VM server.
+  //===--------------------------------------------------------------------===
+
+  /// A request entered \p F; may enqueue compile jobs per tiering policy.
+  void onFuncEntered(bc::FuncId F);
+
+  /// A request finished; advances the profiling window.
+  void onRequestFinished();
+
+  /// Force the start of retranslate-all (also fired automatically by
+  /// onRequestFinished reaching ProfileRequestTarget).
+  void beginRetranslateAll();
+
+  //===--------------------------------------------------------------------===
+  // Background compilation.
+  //===--------------------------------------------------------------------===
+
+  /// Runs up to \p BudgetUnits of queued compile/relocate work.
+  /// \returns the units actually consumed.
+  double runJitWork(double BudgetUnits);
+
+  bool hasPendingWork() const { return !Jobs.empty(); }
+  size_t pendingJobs() const { return Jobs.size(); }
+
+  //===--------------------------------------------------------------------===
+  // Jump-Start.
+  //===--------------------------------------------------------------------===
+
+  /// Consumer side (Figure 3c): installs \p Pkg's profiles and enqueues
+  /// the full optimize + relocate pipeline.  The caller drives
+  /// runJitWork() to completion before serving.
+  void startConsumerPrecompile(const profile::ProfilePackage &Pkg);
+
+  /// Seeder side: assembles a package from everything this JIT collected.
+  /// The function order is computed with C3 over the tier-2 call graph
+  /// when seeder instrumentation ran, else over the tier-1 graph.
+  profile::ProfilePackage buildPackage(uint32_t Region, uint32_t Bucket,
+                                       uint64_t SeederId,
+                                       uint64_t RepoFingerprint) const;
+
+private:
+  struct Job {
+    enum class Kind : uint8_t {
+      CompileProfile,
+      CompileLive,
+      CompileOptimized,
+      Relocate,
+    } Kind;
+    uint32_t Func = 0;    ///< raw FuncId (compile jobs)
+    uint32_t Trans = 0;   ///< translation id (relocate jobs)
+    double CostLeft = 0;
+  };
+
+  void finishJob(const Job &J);
+  void compileOptimized(bc::FuncId F);
+  void enqueueRelocations();
+  std::vector<uint32_t> computeFuncOrder() const;
+  LayoutOptions layoutOptions() const;
+
+  const bc::Repo &R;
+  JitConfig Config;
+  bc::BlockCache Blocks;
+  CodeCache Cache;
+  TransDb Db;
+  profile::ProfileStore Store;
+  profile::OptProfile OptProf;
+  std::unordered_map<std::string, uint64_t> PropCounts;
+  std::unordered_map<std::string, uint64_t> PropAffinity;
+
+  JitPhase Phase = JitPhase::Profiling;
+  uint64_t ProfiledRequests = 0;
+  std::deque<Job> Jobs;
+  std::unordered_set<uint32_t> Enqueued; ///< funcs with a pending compile
+  bool LiveAreaExhausted = false;
+
+  /// The installed Jump-Start package (consumer mode).
+  std::optional<profile::ProfilePackage> Package;
+};
+
+} // namespace jumpstart::jit
+
+#endif // JUMPSTART_JIT_JIT_H

@@ -1,0 +1,96 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/TransDb.h"
+
+#include "support/Assert.h"
+
+using namespace jumpstart;
+using namespace jumpstart::jit;
+
+std::unordered_map<uint32_t, uint32_t> &TransDb::mapFor(TransKind K) {
+  switch (K) {
+  case TransKind::Live:
+    return LiveMap;
+  case TransKind::Profile:
+    return ProfileMap;
+  case TransKind::Optimized:
+    return OptMap;
+  }
+  unreachable("unhandled TransKind");
+}
+
+const std::unordered_map<uint32_t, uint32_t> &
+TransDb::mapFor(TransKind K) const {
+  return const_cast<TransDb *>(this)->mapFor(K);
+}
+
+Translation &TransDb::create(TransKind Kind,
+                             std::unique_ptr<VasmUnit> Unit) {
+  auto T = std::make_unique<Translation>();
+  T->Id = static_cast<uint32_t>(All.size());
+  T->Kind = Kind;
+  T->Unit = std::move(Unit);
+  // Execution cost: cost units per bytecode covered.  Calls model helper
+  // overhead; everything else retires in about a unit.
+  uint64_t Cost = 0;
+  for (const VBlock &B : T->Unit->Blocks) {
+    for (const VInstr &I : B.Instrs) {
+      switch (I.Kind) {
+      case VKind::Call:
+      case VKind::IndCall:
+        Cost += 4;
+        break;
+      case VKind::Counter:
+        Cost += 2;
+        break;
+      default:
+        Cost += 1;
+        break;
+      }
+    }
+  }
+  T->CostPerBytecode =
+      T->Unit->BytecodeCount
+          ? static_cast<double>(Cost) /
+                static_cast<double>(T->Unit->BytecodeCount)
+          : 1.0;
+  mapFor(Kind)[T->Unit->Func.raw()] = T->Id;
+  All.push_back(std::move(T));
+  return *All.back();
+}
+
+Translation *TransDb::forFunc(bc::FuncId F, TransKind K) {
+  auto &Map = mapFor(K);
+  auto It = Map.find(F.raw());
+  return It == Map.end() ? nullptr : All[It->second].get();
+}
+
+const Translation *TransDb::forFunc(bc::FuncId F, TransKind K) const {
+  return const_cast<TransDb *>(this)->forFunc(F, K);
+}
+
+const Translation *TransDb::best(bc::FuncId F) const {
+  const Translation *Opt = forFunc(F, TransKind::Optimized);
+  if (Opt && Opt->Placed)
+    return Opt;
+  const Translation *Live = forFunc(F, TransKind::Live);
+  if (Live && Live->Placed)
+    return Live;
+  const Translation *Prof = forFunc(F, TransKind::Profile);
+  if (Prof && Prof->Placed)
+    return Prof;
+  return nullptr;
+}
+
+uint64_t TransDb::bytesOfKind(TransKind K) const {
+  uint64_t Total = 0;
+  for (const auto &T : All)
+    if (T->Kind == K)
+      Total += T->Unit->sizeBytes();
+  return Total;
+}

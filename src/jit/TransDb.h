@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-server translation database: every translation the JIT has
+/// produced, indexed by function and kind.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_JIT_TRANSDB_H
+#define JUMPSTART_JIT_TRANSDB_H
+
+#include "jit/Translation.h"
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace jumpstart::jit {
+
+/// Owns all translations of one server's JIT.
+class TransDb {
+public:
+  /// Creates a translation from \p Unit; it starts unplaced.
+  Translation &create(TransKind Kind, std::unique_ptr<VasmUnit> Unit);
+
+  Translation *find(uint32_t Id) {
+    return Id < All.size() ? All[Id].get() : nullptr;
+  }
+
+  /// Current translation of \p F with kind \p K, or nullptr.
+  Translation *forFunc(bc::FuncId F, TransKind K);
+  const Translation *forFunc(bc::FuncId F, TransKind K) const;
+
+  /// The translation that would execute for \p F right now: a placed
+  /// optimized translation wins, then live, then profile.
+  const Translation *best(bc::FuncId F) const;
+
+  size_t size() const { return All.size(); }
+  const std::vector<std::unique_ptr<Translation>> &all() const {
+    return All;
+  }
+
+  /// Total Vasm bytes of translations of kind \p K (placed or not).
+  uint64_t bytesOfKind(TransKind K) const;
+
+private:
+  std::unordered_map<uint32_t, uint32_t> &mapFor(TransKind K);
+  const std::unordered_map<uint32_t, uint32_t> &mapFor(TransKind K) const;
+
+  std::vector<std::unique_ptr<Translation>> All;
+  std::unordered_map<uint32_t, uint32_t> LiveMap;
+  std::unordered_map<uint32_t, uint32_t> ProfileMap;
+  std::unordered_map<uint32_t, uint32_t> OptMap;
+};
+
+} // namespace jumpstart::jit
+
+#endif // JUMPSTART_JIT_TRANSDB_H

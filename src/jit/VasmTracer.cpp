@@ -1,0 +1,162 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/VasmTracer.h"
+
+using namespace jumpstart;
+using namespace jumpstart::jit;
+
+/// Simulated address range of the interpreter's dispatch loop.  The
+/// interpreter itself is compact, hot native code; interpreted bytecode
+/// execution fetches from this small region (poor per-bytecode efficiency
+/// comes from executing many dispatch instructions, not from fetch
+/// misses).
+static constexpr uint64_t kInterpBase = 0x08000000ull;
+static constexpr uint64_t kInterpSize = 16 * 1024;
+
+VasmTracer::VasmTracer(Jit &J, sim::MachineSim &Machine)
+    : J(J), Machine(Machine) {}
+
+void VasmTracer::onFuncEnter(bc::FuncId Callee, bc::FuncId Caller,
+                             const runtime::Value *Args, uint32_t NumArgs) {
+  (void)Caller;
+  (void)Args;
+  (void)NumArgs;
+  Frame F;
+  F.Func = Callee.raw();
+  Frame *Parent = top();
+  if (Parent && Parent->Unit && Parent->Unit->isInlined(Callee)) {
+    // Inlined body: tracing continues within the caller's unit.
+    F.Trans = Parent->Trans;
+    F.Unit = Parent->Unit;
+    F.Inlined = true;
+  } else {
+    const Translation *T = J.transDb().best(Callee);
+    if (T && T->Placed) {
+      F.Trans = T;
+      F.Unit = T->Unit.get();
+    }
+  }
+  Frames.push_back(F);
+}
+
+void VasmTracer::onFuncExit(bc::FuncId F) {
+  (void)F;
+  if (!Frames.empty())
+    Frames.pop_back();
+}
+
+uint64_t VasmTracer::terminatorAddr(const Frame &F,
+                                    uint32_t VasmBlock) const {
+  const VBlock &B = F.Unit->Blocks[VasmBlock];
+  uint64_t Addr = F.Trans->BlockAddrs[VasmBlock];
+  for (size_t I = 0; I + 1 < B.Instrs.size(); ++I)
+    Addr += B.Instrs[I].SizeBytes;
+  return Addr;
+}
+
+void VasmTracer::traceBlock(const Frame &F, uint32_t VasmBlock) {
+  uint64_t Addr = F.Trans->BlockAddrs[VasmBlock];
+  const std::vector<VInstr> &Instrs = F.Unit->Blocks[VasmBlock].Instrs;
+  size_t Count = Instrs.size();
+  // A jump elided at placement does not exist in the code stream.
+  if (Count && VasmBlock < F.Trans->JumpElided.size() &&
+      F.Trans->JumpElided[VasmBlock])
+    --Count;
+  for (size_t I = 0; I < Count; ++I) {
+    Machine.fetch(Addr, Instrs[I].SizeBytes);
+    Addr += Instrs[I].SizeBytes;
+  }
+}
+
+void VasmTracer::onBlockEnter(bc::FuncId FuncId, uint32_t Block) {
+  Frame *F = top();
+  if (!F || !F->Unit || !F->Trans || !F->Trans->Placed)
+    return;
+  uint32_t VB = F->Unit->findBlock(bc::FuncId(F->Func), Block);
+  if (F->Func != FuncId.raw()) {
+    // Events for a function other than the frame's own can only happen
+    // for inlined bodies, which register under their own FuncId.
+    VB = F->Unit->findBlock(FuncId, Block);
+  }
+  if (VB == VasmUnit::kNoBlock)
+    return;
+
+  // Resolve the previous block's conditional branch now that we know
+  // where control actually went.  "Taken" is a *layout* property: the
+  // branch falls through when the next executed block is placed
+  // physically adjacent; any other placement makes this a taken branch.
+  // This is exactly the lever Ext-TSP block layout pulls (paper section
+  // V-A): laying the hot successor next to the block converts its taken
+  // branches into fallthroughs.
+  if (F->LastVasmBlock != VasmUnit::kNoBlock) {
+    const VBlock &Last = F->Unit->Blocks[F->LastVasmBlock];
+    if (!Last.Instrs.empty() &&
+        Last.Instrs.back().Kind == VKind::CondBranch) {
+      uint64_t LastEnd = F->Trans->BlockAddrs[F->LastVasmBlock] +
+                         Last.sizeBytes();
+      uint64_t NextAddr = F->Trans->BlockAddrs[VB];
+      bool Taken = NextAddr != LastEnd;
+      Machine.condBranch(terminatorAddr(*F, F->LastVasmBlock), Taken,
+                         NextAddr);
+    }
+  }
+
+  traceBlock(*F, VB);
+  F->LastVasmBlock = VB;
+}
+
+bool VasmTracer::wantsInstrTrace(bc::FuncId F) {
+  // Per-instruction events are only needed for interpreted functions, to
+  // model the dispatch loop's footprint.
+  const Translation *T = J.transDb().best(F);
+  return !(T && T->Placed);
+}
+
+void VasmTracer::onInstr(bc::FuncId F, uint32_t InstrIndex, uint32_t Depth) {
+  (void)F;
+  (void)InstrIndex;
+  (void)Depth;
+  // One interpreted bytecode: several dispatch-loop instructions.  Model
+  // as three fetches walking a small hot region.
+  for (int I = 0; I < 3; ++I) {
+    Machine.fetch(kInterpBase + (InterpCursor % kInterpSize), 12);
+    InterpCursor += 64;
+  }
+}
+
+void VasmTracer::onVirtualCall(bc::FuncId Caller, uint32_t InstrIndex,
+                               bc::FuncId Callee) {
+  (void)Caller;
+  (void)InstrIndex;
+  Frame *F = top();
+  if (!F || !F->Unit || !F->Trans)
+    return;
+  // Devirtualized or inlined sites compile to guarded direct calls; only
+  // genuinely indirect sites stress the target predictor.
+  if (F->Unit->isInlined(Callee))
+    return;
+  uint64_t Target = 0;
+  const Translation *T = J.transDb().best(Callee);
+  if (T && T->Placed)
+    Target = T->entryAddr();
+  uint64_t Pc = F->LastVasmBlock != VasmUnit::kNoBlock
+                    ? terminatorAddr(*F, F->LastVasmBlock)
+                    : 0;
+  Machine.indirectBranch(Pc, Target);
+}
+
+void VasmTracer::onPropAccess(bc::ClassId Cls, bc::StringId Prop,
+                              bool IsWrite, uint64_t Addr) {
+  (void)Cls;
+  (void)Prop;
+  Machine.dataAccess(Addr, IsWrite);
+}
+
+void VasmTracer::onDataAccess(uint64_t Addr, bool IsWrite) {
+  Machine.dataAccess(Addr, IsWrite);
+}

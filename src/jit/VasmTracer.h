@@ -1,0 +1,78 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Vasm shadow tracer: "executes" the laid-out machine code.
+///
+/// While the interpreter runs a request semantically, the tracer follows
+/// the placed Vasm blocks of the translations each function executes in,
+/// feeding the machine simulator: instruction fetches at the blocks'
+/// placed addresses, conditional-branch outcomes (resolved by observing
+/// which block executes next), indirect-call targets for virtual dispatch,
+/// and the actual data addresses of property and container accesses.
+///
+/// This is how every layout decision -- Ext-TSP block order, hot/cold
+/// placement, the function order in the code cache, property slot
+/// assignment -- becomes visible to the caches, TLBs and branch predictors
+/// of Figure 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_JIT_VASMTRACER_H
+#define JUMPSTART_JIT_VASMTRACER_H
+
+#include "interp/ExecCallbacks.h"
+#include "jit/Jit.h"
+#include "sim/Machine.h"
+
+#include <vector>
+
+namespace jumpstart::jit {
+
+/// Attach to the interpreter during steady-state measurement runs.
+class VasmTracer : public interp::ExecCallbacks {
+public:
+  VasmTracer(Jit &J, sim::MachineSim &Machine);
+
+  void onFuncEnter(bc::FuncId Callee, bc::FuncId Caller,
+                   const runtime::Value *Args, uint32_t NumArgs) override;
+  void onFuncExit(bc::FuncId F) override;
+  void onBlockEnter(bc::FuncId F, uint32_t Block) override;
+  bool wantsInstrTrace(bc::FuncId F) override;
+  void onInstr(bc::FuncId F, uint32_t InstrIndex, uint32_t Depth) override;
+  void onVirtualCall(bc::FuncId Caller, uint32_t InstrIndex,
+                     bc::FuncId Callee) override;
+  void onPropAccess(bc::ClassId Cls, bc::StringId Prop, bool IsWrite,
+                    uint64_t Addr) override;
+  void onDataAccess(uint64_t Addr, bool IsWrite) override;
+
+private:
+  struct Frame {
+    uint32_t Func = 0;
+    /// The translation whose blocks this frame traces (null: interpreted).
+    const Translation *Trans = nullptr;
+    const VasmUnit *Unit = nullptr;
+    /// Whether Unit belongs to a caller that inlined this function.
+    bool Inlined = false;
+    /// Previously traced Vasm block (to resolve branch outcomes).
+    uint32_t LastVasmBlock = VasmUnit::kNoBlock;
+  };
+
+  Frame *top() { return Frames.empty() ? nullptr : &Frames.back(); }
+  void traceBlock(const Frame &F, uint32_t VasmBlock);
+  uint64_t terminatorAddr(const Frame &F, uint32_t VasmBlock) const;
+
+  Jit &J;
+  sim::MachineSim &Machine;
+  std::vector<Frame> Frames;
+  /// Round-robin cursor for interpreter-loop fetches.
+  uint64_t InterpCursor = 0;
+};
+
+} // namespace jumpstart::jit
+
+#endif // JUMPSTART_JIT_VASMTRACER_H

@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/CallGraph.h"
+
+#include "support/Assert.h"
+
+using namespace jumpstart;
+using namespace jumpstart::layout;
+
+void CallGraph::setNode(uint32_t Id, uint32_t SizeBytes, uint64_t Samples) {
+  if (Nodes.size() <= Id)
+    Nodes.resize(Id + 1);
+  Nodes[Id].SizeBytes = SizeBytes;
+  Nodes[Id].Samples = Samples;
+}
+
+void CallGraph::addArc(uint32_t Caller, uint32_t Callee, uint64_t Weight) {
+  if (Nodes.size() <= Caller)
+    Nodes.resize(Caller + 1);
+  if (Nodes.size() <= Callee)
+    Nodes.resize(Callee + 1);
+  uint64_t Key = (static_cast<uint64_t>(Caller) << 32) | Callee;
+  auto It = ArcIndex.find(Key);
+  if (It != ArcIndex.end()) {
+    Arcs[It->second].Weight += Weight;
+    return;
+  }
+  ArcIndex.emplace(Key, Arcs.size());
+  Arcs.push_back(CgArc{Caller, Callee, Weight});
+}
+
+uint32_t CallGraph::hottestCaller(uint32_t Callee) const {
+  uint32_t Best = ~0u;
+  uint64_t BestWeight = 0;
+  for (const CgArc &A : Arcs) {
+    if (A.Callee != Callee || A.Caller == A.Callee)
+      continue;
+    if (A.Weight > BestWeight) {
+      BestWeight = A.Weight;
+      Best = A.Caller;
+    }
+  }
+  return Best;
+}

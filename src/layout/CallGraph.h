@@ -1,0 +1,70 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A weighted, directed call graph for function-sorting (paper section
+/// V-B).  Nodes are functions with a code size and a hotness (sample
+/// count); arcs carry call frequencies.
+///
+/// Jump-Start's contribution here is *where the arcs come from*: before
+/// Jump-Start the graph was built from tier-1 profiling, which has no
+/// inlining and therefore misrepresents the tier-2 code; with Jump-Start,
+/// seeders instrument the entries of optimized functions and count
+/// caller/callee pairs, producing a graph that matches what actually runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_LAYOUT_CALLGRAPH_H
+#define JUMPSTART_LAYOUT_CALLGRAPH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace jumpstart::layout {
+
+/// One node (function) in the call graph.
+struct CgNode {
+  uint32_t SizeBytes = 0;
+  uint64_t Samples = 0;
+};
+
+/// One weighted arc caller -> callee.
+struct CgArc {
+  uint32_t Caller = 0;
+  uint32_t Callee = 0;
+  uint64_t Weight = 0;
+};
+
+/// The call-graph container.  Node ids are dense and supplied by the
+/// caller (translation ids or FuncId raws).
+class CallGraph {
+public:
+  /// Ensures node \p Id exists and sets its attributes.
+  void setNode(uint32_t Id, uint32_t SizeBytes, uint64_t Samples);
+
+  /// Accumulates weight onto arc \p Caller -> \p Callee.
+  void addArc(uint32_t Caller, uint32_t Callee, uint64_t Weight);
+
+  size_t numNodes() const { return Nodes.size(); }
+  const CgNode &node(uint32_t Id) const { return Nodes[Id]; }
+  const std::vector<CgArc> &arcs() const { return Arcs; }
+
+  /// \returns the hottest caller of \p Callee (the incoming arc with the
+  /// largest weight), or ~0u when it has none.
+  uint32_t hottestCaller(uint32_t Callee) const;
+
+private:
+  std::vector<CgNode> Nodes;
+  std::vector<CgArc> Arcs;
+  std::unordered_map<uint64_t, size_t> ArcIndex;
+};
+
+} // namespace jumpstart::layout
+
+#endif // JUMPSTART_LAYOUT_CALLGRAPH_H

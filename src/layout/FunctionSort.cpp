@@ -1,0 +1,180 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/FunctionSort.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace jumpstart;
+using namespace jumpstart::layout;
+
+namespace {
+
+/// Shared cluster bookkeeping for both sorting algorithms.
+struct ClusterSet {
+  explicit ClusterSet(const CallGraph &G) : G(G) {
+    size_t N = G.numNodes();
+    ClusterOf.resize(N);
+    Clusters.resize(N);
+    for (uint32_t I = 0; I < N; ++I) {
+      ClusterOf[I] = I;
+      Clusters[I] = {I};
+    }
+  }
+
+  uint64_t bytes(uint32_t C) const {
+    uint64_t Total = 0;
+    for (uint32_t N : Clusters[C])
+      Total += G.node(N).SizeBytes;
+    return Total;
+  }
+
+  uint64_t samples(uint32_t C) const {
+    uint64_t Total = 0;
+    for (uint32_t N : Clusters[C])
+      Total += G.node(N).Samples;
+    return Total;
+  }
+
+  /// Appends cluster \p B after cluster \p A; B empties.
+  void merge(uint32_t A, uint32_t B) {
+    assert(A != B && "cannot merge a cluster with itself");
+    for (uint32_t N : Clusters[B])
+      ClusterOf[N] = A;
+    Clusters[A].insert(Clusters[A].end(), Clusters[B].begin(),
+                       Clusters[B].end());
+    Clusters[B].clear();
+  }
+
+  /// Emits all nonempty clusters ordered by \p Less, concatenated.
+  template <typename Cmp> std::vector<uint32_t> emit(Cmp Less) const {
+    std::vector<uint32_t> Ids;
+    for (uint32_t C = 0; C < Clusters.size(); ++C)
+      if (!Clusters[C].empty())
+        Ids.push_back(C);
+    std::stable_sort(Ids.begin(), Ids.end(), Less);
+    std::vector<uint32_t> Order;
+    Order.reserve(G.numNodes());
+    for (uint32_t C : Ids)
+      for (uint32_t N : Clusters[C])
+        Order.push_back(N);
+    return Order;
+  }
+
+  const CallGraph &G;
+  std::vector<uint32_t> ClusterOf;
+  std::vector<std::vector<uint32_t>> Clusters;
+};
+
+} // namespace
+
+std::vector<uint32_t> jumpstart::layout::c3Order(const CallGraph &G,
+                                                 const C3Params &Params) {
+  ClusterSet CS(G);
+
+  // Visit functions in decreasing hotness (ties by id for determinism).
+  std::vector<uint32_t> ByHotness(G.numNodes());
+  std::iota(ByHotness.begin(), ByHotness.end(), 0u);
+  std::stable_sort(ByHotness.begin(), ByHotness.end(),
+                   [&](uint32_t A, uint32_t B) {
+                     return G.node(A).Samples > G.node(B).Samples;
+                   });
+
+  for (uint32_t F : ByHotness) {
+    if (G.node(F).Samples == 0)
+      break; // the rest are cold; leave them in their own clusters
+    uint32_t Caller = G.hottestCaller(F);
+    if (Caller == ~0u)
+      continue;
+    uint32_t CallerCluster = CS.ClusterOf[Caller];
+    uint32_t CalleeCluster = CS.ClusterOf[F];
+    if (CallerCluster == CalleeCluster)
+      continue;
+    // C3 appends the callee's cluster to the caller's, growing the call
+    // chain, but never beyond the size cap (past that, locality gains
+    // vanish and the merge only hurts the density sort).
+    if (CS.bytes(CallerCluster) + CS.bytes(CalleeCluster) >
+        Params.MaxClusterBytes)
+      continue;
+    CS.merge(CallerCluster, CalleeCluster);
+  }
+
+  // Final order: clusters by density = samples / bytes, descending.
+  return CS.emit([&](uint32_t A, uint32_t B) {
+    double DensA = static_cast<double>(CS.samples(A)) /
+                   static_cast<double>(std::max<uint64_t>(1, CS.bytes(A)));
+    double DensB = static_cast<double>(CS.samples(B)) /
+                   static_cast<double>(std::max<uint64_t>(1, CS.bytes(B)));
+    return DensA > DensB;
+  });
+}
+
+std::vector<uint32_t> jumpstart::layout::pettisHansenOrder(const CallGraph &G) {
+  ClusterSet CS(G);
+
+  // Undirected arc weights, heaviest first.
+  struct UArc {
+    uint32_t A;
+    uint32_t B;
+    uint64_t W;
+  };
+  std::vector<UArc> UArcs;
+  for (const CgArc &Arc : G.arcs()) {
+    if (Arc.Caller == Arc.Callee)
+      continue;
+    UArcs.push_back(UArc{Arc.Caller, Arc.Callee, Arc.Weight});
+  }
+  std::stable_sort(UArcs.begin(), UArcs.end(),
+                   [](const UArc &X, const UArc &Y) { return X.W > Y.W; });
+
+  for (const UArc &Arc : UArcs) {
+    uint32_t CA = CS.ClusterOf[Arc.A];
+    uint32_t CB = CS.ClusterOf[Arc.B];
+    if (CA != CB)
+      CS.merge(CA, CB);
+  }
+
+  // Clusters by total samples, descending.
+  return CS.emit([&](uint32_t A, uint32_t B) {
+    return CS.samples(A) > CS.samples(B);
+  });
+}
+
+std::vector<uint32_t> jumpstart::layout::originalOrder(const CallGraph &G) {
+  std::vector<uint32_t> Order(G.numNodes());
+  std::iota(Order.begin(), Order.end(), 0u);
+  return Order;
+}
+
+double jumpstart::layout::weightedCallDistance(
+    const CallGraph &G, const std::vector<uint32_t> &Order) {
+  assert(Order.size() == G.numNodes() && "order must cover all nodes");
+  std::vector<uint64_t> Start(G.numNodes(), 0);
+  uint64_t Offset = 0;
+  for (uint32_t N : Order) {
+    Start[N] = Offset;
+    Offset += G.node(N).SizeBytes;
+  }
+  double WeightedDist = 0;
+  double TotalWeight = 0;
+  for (const CgArc &A : G.arcs()) {
+    if (A.Caller == A.Callee)
+      continue;
+    uint64_t DA = Start[A.Caller];
+    uint64_t DB = Start[A.Callee];
+    uint64_t Dist = DA > DB ? DA - DB : DB - DA;
+    WeightedDist +=
+        static_cast<double>(A.Weight) * static_cast<double>(Dist);
+    TotalWeight += static_cast<double>(A.Weight);
+  }
+  if (TotalWeight == 0)
+    return 0;
+  return WeightedDist / TotalWeight;
+}

@@ -1,0 +1,59 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Function-sorting algorithms over a weighted call graph.
+///
+/// C3 (call-chain clustering; Ottoni & Maher, "Optimizing Function
+/// Placement for Large-Scale Data-Center Applications", CGO 2017) is the
+/// algorithm HHVM uses to order optimized translations in the code cache
+/// (paper section V-B).  Pettis-Hansen function ordering (PLDI 1990) is
+/// implemented as the classical baseline for the micro-benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_LAYOUT_FUNCTIONSORT_H
+#define JUMPSTART_LAYOUT_FUNCTIONSORT_H
+
+#include "layout/CallGraph.h"
+
+#include <vector>
+
+namespace jumpstart::layout {
+
+/// C3 parameters.
+struct C3Params {
+  /// Clusters stop growing past this size (the CGO'17 paper uses the huge
+  /// page size; scaled down to our simulated code cache).
+  uint64_t MaxClusterBytes = 64u << 10;
+};
+
+/// Computes a C3 linear order of all node ids.
+///
+/// Functions are visited in decreasing hotness; each function's cluster is
+/// appended after its hottest caller's cluster when the merge respects the
+/// size cap.  Final clusters are sorted by density (hotness / size).
+std::vector<uint32_t> c3Order(const CallGraph &G,
+                              const C3Params &Params = C3Params());
+
+/// Pettis-Hansen function ordering: repeatedly merges the two clusters
+/// joined by the heaviest remaining arc (undirected), concatenating them
+/// in the orientation that puts the heavier endpoints closer together.
+std::vector<uint32_t> pettisHansenOrder(const CallGraph &G);
+
+/// The trivial baseline: nodes in id (creation) order.
+std::vector<uint32_t> originalOrder(const CallGraph &G);
+
+/// Evaluates an order: the weighted average distance (in bytes) between
+/// the starts of caller and callee over all arcs.  Lower is better
+/// (i-cache / i-TLB locality proxy).
+double weightedCallDistance(const CallGraph &G,
+                            const std::vector<uint32_t> &Order);
+
+} // namespace jumpstart::layout
+
+#endif // JUMPSTART_LAYOUT_FUNCTIONSORT_H

@@ -1,0 +1,33 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "layout/HotCold.h"
+
+#include "support/Assert.h"
+
+using namespace jumpstart;
+using namespace jumpstart::layout;
+
+HotColdSplit jumpstart::layout::splitHotCold(
+    const Cfg &G, const std::vector<uint32_t> &Order, double ColdRatio) {
+  assert(Order.size() == G.numBlocks() && "order must cover all blocks");
+  HotColdSplit Result;
+  if (Order.empty())
+    return Result;
+
+  uint64_t EntryWeight = G.block(0).Weight;
+  double Threshold = static_cast<double>(EntryWeight) * ColdRatio;
+  for (uint32_t Block : Order) {
+    bool IsCold = Block != 0 && EntryWeight > 0 &&
+                  static_cast<double>(G.block(Block).Weight) < Threshold;
+    if (IsCold)
+      Result.Cold.push_back(Block);
+    else
+      Result.Hot.push_back(Block);
+  }
+  return Result;
+}

@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/PackageIo.h"
+
+#include <cstdio>
+
+using namespace jumpstart;
+using namespace jumpstart::profile;
+
+bool jumpstart::profile::readFileBytes(const std::string &Path,
+                                       std::vector<uint8_t> &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  Out.clear();
+  uint8_t Buffer[64 * 1024];
+  size_t N;
+  while ((N = std::fread(Buffer, 1, sizeof(Buffer), F)) > 0)
+    Out.insert(Out.end(), Buffer, Buffer + N);
+  bool Ok = std::ferror(F) == 0;
+  std::fclose(F);
+  return Ok;
+}
+
+bool jumpstart::profile::writeFileBytes(const std::string &Path,
+                                        const std::vector<uint8_t> &Bytes) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  size_t Written = Bytes.empty()
+                       ? 0
+                       : std::fwrite(Bytes.data(), 1, Bytes.size(), F);
+  bool Ok = Written == Bytes.size() && std::fflush(F) == 0;
+  std::fclose(F);
+  return Ok;
+}
+
+bool jumpstart::profile::savePackageFile(const ProfilePackage &Pkg,
+                                         const std::string &Path) {
+  return writeFileBytes(Path, Pkg.serialize());
+}
+
+bool jumpstart::profile::loadPackageFile(const std::string &Path,
+                                         ProfilePackage &Out) {
+  std::vector<uint8_t> Bytes;
+  if (!readFileBytes(Path, Bytes))
+    return false;
+  return ProfilePackage::deserialize(Bytes, Out);
+}

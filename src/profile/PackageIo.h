@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// File persistence for profile packages: what the distribution layer and
+/// the problematic-data database (paper section VI-A) store on disk, and
+/// what the jit_replay debugging workflow loads back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_PROFILE_PACKAGEIO_H
+#define JUMPSTART_PROFILE_PACKAGEIO_H
+
+#include "profile/ProfilePackage.h"
+
+#include <string>
+
+namespace jumpstart::profile {
+
+/// Writes \p Pkg to \p Path.  \returns false on any I/O failure.
+bool savePackageFile(const ProfilePackage &Pkg, const std::string &Path);
+
+/// Reads a package from \p Path.  \returns false on I/O failure or any
+/// corruption (deserialize()'s checks apply).
+bool loadPackageFile(const std::string &Path, ProfilePackage &Out);
+
+/// Reads a whole file into \p Out.  \returns false on failure.
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Out);
+
+/// Writes \p Bytes to \p Path.  \returns false on failure.
+bool writeFileBytes(const std::string &Path,
+                    const std::vector<uint8_t> &Bytes);
+
+} // namespace jumpstart::profile
+
+#endif // JUMPSTART_PROFILE_PACKAGEIO_H

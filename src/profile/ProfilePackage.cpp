@@ -1,0 +1,214 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/ProfilePackage.h"
+
+#include "support/Hashing.h"
+
+using namespace jumpstart;
+using namespace jumpstart::profile;
+
+namespace {
+
+void encodeTypeObservation(BlobEncoder &E, const TypeObservation &T) {
+  for (uint64_t C : T.Counts)
+    E.writeVarint(C);
+}
+
+TypeObservation decodeTypeObservation(BlobDecoder &D) {
+  TypeObservation T;
+  for (uint64_t &C : T.Counts)
+    C = D.readVarint();
+  return T;
+}
+
+void encodeFuncProfile(BlobEncoder &E, const FuncProfile &F) {
+  E.writeVarint(F.Func);
+  E.writeVarint(F.EntryCount);
+  E.writeU64Vector(F.BlockCounts);
+  E.writeVarint(F.CallTargets.size());
+  for (const auto &[Site, Targets] : F.CallTargets) {
+    E.writeVarint(Site);
+    E.writeVarint(Targets.size());
+    for (const auto &[Callee, Count] : Targets) {
+      E.writeVarint(Callee);
+      E.writeVarint(Count);
+    }
+  }
+  E.writeVarint(F.ParamTypes.size());
+  for (const TypeObservation &T : F.ParamTypes)
+    encodeTypeObservation(E, T);
+  E.writeVarint(F.LoadTypes.size());
+  for (const auto &[Instr, T] : F.LoadTypes) {
+    E.writeVarint(Instr);
+    encodeTypeObservation(E, T);
+  }
+}
+
+bool decodeFuncProfile(BlobDecoder &D, FuncProfile &F) {
+  F.Func = static_cast<uint32_t>(D.readVarint());
+  F.EntryCount = D.readVarint();
+  F.BlockCounts = D.readU64Vector();
+  uint64_t NumSites = D.readVarint();
+  if (NumSites > D.remaining())
+    return false;
+  for (uint64_t I = 0; I < NumSites && D.ok(); ++I) {
+    uint32_t Site = static_cast<uint32_t>(D.readVarint());
+    uint64_t NumTargets = D.readVarint();
+    if (NumTargets > D.remaining())
+      return false;
+    auto &Targets = F.CallTargets[Site];
+    for (uint64_t J = 0; J < NumTargets && D.ok(); ++J) {
+      uint32_t Callee = static_cast<uint32_t>(D.readVarint());
+      Targets[Callee] = D.readVarint();
+    }
+  }
+  uint64_t NumParams = D.readVarint();
+  if (NumParams > D.remaining() + 1)
+    return false;
+  for (uint64_t I = 0; I < NumParams && D.ok(); ++I)
+    F.ParamTypes.push_back(decodeTypeObservation(D));
+  uint64_t NumLoads = D.readVarint();
+  if (NumLoads > D.remaining() + 1)
+    return false;
+  for (uint64_t I = 0; I < NumLoads && D.ok(); ++I) {
+    uint32_t Instr = static_cast<uint32_t>(D.readVarint());
+    F.LoadTypes[Instr] = decodeTypeObservation(D);
+  }
+  return D.ok();
+}
+
+} // namespace
+
+std::vector<uint8_t> ProfilePackage::serialize() const {
+  BlobEncoder Payload;
+  Payload.writeFixed64(RepoFingerprint);
+  Payload.writeVarint(Region);
+  Payload.writeVarint(Bucket);
+  Payload.writeFixed64(SeederId);
+
+  // Category 1: preload lists.
+  Payload.writeU32Vector(Preload.Units);
+  Payload.writeU32Vector(Preload.Strings);
+  Payload.writeU32Vector(Preload.Classes);
+
+  // Category 2: tier-1 function profiles.
+  Payload.writeVarint(Funcs.size());
+  for (const FuncProfile &F : Funcs)
+    encodeFuncProfile(Payload, F);
+
+  // Category 3: optimized-code profile.
+  Payload.writeVarint(Opt.VasmBlockCounts.size());
+  for (const auto &[Func, Counts] : Opt.VasmBlockCounts) {
+    Payload.writeVarint(Func);
+    Payload.writeU64Vector(Counts);
+  }
+  Payload.writeVarint(Opt.CallArcs.size());
+  for (const auto &[Arc, Count] : Opt.CallArcs) {
+    Payload.writeVarint(Arc.first);
+    Payload.writeVarint(Arc.second);
+    Payload.writeVarint(Count);
+  }
+  Payload.writeStringU64Map(Opt.PropAccessCounts);
+  Payload.writeStringU64Map(Opt.PropAffinity);
+
+  // Category 4: intermediate results.
+  Payload.writeU32Vector(Intermediate.FuncOrder);
+  Payload.writeU32Vector(Intermediate.LiveFuncs);
+
+  // Envelope: magic, version, payload length, payload, checksum.
+  BlobEncoder Envelope;
+  Envelope.writeFixed64(kMagic);
+  Envelope.writeVarint(kFormatVersion);
+  const std::vector<uint8_t> &Body = Payload.bytes();
+  Envelope.writeVarint(Body.size());
+  for (uint8_t B : Body)
+    Envelope.writeByte(B);
+  Envelope.writeFixed64(fnv1a(Body.data(), Body.size()));
+  return Envelope.takeBytes();
+}
+
+bool ProfilePackage::deserialize(const std::vector<uint8_t> &Bytes,
+                                 ProfilePackage &Out) {
+  BlobDecoder D(Bytes);
+  if (D.readFixed64() != kMagic)
+    return false;
+  if (D.readVarint() != kFormatVersion)
+    return false;
+  uint64_t BodyLen = D.readVarint();
+  if (!D.ok() || BodyLen > D.remaining())
+    return false;
+  const uint8_t *Body = Bytes.data() + D.position();
+  BlobDecoder Trailer(Body + BodyLen, D.remaining() - BodyLen);
+  if (Trailer.readFixed64() != fnv1a(Body, BodyLen))
+    return false;
+
+  BlobDecoder P(Body, BodyLen);
+  Out = ProfilePackage();
+  Out.RepoFingerprint = P.readFixed64();
+  Out.Region = static_cast<uint32_t>(P.readVarint());
+  Out.Bucket = static_cast<uint32_t>(P.readVarint());
+  Out.SeederId = P.readFixed64();
+
+  Out.Preload.Units = P.readU32Vector();
+  Out.Preload.Strings = P.readU32Vector();
+  Out.Preload.Classes = P.readU32Vector();
+
+  uint64_t NumFuncs = P.readVarint();
+  if (NumFuncs > P.remaining())
+    return false;
+  Out.Funcs.reserve(NumFuncs);
+  for (uint64_t I = 0; I < NumFuncs && P.ok(); ++I) {
+    FuncProfile F;
+    if (!decodeFuncProfile(P, F))
+      return false;
+    Out.Funcs.push_back(std::move(F));
+  }
+
+  uint64_t NumVasm = P.readVarint();
+  if (NumVasm > P.remaining())
+    return false;
+  for (uint64_t I = 0; I < NumVasm && P.ok(); ++I) {
+    uint32_t Func = static_cast<uint32_t>(P.readVarint());
+    Out.Opt.VasmBlockCounts[Func] = P.readU64Vector();
+  }
+  uint64_t NumArcs = P.readVarint();
+  if (NumArcs > P.remaining())
+    return false;
+  for (uint64_t I = 0; I < NumArcs && P.ok(); ++I) {
+    uint32_t Caller = static_cast<uint32_t>(P.readVarint());
+    uint32_t Callee = static_cast<uint32_t>(P.readVarint());
+    Out.Opt.CallArcs[{Caller, Callee}] = P.readVarint();
+  }
+  Out.Opt.PropAccessCounts = P.readStringU64Map();
+  Out.Opt.PropAffinity = P.readStringU64Map();
+  Out.Intermediate.FuncOrder = P.readU32Vector();
+  Out.Intermediate.LiveFuncs = P.readU32Vector();
+  return P.atEnd();
+}
+
+uint64_t ProfilePackage::totalSamples() const {
+  uint64_t Sum = 0;
+  for (const FuncProfile &F : Funcs)
+    Sum += F.totalSamples();
+  return Sum;
+}
+
+size_t ProfilePackage::numProfiledFuncs() const {
+  size_t N = 0;
+  for (const FuncProfile &F : Funcs)
+    if (F.totalSamples() > 0)
+      ++N;
+  return N;
+}
+
+const FuncProfile *ProfilePackage::findFunc(uint32_t Func) const {
+  for (const FuncProfile &F : Funcs)
+    if (F.Func == Func)
+      return &F;
+  return nullptr;
+}

@@ -1,0 +1,160 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Jump-Start profile-data package (paper section IV-B).
+///
+/// The package carries the four data categories the paper enumerates:
+///
+///   1. Necessary global data from the bytecode repo: ordered preload
+///      lists of units, literal strings and classes, so a consumer can
+///      initialize in-memory metadata before any request runs (and do so
+///      in an order that preserves data locality).
+///   2. JIT profile data: per-function bytecode-block counters, call-target
+///      profiles for virtual dispatch, and runtime-type observations --
+///      everything the tier-2 region compiler needs to produce optimized
+///      translations.
+///   3. JIT profile data for optimized code: the seeder-side Vasm block
+///      counters, the tier-2 caller/callee entry counters, and the
+///      property-access counters feeding the section V optimizations.
+///   4. Certain intermediate JIT results: the function order for code-cache
+///      placement, precomputed on the seeder so consumers skip the C3 run.
+///
+/// The wire format is a checksummed, versioned blob.  Deserialization is
+/// fully defensive: corruption yields a clean failure, never a crash
+/// (section VI's fallback machinery depends on this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_PROFILE_PROFILEPACKAGE_H
+#define JUMPSTART_PROFILE_PROFILEPACKAGE_H
+
+#include "bytecode/Ids.h"
+#include "profile/TypeObservation.h"
+#include "support/Blob.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace jumpstart::profile {
+
+/// Tier-1 profile for one function (category 2).
+struct FuncProfile {
+  uint32_t Func = 0; ///< raw FuncId
+  /// Times the function was entered while profiling.
+  uint64_t EntryCount = 0;
+  /// Execution count per bytecode basic block.
+  std::vector<uint64_t> BlockCounts;
+  /// Call-target profiles: instruction index of an FCallObj site -> callee
+  /// FuncId -> count.  Ordered maps keep serialization deterministic.
+  std::map<uint32_t, std::map<uint32_t, uint64_t>> CallTargets;
+  /// Observed parameter types (index = parameter slot).
+  std::vector<TypeObservation> ParamTypes;
+  /// Observed result types at property/element loads, keyed by
+  /// instruction index.
+  std::map<uint32_t, TypeObservation> LoadTypes;
+
+  uint64_t totalSamples() const {
+    uint64_t Sum = 0;
+    for (uint64_t C : BlockCounts)
+      Sum += C;
+    return Sum;
+  }
+};
+
+/// Seeder-side profile of the *optimized* code (category 3).
+struct OptProfile {
+  /// Vasm block counters per function: raw FuncId -> counter per Vasm
+  /// block id of that function's optimized translation.
+  std::map<uint32_t, std::vector<uint64_t>> VasmBlockCounts;
+  /// Tier-2 call graph: (caller raw FuncId, callee raw FuncId) -> entries.
+  /// Collected by instrumenting optimized-function entries, so inlined
+  /// calls do not appear -- exactly the property section V-B needs.
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> CallArcs;
+  /// Property-access counters keyed "Class::prop" (section V-C).
+  std::unordered_map<std::string, uint64_t> PropAccessCounts;
+  /// Property-affinity counters: consecutive accesses to two properties
+  /// of the same class, keyed "Class::propA::propB" with the property
+  /// names in lexicographic order.  Powers the affinity-based ordering
+  /// the paper leaves as future work ("previous work has also explored
+  /// using the affinity of the fields ... exploring this opportunity
+  /// inside HHVM is left for future work", section V-C).
+  std::unordered_map<std::string, uint64_t> PropAffinity;
+
+  bool empty() const {
+    return VasmBlockCounts.empty() && CallArcs.empty() &&
+           PropAccessCounts.empty() && PropAffinity.empty();
+  }
+};
+
+/// Repo global-data preload lists (category 1), in load order.
+struct PreloadLists {
+  std::vector<uint32_t> Units;
+  std::vector<uint32_t> Strings;
+  std::vector<uint32_t> Classes;
+};
+
+/// Precomputed intermediate JIT results (category 4).
+struct IntermediateResults {
+  /// The linear function order for code-cache placement (raw FuncIds),
+  /// produced by running C3 on the seeder.
+  std::vector<uint32_t> FuncOrder;
+  /// Functions the seeder compiled through the tracelet (live) path --
+  /// code reached after profiling ended.  Consumers normally leave these
+  /// to their own live JIT (the paper's section IV-A trade-off); with
+  /// JitConfig::PrecompileLiveCode they are compiled before serving,
+  /// reproducing the alternative the paper considered and rejected.
+  std::vector<uint32_t> LiveFuncs;
+};
+
+/// The complete package.
+struct ProfilePackage {
+  /// Bumped on any wire-format change; consumers reject other versions.
+  static constexpr uint32_t kFormatVersion = 4;
+  /// Leading magic bytes of a serialized package.
+  static constexpr uint64_t kMagic = 0x4a53504b31ull; // "JSPK1"
+
+  /// Identifies the application build this profile was collected on; a
+  /// consumer running different code must reject the package.
+  uint64_t RepoFingerprint = 0;
+  /// Which (data-center region, semantic bucket) the seeder served.
+  uint32_t Region = 0;
+  uint32_t Bucket = 0;
+  /// Which seeder produced it (for debugging stored bad packages).
+  uint64_t SeederId = 0;
+
+  PreloadLists Preload;
+  std::vector<FuncProfile> Funcs;
+  OptProfile Opt;
+  IntermediateResults Intermediate;
+
+  /// Serializes to a self-contained byte blob (magic + version + payload +
+  /// checksum trailer).
+  std::vector<uint8_t> serialize() const;
+
+  /// Parses \p Bytes.  \returns false (leaving \p Out unspecified) on any
+  /// corruption: bad magic, version mismatch, checksum failure, truncation
+  /// or hostile lengths.
+  static bool deserialize(const std::vector<uint8_t> &Bytes,
+                          ProfilePackage &Out);
+
+  /// Total tier-1 samples across all functions.
+  uint64_t totalSamples() const;
+
+  /// Number of functions with a nonzero profile.
+  size_t numProfiledFuncs() const;
+
+  /// Finds the profile for raw FuncId \p Func, or nullptr.
+  const FuncProfile *findFunc(uint32_t Func) const;
+};
+
+} // namespace jumpstart::profile
+
+#endif // JUMPSTART_PROFILE_PROFILEPACKAGE_H

@@ -1,0 +1,26 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/ProfileStore.h"
+
+#include <algorithm>
+
+using namespace jumpstart;
+using namespace jumpstart::profile;
+
+void ProfileStore::exportToPackage(ProfilePackage &Pkg) const {
+  Pkg.Funcs.clear();
+  Pkg.Funcs.reserve(Profiles.size());
+  for (const auto &[Func, Profile] : Profiles) {
+    (void)Func;
+    Pkg.Funcs.push_back(Profile);
+  }
+  std::sort(Pkg.Funcs.begin(), Pkg.Funcs.end(),
+            [](const FuncProfile &A, const FuncProfile &B) {
+              return A.Func < B.Func;
+            });
+}

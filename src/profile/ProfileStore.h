@@ -1,0 +1,71 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server-local store of tier-1 profile data.
+///
+/// The JIT reads profiles from this store regardless of where they came
+/// from -- the server's own profiling translations or a deserialized
+/// Jump-Start package.  This uniformity is the "Simplicity" argument of
+/// paper section III: once save/reload exists, the rest of the VM runs
+/// identically either way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_PROFILE_PROFILESTORE_H
+#define JUMPSTART_PROFILE_PROFILESTORE_H
+
+#include "profile/ProfilePackage.h"
+
+#include <unordered_map>
+
+namespace jumpstart::profile {
+
+/// Mutable per-server profile state.
+class ProfileStore {
+public:
+  /// \returns the profile for raw FuncId \p Func, creating it on demand.
+  FuncProfile &getOrCreate(uint32_t Func) {
+    FuncProfile &F = Profiles[Func];
+    F.Func = Func;
+    return F;
+  }
+
+  /// \returns the profile for \p Func, or nullptr.
+  const FuncProfile *find(uint32_t Func) const {
+    auto It = Profiles.find(Func);
+    return It == Profiles.end() ? nullptr : &It->second;
+  }
+
+  size_t numFuncs() const { return Profiles.size(); }
+  bool empty() const { return Profiles.empty(); }
+
+  const std::unordered_map<uint32_t, FuncProfile> &all() const {
+    return Profiles;
+  }
+
+  /// Replaces the store contents with the profiles of \p Pkg (consumer
+  /// side of Jump-Start).
+  void loadFromPackage(const ProfilePackage &Pkg) {
+    Profiles.clear();
+    for (const FuncProfile &F : Pkg.Funcs)
+      Profiles.emplace(F.Func, F);
+  }
+
+  /// Copies all profiles into \p Pkg in FuncId order (deterministic
+  /// serialization).
+  void exportToPackage(ProfilePackage &Pkg) const;
+
+  void clear() { Profiles.clear(); }
+
+private:
+  std::unordered_map<uint32_t, FuncProfile> Profiles;
+};
+
+} // namespace jumpstart::profile
+
+#endif // JUMPSTART_PROFILE_PROFILESTORE_H

@@ -1,0 +1,69 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime-type observations collected by profiling translations.
+///
+/// The region-based tier-2 compiler specializes code to the types the
+/// tier-1 profile observed (paper section II-A); a monomorphic observation
+/// lets the JIT emit a single cheap guard plus specialized code, while
+/// polymorphic sites fall back to generic lowering.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_PROFILE_TYPEOBSERVATION_H
+#define JUMPSTART_PROFILE_TYPEOBSERVATION_H
+
+#include "runtime/Value.h"
+
+#include <cstdint>
+
+namespace jumpstart::profile {
+
+/// Counts of each runtime type observed at one program point.
+struct TypeObservation {
+  static constexpr unsigned kNumTypes = 8;
+  uint64_t Counts[kNumTypes] = {};
+
+  void observe(runtime::Type T) { ++Counts[static_cast<unsigned>(T)]; }
+
+  uint64_t total() const {
+    uint64_t Sum = 0;
+    for (uint64_t C : Counts)
+      Sum += C;
+    return Sum;
+  }
+
+  /// The most frequently observed type (Null when nothing was observed).
+  runtime::Type dominant() const {
+    unsigned Best = 0;
+    for (unsigned I = 1; I < kNumTypes; ++I)
+      if (Counts[I] > Counts[Best])
+        Best = I;
+    return static_cast<runtime::Type>(Best);
+  }
+
+  /// True when the dominant type covers at least \p Threshold of all
+  /// observations (and something was observed at all).
+  bool isMonomorphic(double Threshold = 0.95) const {
+    uint64_t Total = total();
+    if (Total == 0)
+      return false;
+    uint64_t Dom = Counts[static_cast<unsigned>(dominant())];
+    return static_cast<double>(Dom) >=
+           Threshold * static_cast<double>(Total);
+  }
+
+  void merge(const TypeObservation &Other) {
+    for (unsigned I = 0; I < kNumTypes; ++I)
+      Counts[I] += Other.Counts[I];
+  }
+};
+
+} // namespace jumpstart::profile
+
+#endif // JUMPSTART_PROFILE_TYPEOBSERVATION_H

@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/Validation.h"
+
+#include "support/StringUtil.h"
+
+using namespace jumpstart;
+using namespace jumpstart::profile;
+
+CoverageResult jumpstart::profile::checkCoverage(const ProfilePackage &Pkg,
+                                                 size_t PackageBytes,
+                                                 const CoverageThresholds &T) {
+  CoverageResult R;
+  size_t Profiled = Pkg.numProfiledFuncs();
+  if (Profiled < T.MinProfiledFuncs) {
+    R.Ok = false;
+    R.Problems.push_back(strFormat(
+        "only %zu functions profiled (minimum %zu); the seeder likely "
+        "received too little traffic",
+        Profiled, T.MinProfiledFuncs));
+  }
+  uint64_t Samples = Pkg.totalSamples();
+  if (Samples < T.MinTotalSamples) {
+    R.Ok = false;
+    R.Problems.push_back(strFormat(
+        "only %llu profile samples collected (minimum %llu)",
+        static_cast<unsigned long long>(Samples),
+        static_cast<unsigned long long>(T.MinTotalSamples)));
+  }
+  if (PackageBytes < T.MinPackageBytes) {
+    R.Ok = false;
+    R.Problems.push_back(strFormat(
+        "package is %zu bytes (minimum %zu)", PackageBytes,
+        T.MinPackageBytes));
+  }
+  if (T.ExpectedFingerprint != 0 &&
+      Pkg.RepoFingerprint != T.ExpectedFingerprint) {
+    R.Ok = false;
+    R.Problems.push_back(
+        "repo fingerprint mismatch: profile was collected on a different "
+        "code version");
+  }
+  return R;
+}

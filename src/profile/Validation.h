@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Profile-package coverage validation (paper section VI-B).
+///
+/// Before a seeder publishes a package, "profile coverage, including the
+/// number of functions profiled and the total size of profile data, is
+/// checked against pre-configured thresholds" -- catching the common
+/// failure where a seeder's data center was drained and it barely
+/// received traffic.  (Behavioural validation -- restarting in consumer
+/// mode and watching health -- lives in core::Seeder.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_PROFILE_VALIDATION_H
+#define JUMPSTART_PROFILE_VALIDATION_H
+
+#include "profile/ProfilePackage.h"
+
+#include <string>
+#include <vector>
+
+namespace jumpstart::profile {
+
+/// Pre-configured coverage thresholds.
+struct CoverageThresholds {
+  size_t MinProfiledFuncs = 10;
+  uint64_t MinTotalSamples = 1000;
+  size_t MinPackageBytes = 256;
+  /// The consumer's repo fingerprint; zero disables the check (the
+  /// fingerprint is always checked when nonzero).
+  uint64_t ExpectedFingerprint = 0;
+};
+
+/// Result of a coverage check.
+struct CoverageResult {
+  bool Ok = true;
+  std::vector<std::string> Problems;
+};
+
+/// Checks the already-parsed \p Pkg (whose serialized size was
+/// \p PackageBytes) against \p T.
+CoverageResult checkCoverage(const ProfilePackage &Pkg, size_t PackageBytes,
+                             const CoverageThresholds &T);
+
+} // namespace jumpstart::profile
+
+#endif // JUMPSTART_PROFILE_VALIDATION_H

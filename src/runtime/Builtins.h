@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Native (builtin) functions callable from bytecode via NativeCall.
+///
+/// These model HHVM extensions: fixed-arity native entry points the JIT
+/// treats as opaque calls.  The standard table covers the string/number/
+/// container helpers the workload generator and the examples rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_RUNTIME_BUILTINS_H
+#define JUMPSTART_RUNTIME_BUILTINS_H
+
+#include "runtime/Heap.h"
+#include "runtime/Value.h"
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace jumpstart::runtime {
+
+/// Per-call environment handed to native functions.
+struct NativeContext {
+  Heap &H;
+  /// Request output sink (the print builtin appends here); may be null.
+  std::string *Output = nullptr;
+};
+
+/// A native function: receives \p N argument values, returns one value.
+using NativeFn = Value (*)(NativeContext &Ctx, const Value *Args, uint32_t N);
+
+/// One registered builtin.
+struct Builtin {
+  std::string Name;
+  uint32_t Arity;
+  NativeFn Fn;
+};
+
+/// The table of builtins available to a program.  Builtin ids are dense
+/// indices assigned at registration; bytecode NativeCall immediates use
+/// these ids.
+class BuiltinTable {
+public:
+  /// \returns the process-wide standard table (print, strlen, substr, ...).
+  static const BuiltinTable &standard();
+
+  /// Registers a builtin; \returns its id.  Names must be unique.
+  uint32_t add(std::string_view Name, uint32_t Arity, NativeFn Fn);
+
+  /// \returns the id of \p Name, or kNotFound.
+  static constexpr uint32_t kNotFound = ~0u;
+  uint32_t find(std::string_view Name) const;
+
+  const Builtin &builtin(uint32_t Id) const;
+  uint32_t size() const { return static_cast<uint32_t>(Builtins.size()); }
+
+private:
+  std::vector<Builtin> Builtins;
+  std::unordered_map<std::string, uint32_t> Index;
+};
+
+} // namespace jumpstart::runtime
+
+#endif // JUMPSTART_RUNTIME_BUILTINS_H

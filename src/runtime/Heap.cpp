@@ -1,0 +1,57 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+using namespace jumpstart;
+using namespace jumpstart::runtime;
+
+uint64_t Heap::bump(uint64_t Size) {
+  // 16-byte alignment, like a real allocator's size classes.
+  uint64_t Addr = NextAddr;
+  NextAddr += (Size + 15) & ~15ull;
+  return Addr;
+}
+
+VmString *Heap::allocString(std::string_view S) {
+  Strings.emplace_back();
+  VmString &Str = Strings.back();
+  Str.Data = std::string(S);
+  Str.Addr = bump(24 + S.size());
+  return &Str;
+}
+
+VmVec *Heap::allocVec() {
+  Vecs.emplace_back();
+  VmVec &V = Vecs.back();
+  V.Addr = bump(48);
+  return &V;
+}
+
+VmDict *Heap::allocDict() {
+  Dicts.emplace_back();
+  VmDict &D = Dicts.back();
+  D.Addr = bump(64);
+  return &D;
+}
+
+VmObject *Heap::allocObject(const ClassLayout *Layout, uint32_t NumSlots) {
+  Objects.emplace_back();
+  VmObject &O = Objects.back();
+  O.Layout = Layout;
+  O.Slots.assign(NumSlots, Value::null());
+  O.Addr = bump(16 + 16ull * NumSlots);
+  return &O;
+}
+
+void Heap::reset() {
+  Strings.clear();
+  Vecs.clear();
+  Dicts.clear();
+  Objects.clear();
+  NextAddr = Base;
+}

@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request-local heap.
+///
+/// Mirrors HHVM's request-local memory model: all values allocated while
+/// serving a request are freed wholesale when the request ends.  The heap
+/// also maintains a *simulated address space* (bump allocation with
+/// realistic object sizes) so the micro-architecture simulator can observe
+/// the data-locality effects of Jump-Start's object-layout optimization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_RUNTIME_HEAP_H
+#define JUMPSTART_RUNTIME_HEAP_H
+
+#include "runtime/Value.h"
+
+#include <deque>
+#include <string_view>
+
+namespace jumpstart::runtime {
+
+/// Arena allocator for one request's values.
+class Heap {
+public:
+  /// \param BaseAddr start of this heap's simulated address range.
+  explicit Heap(uint64_t BaseAddr = 0x100000000ull) : Base(BaseAddr) {
+    NextAddr = Base;
+  }
+
+  VmString *allocString(std::string_view S);
+  VmVec *allocVec();
+  VmDict *allocDict();
+
+  /// Allocates an object with \p NumSlots null-initialized property slots.
+  VmObject *allocObject(const ClassLayout *Layout, uint32_t NumSlots);
+
+  /// Frees everything allocated since construction / the last reset and
+  /// rewinds the simulated address space.
+  void reset();
+
+  /// Total simulated bytes currently allocated.
+  uint64_t bytesAllocated() const { return NextAddr - Base; }
+
+  size_t numObjects() const { return Objects.size(); }
+
+private:
+  uint64_t bump(uint64_t Size);
+
+  uint64_t Base;
+  uint64_t NextAddr;
+  std::deque<VmString> Strings;
+  std::deque<VmVec> Vecs;
+  std::deque<VmDict> Dicts;
+  std::deque<VmObject> Objects;
+};
+
+} // namespace jumpstart::runtime
+
+#endif // JUMPSTART_RUNTIME_HEAP_H

@@ -1,0 +1,241 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ValueOps.h"
+
+#include "support/Assert.h"
+#include "support/Hashing.h"
+#include "support/StringUtil.h"
+
+#include <cmath>
+
+using namespace jumpstart;
+using namespace jumpstart::runtime;
+
+const char *jumpstart::runtime::typeName(Type T) {
+  switch (T) {
+  case Type::Null:
+    return "null";
+  case Type::Bool:
+    return "bool";
+  case Type::Int:
+    return "int";
+  case Type::Dbl:
+    return "double";
+  case Type::Str:
+    return "string";
+  case Type::Vec:
+    return "vec";
+  case Type::Dict:
+    return "dict";
+  case Type::Obj:
+    return "object";
+  }
+  unreachable("unhandled Type");
+}
+
+uint64_t DictKey::hash() const {
+  if (IsStr)
+    return hashString(StrKey);
+  return hashCombine(0x9e3779b97f4a7c15ULL, static_cast<uint64_t>(IntKey));
+}
+
+bool jumpstart::runtime::toBool(const Value &V) {
+  switch (V.T) {
+  case Type::Null:
+    return false;
+  case Type::Bool:
+    return V.B;
+  case Type::Int:
+    return V.I != 0;
+  case Type::Dbl:
+    return V.D != 0.0;
+  case Type::Str:
+    return !V.S->Data.empty();
+  case Type::Vec:
+    return !V.V->Elems.empty();
+  case Type::Dict:
+    return !V.Dt->Entries.empty();
+  case Type::Obj:
+    return true;
+  }
+  unreachable("unhandled Type");
+}
+
+double jumpstart::runtime::toDouble(const Value &V, bool *Ok) {
+  if (Ok)
+    *Ok = true;
+  switch (V.T) {
+  case Type::Bool:
+    return V.B ? 1.0 : 0.0;
+  case Type::Int:
+    return static_cast<double>(V.I);
+  case Type::Dbl:
+    return V.D;
+  default:
+    if (Ok)
+      *Ok = false;
+    return 0.0;
+  }
+}
+
+int64_t jumpstart::runtime::toInt(const Value &V) {
+  switch (V.T) {
+  case Type::Bool:
+    return V.B ? 1 : 0;
+  case Type::Int:
+    return V.I;
+  case Type::Dbl:
+    return static_cast<int64_t>(V.D);
+  default:
+    return 0;
+  }
+}
+
+std::string jumpstart::runtime::toString(const Value &V) {
+  switch (V.T) {
+  case Type::Null:
+    return "";
+  case Type::Bool:
+    return V.B ? "1" : "";
+  case Type::Int:
+    return strFormat("%lld", static_cast<long long>(V.I));
+  case Type::Dbl:
+    return strFormat("%g", V.D);
+  case Type::Str:
+    return V.S->Data;
+  case Type::Vec:
+    return "vec";
+  case Type::Dict:
+    return "dict";
+  case Type::Obj:
+    return "object";
+  }
+  unreachable("unhandled Type");
+}
+
+Value jumpstart::runtime::arith(ArithOp O, const Value &A, const Value &B) {
+  if (!A.isNumeric() && !A.isBool())
+    return Value::null();
+  if (!B.isNumeric() && !B.isBool())
+    return Value::null();
+
+  bool BothInt = (A.isInt() || A.isBool()) && (B.isInt() || B.isBool());
+  if (BothInt) {
+    int64_t X = toInt(A);
+    int64_t Y = toInt(B);
+    switch (O) {
+    case ArithOp::Add:
+      return Value::integer(X + Y);
+    case ArithOp::Sub:
+      return Value::integer(X - Y);
+    case ArithOp::Mul:
+      return Value::integer(X * Y);
+    case ArithOp::Div:
+      if (Y == 0)
+        return Value::null();
+      if (X % Y == 0)
+        return Value::integer(X / Y);
+      return Value::dbl(static_cast<double>(X) / static_cast<double>(Y));
+    case ArithOp::Mod:
+      if (Y == 0)
+        return Value::null();
+      return Value::integer(X % Y);
+    }
+    unreachable("unhandled ArithOp");
+  }
+
+  double X = toDouble(A);
+  double Y = toDouble(B);
+  switch (O) {
+  case ArithOp::Add:
+    return Value::dbl(X + Y);
+  case ArithOp::Sub:
+    return Value::dbl(X - Y);
+  case ArithOp::Mul:
+    return Value::dbl(X * Y);
+  case ArithOp::Div:
+    if (Y == 0.0)
+      return Value::null();
+    return Value::dbl(X / Y);
+  case ArithOp::Mod:
+    if (Y == 0.0)
+      return Value::null();
+    return Value::dbl(std::fmod(X, Y));
+  }
+  unreachable("unhandled ArithOp");
+}
+
+bool jumpstart::runtime::valueEquals(const Value &A, const Value &B) {
+  // Numeric (and bool) operands compare numerically, across types.
+  bool ANum = A.isNumeric() || A.isBool();
+  bool BNum = B.isNumeric() || B.isBool();
+  if (ANum && BNum)
+    return toDouble(A) == toDouble(B);
+  if (A.T != B.T)
+    return false;
+  switch (A.T) {
+  case Type::Null:
+    return true;
+  case Type::Str:
+    return A.S->Data == B.S->Data;
+  case Type::Vec:
+    return A.V == B.V;
+  case Type::Dict:
+    return A.Dt == B.Dt;
+  case Type::Obj:
+    return A.O == B.O;
+  default:
+    unreachable("numeric types handled above");
+  }
+}
+
+Value jumpstart::runtime::compare(CmpOp O, const Value &A, const Value &B) {
+  if (O == CmpOp::Eq)
+    return Value::boolean(valueEquals(A, B));
+  if (O == CmpOp::Ne)
+    return Value::boolean(!valueEquals(A, B));
+
+  // Ordering: numerics numerically, strings lexicographically, otherwise
+  // order by type tag (total and deterministic).
+  int Ordering;
+  bool ANum = A.isNumeric() || A.isBool();
+  bool BNum = B.isNumeric() || B.isBool();
+  if (ANum && BNum) {
+    double X = toDouble(A);
+    double Y = toDouble(B);
+    Ordering = (X < Y) ? -1 : (X > Y) ? 1 : 0;
+  } else if (A.isStr() && B.isStr()) {
+    int C = A.S->Data.compare(B.S->Data);
+    Ordering = (C < 0) ? -1 : (C > 0) ? 1 : 0;
+  } else {
+    int TA = static_cast<int>(A.T);
+    int TB = static_cast<int>(B.T);
+    Ordering = (TA < TB) ? -1 : (TA > TB) ? 1 : 0;
+  }
+
+  switch (O) {
+  case CmpOp::Lt:
+    return Value::boolean(Ordering < 0);
+  case CmpOp::Le:
+    return Value::boolean(Ordering <= 0);
+  case CmpOp::Gt:
+    return Value::boolean(Ordering > 0);
+  case CmpOp::Ge:
+    return Value::boolean(Ordering >= 0);
+  case CmpOp::Eq:
+  case CmpOp::Ne:
+    break;
+  }
+  unreachable("Eq/Ne handled above");
+}
+
+Value jumpstart::runtime::concat(Heap &H, const Value &A, const Value &B) {
+  std::string Result = toString(A);
+  Result += toString(B);
+  return Value::str(H.allocString(Result));
+}

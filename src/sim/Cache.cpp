@@ -1,0 +1,75 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cache.h"
+
+#include "support/Assert.h"
+
+using namespace jumpstart;
+using namespace jumpstart::sim;
+
+static uint32_t log2Floor(uint32_t V) {
+  uint32_t R = 0;
+  while (V >>= 1)
+    ++R;
+  return R;
+}
+
+Cache::Cache(CacheConfig Config) : Config(Config) {
+  alwaysAssert(Config.LineBytes > 0 && Config.Ways > 0 &&
+                   Config.SizeBytes >= Config.LineBytes * Config.Ways,
+               "invalid cache geometry");
+  NumSets = Config.SizeBytes / (Config.LineBytes * Config.Ways);
+  alwaysAssert((NumSets & (NumSets - 1)) == 0,
+               "number of sets must be a power of two");
+  alwaysAssert((Config.LineBytes & (Config.LineBytes - 1)) == 0,
+               "line size must be a power of two");
+  LineShift = log2Floor(Config.LineBytes);
+  Ways.assign(static_cast<size_t>(NumSets) * Config.Ways, Way());
+}
+
+bool Cache::access(uint64_t Addr) {
+  ++Accesses;
+  ++Clock;
+  uint64_t Line = Addr >> LineShift;
+  uint32_t Set = static_cast<uint32_t>(Line & (NumSets - 1));
+  uint64_t Tag = Line >> log2Floor(NumSets);
+  Way *SetWays = &Ways[static_cast<size_t>(Set) * Config.Ways];
+
+  Way *Victim = &SetWays[0];
+  for (uint32_t W = 0; W < Config.Ways; ++W) {
+    Way &Candidate = SetWays[W];
+    if (Candidate.Valid && Candidate.Tag == Tag) {
+      Candidate.LastUse = Clock;
+      return true;
+    }
+    if (!Candidate.Valid) {
+      Victim = &Candidate;
+    } else if (Victim->Valid && Candidate.LastUse < Victim->LastUse) {
+      Victim = &Candidate;
+    }
+  }
+
+  ++Misses;
+  Victim->Valid = true;
+  Victim->Tag = Tag;
+  Victim->LastUse = Clock;
+  return false;
+}
+
+void Cache::reset() {
+  for (Way &W : Ways)
+    W = Way();
+  Clock = 0;
+  Accesses = 0;
+  Misses = 0;
+}
+
+Tlb::Tlb(uint32_t Entries, uint32_t WaysCount, uint32_t PageBytes)
+    : Impl(CacheConfig{Entries * PageBytes, PageBytes, WaysCount}) {}
+
+bool Tlb::access(uint64_t Addr) { return Impl.access(Addr); }

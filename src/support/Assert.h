@@ -1,0 +1,41 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion helpers used across the jumpstart libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_SUPPORT_ASSERT_H
+#define JUMPSTART_SUPPORT_ASSERT_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace jumpstart {
+
+/// Marks a point in the code that must never be reached.  Unlike a bare
+/// assert(false), this aborts even in release builds, so impossible states
+/// never silently continue.
+[[noreturn]] inline void unreachable(const char *Msg) {
+  std::fprintf(stderr, "jumpstart: unreachable reached: %s\n", Msg);
+  std::abort();
+}
+
+/// Aborts with a message for invariant violations that must be checked even
+/// in release builds (e.g. corrupted serialized data in tests).
+inline void alwaysAssert(bool Cond, const char *Msg) {
+  if (Cond)
+    return;
+  std::fprintf(stderr, "jumpstart: invariant violated: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace jumpstart
+
+#endif // JUMPSTART_SUPPORT_ASSERT_H

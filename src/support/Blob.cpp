@@ -1,0 +1,156 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Blob.h"
+
+#include <algorithm>
+
+using namespace jumpstart;
+
+void BlobEncoder::writeVarint(uint64_t Value) {
+  while (Value >= 0x80) {
+    Buffer.push_back(static_cast<uint8_t>(Value) | 0x80);
+    Value >>= 7;
+  }
+  Buffer.push_back(static_cast<uint8_t>(Value));
+}
+
+void BlobEncoder::writeSignedVarint(int64_t Value) {
+  // Zig-zag encoding maps small negative values to small varints.
+  uint64_t Encoded =
+      (static_cast<uint64_t>(Value) << 1) ^ static_cast<uint64_t>(Value >> 63);
+  writeVarint(Encoded);
+}
+
+void BlobEncoder::writeFixed64(uint64_t Value) {
+  for (int I = 0; I < 8; ++I)
+    Buffer.push_back(static_cast<uint8_t>(Value >> (8 * I)));
+}
+
+void BlobEncoder::writeDouble(double Value) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(Value));
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  writeFixed64(Bits);
+}
+
+void BlobEncoder::writeString(const std::string &S) {
+  writeVarint(S.size());
+  Buffer.insert(Buffer.end(), S.begin(), S.end());
+}
+
+void BlobEncoder::writeU64Vector(const std::vector<uint64_t> &Values) {
+  writeVarint(Values.size());
+  for (uint64_t V : Values)
+    writeVarint(V);
+}
+
+void BlobEncoder::writeU32Vector(const std::vector<uint32_t> &Values) {
+  writeVarint(Values.size());
+  for (uint32_t V : Values)
+    writeVarint(V);
+}
+
+void BlobEncoder::writeStringU64Map(
+    const std::unordered_map<std::string, uint64_t> &M) {
+  std::vector<const std::pair<const std::string, uint64_t> *> Sorted;
+  Sorted.reserve(M.size());
+  for (const auto &KV : M)
+    Sorted.push_back(&KV);
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const auto *A, const auto *B) { return A->first < B->first; });
+  writeVarint(Sorted.size());
+  for (const auto *KV : Sorted) {
+    writeString(KV->first);
+    writeVarint(KV->second);
+  }
+}
+
+uint64_t BlobDecoder::readVarint() {
+  uint64_t Result = 0;
+  int Shift = 0;
+  for (;;) {
+    if (Pos >= Size || Shift > 63) {
+      Error = true;
+      return 0;
+    }
+    uint8_t Byte = Data[Pos++];
+    Result |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+    if (!(Byte & 0x80))
+      return Result;
+    Shift += 7;
+  }
+}
+
+int64_t BlobDecoder::readSignedVarint() {
+  uint64_t Encoded = readVarint();
+  return static_cast<int64_t>((Encoded >> 1) ^ (~(Encoded & 1) + 1));
+}
+
+uint8_t BlobDecoder::readByte() {
+  if (Pos >= Size) {
+    Error = true;
+    return 0;
+  }
+  return Data[Pos++];
+}
+
+uint64_t BlobDecoder::readFixed64() {
+  if (Size - Pos < 8) {
+    Error = true;
+    Pos = Size;
+    return 0;
+  }
+  uint64_t Value = 0;
+  for (int I = 0; I < 8; ++I)
+    Value |= static_cast<uint64_t>(Data[Pos++]) << (8 * I);
+  return Value;
+}
+
+double BlobDecoder::readDouble() {
+  uint64_t Bits = readFixed64();
+  double Value;
+  std::memcpy(&Value, &Bits, sizeof(Value));
+  return Value;
+}
+
+std::string BlobDecoder::readString() {
+  uint64_t Len = readVarint();
+  if (Error || Len > Size - Pos) {
+    Error = true;
+    return std::string();
+  }
+  std::string Result(reinterpret_cast<const char *>(Data + Pos), Len);
+  Pos += Len;
+  return Result;
+}
+
+std::vector<uint64_t> BlobDecoder::readU64Vector() {
+  return readVector<uint64_t>([](BlobDecoder &D) { return D.readVarint(); });
+}
+
+std::vector<uint32_t> BlobDecoder::readU32Vector() {
+  return readVector<uint32_t>([](BlobDecoder &D) {
+    return static_cast<uint32_t>(D.readVarint());
+  });
+}
+
+std::unordered_map<std::string, uint64_t> BlobDecoder::readStringU64Map() {
+  std::unordered_map<std::string, uint64_t> Result;
+  uint64_t N = readVarint();
+  if (N > remaining()) {
+    Error = true;
+    return Result;
+  }
+  for (uint64_t I = 0; I < N && ok(); ++I) {
+    std::string Key = readString();
+    uint64_t Value = readVarint();
+    if (ok())
+      Result.emplace(std::move(Key), Value);
+  }
+  return Result;
+}

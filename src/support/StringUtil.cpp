@@ -1,0 +1,55 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtil.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace jumpstart;
+
+std::string jumpstart::strFormat(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Len < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::string Result(static_cast<size_t>(Len), '\0');
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::vector<std::string> jumpstart::splitString(std::string_view S, char Sep) {
+  std::vector<std::string> Result;
+  size_t Start = 0;
+  for (size_t I = 0; I <= S.size(); ++I) {
+    if (I == S.size() || S[I] == Sep) {
+      Result.emplace_back(S.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Result;
+}
+
+std::string jumpstart::formatBytes(uint64_t Bytes) {
+  const char *Units[] = {"B", "KB", "MB", "GB", "TB"};
+  double Value = static_cast<double>(Bytes);
+  size_t Unit = 0;
+  while (Value >= 1024.0 && Unit + 1 < sizeof(Units) / sizeof(Units[0])) {
+    Value /= 1024.0;
+    ++Unit;
+  }
+  if (Unit == 0)
+    return strFormat("%llu B", static_cast<unsigned long long>(Bytes));
+  return strFormat("%.1f %s", Value, Units[Unit]);
+}

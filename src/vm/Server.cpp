@@ -1,0 +1,194 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Server.h"
+
+#include "support/Assert.h"
+#include "support/Hashing.h"
+
+#include <cmath>
+
+using namespace jumpstart;
+using namespace jumpstart::vm;
+
+namespace jumpstart::vm {
+
+/// Extends the JIT's profiling hooks with server concerns: first-touch
+/// unit loading and feeding function-entry events to the tiering policy.
+class ServerHooks : public jit::JitProfilingHooks {
+public:
+  ServerHooks(Server &S, jit::Jit &J)
+      : jit::JitProfilingHooks(J), S(S) {}
+
+  void onFuncEnter(bc::FuncId Callee, bc::FuncId Caller,
+                   const runtime::Value *Args, uint32_t NumArgs) override {
+    S.PendingLoadUnits += S.loadUnitsFor(Callee);
+    S.TheJit.onFuncEntered(Callee);
+    jit::JitProfilingHooks::onFuncEnter(Callee, Caller, Args, NumArgs);
+  }
+
+private:
+  Server &S;
+};
+
+} // namespace jumpstart::vm
+
+Server::Server(const bc::Repo &R, ServerConfig Config, uint64_t Seed)
+    : R(R), Config(std::move(Config)), Classes(R),
+      TheJit(R, this->Config.Jit) {
+  (void)Seed;
+  Interp = std::make_unique<interp::Interpreter>(
+      R, Classes, Heap, runtime::BuiltinTable::standard(),
+      this->Config.Interp);
+  Hooks = std::make_unique<ServerHooks>(*this, TheJit);
+  Interp->setCallbacks(Hooks.get());
+  Interp->setInstrCounts(&InstrCounts);
+  Interp->setOutput(&Output);
+}
+
+uint64_t Server::repoFingerprint(const bc::Repo &R) {
+  uint64_t H = 0x5e4a9b1cull;
+  H = hashCombine(H, R.numFuncs());
+  H = hashCombine(H, R.numClasses());
+  H = hashCombine(H, R.numStrings());
+  for (const bc::Function &F : R.funcs()) {
+    H = hashCombine(H, F.Code.size());
+    if (!F.Code.empty())
+      H = hashCombine(H, static_cast<uint64_t>(F.Code[0].Opcode) ^
+                             static_cast<uint64_t>(F.Code.back().ImmA));
+  }
+  return H;
+}
+
+bool Server::installPackage(const profile::ProfilePackage &Pkg) {
+  alwaysAssert(!Started, "installPackage() must precede startup()");
+  if (Pkg.RepoFingerprint != 0 &&
+      Pkg.RepoFingerprint != repoFingerprint(R))
+    return false;
+  Package = Pkg;
+  PackageBytes = Pkg.serialize().size();
+  if (Config.ReorderProperties && !Package->Opt.PropAccessCounts.empty()) {
+    if (Config.UseAffinityPropOrder && !Package->Opt.PropAffinity.empty())
+      Classes.enableAffinityReordering(&Package->Opt.PropAccessCounts,
+                                       &Package->Opt.PropAffinity);
+    else
+      Classes.enablePropReordering(&Package->Opt.PropAccessCounts);
+  }
+  return true;
+}
+
+double Server::loadUnitsFor(bc::FuncId F) {
+  uint32_t Unit = R.func(F).Unit.raw();
+  if (!LoadedUnits.insert(Unit).second)
+    return 0;
+  return Config.UnitLoadCost;
+}
+
+double Server::executeRequest(bc::FuncId F,
+                              const std::vector<runtime::Value> &Args) {
+  PendingLoadUnits = 0;
+  InstrCounts.assign(R.numFuncs(), 0);
+  interp::InterpResult Result = Interp->call(F, Args);
+  Faults += Result.Faults;
+  ++Requests;
+  TheJit.onRequestFinished();
+  Heap.reset();
+  Output.clear();
+
+  double Units = PendingLoadUnits;
+  for (uint32_t FuncRaw = 0; FuncRaw < InstrCounts.size(); ++FuncRaw) {
+    if (InstrCounts[FuncRaw] == 0)
+      continue;
+    Units += static_cast<double>(InstrCounts[FuncRaw]) *
+             TheJit.execCostPerBytecode(bc::FuncId(FuncRaw));
+  }
+  // Runtime-warmup friction (see ServerConfig::RuntimeWarmupPenalty).
+  if (Config.RuntimeWarmupPenalty > 0 && Config.RuntimeWarmupTau > 0) {
+    double Decay = std::exp(-static_cast<double>(Requests) /
+                            Config.RuntimeWarmupTau);
+    Units *= 1.0 + Config.RuntimeWarmupPenalty * Decay;
+  }
+  return unitsToSeconds(Units);
+}
+
+double Server::grantJitTime(double Seconds) {
+  double Budget = Seconds * Config.JitWorkerCores *
+                  Config.UnitsPerCorePerSecond;
+  double Consumed = TheJit.runJitWork(Budget);
+  return Consumed /
+         (Config.JitWorkerCores * Config.UnitsPerCorePerSecond);
+}
+
+void Server::attachCallbacks(interp::ExecCallbacks *CB) {
+  Interp->setCallbacks(CB ? CB : Hooks.get());
+}
+
+InitStats Server::startup() {
+  alwaysAssert(!Started, "startup() called twice");
+  Started = true;
+  InitStats Stats;
+
+  auto RunWarmupRequests = [&](bool Parallel) {
+    double Total = 0;
+    for (uint32_t Raw : Config.WarmupEndpoints) {
+      std::vector<runtime::Value> Args{runtime::Value::integer(0)};
+      Total += executeRequest(bc::FuncId(Raw), Args);
+    }
+    if (Parallel && Config.Cores > 1)
+      Total /= static_cast<double>(Config.Cores);
+    return Total;
+  };
+
+  if (!Package) {
+    // Figure 3a: initialize, then run warmup requests *sequentially*
+    // (their metadata-load order matters for locality; paper
+    // section VII-A), then start serving.
+    Stats.WarmupRequestSeconds = RunWarmupRequests(/*Parallel=*/false);
+    Stats.TotalSeconds = Stats.WarmupRequestSeconds;
+    return Stats;
+  }
+
+  // Figure 3c: deserialize the package, preload metadata, JIT all
+  // optimized code using every core, then run warmup requests in
+  // parallel.
+  Stats.UsedJumpStart = true;
+  Stats.DeserializeSeconds = unitsToSeconds(
+      static_cast<double>(PackageBytes) * Config.DeserializeCostPerByte);
+
+  // Category-1 preload: units, classes and strings, in package order.
+  double PreloadUnitsCost = 0;
+  for (uint32_t Unit : Package->Preload.Units)
+    if (LoadedUnits.insert(Unit).second)
+      PreloadUnitsCost += Config.UnitLoadCost;
+  for (uint32_t Cls : Package->Preload.Classes)
+    if (Cls < R.numClasses())
+      Classes.layout(bc::ClassId(Cls));
+  // Preloading is parallel across cores (it is what enables the parallel
+  // warmup requests; paper section VII-A).
+  Stats.PreloadSeconds =
+      unitsToSeconds(PreloadUnitsCost) / Config.Cores;
+
+  // Precompile every optimized translation before serving.
+  TheJit.startConsumerPrecompile(*Package);
+  double PrecompileUnits = 0;
+  while (TheJit.hasPendingWork())
+    PrecompileUnits += TheJit.runJitWork(16.0 * Config.UnitsPerCorePerSecond);
+  Stats.PrecompileSeconds =
+      unitsToSeconds(PrecompileUnits) / Config.Cores;
+
+  Stats.WarmupRequestSeconds = RunWarmupRequests(/*Parallel=*/true);
+  Stats.TotalSeconds = Stats.DeserializeSeconds + Stats.PreloadSeconds +
+                       Stats.PrecompileSeconds +
+                       Stats.WarmupRequestSeconds;
+  return Stats;
+}
+
+profile::ProfilePackage Server::buildSeederPackage(uint32_t Region,
+                                                   uint32_t Bucket,
+                                                   uint64_t SeederId) const {
+  return TheJit.buildPackage(Region, Bucket, SeederId, repoFingerprint(R));
+}

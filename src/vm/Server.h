@@ -1,0 +1,180 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated HHVM server: interpreter + JIT + runtime + a virtual
+/// clock, with the Jump-Start seeder and consumer workflows of the paper's
+/// Figure 3.
+///
+/// Time is virtual: executing a request consumes "cost units" (one unit ~
+/// one cycle), converted to seconds by the configured core speed.  The
+/// server does not schedule itself; the fleet simulator (or a figure
+/// harness) drives it tick by tick, granting JIT-worker time and asking it
+/// to execute sampled requests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_VM_SERVER_H
+#define JUMPSTART_VM_SERVER_H
+
+#include "interp/Interpreter.h"
+#include "jit/Jit.h"
+#include "jit/Recorders.h"
+#include "profile/ProfilePackage.h"
+#include "runtime/Builtins.h"
+#include "runtime/ClassLayout.h"
+#include "runtime/Heap.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace jumpstart::vm {
+
+/// Server configuration (the evaluation hardware of paper section VII is
+/// a 16-core Xeon D-1581).
+struct ServerConfig {
+  uint32_t Cores = 16;
+  /// Background JIT worker threads while serving.
+  uint32_t JitWorkerCores = 3;
+  /// Cost units one core retires per virtual second.
+  double UnitsPerCorePerSecond = 2.0e6;
+  /// Virtual cost of loading one unit's metadata on first touch.
+  double UnitLoadCost = 40000;
+  /// Virtual cost of deserializing a profile package, per byte.
+  double DeserializeCostPerByte = 2.0;
+  /// Warmup requests run at initialization (paper section VII-A).
+  uint32_t WarmupRequests = 12;
+  /// Runtime-warmup friction: early requests pay a penalty that decays
+  /// with requests served, modelling the warmup effects outside the JIT
+  /// (data caches, backend connections, OS page cache).  Cost multiplier
+  /// is 1 + RuntimeWarmupPenalty * exp(-served / RuntimeWarmupTau).
+  /// The paper's Figure 4a shows even Jump-Start servers start ~3x their
+  /// steady-state latency and converge by ~150s.
+  double RuntimeWarmupPenalty = 3.0;
+  double RuntimeWarmupTau = 300;
+  jit::JitConfig Jit;
+  interp::InterpOptions Interp;
+  /// Enable the object-property-reordering optimization when a package
+  /// with access counts is installed (paper section V-C).
+  bool ReorderProperties = true;
+  /// Order properties by co-access affinity instead of plain hotness
+  /// (the section V-C future-work extension; needs a package carrying
+  /// affinity counters).
+  bool UseAffinityPropOrder = false;
+  /// Endpoints exercised by the initialization warmup requests (raw
+  /// FuncIds); empty skips warmup requests.
+  std::vector<uint32_t> WarmupEndpoints;
+};
+
+/// Initialization breakdown returned by startup().
+struct InitStats {
+  double TotalSeconds = 0;
+  double DeserializeSeconds = 0;
+  double PreloadSeconds = 0;
+  double PrecompileSeconds = 0;
+  double WarmupRequestSeconds = 0;
+  bool UsedJumpStart = false;
+};
+
+/// One simulated HHVM server process.
+class Server {
+public:
+  Server(const bc::Repo &R, ServerConfig Config, uint64_t Seed);
+
+  //===--------------------------------------------------------------------===
+  // Jump-Start lifecycle (paper Figure 3).
+  //===--------------------------------------------------------------------===
+
+  /// Consumer mode: installs the downloaded package.  Must precede
+  /// startup().  \returns false when the package is rejected (corrupt
+  /// blob already filtered by the caller; this checks fingerprint).
+  bool installPackage(const profile::ProfilePackage &Pkg);
+
+  /// Initializes the server: consumer mode deserializes + precompiles all
+  /// optimized code with every core, then runs warmup requests in
+  /// parallel; without Jump-Start, warmup requests run sequentially
+  /// (paper section VII-A).
+  InitStats startup();
+
+  /// Seeder side: assembles this server's profile package.
+  profile::ProfilePackage buildSeederPackage(uint32_t Region,
+                                             uint32_t Bucket,
+                                             uint64_t SeederId) const;
+
+  //===--------------------------------------------------------------------===
+  // Serving.
+  //===--------------------------------------------------------------------===
+
+  /// Executes one request against endpoint \p F for real and \returns the
+  /// virtual seconds of CPU it consumed (including metadata loading).
+  /// Updates JIT profiling/tiering state as a side effect.
+  double executeRequest(bc::FuncId F,
+                        const std::vector<runtime::Value> &Args);
+
+  /// Grants \p Seconds of background JIT-worker wall time (the workers
+  /// use JitWorkerCores in parallel).  \returns seconds of work actually
+  /// performed.
+  double grantJitTime(double Seconds);
+
+  //===--------------------------------------------------------------------===
+  // Measurement hooks.
+  //===--------------------------------------------------------------------===
+
+  /// Temporarily replaces the profiling hooks with \p CB (e.g. the Vasm
+  /// tracer); pass nullptr to restore the profiling hooks.
+  void attachCallbacks(interp::ExecCallbacks *CB);
+
+  double secondsPerUnit() const {
+    return 1.0 / Config.UnitsPerCorePerSecond;
+  }
+
+  jit::Jit &theJit() { return TheJit; }
+  const jit::Jit &theJit() const { return TheJit; }
+  interp::Interpreter &interpreter() { return *Interp; }
+  runtime::ClassTable &classes() { return Classes; }
+  const ServerConfig &config() const { return Config; }
+
+  uint64_t totalFaults() const { return Faults; }
+  uint64_t requestsServed() const { return Requests; }
+  size_t loadedUnits() const { return LoadedUnits.size(); }
+
+  /// Stable fingerprint of a repo, for package validation.
+  static uint64_t repoFingerprint(const bc::Repo &R);
+
+private:
+  double unitsToSeconds(double Units) const {
+    return Units / Config.UnitsPerCorePerSecond;
+  }
+  /// Charges first-touch unit loading for everything \p F needs.
+  double loadUnitsFor(bc::FuncId F);
+
+  const bc::Repo &R;
+  ServerConfig Config;
+  runtime::ClassTable Classes;
+  runtime::Heap Heap;
+  jit::Jit TheJit;
+  std::unique_ptr<interp::Interpreter> Interp;
+  friend class ServerHooks;
+  std::unique_ptr<jit::JitProfilingHooks> Hooks;
+  /// Unit-load cost units charged while the current request runs.
+  double PendingLoadUnits = 0;
+  uint64_t PackageBytes = 0;
+  std::string Output;
+  std::vector<uint64_t> InstrCounts;
+  std::unordered_set<uint32_t> LoadedUnits;
+  std::optional<profile::ProfilePackage> Package;
+  uint64_t Faults = 0;
+  uint64_t Requests = 0;
+  bool Started = false;
+};
+
+} // namespace jumpstart::vm
+
+#endif // JUMPSTART_VM_SERVER_H

@@ -1,0 +1,270 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the bytecode substrate: opcode metadata, repo, builder,
+/// basic blocks, verifier, disassembler.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/BlockCache.h"
+#include "bytecode/Disasm.h"
+#include "bytecode/FuncBuilder.h"
+#include "bytecode/Repo.h"
+#include "bytecode/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace jumpstart;
+using namespace jumpstart::bc;
+
+namespace {
+
+/// Builds a repo with one function assembled by \p Assemble.
+struct RepoFixture {
+  Repo R;
+  FuncId F;
+
+  template <typename Fn> explicit RepoFixture(Fn Assemble) {
+    Unit &U = R.createUnit("test");
+    Function &Func = R.createFunction(U, "f");
+    FuncBuilder B(Func);
+    Assemble(R, Func, B);
+    B.finish();
+    F = Func.Id;
+  }
+};
+
+} // namespace
+
+TEST(Opcode, MetadataConsistency) {
+  for (unsigned I = 0; I < kNumOpcodes; ++I) {
+    Op O = static_cast<Op>(I);
+    const OpInfo &Info = opInfo(O);
+    EXPECT_NE(Info.Name, nullptr);
+    // Variable-pop opcodes must carry a Count immediate.
+    if (Info.Pop < 0) {
+      EXPECT_TRUE(Info.ImmB == ImmKind::Count)
+          << Info.Name << " pops a variable count without a count imm";
+    }
+  }
+  EXPECT_TRUE(opEndsBlock(Op::Jmp));
+  EXPECT_TRUE(opEndsBlock(Op::JmpZ));
+  EXPECT_TRUE(opEndsBlock(Op::RetC));
+  EXPECT_FALSE(opEndsBlock(Op::FCall));
+  EXPECT_FALSE(opEndsBlock(Op::Add));
+}
+
+TEST(Repo, StringInterning) {
+  Repo R;
+  StringId A = R.internString("hello");
+  StringId B = R.internString("hello");
+  StringId C = R.internString("world");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(R.str(A), "hello");
+  EXPECT_EQ(R.findString("world"), C);
+  EXPECT_FALSE(R.findString("absent").valid());
+}
+
+TEST(Repo, MethodResolutionWalksAncestors) {
+  Repo R;
+  Unit &U = R.createUnit("u");
+  Class &Base = R.createClass(U, "Base");
+  ClassId BaseId = Base.Id;
+  StringId M = R.internString("m");
+  Function &F = R.createFunction(U, "Base::m");
+  R.clsMutable(BaseId).Methods.emplace(M.raw(), F.Id);
+  Class &Child = R.createClass(U, "Child");
+  ClassId ChildId = Child.Id;
+  R.clsMutable(ChildId).Parent = BaseId;
+  EXPECT_EQ(R.resolveMethod(ChildId, M), F.Id);
+  EXPECT_FALSE(R.resolveMethod(ChildId, R.internString("nope")).valid());
+}
+
+TEST(FuncBuilder, ForwardAndBackwardLabels) {
+  RepoFixture Fix([](Repo &, Function &, FuncBuilder &B) {
+    auto Top = B.newLabel();
+    auto End = B.newLabel();
+    B.bind(Top);                 // backward target at 0
+    B.emit(Op::Int, 1);          // 0
+    B.emitJump(Op::JmpZ, End);   // 1 -> 4
+    B.emitJump(Op::Jmp, Top);    // 2 -> 0
+    B.emit(Op::Nop);             // 3 (unreachable filler)
+    B.bind(End);
+    B.emit(Op::Null);            // 4
+    B.emit(Op::RetC);            // 5
+  });
+  const Function &F = Fix.R.func(Fix.F);
+  EXPECT_EQ(F.Code[1].targetImm(), 4u);
+  EXPECT_EQ(F.Code[2].targetImm(), 0u);
+}
+
+TEST(Blocks, DiamondStructure) {
+  RepoFixture Fix([](Repo &, Function &, FuncBuilder &B) {
+    auto Else = B.newLabel();
+    auto End = B.newLabel();
+    B.emit(Op::Int, 1);          // B0
+    B.emitJump(Op::JmpZ, Else);  // B0 end
+    B.emit(Op::Int, 2);          // B1
+    B.emitJump(Op::Jmp, End);    // B1 end
+    B.bind(Else);
+    B.emit(Op::Int, 3);          // B2
+    B.bind(End);
+    B.emit(Op::RetC);            // B3
+  });
+  BlockList BL = BlockList::compute(Fix.R.func(Fix.F));
+  ASSERT_EQ(BL.numBlocks(), 4u);
+  EXPECT_EQ(BL.block(0).Taken, 2u);
+  EXPECT_EQ(BL.block(0).Fallthru, 1u);
+  EXPECT_EQ(BL.block(1).Taken, 3u);
+  EXPECT_FALSE(BL.block(1).hasFallthru());
+  EXPECT_EQ(BL.block(2).Fallthru, 3u);
+  EXPECT_FALSE(BL.block(3).hasTaken());
+  EXPECT_FALSE(BL.block(3).hasFallthru());
+  // Instruction -> block mapping.
+  EXPECT_EQ(BL.blockOf(0), 0u);
+  EXPECT_EQ(BL.blockOf(2), 1u);
+  EXPECT_EQ(BL.blockOf(4), 2u);
+  EXPECT_EQ(BL.blockOf(5), 3u);
+}
+
+TEST(Blocks, SingleBlockFunction) {
+  RepoFixture Fix([](Repo &, Function &, FuncBuilder &B) {
+    B.emit(Op::Int, 1);
+    B.emit(Op::RetC);
+  });
+  BlockList BL = BlockList::compute(Fix.R.func(Fix.F));
+  EXPECT_EQ(BL.numBlocks(), 1u);
+  EXPECT_EQ(BL.block(0).size(), 2u);
+}
+
+TEST(BlockCacheTest, MemoizesPerFunction) {
+  RepoFixture Fix([](Repo &, Function &, FuncBuilder &B) {
+    B.emit(Op::Null);
+    B.emit(Op::RetC);
+  });
+  BlockCache Cache(Fix.R);
+  const BlockList &A = Cache.blocks(Fix.F);
+  const BlockList &B2 = Cache.blocks(Fix.F);
+  EXPECT_EQ(&A, &B2);
+}
+
+TEST(Verifier, AcceptsWellFormed) {
+  RepoFixture Fix([](Repo &R, Function &, FuncBuilder &B) {
+    B.emit(Op::Str, R.internString("x").raw());
+    B.emit(Op::RetC);
+  });
+  EXPECT_TRUE(verifyFunction(Fix.R, Fix.R.func(Fix.F), 0).empty());
+}
+
+TEST(Verifier, RejectsFallOffEnd) {
+  RepoFixture Fix([](Repo &, Function &, FuncBuilder &B) {
+    B.emit(Op::Int, 1);
+    B.emit(Op::PopC);
+  });
+  auto Errors = verifyFunction(Fix.R, Fix.R.func(Fix.F), 0);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("fall off"), std::string::npos);
+}
+
+TEST(Verifier, RejectsStackUnderflow) {
+  RepoFixture Fix([](Repo &, Function &, FuncBuilder &B) {
+    B.emit(Op::Add); // nothing on the stack
+    B.emit(Op::RetC);
+  });
+  auto Errors = verifyFunction(Fix.R, Fix.R.func(Fix.F), 0);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("underflow"), std::string::npos);
+}
+
+TEST(Verifier, RejectsUncleanReturn) {
+  RepoFixture Fix([](Repo &, Function &, FuncBuilder &B) {
+    B.emit(Op::Int, 1);
+    B.emit(Op::Int, 2);
+    B.emit(Op::RetC); // leaves one value behind
+  });
+  auto Errors = verifyFunction(Fix.R, Fix.R.func(Fix.F), 0);
+  ASSERT_FALSE(Errors.empty());
+}
+
+TEST(Verifier, RejectsBadLocalIndex) {
+  RepoFixture Fix([](Repo &, Function &F, FuncBuilder &B) {
+    F.NumLocals = 1;
+    B.emit(Op::GetL, 5);
+    B.emit(Op::RetC);
+  });
+  auto Errors = verifyFunction(Fix.R, Fix.R.func(Fix.F), 0);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("local"), std::string::npos);
+}
+
+TEST(Verifier, RejectsBadStringId) {
+  RepoFixture Fix([](Repo &, Function &, FuncBuilder &B) {
+    B.emit(Op::Str, 999);
+    B.emit(Op::RetC);
+  });
+  auto Errors = verifyFunction(Fix.R, Fix.R.func(Fix.F), 0);
+  ASSERT_FALSE(Errors.empty());
+}
+
+TEST(Verifier, RejectsInconsistentBlockDepth) {
+  RepoFixture Fix([](Repo &, Function &, FuncBuilder &B) {
+    auto Join = B.newLabel();
+    B.emit(Op::Int, 1);
+    B.emitJump(Op::JmpNZ, Join); // to Join with depth 0
+    B.emit(Op::Int, 2);          // depth 1 falls into Join
+    B.bind(Join);
+    B.emit(Op::Int, 3);
+    B.emit(Op::PopC);
+    B.emit(Op::Null);
+    B.emit(Op::RetC);
+  });
+  auto Errors = verifyFunction(Fix.R, Fix.R.func(Fix.F), 0);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("inconsistent"), std::string::npos);
+}
+
+TEST(Verifier, RejectsArityMismatch) {
+  Repo R;
+  Unit &U = R.createUnit("u");
+  Function &Callee = R.createFunction(U, "callee");
+  Callee.NumParams = 2;
+  Callee.NumLocals = 2;
+  {
+    FuncBuilder B(Callee);
+    B.emit(Op::Null);
+    B.emit(Op::RetC);
+    B.finish();
+  }
+  Function &Caller = R.createFunction(U, "caller");
+  FuncId CalleeId = R.findFunction("callee");
+  {
+    FuncBuilder B(R.funcMutable(Caller.Id));
+    B.emit(Op::Int, 1);
+    B.emit(Op::FCall, CalleeId.raw(), 1); // passes 1, expects 2
+    B.emit(Op::RetC);
+    B.finish();
+  }
+  auto Errors = verifyFunction(R, R.func(R.findFunction("caller")), 0);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors[0].find("expects"), std::string::npos);
+}
+
+TEST(Disasm, SymbolicImmediates) {
+  Repo R;
+  Unit &U = R.createUnit("u");
+  Function &F = R.createFunction(U, "main");
+  FuncBuilder B(F);
+  B.emit(Op::Str, R.internString("greeting").raw());
+  B.emit(Op::RetC);
+  B.finish();
+  std::string Text = disasmFunction(R, R.func(F.Id));
+  EXPECT_NE(Text.find("\"greeting\""), std::string::npos);
+  EXPECT_NE(Text.find("RetC"), std::string::npos);
+  EXPECT_NE(Text.find("B0:"), std::string::npos);
+}

@@ -1,0 +1,308 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the Jump-Start core: package store, seeder workflow with
+/// validation, consumer fallback behaviour, and the phased-deployment
+/// simulation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Consumer.h"
+#include "core/Deployment.h"
+#include "core/Seeder.h"
+
+#include <gtest/gtest.h>
+
+using namespace jumpstart;
+using namespace jumpstart::core;
+
+namespace {
+
+class CoreFixture : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    fleet::WorkloadParams P;
+    P.NumHelpers = 120;
+    P.NumClasses = 24;
+    P.NumEndpoints = 12;
+    P.NumUnits = 12;
+    W = fleet::generateWorkload(P).release();
+    Traffic = new fleet::TrafficModel(*W, fleet::TrafficParams(), 42);
+  }
+  static void TearDownTestSuite() {
+    delete Traffic;
+    delete W;
+  }
+
+  static vm::ServerConfig baseConfig() {
+    vm::ServerConfig C;
+    C.Jit.ProfileRequestTarget = 20;
+    return C;
+  }
+
+  static JumpStartOptions lenientOpts() {
+    JumpStartOptions O;
+    O.Coverage.MinProfiledFuncs = 3;
+    O.Coverage.MinTotalSamples = 50;
+    O.Coverage.MinPackageBytes = 64;
+    O.ValidationRequests = 10;
+    return O;
+  }
+
+  static SeederOutcome seedInto(PackageStore &Store, uint64_t Seed = 5,
+                                const ChaosHooks *Chaos = nullptr) {
+    SeederParams SP;
+    SP.Requests = 120;
+    SP.Seed = Seed;
+    return runSeederWorkflow(*W, *Traffic, baseConfig(), lenientOpts(),
+                             Store, SP, Chaos);
+  }
+
+  static fleet::Workload *W;
+  static fleet::TrafficModel *Traffic;
+};
+
+fleet::Workload *CoreFixture::W = nullptr;
+fleet::TrafficModel *CoreFixture::Traffic = nullptr;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// PackageStore.
+//===----------------------------------------------------------------------===//
+
+TEST(PackageStoreTest, PublishAndPick) {
+  PackageStore S;
+  Rng R(1);
+  EXPECT_FALSE(S.pickRandom(0, 0, R).has_value());
+  S.publish(0, 0, {1, 2, 3});
+  S.publish(0, 0, {4, 5, 6});
+  EXPECT_EQ(S.available(0, 0), 2u);
+  auto Pick = S.pickRandom(0, 0, R);
+  ASSERT_TRUE(Pick.has_value());
+  EXPECT_LT(Pick->Index, 2u);
+  EXPECT_FALSE(S.pickRandom(0, 1, R).has_value())
+      << "shelves are per (region, bucket)";
+}
+
+TEST(PackageStoreTest, RandomPickCoversAllPackages) {
+  PackageStore S;
+  for (uint8_t I = 0; I < 4; ++I)
+    S.publish(1, 1, {I});
+  Rng R(9);
+  std::set<uint32_t> Seen;
+  for (int I = 0; I < 200; ++I)
+    Seen.insert(S.pickRandom(1, 1, R)->Index);
+  EXPECT_EQ(Seen.size(), 4u);
+}
+
+TEST(PackageStoreTest, QuarantineRemovesFromRotation) {
+  PackageStore S;
+  S.publish(0, 0, {1});
+  S.publish(0, 0, {2});
+  S.quarantine(0, 0, 0);
+  EXPECT_EQ(S.available(0, 0), 1u);
+  EXPECT_EQ(S.quarantinedCount(), 1u);
+  Rng R(3);
+  for (int I = 0; I < 50; ++I)
+    EXPECT_EQ(S.pickRandom(0, 0, R)->Index, 1u);
+  // Idempotent.
+  S.quarantine(0, 0, 0);
+  EXPECT_EQ(S.quarantinedCount(), 1u);
+}
+
+TEST(PackageStoreTest, CorruptFlipsBytes) {
+  PackageStore S;
+  std::vector<uint8_t> Blob(100, 0xAA);
+  S.publish(0, 0, Blob);
+  Rng R(4);
+  S.corrupt(0, 0, 0, R);
+  auto Pick = S.pickRandom(0, 0, R);
+  ASSERT_TRUE(Pick.has_value());
+  EXPECT_NE(*Pick->Blob, Blob);
+}
+
+//===----------------------------------------------------------------------===//
+// Seeder workflow.
+//===----------------------------------------------------------------------===//
+
+TEST_F(CoreFixture, SeederPublishesValidPackage) {
+  PackageStore Store;
+  SeederOutcome Out = seedInto(Store);
+  ASSERT_TRUE(Out.Published)
+      << (Out.Problems.empty() ? "?" : Out.Problems[0]);
+  EXPECT_EQ(Store.available(0, 0), 1u);
+  EXPECT_GT(Out.PackageBytes, 500u);
+  // The published blob deserializes back to an equivalent package.
+  Rng R(1);
+  auto Pick = Store.pickRandom(0, 0, R);
+  profile::ProfilePackage Pkg;
+  ASSERT_TRUE(profile::ProfilePackage::deserialize(*Pick->Blob, Pkg));
+  EXPECT_EQ(Pkg.numProfiledFuncs(), Out.Package.numProfiledFuncs());
+}
+
+TEST_F(CoreFixture, SeederRejectsUnderProfiledRun) {
+  PackageStore Store;
+  JumpStartOptions Strict = lenientOpts();
+  Strict.Coverage.MinProfiledFuncs = 100000; // impossible
+  SeederParams SP;
+  SP.Requests = 60;
+  SeederOutcome Out = runSeederWorkflow(*W, *Traffic, baseConfig(), Strict,
+                                        Store, SP);
+  EXPECT_FALSE(Out.Published);
+  ASSERT_FALSE(Out.Problems.empty());
+  EXPECT_EQ(Store.available(0, 0), 0u);
+}
+
+TEST_F(CoreFixture, SeederValidationCatchesCrashingPackage) {
+  PackageStore Store;
+  ChaosHooks Chaos;
+  Chaos.CrashesInValidation = [](const profile::ProfilePackage &) {
+    return true;
+  };
+  SeederOutcome Out = seedInto(Store, 5, &Chaos);
+  EXPECT_FALSE(Out.Published);
+  ASSERT_FALSE(Out.Problems.empty());
+  EXPECT_NE(Out.Problems[0].find("crash"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Consumer workflow + fallback.
+//===----------------------------------------------------------------------===//
+
+TEST_F(CoreFixture, ConsumerUsesPublishedPackage) {
+  PackageStore Store;
+  ASSERT_TRUE(seedInto(Store).Published);
+  ConsumerOutcome Out = startConsumer(*W, baseConfig(), lenientOpts(),
+                                      Store, ConsumerParams());
+  EXPECT_TRUE(Out.UsedJumpStart);
+  EXPECT_EQ(Out.Attempts, 1u);
+  ASSERT_NE(Out.Server, nullptr);
+  EXPECT_EQ(Out.Server->theJit().phase(), jit::JitPhase::Mature);
+}
+
+TEST_F(CoreFixture, ConsumerFallsBackWhenStoreEmpty) {
+  PackageStore Store;
+  ConsumerOutcome Out = startConsumer(*W, baseConfig(), lenientOpts(),
+                                      Store, ConsumerParams());
+  EXPECT_FALSE(Out.UsedJumpStart);
+  ASSERT_NE(Out.Server, nullptr);
+  EXPECT_EQ(Out.Server->theJit().phase(), jit::JitPhase::Profiling);
+}
+
+TEST_F(CoreFixture, ConsumerSkipsCorruptPackage) {
+  PackageStore Store;
+  ASSERT_TRUE(seedInto(Store, 5).Published);
+  ASSERT_TRUE(seedInto(Store, 6).Published);
+  Rng R(2);
+  Store.corrupt(0, 0, 0, R);
+
+  // With two packages and one corrupt, consumers eventually succeed; with
+  // enough attempts allowed, every boot should end up on the good one.
+  JumpStartOptions Opts = lenientOpts();
+  Opts.MaxConsumerAttempts = 8;
+  int UsedJs = 0;
+  for (uint64_t Seed = 0; Seed < 5; ++Seed) {
+    ConsumerParams CP;
+    CP.Seed = Seed;
+    ConsumerOutcome Out = startConsumer(*W, baseConfig(), Opts, Store, CP);
+    if (Out.UsedJumpStart)
+      ++UsedJs;
+  }
+  EXPECT_EQ(UsedJs, 5);
+}
+
+TEST_F(CoreFixture, ConsumerDisabledByMasterSwitch) {
+  PackageStore Store;
+  ASSERT_TRUE(seedInto(Store).Published);
+  JumpStartOptions Opts = lenientOpts();
+  Opts.Enabled = false;
+  ConsumerOutcome Out = startConsumer(*W, baseConfig(), Opts, Store,
+                                      ConsumerParams());
+  EXPECT_FALSE(Out.UsedJumpStart);
+  EXPECT_EQ(Out.Attempts, 0u);
+}
+
+TEST_F(CoreFixture, ConsumerCrashLoopEndsInFallback) {
+  PackageStore Store;
+  ASSERT_TRUE(seedInto(Store).Published);
+  ChaosHooks Chaos;
+  Chaos.CrashesInProduction = [](const profile::ProfilePackage &) {
+    return true; // every package crashes in production
+  };
+  JumpStartOptions Opts = lenientOpts();
+  Opts.MaxConsumerAttempts = 3;
+  ConsumerOutcome Out = startConsumer(*W, baseConfig(), Opts, Store,
+                                      ConsumerParams(), &Chaos);
+  EXPECT_FALSE(Out.UsedJumpStart);
+  EXPECT_EQ(Out.CrashCount, 3u);
+  ASSERT_NE(Out.Server, nullptr) << "fallback must still boot the server";
+}
+
+TEST_F(CoreFixture, OptimizationSwitchesReachServerConfig) {
+  JumpStartOptions Opts;
+  Opts.VasmBlockCounters = false;
+  Opts.FunctionOrder = false;
+  Opts.PropertyReordering = false;
+  vm::ServerConfig Config = baseConfig();
+  applyOptimizationOptions(Config, Opts);
+  EXPECT_FALSE(Config.Jit.UseVasmCounters);
+  EXPECT_FALSE(Config.Jit.UsePackageFuncOrder);
+  EXPECT_FALSE(Config.ReorderProperties);
+}
+
+//===----------------------------------------------------------------------===//
+// Phased deployment.
+//===----------------------------------------------------------------------===//
+
+TEST_F(CoreFixture, DeploymentRunsAllPhases) {
+  PackageStore Store;
+  DeploymentParams P;
+  P.Regions = 1;
+  P.Buckets = 2;
+  P.SeedersPerPair = 1;
+  P.SeederRequests = 120;
+  P.ConsumerSamplesPerPair = 1;
+  DeploymentReport Report = simulateDeployment(
+      *W, *Traffic, baseConfig(), lenientOpts(), Store, P);
+  EXPECT_TRUE(Report.CanaryHealthy);
+  EXPECT_EQ(Report.SeedersRun, 2u);
+  EXPECT_EQ(Report.PackagesPublished, 2u)
+      << (Report.Log.empty() ? "" : Report.Log.back());
+  EXPECT_EQ(Report.ConsumersBooted, 2u);
+  EXPECT_EQ(Report.ConsumersUsedJumpStart, 2u);
+  EXPECT_GT(Report.MeanConsumerInitSeconds, 0.0);
+}
+
+TEST_F(CoreFixture, NewCodeVersionInvalidatesOldPackages) {
+  // Continuous deployment: packages are tied to the code version that
+  // produced them.  After a push changes the site, consumers on the new
+  // version must reject the stale packages and fall back.
+  PackageStore Store;
+  ASSERT_TRUE(seedInto(Store).Published);
+
+  fleet::WorkloadParams P;
+  P.NumHelpers = 121; // "new release": one helper added
+  P.NumClasses = 24;
+  P.NumEndpoints = 12;
+  P.NumUnits = 12;
+  auto NewSite = fleet::generateWorkload(P);
+
+  ConsumerOutcome Out = startConsumer(*NewSite, baseConfig(),
+                                      lenientOpts(), Store,
+                                      ConsumerParams());
+  EXPECT_FALSE(Out.UsedJumpStart)
+      << "a stale package must never jump-start a new code version";
+  ASSERT_NE(Out.Server, nullptr);
+  // The log records the fingerprint rejections.
+  bool SawRejection = false;
+  for (const std::string &Line : Out.Log)
+    if (Line.find("fingerprint") != std::string::npos)
+      SawRejection = true;
+  EXPECT_TRUE(SawRejection);
+}

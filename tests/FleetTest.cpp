@@ -1,0 +1,303 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the fleet simulators: workload generation, traffic model,
+/// warmup runs, reliability model, steady-state measurement.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Seeder.h"
+#include "fleet/Reliability.h"
+#include "fleet/ServerSim.h"
+#include "fleet/SteadyState.h"
+#include "fleet/Traffic.h"
+#include "fleet/WorkloadGen.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace jumpstart;
+using namespace jumpstart::fleet;
+
+namespace {
+
+WorkloadParams smallParams() {
+  WorkloadParams P;
+  P.NumHelpers = 120;
+  P.NumClasses = 24;
+  P.NumEndpoints = 12;
+  P.NumUnits = 12;
+  return P;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Workload generation.
+//===----------------------------------------------------------------------===//
+
+TEST(WorkloadGenTest, GeneratesCompilableSite) {
+  auto W = generateWorkload(smallParams());
+  EXPECT_EQ(W->Endpoints.size(), 12u);
+  EXPECT_GT(W->Repo.numFuncs(), 120u); // helpers + endpoints + methods
+  EXPECT_EQ(W->Repo.numClasses(), 24u);
+  EXPECT_GT(W->Repo.totalBytecode(), 1000u);
+  EXPECT_FALSE(W->Sources.empty());
+}
+
+TEST(WorkloadGenTest, DeterministicForSameSeed) {
+  auto A = generateWorkload(smallParams());
+  auto B = generateWorkload(smallParams());
+  ASSERT_EQ(A->Sources.size(), B->Sources.size());
+  for (size_t I = 0; I < A->Sources.size(); ++I)
+    EXPECT_EQ(A->Sources[I].second, B->Sources[I].second);
+}
+
+TEST(WorkloadGenTest, DifferentSeedsDiffer) {
+  WorkloadParams P = smallParams();
+  auto A = generateWorkload(P);
+  P.Seed = 777;
+  auto B = generateWorkload(P);
+  bool AnyDifferent = false;
+  for (size_t I = 0; I < A->Sources.size(); ++I)
+    if (A->Sources[I].second != B->Sources[I].second)
+      AnyDifferent = true;
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(WorkloadGenTest, EndpointsExecuteWithoutAborting) {
+  auto W = generateWorkload(smallParams());
+  runtime::ClassTable Classes(W->Repo);
+  runtime::Heap Heap;
+  interp::Interpreter Interp(W->Repo, Classes, Heap,
+                             runtime::BuiltinTable::standard());
+  for (bc::FuncId E : W->Endpoints) {
+    for (int64_t Req : {0, 7, 123}) {
+      interp::InterpResult R =
+          Interp.call(E, {runtime::Value::integer(Req)});
+      EXPECT_TRUE(R.Ok) << "endpoint aborted";
+      EXPECT_EQ(R.Faults, 0u)
+          << "generated code must not fault on integer requests";
+      Heap.reset();
+    }
+  }
+}
+
+TEST(WorkloadGenTest, ProfileIsFlat) {
+  // Execute a traffic mix and check no single function dominates.
+  auto W = generateWorkload(smallParams());
+  TrafficModel Traffic(*W, TrafficParams(), 5);
+  runtime::ClassTable Classes(W->Repo);
+  runtime::Heap Heap;
+  interp::Interpreter Interp(W->Repo, Classes, Heap,
+                             runtime::BuiltinTable::standard());
+  std::vector<uint64_t> Counts;
+  Interp.setInstrCounts(&Counts);
+  Rng R(3);
+  for (int I = 0; I < 100; ++I) {
+    uint32_t E = Traffic.sampleEndpoint(0, R.nextBelow(10), R);
+    Interp.call(W->Endpoints[E], TrafficModel::makeArgs(R));
+    Heap.reset();
+  }
+  uint64_t Total = std::accumulate(Counts.begin(), Counts.end(), 0ull);
+  uint64_t Max = *std::max_element(Counts.begin(), Counts.end());
+  ASSERT_GT(Total, 0u);
+  // The miniature test site (120 helpers) is less flat than a full-size
+  // one; 20% is the dominance bound at this scale.
+  EXPECT_LT(static_cast<double>(Max) / Total, 0.20)
+      << "no function should dominate the flat profile";
+  size_t Executed = 0;
+  for (uint64_t C : Counts)
+    if (C > 0)
+      ++Executed;
+  EXPECT_GT(Executed, W->Repo.numFuncs() / 4)
+      << "a long tail of functions should execute";
+}
+
+//===----------------------------------------------------------------------===//
+// Traffic model.
+//===----------------------------------------------------------------------===//
+
+TEST(TrafficTest, BucketAffinity) {
+  auto W = generateWorkload(smallParams());
+  TrafficParams TP;
+  TP.BucketAffinity = 0.9;
+  TrafficModel Traffic(*W, TP, 9);
+  Rng R(4);
+  int InBucket = 0;
+  const int N = 2000;
+  for (int I = 0; I < N; ++I) {
+    uint32_t E = Traffic.sampleEndpoint(0, 3, R);
+    if (W->EndpointPartition[E] == 3)
+      ++InBucket;
+  }
+  // ~90% affinity plus ~1/10 of the spillover landing back home.
+  EXPECT_GT(InBucket, N * 0.8);
+  EXPECT_LT(InBucket, N * 0.98);
+}
+
+TEST(TrafficTest, RegionsHaveDifferentMixes) {
+  auto W = generateWorkload(smallParams());
+  TrafficModel Traffic(*W, TrafficParams(), 9);
+  Rng R(4);
+  std::vector<int> CountsA(W->Endpoints.size(), 0);
+  std::vector<int> CountsB(W->Endpoints.size(), 0);
+  for (int I = 0; I < 3000; ++I) {
+    ++CountsA[Traffic.sampleEndpoint(0, 2, R)];
+    ++CountsB[Traffic.sampleEndpoint(1, 2, R)];
+  }
+  // The hottest endpoint should differ between regions (shuffled heads).
+  size_t HotA = std::max_element(CountsA.begin(), CountsA.end()) -
+                CountsA.begin();
+  size_t HotB = std::max_element(CountsB.begin(), CountsB.end()) -
+                CountsB.begin();
+  EXPECT_TRUE(HotA != HotB || CountsA[HotA] != CountsB[HotB]);
+}
+
+//===----------------------------------------------------------------------===//
+// Warmup simulation.
+//===----------------------------------------------------------------------===//
+
+TEST(WarmupSim, JumpStartBeatsColdStart) {
+  auto W = generateWorkload(smallParams());
+  TrafficModel Traffic(*W, TrafficParams(), 21);
+  vm::ServerConfig Config;
+  Config.Jit.ProfileRequestTarget = 200;
+
+  // Seed a package.
+  vm::ServerConfig SeederConfig = Config;
+  SeederConfig.Jit.SeederInstrumentation = true;
+  auto Seeder = runSeeder(*W, Traffic, SeederConfig, 0, 0, 150, 3);
+  profile::ProfilePackage Pkg = Seeder->buildSeederPackage(0, 0, 1);
+
+  ServerSimParams P;
+  P.DurationSeconds = 120;
+  P.OfferedRps = 1200;
+  WarmupResult Cold = runWarmup(*W, Traffic, Config, P);
+  WarmupResult Js = runWarmup(*W, Traffic, Config, P, &Pkg);
+
+  EXPECT_GT(Cold.CapacityLossFraction, Js.CapacityLossFraction)
+      << "Jump-Start must reduce capacity loss";
+  EXPECT_GT(Cold.CapacityLossFraction, 0.05);
+  // The Jump-Start server must end the window serving more of the load.
+  EXPECT_GT(Js.NormalizedRps.points().back().Value,
+            Cold.NormalizedRps.points().back().Value * 0.99);
+}
+
+TEST(WarmupSim, PhaseTimesAreOrdered) {
+  auto W = generateWorkload(smallParams());
+  TrafficModel Traffic(*W, TrafficParams(), 22);
+  vm::ServerConfig Config;
+  Config.Jit.ProfileRequestTarget = 300;
+  ServerSimParams P;
+  P.DurationSeconds = 150;
+  P.OfferedRps = 2000;
+  WarmupResult Res = runWarmup(*W, Traffic, Config, P);
+  ASSERT_GE(Res.Phases.ProfilingEnd, 0) << "profiling must end in-window";
+  EXPECT_LE(Res.Phases.ServeStart, Res.Phases.ProfilingEnd);
+  ASSERT_GE(Res.Phases.RelocationEnd, 0);
+  EXPECT_LE(Res.Phases.ProfilingEnd, Res.Phases.RelocationEnd);
+  // Code keeps growing (live tail) at or past relocation end.
+  EXPECT_GE(Res.Phases.JitingStopped, Res.Phases.RelocationEnd);
+  // Code size curve is nondecreasing.
+  const auto &Pts = Res.CodeBytes.points();
+  for (size_t I = 1; I < Pts.size(); ++I)
+    EXPECT_GE(Pts[I].Value, Pts[I - 1].Value);
+}
+
+//===----------------------------------------------------------------------===//
+// Steady-state measurement.
+//===----------------------------------------------------------------------===//
+
+TEST(SteadyStateTest, ProducesCountersAndThroughput) {
+  auto W = generateWorkload(smallParams());
+  TrafficModel Traffic(*W, TrafficParams(), 23);
+  vm::ServerConfig Config;
+  Config.Jit.ProfileRequestTarget = 60;
+  auto Server = runSeeder(*W, Traffic, Config, 0, 0, 120, 5);
+  ASSERT_EQ(Server->theJit().phase(), jit::JitPhase::Mature);
+
+  SteadyStateParams P;
+  P.Requests = 40;
+  P.WarmupRequests = 10;
+  SteadyStateResult R = measureSteadyState(*W, Traffic, *Server, P);
+  EXPECT_GT(R.Counters.Instructions, 1000u);
+  EXPECT_GT(R.Counters.Branches, 0u);
+  EXPECT_GT(R.Counters.L1DAccesses, 0u);
+  EXPECT_GT(R.Throughput, 0.0);
+  EXPECT_GT(R.CyclesPerRequest, 0.0);
+  EXPECT_LE(R.L1IMissRate, 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Reliability model (paper section VI).
+//===----------------------------------------------------------------------===//
+
+TEST(ReliabilityTest, NoPoisonNoCrashes) {
+  ReliabilityParams P;
+  P.NumPoisoned = 0;
+  ReliabilityResult R = simulateCrashLoop(P);
+  EXPECT_EQ(R.PeakCrashed, 0u);
+  EXPECT_EQ(R.HealthyAtEnd, P.NumConsumers);
+  EXPECT_EQ(R.FallbackCount, 0u);
+}
+
+TEST(ReliabilityTest, RandomizedSelectionDecaysExponentially) {
+  ReliabilityParams P;
+  P.NumConsumers = 8000;
+  P.NumPackages = 8;
+  P.NumPoisoned = 1;
+  P.RandomizedSelection = true;
+  ReliabilityResult R = simulateCrashLoop(P);
+  ASSERT_GE(R.CrashedPerRound.size(), 3u);
+  // Round 0 hits ~1/8 of consumers; each later round shrinks ~8x.
+  EXPECT_NEAR(R.CrashedPerRound[0], 1000, 200);
+  EXPECT_LT(R.CrashedPerRound[1], R.CrashedPerRound[0] / 4);
+  EXPECT_LT(R.CrashedPerRound[2], R.CrashedPerRound[1]);
+  EXPECT_EQ(R.HealthyAtEnd, P.NumConsumers)
+      << "every consumer recovers (good pick or fallback)";
+}
+
+TEST(ReliabilityTest, SinglePackageModeIsCatastrophic) {
+  ReliabilityParams P;
+  P.NumConsumers = 1000;
+  P.NumPackages = 4;
+  P.NumPoisoned = 1;
+  P.RandomizedSelection = false; // everyone uses package 0 (the bad one)
+  ReliabilityResult R = simulateCrashLoop(P);
+  EXPECT_EQ(R.CrashedPerRound[0], P.NumConsumers)
+      << "without randomization, one bad package takes down everything";
+  EXPECT_EQ(R.FallbackCount, P.NumConsumers)
+      << "only the fallback saves the fleet";
+}
+
+TEST(ReliabilityTest, ValidationPreventsPublication) {
+  ReliabilityParams P;
+  P.NumPoisoned = 1;
+  P.ValidationCatchProbability = 1.0;
+  ReliabilityResult R = simulateCrashLoop(P);
+  EXPECT_EQ(R.PoisonedPublished, 0u);
+  EXPECT_EQ(R.PeakCrashed, 0u);
+}
+
+TEST(ReliabilityTest, FallbackBoundsCrashCount) {
+  ReliabilityParams P;
+  P.NumConsumers = 500;
+  P.NumPackages = 1;
+  P.NumPoisoned = 1; // the only package is bad
+  P.MaxJumpStartAttempts = 2;
+  ReliabilityResult R = simulateCrashLoop(P);
+  uint64_t TotalCrashes = 0;
+  for (uint32_t C : R.CrashedPerRound)
+    TotalCrashes += C;
+  EXPECT_EQ(TotalCrashes, 500u * 2)
+      << "each consumer crashes at most MaxJumpStartAttempts times";
+  EXPECT_EQ(R.FallbackCount, 500u);
+  EXPECT_EQ(R.HealthyAtEnd, 500u);
+}

@@ -1,0 +1,275 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Frontend tests: lexer tokens, parser diagnostics, compiler-level
+/// semantic errors, and cross-unit compilation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Verifier.h"
+#include "frontend/Compiler.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "runtime/Builtins.h"
+
+#include <gtest/gtest.h>
+
+using namespace jumpstart;
+using namespace jumpstart::frontend;
+
+namespace {
+
+std::vector<Token> lexAll(std::string_view Src) {
+  Lexer L(Src);
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = L.next();
+    Tokens.push_back(T);
+    if (T.Kind == TokKind::Eof || T.Kind == TokKind::Error)
+      break;
+  }
+  return Tokens;
+}
+
+std::vector<std::string> compileErrors(const std::string &Src) {
+  bc::Repo R;
+  return compileUnit(R, runtime::BuiltinTable::standard(), "t.hack", Src);
+}
+
+bool anyErrorContains(const std::vector<std::string> &Errors,
+                      const std::string &Needle) {
+  for (const std::string &E : Errors)
+    if (E.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer.
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, TokenKinds) {
+  auto Tokens = lexAll("function f($x) { return $x + 1.5 >= \"s\"; }");
+  std::vector<TokKind> Kinds;
+  for (const Token &T : Tokens)
+    Kinds.push_back(T.Kind);
+  std::vector<TokKind> Expected{
+      TokKind::KwFunction, TokKind::Ident,  TokKind::LParen,
+      TokKind::Variable,   TokKind::RParen, TokKind::LBrace,
+      TokKind::KwReturn,   TokKind::Variable, TokKind::Plus,
+      TokKind::DblLit,     TokKind::Ge,     TokKind::StrLit,
+      TokKind::Semi,       TokKind::RBrace, TokKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, NumbersAndValues) {
+  auto Tokens = lexAll("42 3.25");
+  ASSERT_GE(Tokens.size(), 2u);
+  EXPECT_EQ(Tokens[0].Kind, TokKind::IntLit);
+  EXPECT_EQ(Tokens[0].IntValue, 42);
+  EXPECT_EQ(Tokens[1].Kind, TokKind::DblLit);
+  EXPECT_DOUBLE_EQ(Tokens[1].DblValue, 3.25);
+}
+
+TEST(Lexer, StringEscapes) {
+  auto Tokens = lexAll(R"("a\nb\t\"c\\")");
+  ASSERT_EQ(Tokens[0].Kind, TokKind::StrLit);
+  EXPECT_EQ(Tokens[0].Text, "a\nb\t\"c\\");
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto Tokens = lexAll("1 // line comment\n /* block\ncomment */ 2");
+  ASSERT_GE(Tokens.size(), 3u);
+  EXPECT_EQ(Tokens[0].IntValue, 1);
+  EXPECT_EQ(Tokens[1].IntValue, 2);
+  EXPECT_EQ(Tokens[2].Kind, TokKind::Eof);
+}
+
+TEST(Lexer, ThisIsKeyword) {
+  auto Tokens = lexAll("$this $thisx");
+  EXPECT_EQ(Tokens[0].Kind, TokKind::KwThis);
+  EXPECT_EQ(Tokens[1].Kind, TokKind::Variable);
+  EXPECT_EQ(Tokens[1].Text, "thisx");
+}
+
+TEST(Lexer, ErrorsAreTokens) {
+  auto Tokens = lexAll("\"unterminated");
+  EXPECT_EQ(Tokens.back().Kind, TokKind::Error);
+  auto Tokens2 = lexAll("a @ b");
+  bool SawError = false;
+  for (const Token &T : Tokens2)
+    if (T.Kind == TokKind::Error)
+      SawError = true;
+  EXPECT_TRUE(SawError);
+}
+
+TEST(Lexer, LineTracking) {
+  Lexer L("a\nb\n\nc");
+  EXPECT_EQ(L.next().Line, 1u);
+  EXPECT_EQ(L.next().Line, 2u);
+  EXPECT_EQ(L.next().Line, 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser diagnostics.
+//===----------------------------------------------------------------------===//
+
+TEST(ParserTest, ReportsMissingSemicolon) {
+  Parser P("function f() { return 1 }");
+  P.parseProgram();
+  ASSERT_FALSE(P.errors().empty());
+  EXPECT_NE(P.errors()[0].find("';'"), std::string::npos);
+}
+
+TEST(ParserTest, ReportsBadAssignTarget) {
+  Parser P("function f() { 1 + 2 = 3; }");
+  P.parseProgram();
+  ASSERT_FALSE(P.errors().empty());
+  EXPECT_NE(P.errors()[0].find("not assignable"), std::string::npos);
+}
+
+TEST(ParserTest, RecoversAcrossDeclarations) {
+  Parser P("function broken( { }\nfunction ok() { return 1; }");
+  Program Prog = P.parseProgram();
+  EXPECT_FALSE(P.errors().empty());
+  // The second function still parses.
+  bool FoundOk = false;
+  for (const FuncDecl &F : Prog.Funcs)
+    if (F.Name == "ok")
+      FoundOk = true;
+  EXPECT_TRUE(FoundOk);
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  Parser P("function f() {\n\n  return @;\n}");
+  P.parseProgram();
+  ASSERT_FALSE(P.errors().empty());
+  EXPECT_NE(P.errors()[0].find("line 3"), std::string::npos);
+}
+
+TEST(ParserTest, ElseIfChains) {
+  Parser P("function f($x) {"
+           "  if ($x == 1) { return 1; }"
+           "  else if ($x == 2) { return 2; }"
+           "  else { return 3; }"
+           "}");
+  Program Prog = P.parseProgram();
+  EXPECT_TRUE(P.errors().empty());
+  ASSERT_EQ(Prog.Funcs.size(), 1u);
+}
+
+TEST(ParserTest, ErrorCascadeIsBounded) {
+  // A pathological input must not produce unbounded diagnostics.
+  std::string Bad = "function f() {";
+  for (int I = 0; I < 500; ++I)
+    Bad += " @ ";
+  Bad += "}";
+  Parser P(Bad);
+  P.parseProgram();
+  EXPECT_LE(P.errors().size(), 50u);
+}
+
+//===----------------------------------------------------------------------===//
+// Compiler semantic diagnostics.
+//===----------------------------------------------------------------------===//
+
+TEST(CompilerTest, UnknownFunction) {
+  auto Errors = compileErrors("function f() { return nope(); }");
+  EXPECT_TRUE(anyErrorContains(Errors, "unknown function 'nope'"));
+}
+
+TEST(CompilerTest, UnknownClass) {
+  auto Errors = compileErrors("function f() { return new Nope(); }");
+  EXPECT_TRUE(anyErrorContains(Errors, "unknown class 'Nope'"));
+}
+
+TEST(CompilerTest, ArityMismatch) {
+  auto Errors = compileErrors("function g($a, $b) { return $a; }"
+                              "function f() { return g(1); }");
+  EXPECT_TRUE(anyErrorContains(Errors, "expects 2"));
+}
+
+TEST(CompilerTest, BuiltinArityMismatch) {
+  auto Errors = compileErrors("function f() { return strlen(); }");
+  EXPECT_TRUE(anyErrorContains(Errors, "takes 1 args"));
+}
+
+TEST(CompilerTest, ThisOutsideMethod) {
+  auto Errors = compileErrors("function f() { return $this; }");
+  EXPECT_TRUE(anyErrorContains(Errors, "'$this' outside"));
+}
+
+TEST(CompilerTest, BreakOutsideLoop) {
+  auto Errors = compileErrors("function f() { break; return 1; }");
+  EXPECT_TRUE(anyErrorContains(Errors, "'break' outside"));
+}
+
+TEST(CompilerTest, DuplicateFunction) {
+  auto Errors = compileErrors("function f() { return 1; }"
+                              "function f() { return 2; }");
+  EXPECT_TRUE(anyErrorContains(Errors, "duplicate function"));
+}
+
+TEST(CompilerTest, DuplicateClass) {
+  auto Errors = compileErrors("class C { prop $p; } class C { prop $q; }");
+  EXPECT_TRUE(anyErrorContains(Errors, "duplicate class"));
+}
+
+TEST(CompilerTest, UnknownParent) {
+  auto Errors = compileErrors("class C extends Nope { prop $p; }");
+  EXPECT_TRUE(anyErrorContains(Errors, "unknown parent"));
+}
+
+TEST(CompilerTest, InheritanceCycleDetected) {
+  auto Errors = compileErrors("class A extends B { prop $a; }"
+                              "class B extends A { prop $b; }");
+  EXPECT_TRUE(anyErrorContains(Errors, "cycle"));
+}
+
+TEST(CompilerTest, CrossUnitReferencesResolve) {
+  bc::Repo R;
+  std::vector<SourceFile> Files{
+      {"a.hack", "function fa() { return fb() + 1; }"},
+      {"b.hack", "function fb() { return new K()->m(); }"},
+      {"k.hack", "class K { prop $p; method m() { return 41; } }"},
+  };
+  auto Errors =
+      compileProgram(R, runtime::BuiltinTable::standard(), Files);
+  EXPECT_TRUE(Errors.empty()) << (Errors.empty() ? "" : Errors[0]);
+  EXPECT_EQ(R.numUnits(), 3u);
+  // Everything verifier-clean.
+  auto VErrors =
+      bc::verifyRepo(R, runtime::BuiltinTable::standard().size());
+  EXPECT_TRUE(VErrors.empty()) << (VErrors.empty() ? "" : VErrors[0]);
+}
+
+TEST(CompilerTest, GeneratedBytecodeAlwaysVerifies) {
+  // Property: anything the compiler accepts must pass the verifier.
+  const char *Programs[] = {
+      "function f($a) { $x = vec[1,2]; $x[0] = $a; return $x[0]; }",
+      "function f($a) { while ($a > 0) { $a -= 1; if ($a == 3) { break; } }"
+      " return $a; }",
+      "function f($a) { return ($a && true) || !($a == 2); }",
+      "class C { prop $v; method m($x) { $this->v = $x; return $this; } }"
+      "function f($a) { return new C()->m($a)->v; }",
+      "function f($a) { $d = dict[\"k\" => $a]; $d[\"j\"] = $a * 2;"
+      " return keys($d); }",
+  };
+  for (const char *Src : Programs) {
+    bc::Repo R;
+    auto Errors =
+        compileUnit(R, runtime::BuiltinTable::standard(), "p.hack", Src);
+    ASSERT_TRUE(Errors.empty()) << Src << ": " << Errors[0];
+    auto VErrors =
+        bc::verifyRepo(R, runtime::BuiltinTable::standard().size());
+    EXPECT_TRUE(VErrors.empty())
+        << Src << ": " << (VErrors.empty() ? "" : VErrors[0]);
+  }
+}

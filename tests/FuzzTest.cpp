@@ -1,0 +1,236 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Grammar-directed fuzzing: generate random (syntactically valid)
+/// mini-Hack programs and check the pipeline invariants -- everything the
+/// compiler accepts must verify, and everything that verifies must
+/// execute without crashing the VM (dynamic faults are fine; crashes and
+/// verifier escapes are not).  Also cross-checks that JIT observation
+/// hooks never change results on the fuzzed programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Verifier.h"
+#include "frontend/Compiler.h"
+#include "interp/Interpreter.h"
+#include "jit/Jit.h"
+#include "jit/Recorders.h"
+#include "runtime/ValueOps.h"
+#include "support/Random.h"
+#include "support/StringUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace jumpstart;
+
+namespace {
+
+/// Generates random well-formed programs.
+class ProgramFuzzer {
+public:
+  explicit ProgramFuzzer(uint64_t Seed) : R(Seed) {}
+
+  std::string generate() {
+    Source.clear();
+    NumFuncs = 2 + static_cast<int>(R.nextBelow(5));
+    genClass();
+    for (int F = 0; F < NumFuncs; ++F)
+      genFunction(F);
+    return Source;
+  }
+
+private:
+  /// Variables in scope for the function currently being generated.
+  std::vector<std::string> Vars;
+
+  void genClass() {
+    Source += "class Box {\n  prop $a; prop $b; prop $c;\n"
+              "  method set($v) { $this->a = $v; $this->b = $v * 2; "
+              "return $this; }\n"
+              "  method get() { return $this->a + $this->b; }\n}\n";
+  }
+
+  std::string randVar() {
+    if (Vars.empty())
+      return "$unset"; // reads as null: legal
+    return Vars[R.nextBelow(Vars.size())];
+  }
+
+  /// A random expression of bounded depth.  All constructs are legal in
+  /// any context; type errors at runtime are intentional (they must
+  /// fault, not crash).
+  std::string genExpr(int Depth) {
+    if (Depth <= 0 || R.nextBool(0.3)) {
+      switch (R.nextBelow(6)) {
+      case 0:
+        return strFormat("%d", static_cast<int>(R.nextBelow(100)));
+      case 1:
+        return strFormat("%d.5", static_cast<int>(R.nextBelow(9)));
+      case 2:
+        return "\"s" + std::to_string(R.nextBelow(10)) + "\"";
+      case 3:
+        return R.nextBool(0.5) ? "true" : "null";
+      default:
+        return randVar();
+      }
+    }
+    switch (R.nextBelow(8)) {
+    case 0: {
+      const char *Ops[] = {"+", "-", "*", "/", "%", ".",
+                           "==", "!=", "<", "<=", ">", ">="};
+      return "(" + genExpr(Depth - 1) + " " +
+             Ops[R.nextBelow(sizeof(Ops) / sizeof(Ops[0]))] + " " +
+             genExpr(Depth - 1) + ")";
+    }
+    case 1:
+      return "(" + genExpr(Depth - 1) +
+             (R.nextBool(0.5) ? " && " : " || ") + genExpr(Depth - 1) +
+             ")";
+    case 2:
+      return "(!" + genExpr(Depth - 1) + ")";
+    case 3:
+      return "vec[" + genExpr(Depth - 1) + ", " + genExpr(Depth - 1) +
+             "]";
+    case 4:
+      return "dict[\"k\" => " + genExpr(Depth - 1) + "]";
+    case 5:
+      return genExpr(Depth - 1) + "[" + genExpr(Depth - 1) + "]";
+    case 6:
+      // A call to an already-generated function (acyclic by index).
+      if (CurrentFunc > 0) {
+        int Callee = static_cast<int>(R.nextBelow(CurrentFunc));
+        return strFormat("f%d(%s)", Callee, genExpr(Depth - 1).c_str());
+      }
+      return "abs(" + genExpr(Depth - 1) + ")";
+    default:
+      return "new Box()->set(" + genExpr(Depth - 1) + ")->get()";
+    }
+  }
+
+  void genStmt(int Depth, int Indent) {
+    std::string Pad(static_cast<size_t>(Indent) * 2, ' ');
+    switch (R.nextBelow(Depth > 0 ? 5 : 2)) {
+    case 0: {
+      std::string V = strFormat("$v%d", static_cast<int>(R.nextBelow(6)));
+      Source += Pad + V + " = " + genExpr(2) + ";\n";
+      Vars.push_back(V);
+      return;
+    }
+    case 1:
+      Source += Pad + "print(to_str(" + genExpr(1) + "));\n";
+      return;
+    case 2: {
+      Source += Pad + "if (" + genExpr(1) + ") {\n";
+      genStmt(Depth - 1, Indent + 1);
+      Source += Pad + "} else {\n";
+      genStmt(Depth - 1, Indent + 1);
+      Source += Pad + "}\n";
+      return;
+    }
+    case 3: {
+      // Loops are always bounded by construction.
+      std::string I = strFormat("$i%d", Indent);
+      Source += Pad + I + " = 0;\n";
+      Source += Pad + "while (" + I + " < " +
+                std::to_string(1 + R.nextBelow(6)) + ") {\n";
+      genStmt(Depth - 1, Indent + 1);
+      Source += Pad + "  " + I + " = " + I + " + 1;\n";
+      Source += Pad + "}\n";
+      Vars.push_back(I);
+      return;
+    }
+    default:
+      Source += Pad + "if (" + genExpr(1) + ") { return " + genExpr(2) +
+                "; }\n";
+      return;
+    }
+  }
+
+  void genFunction(int Index) {
+    CurrentFunc = Index;
+    Vars = {"$x"};
+    Source += strFormat("function f%d($x) {\n", Index);
+    int Stmts = 2 + static_cast<int>(R.nextBelow(5));
+    for (int S = 0; S < Stmts; ++S)
+      genStmt(2, 1);
+    Source += "  return " + genExpr(2) + ";\n}\n";
+  }
+
+  Rng R;
+  std::string Source;
+  int NumFuncs = 0;
+  int CurrentFunc = 0;
+};
+
+} // namespace
+
+class FuzzPipeline : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzPipeline, CompileVerifyExecute) {
+  ProgramFuzzer Fuzzer(GetParam());
+  std::string Source = Fuzzer.generate();
+
+  bc::Repo Repo;
+  const runtime::BuiltinTable &Builtins = runtime::BuiltinTable::standard();
+  std::vector<std::string> Errors =
+      frontend::compileUnit(Repo, Builtins, "fuzz.hack", Source);
+  ASSERT_TRUE(Errors.empty())
+      << "fuzzer emitted an invalid program (seed " << GetParam()
+      << "): " << Errors[0] << "\n"
+      << Source;
+
+  // Invariant 1: accepted programs verify.
+  std::vector<std::string> VErrors = bc::verifyRepo(Repo, Builtins.size());
+  ASSERT_TRUE(VErrors.empty())
+      << "verifier escape (seed " << GetParam() << "): " << VErrors[0]
+      << "\n" << Source;
+
+  // Invariant 2: verified programs execute without crashing, observed or
+  // not, and observation never changes results.
+  runtime::ClassTable Classes(Repo);
+  runtime::Heap Heap;
+  interp::InterpOptions Opts;
+  Opts.StepBudget = 2'000'000;
+  interp::Interpreter Interp(Repo, Classes, Heap, Builtins, Opts);
+  std::string Output;
+  Interp.setOutput(&Output);
+
+  jit::Jit J(Repo, jit::JitConfig());
+  jit::JitProfilingHooks Hooks(J);
+
+  for (const bc::Function &F : Repo.funcs()) {
+    if (F.isMethod())
+      continue;
+    std::vector<runtime::Value> Args;
+    for (uint32_t P = 0; P < F.NumParams; ++P)
+      Args.push_back(runtime::Value::integer(7));
+
+    Interp.setCallbacks(nullptr);
+    interp::InterpResult Plain = Interp.call(F.Id, Args);
+    std::string PlainOut = Output;
+    Heap.reset();
+    Output.clear();
+
+    Interp.setCallbacks(&Hooks);
+    interp::InterpResult Observed = Interp.call(F.Id, Args);
+    Heap.reset();
+
+    EXPECT_EQ(Plain.Ok, Observed.Ok);
+    EXPECT_EQ(Plain.Steps, Observed.Steps);
+    EXPECT_EQ(Plain.Faults, Observed.Faults);
+    EXPECT_EQ(runtime::toString(Plain.Ret),
+              runtime::toString(Observed.Ret))
+        << "observation changed a result (seed " << GetParam() << ", "
+        << F.Name << ")\n" << Source;
+    EXPECT_EQ(Output, PlainOut);
+    Output.clear();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
+                         ::testing::Range<uint64_t>(1, 25));

@@ -1,0 +1,266 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-module integration and property tests: semantic invariance
+/// across execution tiers and observation modes, end-to-end package round
+/// trips over randomly generated workloads, and simulator determinism.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Consumer.h"
+#include "core/Seeder.h"
+#include "fleet/ServerSim.h"
+#include "fleet/SteadyState.h"
+#include "jit/VasmTracer.h"
+#include "runtime/ValueOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace jumpstart;
+
+namespace {
+
+fleet::WorkloadParams tinySite(uint64_t Seed) {
+  fleet::WorkloadParams P;
+  P.Seed = Seed;
+  P.NumHelpers = 96;
+  P.NumClasses = 18;
+  P.NumEndpoints = 10;
+  P.NumUnits = 10;
+  return P;
+}
+
+/// Runs every endpoint once in a bare interpreter and returns the
+/// stringified results.
+std::vector<std::string> endpointResults(const fleet::Workload &W,
+                                         interp::ExecCallbacks *CB,
+                                         int64_t Arg) {
+  runtime::ClassTable Classes(W.Repo);
+  runtime::Heap Heap;
+  interp::Interpreter Interp(W.Repo, Classes, Heap,
+                             runtime::BuiltinTable::standard());
+  Interp.setCallbacks(CB);
+  std::vector<std::string> Results;
+  for (bc::FuncId E : W.Endpoints) {
+    interp::InterpResult R =
+        Interp.call(E, {runtime::Value::integer(Arg)});
+    Results.push_back(runtime::toString(R.Ret));
+    Heap.reset();
+  }
+  return Results;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Semantic invariance.
+//===----------------------------------------------------------------------===//
+
+TEST(SemanticInvariance, ObservationDoesNotChangeResults) {
+  // Attaching profiling hooks or the Vasm tracer must never change what
+  // the program computes.
+  auto W = fleet::generateWorkload(tinySite(3));
+  std::vector<std::string> Plain = endpointResults(*W, nullptr, 12345);
+
+  jit::Jit J(W->Repo, jit::JitConfig());
+  jit::JitProfilingHooks Hooks(J);
+  EXPECT_EQ(endpointResults(*W, &Hooks, 12345), Plain);
+
+  sim::MachineSim Machine;
+  jit::VasmTracer Tracer(J, Machine);
+  EXPECT_EQ(endpointResults(*W, &Tracer, 12345), Plain);
+}
+
+TEST(SemanticInvariance, TiersDoNotChangeResults) {
+  // A fully warmed Jump-Start consumer and a bare interpreter must agree
+  // on every endpoint result: the JIT affects cost, never semantics.
+  auto W = fleet::generateWorkload(tinySite(4));
+  fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 9);
+  vm::ServerConfig Config;
+  Config.Jit.ProfileRequestTarget = 30;
+  Config.Jit.SeederInstrumentation = true;
+  auto Seeder = fleet::runSeeder(*W, Traffic, Config, 0, 0, 100, 5);
+  profile::ProfilePackage Pkg = Seeder->buildSeederPackage(0, 0, 1);
+
+  vm::ServerConfig CConfig;
+  CConfig.Jit.ProfileRequestTarget = 30;
+  vm::Server Consumer(W->Repo, CConfig, 6);
+  ASSERT_TRUE(Consumer.installPackage(Pkg));
+  Consumer.startup();
+  ASSERT_EQ(Consumer.theJit().phase(), jit::JitPhase::Mature);
+
+  std::vector<std::string> Plain = endpointResults(*W, nullptr, 777);
+  for (size_t E = 0; E < W->Endpoints.size(); ++E) {
+    // Execute on the consumer (hooks attached, optimized code "running").
+    runtime::Heap Scratch;
+    interp::InterpResult R = Consumer.interpreter().call(
+        W->Endpoints[E], {runtime::Value::integer(777)});
+    EXPECT_EQ(runtime::toString(R.Ret), Plain[E])
+        << "endpoint " << E << " diverged on the warmed consumer";
+  }
+}
+
+TEST(SemanticInvariance, PropertyReorderingPreservesSemantics) {
+  // Reordered object layouts are an internal matter: results identical.
+  auto W = fleet::generateWorkload(tinySite(5));
+  std::vector<std::string> Plain = endpointResults(*W, nullptr, 999);
+
+  // Build a counts map that reorders aggressively (every property hot in
+  // reverse declaration order).
+  std::unordered_map<std::string, uint64_t> Counts;
+  for (const bc::Class &K : W->Repo.classes()) {
+    uint64_t Hot = 1;
+    for (const bc::StringId P : K.DeclProps)
+      Counts[K.Name + "::" + W->Repo.str(P)] = Hot++;
+  }
+  runtime::ClassTable Classes(W->Repo);
+  Classes.enablePropReordering(&Counts);
+  runtime::Heap Heap;
+  interp::Interpreter Interp(W->Repo, Classes, Heap,
+                             runtime::BuiltinTable::standard());
+  for (size_t E = 0; E < W->Endpoints.size(); ++E) {
+    interp::InterpResult R = Interp.call(
+        W->Endpoints[E], {runtime::Value::integer(999)});
+    EXPECT_EQ(runtime::toString(R.Ret), Plain[E]);
+    Heap.reset();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end package round trip over random workloads.
+//===----------------------------------------------------------------------===//
+
+class PackageRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PackageRoundTrip, SeedConsumeServe) {
+  auto W = fleet::generateWorkload(tinySite(GetParam()));
+  fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), GetParam());
+  vm::ServerConfig Config;
+  Config.Jit.ProfileRequestTarget = 30;
+
+  core::PackageStore Store;
+  core::JumpStartOptions Opts;
+  Opts.Coverage.MinProfiledFuncs = 3;
+  Opts.Coverage.MinTotalSamples = 50;
+  Opts.ValidationRequests = 8;
+  core::SeederParams SP;
+  SP.Requests = 80;
+  SP.Seed = GetParam() * 7 + 1;
+  core::SeederOutcome Seeded = core::runSeederWorkflow(
+      *W, Traffic, Config, Opts, Store, SP);
+  ASSERT_TRUE(Seeded.Published)
+      << (Seeded.Problems.empty() ? "?" : Seeded.Problems[0]);
+
+  core::ConsumerParams CP;
+  CP.Seed = GetParam() * 13 + 5;
+  core::ConsumerOutcome Consumer =
+      core::startConsumer(*W, Config, Opts, Store, CP);
+  ASSERT_TRUE(Consumer.UsedJumpStart);
+  ASSERT_EQ(Consumer.Server->theJit().phase(), jit::JitPhase::Mature);
+
+  // The consumer serves every endpoint without faults and its mature
+  // requests are much cheaper than a cold server's.
+  vm::Server Cold(W->Repo, Config, 1);
+  Cold.startup();
+  Rng R(GetParam());
+  double WarmCost = 0;
+  double ColdCost = 0;
+  uint64_t FaultsBefore = Consumer.Server->totalFaults();
+  for (int I = 0; I < 10; ++I) {
+    auto Args = fleet::TrafficModel::makeArgs(R);
+    bc::FuncId E = W->Endpoints[R.nextBelow(W->Endpoints.size())];
+    WarmCost += Consumer.Server->executeRequest(E, Args);
+    ColdCost += Cold.executeRequest(E, Args);
+  }
+  EXPECT_EQ(Consumer.Server->totalFaults(), FaultsBefore);
+  EXPECT_LT(WarmCost, ColdCost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PackageRoundTrip,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+//===----------------------------------------------------------------------===//
+// Simulator determinism.
+//===----------------------------------------------------------------------===//
+
+TEST(Determinism, WarmupRunsAreReproducible) {
+  auto W = fleet::generateWorkload(tinySite(6));
+  fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 6);
+  vm::ServerConfig Config;
+  Config.Jit.ProfileRequestTarget = 100;
+  fleet::ServerSimParams P;
+  P.DurationSeconds = 60;
+  P.OfferedRps = 800;
+  fleet::WarmupResult A = fleet::runWarmup(*W, Traffic, Config, P);
+  fleet::WarmupResult B = fleet::runWarmup(*W, Traffic, Config, P);
+  EXPECT_DOUBLE_EQ(A.CapacityLossFraction, B.CapacityLossFraction);
+  ASSERT_EQ(A.Rps.points().size(), B.Rps.points().size());
+  for (size_t I = 0; I < A.Rps.points().size(); ++I)
+    EXPECT_DOUBLE_EQ(A.Rps.points()[I].Value, B.Rps.points()[I].Value);
+}
+
+TEST(Determinism, SteadyStateMeasurementIsReproducible) {
+  auto W = fleet::generateWorkload(tinySite(7));
+  fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 7);
+  vm::ServerConfig Config;
+  Config.Jit.ProfileRequestTarget = 30;
+  auto S1 = fleet::runSeeder(*W, Traffic, Config, 0, 0, 80, 9);
+  auto S2 = fleet::runSeeder(*W, Traffic, Config, 0, 0, 80, 9);
+  fleet::SteadyStateParams P;
+  P.Requests = 40;
+  P.WarmupRequests = 10;
+  fleet::SteadyStateResult A = measureSteadyState(*W, Traffic, *S1, P);
+  fleet::SteadyStateResult B = measureSteadyState(*W, Traffic, *S2, P);
+  EXPECT_EQ(A.Counters.Instructions, B.Counters.Instructions);
+  EXPECT_EQ(A.Counters.BranchMisses, B.Counters.BranchMisses);
+  EXPECT_EQ(A.Counters.L1IMisses, B.Counters.L1IMisses);
+  EXPECT_DOUBLE_EQ(A.Cycles, B.Cycles);
+}
+
+TEST(Determinism, PackagesAreByteIdentical) {
+  auto W = fleet::generateWorkload(tinySite(8));
+  fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 8);
+  vm::ServerConfig Config;
+  Config.Jit.ProfileRequestTarget = 30;
+  Config.Jit.SeederInstrumentation = true;
+  auto S1 = fleet::runSeeder(*W, Traffic, Config, 0, 0, 60, 10);
+  auto S2 = fleet::runSeeder(*W, Traffic, Config, 0, 0, 60, 10);
+  EXPECT_EQ(S1->buildSeederPackage(0, 0, 1).serialize(),
+            S2->buildSeederPackage(0, 0, 1).serialize());
+}
+
+//===----------------------------------------------------------------------===//
+// The Vasm tracer against a mature server.
+//===----------------------------------------------------------------------===//
+
+TEST(TracerIntegration, MatureServerProducesJitAddressTraffic) {
+  auto W = fleet::generateWorkload(tinySite(9));
+  fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 9);
+  vm::ServerConfig Config;
+  Config.Jit.ProfileRequestTarget = 30;
+  auto Server = fleet::runSeeder(*W, Traffic, Config, 0, 0, 100, 4);
+  ASSERT_EQ(Server->theJit().phase(), jit::JitPhase::Mature);
+
+  sim::MachineSim Machine;
+  jit::VasmTracer Tracer(Server->theJit(), Machine);
+  Server->attachCallbacks(&Tracer);
+  Rng R(2);
+  for (int I = 0; I < 20; ++I) {
+    bc::FuncId E = W->Endpoints[R.nextBelow(W->Endpoints.size())];
+    Server->executeRequest(E, fleet::TrafficModel::makeArgs(R));
+  }
+  Server->attachCallbacks(nullptr);
+
+  const sim::PerfCounters &C = Machine.counters();
+  EXPECT_GT(C.Instructions, 10000u);
+  EXPECT_GT(C.Branches, 100u);
+  EXPECT_GT(C.L1DAccesses, 100u);
+  // Mature servers fetch from the code cache, not the interpreter loop:
+  // the vast majority of instruction fetches land above the cache base.
+  EXPECT_GT(C.L1IAccesses, C.Instructions / 2);
+}

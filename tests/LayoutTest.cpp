@@ -1,0 +1,331 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit and property tests for the code-layout optimizations: Ext-TSP
+/// basic-block ordering, hot/cold splitting, and C3 / Pettis-Hansen
+/// function sorting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "layout/ExtTsp.h"
+#include "layout/FunctionSort.h"
+#include "layout/HotCold.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+using namespace jumpstart;
+using namespace jumpstart::layout;
+
+namespace {
+
+/// Checks that \p Order is a permutation of 0..N-1.
+void expectPermutation(const std::vector<uint32_t> &Order, size_t N) {
+  ASSERT_EQ(Order.size(), N);
+  std::set<uint32_t> Seen(Order.begin(), Order.end());
+  EXPECT_EQ(Seen.size(), N) << "order contains duplicates";
+  if (!Order.empty()) {
+    EXPECT_LT(*std::max_element(Order.begin(), Order.end()), N);
+  }
+}
+
+/// A diamond CFG: 0 -> {1 hot, 2 cold} -> 3.
+Cfg makeDiamond() {
+  Cfg G;
+  G.addBlock(16, 100); // 0 entry
+  G.addBlock(32, 90);  // 1 hot arm
+  G.addBlock(32, 10);  // 2 cold arm
+  G.addBlock(16, 100); // 3 join
+  G.addEdge(0, 1, 90);
+  G.addEdge(0, 2, 10);
+  G.addEdge(1, 3, 90);
+  G.addEdge(2, 3, 10);
+  return G;
+}
+
+Cfg makeRandomCfg(Rng &R, size_t NumBlocks) {
+  Cfg G;
+  for (size_t I = 0; I < NumBlocks; ++I)
+    G.addBlock(8 + static_cast<uint32_t>(R.nextBelow(64)),
+               R.nextBelow(1000));
+  // A chain backbone guarantees connectivity, plus random extra edges.
+  for (size_t I = 0; I + 1 < NumBlocks; ++I)
+    G.addEdge(static_cast<uint32_t>(I), static_cast<uint32_t>(I + 1),
+              1 + R.nextBelow(100));
+  for (size_t I = 0; I < NumBlocks; ++I) {
+    uint32_t Src = static_cast<uint32_t>(R.nextBelow(NumBlocks));
+    uint32_t Dst = static_cast<uint32_t>(R.nextBelow(NumBlocks));
+    if (Src != Dst)
+      G.addEdge(Src, Dst, 1 + R.nextBelow(500));
+  }
+  return G;
+}
+
+} // namespace
+
+TEST(ExtTsp, SingleBlock) {
+  Cfg G;
+  G.addBlock(16, 1);
+  auto Order = extTspOrder(G);
+  ASSERT_EQ(Order.size(), 1u);
+  EXPECT_EQ(Order[0], 0u);
+}
+
+TEST(ExtTsp, EmptyCfg) {
+  Cfg G;
+  EXPECT_TRUE(extTspOrder(G).empty());
+}
+
+TEST(ExtTsp, PrefersHotFallthrough) {
+  Cfg G = makeDiamond();
+  auto Order = extTspOrder(G);
+  expectPermutation(Order, 4);
+  EXPECT_EQ(Order[0], 0u) << "entry must stay first";
+  // The hot arm (1) should be laid out directly after the entry.
+  EXPECT_EQ(Order[1], 1u);
+}
+
+TEST(ExtTsp, ScoreOfFallthroughChainIsFullWeight) {
+  Cfg G;
+  G.addBlock(16, 10);
+  G.addBlock(16, 10);
+  G.addBlock(16, 10);
+  G.addEdge(0, 1, 10);
+  G.addEdge(1, 2, 10);
+  std::vector<uint32_t> Chain{0, 1, 2};
+  EXPECT_DOUBLE_EQ(extTspScore(G, Chain), 20.0);
+}
+
+TEST(ExtTsp, ForwardJumpScoresPartial) {
+  Cfg G;
+  G.addBlock(16, 10);
+  G.addBlock(100, 0); // filler
+  G.addBlock(16, 10);
+  G.addEdge(0, 2, 10);
+  std::vector<uint32_t> Order{0, 1, 2};
+  double S = extTspScore(G, Order);
+  EXPECT_GT(S, 0.0);
+  EXPECT_LT(S, 10.0 * 0.1 + 1e-12)
+      << "a 100-byte forward jump scores below the zero-distance cap";
+}
+
+TEST(ExtTsp, FarJumpScoresZero) {
+  Cfg G;
+  G.addBlock(16, 10);
+  G.addBlock(5000, 0);
+  G.addBlock(16, 10);
+  G.addEdge(0, 2, 10);
+  std::vector<uint32_t> Order{0, 1, 2};
+  EXPECT_DOUBLE_EQ(extTspScore(G, Order), 0.0);
+}
+
+TEST(ExtTsp, BeatsOrBlocksOriginalOrderOnRandomCfgs) {
+  Rng R(2021);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    Cfg G = makeRandomCfg(R, 5 + R.nextBelow(40));
+    std::vector<uint32_t> Original(G.numBlocks());
+    std::iota(Original.begin(), Original.end(), 0u);
+    auto Optimized = extTspOrder(G);
+    expectPermutation(Optimized, G.numBlocks());
+    EXPECT_GE(extTspScore(G, Optimized) + 1e-9, extTspScore(G, Original))
+        << "Ext-TSP must never be worse than the original order on trial "
+        << Trial;
+  }
+}
+
+TEST(ExtTsp, EntryAlwaysFirstOnRandomCfgs) {
+  Rng R(77);
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    Cfg G = makeRandomCfg(R, 3 + R.nextBelow(30));
+    auto Order = extTspOrder(G);
+    ASSERT_FALSE(Order.empty());
+    EXPECT_EQ(Order[0], 0u);
+  }
+}
+
+TEST(ExtTsp, DeterministicAcrossRuns) {
+  Rng R(5);
+  Cfg G = makeRandomCfg(R, 25);
+  EXPECT_EQ(extTspOrder(G), extTspOrder(G));
+}
+
+TEST(ExtTsp, SelfLoopIgnoredSafely) {
+  Cfg G;
+  G.addBlock(16, 10);
+  G.addBlock(16, 10);
+  G.addEdge(0, 0, 1000);
+  G.addEdge(0, 1, 5);
+  auto Order = extTspOrder(G);
+  expectPermutation(Order, 2);
+}
+
+TEST(HotCold, ColdBlocksSplitOut) {
+  Cfg G = makeDiamond();
+  std::vector<uint32_t> Order{0, 1, 3, 2};
+  HotColdSplit Split = splitHotCold(G, Order, /*ColdRatio=*/0.5);
+  // Block 2 has weight 10 < 0.5 * 100.
+  ASSERT_EQ(Split.Cold.size(), 1u);
+  EXPECT_EQ(Split.Cold[0], 2u);
+  EXPECT_EQ(Split.Hot.size(), 3u);
+  EXPECT_EQ(Split.Hot[0], 0u);
+}
+
+TEST(HotCold, EntryNeverCold) {
+  Cfg G;
+  G.addBlock(16, 0); // entry with zero weight
+  G.addBlock(16, 100);
+  G.addEdge(0, 1, 100);
+  std::vector<uint32_t> Order{0, 1};
+  HotColdSplit Split = splitHotCold(G, Order, 0.5);
+  EXPECT_TRUE(Split.Cold.empty()) << "zero entry weight disables splitting";
+  EXPECT_EQ(Split.Hot.size(), 2u);
+}
+
+TEST(HotCold, SplitPreservesAllBlocks) {
+  Rng R(9);
+  Cfg G = makeRandomCfg(R, 30);
+  auto Order = extTspOrder(G);
+  HotColdSplit Split = splitHotCold(G, Order, 0.1);
+  std::vector<uint32_t> All = Split.Hot;
+  All.insert(All.end(), Split.Cold.begin(), Split.Cold.end());
+  expectPermutation(All, G.numBlocks());
+}
+
+//===----------------------------------------------------------------------===//
+// Function sorting.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds the call graph from the C3 paper's running-example shape:
+/// main calls a hot helper pair and a cold utility.
+CallGraph makeSimpleCallGraph() {
+  CallGraph G;
+  G.setNode(0, 100, 1000); // main
+  G.setNode(1, 50, 900);   // hot helper
+  G.setNode(2, 50, 850);   // helper's hot callee
+  G.setNode(3, 200, 5);    // cold utility
+  G.addArc(0, 1, 900);
+  G.addArc(1, 2, 850);
+  G.addArc(0, 3, 5);
+  return G;
+}
+
+} // namespace
+
+TEST(C3, ChainsHotCallPath) {
+  CallGraph G = makeSimpleCallGraph();
+  auto Order = c3Order(G);
+  expectPermutation(Order, 4);
+  // The hot chain main -> helper -> callee should be contiguous.
+  auto Pos = [&](uint32_t N) {
+    return std::find(Order.begin(), Order.end(), N) - Order.begin();
+  };
+  EXPECT_EQ(Pos(1), Pos(0) + 1);
+  EXPECT_EQ(Pos(2), Pos(1) + 1);
+  // The cold utility lands last.
+  EXPECT_EQ(Order.back(), 3u);
+}
+
+TEST(C3, RespectsClusterSizeCap) {
+  CallGraph G;
+  G.setNode(0, 600, 100);
+  G.setNode(1, 600, 90);
+  G.addArc(0, 1, 90);
+  C3Params P;
+  P.MaxClusterBytes = 1000; // too small to merge 600+600
+  auto Order = c3Order(G, P);
+  expectPermutation(Order, 2);
+  // No merge happened: both are singleton clusters sorted by density.
+  // (Both outcomes 0,1 / 1,0 are permutations; density of node0 > node1.)
+  EXPECT_EQ(Order[0], 0u);
+}
+
+TEST(C3, ColdFunctionsStaySeparate) {
+  CallGraph G;
+  G.setNode(0, 10, 100);
+  G.setNode(1, 10, 0); // never sampled
+  G.addArc(1, 0, 0);
+  auto Order = c3Order(G);
+  expectPermutation(Order, 2);
+  EXPECT_EQ(Order[0], 0u) << "hot functions lead the layout";
+}
+
+TEST(C3, ReducesWeightedCallDistanceVsOriginal) {
+  Rng R(123);
+  for (int Trial = 0; Trial < 10; ++Trial) {
+    CallGraph G;
+    size_t N = 30 + R.nextBelow(50);
+    for (uint32_t I = 0; I < N; ++I)
+      G.setNode(I, 32 + static_cast<uint32_t>(R.nextBelow(256)),
+                R.nextBelow(1000));
+    for (size_t E = 0; E < 3 * N; ++E) {
+      uint32_t A = static_cast<uint32_t>(R.nextBelow(N));
+      uint32_t B = static_cast<uint32_t>(R.nextBelow(N));
+      if (A != B)
+        G.addArc(A, B, 1 + R.nextBelow(800));
+    }
+    auto C3 = c3Order(G);
+    expectPermutation(C3, N);
+    double DistC3 = weightedCallDistance(G, C3);
+    double DistOrig = weightedCallDistance(G, originalOrder(G));
+    EXPECT_LT(DistC3, DistOrig * 1.05)
+        << "C3 should not be much worse than original order, trial "
+        << Trial;
+  }
+}
+
+TEST(PettisHansen, MergesHeaviestFirst) {
+  CallGraph G = makeSimpleCallGraph();
+  auto Order = pettisHansenOrder(G);
+  expectPermutation(Order, 4);
+  auto Pos = [&](uint32_t N) {
+    return std::find(Order.begin(), Order.end(), N) - Order.begin();
+  };
+  // 0,1,2 end up in one cluster; they must be adjacent to each other.
+  EXPECT_LE(std::max({Pos(0), Pos(1), Pos(2)}) -
+                std::min({Pos(0), Pos(1), Pos(2)}),
+            2);
+}
+
+TEST(PettisHansen, HandlesDisconnectedGraph) {
+  CallGraph G;
+  G.setNode(0, 10, 5);
+  G.setNode(1, 10, 50);
+  G.setNode(2, 10, 1);
+  auto Order = pettisHansenOrder(G);
+  expectPermutation(Order, 3);
+  EXPECT_EQ(Order[0], 1u) << "hottest cluster first";
+}
+
+TEST(CallGraph, ArcAccumulation) {
+  CallGraph G;
+  G.addArc(0, 1, 10);
+  G.addArc(0, 1, 5);
+  ASSERT_EQ(G.arcs().size(), 1u);
+  EXPECT_EQ(G.arcs()[0].Weight, 15u);
+}
+
+TEST(CallGraph, HottestCaller) {
+  CallGraph G;
+  G.addArc(0, 2, 10);
+  G.addArc(1, 2, 90);
+  EXPECT_EQ(G.hottestCaller(2), 1u);
+  EXPECT_EQ(G.hottestCaller(0), ~0u);
+}
+
+TEST(CallGraph, SelfArcNotOwnHottestCaller) {
+  CallGraph G;
+  G.addArc(2, 2, 1000);
+  G.addArc(1, 2, 5);
+  EXPECT_EQ(G.hottestCaller(2), 1u);
+}

@@ -1,0 +1,281 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit and property tests for the profile-data package: serialization
+/// round trips, corruption rejection, coverage validation, and type
+/// observations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "profile/ProfilePackage.h"
+#include "profile/ProfileStore.h"
+#include "profile/PackageIo.h"
+#include "profile/Validation.h"
+#include "support/Hashing.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace jumpstart;
+using namespace jumpstart::profile;
+
+namespace {
+
+/// Builds a representative package exercising all four categories.
+ProfilePackage makeSamplePackage() {
+  ProfilePackage Pkg;
+  Pkg.RepoFingerprint = 0xdeadbeef;
+  Pkg.Region = 2;
+  Pkg.Bucket = 7;
+  Pkg.SeederId = 42;
+  Pkg.Preload.Units = {3, 1, 4};
+  Pkg.Preload.Strings = {10, 20};
+  Pkg.Preload.Classes = {5};
+
+  FuncProfile F;
+  F.Func = 17;
+  F.EntryCount = 900;
+  F.BlockCounts = {900, 850, 50, 0};
+  F.CallTargets[3][21] = 800;
+  F.CallTargets[3][22] = 100;
+  F.ParamTypes.resize(2);
+  F.ParamTypes[0].observe(runtime::Type::Int);
+  F.ParamTypes[0].observe(runtime::Type::Int);
+  F.ParamTypes[1].observe(runtime::Type::Str);
+  F.LoadTypes[5].observe(runtime::Type::Obj);
+  Pkg.Funcs.push_back(F);
+
+  Pkg.Opt.VasmBlockCounts[17] = {1000, 900, 100, 2};
+  Pkg.Opt.CallArcs[{17, 21}] = 750;
+  Pkg.Opt.PropAccessCounts["Point::x"] = 5000;
+  Pkg.Opt.PropAccessCounts["Point::y"] = 100;
+  Pkg.Intermediate.FuncOrder = {17, 21, 22};
+  return Pkg;
+}
+
+ProfilePackage roundTrip(const ProfilePackage &In, bool *Ok = nullptr) {
+  std::vector<uint8_t> Blob = In.serialize();
+  ProfilePackage Out;
+  bool Success = ProfilePackage::deserialize(Blob, Out);
+  if (Ok)
+    *Ok = Success;
+  else
+    EXPECT_TRUE(Success);
+  return Out;
+}
+
+} // namespace
+
+TEST(ProfilePackage, RoundTripPreservesEverything) {
+  ProfilePackage In = makeSamplePackage();
+  ProfilePackage Out = roundTrip(In);
+
+  EXPECT_EQ(Out.RepoFingerprint, In.RepoFingerprint);
+  EXPECT_EQ(Out.Region, In.Region);
+  EXPECT_EQ(Out.Bucket, In.Bucket);
+  EXPECT_EQ(Out.SeederId, In.SeederId);
+  EXPECT_EQ(Out.Preload.Units, In.Preload.Units);
+  EXPECT_EQ(Out.Preload.Strings, In.Preload.Strings);
+  EXPECT_EQ(Out.Preload.Classes, In.Preload.Classes);
+  ASSERT_EQ(Out.Funcs.size(), 1u);
+  const FuncProfile &F = Out.Funcs[0];
+  EXPECT_EQ(F.Func, 17u);
+  EXPECT_EQ(F.EntryCount, 900u);
+  EXPECT_EQ(F.BlockCounts, In.Funcs[0].BlockCounts);
+  EXPECT_EQ(F.CallTargets, In.Funcs[0].CallTargets);
+  ASSERT_EQ(F.ParamTypes.size(), 2u);
+  EXPECT_EQ(F.ParamTypes[0].dominant(), runtime::Type::Int);
+  EXPECT_EQ(F.ParamTypes[1].dominant(), runtime::Type::Str);
+  ASSERT_EQ(F.LoadTypes.count(5), 1u);
+  EXPECT_EQ(F.LoadTypes.at(5).dominant(), runtime::Type::Obj);
+  EXPECT_EQ(Out.Opt.VasmBlockCounts, In.Opt.VasmBlockCounts);
+  EXPECT_EQ(Out.Opt.CallArcs, In.Opt.CallArcs);
+  EXPECT_EQ(Out.Opt.PropAccessCounts, In.Opt.PropAccessCounts);
+  EXPECT_EQ(Out.Intermediate.FuncOrder, In.Intermediate.FuncOrder);
+}
+
+TEST(ProfilePackage, EmptyPackageRoundTrips) {
+  ProfilePackage In;
+  ProfilePackage Out = roundTrip(In);
+  EXPECT_EQ(Out.Funcs.size(), 0u);
+  EXPECT_EQ(Out.totalSamples(), 0u);
+}
+
+TEST(ProfilePackage, SerializationIsDeterministic) {
+  ProfilePackage A = makeSamplePackage();
+  ProfilePackage B = makeSamplePackage();
+  EXPECT_EQ(A.serialize(), B.serialize());
+}
+
+TEST(ProfilePackage, RejectsBadMagic) {
+  std::vector<uint8_t> Blob = makeSamplePackage().serialize();
+  Blob[0] ^= 0xff;
+  ProfilePackage Out;
+  EXPECT_FALSE(ProfilePackage::deserialize(Blob, Out));
+}
+
+TEST(ProfilePackage, RejectsTruncation) {
+  std::vector<uint8_t> Blob = makeSamplePackage().serialize();
+  for (size_t Cut : {Blob.size() - 1, Blob.size() / 2, size_t(9)}) {
+    std::vector<uint8_t> Short(Blob.begin(), Blob.begin() + Cut);
+    ProfilePackage Out;
+    EXPECT_FALSE(ProfilePackage::deserialize(Short, Out))
+        << "truncated to " << Cut << " bytes";
+  }
+}
+
+TEST(ProfilePackage, RejectsBitFlipsAnywhere) {
+  // Property test: a checksum-protected package must reject any
+  // single-bit corruption of the payload (bit flips in the trailing
+  // checksum itself are also rejected, by mismatch).
+  std::vector<uint8_t> Blob = makeSamplePackage().serialize();
+  Rng R(77);
+  int Rejected = 0;
+  const int Trials = 60;
+  for (int T = 0; T < Trials; ++T) {
+    std::vector<uint8_t> Bad = Blob;
+    size_t At = R.nextBelow(Bad.size());
+    Bad[At] ^= static_cast<uint8_t>(1u << R.nextBelow(8));
+    ProfilePackage Out;
+    if (!ProfilePackage::deserialize(Bad, Out))
+      ++Rejected;
+  }
+  EXPECT_EQ(Rejected, Trials);
+}
+
+TEST(ProfilePackage, RejectsWrongVersion) {
+  // Hand-craft an envelope with a bumped version.
+  BlobEncoder E;
+  E.writeFixed64(ProfilePackage::kMagic);
+  E.writeVarint(ProfilePackage::kFormatVersion + 1);
+  E.writeVarint(0);
+  E.writeFixed64(fnv1a(nullptr, 0));
+  ProfilePackage Out;
+  EXPECT_FALSE(ProfilePackage::deserialize(E.bytes(), Out));
+}
+
+TEST(ProfilePackage, SampleCounting) {
+  ProfilePackage Pkg = makeSamplePackage();
+  EXPECT_EQ(Pkg.totalSamples(), 900u + 850 + 50);
+  EXPECT_EQ(Pkg.numProfiledFuncs(), 1u);
+  EXPECT_NE(Pkg.findFunc(17), nullptr);
+  EXPECT_EQ(Pkg.findFunc(99), nullptr);
+}
+
+TEST(TypeObservationTest, DominantAndMonomorphism) {
+  TypeObservation T;
+  EXPECT_FALSE(T.isMonomorphic());
+  for (int I = 0; I < 99; ++I)
+    T.observe(runtime::Type::Int);
+  T.observe(runtime::Type::Dbl);
+  EXPECT_EQ(T.dominant(), runtime::Type::Int);
+  EXPECT_TRUE(T.isMonomorphic(0.95));
+  EXPECT_FALSE(T.isMonomorphic(0.999));
+  EXPECT_EQ(T.total(), 100u);
+}
+
+TEST(TypeObservationTest, Merge) {
+  TypeObservation A;
+  TypeObservation B;
+  A.observe(runtime::Type::Int);
+  B.observe(runtime::Type::Str);
+  B.observe(runtime::Type::Str);
+  A.merge(B);
+  EXPECT_EQ(A.total(), 3u);
+  EXPECT_EQ(A.dominant(), runtime::Type::Str);
+}
+
+TEST(ProfileStoreTest, RoundTripThroughPackage) {
+  ProfileStore Store;
+  FuncProfile &F = Store.getOrCreate(5);
+  F.EntryCount = 10;
+  F.BlockCounts = {10, 3};
+  Store.getOrCreate(2).EntryCount = 4;
+
+  ProfilePackage Pkg;
+  Store.exportToPackage(Pkg);
+  ASSERT_EQ(Pkg.Funcs.size(), 2u);
+  EXPECT_EQ(Pkg.Funcs[0].Func, 2u) << "export is FuncId-sorted";
+  EXPECT_EQ(Pkg.Funcs[1].Func, 5u);
+
+  ProfileStore Loaded;
+  Loaded.loadFromPackage(Pkg);
+  ASSERT_NE(Loaded.find(5), nullptr);
+  EXPECT_EQ(Loaded.find(5)->EntryCount, 10u);
+  EXPECT_EQ(Loaded.find(99), nullptr);
+}
+
+TEST(Coverage, PassesGoodPackage) {
+  ProfilePackage Pkg = makeSamplePackage();
+  CoverageThresholds T;
+  T.MinProfiledFuncs = 1;
+  T.MinTotalSamples = 100;
+  T.MinPackageBytes = 10;
+  CoverageResult R = checkCoverage(Pkg, 1000, T);
+  EXPECT_TRUE(R.Ok) << (R.Problems.empty() ? "" : R.Problems[0]);
+}
+
+TEST(Coverage, FlagsUnderProfiledSeeder) {
+  ProfilePackage Pkg; // empty: the "drained data center" case
+  CoverageThresholds T;
+  T.MinProfiledFuncs = 10;
+  T.MinTotalSamples = 1000;
+  CoverageResult R = checkCoverage(Pkg, 50000, T);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_GE(R.Problems.size(), 2u);
+}
+
+TEST(Coverage, FlagsFingerprintMismatch) {
+  ProfilePackage Pkg = makeSamplePackage();
+  CoverageThresholds T;
+  T.MinProfiledFuncs = 0;
+  T.MinTotalSamples = 0;
+  T.MinPackageBytes = 0;
+  T.ExpectedFingerprint = 0x1234;
+  CoverageResult R = checkCoverage(Pkg, 1000, T);
+  EXPECT_FALSE(R.Ok);
+  ASSERT_EQ(R.Problems.size(), 1u);
+  EXPECT_NE(R.Problems[0].find("fingerprint"), std::string::npos);
+}
+
+TEST(Coverage, FlagsTinyPackage) {
+  ProfilePackage Pkg = makeSamplePackage();
+  CoverageThresholds T;
+  T.MinProfiledFuncs = 1;
+  T.MinTotalSamples = 1;
+  T.MinPackageBytes = 1 << 20;
+  CoverageResult R = checkCoverage(Pkg, 100, T);
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(PackageIo, SaveLoadRoundTrip) {
+  ProfilePackage Pkg = makeSamplePackage();
+  std::string Path = ::testing::TempDir() + "/jumpstart_pkg_test.bin";
+  ASSERT_TRUE(savePackageFile(Pkg, Path));
+  ProfilePackage Out;
+  ASSERT_TRUE(loadPackageFile(Path, Out));
+  EXPECT_EQ(Out.serialize(), Pkg.serialize());
+  std::remove(Path.c_str());
+}
+
+TEST(PackageIo, MissingFileFails) {
+  ProfilePackage Out;
+  EXPECT_FALSE(loadPackageFile("/nonexistent/dir/p.bin", Out));
+  EXPECT_FALSE(savePackageFile(Out, "/nonexistent/dir/p.bin"));
+}
+
+TEST(PackageIo, CorruptFileRejected) {
+  ProfilePackage Pkg = makeSamplePackage();
+  std::string Path = ::testing::TempDir() + "/jumpstart_pkg_corrupt.bin";
+  std::vector<uint8_t> Blob = Pkg.serialize();
+  Blob[Blob.size() / 3] ^= 0x10;
+  ASSERT_TRUE(writeFileBytes(Path, Blob));
+  ProfilePackage Out;
+  EXPECT_FALSE(loadPackageFile(Path, Out));
+  std::remove(Path.c_str());
+}

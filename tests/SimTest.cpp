@@ -1,0 +1,164 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the micro-architecture simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/Branch.h"
+#include "sim/Cache.h"
+#include "sim/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace jumpstart;
+using namespace jumpstart::sim;
+
+TEST(Cache, HitAfterMiss) {
+  Cache C(CacheConfig{1024, 64, 2});
+  EXPECT_FALSE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0x1000));
+  EXPECT_TRUE(C.access(0x1038)) << "same 64-byte line";
+  EXPECT_EQ(C.misses(), 1u);
+  EXPECT_EQ(C.accesses(), 3u);
+}
+
+TEST(Cache, DistinctLinesMiss) {
+  Cache C(CacheConfig{1024, 64, 2});
+  EXPECT_FALSE(C.access(0x1000));
+  EXPECT_FALSE(C.access(0x1040));
+  EXPECT_EQ(C.misses(), 2u);
+}
+
+TEST(Cache, LruEviction) {
+  // 2-way, line 64, size 128 bytes -> exactly 1 set of 2 ways.
+  Cache C(CacheConfig{128, 64, 2});
+  C.access(0x0000);  // A miss
+  C.access(0x1000);  // B miss
+  C.access(0x0000);  // A hit (B becomes LRU)
+  C.access(0x2000);  // C miss, evicts B
+  EXPECT_TRUE(C.access(0x0000)) << "A must survive (was MRU)";
+  EXPECT_FALSE(C.access(0x1000)) << "B must have been evicted (was LRU)";
+}
+
+TEST(Cache, CapacityBehaviour) {
+  // Working set fits: second pass all hits.
+  Cache C(CacheConfig{32 * 1024, 64, 8});
+  for (uint64_t A = 0; A < 16 * 1024; A += 64)
+    C.access(A);
+  uint64_t MissesAfterFirstPass = C.misses();
+  for (uint64_t A = 0; A < 16 * 1024; A += 64)
+    C.access(A);
+  EXPECT_EQ(C.misses(), MissesAfterFirstPass)
+      << "a fitting working set must not miss on re-walk";
+
+  // Working set 2x capacity with LRU streaming: every access misses.
+  Cache D(CacheConfig{4 * 1024, 64, 4});
+  for (int Pass = 0; Pass < 3; ++Pass)
+    for (uint64_t A = 0; A < 8 * 1024; A += 64)
+      D.access(A);
+  EXPECT_EQ(D.misses(), D.accesses())
+      << "streaming over 2x capacity with LRU must always miss";
+}
+
+TEST(Cache, ResetClears) {
+  Cache C(CacheConfig{1024, 64, 2});
+  C.access(0x1000);
+  C.reset();
+  EXPECT_EQ(C.accesses(), 0u);
+  EXPECT_FALSE(C.access(0x1000));
+}
+
+TEST(Tlb, PageGranularity) {
+  Tlb T(16, 4, 4096);
+  EXPECT_FALSE(T.access(0x10000));
+  EXPECT_TRUE(T.access(0x10FFF)) << "same 4 KB page";
+  EXPECT_FALSE(T.access(0x11000)) << "next page";
+}
+
+TEST(BranchPredictor, LearnsStrongBias) {
+  BranchPredictor P(256);
+  // Always-taken branch: after warmup, all predictions correct.
+  for (int I = 0; I < 10; ++I)
+    P.predict(0x400, true);
+  uint64_t Before = P.mispredicts();
+  for (int I = 0; I < 100; ++I)
+    P.predict(0x400, true);
+  EXPECT_EQ(P.mispredicts(), Before);
+}
+
+TEST(BranchPredictor, AlternatingIsHard) {
+  BranchPredictor P(256);
+  bool Taken = false;
+  for (int I = 0; I < 200; ++I) {
+    P.predict(0x800, Taken);
+    Taken = !Taken;
+  }
+  // A bimodal predictor cannot learn a perfect alternation.
+  EXPECT_GT(P.missRate(), 0.3);
+}
+
+TEST(TargetPredictor, MonomorphicTargetPredicts) {
+  TargetPredictor P(64);
+  P.predict(0x100, 0xAAAA); // cold miss
+  for (int I = 0; I < 50; ++I)
+    EXPECT_TRUE(P.predict(0x100, 0xAAAA));
+}
+
+TEST(TargetPredictor, PolymorphicTargetMisses) {
+  TargetPredictor P(64);
+  for (int I = 0; I < 100; ++I)
+    P.predict(0x100, I % 2 ? 0xAAAA : 0xBBBB);
+  EXPECT_GT(P.missRate(), 0.9);
+}
+
+TEST(Machine, FetchSpanningLinesTouchesBoth) {
+  MachineSim M;
+  M.fetch(60, 8); // crosses the 64-byte boundary
+  EXPECT_EQ(M.counters().L1IAccesses, 2u);
+  EXPECT_EQ(M.counters().Instructions, 1u);
+}
+
+TEST(Machine, MissesFlowToLlc) {
+  MachineSim M;
+  M.fetch(0x100000, 4);
+  EXPECT_EQ(M.counters().L1IMisses, 1u);
+  EXPECT_EQ(M.counters().LlcAccesses, 1u);
+  EXPECT_EQ(M.counters().LlcMisses, 1u);
+  // Second fetch of the same line: L1 hit, no LLC traffic.
+  M.fetch(0x100000, 4);
+  EXPECT_EQ(M.counters().LlcAccesses, 1u);
+}
+
+TEST(Machine, CyclesGrowWithMisses) {
+  MachineSim Tight;
+  for (int I = 0; I < 1000; ++I)
+    Tight.fetch(0x1000 + (I % 4) * 64, 4); // tiny loop, all hits
+  MachineSim Scattered;
+  for (int I = 0; I < 1000; ++I)
+    Scattered.fetch(0x1000 + I * 4096, 4); // a page per instruction
+  EXPECT_LT(Tight.cycles(), Scattered.cycles());
+  EXPECT_GT(Tight.ipc(), Scattered.ipc());
+}
+
+TEST(Machine, DataAndInstructionStreamsAreSeparate) {
+  MachineSim M;
+  M.dataAccess(0x5000, false);
+  EXPECT_EQ(M.counters().L1DAccesses, 1u);
+  EXPECT_EQ(M.counters().L1IAccesses, 0u);
+  EXPECT_EQ(M.counters().DTlbAccesses, 1u);
+  EXPECT_EQ(M.counters().ITlbAccesses, 0u);
+}
+
+TEST(Machine, SummaryMentionsKeyRates) {
+  MachineSim M;
+  M.fetch(0, 4);
+  std::string S = M.summary();
+  EXPECT_NE(S.find("instr="), std::string::npos);
+  EXPECT_NE(S.find("itlbMR="), std::string::npos);
+}
