@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_live_precompile.dir/ablation_live_precompile.cpp.o"
+  "CMakeFiles/ablation_live_precompile.dir/ablation_live_precompile.cpp.o.d"
+  "ablation_live_precompile"
+  "ablation_live_precompile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_live_precompile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_capacity_loss.dir/fig2_capacity_loss.cpp.o"
+  "CMakeFiles/fig2_capacity_loss.dir/fig2_capacity_loss.cpp.o.d"
+  "fig2_capacity_loss"
+  "fig2_capacity_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_capacity_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_warmup.dir/fig4_warmup.cpp.o"
+  "CMakeFiles/fig4_warmup.dir/fig4_warmup.cpp.o.d"
+  "fig4_warmup"
+  "fig4_warmup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_warmup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_steady_state.dir/fig5_steady_state.cpp.o"
+  "CMakeFiles/fig5_steady_state.dir/fig5_steady_state.cpp.o.d"
+  "fig5_steady_state"
+  "fig5_steady_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_steady_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_push.dir/deployment_push.cpp.o"
+  "CMakeFiles/deployment_push.dir/deployment_push.cpp.o.d"
+  "deployment_push"
+  "deployment_push.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

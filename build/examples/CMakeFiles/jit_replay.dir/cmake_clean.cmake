@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_replay.dir/jit_replay.cpp.o"
+  "CMakeFiles/jit_replay.dir/jit_replay.cpp.o.d"
+  "jit_replay"
+  "jit_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsvm.dir/jsvm.cpp.o"
+  "CMakeFiles/jsvm.dir/jsvm.cpp.o.d"
+  "jsvm"
+  "jsvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

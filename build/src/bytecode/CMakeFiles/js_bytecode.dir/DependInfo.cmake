@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bytecode/Blocks.cpp" "src/bytecode/CMakeFiles/js_bytecode.dir/Blocks.cpp.o" "gcc" "src/bytecode/CMakeFiles/js_bytecode.dir/Blocks.cpp.o.d"
+  "/root/repo/src/bytecode/Disasm.cpp" "src/bytecode/CMakeFiles/js_bytecode.dir/Disasm.cpp.o" "gcc" "src/bytecode/CMakeFiles/js_bytecode.dir/Disasm.cpp.o.d"
+  "/root/repo/src/bytecode/FuncBuilder.cpp" "src/bytecode/CMakeFiles/js_bytecode.dir/FuncBuilder.cpp.o" "gcc" "src/bytecode/CMakeFiles/js_bytecode.dir/FuncBuilder.cpp.o.d"
+  "/root/repo/src/bytecode/Opcode.cpp" "src/bytecode/CMakeFiles/js_bytecode.dir/Opcode.cpp.o" "gcc" "src/bytecode/CMakeFiles/js_bytecode.dir/Opcode.cpp.o.d"
+  "/root/repo/src/bytecode/Repo.cpp" "src/bytecode/CMakeFiles/js_bytecode.dir/Repo.cpp.o" "gcc" "src/bytecode/CMakeFiles/js_bytecode.dir/Repo.cpp.o.d"
+  "/root/repo/src/bytecode/Verifier.cpp" "src/bytecode/CMakeFiles/js_bytecode.dir/Verifier.cpp.o" "gcc" "src/bytecode/CMakeFiles/js_bytecode.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/js_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_bytecode.dir/Blocks.cpp.o"
+  "CMakeFiles/js_bytecode.dir/Blocks.cpp.o.d"
+  "CMakeFiles/js_bytecode.dir/Disasm.cpp.o"
+  "CMakeFiles/js_bytecode.dir/Disasm.cpp.o.d"
+  "CMakeFiles/js_bytecode.dir/FuncBuilder.cpp.o"
+  "CMakeFiles/js_bytecode.dir/FuncBuilder.cpp.o.d"
+  "CMakeFiles/js_bytecode.dir/Opcode.cpp.o"
+  "CMakeFiles/js_bytecode.dir/Opcode.cpp.o.d"
+  "CMakeFiles/js_bytecode.dir/Repo.cpp.o"
+  "CMakeFiles/js_bytecode.dir/Repo.cpp.o.d"
+  "CMakeFiles/js_bytecode.dir/Verifier.cpp.o"
+  "CMakeFiles/js_bytecode.dir/Verifier.cpp.o.d"
+  "libjs_bytecode.a"
+  "libjs_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

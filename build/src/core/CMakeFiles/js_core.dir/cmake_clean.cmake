@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_core.dir/Consumer.cpp.o"
+  "CMakeFiles/js_core.dir/Consumer.cpp.o.d"
+  "CMakeFiles/js_core.dir/Deployment.cpp.o"
+  "CMakeFiles/js_core.dir/Deployment.cpp.o.d"
+  "CMakeFiles/js_core.dir/PackageStore.cpp.o"
+  "CMakeFiles/js_core.dir/PackageStore.cpp.o.d"
+  "CMakeFiles/js_core.dir/Seeder.cpp.o"
+  "CMakeFiles/js_core.dir/Seeder.cpp.o.d"
+  "libjs_core.a"
+  "libjs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_fleet.dir/Reliability.cpp.o"
+  "CMakeFiles/js_fleet.dir/Reliability.cpp.o.d"
+  "CMakeFiles/js_fleet.dir/ServerSim.cpp.o"
+  "CMakeFiles/js_fleet.dir/ServerSim.cpp.o.d"
+  "CMakeFiles/js_fleet.dir/SteadyState.cpp.o"
+  "CMakeFiles/js_fleet.dir/SteadyState.cpp.o.d"
+  "CMakeFiles/js_fleet.dir/Traffic.cpp.o"
+  "CMakeFiles/js_fleet.dir/Traffic.cpp.o.d"
+  "CMakeFiles/js_fleet.dir/WorkloadGen.cpp.o"
+  "CMakeFiles/js_fleet.dir/WorkloadGen.cpp.o.d"
+  "libjs_fleet.a"
+  "libjs_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_frontend.dir/Compiler.cpp.o"
+  "CMakeFiles/js_frontend.dir/Compiler.cpp.o.d"
+  "CMakeFiles/js_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/js_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/js_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/js_frontend.dir/Parser.cpp.o.d"
+  "libjs_frontend.a"
+  "libjs_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

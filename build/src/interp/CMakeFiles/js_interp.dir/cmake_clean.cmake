@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_interp.dir/Interpreter.cpp.o"
+  "CMakeFiles/js_interp.dir/Interpreter.cpp.o.d"
+  "libjs_interp.a"
+  "libjs_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

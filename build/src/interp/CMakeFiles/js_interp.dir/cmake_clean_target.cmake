@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjs_interp.a"
+)

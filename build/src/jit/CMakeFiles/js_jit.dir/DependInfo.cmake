@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jit/CodeCache.cpp" "src/jit/CMakeFiles/js_jit.dir/CodeCache.cpp.o" "gcc" "src/jit/CMakeFiles/js_jit.dir/CodeCache.cpp.o.d"
+  "/root/repo/src/jit/Jit.cpp" "src/jit/CMakeFiles/js_jit.dir/Jit.cpp.o" "gcc" "src/jit/CMakeFiles/js_jit.dir/Jit.cpp.o.d"
+  "/root/repo/src/jit/Lower.cpp" "src/jit/CMakeFiles/js_jit.dir/Lower.cpp.o" "gcc" "src/jit/CMakeFiles/js_jit.dir/Lower.cpp.o.d"
+  "/root/repo/src/jit/Recorders.cpp" "src/jit/CMakeFiles/js_jit.dir/Recorders.cpp.o" "gcc" "src/jit/CMakeFiles/js_jit.dir/Recorders.cpp.o.d"
+  "/root/repo/src/jit/Region.cpp" "src/jit/CMakeFiles/js_jit.dir/Region.cpp.o" "gcc" "src/jit/CMakeFiles/js_jit.dir/Region.cpp.o.d"
+  "/root/repo/src/jit/TransDb.cpp" "src/jit/CMakeFiles/js_jit.dir/TransDb.cpp.o" "gcc" "src/jit/CMakeFiles/js_jit.dir/TransDb.cpp.o.d"
+  "/root/repo/src/jit/TransLayout.cpp" "src/jit/CMakeFiles/js_jit.dir/TransLayout.cpp.o" "gcc" "src/jit/CMakeFiles/js_jit.dir/TransLayout.cpp.o.d"
+  "/root/repo/src/jit/VasmTracer.cpp" "src/jit/CMakeFiles/js_jit.dir/VasmTracer.cpp.o" "gcc" "src/jit/CMakeFiles/js_jit.dir/VasmTracer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bytecode/CMakeFiles/js_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/js_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/js_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/js_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/js_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/js_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/js_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_jit.dir/CodeCache.cpp.o"
+  "CMakeFiles/js_jit.dir/CodeCache.cpp.o.d"
+  "CMakeFiles/js_jit.dir/Jit.cpp.o"
+  "CMakeFiles/js_jit.dir/Jit.cpp.o.d"
+  "CMakeFiles/js_jit.dir/Lower.cpp.o"
+  "CMakeFiles/js_jit.dir/Lower.cpp.o.d"
+  "CMakeFiles/js_jit.dir/Recorders.cpp.o"
+  "CMakeFiles/js_jit.dir/Recorders.cpp.o.d"
+  "CMakeFiles/js_jit.dir/Region.cpp.o"
+  "CMakeFiles/js_jit.dir/Region.cpp.o.d"
+  "CMakeFiles/js_jit.dir/TransDb.cpp.o"
+  "CMakeFiles/js_jit.dir/TransDb.cpp.o.d"
+  "CMakeFiles/js_jit.dir/TransLayout.cpp.o"
+  "CMakeFiles/js_jit.dir/TransLayout.cpp.o.d"
+  "CMakeFiles/js_jit.dir/VasmTracer.cpp.o"
+  "CMakeFiles/js_jit.dir/VasmTracer.cpp.o.d"
+  "libjs_jit.a"
+  "libjs_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

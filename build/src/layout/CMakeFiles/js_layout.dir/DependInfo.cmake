@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/CallGraph.cpp" "src/layout/CMakeFiles/js_layout.dir/CallGraph.cpp.o" "gcc" "src/layout/CMakeFiles/js_layout.dir/CallGraph.cpp.o.d"
+  "/root/repo/src/layout/ExtTsp.cpp" "src/layout/CMakeFiles/js_layout.dir/ExtTsp.cpp.o" "gcc" "src/layout/CMakeFiles/js_layout.dir/ExtTsp.cpp.o.d"
+  "/root/repo/src/layout/FunctionSort.cpp" "src/layout/CMakeFiles/js_layout.dir/FunctionSort.cpp.o" "gcc" "src/layout/CMakeFiles/js_layout.dir/FunctionSort.cpp.o.d"
+  "/root/repo/src/layout/HotCold.cpp" "src/layout/CMakeFiles/js_layout.dir/HotCold.cpp.o" "gcc" "src/layout/CMakeFiles/js_layout.dir/HotCold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/js_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

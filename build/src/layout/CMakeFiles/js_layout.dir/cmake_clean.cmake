@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_layout.dir/CallGraph.cpp.o"
+  "CMakeFiles/js_layout.dir/CallGraph.cpp.o.d"
+  "CMakeFiles/js_layout.dir/ExtTsp.cpp.o"
+  "CMakeFiles/js_layout.dir/ExtTsp.cpp.o.d"
+  "CMakeFiles/js_layout.dir/FunctionSort.cpp.o"
+  "CMakeFiles/js_layout.dir/FunctionSort.cpp.o.d"
+  "CMakeFiles/js_layout.dir/HotCold.cpp.o"
+  "CMakeFiles/js_layout.dir/HotCold.cpp.o.d"
+  "libjs_layout.a"
+  "libjs_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

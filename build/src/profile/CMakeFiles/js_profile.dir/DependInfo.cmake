@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/PackageIo.cpp" "src/profile/CMakeFiles/js_profile.dir/PackageIo.cpp.o" "gcc" "src/profile/CMakeFiles/js_profile.dir/PackageIo.cpp.o.d"
+  "/root/repo/src/profile/ProfilePackage.cpp" "src/profile/CMakeFiles/js_profile.dir/ProfilePackage.cpp.o" "gcc" "src/profile/CMakeFiles/js_profile.dir/ProfilePackage.cpp.o.d"
+  "/root/repo/src/profile/ProfileStore.cpp" "src/profile/CMakeFiles/js_profile.dir/ProfileStore.cpp.o" "gcc" "src/profile/CMakeFiles/js_profile.dir/ProfileStore.cpp.o.d"
+  "/root/repo/src/profile/Validation.cpp" "src/profile/CMakeFiles/js_profile.dir/Validation.cpp.o" "gcc" "src/profile/CMakeFiles/js_profile.dir/Validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bytecode/CMakeFiles/js_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/js_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/js_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

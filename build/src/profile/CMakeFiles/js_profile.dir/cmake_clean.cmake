@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_profile.dir/PackageIo.cpp.o"
+  "CMakeFiles/js_profile.dir/PackageIo.cpp.o.d"
+  "CMakeFiles/js_profile.dir/ProfilePackage.cpp.o"
+  "CMakeFiles/js_profile.dir/ProfilePackage.cpp.o.d"
+  "CMakeFiles/js_profile.dir/ProfileStore.cpp.o"
+  "CMakeFiles/js_profile.dir/ProfileStore.cpp.o.d"
+  "CMakeFiles/js_profile.dir/Validation.cpp.o"
+  "CMakeFiles/js_profile.dir/Validation.cpp.o.d"
+  "libjs_profile.a"
+  "libjs_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_runtime.dir/Builtins.cpp.o"
+  "CMakeFiles/js_runtime.dir/Builtins.cpp.o.d"
+  "CMakeFiles/js_runtime.dir/ClassLayout.cpp.o"
+  "CMakeFiles/js_runtime.dir/ClassLayout.cpp.o.d"
+  "CMakeFiles/js_runtime.dir/Heap.cpp.o"
+  "CMakeFiles/js_runtime.dir/Heap.cpp.o.d"
+  "CMakeFiles/js_runtime.dir/ValueOps.cpp.o"
+  "CMakeFiles/js_runtime.dir/ValueOps.cpp.o.d"
+  "libjs_runtime.a"
+  "libjs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/Branch.cpp" "src/sim/CMakeFiles/js_sim.dir/Branch.cpp.o" "gcc" "src/sim/CMakeFiles/js_sim.dir/Branch.cpp.o.d"
+  "/root/repo/src/sim/Cache.cpp" "src/sim/CMakeFiles/js_sim.dir/Cache.cpp.o" "gcc" "src/sim/CMakeFiles/js_sim.dir/Cache.cpp.o.d"
+  "/root/repo/src/sim/Machine.cpp" "src/sim/CMakeFiles/js_sim.dir/Machine.cpp.o" "gcc" "src/sim/CMakeFiles/js_sim.dir/Machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/js_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

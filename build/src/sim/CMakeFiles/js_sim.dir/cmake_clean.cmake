@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_sim.dir/Branch.cpp.o"
+  "CMakeFiles/js_sim.dir/Branch.cpp.o.d"
+  "CMakeFiles/js_sim.dir/Cache.cpp.o"
+  "CMakeFiles/js_sim.dir/Cache.cpp.o.d"
+  "CMakeFiles/js_sim.dir/Machine.cpp.o"
+  "CMakeFiles/js_sim.dir/Machine.cpp.o.d"
+  "libjs_sim.a"
+  "libjs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_support.dir/Blob.cpp.o"
+  "CMakeFiles/js_support.dir/Blob.cpp.o.d"
+  "CMakeFiles/js_support.dir/Random.cpp.o"
+  "CMakeFiles/js_support.dir/Random.cpp.o.d"
+  "CMakeFiles/js_support.dir/Stats.cpp.o"
+  "CMakeFiles/js_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/js_support.dir/StringUtil.cpp.o"
+  "CMakeFiles/js_support.dir/StringUtil.cpp.o.d"
+  "libjs_support.a"
+  "libjs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/js_vm.dir/Server.cpp.o"
+  "CMakeFiles/js_vm.dir/Server.cpp.o.d"
+  "libjs_vm.a"
+  "libjs_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/js_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

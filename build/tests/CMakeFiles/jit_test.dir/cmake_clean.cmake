@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_test.dir/JitTest.cpp.o"
+  "CMakeFiles/jit_test.dir/JitTest.cpp.o.d"
+  "jit_test"
+  "jit_test.pdb"
+  "jit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/LayoutTest.cpp" "tests/CMakeFiles/layout_test.dir/LayoutTest.cpp.o" "gcc" "tests/CMakeFiles/layout_test.dir/LayoutTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/js_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/js_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/js_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/js_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/js_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/js_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/js_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/js_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/js_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/js_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/js_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/js_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
