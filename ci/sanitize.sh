@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds and runs the full test suite under ASan+UBSan.
+#
+# Usage: ci/sanitize.sh [build-dir]
+#
+# The sanitizer build lives in its own tree (default build-asan/) so it
+# never clobbers the regular build/.  Any sanitizer report is fatal:
+# -fno-sanitize-recover=all is set by the JUMPSTART_SANITIZE option, so a
+# finding aborts the offending test and fails ctest.
+
+set -euo pipefail
+
+REPO_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_DIR}/build-asan}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -S "${REPO_DIR}" -B "${BUILD_DIR}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DJUMPSTART_SANITIZE=address,undefined
+
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+# halt_on_error makes ASan findings fail the run even in code paths that
+# would otherwise keep going; detect_leaks stays on by default.
+export ASAN_OPTIONS="halt_on_error=1:abort_on_error=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"

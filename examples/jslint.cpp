@@ -1,0 +1,136 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// jslint: the static-analysis driver.
+///
+///   jslint <file.hack>...            compile the sources and lint them
+///   jslint --workload [seed]         lint a generated fleet workload
+///   jslint --package <pkg> <file>... lint a profile package against the
+///                                    repo compiled from the sources
+///
+/// Every function runs pass zero (structural verification) plus the
+/// abstract-type dataflow passes; --package additionally runs the deep
+/// package lint.  Exit status: 0 clean (warnings allowed), 1 any
+/// error-severity diagnostic, 2 usage/compile failure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Linter.h"
+#include "fleet/WorkloadGen.h"
+#include "frontend/Compiler.h"
+#include "profile/PackageIo.h"
+#include "runtime/Builtins.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+using namespace jumpstart;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: jslint <file.hack>...\n"
+               "       jslint --workload [seed]\n"
+               "       jslint --package <pkg-file> <file.hack>...\n");
+  return 2;
+}
+
+bool readFile(const char *Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path, "rb");
+  if (!F)
+    return false;
+  char Buffer[64 * 1024];
+  size_t N;
+  while ((N = std::fread(Buffer, 1, sizeof(Buffer), F)) > 0)
+    Out.append(Buffer, N);
+  bool Ok = std::ferror(F) == 0;
+  std::fclose(F);
+  return Ok;
+}
+
+bool compileFiles(char **Paths, int Count, bc::Repo &Repo) {
+  const runtime::BuiltinTable &Builtins = runtime::BuiltinTable::standard();
+  for (int I = 0; I < Count; ++I) {
+    std::string Source;
+    if (!readFile(Paths[I], Source)) {
+      std::fprintf(stderr, "jslint: cannot read '%s'\n", Paths[I]);
+      return false;
+    }
+    std::vector<std::string> Errors =
+        frontend::compileUnit(Repo, Builtins, Paths[I], Source);
+    for (const std::string &E : Errors)
+      std::fprintf(stderr, "%s\n", E.c_str());
+    if (!Errors.empty())
+      return false;
+  }
+  return true;
+}
+
+/// Prints \p Diags; \returns the number of error-severity ones.
+size_t report(const bc::Repo &R,
+              const std::vector<analysis::Diagnostic> &Diags) {
+  for (const analysis::Diagnostic &D : Diags)
+    std::printf("%s\n", D.str(&R).c_str());
+  return analysis::countErrors(Diags);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+
+  const char *PackagePath = nullptr;
+  std::unique_ptr<fleet::Workload> Generated;
+  bc::Repo SourceRepo;
+  const bc::Repo *Repo = &SourceRepo;
+
+  int Arg = 1;
+  if (std::strcmp(argv[Arg], "--package") == 0) {
+    if (argc < 4)
+      return usage();
+    PackagePath = argv[Arg + 1];
+    Arg += 2;
+  }
+
+  if (Arg < argc && std::strcmp(argv[Arg], "--workload") == 0) {
+    fleet::WorkloadParams P;
+    if (Arg + 1 < argc)
+      P.Seed = std::strtoull(argv[Arg + 1], nullptr, 10);
+    Generated = fleet::generateWorkload(P);
+    Repo = &Generated->Repo;
+  } else {
+    if (Arg >= argc)
+      return usage();
+    if (!compileFiles(argv + Arg, argc - Arg, SourceRepo))
+      return 2;
+  }
+
+  analysis::Linter Linter(
+      *Repo, static_cast<uint32_t>(runtime::BuiltinTable::standard().size()));
+
+  size_t Errors = report(*Repo, Linter.lintRepo());
+
+  if (PackagePath) {
+    profile::ProfilePackage Pkg;
+    if (!profile::loadPackageFile(PackagePath, Pkg)) {
+      std::fprintf(stderr,
+                   "jslint: cannot load package '%s' (corrupt or missing)\n",
+                   PackagePath);
+      return 1;
+    }
+    Errors += report(*Repo, Linter.lintPackage(Pkg));
+  }
+
+  std::printf("jslint: %zu functions, %zu error(s)\n", Repo->numFuncs(),
+              Errors);
+  return Errors ? 1 : 0;
+}

@@ -1,0 +1,186 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract-type lattice of the dataflow framework.
+///
+/// An AbstractValue is a set of possible runtime types (a bitmask over
+/// runtime::Type) refined with two facts that the passes actually need:
+/// the exact class when the value is known to be an object from a single
+/// NewObj, and the constant when the value is a known boolean.  Join is
+/// set union (refinements survive only when both sides agree); the lattice
+/// has finite height, so the fixpoint terminates without widening, but a
+/// widen() that jumps to Top is provided for the framework's join-budget
+/// escape hatch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_ANALYSIS_ABSTRACTTYPE_H
+#define JUMPSTART_ANALYSIS_ABSTRACTTYPE_H
+
+#include "bytecode/Ids.h"
+#include "runtime/Value.h"
+
+#include <cstdint>
+#include <string>
+
+namespace jumpstart::analysis {
+
+/// Three-valued truth, for branch-feasibility pruning.
+enum class Tribool : uint8_t { False, True, Unknown };
+
+/// The mask bit representing runtime type \p T.
+constexpr uint8_t typeBit(runtime::Type T) {
+  return static_cast<uint8_t>(1u << static_cast<unsigned>(T));
+}
+
+class AbstractValue {
+public:
+  static constexpr uint8_t bit(runtime::Type T) { return typeBit(T); }
+
+  static constexpr uint8_t kNullBit = typeBit(runtime::Type::Null);
+  static constexpr uint8_t kBoolBit = typeBit(runtime::Type::Bool);
+  static constexpr uint8_t kIntBit = typeBit(runtime::Type::Int);
+  static constexpr uint8_t kDblBit = typeBit(runtime::Type::Dbl);
+  static constexpr uint8_t kStrBit = typeBit(runtime::Type::Str);
+  static constexpr uint8_t kVecBit = typeBit(runtime::Type::Vec);
+  static constexpr uint8_t kDictBit = typeBit(runtime::Type::Dict);
+  static constexpr uint8_t kObjBit = typeBit(runtime::Type::Obj);
+  static constexpr uint8_t kAllBits = 0xFF;
+  /// Types arith() accepts without yielding null.
+  static constexpr uint8_t kNumericish = kBoolBit | kIntBit | kDblBit;
+
+  /// Default-constructed: Bottom (no possible value; unreached code).
+  AbstractValue() = default;
+
+  static AbstractValue bottom() { return AbstractValue(); }
+  static AbstractValue top() { return ofMask(kAllBits); }
+  static AbstractValue ofMask(uint8_t Mask) {
+    AbstractValue V;
+    V.Mask = Mask;
+    return V;
+  }
+  static AbstractValue ofType(runtime::Type T) { return ofMask(bit(T)); }
+  static AbstractValue obj(bc::ClassId Cls) {
+    AbstractValue V;
+    V.Mask = kObjBit;
+    V.ClsRaw = Cls.raw();
+    return V;
+  }
+  static AbstractValue boolConst(bool B) {
+    AbstractValue V;
+    V.Mask = kBoolBit;
+    V.BoolVal = B ? 1 : 0;
+    return V;
+  }
+
+  uint8_t mask() const { return Mask; }
+  bool isBottom() const { return Mask == 0; }
+  bool isTop() const { return Mask == kAllBits && ClsRaw == bc::ClassId::kInvalid; }
+
+  /// May the value have type \p T at runtime?
+  bool mayBe(runtime::Type T) const { return (Mask & bit(T)) != 0; }
+
+  /// Is the value certainly of type \p T?  (Bottom answers false: nothing
+  /// is certain about unreachable values.)
+  bool definitely(runtime::Type T) const { return Mask == bit(T); }
+
+  /// Is every possible type within \p Bits?  False for Bottom.
+  bool subsetOf(uint8_t Bits) const {
+    return Mask != 0 && (Mask & ~Bits) == 0;
+  }
+
+  /// The exact object class, when the value is definitely an object
+  /// allocated by a known NewObj; invalid otherwise.
+  bc::ClassId exactClass() const {
+    return Mask == kObjBit ? bc::ClassId(ClsRaw) : bc::ClassId();
+  }
+
+  /// The known boolean constant as Tribool (Unknown unless the value is
+  /// definitely a bool with a known constant).
+  Tribool boolConstant() const {
+    if (Mask == kBoolBit && BoolVal >= 0)
+      return BoolVal ? Tribool::True : Tribool::False;
+    return Tribool::Unknown;
+  }
+
+  /// Truthiness under runtime::toBool, when statically decidable: null is
+  /// always falsy, objects always truthy, and known bool constants decide
+  /// themselves.  Int/Dbl/Str/Vec/Dict are value-dependent -> Unknown.
+  Tribool truthiness() const {
+    if (subsetOf(kNullBit))
+      return Tribool::False;
+    if (subsetOf(kObjBit))
+      return Tribool::True;
+    return boolConstant();
+  }
+
+  /// Least upper bound.  \returns true when *this changed.
+  bool join(const AbstractValue &O) {
+    if (O.Mask == 0)
+      return false;
+    if (Mask == 0) {
+      *this = O;
+      return true;
+    }
+    AbstractValue Old = *this;
+    Mask |= O.Mask;
+    if (ClsRaw != O.ClsRaw)
+      ClsRaw = bc::ClassId::kInvalid;
+    if (BoolVal != O.BoolVal)
+      BoolVal = -1;
+    return Mask != Old.Mask || ClsRaw != Old.ClsRaw || BoolVal != Old.BoolVal;
+  }
+
+  /// Widening: any strict growth jumps straight to Top.  The lattice is
+  /// finite so this is never needed for termination; the framework applies
+  /// it only past its join budget as a safety valve for future domains.
+  static AbstractValue widen(const AbstractValue &Old,
+                             const AbstractValue &New) {
+    if (Old.isBottom())
+      return New;
+    if ((New.Mask & ~Old.Mask) != 0)
+      return top();
+    AbstractValue V = Old;
+    V.join(New);
+    return V;
+  }
+
+  friend bool operator==(const AbstractValue &A, const AbstractValue &B) {
+    return A.Mask == B.Mask && A.ClsRaw == B.ClsRaw && A.BoolVal == B.BoolVal;
+  }
+  friend bool operator!=(const AbstractValue &A, const AbstractValue &B) {
+    return !(A == B);
+  }
+
+  /// Renders like "{int|double}" or "{obj(K3)}" for diagnostics.
+  std::string str() const {
+    if (Mask == 0)
+      return "{bottom}";
+    if (isTop())
+      return "{any}";
+    std::string Out = "{";
+    for (unsigned I = 0; I < 8; ++I) {
+      if (!(Mask & (1u << I)))
+        continue;
+      if (Out.size() > 1)
+        Out += "|";
+      Out += runtime::typeName(static_cast<runtime::Type>(I));
+    }
+    Out += "}";
+    return Out;
+  }
+
+private:
+  uint8_t Mask = 0;
+  uint32_t ClsRaw = bc::ClassId::kInvalid;
+  int8_t BoolVal = -1;
+};
+
+} // namespace jumpstart::analysis
+
+#endif // JUMPSTART_ANALYSIS_ABSTRACTTYPE_H

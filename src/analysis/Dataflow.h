@@ -1,0 +1,124 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic forward dataflow solver over the bytecode CFG (bc::Blocks).
+///
+/// The domain supplies the lattice:
+///
+///   struct Domain {
+///     using State = ...;                       // one program state
+///     State boundary();                        // entry-block input
+///     bool join(State &Into, const State &From); // LUB; true if changed
+///     void widen(State &Into, const State &Fresh); // join-budget escape
+///     void transfer(State &S, uint32_t InstrIndex); // one instruction
+///     // Which successors of a conditional branch are feasible, queried
+///     // with the state immediately *before* the branch executes (the
+///     // condition is still on the abstract stack).
+///     void feasible(const State &S, uint32_t InstrIndex, bool &Taken,
+///                   bool &Fallthru);
+///   };
+///
+/// The solver runs a worklist to fixpoint and exposes the entry state of
+/// every reached block.  Infeasible conditional edges are pruned, so
+/// statically-dead branch arms surface as unreached blocks.  The function
+/// must already have passed structural verification (pass zero): the
+/// solver assumes consistent stack depths and in-range branch targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_ANALYSIS_DATAFLOW_H
+#define JUMPSTART_ANALYSIS_DATAFLOW_H
+
+#include "bytecode/Blocks.h"
+#include "bytecode/Function.h"
+
+#include <deque>
+#include <vector>
+
+namespace jumpstart::analysis {
+
+template <typename Domain> class ForwardDataflow {
+public:
+  using State = typename Domain::State;
+
+  ForwardDataflow(const bc::Function &F, const bc::BlockList &Blocks,
+                  Domain &D, uint32_t JoinBudget = 32)
+      : F(F), Blocks(Blocks), D(D), JoinBudget(JoinBudget) {}
+
+  /// Runs the worklist to fixpoint.
+  void run() {
+    In.assign(Blocks.numBlocks(), State());
+    Reached.assign(Blocks.numBlocks(), false);
+    Joins.assign(Blocks.numBlocks(), 0);
+
+    In[0] = D.boundary();
+    Reached[0] = true;
+    std::deque<uint32_t> Worklist{0};
+    std::vector<bool> OnList(Blocks.numBlocks(), false);
+    OnList[0] = true;
+
+    while (!Worklist.empty()) {
+      uint32_t Id = Worklist.front();
+      Worklist.pop_front();
+      OnList[Id] = false;
+
+      State S = In[Id];
+      const bc::BcBlock &B = Blocks.block(Id);
+      bool TakenFeasible = true, FallFeasible = true;
+      for (uint32_t I = B.Start; I < B.End; ++I) {
+        if (I + 1 == B.End &&
+            hasFlag(bc::opInfo(F.Code[I].Opcode).Flags,
+                    bc::OpFlags::CondBranch))
+          D.feasible(S, I, TakenFeasible, FallFeasible);
+        D.transfer(S, I);
+      }
+
+      auto Propagate = [&](uint32_t Succ) {
+        bool Changed;
+        if (!Reached[Succ]) {
+          In[Succ] = S;
+          Reached[Succ] = true;
+          Changed = true;
+        } else if (++Joins[Succ] > JoinBudget) {
+          State Old = In[Succ];
+          D.widen(In[Succ], S);
+          Changed = D.join(Old, In[Succ]); // did widening move the state?
+        } else {
+          Changed = D.join(In[Succ], S);
+        }
+        if (Changed && !OnList[Succ]) {
+          OnList[Succ] = true;
+          Worklist.push_back(Succ);
+        }
+      };
+      if (B.hasTaken() && TakenFeasible)
+        Propagate(B.Taken);
+      if (B.hasFallthru() && FallFeasible)
+        Propagate(B.Fallthru);
+    }
+  }
+
+  /// Entry state of \p Block (meaningful only when reached()).
+  const State &entryState(uint32_t Block) const { return In[Block]; }
+
+  /// True when some feasible path reaches \p Block.
+  bool reached(uint32_t Block) const { return Reached[Block]; }
+
+private:
+  const bc::Function &F;
+  const bc::BlockList &Blocks;
+  Domain &D;
+  uint32_t JoinBudget;
+  std::vector<State> In;
+  std::vector<bool> Reached;
+  std::vector<uint32_t> Joins;
+};
+
+} // namespace jumpstart::analysis
+
+#endif // JUMPSTART_ANALYSIS_DATAFLOW_H

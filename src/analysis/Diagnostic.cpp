@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Diagnostic.h"
+
+#include "support/Assert.h"
+#include "support/StringUtil.h"
+
+using namespace jumpstart;
+using namespace jumpstart::analysis;
+
+const char *jumpstart::analysis::severityName(Severity S) {
+  switch (S) {
+  case Severity::Error:
+    return "error";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Note:
+    return "note";
+  }
+  unreachable("unhandled Severity");
+}
+
+const char *jumpstart::analysis::diagKindName(DiagKind K) {
+  switch (K) {
+  case DiagKind::Structural:
+    return "structural";
+  case DiagKind::TypeError:
+    return "type-error";
+  case DiagKind::DeadGuard:
+    return "dead-guard";
+  case DiagKind::UnreachableBlock:
+    return "unreachable-block";
+  case DiagKind::UseBeforeAssign:
+    return "use-before-assign";
+  case DiagKind::DeadStore:
+    return "dead-store";
+  case DiagKind::RedundantGuard:
+    return "redundant-guard";
+  case DiagKind::GuardNeverPasses:
+    return "guard-never-passes";
+  case DiagKind::RegionInconsistent:
+    return "region-inconsistent";
+  case DiagKind::TranslationInconsistent:
+    return "translation-inconsistent";
+  case DiagKind::PackageStructure:
+    return "package-structure";
+  case DiagKind::PackageSemantics:
+    return "package-semantics";
+  }
+  unreachable("unhandled DiagKind");
+}
+
+std::string Diagnostic::str(const bc::Repo *R) const {
+  std::string Where;
+  if (Func.valid()) {
+    if (R && Func.raw() < R->numFuncs())
+      Where = " " + R->func(Func).Name;
+    else
+      Where = strFormat(" func#%u", Func.raw());
+  }
+  std::string Loc;
+  if (Block != kNone && Instr != kNone)
+    Loc = strFormat(" @b%u:i%u", Block, Instr);
+  else if (Instr != kNone)
+    Loc = strFormat(" @i%u", Instr);
+  else if (Block != kNone)
+    Loc = strFormat(" @b%u", Block);
+  return strFormat("%s[%s]%s%s: %s", severityName(Sev), diagKindName(Kind),
+                   Where.c_str(), Loc.c_str(), Message.c_str());
+}
+
+size_t jumpstart::analysis::countErrors(const std::vector<Diagnostic> &Diags) {
+  size_t N = 0;
+  for (const Diagnostic &D : Diags)
+    if (D.Sev == Severity::Error)
+      ++N;
+  return N;
+}
+
+bool jumpstart::analysis::hasKind(const std::vector<Diagnostic> &Diags,
+                                  DiagKind Kind) {
+  for (const Diagnostic &D : Diags)
+    if (D.Kind == Kind)
+      return true;
+  return false;
+}

@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The uniform diagnostic record every analysis pass reports through.
+///
+/// Structural verification (pass zero), the dataflow passes, the JIT
+/// region cross-checks and the profile-package lint all produce the same
+/// record so tools (jslint, the seeder/consumer workflows, tests) can
+/// filter by severity and kind without knowing which pass spoke.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_ANALYSIS_DIAGNOSTIC_H
+#define JUMPSTART_ANALYSIS_DIAGNOSTIC_H
+
+#include "bytecode/Repo.h"
+
+#include <string>
+#include <vector>
+
+namespace jumpstart::analysis {
+
+enum class Severity : uint8_t {
+  Error,   ///< Guaranteed misbehaviour (or corrupt data); gates publishing.
+  Warning, ///< Legal but almost certainly unintended.
+  Note,    ///< Informational (e.g. optimization opportunities).
+};
+
+/// What kind of defect a diagnostic reports.  Tests assert on these, so
+/// each pass maps to a stable set of kinds.
+enum class DiagKind : uint8_t {
+  Structural,       ///< Pass zero: bc::verifyFunctionIssues findings.
+  TypeError,        ///< Guaranteed dynamic-type fault on every execution.
+  DeadGuard,        ///< Conditional branch whose outcome is statically known.
+  UnreachableBlock, ///< Block no feasible path reaches.
+  UseBeforeAssign,  ///< Local read before any path assigns it.
+  DeadStore,        ///< Store overwritten before any read.
+  RedundantGuard,   ///< Region class guard implied by a dominating guard or
+                    ///< by the statically-inferred receiver type.
+  GuardNeverPasses, ///< Region class guard the static types refute.
+  RegionInconsistent,      ///< Region descriptor contradicts the bytecode.
+  TranslationInconsistent, ///< TransDb/Vasm unit self-inconsistency.
+  PackageStructure,        ///< Package ids/shapes out of range for the repo.
+  PackageSemantics,        ///< Package contents name entities that do not
+                           ///< exist (properties, call sites, permutations).
+};
+
+const char *severityName(Severity S);
+const char *diagKindName(DiagKind K);
+
+/// One finding.  Func/Block/Instr narrow the location as far as the pass
+/// can; package-level findings leave all three unset.
+struct Diagnostic {
+  static constexpr uint32_t kNone = ~0u;
+
+  Severity Sev = Severity::Error;
+  DiagKind Kind = DiagKind::Structural;
+  bc::FuncId Func;
+  uint32_t Block = kNone;
+  uint32_t Instr = kNone;
+  std::string Message;
+
+  /// Renders "error[type-error] funcName @b2:i7: message".  \p R (when
+  /// given) resolves the function name; otherwise the raw id is printed.
+  std::string str(const bc::Repo *R = nullptr) const;
+};
+
+/// Number of Severity::Error diagnostics in \p Diags.
+size_t countErrors(const std::vector<Diagnostic> &Diags);
+
+/// True when \p Diags contains at least one diagnostic of \p Kind.
+bool hasKind(const std::vector<Diagnostic> &Diags, DiagKind Kind);
+
+} // namespace jumpstart::analysis
+
+#endif // JUMPSTART_ANALYSIS_DIAGNOSTIC_H

@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Linter.h"
+
+#include "bytecode/Verifier.h"
+
+using namespace jumpstart;
+using namespace jumpstart::analysis;
+
+std::vector<Diagnostic> Linter::lintFunction(bc::FuncId F) {
+  std::vector<Diagnostic> Diags;
+  const bc::Function &Func = R.func(F);
+
+  // Pass zero: the structural verifier.  Its issues become Structural
+  // errors, and any of them voids the dataflow passes' preconditions
+  // (consistent stack depths, in-range targets), so stop here on failure.
+  for (const bc::VerifyIssue &Issue :
+       bc::verifyFunctionIssues(R, Func, NumBuiltins)) {
+    Diagnostic D;
+    D.Sev = Severity::Error;
+    D.Kind = DiagKind::Structural;
+    D.Func = F;
+    D.Instr = Issue.Instr == bc::VerifyIssue::kNoInstr ? Diagnostic::kNone
+                                                       : Issue.Instr;
+    D.Message = Issue.Message;
+    Diags.push_back(std::move(D));
+  }
+  if (!Diags.empty())
+    return Diags;
+
+  for (Diagnostic &D : analyzeFunction(R, Func, Blocks.blocks(F)))
+    Diags.push_back(std::move(D));
+  return Diags;
+}
+
+std::vector<Diagnostic> Linter::lintRepo() {
+  std::vector<Diagnostic> Diags;
+  for (size_t I = 0; I < R.numFuncs(); ++I)
+    for (Diagnostic &D : lintFunction(bc::FuncId(static_cast<uint32_t>(I))))
+      Diags.push_back(std::move(D));
+  return Diags;
+}

@@ -1,0 +1,73 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single entry point to the static-analysis subsystem.
+///
+/// A Linter wraps a bytecode repo and exposes every check as a method
+/// returning analysis::Diagnostic lists:
+///
+///   - lintFunction / lintRepo: pass zero (the structural verifier,
+///     bc::verifyFunctionIssues) followed by the abstract-type dataflow
+///     passes (analysis/TypeFlow.h).  Structural errors suppress the
+///     dataflow run -- the solver's preconditions do not hold.
+///   - lintRegion / lintTranslations: JIT cross-validation
+///     (analysis/RegionCheck.h).
+///   - lintPackage: profile-package semantic consistency
+///     (analysis/PackageLint.h), the strict half of section VI-B's
+///     validation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_ANALYSIS_LINTER_H
+#define JUMPSTART_ANALYSIS_LINTER_H
+
+#include "analysis/Diagnostic.h"
+#include "analysis/PackageLint.h"
+#include "analysis/RegionCheck.h"
+#include "analysis/TypeFlow.h"
+#include "bytecode/BlockCache.h"
+
+namespace jumpstart::analysis {
+
+class Linter {
+public:
+  /// \p NumBuiltins bounds NativeCall ordinals (pass
+  /// runtime::BuiltinTable::standard().size() for the standard table).
+  Linter(const bc::Repo &R, uint32_t NumBuiltins)
+      : R(R), Blocks(R), NumBuiltins(NumBuiltins) {}
+
+  /// Structural verification plus all dataflow passes over one function.
+  std::vector<Diagnostic> lintFunction(bc::FuncId F);
+
+  /// lintFunction over every function of the repo.
+  std::vector<Diagnostic> lintRepo();
+
+  /// See analysis/RegionCheck.h.
+  std::vector<Diagnostic> lintRegion(const jit::RegionDescriptor &Region) {
+    return analysis::lintRegion(R, Blocks, Region);
+  }
+  std::vector<Diagnostic> lintTranslations(const jit::TransDb &Db) {
+    return analysis::lintTranslations(R, Blocks, Db);
+  }
+
+  /// See analysis/PackageLint.h.
+  std::vector<Diagnostic> lintPackage(const profile::ProfilePackage &Pkg) {
+    return analysis::lintPackage(R, Blocks, Pkg);
+  }
+
+  const bc::Repo &repo() const { return R; }
+
+private:
+  const bc::Repo &R;
+  bc::BlockCache Blocks;
+  uint32_t NumBuiltins;
+};
+
+} // namespace jumpstart::analysis
+
+#endif // JUMPSTART_ANALYSIS_LINTER_H

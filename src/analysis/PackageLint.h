@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deep semantic linting of a deserialized profile package against the
+/// bytecode repo it claims to profile (extends the coverage thresholds of
+/// profile::Validation, paper section VI-B).
+///
+/// A package can be checksum-clean and still poisonous: a stale or buggy
+/// seeder may ship counters for functions that do not exist, call-target
+/// profiles pointing at non-virtual instructions, or property orders
+/// naming properties no class declares.  Region selection steered by such
+/// data compiles garbage.  Every id is therefore range-checked, every
+/// profiled instruction cross-checked against the opcode actually at that
+/// index, and every "Class::prop" key resolved against the class table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_ANALYSIS_PACKAGELINT_H
+#define JUMPSTART_ANALYSIS_PACKAGELINT_H
+
+#include "analysis/Diagnostic.h"
+#include "bytecode/BlockCache.h"
+#include "profile/ProfilePackage.h"
+
+namespace jumpstart::analysis {
+
+/// Lints \p Pkg against \p R.  Structural problems (out-of-range ids,
+/// duplicate entries, impossible shapes) are PackageStructure errors;
+/// profile data attached to the wrong kind of instruction or naming
+/// non-existent classes/properties are PackageSemantics errors.
+std::vector<Diagnostic> lintPackage(const bc::Repo &R,
+                                    bc::BlockCache &Blocks,
+                                    const profile::ProfilePackage &Pkg);
+
+} // namespace jumpstart::analysis
+
+#endif // JUMPSTART_ANALYSIS_PACKAGELINT_H

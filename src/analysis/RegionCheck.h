@@ -1,0 +1,48 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-validation of JIT region descriptors and translations against the
+/// bytecode-level dataflow analysis.
+///
+/// Regions: every inlined or devirtualized site must name a real call
+/// instruction and an in-range callee, and each devirtualization guard is
+/// checked against the abstract receiver types -- guards implied by a
+/// dominating guard or by a statically-known receiver class are flagged
+/// as redundant; guards the static types refute are errors.
+///
+/// Translations: every bytecode block of the translated function (and of
+/// each inlined callee) must map to a Vasm block, Vasm successors must be
+/// in range, and placement invariants (BlockAddrs/JumpElided shapes) must
+/// hold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_ANALYSIS_REGIONCHECK_H
+#define JUMPSTART_ANALYSIS_REGIONCHECK_H
+
+#include "analysis/Diagnostic.h"
+#include "bytecode/BlockCache.h"
+#include "jit/Region.h"
+#include "jit/TransDb.h"
+
+namespace jumpstart::analysis {
+
+/// Lints \p Region (structural checks + guard analysis over the dataflow
+/// fixpoint of the region's root function).
+std::vector<Diagnostic> lintRegion(const bc::Repo &R, bc::BlockCache &Blocks,
+                                   const jit::RegionDescriptor &Region);
+
+/// Lints every translation in \p Db for internal consistency with the
+/// bytecode it claims to implement.
+std::vector<Diagnostic> lintTranslations(const bc::Repo &R,
+                                         bc::BlockCache &Blocks,
+                                         const jit::TransDb &Db);
+
+} // namespace jumpstart::analysis
+
+#endif // JUMPSTART_ANALYSIS_REGIONCHECK_H

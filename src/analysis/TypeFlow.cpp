@@ -1,0 +1,628 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/TypeFlow.h"
+
+#include "analysis/AbstractType.h"
+#include "analysis/Dataflow.h"
+#include "support/Assert.h"
+#include "support/StringUtil.h"
+
+#include <set>
+
+using namespace jumpstart;
+using namespace jumpstart::analysis;
+using runtime::Type;
+
+bool jumpstart::analysis::classHasProp(const bc::Repo &R, bc::ClassId C,
+                                       bc::StringId Prop) {
+  while (C.valid()) {
+    const bc::Class &K = R.cls(C);
+    for (bc::StringId P : K.DeclProps)
+      if (P == Prop)
+        return true;
+    C = K.Parent;
+  }
+  return false;
+}
+
+namespace {
+
+/// One tracked local: abstract value plus definite-assignment facts.
+/// May/Must join as OR/AND respectively.
+struct LocalState {
+  AbstractValue Val;
+  bool MayAssigned = false;
+  bool MustAssigned = false;
+};
+
+/// One operand-stack slot: abstract value plus provenance -- the local a
+/// GetL loaded it from, invalidated when that local is reassigned.  The
+/// region guard pass uses provenance to associate class guards with
+/// receiver locals.
+struct SlotState {
+  AbstractValue Val;
+  static constexpr uint32_t kNoLocal = ~0u;
+  uint32_t FromLocal = kNoLocal;
+};
+
+struct TypeState {
+  std::vector<LocalState> Locals;
+  std::vector<SlotState> Stack;
+  /// Class guards established per local (must-information; joins
+  /// intersect): key (methodName.raw() << 32) | target.raw().
+  std::vector<std::set<uint64_t>> Guards;
+};
+
+class TypeDomain {
+public:
+  using State = TypeState;
+
+  TypeDomain(const bc::Repo &R, const bc::Function &F,
+             const DevirtSites *Devirt)
+      : R(R), F(F), Devirt(Devirt) {}
+
+  /// Reporting mode: when set, transfer() emits diagnostics (the final
+  /// walk sets it; fixpoint iterations leave it null).
+  std::vector<Diagnostic> *Sink = nullptr;
+  uint32_t CurBlock = Diagnostic::kNone;
+
+  State boundary() const {
+    State S;
+    S.Locals.resize(F.NumLocals);
+    for (uint32_t L = 0; L < F.NumLocals; ++L) {
+      if (L < F.NumParams) {
+        // Parameter types are call-site dependent; a caller may even pass
+        // fewer arguments than declared (virtual calls are not
+        // arity-checked), leaving the slot null -- Top covers both.
+        S.Locals[L].Val = AbstractValue::top();
+        S.Locals[L].MayAssigned = true;
+        S.Locals[L].MustAssigned = true;
+      } else {
+        // Unassigned locals read as null (Interpreter.cpp initializes the
+        // frame with nulls); definite-assignment tracks the flags.
+        S.Locals[L].Val = AbstractValue::ofType(Type::Null);
+      }
+    }
+    if (Devirt)
+      S.Guards.resize(F.NumLocals);
+    return S;
+  }
+
+  bool join(State &Into, const State &From) const {
+    bool Changed = false;
+    for (size_t L = 0; L < Into.Locals.size(); ++L) {
+      LocalState &A = Into.Locals[L];
+      const LocalState &B = From.Locals[L];
+      Changed |= A.Val.join(B.Val);
+      if (B.MayAssigned && !A.MayAssigned) {
+        A.MayAssigned = true;
+        Changed = true;
+      }
+      if (!B.MustAssigned && A.MustAssigned) {
+        A.MustAssigned = false;
+        Changed = true;
+      }
+    }
+    // Pass zero guarantees consistent stack depths at joins.
+    alwaysAssert(Into.Stack.size() == From.Stack.size(),
+                 "join at inconsistent stack depth (verifier bypassed?)");
+    for (size_t I = 0; I < Into.Stack.size(); ++I) {
+      SlotState &A = Into.Stack[I];
+      const SlotState &B = From.Stack[I];
+      Changed |= A.Val.join(B.Val);
+      if (A.FromLocal != B.FromLocal && A.FromLocal != SlotState::kNoLocal) {
+        A.FromLocal = SlotState::kNoLocal;
+        Changed = true;
+      }
+    }
+    for (size_t L = 0; L < Into.Guards.size(); ++L) {
+      std::set<uint64_t> &G = Into.Guards[L];
+      for (auto It = G.begin(); It != G.end();) {
+        if (!From.Guards[L].count(*It)) {
+          It = G.erase(It);
+          Changed = true;
+        } else {
+          ++It;
+        }
+      }
+    }
+    return Changed;
+  }
+
+  void widen(State &Into, const State &Fresh) const {
+    for (size_t L = 0; L < Into.Locals.size(); ++L)
+      Into.Locals[L].Val =
+          AbstractValue::widen(Into.Locals[L].Val, Fresh.Locals[L].Val);
+    for (size_t I = 0; I < Into.Stack.size(); ++I)
+      Into.Stack[I].Val =
+          AbstractValue::widen(Into.Stack[I].Val, Fresh.Stack[I].Val);
+    join(Into, Fresh); // flags, provenance and guards have no widening
+  }
+
+  void feasible(const State &S, uint32_t InstrIndex, bool &Taken,
+                bool &Fallthru) const {
+    const bc::Instr &In = F.Code[InstrIndex];
+    Tribool Cond = S.Stack.back().Val.truthiness();
+    if (Cond == Tribool::Unknown)
+      return;
+    bool CondTrue = Cond == Tribool::True;
+    // JmpZ takes when falsy; JmpNZ takes when truthy.
+    bool Takes = In.Opcode == bc::Op::JmpZ ? !CondTrue : CondTrue;
+    Taken = Takes;
+    Fallthru = !Takes;
+  }
+
+  void transfer(State &S, uint32_t InstrIndex);
+
+private:
+  template <typename... Args>
+  void report(DiagKind Kind, Severity Sev, uint32_t InstrIndex,
+              const char *Fmt, Args... Values) {
+    if (!Sink)
+      return;
+    Diagnostic D;
+    D.Sev = Sev;
+    D.Kind = Kind;
+    D.Func = F.Id;
+    D.Block = CurBlock;
+    D.Instr = InstrIndex;
+    D.Message = strFormat(Fmt, Values...);
+    Sink->push_back(D);
+  }
+
+  SlotState pop(State &S) {
+    alwaysAssert(!S.Stack.empty(), "abstract stack underflow");
+    SlotState Top = S.Stack.back();
+    S.Stack.pop_back();
+    return Top;
+  }
+
+  void push(State &S, AbstractValue V,
+            uint32_t FromLocal = SlotState::kNoLocal) {
+    S.Stack.push_back(SlotState{V, FromLocal});
+  }
+
+  void setLocal(State &S, uint32_t L, AbstractValue V) {
+    S.Locals[L].Val = V;
+    S.Locals[L].MayAssigned = true;
+    S.Locals[L].MustAssigned = true;
+    for (SlotState &Slot : S.Stack)
+      if (Slot.FromLocal == L)
+        Slot.FromLocal = SlotState::kNoLocal;
+    if (L < S.Guards.size())
+      S.Guards[L].clear();
+  }
+
+  void transferArith(State &S, const bc::Instr &In, uint32_t InstrIndex);
+  void transferFCallObj(State &S, const bc::Instr &In, uint32_t InstrIndex);
+
+  const bc::Repo &R;
+  const bc::Function &F;
+  const DevirtSites *Devirt;
+};
+
+void TypeDomain::transferArith(State &S, const bc::Instr &In,
+                               uint32_t InstrIndex) {
+  AbstractValue B = pop(S).Val;
+  AbstractValue A = pop(S).Val;
+  // runtime::arith yields null for any non-numeric, non-bool operand, and
+  // the interpreter counts a fault only when neither operand was null.
+  constexpr uint8_t kFaulting =
+      AbstractValue::kStrBit | AbstractValue::kVecBit |
+      AbstractValue::kDictBit | AbstractValue::kObjBit;
+  bool Guaranteed =
+      (A.subsetOf(kFaulting) && !B.mayBe(Type::Null)) ||
+      (B.subsetOf(kFaulting) && !A.mayBe(Type::Null));
+  if (Guaranteed)
+    report(DiagKind::TypeError, Severity::Error, InstrIndex,
+           "%s always faults: operands %s and %s are never numeric",
+           bc::opName(In.Opcode), A.str().c_str(), B.str().c_str());
+
+  uint8_t Result = 0;
+  bool BothMayNumeric = (A.mask() & AbstractValue::kNumericish) != 0 &&
+                        (B.mask() & AbstractValue::kNumericish) != 0;
+  if (BothMayNumeric) {
+    Result |= AbstractValue::kIntBit;
+    if (((A.mask() | B.mask()) & AbstractValue::kDblBit) != 0 ||
+        In.Opcode == bc::Op::Div)
+      Result |= AbstractValue::kDblBit;
+    if (In.Opcode == bc::Op::Div || In.Opcode == bc::Op::Mod)
+      Result |= AbstractValue::kNullBit; // division by zero
+  }
+  if (((A.mask() | B.mask()) & ~AbstractValue::kNumericish) != 0)
+    Result |= AbstractValue::kNullBit;
+  if (Result == 0)
+    Result = AbstractValue::kNullBit;
+  push(S, AbstractValue::ofMask(Result));
+}
+
+void TypeDomain::transferFCallObj(State &S, const bc::Instr &In,
+                                  uint32_t InstrIndex) {
+  uint32_t N = In.countImm();
+  alwaysAssert(S.Stack.size() >= N + 1, "abstract stack underflow at call");
+  SlotState Recv = S.Stack[S.Stack.size() - N - 1];
+
+  if (!Recv.Val.mayBe(Type::Obj)) {
+    report(DiagKind::TypeError, Severity::Error, InstrIndex,
+           "method call '%s' always faults: receiver %s is never an object",
+           R.str(In.strImm()).c_str(), Recv.Val.str().c_str());
+  } else if (bc::ClassId Exact = Recv.Val.exactClass(); Exact.valid()) {
+    if (!R.resolveMethod(Exact, In.strImm()).valid())
+      report(DiagKind::TypeError, Severity::Error, InstrIndex,
+             "method call always faults: class %s has no method '%s'",
+             R.cls(Exact).Name.c_str(), R.str(In.strImm()).c_str());
+  }
+
+  // Region guard cross-check, when this site was devirtualized.
+  if (Devirt) {
+    auto Site = Devirt->TargetAt.find(InstrIndex);
+    if (Site != Devirt->TargetAt.end()) {
+      uint32_t Target = Site->second;
+      uint64_t GuardKey =
+          (static_cast<uint64_t>(In.strImm().raw()) << 32) | Target;
+      if (!Recv.Val.mayBe(Type::Obj)) {
+        report(DiagKind::GuardNeverPasses, Severity::Error, InstrIndex,
+               "class guard for '%s' can never pass: receiver %s is never "
+               "an object",
+               R.str(In.strImm()).c_str(), Recv.Val.str().c_str());
+      } else if (bc::ClassId Exact = Recv.Val.exactClass(); Exact.valid()) {
+        bc::FuncId Resolved = R.resolveMethod(Exact, In.strImm());
+        if (Resolved.valid() && Resolved.raw() == Target)
+          report(DiagKind::RedundantGuard, Severity::Note, InstrIndex,
+                 "class guard is implied by the statically-inferred "
+                 "receiver type %s",
+                 R.cls(Exact).Name.c_str());
+        else
+          report(DiagKind::GuardNeverPasses, Severity::Error, InstrIndex,
+                 "class guard for '%s' contradicts the statically-inferred "
+                 "receiver type %s",
+                 R.str(In.strImm()).c_str(), R.cls(Exact).Name.c_str());
+      } else if (Recv.FromLocal != SlotState::kNoLocal &&
+                 Recv.FromLocal < S.Guards.size()) {
+        std::set<uint64_t> &G = S.Guards[Recv.FromLocal];
+        if (G.count(GuardKey))
+          report(DiagKind::RedundantGuard, Severity::Note, InstrIndex,
+                 "class guard for '%s' is implied by a dominating guard on "
+                 "the same receiver local %u",
+                 R.str(In.strImm()).c_str(), Recv.FromLocal);
+        else
+          G.insert(GuardKey);
+      }
+    }
+  }
+
+  S.Stack.resize(S.Stack.size() - N - 1);
+  push(S, AbstractValue::top());
+}
+
+void TypeDomain::transfer(State &S, uint32_t InstrIndex) {
+  const bc::Instr &In = F.Code[InstrIndex];
+  switch (In.Opcode) {
+  case bc::Op::Nop:
+  case bc::Op::Jmp:
+    break;
+  case bc::Op::Int:
+    push(S, AbstractValue::ofType(Type::Int));
+    break;
+  case bc::Op::Dbl:
+    push(S, AbstractValue::ofType(Type::Dbl));
+    break;
+  case bc::Op::True:
+    push(S, AbstractValue::boolConst(true));
+    break;
+  case bc::Op::False:
+    push(S, AbstractValue::boolConst(false));
+    break;
+  case bc::Op::Null:
+    push(S, AbstractValue::ofType(Type::Null));
+    break;
+  case bc::Op::Str:
+    push(S, AbstractValue::ofType(Type::Str));
+    break;
+  case bc::Op::NewVec:
+    push(S, AbstractValue::ofType(Type::Vec));
+    break;
+  case bc::Op::NewDict:
+    push(S, AbstractValue::ofType(Type::Dict));
+    break;
+  case bc::Op::AddElem: {
+    pop(S); // value
+    AbstractValue C = pop(S).Val;
+    if (!C.mayBe(Type::Vec))
+      report(DiagKind::TypeError, Severity::Error, InstrIndex,
+             "AddElem always faults: container %s is never a vec",
+             C.str().c_str());
+    uint8_t Result = C.mask() & AbstractValue::kVecBit;
+    if ((C.mask() & ~AbstractValue::kVecBit) != 0 || Result == 0)
+      Result |= AbstractValue::kNullBit;
+    push(S, AbstractValue::ofMask(Result));
+    break;
+  }
+  case bc::Op::AddKeyElem: {
+    pop(S); // value
+    pop(S); // key
+    AbstractValue C = pop(S).Val;
+    if (!C.mayBe(Type::Dict))
+      report(DiagKind::TypeError, Severity::Error, InstrIndex,
+             "AddKeyElem always faults: container %s is never a dict",
+             C.str().c_str());
+    uint8_t Result = C.mask() & AbstractValue::kDictBit;
+    if ((C.mask() & ~AbstractValue::kDictBit) != 0 || Result == 0)
+      Result |= AbstractValue::kNullBit;
+    push(S, AbstractValue::ofMask(Result));
+    break;
+  }
+  case bc::Op::GetElem: {
+    pop(S); // key
+    AbstractValue C = pop(S).Val;
+    constexpr uint8_t kContainers =
+        AbstractValue::kVecBit | AbstractValue::kDictBit;
+    if ((C.mask() & kContainers) == 0)
+      report(DiagKind::TypeError, Severity::Error, InstrIndex,
+             "GetElem always faults: container %s is never a vec or dict",
+             C.str().c_str());
+    push(S, AbstractValue::top());
+    break;
+  }
+  case bc::Op::SetElem: {
+    pop(S); // value
+    pop(S); // key
+    AbstractValue C = pop(S).Val;
+    constexpr uint8_t kContainers =
+        AbstractValue::kVecBit | AbstractValue::kDictBit;
+    if ((C.mask() & kContainers) == 0)
+      report(DiagKind::TypeError, Severity::Error, InstrIndex,
+             "SetElem always faults: container %s is never a vec or dict",
+             C.str().c_str());
+    uint8_t Result = C.mask() & kContainers;
+    // Everything except a pure dict can fault (vec writes fault out of
+    // range), pushing null.
+    if (!C.definitely(Type::Dict))
+      Result |= AbstractValue::kNullBit;
+    push(S, AbstractValue::ofMask(Result));
+    break;
+  }
+  case bc::Op::Len: {
+    AbstractValue C = pop(S).Val;
+    constexpr uint8_t kMeasurable = AbstractValue::kVecBit |
+                                    AbstractValue::kDictBit |
+                                    AbstractValue::kStrBit;
+    if ((C.mask() & kMeasurable) == 0)
+      report(DiagKind::TypeError, Severity::Error, InstrIndex,
+             "Len always faults: operand %s has no length", C.str().c_str());
+    uint8_t Result = AbstractValue::kIntBit;
+    if ((C.mask() & ~kMeasurable) != 0)
+      Result |= AbstractValue::kNullBit;
+    push(S, AbstractValue::ofMask(Result));
+    break;
+  }
+  case bc::Op::PopC:
+    pop(S);
+    break;
+  case bc::Op::Dup: {
+    SlotState Top = pop(S);
+    S.Stack.push_back(Top);
+    S.Stack.push_back(Top);
+    break;
+  }
+  case bc::Op::GetL: {
+    uint32_t L = In.localImm();
+    const LocalState &Local = S.Locals[L];
+    if (!Local.MayAssigned && L >= F.NumParams)
+      report(DiagKind::UseBeforeAssign, Severity::Warning, InstrIndex,
+             "local %u is read before any path assigns it (reads null)", L);
+    push(S, Local.Val, L);
+    break;
+  }
+  case bc::Op::SetL:
+    setLocal(S, In.localImm(), pop(S).Val);
+    break;
+  case bc::Op::Add:
+  case bc::Op::Sub:
+  case bc::Op::Mul:
+  case bc::Op::Div:
+  case bc::Op::Mod:
+    transferArith(S, In, InstrIndex);
+    break;
+  case bc::Op::Concat:
+    pop(S);
+    pop(S);
+    push(S, AbstractValue::ofType(Type::Str));
+    break;
+  case bc::Op::Not: {
+    Tribool T = pop(S).Val.truthiness();
+    push(S, T == Tribool::Unknown
+                ? AbstractValue::ofType(Type::Bool)
+                : AbstractValue::boolConst(T == Tribool::False));
+    break;
+  }
+  case bc::Op::CmpEq:
+  case bc::Op::CmpNe:
+  case bc::Op::CmpLt:
+  case bc::Op::CmpLe:
+  case bc::Op::CmpGt:
+  case bc::Op::CmpGe:
+    pop(S);
+    pop(S);
+    push(S, AbstractValue::ofType(Type::Bool));
+    break;
+  case bc::Op::JmpZ:
+  case bc::Op::JmpNZ:
+    pop(S);
+    break;
+  case bc::Op::FCall: {
+    uint32_t N = In.countImm();
+    alwaysAssert(S.Stack.size() >= N, "abstract stack underflow at call");
+    S.Stack.resize(S.Stack.size() - N);
+    push(S, AbstractValue::top());
+    break;
+  }
+  case bc::Op::FCallObj:
+    transferFCallObj(S, In, InstrIndex);
+    break;
+  case bc::Op::NativeCall: {
+    uint32_t N = In.countImm();
+    alwaysAssert(S.Stack.size() >= N, "abstract stack underflow at call");
+    S.Stack.resize(S.Stack.size() - N);
+    push(S, AbstractValue::top());
+    break;
+  }
+  case bc::Op::NewObj:
+    push(S, AbstractValue::obj(In.clsImm()));
+    break;
+  case bc::Op::GetProp: {
+    AbstractValue O = pop(S).Val;
+    if (!O.mayBe(Type::Obj))
+      report(DiagKind::TypeError, Severity::Error, InstrIndex,
+             "GetProp '%s' always faults: receiver %s is never an object",
+             R.str(In.strImm()).c_str(), O.str().c_str());
+    else if (bc::ClassId Exact = O.exactClass();
+             Exact.valid() && !classHasProp(R, Exact, In.strImm()))
+      report(DiagKind::TypeError, Severity::Error, InstrIndex,
+             "GetProp always faults: class %s has no property '%s'",
+             R.cls(Exact).Name.c_str(), R.str(In.strImm()).c_str());
+    push(S, AbstractValue::top());
+    break;
+  }
+  case bc::Op::SetProp: {
+    pop(S); // value
+    AbstractValue O = pop(S).Val;
+    if (!O.mayBe(Type::Obj))
+      report(DiagKind::TypeError, Severity::Error, InstrIndex,
+             "SetProp '%s' always faults: receiver %s is never an object",
+             R.str(In.strImm()).c_str(), O.str().c_str());
+    else if (bc::ClassId Exact = O.exactClass();
+             Exact.valid() && !classHasProp(R, Exact, In.strImm()))
+      report(DiagKind::TypeError, Severity::Error, InstrIndex,
+             "SetProp always faults: class %s has no property '%s'",
+             R.cls(Exact).Name.c_str(), R.str(In.strImm()).c_str());
+    break;
+  }
+  case bc::Op::GetThis:
+    // In a method, `this` is always the FCallObj receiver (an object,
+    // though not necessarily exactly F.Cls); free functions get null.
+    push(S, F.Cls.valid() ? AbstractValue::ofMask(AbstractValue::kObjBit)
+                          : AbstractValue::ofType(Type::Null));
+    break;
+  case bc::Op::RetC:
+    pop(S);
+    break;
+  }
+}
+
+/// A block whose every instruction is compiler plumbing (jumps, the
+/// synthetic "Null; RetC" epilogue, stack cleanup).  The frontend emits
+/// such blocks unreachably as a matter of course -- e.g. the epilogue
+/// after a user `return`, or the `Jmp` out of a then-arm that returns --
+/// so the unreachable-block pass skips them to stay false-positive-free
+/// on generated code.
+bool isPlumbingBlock(const bc::Function &F, const bc::BcBlock &B) {
+  for (uint32_t I = B.Start; I < B.End; ++I) {
+    switch (F.Code[I].Opcode) {
+    case bc::Op::Nop:
+    case bc::Op::Jmp:
+    case bc::Op::Null:
+    case bc::Op::PopC:
+    case bc::Op::RetC:
+      break;
+    default:
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Same-block dead stores: a SetL overwritten by a later SetL of the same
+/// local with no intervening GetL.  Only GetL reads locals, so this is
+/// exact within a block; cross-block liveness is deliberately not used
+/// (a store read on only some paths is not reported).
+void scanDeadStores(const bc::Function &F, const bc::BcBlock &B,
+                    uint32_t BlockId, std::vector<Diagnostic> &Diags) {
+  std::map<uint32_t, uint32_t> UnreadStore; // local -> SetL index
+  for (uint32_t I = B.Start; I < B.End; ++I) {
+    const bc::Instr &In = F.Code[I];
+    if (In.Opcode == bc::Op::GetL) {
+      UnreadStore.erase(In.localImm());
+    } else if (In.Opcode == bc::Op::SetL) {
+      auto Prior = UnreadStore.find(In.localImm());
+      if (Prior != UnreadStore.end()) {
+        Diagnostic D;
+        D.Sev = Severity::Warning;
+        D.Kind = DiagKind::DeadStore;
+        D.Func = F.Id;
+        D.Block = BlockId;
+        D.Instr = Prior->second;
+        D.Message = strFormat(
+            "store to local %u is overwritten at instr %u before any read",
+            In.localImm(), I);
+        Diags.push_back(D);
+      }
+      UnreadStore[In.localImm()] = I;
+    }
+  }
+}
+
+} // namespace
+
+std::vector<Diagnostic>
+jumpstart::analysis::analyzeFunction(const bc::Repo &R, const bc::Function &F,
+                                     const bc::BlockList &Blocks,
+                                     const DevirtSites *Devirt) {
+  TypeDomain D(R, F, Devirt);
+  ForwardDataflow<TypeDomain> Flow(F, Blocks, D);
+  Flow.run();
+
+  std::vector<Diagnostic> Diags;
+  D.Sink = &Diags;
+  for (uint32_t B = 0; B < Blocks.numBlocks(); ++B) {
+    const bc::BcBlock &Block = Blocks.block(B);
+    if (!Flow.reached(B)) {
+      if (!isPlumbingBlock(F, Block)) {
+        Diagnostic Diag;
+        Diag.Sev = Severity::Warning;
+        Diag.Kind = DiagKind::UnreachableBlock;
+        Diag.Func = F.Id;
+        Diag.Block = B;
+        Diag.Instr = Block.Start;
+        Diag.Message =
+            strFormat("block %u is unreachable on every feasible path", B);
+        Diags.push_back(Diag);
+      }
+      continue;
+    }
+
+    // Re-run the transfer from the fixpoint entry state, reporting.
+    TypeState S = Flow.entryState(B);
+    D.CurBlock = B;
+    for (uint32_t I = Block.Start; I < Block.End; ++I) {
+      const bc::Instr &In = F.Code[I];
+      if (I + 1 == Block.End &&
+          hasFlag(bc::opInfo(In.Opcode).Flags, bc::OpFlags::CondBranch)) {
+        Tribool Cond = S.Stack.back().Val.truthiness();
+        if (Cond != Tribool::Unknown) {
+          bool CondTrue = Cond == Tribool::True;
+          bool Takes = In.Opcode == bc::Op::JmpZ ? !CondTrue : CondTrue;
+          Diagnostic Diag;
+          Diag.Sev = Severity::Warning;
+          Diag.Kind = DiagKind::DeadGuard;
+          Diag.Func = F.Id;
+          Diag.Block = B;
+          Diag.Instr = I;
+          Diag.Message = strFormat(
+              "condition is always %s; the %s arm is dead",
+              CondTrue ? "true" : "false", Takes ? "fallthrough" : "branch");
+          Diags.push_back(Diag);
+        }
+      }
+      D.transfer(S, I);
+    }
+    scanDeadStores(F, Block, B, Diags);
+  }
+  D.Sink = nullptr;
+  return Diags;
+}

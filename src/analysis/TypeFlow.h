@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract-type dataflow passes over one function.
+///
+/// Runs the AbstractValue lattice through the ForwardDataflow solver,
+/// tracking every operand-stack slot and local, then reports:
+///
+///   - guaranteed dynamic-type errors (an operation that faults on every
+///     execution reaching it, mirroring interp/Interpreter.cpp's exact
+///     fault rules);
+///   - definitely-dead type guards (conditional branches whose outcome is
+///     statically known) and the unreachable blocks they imply;
+///   - definite-assignment violations and same-block dead stores on
+///     locals.
+///
+/// When a set of devirtualized call sites is supplied (from a
+/// jit::RegionDescriptor), the same fixpoint additionally tracks which
+/// class guards are already established per receiver local, flagging
+/// guards implied by a dominating guard or by the statically-inferred
+/// receiver type, and guards the static types refute.
+///
+/// The function must already have passed structural verification
+/// (bc::verifyFunctionIssues); the caller is responsible for pass zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_ANALYSIS_TYPEFLOW_H
+#define JUMPSTART_ANALYSIS_TYPEFLOW_H
+
+#include "analysis/Diagnostic.h"
+#include "bytecode/Blocks.h"
+
+#include <map>
+
+namespace jumpstart::analysis {
+
+/// Devirtualized virtual-call sites of one function, extracted from a
+/// region descriptor: instruction index -> guarded target (raw FuncId).
+struct DevirtSites {
+  std::map<uint32_t, uint32_t> TargetAt;
+};
+
+/// Walks \p C's inheritance chain; \returns true when some ancestor (or
+/// \p C itself) declares property \p Prop.
+bool classHasProp(const bc::Repo &R, bc::ClassId C, bc::StringId Prop);
+
+/// Runs all dataflow passes over \p F and \returns the diagnostics.
+/// \p Blocks must be F's block list; \p Devirt (optional) enables the
+/// region guard cross-checks.
+std::vector<Diagnostic> analyzeFunction(const bc::Repo &R,
+                                        const bc::Function &F,
+                                        const bc::BlockList &Blocks,
+                                        const DevirtSites *Devirt = nullptr);
+
+} // namespace jumpstart::analysis
+
+#endif // JUMPSTART_ANALYSIS_TYPEFLOW_H

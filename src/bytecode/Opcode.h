@@ -114,6 +114,9 @@ enum class Op : uint8_t {
 #undef JUMPSTART_OP_ENUM
 };
 
+/// Maximum value of a Count immediate (call arity, element count).
+constexpr unsigned kMaxCallArgs = 64;
+
 /// Total number of opcodes.
 constexpr unsigned kNumOpcodes = 0
 #define JUMPSTART_OP_COUNT(Name, ImmA, ImmB, Pop, Push, Flags) +1

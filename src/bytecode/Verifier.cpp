@@ -17,22 +17,25 @@ using namespace jumpstart::bc;
 
 namespace {
 
-/// Collects errors with a shared function-name prefix.
+/// Collects structured issues; instruction-anchored when an index is
+/// known.
 class ErrorSink {
 public:
-  ErrorSink(const Function &F, std::vector<std::string> &Out)
-      : F(F), Out(Out) {}
+  explicit ErrorSink(std::vector<VerifyIssue> &Out) : Out(Out) {}
+
+  template <typename... Args>
+  void error(uint32_t Instr, const char *Fmt, Args... Values) {
+    Out.push_back(VerifyIssue{Instr, strFormat(Fmt, Values...)});
+  }
 
   template <typename... Args> void error(const char *Fmt, Args... Values) {
-    std::string Msg = strFormat(Fmt, Values...);
-    Out.push_back(strFormat("%s: %s", F.Name.c_str(), Msg.c_str()));
+    error(VerifyIssue::kNoInstr, Fmt, Values...);
   }
 
   bool hadError() const { return !Out.empty(); }
 
 private:
-  const Function &F;
-  std::vector<std::string> &Out;
+  std::vector<VerifyIssue> &Out;
 };
 
 /// Net stack effect of \p In, taking variable-arity calls into account.
@@ -68,37 +71,37 @@ void verifyImmediates(const Repo &R, const Function &F, uint32_t NumBuiltins,
       return;
     case ImmKind::Str:
       if (static_cast<uint64_t>(Raw) >= R.numStrings())
-        Sink.error("instr %u: string id %lld out of range", Index,
+        Sink.error(Index, "instr %u: string id %lld out of range", Index,
                    static_cast<long long>(Raw));
       return;
     case ImmKind::Local:
       if (static_cast<uint64_t>(Raw) >= F.NumLocals)
-        Sink.error("instr %u: local %lld out of range (frame has %u)", Index,
-                   static_cast<long long>(Raw), F.NumLocals);
+        Sink.error(Index, "instr %u: local %lld out of range (frame has %u)",
+                   Index, static_cast<long long>(Raw), F.NumLocals);
       return;
     case ImmKind::Target:
       if (static_cast<uint64_t>(Raw) >= F.Code.size())
-        Sink.error("instr %u: branch target %lld out of range", Index,
+        Sink.error(Index, "instr %u: branch target %lld out of range", Index,
                    static_cast<long long>(Raw));
       return;
     case ImmKind::Func:
       if (static_cast<uint64_t>(Raw) >= R.numFuncs())
-        Sink.error("instr %u: func id %lld out of range", Index,
+        Sink.error(Index, "instr %u: func id %lld out of range", Index,
                    static_cast<long long>(Raw));
       return;
     case ImmKind::Cls:
       if (static_cast<uint64_t>(Raw) >= R.numClasses())
-        Sink.error("instr %u: class id %lld out of range", Index,
+        Sink.error(Index, "instr %u: class id %lld out of range", Index,
                    static_cast<long long>(Raw));
       return;
     case ImmKind::Builtin:
       if (static_cast<uint64_t>(Raw) >= NumBuiltins)
-        Sink.error("instr %u: builtin id %lld out of range", Index,
+        Sink.error(Index, "instr %u: builtin id %lld out of range", Index,
                    static_cast<long long>(Raw));
       return;
     case ImmKind::Count:
-      if (Raw < 0 || Raw > 64)
-        Sink.error("instr %u: implausible count %lld", Index,
+      if (Raw < 0 || Raw > kMaxCallArgs)
+        Sink.error(Index, "instr %u: implausible count %lld", Index,
                    static_cast<long long>(Raw));
       return;
     }
@@ -116,7 +119,7 @@ void verifyImmediates(const Repo &R, const Function &F, uint32_t NumBuiltins,
         static_cast<uint64_t>(In.ImmA) < R.numFuncs()) {
       const Function &Callee = R.func(In.funcImm());
       if (In.countImm() != Callee.NumParams)
-        Sink.error("instr %u: call to %s passes %u args, expects %u", I,
+        Sink.error(I, "instr %u: call to %s passes %u args, expects %u", I,
                    Callee.Name.c_str(), In.countImm(), Callee.NumParams);
     }
   }
@@ -141,13 +144,14 @@ void verifyStackDepth(const Function &F, ErrorSink &Sink) {
     for (uint32_t I = B.Start; I < B.End; ++I) {
       const Instr &In = F.Code[I];
       if (Depth < stackPops(In)) {
-        Sink.error("instr %u (%s): stack underflow (depth %d)", I,
+        Sink.error(I, "instr %u (%s): stack underflow (depth %d)", I,
                    opName(In.Opcode), Depth);
         return;
       }
       Depth += stackDelta(In);
       if (In.Opcode == Op::RetC && Depth != 0) {
-        Sink.error("instr %u: return leaves %d values on the stack", I, Depth);
+        Sink.error(I, "instr %u: return leaves %d values on the stack", I,
+                   Depth);
         return;
       }
     }
@@ -156,7 +160,8 @@ void verifyStackDepth(const Function &F, ErrorSink &Sink) {
         EntryDepth[Succ] = Depth;
         Worklist.push_back(Succ);
       } else if (EntryDepth[Succ] != Depth) {
-        Sink.error("block %u entered at inconsistent depths (%d vs %d)", Succ,
+        Sink.error(Blocks.block(Succ).Start,
+                   "block %u entered at inconsistent depths (%d vs %d)", Succ,
                    EntryDepth[Succ], Depth);
       }
     };
@@ -169,31 +174,41 @@ void verifyStackDepth(const Function &F, ErrorSink &Sink) {
 
 } // namespace
 
-std::vector<std::string> jumpstart::bc::verifyFunction(const Repo &R,
-                                                       const Function &F,
-                                                       uint32_t NumBuiltins) {
-  std::vector<std::string> Errors;
-  ErrorSink Sink(F, Errors);
+std::vector<VerifyIssue>
+jumpstart::bc::verifyFunctionIssues(const Repo &R, const Function &F,
+                                    uint32_t NumBuiltins) {
+  std::vector<VerifyIssue> Issues;
+  ErrorSink Sink(Issues);
 
   if (F.Code.empty()) {
     Sink.error("function has no bytecode");
-    return Errors;
+    return Issues;
   }
   if (F.NumParams > F.NumLocals) {
     Sink.error("%u params exceed %u locals", F.NumParams, F.NumLocals);
-    return Errors;
+    return Issues;
   }
   const Instr &Last = F.Code.back();
   const OpInfo &LastInfo = opInfo(Last.Opcode);
   if (!hasFlag(LastInfo.Flags, OpFlags::Terminal) &&
       !hasFlag(LastInfo.Flags, OpFlags::Branch)) {
     Sink.error("control can fall off the end of the function");
-    return Errors;
+    return Issues;
   }
 
   verifyImmediates(R, F, NumBuiltins, Sink);
   if (!Sink.hadError())
     verifyStackDepth(F, Sink);
+  return Issues;
+}
+
+std::vector<std::string> jumpstart::bc::verifyFunction(const Repo &R,
+                                                       const Function &F,
+                                                       uint32_t NumBuiltins) {
+  std::vector<std::string> Errors;
+  for (const VerifyIssue &Issue : verifyFunctionIssues(R, F, NumBuiltins))
+    Errors.push_back(
+        strFormat("%s: %s", F.Name.c_str(), Issue.Message.c_str()));
   return Errors;
 }
 

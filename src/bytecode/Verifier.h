@@ -25,6 +25,24 @@
 
 namespace jumpstart::bc {
 
+/// One structural-verification finding, with the instruction it anchors
+/// to when one exists (kNoInstr for whole-function problems).  The
+/// analysis linter consumes these as its pass zero and re-renders them in
+/// its uniform diagnostic format; verifyFunction() below flattens them to
+/// the historical string form.
+struct VerifyIssue {
+  static constexpr uint32_t kNoInstr = ~0u;
+  uint32_t Instr = kNoInstr;
+  std::string Message;
+};
+
+/// Verifies a single function against \p R, producing structured issues.
+/// \p NumBuiltins bounds the NativeCall immediates.  Empty means the
+/// function verified.
+std::vector<VerifyIssue> verifyFunctionIssues(const Repo &R,
+                                              const Function &F,
+                                              uint32_t NumBuiltins);
+
 /// Verifies a single function against \p R.  \p NumBuiltins bounds the
 /// NativeCall immediates.  \returns human-readable error strings; empty
 /// means the function verified.

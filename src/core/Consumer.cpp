@@ -7,6 +7,8 @@
 
 #include "core/Consumer.h"
 
+#include "analysis/Linter.h"
+#include "runtime/Builtins.h"
 #include "support/StringUtil.h"
 
 using namespace jumpstart;
@@ -59,6 +61,29 @@ ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
           "package #%u is corrupt (checksum/format); trying another",
           Pick->Index));
       continue;
+    }
+
+    // Strict semantic lint at accept time: reject inconsistent profile
+    // data *before* it can steer region selection or property layout.
+    // Rejection is cheap relative to the mis-compilations a poisonous
+    // package causes, and another package (or no package) is always a
+    // safe fallback.  Packages from a different code version are not
+    // lintable against this repo; installPackage rejects those by
+    // fingerprint below.
+    if (Opts.StrictPackageLint &&
+        Pkg.RepoFingerprint == vm::Server::repoFingerprint(W.Repo)) {
+      analysis::Linter Linter(W.Repo,
+                              static_cast<uint32_t>(
+                                  runtime::BuiltinTable::standard().size()));
+      std::vector<analysis::Diagnostic> Diags = Linter.lintPackage(Pkg);
+      if (analysis::countErrors(Diags) > 0) {
+        Outcome.Log.push_back(strFormat(
+            "package #%u failed strict lint (%zu errors, first: %s); "
+            "trying another",
+            Pick->Index, analysis::countErrors(Diags),
+            Diags.front().str(&W.Repo).c_str()));
+        continue;
+      }
     }
 
     // A crash-inducing package that slipped through validation: the

@@ -48,6 +48,10 @@ struct JumpStartOptions {
   uint32_t MaxConsumerAttempts = 3;
   /// Coverage thresholds a package must pass before publication.
   profile::CoverageThresholds Coverage;
+  /// Strict semantic linting of packages (analysis::lintPackage): the
+  /// seeder refuses to publish, and the consumer refuses to accept, any
+  /// package whose profile data is inconsistent with the bytecode repo.
+  bool StrictPackageLint = true;
   /// Requests of the behavioural validation run (the seeder restarts
   /// itself in consumer mode and must stay healthy).
   uint32_t ValidationRequests = 40;

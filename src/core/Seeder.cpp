@@ -7,6 +7,8 @@
 
 #include "core/Seeder.h"
 
+#include "analysis/Linter.h"
+#include "runtime/Builtins.h"
 #include "support/StringUtil.h"
 
 using namespace jumpstart;
@@ -41,6 +43,21 @@ SeederOutcome jumpstart::core::runSeederWorkflow(
   if (!CoverageCheck.Ok) {
     Outcome.Problems = CoverageCheck.Problems;
     return Outcome;
+  }
+
+  // 3b. Strict semantic lint (the static half of section VI-B): a
+  //     checksum-clean package can still carry profile data inconsistent
+  //     with the repo; refuse to publish it.
+  if (Opts.StrictPackageLint) {
+    analysis::Linter Linter(
+        W.Repo, static_cast<uint32_t>(runtime::BuiltinTable::standard().size()));
+    std::vector<analysis::Diagnostic> Diags =
+        Linter.lintPackage(Outcome.Package);
+    if (analysis::countErrors(Diags) > 0) {
+      for (const analysis::Diagnostic &D : Diags)
+        Outcome.Problems.push_back("package lint: " + D.str(&W.Repo));
+      return Outcome;
+    }
   }
 
   // 4. Behavioural validation (section VI-A technique 1): restart in

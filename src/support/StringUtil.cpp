@@ -15,17 +15,22 @@ using namespace jumpstart;
 std::string jumpstart::strFormat(const char *Fmt, ...) {
   va_list Args;
   va_start(Args, Fmt);
-  va_list ArgsCopy;
-  va_copy(ArgsCopy, Args);
-  int Len = std::vsnprintf(nullptr, 0, Fmt, Args);
+  std::string Result = strFormatV(Fmt, Args);
   va_end(Args);
+  return Result;
+}
+
+std::string jumpstart::strFormatV(const char *Fmt, va_list Ap) {
+  va_list ApCopy;
+  va_copy(ApCopy, Ap);
+  int Len = std::vsnprintf(nullptr, 0, Fmt, Ap);
   if (Len < 0) {
-    va_end(ArgsCopy);
+    va_end(ApCopy);
     return std::string();
   }
   std::string Result(static_cast<size_t>(Len), '\0');
-  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
-  va_end(ArgsCopy);
+  std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ApCopy);
+  va_end(ApCopy);
   return Result;
 }
 

@@ -13,6 +13,7 @@
 #ifndef JUMPSTART_SUPPORT_STRINGUTIL_H
 #define JUMPSTART_SUPPORT_STRINGUTIL_H
 
+#include <cstdarg>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -22,6 +23,11 @@ namespace jumpstart {
 /// printf-style formatting into a std::string.
 std::string strFormat(const char *Fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/// va_list flavour of strFormat, for wrappers that forward their own
+/// variadic arguments.  \p Ap is left in an unspecified state.
+std::string strFormatV(const char *Fmt, va_list Ap)
+    __attribute__((format(printf, 1, 0)));
 
 /// Splits \p S on \p Sep; empty fields are kept.
 std::vector<std::string> splitString(std::string_view S, char Sep);

@@ -1,0 +1,749 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the static-analysis subsystem: the abstract-value lattice,
+/// the dataflow passes over hand-assembled defect fixtures, the JIT
+/// region/translation cross-checks, the deep package lint, and a
+/// zero-false-positive sweep over a whole generated workload.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/AbstractType.h"
+#include "analysis/Linter.h"
+#include "bytecode/FuncBuilder.h"
+#include "core/Consumer.h"
+#include "core/Seeder.h"
+#include "fleet/Traffic.h"
+#include "fleet/WorkloadGen.h"
+#include "runtime/Builtins.h"
+
+#include <gtest/gtest.h>
+
+using namespace jumpstart;
+using namespace jumpstart::analysis;
+using bc::FuncBuilder;
+using bc::Op;
+using runtime::Type;
+
+namespace {
+
+uint32_t numBuiltins() {
+  return static_cast<uint32_t>(runtime::BuiltinTable::standard().size());
+}
+
+/// A repo with one class K (property "p", method "m") and one function
+/// assembled by the test.
+struct AnalysisFixture {
+  bc::Repo R;
+  bc::ClassId K;
+  bc::StringId PropP;
+  bc::StringId NameM;
+  bc::FuncId MethodM;
+  bc::FuncId F;
+
+  template <typename Fn>
+  explicit AnalysisFixture(Fn Assemble, uint32_t NumParams = 0,
+                           uint32_t NumLocals = 0) {
+    bc::Unit &U = R.createUnit("test");
+
+    bc::Class &Cls = R.createClass(U, "K");
+    K = Cls.Id;
+    PropP = R.internString("p");
+    NameM = R.internString("m");
+    R.clsMutable(K).DeclProps.push_back(PropP);
+    bc::Function &M = R.createFunction(U, "K::m");
+    M.Cls = K;
+    M.NumParams = 0;
+    M.Code = {bc::Instr(Op::Null), bc::Instr(Op::RetC)};
+    MethodM = M.Id;
+    R.clsMutable(K).Methods.emplace(NameM.raw(), MethodM);
+
+    bc::Function &Func = R.createFunction(U, "f");
+    Func.NumParams = NumParams;
+    Func.NumLocals = NumLocals;
+    FuncBuilder B(Func);
+    Assemble(R, Func, B);
+    B.finish();
+    F = Func.Id;
+  }
+
+  std::vector<Diagnostic> lint() {
+    Linter L(R, numBuiltins());
+    return L.lintFunction(F);
+  }
+};
+
+size_t countKind(const std::vector<Diagnostic> &Diags, DiagKind Kind) {
+  size_t N = 0;
+  for (const Diagnostic &D : Diags)
+    N += D.Kind == Kind;
+  return N;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// The AbstractValue lattice.
+//===----------------------------------------------------------------------===//
+
+TEST(AbstractValue, BottomAndTop) {
+  AbstractValue B;
+  EXPECT_TRUE(B.isBottom());
+  EXPECT_FALSE(B.mayBe(Type::Int));
+  EXPECT_FALSE(B.subsetOf(AbstractValue::kAllBits));
+  EXPECT_TRUE(AbstractValue::top().isTop());
+  EXPECT_TRUE(AbstractValue::top().mayBe(Type::Obj));
+}
+
+TEST(AbstractValue, JoinIsLub) {
+  AbstractValue V = AbstractValue::ofType(Type::Int);
+  EXPECT_FALSE(V.join(AbstractValue::ofType(Type::Int))) << "join is idempotent";
+  EXPECT_TRUE(V.join(AbstractValue::ofType(Type::Str)));
+  EXPECT_TRUE(V.mayBe(Type::Int));
+  EXPECT_TRUE(V.mayBe(Type::Str));
+  EXPECT_FALSE(V.mayBe(Type::Null));
+  EXPECT_FALSE(V.definitely(Type::Int));
+  EXPECT_EQ(V.str(), "{int|string}");
+
+  // Joining with bottom changes nothing; joining bottom with V copies V.
+  AbstractValue Copy = V;
+  EXPECT_FALSE(V.join(AbstractValue::bottom()));
+  AbstractValue B;
+  EXPECT_TRUE(B.join(Copy));
+  EXPECT_EQ(B, Copy);
+}
+
+TEST(AbstractValue, JoinCollapsesRefinements) {
+  AbstractValue K0 = AbstractValue::obj(bc::ClassId(0));
+  AbstractValue K1 = AbstractValue::obj(bc::ClassId(1));
+  EXPECT_EQ(K0.exactClass().raw(), 0u);
+  AbstractValue Same = K0;
+  EXPECT_FALSE(Same.join(K0));
+  EXPECT_TRUE(Same.exactClass().valid()) << "same class survives the join";
+  EXPECT_TRUE(K0.join(K1));
+  EXPECT_FALSE(K0.exactClass().valid()) << "disagreeing classes collapse";
+  EXPECT_TRUE(K0.definitely(Type::Obj)) << "the type mask is unaffected";
+
+  AbstractValue T = AbstractValue::boolConst(true);
+  EXPECT_EQ(T.truthiness(), Tribool::True);
+  EXPECT_TRUE(T.join(AbstractValue::boolConst(false)));
+  EXPECT_EQ(T.truthiness(), Tribool::Unknown);
+  EXPECT_TRUE(T.definitely(Type::Bool));
+}
+
+TEST(AbstractValue, Truthiness) {
+  EXPECT_EQ(AbstractValue::ofType(Type::Null).truthiness(), Tribool::False);
+  EXPECT_EQ(AbstractValue::obj(bc::ClassId(3)).truthiness(), Tribool::True);
+  EXPECT_EQ(AbstractValue::boolConst(false).truthiness(), Tribool::False);
+  EXPECT_EQ(AbstractValue::ofType(Type::Int).truthiness(), Tribool::Unknown);
+  EXPECT_EQ(AbstractValue::top().truthiness(), Tribool::Unknown);
+}
+
+TEST(AbstractValue, WideningJumpsToTop) {
+  AbstractValue Old = AbstractValue::ofType(Type::Int);
+  // No growth: widening is a no-op (modulo refinements).
+  EXPECT_EQ(AbstractValue::widen(Old, Old), Old);
+  // Any growth jumps straight to Top.
+  AbstractValue Grown = AbstractValue::widen(Old, AbstractValue::ofType(Type::Str));
+  EXPECT_TRUE(Grown.isTop());
+  // Widening from bottom adopts the new value.
+  EXPECT_EQ(AbstractValue::widen(AbstractValue::bottom(), Old), Old);
+}
+
+//===----------------------------------------------------------------------===//
+// Defect fixtures: each seeded defect must be caught, with the right kind.
+//===----------------------------------------------------------------------===//
+
+TEST(TypeFlow, UnreachableBlockBehindConstantBranch) {
+  AnalysisFixture Fix([](bc::Repo &, bc::Function &, FuncBuilder &B) {
+    auto End = B.newLabel();
+    B.emit(Op::True);           // 0
+    B.emitJump(Op::JmpNZ, End); // 1: always taken
+    B.emit(Op::Int, 42);        // 2: dead, and not compiler plumbing
+    B.emit(Op::PopC);           // 3
+    B.bind(End);
+    B.emit(Op::Null);           // 4
+    B.emit(Op::RetC);           // 5
+  });
+  std::vector<Diagnostic> Diags = Fix.lint();
+  EXPECT_TRUE(hasKind(Diags, DiagKind::UnreachableBlock));
+  EXPECT_TRUE(hasKind(Diags, DiagKind::DeadGuard));
+  EXPECT_EQ(countErrors(Diags), 0u) << "dead code is legal, so warnings only";
+}
+
+TEST(TypeFlow, DeadGuardOnConstantCondition) {
+  AnalysisFixture Fix([](bc::Repo &, bc::Function &, FuncBuilder &B) {
+    auto End = B.newLabel();
+    B.emit(Op::True);          // 0
+    B.emitJump(Op::JmpZ, End); // 1: never taken
+    B.emit(Op::Int, 1);        // 2
+    B.emit(Op::PopC);          // 3
+    B.bind(End);
+    B.emit(Op::Null);          // 4
+    B.emit(Op::RetC);          // 5
+  });
+  std::vector<Diagnostic> Diags = Fix.lint();
+  ASSERT_TRUE(hasKind(Diags, DiagKind::DeadGuard));
+  for (const Diagnostic &D : Diags) {
+    if (D.Kind == DiagKind::DeadGuard) {
+      EXPECT_EQ(D.Instr, 1u);
+    }
+  }
+}
+
+TEST(TypeFlow, UseBeforeAssign) {
+  AnalysisFixture Fix(
+      [](bc::Repo &, bc::Function &, FuncBuilder &B) {
+        B.emit(Op::GetL, 0); // 0: local 0 is never assigned
+        B.emit(Op::RetC);    // 1
+      },
+      /*NumParams=*/0, /*NumLocals=*/1);
+  std::vector<Diagnostic> Diags = Fix.lint();
+  ASSERT_TRUE(hasKind(Diags, DiagKind::UseBeforeAssign));
+  EXPECT_EQ(countErrors(Diags), 0u) << "reading null is legal -> warning";
+}
+
+TEST(TypeFlow, ParamsAreNotUseBeforeAssign) {
+  AnalysisFixture Fix(
+      [](bc::Repo &, bc::Function &, FuncBuilder &B) {
+        B.emit(Op::GetL, 0); // parameter: assigned by the caller
+        B.emit(Op::RetC);
+      },
+      /*NumParams=*/1, /*NumLocals=*/1);
+  EXPECT_TRUE(Fix.lint().empty());
+}
+
+TEST(TypeFlow, SameBlockDeadStore) {
+  AnalysisFixture Fix(
+      [](bc::Repo &, bc::Function &, FuncBuilder &B) {
+        B.emit(Op::Int, 1);  // 0
+        B.emit(Op::SetL, 0); // 1: dead -- overwritten at 3, never read
+        B.emit(Op::Int, 2);  // 2
+        B.emit(Op::SetL, 0); // 3
+        B.emit(Op::GetL, 0); // 4
+        B.emit(Op::RetC);    // 5
+      },
+      /*NumParams=*/0, /*NumLocals=*/1);
+  std::vector<Diagnostic> Diags = Fix.lint();
+  ASSERT_EQ(countKind(Diags, DiagKind::DeadStore), 1u);
+  for (const Diagnostic &D : Diags) {
+    if (D.Kind == DiagKind::DeadStore) {
+      EXPECT_EQ(D.Instr, 1u) << "the dead store is the *earlier* SetL";
+    }
+  }
+}
+
+TEST(TypeFlow, StoreReadBeforeOverwriteIsNotDead) {
+  AnalysisFixture Fix(
+      [](bc::Repo &, bc::Function &, FuncBuilder &B) {
+        B.emit(Op::Int, 1);  // 0
+        B.emit(Op::SetL, 0); // 1
+        B.emit(Op::GetL, 0); // 2: reads it
+        B.emit(Op::PopC);    // 3
+        B.emit(Op::Int, 2);  // 4
+        B.emit(Op::SetL, 0); // 5
+        B.emit(Op::GetL, 0); // 6
+        B.emit(Op::RetC);    // 7
+      },
+      /*NumParams=*/0, /*NumLocals=*/1);
+  EXPECT_FALSE(hasKind(Fix.lint(), DiagKind::DeadStore));
+}
+
+TEST(TypeFlow, GuaranteedArithTypeError) {
+  AnalysisFixture Fix([](bc::Repo &R, bc::Function &, FuncBuilder &B) {
+    B.emit(Op::Str, R.internString("s").raw()); // 0
+    B.emit(Op::Int, 1);                         // 1
+    B.emit(Op::Add);                            // 2: str + int always faults
+    B.emit(Op::RetC);                           // 3
+  });
+  std::vector<Diagnostic> Diags = Fix.lint();
+  ASSERT_TRUE(hasKind(Diags, DiagKind::TypeError));
+  EXPECT_GT(countErrors(Diags), 0u);
+}
+
+TEST(TypeFlow, IntArithIsClean) {
+  AnalysisFixture Fix([](bc::Repo &, bc::Function &, FuncBuilder &B) {
+    B.emit(Op::Int, 2);
+    B.emit(Op::Int, 3);
+    B.emit(Op::Add);
+    B.emit(Op::RetC);
+  });
+  EXPECT_TRUE(Fix.lint().empty());
+}
+
+TEST(TypeFlow, GetPropOnNonObject) {
+  AnalysisFixture Fix([](bc::Repo &R, bc::Function &, FuncBuilder &B) {
+    B.emit(Op::Int, 3);                           // 0
+    B.emit(Op::GetProp, R.internString("p").raw()); // 1: receiver is int
+    B.emit(Op::RetC);                             // 2
+  });
+  EXPECT_TRUE(hasKind(Fix.lint(), DiagKind::TypeError));
+}
+
+TEST(TypeFlow, MissingMethodOnExactClass) {
+  AnalysisFixture Fix([](bc::Repo &R, bc::Function &Func, FuncBuilder &B) {
+    (void)Func;
+    B.emit(Op::NewObj, R.findClass("K").raw());                // 0
+    B.emit(Op::FCallObj, R.internString("nope").raw(), 0);     // 1
+    B.emit(Op::RetC);                                          // 2
+  });
+  EXPECT_TRUE(hasKind(Fix.lint(), DiagKind::TypeError));
+}
+
+TEST(TypeFlow, MissingPropertyOnExactClass) {
+  AnalysisFixture Fix([](bc::Repo &R, bc::Function &, FuncBuilder &B) {
+    B.emit(Op::NewObj, R.findClass("K").raw());                 // 0
+    B.emit(Op::GetProp, R.internString("absent").raw());        // 1
+    B.emit(Op::RetC);                                           // 2
+  });
+  EXPECT_TRUE(hasKind(Fix.lint(), DiagKind::TypeError));
+}
+
+TEST(TypeFlow, CleanDiamondJoin) {
+  // A value that is int on one path and str on the other; using it in
+  // arithmetic afterwards *may* fault but is not guaranteed to -> clean.
+  AnalysisFixture Fix(
+      [](bc::Repo &R, bc::Function &, FuncBuilder &B) {
+        auto Else = B.newLabel();
+        auto End = B.newLabel();
+        B.emit(Op::GetL, 0);                         // 0
+        B.emitJump(Op::JmpZ, Else);                  // 1
+        B.emit(Op::Int, 1);                          // 2
+        B.emit(Op::SetL, 1);                         // 3
+        B.emitJump(Op::Jmp, End);                    // 4
+        B.bind(Else);
+        B.emit(Op::Str, R.internString("x").raw());  // 5
+        B.emit(Op::SetL, 1);                         // 6
+        B.bind(End);
+        B.emit(Op::GetL, 1);                         // 7
+        B.emit(Op::Int, 1);                          // 8
+        B.emit(Op::Add);                             // 9
+        B.emit(Op::RetC);                            // 10
+      },
+      /*NumParams=*/1, /*NumLocals=*/2);
+  EXPECT_TRUE(Fix.lint().empty());
+}
+
+TEST(Linter, PassZeroCatchesStructuralBreakage) {
+  // Falls off the end of the function: a structural error, reported as
+  // DiagKind::Structural, and the dataflow passes must not run (their
+  // preconditions do not hold).
+  AnalysisFixture Fix([](bc::Repo &, bc::Function &, FuncBuilder &B) {
+    B.emit(Op::Int, 1);
+    B.emit(Op::PopC);
+  });
+  std::vector<Diagnostic> Diags = Fix.lint();
+  ASSERT_FALSE(Diags.empty());
+  for (const Diagnostic &D : Diags) {
+    EXPECT_EQ(D.Kind, DiagKind::Structural);
+    EXPECT_EQ(D.Sev, Severity::Error);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Region cross-validation.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Receiver in local 0 (a parameter), two devirtualized FCallObj sites on
+/// it: the second guard is implied by the first.
+AnalysisFixture twoGuardFixture() {
+  return AnalysisFixture(
+      [](bc::Repo &R, bc::Function &, FuncBuilder &B) {
+        int64_t M = R.internString("m").raw();
+        B.emit(Op::GetL, 0);       // 0
+        B.emit(Op::FCallObj, M, 0); // 1: first guard
+        B.emit(Op::PopC);          // 2
+        B.emit(Op::GetL, 0);       // 3
+        B.emit(Op::FCallObj, M, 0); // 4: implied by the guard at 1
+        B.emit(Op::RetC);          // 5
+      },
+      /*NumParams=*/1, /*NumLocals=*/1);
+}
+
+} // namespace
+
+TEST(RegionCheck, RedundantGuardViaDominatingGuard) {
+  AnalysisFixture Fix = twoGuardFixture();
+  jit::RegionDescriptor Region;
+  Region.Func = Fix.F;
+  Region.DevirtualizedCalls[jit::RegionDescriptor::siteKey(Fix.F, 1)] =
+      Fix.MethodM;
+  Region.DevirtualizedCalls[jit::RegionDescriptor::siteKey(Fix.F, 4)] =
+      Fix.MethodM;
+
+  Linter L(Fix.R, numBuiltins());
+  std::vector<Diagnostic> Diags = L.lintRegion(Region);
+  ASSERT_EQ(countKind(Diags, DiagKind::RedundantGuard), 1u);
+  for (const Diagnostic &D : Diags) {
+    if (D.Kind == DiagKind::RedundantGuard) {
+      EXPECT_EQ(D.Instr, 4u) << "the *second* guard is the redundant one";
+    }
+  }
+  EXPECT_FALSE(hasKind(Diags, DiagKind::GuardNeverPasses));
+  EXPECT_EQ(countErrors(Diags), 0u);
+}
+
+TEST(RegionCheck, RedundantGuardViaStaticReceiverType) {
+  AnalysisFixture Fix(
+      [](bc::Repo &R, bc::Function &, FuncBuilder &B) {
+        B.emit(Op::NewObj, R.findClass("K").raw());        // 0
+        B.emit(Op::SetL, 0);                               // 1
+        B.emit(Op::GetL, 0);                               // 2
+        B.emit(Op::FCallObj, R.internString("m").raw(), 0); // 3
+        B.emit(Op::RetC);                                  // 4
+      },
+      /*NumParams=*/0, /*NumLocals=*/1);
+  jit::RegionDescriptor Region;
+  Region.Func = Fix.F;
+  Region.DevirtualizedCalls[jit::RegionDescriptor::siteKey(Fix.F, 3)] =
+      Fix.MethodM;
+
+  Linter L(Fix.R, numBuiltins());
+  std::vector<Diagnostic> Diags = L.lintRegion(Region);
+  ASSERT_TRUE(hasKind(Diags, DiagKind::RedundantGuard));
+  EXPECT_EQ(countErrors(Diags), 0u);
+}
+
+TEST(RegionCheck, GuardOnNonObjectNeverPasses) {
+  AnalysisFixture Fix(
+      [](bc::Repo &R, bc::Function &, FuncBuilder &B) {
+        B.emit(Op::Int, 7);                                // 0
+        B.emit(Op::SetL, 0);                               // 1
+        B.emit(Op::GetL, 0);                               // 2
+        B.emit(Op::FCallObj, R.internString("m").raw(), 0); // 3
+        B.emit(Op::RetC);                                  // 4
+      },
+      /*NumParams=*/0, /*NumLocals=*/1);
+  jit::RegionDescriptor Region;
+  Region.Func = Fix.F;
+  Region.DevirtualizedCalls[jit::RegionDescriptor::siteKey(Fix.F, 3)] =
+      Fix.MethodM;
+
+  Linter L(Fix.R, numBuiltins());
+  std::vector<Diagnostic> Diags = L.lintRegion(Region);
+  ASSERT_TRUE(hasKind(Diags, DiagKind::GuardNeverPasses));
+  EXPECT_GT(countErrors(Diags), 0u);
+}
+
+TEST(RegionCheck, StructurallyBadSites) {
+  AnalysisFixture Fix([](bc::Repo &, bc::Function &, FuncBuilder &B) {
+    B.emit(Op::Nop);  // 0
+    B.emit(Op::Null); // 1
+    B.emit(Op::RetC); // 2
+  });
+  jit::RegionDescriptor Region;
+  Region.Func = Fix.F;
+  // Site 0 is a Nop, not a call; and a site in a function that does not
+  // exist.
+  Region.DevirtualizedCalls[jit::RegionDescriptor::siteKey(Fix.F, 0)] =
+      Fix.MethodM;
+  Region.InlinedCalls[jit::RegionDescriptor::siteKey(bc::FuncId(999), 0)] =
+      Fix.MethodM;
+
+  Linter L(Fix.R, numBuiltins());
+  std::vector<Diagnostic> Diags = L.lintRegion(Region);
+  EXPECT_GE(countKind(Diags, DiagKind::RegionInconsistent), 2u);
+}
+
+TEST(RegionCheck, RealTranslationsAreConsistent) {
+  // Boot a real server over a generated workload, let the JIT go through
+  // profile -> optimize, then cross-check every translation it made.
+  fleet::WorkloadParams P;
+  P.NumHelpers = 80;
+  P.NumClasses = 16;
+  P.NumEndpoints = 8;
+  P.NumUnits = 8;
+  auto W = fleet::generateWorkload(P);
+
+  vm::ServerConfig Config;
+  Config.Jit.ProfileRequestTarget = 15;
+  vm::Server Server(W->Repo, Config, /*Seed=*/7);
+  Server.startup();
+  Rng R(11);
+  for (uint32_t I = 0; I < 60; ++I) {
+    uint32_t E = R.nextBelow(static_cast<uint32_t>(W->Endpoints.size()));
+    Server.executeRequest(W->Endpoints[E], fleet::TrafficModel::makeArgs(R));
+    Server.grantJitTime(0.5);
+  }
+  while (Server.theJit().hasPendingWork())
+    Server.grantJitTime(1.0);
+  ASSERT_GT(Server.theJit().transDb().all().size(), 0u);
+
+  Linter L(W->Repo, numBuiltins());
+  std::vector<Diagnostic> Diags =
+      L.lintTranslations(Server.theJit().transDb());
+  EXPECT_TRUE(Diags.empty())
+      << "first inconsistency: " << Diags.front().str(&W->Repo);
+}
+
+//===----------------------------------------------------------------------===//
+// Profile-package lint.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A fixture repo for package linting (class K with property "p").
+struct PackageFixture {
+  AnalysisFixture Fix;
+  Linter L;
+
+  PackageFixture()
+      : Fix([](bc::Repo &, bc::Function &, FuncBuilder &B) {
+          B.emit(Op::Null);  // 0
+          B.emit(Op::RetC);  // 1
+        }),
+        L(Fix.R, numBuiltins()) {}
+
+  std::vector<Diagnostic> lint(const profile::ProfilePackage &Pkg) {
+    return L.lintPackage(Pkg);
+  }
+};
+
+} // namespace
+
+TEST(PackageLint, CleanEmptyPackage) {
+  PackageFixture Fx;
+  profile::ProfilePackage Pkg;
+  EXPECT_TRUE(Fx.lint(Pkg).empty());
+}
+
+TEST(PackageLint, FunctionIdOutOfRange) {
+  PackageFixture Fx;
+  profile::ProfilePackage Pkg;
+  profile::FuncProfile FP;
+  FP.Func = 1000;
+  Pkg.Funcs.push_back(FP);
+  EXPECT_TRUE(hasKind(Fx.lint(Pkg), DiagKind::PackageStructure));
+}
+
+TEST(PackageLint, DuplicateFunctionProfile) {
+  PackageFixture Fx;
+  profile::ProfilePackage Pkg;
+  profile::FuncProfile FP;
+  FP.Func = 0;
+  Pkg.Funcs.push_back(FP);
+  Pkg.Funcs.push_back(FP);
+  EXPECT_TRUE(hasKind(Fx.lint(Pkg), DiagKind::PackageStructure));
+}
+
+TEST(PackageLint, OversizedBlockCounters) {
+  PackageFixture Fx;
+  profile::ProfilePackage Pkg;
+  profile::FuncProfile FP;
+  FP.Func = Fx.Fix.F.raw();
+  FP.BlockCounts.assign(50, 1); // "f" has a single block
+  Pkg.Funcs.push_back(FP);
+  EXPECT_TRUE(hasKind(Fx.lint(Pkg), DiagKind::PackageStructure));
+}
+
+TEST(PackageLint, CallTargetsAtNonVirtualSite) {
+  PackageFixture Fx;
+  profile::ProfilePackage Pkg;
+  profile::FuncProfile FP;
+  FP.Func = Fx.Fix.F.raw();
+  FP.CallTargets[0][Fx.Fix.MethodM.raw()] = 10; // instr 0 is Null
+  Pkg.Funcs.push_back(FP);
+  EXPECT_TRUE(hasKind(Fx.lint(Pkg), DiagKind::PackageSemantics));
+}
+
+TEST(PackageLint, TypeObservationAtNonObservingSite) {
+  PackageFixture Fx;
+  profile::ProfilePackage Pkg;
+  profile::FuncProfile FP;
+  FP.Func = Fx.Fix.F.raw();
+  FP.LoadTypes[1].observe(Type::Int); // instr 1 is RetC
+  Pkg.Funcs.push_back(FP);
+  EXPECT_TRUE(hasKind(Fx.lint(Pkg), DiagKind::PackageSemantics));
+}
+
+TEST(PackageLint, ImplausibleParamArity) {
+  PackageFixture Fx;
+  profile::ProfilePackage Pkg;
+  profile::FuncProfile FP;
+  FP.Func = Fx.Fix.F.raw();
+  FP.ParamTypes.resize(bc::kMaxCallArgs + 1);
+  Pkg.Funcs.push_back(FP);
+  EXPECT_TRUE(hasKind(Fx.lint(Pkg), DiagKind::PackageStructure));
+}
+
+TEST(PackageLint, PreloadDuplicatesAndRanges) {
+  PackageFixture Fx;
+  profile::ProfilePackage Pkg;
+  Pkg.Preload.Strings = {0, 0}; // duplicate
+  EXPECT_TRUE(hasKind(Fx.lint(Pkg), DiagKind::PackageStructure));
+
+  profile::ProfilePackage Pkg2;
+  Pkg2.Preload.Classes = {12345}; // out of range
+  EXPECT_TRUE(hasKind(Fx.lint(Pkg2), DiagKind::PackageStructure));
+}
+
+TEST(PackageLint, PropertyCounterKeys) {
+  PackageFixture Fx;
+
+  profile::ProfilePackage Good;
+  Good.Opt.PropAccessCounts["K::p"] = 5;
+  EXPECT_TRUE(Fx.lint(Good).empty());
+
+  profile::ProfilePackage BadProp;
+  BadProp.Opt.PropAccessCounts["K::nope"] = 5;
+  EXPECT_TRUE(hasKind(Fx.lint(BadProp), DiagKind::PackageSemantics));
+
+  profile::ProfilePackage BadClass;
+  BadClass.Opt.PropAccessCounts["Ghost::p"] = 5;
+  EXPECT_TRUE(hasKind(Fx.lint(BadClass), DiagKind::PackageSemantics));
+
+  profile::ProfilePackage Malformed;
+  Malformed.Opt.PropAccessCounts["K"] = 5;
+  EXPECT_TRUE(hasKind(Fx.lint(Malformed), DiagKind::PackageStructure));
+}
+
+TEST(PackageLint, AffinityKeysMustBeCanonical) {
+  PackageFixture Fx;
+  // "K" declares only "p", so use two synthetic names on the class.
+  Fx.Fix.R.clsMutable(Fx.Fix.K).DeclProps.push_back(
+      Fx.Fix.R.internString("q"));
+
+  profile::ProfilePackage Good;
+  Good.Opt.PropAffinity["K::p::q"] = 3;
+  EXPECT_TRUE(Fx.lint(Good).empty());
+
+  profile::ProfilePackage Reversed;
+  Reversed.Opt.PropAffinity["K::q::p"] = 3;
+  EXPECT_TRUE(hasKind(Fx.lint(Reversed), DiagKind::PackageStructure));
+}
+
+TEST(PackageLint, IntermediateResultIds) {
+  PackageFixture Fx;
+  profile::ProfilePackage Pkg;
+  Pkg.Intermediate.FuncOrder = {0, 1, 0}; // duplicate
+  EXPECT_TRUE(hasKind(Fx.lint(Pkg), DiagKind::PackageStructure));
+
+  profile::ProfilePackage Pkg2;
+  Pkg2.Intermediate.LiveFuncs = {4444}; // out of range
+  EXPECT_TRUE(hasKind(Fx.lint(Pkg2), DiagKind::PackageStructure));
+}
+
+//===----------------------------------------------------------------------===//
+// StrictPackageLint in the consumer accept path.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class StrictLintFixture : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    fleet::WorkloadParams P;
+    P.NumHelpers = 120;
+    P.NumClasses = 24;
+    P.NumEndpoints = 12;
+    P.NumUnits = 12;
+    W = fleet::generateWorkload(P).release();
+    Traffic = new fleet::TrafficModel(*W, fleet::TrafficParams(), 42);
+  }
+  static void TearDownTestSuite() {
+    delete Traffic;
+    delete W;
+  }
+
+  static vm::ServerConfig baseConfig() {
+    vm::ServerConfig C;
+    C.Jit.ProfileRequestTarget = 20;
+    return C;
+  }
+
+  static core::JumpStartOptions lenientOpts() {
+    core::JumpStartOptions O;
+    O.Coverage.MinProfiledFuncs = 3;
+    O.Coverage.MinTotalSamples = 50;
+    O.Coverage.MinPackageBytes = 64;
+    O.ValidationRequests = 10;
+    return O;
+  }
+
+  static fleet::Workload *W;
+  static fleet::TrafficModel *Traffic;
+};
+
+fleet::Workload *StrictLintFixture::W = nullptr;
+fleet::TrafficModel *StrictLintFixture::Traffic = nullptr;
+
+} // namespace
+
+TEST_F(StrictLintFixture, SeederPublishesCleanPackage) {
+  core::PackageStore Store;
+  core::SeederParams SP;
+  SP.Requests = 120;
+  SP.Seed = 5;
+  core::SeederOutcome Out = core::runSeederWorkflow(
+      *W, *Traffic, baseConfig(), lenientOpts(), Store, SP);
+  ASSERT_TRUE(Out.Published)
+      << (Out.Problems.empty() ? "" : Out.Problems.front());
+
+  // The published package really is lint-clean.
+  Linter L(W->Repo, numBuiltins());
+  EXPECT_TRUE(L.lintPackage(Out.Package).empty());
+}
+
+TEST_F(StrictLintFixture, ConsumerRejectsCorruptPackageBeforeUse) {
+  // Produce a genuine package, then corrupt it *semantically*: the blob
+  // stays checksum-clean and fingerprint-correct, so only the strict lint
+  // can catch it -- at accept time, before it steers any compilation.
+  core::PackageStore CleanStore;
+  core::SeederParams SP;
+  SP.Requests = 120;
+  SP.Seed = 5;
+  core::SeederOutcome Seeded = core::runSeederWorkflow(
+      *W, *Traffic, baseConfig(), lenientOpts(), CleanStore, SP);
+  ASSERT_TRUE(Seeded.Published);
+
+  profile::ProfilePackage Corrupt = Seeded.Package;
+  if (Corrupt.Preload.Strings.empty())
+    Corrupt.Preload.Strings.push_back(0);
+  Corrupt.Preload.Strings.push_back(Corrupt.Preload.Strings.front());
+
+  core::PackageStore Store;
+  Store.publish(0, 0, Corrupt.serialize());
+
+  core::ConsumerOutcome Out = core::startConsumer(
+      *W, baseConfig(), lenientOpts(), Store, core::ConsumerParams());
+  EXPECT_FALSE(Out.UsedJumpStart);
+  ASSERT_NE(Out.Server, nullptr) << "fallback must still boot the server";
+  bool SawLintRejection = false;
+  for (const std::string &Line : Out.Log)
+    if (Line.find("strict lint") != std::string::npos)
+      SawLintRejection = true;
+  EXPECT_TRUE(SawLintRejection);
+
+  // Control: with strict linting off, the same package is accepted (the
+  // duplicate preload entry is operationally harmless).
+  core::JumpStartOptions Lax = lenientOpts();
+  Lax.StrictPackageLint = false;
+  core::ConsumerOutcome Out2 = core::startConsumer(
+      *W, baseConfig(), Lax, Store, core::ConsumerParams());
+  EXPECT_TRUE(Out2.UsedJumpStart);
+}
+
+//===----------------------------------------------------------------------===//
+// Zero false positives over a whole generated application.
+//===----------------------------------------------------------------------===//
+
+TEST(ZeroFalsePositives, GeneratedWorkloadIsClean) {
+  fleet::WorkloadParams P;
+  P.NumHelpers = 150;
+  P.NumClasses = 30;
+  P.NumEndpoints = 15;
+  P.NumUnits = 15;
+  auto W = fleet::generateWorkload(P);
+
+  Linter L(W->Repo, numBuiltins());
+  std::vector<Diagnostic> Diags = L.lintRepo();
+  EXPECT_TRUE(Diags.empty())
+      << "first diagnostic: " << Diags.front().str(&W->Repo);
+}
