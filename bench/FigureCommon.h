@@ -24,9 +24,11 @@
 #include "core/Seeder.h"
 #include "fleet/ServerSim.h"
 #include "fleet/SteadyState.h"
+#include "obs/Export.h"
 #include "support/StringUtil.h"
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 
 namespace jumpstart::bench {
@@ -109,6 +111,32 @@ inline void printSeriesPair(const char *Header, const TimeSeries &A,
   for (size_t I = 0; I < PA.size() && I < PB.size(); ++I)
     std::printf("%10.1f  %12.3f  %12.3f\n", PA[I].TimeSec,
                 PA[I].Value * Scale, PB[I].Value * Scale);
+}
+
+/// Parses the `--export PREFIX` flag every figure harness shares;
+/// \returns the prefix or nullptr when absent.
+inline const char *parseExportFlag(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--export") == 0 && I + 1 < argc)
+      return argv[I + 1];
+  return nullptr;
+}
+
+/// Writes PREFIX.metrics.jsonl / .trace.jsonl / .chrome.json when a
+/// prefix was given.  \returns the harness exit code contribution (0 ok).
+inline int exportIfRequested(const obs::Observability &Obs,
+                             const char *Prefix) {
+  if (!Prefix)
+    return 0;
+  support::Status S = obs::exportAll(Obs, Prefix);
+  if (!S.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", S.str().c_str());
+    return 1;
+  }
+  std::printf("\nexported %s.metrics.jsonl / .trace.jsonl / .chrome.json "
+              "(%zu metrics, %zu spans)\n",
+              Prefix, Obs.Metrics.numMetrics(), Obs.Trace.numSpans());
+  return 0;
 }
 
 } // namespace jumpstart::bench

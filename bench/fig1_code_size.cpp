@@ -33,20 +33,23 @@
 using namespace jumpstart;
 using namespace jumpstart::bench;
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("=== Figure 1: JITed code size over time (no Jump-Start) "
               "===\n");
   auto W = fleet::generateWorkload(standardSite());
   fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 42);
   vm::ServerConfig Config = figureServerConfig();
 
+  obs::Observability Obs;
   fleet::ServerSimParams P;
   P.DurationSeconds = 1500; // the paper's 30-minute x-axis, scaled
   P.OfferedRps = 340;
   P.Seed = 1;
+  P.Obs = &Obs;
+  P.RunLabel = "fig1";
   fleet::WarmupResult Res = fleet::runWarmup(*W, Traffic, Config, P);
 
-  printSeries("  time(s)      code (KB)", Res.CodeBytes, 40,
+  printSeries("  time(s)      code (KB)", Res.codeBytes(), 40,
               1.0 / 1024.0);
 
   std::printf("\nlifecycle points (virtual seconds):\n");
@@ -62,10 +65,10 @@ int main() {
   std::printf("\nfinal code size: %s (paper: ~500 MB at Facebook "
               "scale)\n",
               formatBytes(static_cast<uint64_t>(
-                              Res.CodeBytes.points().back().Value))
+                              Res.codeBytes().points().back().Value))
                   .c_str());
   std::printf("paper shape check: A < B <= C < D, distinct B..C "
               "relocation step, long shallow tail to D (see the file "
               "header for the one divergence in the A..B rate)\n");
-  return 0;
+  return exportIfRequested(Obs, parseExportFlag(argc, argv));
 }

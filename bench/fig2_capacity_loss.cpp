@@ -22,20 +22,23 @@
 using namespace jumpstart;
 using namespace jumpstart::bench;
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("=== Figure 2: server capacity loss due to restart and "
               "warmup (no Jump-Start) ===\n");
   auto W = fleet::generateWorkload(standardSite());
   fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 42);
   vm::ServerConfig Config = figureServerConfig();
 
+  obs::Observability Obs;
   fleet::ServerSimParams P;
   P.DurationSeconds = 1500;
   P.OfferedRps = 340;
   P.Seed = 2;
+  P.Obs = &Obs;
+  P.RunLabel = "fig2";
   fleet::WarmupResult Res = fleet::runWarmup(*W, Traffic, Config, P);
 
-  printSeries("  time(s)   normalized RPS (%)", Res.NormalizedRps, 30,
+  printSeries("  time(s)   normalized RPS (%)", Res.normalizedRps(), 30,
               100.0);
 
   std::printf("\ncapacity loss over the window: %.1f%% of ideal\n",
@@ -44,7 +47,7 @@ int main() {
               "restart-dead-time + slow-ramp shape over ~25 min\n",
               100.0 * (1 - Res.CapacityLossFraction));
   std::printf("peak reached: %.0f%% of offered at t=%.0fs\n",
-              100.0 * Res.NormalizedRps.points().back().Value,
-              Res.NormalizedRps.points().back().TimeSec);
-  return 0;
+              100.0 * Res.normalizedRps().points().back().Value,
+              Res.normalizedRps().points().back().TimeSec);
+  return exportIfRequested(Obs, parseExportFlag(argc, argv));
 }

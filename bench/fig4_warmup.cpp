@@ -17,18 +17,32 @@
 ///         78.3% (no Jump-Start) vs 35.3% (Jump-Start) over the first 10
 ///         minutes -- a 54.9% reduction.
 ///
+/// Both runs record into one observability context; `fig4_warmup
+/// --export PREFIX` additionally dumps PREFIX.metrics.jsonl,
+/// PREFIX.trace.jsonl and PREFIX.chrome.json.  All timestamps are
+/// virtual, so two runs produce byte-identical dumps (the determinism
+/// acceptance check diffs them).  A package-lifecycle epilogue publishes
+/// one good and one corrupted package and boots consumers against each,
+/// making accept and per-reason reject events visible in the same trace.
+///
 //===----------------------------------------------------------------------===//
 
 #include "FigureCommon.h"
 
+#include "core/PackageStore.h"
+
 using namespace jumpstart;
 using namespace jumpstart::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  const char *ExportPrefix = parseExportFlag(argc, argv);
+
   std::printf("=== Figure 4: warmup benefits of Jump-Start ===\n");
   auto W = fleet::generateWorkload(standardSite());
   fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 42);
   vm::ServerConfig Config = figureServerConfig();
+
+  obs::Observability Obs;
 
   // Seed a package from this (region, bucket)'s traffic (the C2 phase).
   profile::ProfilePackage Pkg = growPackage(*W, Traffic, Config);
@@ -41,34 +55,37 @@ int main() {
   P.DurationSeconds = 600;
   P.OfferedRps = 340;
   P.Seed = 4;
+  P.Obs = &Obs;
+  P.RunLabel = "no-jumpstart";
   fleet::WarmupResult NoJs = fleet::runWarmup(*W, Traffic, Config, P);
+  P.RunLabel = "jumpstart";
   fleet::WarmupResult Js = fleet::runWarmup(*W, Traffic, Config, P, &Pkg);
 
   std::printf("(a) average wall time per request (ms) over uptime\n");
   printSeriesPair("  time(s)    jump-start     no-jump-start",
-                  Js.LatencySeconds, NoJs.LatencySeconds, 30, 1000.0);
+                  Js.latencySeconds(), NoJs.latencySeconds(), 30, 1000.0);
 
   // The paper's headline early-latency ratio: ~3x between serve-start
   // and 250s-equivalent.
   double EarlyFrom = std::max(Js.Phases.ServeStart,
                               NoJs.Phases.ServeStart);
   double EarlyTo = P.DurationSeconds * 0.4;
-  double JsEarly =
-      Js.LatencySeconds.integrate(EarlyFrom, EarlyTo) / (EarlyTo - EarlyFrom);
-  double NoJsEarly = NoJs.LatencySeconds.integrate(EarlyFrom, EarlyTo) /
+  double JsEarly = Js.latencySeconds().integrate(EarlyFrom, EarlyTo) /
+                   (EarlyTo - EarlyFrom);
+  double NoJsEarly = NoJs.latencySeconds().integrate(EarlyFrom, EarlyTo) /
                      (EarlyTo - EarlyFrom);
   std::printf("\nearly-warmup latency ratio (no-JS / JS, first 40%% of "
               "window): %.2fx (paper: ~3x)\n",
               NoJsEarly / JsEarly);
-  double JsLate = Js.LatencySeconds.points().back().Value;
-  double NoJsLate = NoJs.LatencySeconds.points().back().Value;
+  double JsLate = Js.latencySeconds().points().back().Value;
+  double NoJsLate = NoJs.latencySeconds().points().back().Value;
   std::printf("end-of-window latency: JS %.2f ms vs no-JS %.2f ms "
               "(paper: curves converge, JS slightly lower)\n\n",
               1000 * JsLate, 1000 * NoJsLate);
 
   std::printf("(b) normalized RPS (%%) over uptime\n");
   printSeriesPair("  time(s)    jump-start     no-jump-start",
-                  Js.NormalizedRps, NoJs.NormalizedRps, 30, 100.0);
+                  Js.normalizedRps(), NoJs.normalizedRps(), 30, 100.0);
 
   double LossNoJs = NoJs.CapacityLossFraction;
   double LossJs = Js.CapacityLossFraction;
@@ -83,5 +100,43 @@ int main() {
               "taking requests slightly earlier despite precompiling, "
               "thanks to parallel warmup requests)\n",
               Js.Phases.ServeStart, NoJs.Phases.ServeStart);
-  return 0;
+
+  // --- Package-lifecycle epilogue: exercise the consumer accept and
+  // reject paths so the exported trace carries the full package story.
+  std::printf("\npackage lifecycle (accept + reject observability):\n");
+  core::JumpStartOptions Opts;
+  core::PackageStore Store;
+  Rng CorruptRng(99);
+
+  // A store holding only a corrupted package: every attempt rejects
+  // (corrupt_data), then the consumer falls back to booting without
+  // Jump-Start.
+  Store.corrupt(0, 0, Store.publish(0, 0, Pkg.serialize()), CorruptRng);
+  core::ConsumerParams CP;
+  CP.Seed = 21;
+  CP.Name = "consumer-corrupt";
+  core::ConsumerOutcome Bad = core::startConsumer(
+      *W, Config, Opts, Store, CP, /*Chaos=*/nullptr, &Obs);
+  std::printf("  corrupt-only store: jump-start=%s after %u attempts\n",
+              Bad.UsedJumpStart ? "yes" : "no", Bad.Attempts);
+
+  // Publish the good package too: the next consumer eventually accepts.
+  Store.publish(0, 0, Pkg.serialize());
+  CP.Name = "consumer-mixed";
+  core::ConsumerOutcome Good = core::startConsumer(
+      *W, Config, Opts, Store, CP, /*Chaos=*/nullptr, &Obs);
+  std::printf("  mixed store:        jump-start=%s after %u attempts\n",
+              Good.UsedJumpStart ? "yes" : "no", Good.Attempts);
+
+  const obs::Counter *Accepted =
+      Obs.Metrics.findCounter("jumpstart.package.accepted");
+  const obs::Counter *Rejected = Obs.Metrics.findCounter(
+      "jumpstart.package.rejected", {{"reason", "corrupt_data"}});
+  std::printf("  counters: accepted=%llu rejected{corrupt_data}=%llu\n",
+              static_cast<unsigned long long>(
+                  Accepted ? Accepted->value() : 0),
+              static_cast<unsigned long long>(
+                  Rejected ? Rejected->value() : 0));
+
+  return exportIfRequested(Obs, ExportPrefix);
 }

@@ -23,8 +23,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "fleet/Reliability.h"
+#include "obs/Export.h"
+#include "obs/Observability.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace jumpstart;
 using namespace jumpstart::fleet;
@@ -43,9 +46,10 @@ static void printRun(const char *Name, const ReliabilityResult &R,
               Consumers);
 }
 
-int main() {
+int main(int argc, char **argv) {
   std::printf("=== Section VI: reliability of Jump-Start deployment ===\n\n");
   const uint32_t Fleet = 8000;
+  obs::Observability Obs;
 
   // A bad package escapes validation; consumers pick at random from 8.
   ReliabilityParams Randomized;
@@ -53,6 +57,8 @@ int main() {
   Randomized.NumPackages = 8;
   Randomized.NumPoisoned = 1;
   Randomized.RandomizedSelection = true;
+  Randomized.Obs = &Obs;
+  Randomized.RunLabel = "randomized";
   printRun("[1] randomized selection (paper VI-A technique 2):",
            simulateCrashLoop(Randomized), Fleet);
 
@@ -60,12 +66,14 @@ int main() {
   // uses the same package.
   ReliabilityParams Single = Randomized;
   Single.RandomizedSelection = false;
+  Single.RunLabel = "single-package";
   printRun("[2] single shared package (no randomization):",
            simulateCrashLoop(Single), Fleet);
 
   // Validation catches the bug before publication.
   ReliabilityParams Validated = Randomized;
   Validated.ValidationCatchProbability = 1.0;
+  Validated.RunLabel = "validated";
   printRun("[3] validation catches the bad package (technique 1):",
            simulateCrashLoop(Validated), Fleet);
 
@@ -74,6 +82,7 @@ int main() {
   AllBad.NumPackages = 4;
   AllBad.NumPoisoned = 4;
   AllBad.MaxJumpStartAttempts = 3;
+  AllBad.RunLabel = "all-bad";
   printRun("[4] every package bad; automatic no-Jump-Start fallback "
            "(technique 3):",
            simulateCrashLoop(AllBad), Fleet);
@@ -81,5 +90,18 @@ int main() {
   std::printf("paper shape check: [1] decays ~8x per round; [2] is a "
               "full-fleet outage; [3] zero crashes; [4] bounded by "
               "attempts x fleet, all consumers recover via fallback\n");
+
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--export") == 0 && I + 1 < argc) {
+      support::Status S = obs::exportAll(Obs, argv[I + 1]);
+      if (!S.ok()) {
+        std::fprintf(stderr, "export failed: %s\n", S.str().c_str());
+        return 1;
+      }
+      std::printf("exported %s.metrics.jsonl / .trace.jsonl / "
+                  ".chrome.json\n",
+                  argv[I + 1]);
+    }
+  }
   return 0;
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# The tier-1 verification gate: configure, build, run the tier-1 test
+# suite, then check the fig4 determinism guarantee (two identical runs
+# must export byte-identical metrics/trace dumps).
+#
+# Usage: ci/check.sh [build-dir]
+#
+#   ci/check.sh                 # tier-1 gate against ./build
+#   CHECK_SANITIZE=1 ci/check.sh  # additionally run ci/sanitize.sh
+#
+# This is what "the tests pass" means for this repository; ci/sanitize.sh
+# is the deeper (slower) ASan+UBSan sweep.
+
+set -euo pipefail
+
+REPO_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_DIR}/build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -S "${REPO_DIR}" -B "${BUILD_DIR}"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"
+
+# Determinism acceptance check: identical runs -> identical bytes.
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "${TMP_DIR}"' EXIT
+"${BUILD_DIR}/bench/fig4_warmup" --export "${TMP_DIR}/run-a" >/dev/null
+"${BUILD_DIR}/bench/fig4_warmup" --export "${TMP_DIR}/run-b" >/dev/null
+for SUFFIX in metrics.jsonl trace.jsonl chrome.json; do
+  if ! cmp -s "${TMP_DIR}/run-a.${SUFFIX}" "${TMP_DIR}/run-b.${SUFFIX}"; then
+    echo "check.sh: FAIL: fig4_warmup ${SUFFIX} differs between runs" >&2
+    exit 1
+  fi
+done
+echo "check.sh: fig4_warmup exports byte-identical across runs"
+
+if [[ "${CHECK_SANITIZE:-0}" == "1" ]]; then
+  "${REPO_DIR}/ci/sanitize.sh"
+fi
+
+echo "check.sh: OK"

@@ -18,13 +18,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Deployment.h"
+#include "obs/Export.h"
 #include "support/StringUtil.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace jumpstart;
 
-int main() {
+int main(int argc, char **argv) {
   fleet::WorkloadParams WP;
   WP.NumHelpers = 300;
   WP.NumClasses = 36;
@@ -43,7 +45,10 @@ int main() {
   Opts.Coverage.MinTotalSamples = 100;
   Opts.ValidationRequests = 15;
 
-  // --- Push 1: the happy path.
+  // --- Push 1: the happy path.  Observability captures the C1/C2/C3
+  // phase spans, every seeder/consumer workflow, and the package
+  // accept/reject counters; --export PREFIX dumps them.
+  obs::Observability Obs;
   std::printf("=== push 1: new website version rolls out ===\n");
   core::PackageStore Store;
   core::DeploymentParams DP;
@@ -53,7 +58,7 @@ int main() {
   DP.SeederRequests = 150;
   DP.ConsumerSamplesPerPair = 1;
   core::DeploymentReport Report = core::simulateDeployment(
-      *W, Traffic, Config, Opts, Store, DP);
+      *W, Traffic, Config, Opts, Store, DP, /*Chaos=*/nullptr, &Obs);
   for (const std::string &Line : Report.Log)
     std::printf("  %s\n", Line.c_str());
   std::printf("summary: %u/%u seeders published; %u/%u consumers used "
@@ -81,5 +86,16 @@ int main() {
   std::printf("summary: %u/%u consumers used jump-start (bucket 1 "
               "consumers fell back to self-profiling and kept serving)\n",
               Report2.ConsumersUsedJumpStart, Report2.ConsumersBooted);
+
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--export") == 0 && I + 1 < argc) {
+      support::Status S = obs::exportAll(Obs, argv[I + 1]);
+      if (!S.ok()) {
+        std::fprintf(stderr, "export failed: %s\n", S.str().c_str());
+        return 1;
+      }
+      std::printf("exported push-1 observability to %s.*\n", argv[I + 1]);
+    }
+  }
   return 0;
 }

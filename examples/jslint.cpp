@@ -121,10 +121,10 @@ int main(int argc, char **argv) {
 
   if (PackagePath) {
     profile::ProfilePackage Pkg;
-    if (!profile::loadPackageFile(PackagePath, Pkg)) {
-      std::fprintf(stderr,
-                   "jslint: cannot load package '%s' (corrupt or missing)\n",
-                   PackagePath);
+    support::Status Loaded = profile::loadPackageFile(PackagePath, Pkg);
+    if (!Loaded.ok()) {
+      std::fprintf(stderr, "jslint: cannot load package '%s': %s\n",
+                   PackagePath, Loaded.str().c_str());
       return 1;
     }
     Errors += report(*Repo, Linter.lintPackage(Pkg));

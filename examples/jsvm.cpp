@@ -11,11 +11,14 @@
 ///   jsvm run <file.hack> [function] [int-arg]   compile + execute
 ///   jsvm disasm <file.hack> [function]          compile + disassemble
 ///   jsvm check <file.hack>                      compile + verify only
+///   jsvm opts [k=v ...]                         parse + validate
+///                                               Jump-Start options
 ///
 //===----------------------------------------------------------------------===//
 
 #include "bytecode/Disasm.h"
 #include "bytecode/Verifier.h"
+#include "core/JumpStartOptions.h"
 #include "frontend/Compiler.h"
 #include "interp/Interpreter.h"
 #include "runtime/ValueOps.h"
@@ -33,7 +36,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: jsvm run <file.hack> [function] [int-arg]\n"
                "       jsvm disasm <file.hack> [function]\n"
-               "       jsvm check <file.hack>\n");
+               "       jsvm check <file.hack>\n"
+               "       jsvm opts [key=value ...]\n");
   return 2;
 }
 
@@ -74,9 +78,32 @@ bool compileFile(const char *Path, bc::Repo &Repo) {
 } // namespace
 
 int main(int argc, char **argv) {
-  if (argc < 3)
+  if (argc < 2)
     return usage();
   const char *Command = argv[1];
+
+  // `opts` takes option assignments, not a source file: parse them into a
+  // JumpStartOptions, run the validator, and echo the effective
+  // configuration in round-trippable key=value form.
+  if (std::strcmp(Command, "opts") == 0) {
+    core::JumpStartOptions Opts;
+    for (int I = 2; I < argc; ++I) {
+      support::Status S = Opts.parseAssignments(argv[I]);
+      if (!S.ok()) {
+        std::fprintf(stderr, "jsvm: %s\n", S.str().c_str());
+        return 1;
+      }
+    }
+    std::vector<std::string> Diags = Opts.validate();
+    for (const std::string &D : Diags)
+      std::fprintf(stderr, "jsvm: invalid options: %s\n", D.c_str());
+    for (const auto &[Key, Value] : Opts.toKeyValues())
+      std::printf("%s=%s\n", Key.c_str(), Value.c_str());
+    return Diags.empty() ? 0 : 1;
+  }
+
+  if (argc < 3)
+    return usage();
   const char *Path = argv[2];
 
   bc::Repo Repo;

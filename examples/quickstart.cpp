@@ -51,9 +51,7 @@ int main() {
   core::SeederOutcome Seeded =
       core::runSeederWorkflow(*W, Traffic, Config, Opts, Store, SP);
   if (!Seeded.Published) {
-    std::printf("seeder failed: %s\n",
-                Seeded.Problems.empty() ? "?"
-                                        : Seeded.Problems[0].c_str());
+    std::printf("seeder failed: %s\n", Seeded.Result.str().c_str());
     return 1;
   }
   std::printf("seeder: published a %zu-byte package (%zu funcs profiled, "

@@ -8,11 +8,14 @@
 #include "core/Consumer.h"
 
 #include "analysis/Linter.h"
+#include "core/CoreObs.h"
 #include "runtime/Builtins.h"
 #include "support/StringUtil.h"
 
 using namespace jumpstart;
 using namespace jumpstart::core;
+using support::Status;
+using support::StatusCode;
 
 void jumpstart::core::applyOptimizationOptions(vm::ServerConfig &Config,
                                                const JumpStartOptions &Opts) {
@@ -27,14 +30,35 @@ ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
                                                const JumpStartOptions &Opts,
                                                const PackageStore &Store,
                                                const ConsumerParams &P,
-                                               const ChaosHooks *Chaos) {
+                                               const ChaosHooks *Chaos,
+                                               obs::Observability *Obs) {
   ConsumerOutcome Outcome;
   Rng R(P.Seed);
   applyOptimizationOptions(BaseConfig, Opts);
+  BaseConfig.Obs = Obs;
+  BaseConfig.Name = P.Name;
+  uint32_t Track = 0;
+  if (Obs)
+    Track = Obs->Trace.allocTrack(P.Name + "/workflow");
+
+  // Notes one rejected pick: status record, log line (message formats are
+  // load-bearing for callers that grep the log), reason counter, event.
+  auto Reject = [&](StatusCode Code, std::string Message) {
+    Outcome.Log.push_back(Message);
+    countPackageRejected(Obs, Code);
+    if (Obs)
+      Obs->Trace.instant(
+          "package-reject", "package", Track,
+          {strFormat("reason=%s", support::statusCodeName(Code))});
+    Outcome.Rejections.push_back(Status::error(Code, std::move(Message)));
+  };
 
   auto BootWithoutJumpStart = [&](const char *Why) {
     Outcome.Log.push_back(
         strFormat("booting without Jump-Start: %s", Why));
+    if (Obs)
+      Obs->Trace.instant("fallback-boot", "package", Track,
+                         {strFormat("why=%s", Why)});
     Outcome.Server =
         std::make_unique<vm::Server>(W.Repo, BaseConfig, R.next());
     Outcome.Init = Outcome.Server->startup();
@@ -51,15 +75,20 @@ ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
     std::optional<PackageStore::Selection> Pick =
         Store.pickRandom(P.Region, P.Bucket, R);
     if (!Pick) {
+      Outcome.Rejections.push_back(Status::error(
+          StatusCode::Unavailable,
+          "no suitable profile-data package available"));
+      countPackageRejected(Obs, StatusCode::Unavailable);
       BootWithoutJumpStart("no suitable profile-data package available");
       return Outcome;
     }
 
     profile::ProfilePackage Pkg;
     if (!profile::ProfilePackage::deserialize(*Pick->Blob, Pkg)) {
-      Outcome.Log.push_back(strFormat(
-          "package #%u is corrupt (checksum/format); trying another",
-          Pick->Index));
+      Reject(StatusCode::CorruptData,
+             strFormat(
+                 "package #%u is corrupt (checksum/format); trying another",
+                 Pick->Index));
       continue;
     }
 
@@ -77,11 +106,11 @@ ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
                                   runtime::BuiltinTable::standard().size()));
       std::vector<analysis::Diagnostic> Diags = Linter.lintPackage(Pkg);
       if (analysis::countErrors(Diags) > 0) {
-        Outcome.Log.push_back(strFormat(
-            "package #%u failed strict lint (%zu errors, first: %s); "
-            "trying another",
-            Pick->Index, analysis::countErrors(Diags),
-            Diags.front().str(&W.Repo).c_str()));
+        Reject(StatusCode::LintFailed,
+               strFormat("package #%u failed strict lint (%zu errors, "
+                         "first: %s); trying another",
+                         Pick->Index, analysis::countErrors(Diags),
+                         Diags.front().str(&W.Repo).c_str()));
         continue;
       }
     }
@@ -91,17 +120,19 @@ ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
     // (probably different) random package.
     if (Chaos && Chaos->crashesInProduction(Pkg)) {
       ++Outcome.CrashCount;
-      Outcome.Log.push_back(strFormat(
-          "crashed with package #%u; restarting", Pick->Index));
+      Reject(StatusCode::CrashDetected,
+             strFormat("crashed with package #%u; restarting",
+                       Pick->Index));
       continue;
     }
 
     auto Server =
         std::make_unique<vm::Server>(W.Repo, BaseConfig, R.next());
     if (!Server->installPackage(Pkg)) {
-      Outcome.Log.push_back(strFormat(
-          "package #%u rejected (fingerprint mismatch); trying another",
-          Pick->Index));
+      Reject(StatusCode::FingerprintMismatch,
+             strFormat("package #%u rejected (fingerprint mismatch); "
+                       "trying another",
+                       Pick->Index));
       continue;
     }
     Outcome.Init = Server->startup();
@@ -109,6 +140,10 @@ ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
     Outcome.UsedJumpStart = true;
     Outcome.Log.push_back(
         strFormat("booted with package #%u", Pick->Index));
+    countPackageAccepted(Obs);
+    if (Obs)
+      Obs->Trace.instant("package-accept", "package", Track,
+                         {strFormat("index=%u", Pick->Index)});
     return Outcome;
   }
 

@@ -25,6 +25,7 @@
 #include "core/PackageStore.h"
 #include "fleet/Traffic.h"
 #include "fleet/WorkloadGen.h"
+#include "support/Status.h"
 #include "vm/Server.h"
 
 #include <memory>
@@ -38,6 +39,8 @@ struct ConsumerParams {
   uint32_t Region = 0;
   uint32_t Bucket = 0;
   uint64_t Seed = 21;
+  /// Server/trace name used when observability is attached.
+  std::string Name = "consumer";
 };
 
 /// Outcome of booting one consumer.
@@ -50,6 +53,10 @@ struct ConsumerOutcome {
   uint32_t CrashCount = 0;
   vm::InitStats Init;
   std::vector<std::string> Log;
+  /// Per-package rejection reasons, in attempt order (corrupt_data,
+  /// lint_failed, crash_detected, fingerprint_mismatch).  Empty when the
+  /// first pick was accepted.
+  std::vector<support::Status> Rejections;
 };
 
 /// Applies the Jump-Start optimization switches of \p Opts to a server
@@ -58,12 +65,15 @@ void applyOptimizationOptions(vm::ServerConfig &Config,
                               const JumpStartOptions &Opts);
 
 /// Boots one consumer against \p Store with full fallback behaviour.
+/// \p Obs (optional) receives per-reason package rejection counters, the
+/// accept counter, and the consumer's server/JIT spans.
 ConsumerOutcome startConsumer(const fleet::Workload &W,
                               vm::ServerConfig BaseConfig,
                               const JumpStartOptions &Opts,
                               const PackageStore &Store,
                               const ConsumerParams &P,
-                              const ChaosHooks *Chaos = nullptr);
+                              const ChaosHooks *Chaos = nullptr,
+                              obs::Observability *Obs = nullptr);
 
 } // namespace jumpstart::core
 

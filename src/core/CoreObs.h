@@ -1,0 +1,50 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared observability vocabulary for the Jump-Start package lifecycle:
+/// every seeder/consumer decision about a package is counted under the
+/// same metric names, with the rejection reason drawn from the Status
+/// code's stable snake_case name.  The reliability analyses (and the
+/// corrupt-package tests) read these counters back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_CORE_COREOBS_H
+#define JUMPSTART_CORE_COREOBS_H
+
+#include "obs/Observability.h"
+#include "support/Status.h"
+
+namespace jumpstart::core {
+
+/// Counts one package rejection under its enumerated reason:
+/// `jumpstart.package.rejected{reason=<code name>}`.  Null \p Obs ignores.
+inline void countPackageRejected(obs::Observability *Obs,
+                                 support::StatusCode Reason) {
+  if (Obs)
+    Obs->Metrics
+        .counter("jumpstart.package.rejected",
+                 {{"reason", support::statusCodeName(Reason)}})
+        .inc();
+}
+
+/// Counts one package accepted by a consumer.
+inline void countPackageAccepted(obs::Observability *Obs) {
+  if (Obs)
+    Obs->Metrics.counter("jumpstart.package.accepted").inc();
+}
+
+/// Counts one package published by a seeder.
+inline void countPackagePublished(obs::Observability *Obs) {
+  if (Obs)
+    Obs->Metrics.counter("jumpstart.package.published").inc();
+}
+
+} // namespace jumpstart::core
+
+#endif // JUMPSTART_CORE_COREOBS_H

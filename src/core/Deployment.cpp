@@ -16,14 +16,22 @@ DeploymentReport jumpstart::core::simulateDeployment(
     const fleet::Workload &W, const fleet::TrafficModel &Traffic,
     const vm::ServerConfig &BaseConfig, const JumpStartOptions &Opts,
     PackageStore &Store, const DeploymentParams &P,
-    const ChaosHooks *Chaos) {
+    const ChaosHooks *Chaos, obs::Observability *Obs) {
   DeploymentReport Report;
   Rng R(P.Seed);
+
+  obs::Tracer *Trace = Obs ? &Obs->Trace : nullptr;
+  uint32_t Track = 0;
+  if (Obs)
+    Track = Obs->Trace.allocTrack("deployment");
 
   // --- C1: restart the employee-facing canary servers (no Jump-Start
   // data exists yet for the new code version) and verify basic health.
   {
+    obs::ScopedSpan Phase(Trace, "push-C1-canary", "phase", Track);
     vm::ServerConfig Config = BaseConfig;
+    Config.Obs = Obs;
+    Config.Name = "canary";
     vm::Server Canary(W.Repo, Config, R.next());
     Canary.startup();
     uint64_t Faults = 0;
@@ -45,32 +53,35 @@ DeploymentReport jumpstart::core::simulateDeployment(
 
   // --- C2: restart 2% of the fleet as seeders; each collects, validates
   // and publishes its own package.
-  for (uint32_t Region = 0; Region < P.Regions; ++Region) {
-    for (uint32_t Bucket = 0; Bucket < P.Buckets; ++Bucket) {
-      for (uint32_t S = 0; S < P.SeedersPerPair; ++S) {
-        SeederParams SP;
-        SP.Region = Region;
-        SP.Bucket = Bucket;
-        SP.SeederId = (static_cast<uint64_t>(Region) << 32) |
-                      (Bucket << 8) | S;
-        SP.Requests = P.SeederRequests;
-        SP.Seed = R.next();
-        ++Report.SeedersRun;
-        SeederOutcome Outcome = runSeederWorkflow(
-            W, Traffic, BaseConfig, Opts, Store, SP, Chaos);
-        if (Outcome.Published) {
-          ++Report.PackagesPublished;
-          Report.Log.push_back(strFormat(
-              "C2: seeder (r%u,b%u,#%u) published %zu bytes", Region,
-              Bucket, S, Outcome.PackageBytes));
-        } else {
-          ++Report.SeederFailures;
-          std::string Why = Outcome.Problems.empty()
-                                ? "unknown"
-                                : Outcome.Problems.front();
-          Report.Log.push_back(strFormat(
-              "C2: seeder (r%u,b%u,#%u) FAILED: %s", Region, Bucket, S,
-              Why.c_str()));
+  {
+    obs::ScopedSpan Phase(Trace, "push-C2-seeders", "phase", Track);
+    for (uint32_t Region = 0; Region < P.Regions; ++Region) {
+      for (uint32_t Bucket = 0; Bucket < P.Buckets; ++Bucket) {
+        for (uint32_t S = 0; S < P.SeedersPerPair; ++S) {
+          SeederParams SP;
+          SP.Region = Region;
+          SP.Bucket = Bucket;
+          SP.SeederId = (static_cast<uint64_t>(Region) << 32) |
+                        (Bucket << 8) | S;
+          SP.Requests = P.SeederRequests;
+          SP.Seed = R.next();
+          ++Report.SeedersRun;
+          SeederOutcome Outcome = runSeederWorkflow(
+              W, Traffic, BaseConfig, Opts, Store, SP, Chaos, Obs);
+          if (Outcome.Published) {
+            ++Report.PackagesPublished;
+            Report.Log.push_back(strFormat(
+                "C2: seeder (r%u,b%u,#%u) published %zu bytes", Region,
+                Bucket, S, Outcome.PackageBytes));
+          } else {
+            ++Report.SeederFailures;
+            std::string Why = Outcome.Problems.empty()
+                                  ? "unknown"
+                                  : Outcome.Problems.front();
+            Report.Log.push_back(strFormat(
+                "C2: seeder (r%u,b%u,#%u) FAILED: %s", Region, Bucket, S,
+                Why.c_str()));
+          }
         }
       }
     }
@@ -79,23 +90,27 @@ DeploymentReport jumpstart::core::simulateDeployment(
   // --- C3: restart the rest of the fleet as consumers (a sample of real
   // boots per (region, bucket)).
   double InitTotal = 0;
-  for (uint32_t Region = 0; Region < P.Regions; ++Region) {
-    for (uint32_t Bucket = 0; Bucket < P.Buckets; ++Bucket) {
-      for (uint32_t C = 0; C < P.ConsumerSamplesPerPair; ++C) {
-        ConsumerParams CP;
-        CP.Region = Region;
-        CP.Bucket = Bucket;
-        CP.Seed = R.next();
-        ConsumerOutcome Outcome =
-            startConsumer(W, BaseConfig, Opts, Store, CP, Chaos);
-        ++Report.ConsumersBooted;
-        if (Outcome.UsedJumpStart)
-          ++Report.ConsumersUsedJumpStart;
-        InitTotal += Outcome.Init.TotalSeconds;
-        Report.Log.push_back(strFormat(
-            "C3: consumer (r%u,b%u,#%u) init %.2fs, jump-start=%s",
-            Region, Bucket, C, Outcome.Init.TotalSeconds,
-            Outcome.UsedJumpStart ? "yes" : "no"));
+  {
+    obs::ScopedSpan Phase(Trace, "push-C3-consumers", "phase", Track);
+    for (uint32_t Region = 0; Region < P.Regions; ++Region) {
+      for (uint32_t Bucket = 0; Bucket < P.Buckets; ++Bucket) {
+        for (uint32_t C = 0; C < P.ConsumerSamplesPerPair; ++C) {
+          ConsumerParams CP;
+          CP.Region = Region;
+          CP.Bucket = Bucket;
+          CP.Seed = R.next();
+          CP.Name = strFormat("consumer-r%u-b%u-%u", Region, Bucket, C);
+          ConsumerOutcome Outcome =
+              startConsumer(W, BaseConfig, Opts, Store, CP, Chaos, Obs);
+          ++Report.ConsumersBooted;
+          if (Outcome.UsedJumpStart)
+            ++Report.ConsumersUsedJumpStart;
+          InitTotal += Outcome.Init.TotalSeconds;
+          Report.Log.push_back(strFormat(
+              "C3: consumer (r%u,b%u,#%u) init %.2fs, jump-start=%s",
+              Region, Bucket, C, Outcome.Init.TotalSeconds,
+              Outcome.UsedJumpStart ? "yes" : "no"));
+        }
       }
     }
   }

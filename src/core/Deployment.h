@@ -54,14 +54,18 @@ struct DeploymentReport {
 };
 
 /// Simulates one complete push.  Packages land in \p Store (so a later
-/// push can reuse it or a test can inspect it).
+/// push can reuse it or a test can inspect it).  \p Obs (optional)
+/// receives push-phase spans (C1 canary / C2 seeders / C3 consumers) on a
+/// "deployment" track plus everything the seeder and consumer workflows
+/// record.
 DeploymentReport simulateDeployment(const fleet::Workload &W,
                                     const fleet::TrafficModel &Traffic,
                                     const vm::ServerConfig &BaseConfig,
                                     const JumpStartOptions &Opts,
                                     PackageStore &Store,
                                     const DeploymentParams &P,
-                                    const ChaosHooks *Chaos = nullptr);
+                                    const ChaosHooks *Chaos = nullptr,
+                                    obs::Observability *Obs = nullptr);
 
 } // namespace jumpstart::core
 

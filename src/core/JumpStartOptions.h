@@ -20,12 +20,19 @@
 #define JUMPSTART_CORE_JUMPSTARTOPTIONS_H
 
 #include "profile/Validation.h"
+#include "support/Status.h"
 
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace jumpstart::core {
 
-/// All Jump-Start knobs.
+/// All Jump-Start knobs.  Plain default construction stays valid (the
+/// fleet's production defaults); harnesses that accept user input go
+/// through set()/parseAssignments() or the builder and check validate().
 struct JumpStartOptions {
   /// Master switch.  Off: every server collects its own profile.
   bool Enabled = true;
@@ -57,6 +64,58 @@ struct JumpStartOptions {
   uint32_t ValidationRequests = 40;
   /// Maximum tolerated faults per validation request.
   double MaxValidationFaultRate = 0.05;
+
+  //===--------------------------------------------------------------------===
+  // Validated-options API.
+  //===--------------------------------------------------------------------===
+
+  /// Cross-field consistency diagnostics; empty means the options are
+  /// coherent.  Never fires on a default-constructed value.
+  std::vector<std::string> validate() const;
+
+  /// Sets one option by its snake_case key ("enabled",
+  /// "vasm_block_counters", "max_consumer_attempts", ...).  \returns
+  /// invalid_argument for unknown keys or unparseable values.  See
+  /// toKeyValues() for the full key list.
+  support::Status set(std::string_view Key, std::string_view Value);
+
+  /// Applies a comma- or whitespace-separated list of key=value
+  /// assignments ("enabled=true,function_order=false").  Stops at the
+  /// first error.
+  support::Status parseAssignments(std::string_view Text);
+
+  /// Every option as (key, value) pairs, in declaration order -- the
+  /// round-trippable rendering (each pair feeds back through set()).
+  std::vector<std::pair<std::string, std::string>> toKeyValues() const;
+};
+
+/// Named-setter construction for harness code:
+///   auto Opts = JumpStartOptionsBuilder()
+///                   .enabled(true)
+///                   .functionOrder(false)
+///                   .build();
+/// build() asserts validate() passes; tryBuild() reports instead.
+class JumpStartOptionsBuilder {
+public:
+  JumpStartOptionsBuilder &enabled(bool V);
+  JumpStartOptionsBuilder &vasmBlockCounters(bool V);
+  JumpStartOptionsBuilder &functionOrder(bool V);
+  JumpStartOptionsBuilder &propertyReordering(bool V);
+  JumpStartOptionsBuilder &affinityPropertyOrder(bool V);
+  JumpStartOptionsBuilder &maxConsumerAttempts(uint32_t V);
+  JumpStartOptionsBuilder &coverage(const profile::CoverageThresholds &V);
+  JumpStartOptionsBuilder &strictPackageLint(bool V);
+  JumpStartOptionsBuilder &validationRequests(uint32_t V);
+  JumpStartOptionsBuilder &maxValidationFaultRate(double V);
+
+  /// \returns the built options; asserts they validate.
+  JumpStartOptions build() const;
+  /// \returns failed_precondition carrying the first diagnostic when the
+  /// options are incoherent.
+  support::Status tryBuild(JumpStartOptions &Out) const;
+
+private:
+  JumpStartOptions Opts;
 };
 
 } // namespace jumpstart::core

@@ -8,25 +8,57 @@
 #include "core/Seeder.h"
 
 #include "analysis/Linter.h"
+#include "core/CoreObs.h"
 #include "runtime/Builtins.h"
 #include "support/StringUtil.h"
 
 using namespace jumpstart;
 using namespace jumpstart::core;
+using support::Status;
+using support::StatusCode;
 
 SeederOutcome jumpstart::core::runSeederWorkflow(
     const fleet::Workload &W, const fleet::TrafficModel &Traffic,
     vm::ServerConfig BaseConfig, const JumpStartOptions &Opts,
-    PackageStore &Store, const SeederParams &P, const ChaosHooks *Chaos) {
+    PackageStore &Store, const SeederParams &P, const ChaosHooks *Chaos,
+    obs::Observability *Obs) {
   SeederOutcome Outcome;
+
+  std::string SeederName = strFormat("seeder-r%u-b%u-%llu", P.Region,
+                                     P.Bucket,
+                                     static_cast<unsigned long long>(
+                                         P.SeederId));
+  uint32_t Track = 0;
+  if (Obs)
+    Track = Obs->Trace.allocTrack(SeederName + "/workflow");
+  obs::ScopedSpan Workflow(Obs ? &Obs->Trace : nullptr, "seeder-workflow",
+                           "package", Track);
+
+  // Fails the workflow: enumerated status, problem log, rejection
+  // counter, trace event.
+  auto Reject = [&](StatusCode Code, std::string Message) {
+    Outcome.Problems.push_back(Message);
+    Outcome.Result = Status::error(Code, std::move(Message));
+    countPackageRejected(Obs, Code);
+    if (Obs)
+      Obs->Trace.instant(
+          "package-reject", "package", Track,
+          {strFormat("reason=%s", support::statusCodeName(Code))});
+  };
 
   // 1. Serve traffic with seeder instrumentation enabled (Figure 3b: the
   //    optimized code carries extra counters).
   vm::ServerConfig SeederConfig = BaseConfig;
   SeederConfig.Jit.SeederInstrumentation = true;
-  std::unique_ptr<vm::Server> Seeder =
-      fleet::runSeeder(W, Traffic, SeederConfig, P.Region, P.Bucket,
-                       P.Requests, P.Seed);
+  SeederConfig.Obs = Obs;
+  SeederConfig.Name = SeederName;
+  std::unique_ptr<vm::Server> Seeder;
+  {
+    obs::ScopedSpan Span(Obs ? &Obs->Trace : nullptr, "collect-profile",
+                         "package", Track);
+    Seeder = fleet::runSeeder(W, Traffic, SeederConfig, P.Region, P.Bucket,
+                              P.Requests, P.Seed);
+  }
 
   // 2. Serialize the profile data.
   Outcome.Package =
@@ -42,6 +74,12 @@ SeederOutcome jumpstart::core::runSeederWorkflow(
       profile::checkCoverage(Outcome.Package, Blob.size(), Coverage);
   if (!CoverageCheck.Ok) {
     Outcome.Problems = CoverageCheck.Problems;
+    Outcome.Result = CoverageCheck.status();
+    countPackageRejected(Obs, CoverageCheck.Code);
+    if (Obs)
+      Obs->Trace.instant("package-reject", "package", Track,
+                         {strFormat("reason=%s", support::statusCodeName(
+                                                     CoverageCheck.Code))});
     return Outcome;
   }
 
@@ -54,8 +92,11 @@ SeederOutcome jumpstart::core::runSeederWorkflow(
     std::vector<analysis::Diagnostic> Diags =
         Linter.lintPackage(Outcome.Package);
     if (analysis::countErrors(Diags) > 0) {
-      for (const analysis::Diagnostic &D : Diags)
-        Outcome.Problems.push_back("package lint: " + D.str(&W.Repo));
+      Reject(StatusCode::LintFailed,
+             "package lint: " + Diags.front().str(&W.Repo));
+      for (size_t I = 1; I < Diags.size(); ++I)
+        Outcome.Problems.push_back("package lint: " +
+                                   Diags[I].str(&W.Repo));
       return Outcome;
     }
   }
@@ -63,17 +104,22 @@ SeederOutcome jumpstart::core::runSeederWorkflow(
   // 4. Behavioural validation (section VI-A technique 1): restart in
   //    consumer mode using the just-collected data and watch health for a
   //    while before publishing.
+  obs::ScopedSpan ValidateSpan(Obs ? &Obs->Trace : nullptr, "validate",
+                               "package", Track);
   if (Chaos && Chaos->crashesInValidation(Outcome.Package)) {
-    Outcome.Problems.push_back(
-        "validation: consumer-mode restart crashed during JIT compilation");
+    Reject(StatusCode::ValidationCrash,
+           "validation: consumer-mode restart crashed during JIT "
+           "compilation");
     return Outcome;
   }
   vm::ServerConfig ValidationConfig = BaseConfig;
   ValidationConfig.Jit.SeederInstrumentation = false;
+  ValidationConfig.Obs = Obs;
+  ValidationConfig.Name = SeederName + "/validator";
   vm::Server Validator(W.Repo, ValidationConfig, P.Seed ^ 0xabcdef);
   if (!Validator.installPackage(Outcome.Package)) {
-    Outcome.Problems.push_back(
-        "validation: package rejected (fingerprint mismatch)");
+    Reject(StatusCode::FingerprintMismatch,
+           "validation: package rejected (fingerprint mismatch)");
     return Outcome;
   }
   Validator.startup();
@@ -90,15 +136,21 @@ SeederOutcome jumpstart::core::runSeederWorkflow(
                                static_cast<double>(Opts.ValidationRequests)
                          : 0.0;
   if (FaultRate > Opts.MaxValidationFaultRate) {
-    Outcome.Problems.push_back(strFormat(
-        "validation: elevated error rate (%.3f faults/request, limit "
-        "%.3f)",
-        FaultRate, Opts.MaxValidationFaultRate));
+    Reject(StatusCode::ValidationFaultRate,
+           strFormat("validation: elevated error rate (%.3f "
+                     "faults/request, limit %.3f)",
+                     FaultRate, Opts.MaxValidationFaultRate));
     return Outcome;
   }
 
   // 5. Publish.
   Outcome.PackageIndex = Store.publish(P.Region, P.Bucket, std::move(Blob));
   Outcome.Published = true;
+  Outcome.Result = Status::okStatus();
+  countPackagePublished(Obs);
+  if (Obs)
+    Obs->Trace.instant("package-publish", "package", Track,
+                       {strFormat("index=%u", Outcome.PackageIndex),
+                        strFormat("bytes=%zu", Outcome.PackageBytes)});
   return Outcome;
 }

@@ -24,6 +24,7 @@
 #include "core/JumpStartOptions.h"
 #include "core/PackageStore.h"
 #include "fleet/ServerSim.h"
+#include "support/Status.h"
 
 #include <string>
 #include <vector>
@@ -47,19 +48,27 @@ struct SeederOutcome {
   uint32_t PackageIndex = 0;
   size_t PackageBytes = 0;
   profile::ProfilePackage Package;
+  /// Why the workflow stopped: ok when published, else the enumerated
+  /// rejection reason (coverage_too_low, lint_failed, validation_crash,
+  /// fingerprint_mismatch, validation_fault_rate).
+  support::Status Result;
+  /// Human-readable problem log (same information as Result, possibly
+  /// with additional detail lines).
   std::vector<std::string> Problems;
 };
 
 /// Runs the complete seeder workflow against \p Store.  \p BaseConfig is
 /// the fleet's server configuration; seeder instrumentation is enabled on
 /// top of it.  \p Chaos (optional) injects JIT bugs for reliability
-/// experiments.
+/// experiments.  \p Obs (optional) receives the workflow's spans
+/// (collect / validate / publish) and per-reason rejection counters.
 SeederOutcome runSeederWorkflow(const fleet::Workload &W,
                                 const fleet::TrafficModel &Traffic,
                                 vm::ServerConfig BaseConfig,
                                 const JumpStartOptions &Opts,
                                 PackageStore &Store, const SeederParams &P,
-                                const ChaosHooks *Chaos = nullptr);
+                                const ChaosHooks *Chaos = nullptr,
+                                obs::Observability *Obs = nullptr);
 
 } // namespace jumpstart::core
 

@@ -7,6 +7,7 @@
 
 #include "fleet/Reliability.h"
 
+#include "obs/Observability.h"
 #include "support/Assert.h"
 
 #include <algorithm>
@@ -78,6 +79,25 @@ jumpstart::fleet::simulateCrashLoop(const ReliabilityParams &P) {
       ++Result.HealthyAtEnd;
     if (C.Fallback)
       ++Result.FallbackCount;
+  }
+
+  if (P.Obs) {
+    obs::LabelSet ByRun{{"run", P.RunLabel}};
+    TimeSeries &PerRound =
+        P.Obs->Metrics.series("fleet.crashed_per_round", ByRun);
+    uint64_t TotalCrashes = 0;
+    for (uint32_t Round = 0; Round < Result.CrashedPerRound.size();
+         ++Round) {
+      PerRound.record(Round, Result.CrashedPerRound[Round]);
+      TotalCrashes += Result.CrashedPerRound[Round];
+    }
+    P.Obs->Metrics.counter("jumpstart.reliability.crashes", ByRun)
+        .inc(TotalCrashes);
+    P.Obs->Metrics.counter("jumpstart.reliability.fallbacks", ByRun)
+        .inc(Result.FallbackCount);
+    P.Obs->Metrics
+        .counter("jumpstart.reliability.poisoned_published", ByRun)
+        .inc(Result.PoisonedPublished);
   }
   return Result;
 }

@@ -25,7 +25,12 @@
 #include "support/Random.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+namespace jumpstart::obs {
+struct Observability;
+}
 
 namespace jumpstart::fleet {
 
@@ -48,6 +53,10 @@ struct ReliabilityParams {
   bool RandomizedSelection = true;
   uint32_t Rounds = 12;
   uint64_t Seed = 33;
+  /// Optional observability sink: crash/fallback counters and the
+  /// crashed-per-round series land here under {run=RunLabel}.
+  obs::Observability *Obs = nullptr;
+  std::string RunLabel = "reliability";
 };
 
 /// Outcome of the crash-loop simulation.

@@ -23,6 +23,27 @@ WarmupResult jumpstart::fleet::runWarmup(const Workload &W,
   WarmupResult Result;
   Rng R(P.Seed);
 
+  // Observability: record into the caller's context, or a run-owned one
+  // (per-run isolation keeps identical runs byte-identical).
+  if (!P.Obs)
+    Result.OwnedObs = std::make_unique<obs::Observability>();
+  obs::Observability &O = P.Obs ? *P.Obs : *Result.OwnedObs;
+  Result.Obs = &O;
+  // Each run restarts the virtual clock; per-run track names keep traces
+  // from different runs apart.
+  O.Clock.set(0);
+  obs::LabelSet ByRun{{"run", P.RunLabel}};
+  TimeSeries &Rps = O.Metrics.series("fleet.rps", ByRun);
+  TimeSeries &NormalizedRps = O.Metrics.series("fleet.normalized_rps", ByRun);
+  TimeSeries &Latency = O.Metrics.series("fleet.latency_seconds", ByRun);
+  TimeSeries &CodeBytes = O.Metrics.series("fleet.code_bytes", ByRun);
+  alwaysAssert(Rps.empty(),
+               "runWarmup: RunLabel already used in this registry");
+  Result.RpsSeries = &Rps;
+  Result.NormalizedRpsSeries = &NormalizedRps;
+  Result.LatencySeries = &Latency;
+  Result.CodeBytesSeries = &CodeBytes;
+
   // Default warmup requests: a sample of this bucket's mix, enough to
   // touch the important units (paper section VII-A).
   if (Config.WarmupEndpoints.empty()) {
@@ -32,6 +53,8 @@ WarmupResult jumpstart::fleet::runWarmup(const Workload &W,
     }
   }
 
+  Config.Obs = &O;
+  Config.Name = P.RunLabel;
   auto Server = std::make_unique<vm::Server>(W.Repo, Config, R.next());
   if (Pkg) {
     bool Installed = Server->installPackage(*Pkg);
@@ -42,9 +65,9 @@ WarmupResult jumpstart::fleet::runWarmup(const Workload &W,
   jit::Jit &J = Server->theJit();
   double Now = Result.Init.TotalSeconds;
   Result.Phases.ServeStart = Now;
-  Result.Rps.record(0, 0);
-  Result.NormalizedRps.record(0, 0);
-  Result.CodeBytes.record(0, 0);
+  Rps.record(0, 0);
+  NormalizedRps.record(0, 0);
+  CodeBytes.record(0, 0);
 
   jit::JitPhase LastPhase = J.phase();
   if (LastPhase != jit::JitPhase::Profiling) {
@@ -89,8 +112,11 @@ WarmupResult jumpstart::fleet::runWarmup(const Workload &W,
       J.onRequestFinished();
 
     Now += P.TickSeconds;
-    Result.Rps.record(Now, Served / P.TickSeconds);
-    Result.NormalizedRps.record(Now, Served / Offered);
+    // Realign the shared clock with tick time (the sampled requests and
+    // JIT grants above advanced it by their CPU costs).
+    O.Clock.set(Now);
+    Rps.record(Now, Served / P.TickSeconds);
+    NormalizedRps.record(Now, Served / Offered);
     double WallSec = ServiceSec;
     if (P.ModelQueueing) {
       // Sakasegawa's M/M/c waiting-time approximation: queueing is
@@ -104,9 +130,9 @@ WarmupResult jumpstart::fleet::runWarmup(const Workload &W,
                     (C * (1.0 - Rho));
       WallSec *= 1.0 + Wait;
     }
-    Result.LatencySeconds.record(Now, WallSec);
+    Latency.record(Now, WallSec);
     uint64_t Code = J.totalCodeBytes();
-    Result.CodeBytes.record(Now, static_cast<double>(Code));
+    CodeBytes.record(Now, static_cast<double>(Code));
     if (Code > LastCodeBytes) {
       LastCodeBytes = Code;
       LastCodeGrowth = Now;
@@ -129,8 +155,10 @@ WarmupResult jumpstart::fleet::runWarmup(const Workload &W,
   // Capacity loss: area above the normalized curve over the full window
   // (server restart at t=0; it serves nothing until init finishes).
   Result.CapacityLossFraction =
-      Result.NormalizedRps.areaAbove(1.0, 0, P.DurationSeconds) /
+      NormalizedRps.areaAbove(1.0, 0, P.DurationSeconds) /
       P.DurationSeconds;
+  O.Metrics.gauge("fleet.capacity_loss_fraction", ByRun)
+      .set(Result.CapacityLossFraction);
 
   Result.Server = std::move(Server);
   return Result;

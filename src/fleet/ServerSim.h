@@ -24,11 +24,13 @@
 
 #include "fleet/Traffic.h"
 #include "fleet/WorkloadGen.h"
+#include "obs/Observability.h"
 #include "support/Stats.h"
 #include "vm/Server.h"
 
 #include <memory>
 #include <optional>
+#include <string>
 
 namespace jumpstart::fleet {
 
@@ -49,6 +51,14 @@ struct ServerSimParams {
   /// capped).  The paper's Figure 4a measures *wall* time per request,
   /// which includes queueing on saturated warming servers.
   bool ModelQueueing = true;
+  /// Observability sink shared with the harness (figure binaries pass one
+  /// so several runs land in a single registry/trace).  Null makes the
+  /// run create its own context, owned by the returned WarmupResult.
+  obs::Observability *Obs = nullptr;
+  /// Distinguishes runs sharing one Observability: it names the server's
+  /// tracer tracks and labels the run's metric series ({run=RunLabel}).
+  /// Two runs recording into one registry must use different labels.
+  std::string RunLabel = "run";
 };
 
 /// Timestamps (in virtual seconds) of the JIT lifecycle transitions --
@@ -61,12 +71,11 @@ struct PhaseTimes {
   double JitingStopped = -1;   ///< point D (code growth ceased)
 };
 
-/// Result of one warmup run.
+/// Result of one warmup run.  The per-tick curves live in the run's
+/// metrics registry (names "fleet.rps", "fleet.normalized_rps",
+/// "fleet.latency_seconds", "fleet.code_bytes", labelled {run=RunLabel});
+/// the accessors below read them back.
 struct WarmupResult {
-  TimeSeries Rps{"rps"};              ///< served requests/second
-  TimeSeries NormalizedRps{"nrps"};   ///< served / offered
-  TimeSeries LatencySeconds{"lat"};   ///< mean wall time per request
-  TimeSeries CodeBytes{"code"};       ///< total JITed code (Figure 1)
   PhaseTimes Phases;
   vm::InitStats Init;
   /// Capacity loss over [0, DurationSeconds]: area above the normalized
@@ -75,6 +84,27 @@ struct WarmupResult {
   double CapacityLossFraction = 0;
   /// The warmed server, for follow-on measurement (steady state).
   std::unique_ptr<vm::Server> Server;
+
+  /// The observability context the run recorded into: the caller's
+  /// (ServerSimParams::Obs) or the run-owned fallback below.
+  obs::Observability *Obs = nullptr;
+  /// Owns the context when the caller passed none (per-run isolation).
+  std::unique_ptr<obs::Observability> OwnedObs;
+
+  /// Served requests/second over uptime.
+  const TimeSeries &rps() const { return *RpsSeries; }
+  /// Served / offered over uptime.
+  const TimeSeries &normalizedRps() const { return *NormalizedRpsSeries; }
+  /// Mean wall time per request over uptime (Figure 4a).
+  const TimeSeries &latencySeconds() const { return *LatencySeries; }
+  /// Total JITed code bytes over uptime (Figure 1).
+  const TimeSeries &codeBytes() const { return *CodeBytesSeries; }
+
+  // Registry-backed storage, set by runWarmup.
+  const TimeSeries *RpsSeries = nullptr;
+  const TimeSeries *NormalizedRpsSeries = nullptr;
+  const TimeSeries *LatencySeries = nullptr;
+  const TimeSeries *CodeBytesSeries = nullptr;
 };
 
 /// Runs one server's restart-and-warmup.  If \p Package is set the

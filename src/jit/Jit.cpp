@@ -8,7 +8,9 @@
 #include "jit/Jit.h"
 
 #include "layout/FunctionSort.h"
+#include "obs/Observability.h"
 #include "support/Assert.h"
+#include "support/StringUtil.h"
 
 #include <algorithm>
 
@@ -32,6 +34,52 @@ const char *jumpstart::jit::jitPhaseName(JitPhase P) {
 Jit::Jit(const bc::Repo &R, JitConfig Config)
     : R(R), Config(Config), Blocks(R), Cache(Config.Cache) {}
 
+void Jit::setObservability(obs::Observability *O, double SecondsPerUnit,
+                           uint32_t Track) {
+  Obs = O;
+  ObsSecondsPerUnit = SecondsPerUnit;
+  ObsTrack = Track;
+}
+
+const char *Jit::jobSpanName(enum Job::Kind K) {
+  switch (K) {
+  case Job::Kind::CompileProfile:
+    return "compile-tier1";
+  case Job::Kind::CompileLive:
+    return "compile-live";
+  case Job::Kind::CompileOptimized:
+    return "compile-tier2";
+  case Job::Kind::Relocate:
+    return "relocate";
+  }
+  return "?";
+}
+
+void Jit::noteJobDone(const Job &J) {
+  if (!Obs)
+    return;
+  double Dur = J.TotalCost * ObsSecondsPerUnit;
+  double End = Obs->Clock.now();
+  Obs->Trace.completeSpan(
+      jobSpanName(J.Kind), "jit", ObsTrack, std::max(0.0, End - Dur), Dur,
+      {J.Kind == Job::Kind::Relocate ? strFormat("trans=%u", J.Trans)
+                                     : strFormat("func=%u", J.Func)});
+  Obs->Metrics
+      .counter("jumpstart.jit.jobs_completed",
+               {{"kind", jobSpanName(J.Kind)}})
+      .inc();
+}
+
+void Jit::notePhase(JitPhase NewPhase) {
+  if (!Obs)
+    return;
+  Obs->Trace.instant(strFormat("jit-phase:%s", jitPhaseName(NewPhase)),
+                     "phase", ObsTrack);
+  Obs->Metrics.counter("jumpstart.jit.phase_transitions",
+                       {{"to", jitPhaseName(NewPhase)}})
+      .inc();
+}
+
 double Jit::execCostPerBytecode(bc::FuncId F) const {
   const Translation *T = Db.best(F);
   if (T)
@@ -52,9 +100,9 @@ void Jit::onFuncEntered(bc::FuncId F) {
     if (Db.forFunc(F, TransKind::Profile) || Enqueued.count(F.raw()))
       return;
     Enqueued.insert(F.raw());
-    Jobs.push_back(Job{Job::Kind::CompileProfile, F.raw(), 0,
-                       static_cast<double>(R.func(F).Code.size()) *
-                           Config.ProfileCompileCostPerBytecode});
+    Jobs.push_back(makeJob(Job::Kind::CompileProfile, F.raw(), 0,
+                           static_cast<double>(R.func(F).Code.size()) *
+                               Config.ProfileCompileCostPerBytecode));
     return;
   }
   // Past profiling: anything still uncompiled takes the tracelet (live)
@@ -64,9 +112,9 @@ void Jit::onFuncEntered(bc::FuncId F) {
   if (Db.forFunc(F, TransKind::Optimized))
     return; // optimized exists but is awaiting relocation
   Enqueued.insert(F.raw());
-  Jobs.push_back(Job{Job::Kind::CompileLive, F.raw(), 0,
-                     static_cast<double>(R.func(F).Code.size()) *
-                         Config.LiveCompileCostPerBytecode});
+  Jobs.push_back(makeJob(Job::Kind::CompileLive, F.raw(), 0,
+                         static_cast<double>(R.func(F).Code.size()) *
+                             Config.LiveCompileCostPerBytecode));
 }
 
 void Jit::onRequestFinished() {
@@ -81,6 +129,9 @@ void Jit::beginRetranslateAll() {
   if (Phase != JitPhase::Profiling)
     return;
   Phase = JitPhase::Optimizing;
+  if (Obs)
+    Obs->Trace.instant("retranslate-all", "jit", ObsTrack);
+  notePhase(JitPhase::Optimizing);
   // Drop pending profile compiles; profiling is over.
   std::deque<Job> Kept;
   for (const Job &J : Jobs)
@@ -111,14 +162,15 @@ void Jit::beginRetranslateAll() {
     double CostPerBytecode = Config.ShareJitMode
                                  ? Config.OptCompileCostPerBytecode * 0.02
                                  : Config.OptCompileCostPerBytecode;
-    Jobs.push_back(
-        Job{Job::Kind::CompileOptimized, FuncRaw, 0,
-            static_cast<double>(R.func(bc::FuncId(FuncRaw)).Code.size()) *
-                CostPerBytecode});
+    Jobs.push_back(makeJob(
+        Job::Kind::CompileOptimized, FuncRaw, 0,
+        static_cast<double>(R.func(bc::FuncId(FuncRaw)).Code.size()) *
+            CostPerBytecode));
   }
   if (Jobs.empty()) {
     // Nothing was profiled (e.g. a consumer with an empty package).
     Phase = JitPhase::Mature;
+    notePhase(JitPhase::Mature);
   }
 }
 
@@ -188,9 +240,9 @@ void Jit::enqueueRelocations() {
     Translation *T = Db.forFunc(bc::FuncId(FuncRaw), TransKind::Optimized);
     if (!T || T->Placed)
       return;
-    Jobs.push_back(Job{Job::Kind::Relocate, 0, T->Id,
-                       static_cast<double>(T->Unit->sizeBytes()) *
-                           Config.RelocateCostPerByte});
+    Jobs.push_back(makeJob(Job::Kind::Relocate, 0, T->Id,
+                           static_cast<double>(T->Unit->sizeBytes()) *
+                               Config.RelocateCostPerByte));
   };
   for (uint32_t FuncRaw : Order)
     Enqueue(FuncRaw);
@@ -259,17 +311,22 @@ double Jit::runJitWork(double BudgetUnits) {
     Job Done = J;
     Jobs.pop_front();
     finishJob(Done);
+    noteJobDone(Done);
   }
 
   // Phase transitions when a stage's queue drains.
   if (Jobs.empty()) {
     if (Phase == JitPhase::Optimizing) {
       Phase = JitPhase::Relocating;
+      notePhase(JitPhase::Relocating);
       enqueueRelocations();
-      if (Jobs.empty())
+      if (Jobs.empty()) {
         Phase = JitPhase::Mature;
+        notePhase(JitPhase::Mature);
+      }
     } else if (Phase == JitPhase::Relocating) {
       Phase = JitPhase::Mature;
+      notePhase(JitPhase::Mature);
     }
   }
   return Consumed;
@@ -292,9 +349,9 @@ void Jit::startConsumerPrecompile(const profile::ProfilePackage &Pkg) {
       if (Store.find(FuncRaw) || Enqueued.count(FuncRaw))
         continue; // profiled functions get optimized translations anyway
       Enqueued.insert(FuncRaw);
-      Jobs.push_back(Job{Job::Kind::CompileLive, FuncRaw, 0,
-                         static_cast<double>(R.func(F).Code.size()) *
-                             Config.LiveCompileCostPerBytecode});
+      Jobs.push_back(makeJob(Job::Kind::CompileLive, FuncRaw, 0,
+                             static_cast<double>(R.func(F).Code.size()) *
+                                 Config.LiveCompileCostPerBytecode));
     }
     if (Phase == JitPhase::Mature && !Jobs.empty())
       Phase = JitPhase::Optimizing; // keep draining until live code done

@@ -46,6 +46,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+namespace jumpstart::obs {
+struct Observability;
+}
+
 namespace jumpstart::jit {
 
 /// All JIT tunables.  Field-by-field these correspond to HHVM runtime
@@ -182,6 +186,14 @@ public:
   /// \returns the units actually consumed.
   double runJitWork(double BudgetUnits);
 
+  /// Attaches the observability context (spans for every finished job,
+  /// phase-transition events, per-kind job counters).  \p SecondsPerUnit
+  /// converts a job's cost units to virtual seconds at this JIT's worker
+  /// pool rate; \p Track is the tracer lane for JIT spans.  Null detaches;
+  /// a standalone Jit (tests, replay tools) records nothing.
+  void setObservability(obs::Observability *O, double SecondsPerUnit,
+                        uint32_t Track);
+
   bool hasPendingWork() const { return !Jobs.empty(); }
   size_t pendingJobs() const { return Jobs.size(); }
 
@@ -212,9 +224,23 @@ private:
     uint32_t Func = 0;    ///< raw FuncId (compile jobs)
     uint32_t Trans = 0;   ///< translation id (relocate jobs)
     double CostLeft = 0;
+    /// The job's full cost, kept for span durations.
+    double TotalCost = 0;
   };
 
+  // "enum" disambiguates the type from Job's member of the same name.
+  /// Builds a job with its full cost remembered (span durations).
+  static Job makeJob(enum Job::Kind K, uint32_t Func, uint32_t Trans,
+                     double Cost) {
+    return Job{K, Func, Trans, Cost, Cost};
+  }
+  static const char *jobSpanName(enum Job::Kind K);
+
   void finishJob(const Job &J);
+  /// Records a completed job's span + counter (no-op without obs).
+  void noteJobDone(const Job &J);
+  /// Records a phase-transition instant event (no-op without obs).
+  void notePhase(JitPhase NewPhase);
   void compileOptimized(bc::FuncId F);
   void enqueueRelocations();
   std::vector<uint32_t> computeFuncOrder() const;
@@ -229,6 +255,10 @@ private:
   profile::OptProfile OptProf;
   std::unordered_map<std::string, uint64_t> PropCounts;
   std::unordered_map<std::string, uint64_t> PropAffinity;
+
+  obs::Observability *Obs = nullptr;
+  double ObsSecondsPerUnit = 0;
+  uint32_t ObsTrack = 0;
 
   JitPhase Phase = JitPhase::Profiling;
   uint64_t ProfiledRequests = 0;

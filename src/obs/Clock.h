@@ -1,0 +1,45 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The virtual clock behind every observability timestamp.
+///
+/// The whole repository runs on virtual time (cost units converted to
+/// seconds), never wall-clock time; "Virtual Machine Warmup Blows Hot and
+/// Cold" (Barrett et al.) is the cautionary tale for what happens
+/// otherwise.  The clock is a plain mutable double: the component that
+/// owns the passage of time (the fleet simulator's tick loop, a server's
+/// startup sequence, a seeder's request loop) advances or sets it, and
+/// every span/sample recorded against the same obs::Observability reads
+/// it.  Two identical runs therefore produce byte-identical traces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_OBS_CLOCK_H
+#define JUMPSTART_OBS_CLOCK_H
+
+namespace jumpstart::obs {
+
+/// Virtual seconds since the start of the current experiment.
+class VirtualClock {
+public:
+  double now() const { return NowSec; }
+
+  void advance(double Seconds) { NowSec += Seconds; }
+
+  /// Absolute set.  Rewinding is allowed: a harness that boots several
+  /// servers restarts the clock at zero for each run (each run is its own
+  /// trace track).
+  void set(double Seconds) { NowSec = Seconds; }
+
+private:
+  double NowSec = 0;
+};
+
+} // namespace jumpstart::obs
+
+#endif // JUMPSTART_OBS_CLOCK_H

@@ -1,0 +1,215 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Export.h"
+
+#include "obs/Observability.h"
+#include "support/StringUtil.h"
+
+#include <cstdio>
+
+using namespace jumpstart;
+using namespace jumpstart::obs;
+using support::Status;
+using support::StatusCode;
+
+std::string jumpstart::obs::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += strFormat("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+/// %.9g round-trips every value the virtual-time simulation produces and
+/// never prints locale- or platform-dependent digits.
+static std::string num(double V) { return strFormat("%.9g", V); }
+
+static void appendLabelsJson(std::string &Out, const LabelSet &Labels) {
+  Out += "{";
+  bool First = true;
+  for (const Label &L : Labels) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\"" + jsonEscape(L.first) + "\":\"" + jsonEscape(L.second) + "\"";
+  }
+  Out += "}";
+}
+
+std::string jumpstart::obs::metricsToJsonLines(const MetricsRegistry &Metrics) {
+  std::string Out;
+  for (const MetricsRegistry::Entry &E : Metrics.sortedEntries()) {
+    Out += "{\"name\":\"" + jsonEscape(Metrics.name(E.NameId)) + "\"";
+    const LabelSet &Labels = Metrics.labels(E.LabelsId);
+    if (!Labels.empty()) {
+      Out += ",\"labels\":";
+      appendLabelsJson(Out, Labels);
+    }
+    switch (E.MetricKind) {
+    case MetricsRegistry::Kind::Counter:
+      Out += ",\"type\":\"counter\",\"value\":" +
+             strFormat("%llu", static_cast<unsigned long long>(
+                                   Metrics.counterAt(E.Index).value()));
+      break;
+    case MetricsRegistry::Kind::Gauge:
+      Out += ",\"type\":\"gauge\",\"value\":" +
+             num(Metrics.gaugeAt(E.Index).value());
+      break;
+    case MetricsRegistry::Kind::Histogram: {
+      const Histogram &H = Metrics.histogramAt(E.Index);
+      Out += ",\"type\":\"histogram\",\"count\":" +
+             strFormat("%llu", static_cast<unsigned long long>(H.count())) +
+             ",\"sum\":" + num(H.sum()) + ",\"bounds\":[";
+      for (size_t I = 0; I < H.bounds().size(); ++I) {
+        if (I)
+          Out += ",";
+        Out += num(H.bounds()[I]);
+      }
+      Out += "],\"buckets\":[";
+      for (size_t I = 0; I <= H.bounds().size(); ++I) {
+        if (I)
+          Out += ",";
+        Out += strFormat(
+            "%llu", static_cast<unsigned long long>(H.bucketCount(I)));
+      }
+      Out += "]";
+      break;
+    }
+    case MetricsRegistry::Kind::Series: {
+      const TimeSeries &S = Metrics.seriesAt(E.Index);
+      Out += ",\"type\":\"series\",\"points\":[";
+      bool First = true;
+      for (const auto &P : S.points()) {
+        if (!First)
+          Out += ",";
+        First = false;
+        Out += "[" + num(P.TimeSec) + "," + num(P.Value) + "]";
+      }
+      Out += "]";
+      break;
+    }
+    }
+    Out += "}\n";
+  }
+  return Out;
+}
+
+static void appendArgsJson(std::string &Out,
+                           const std::vector<std::string> &Args) {
+  Out += "[";
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I)
+      Out += ",";
+    Out += "\"" + jsonEscape(Args[I]) + "\"";
+  }
+  Out += "]";
+}
+
+std::string jumpstart::obs::traceToJsonLines(const Tracer &Trace) {
+  std::string Out;
+  for (const Span &S : Trace.spans()) {
+    Out += "{\"name\":\"" + jsonEscape(S.Name) + "\",\"cat\":\"" +
+           jsonEscape(S.Cat) + "\",\"track\":\"" +
+           jsonEscape(Trace.trackName(S.Track)) + "\"";
+    Out += ",\"start\":" + num(S.StartSec);
+    if (S.Instant)
+      Out += ",\"instant\":true";
+    else
+      Out += ",\"dur\":" + num(S.DurSec);
+    if (S.Parent >= 0)
+      Out += ",\"parent\":" + strFormat("%d", S.Parent);
+    if (!S.Args.empty()) {
+      Out += ",\"args\":";
+      appendArgsJson(Out, S.Args);
+    }
+    Out += "}\n";
+  }
+  return Out;
+}
+
+std::string jumpstart::obs::traceToChromeJson(const Tracer &Trace) {
+  std::string Out = "{\"traceEvents\":[\n";
+  bool First = true;
+  for (uint32_t T = 0; T < Trace.numTracks(); ++T) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    Out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + strFormat("%u", T) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           jsonEscape(Trace.trackName(T)) + "\"}}";
+  }
+  for (const Span &S : Trace.spans()) {
+    if (!First)
+      Out += ",\n";
+    First = false;
+    // Virtual seconds -> trace microseconds.
+    std::string Ts = num(S.StartSec * 1e6);
+    if (S.Instant)
+      Out += "{\"ph\":\"i\",\"s\":\"t\"";
+    else
+      Out += "{\"ph\":\"X\",\"dur\":" + num(S.DurSec * 1e6);
+    Out += ",\"pid\":1,\"tid\":" + strFormat("%u", S.Track) +
+           ",\"ts\":" + Ts + ",\"cat\":\"" + jsonEscape(S.Cat) +
+           "\",\"name\":\"" + jsonEscape(S.Name) + "\"";
+    if (!S.Args.empty()) {
+      Out += ",\"args\":{\"notes\":";
+      appendArgsJson(Out, S.Args);
+      Out += "}";
+    }
+    Out += "}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+Status jumpstart::obs::writeTextFile(const std::string &Path,
+                                     const std::string &Contents) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return support::errorStatus(StatusCode::IoError, "cannot open %s",
+                                Path.c_str());
+  size_t Written = std::fwrite(Contents.data(), 1, Contents.size(), F);
+  int CloseRc = std::fclose(F);
+  if (Written != Contents.size() || CloseRc != 0)
+    return support::errorStatus(StatusCode::IoError, "short write to %s",
+                                Path.c_str());
+  return support::Status::okStatus();
+}
+
+Status jumpstart::obs::exportAll(const Observability &Obs,
+                                 const std::string &Prefix) {
+  JUMPSTART_RETURN_IF_ERROR(
+      writeTextFile(Prefix + ".metrics.jsonl", metricsToJsonLines(Obs.Metrics)));
+  JUMPSTART_RETURN_IF_ERROR(
+      writeTextFile(Prefix + ".trace.jsonl", traceToJsonLines(Obs.Trace)));
+  JUMPSTART_RETURN_IF_ERROR(
+      writeTextFile(Prefix + ".chrome.json", traceToChromeJson(Obs.Trace)));
+  return support::Status::okStatus();
+}

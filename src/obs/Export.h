@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exporters for the observability subsystem.
+///
+/// Two formats:
+///  - JSON-lines: one self-describing JSON object per metric / per span,
+///    in deterministic order -- diffable, greppable, and the substrate of
+///    the byte-identical-runs guarantee.
+///  - chrome://tracing: a single JSON document loadable in Chrome's
+///    about:tracing or Perfetto; tracks become named threads.
+///
+/// All numbers are printed with %.9g, all strings escaped per JSON; given
+/// identical inputs the output is byte-identical on any platform with IEEE
+/// doubles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_OBS_EXPORT_H
+#define JUMPSTART_OBS_EXPORT_H
+
+#include "support/Status.h"
+
+#include <string>
+
+namespace jumpstart::obs {
+
+class MetricsRegistry;
+class Tracer;
+struct Observability;
+
+/// One JSON object per line per metric, sorted by (name, labels, kind).
+std::string metricsToJsonLines(const MetricsRegistry &Metrics);
+
+/// One JSON object per line per span, in recording order (which is itself
+/// deterministic under the virtual clock).
+std::string traceToJsonLines(const Tracer &Trace);
+
+/// A chrome://tracing "traceEvents" document: complete ("ph":"X") and
+/// instant ("ph":"i") events with ts/dur in virtual microseconds, plus
+/// thread_name metadata naming each track.
+std::string traceToChromeJson(const Tracer &Trace);
+
+/// JSON string escaping (quotes not included).
+std::string jsonEscape(std::string_view S);
+
+/// Writes \p Contents to \p Path, whole-file.
+support::Status writeTextFile(const std::string &Path,
+                              const std::string &Contents);
+
+/// Writes `<Prefix>.metrics.jsonl`, `<Prefix>.trace.jsonl` and
+/// `<Prefix>.chrome.json`.
+support::Status exportAll(const Observability &Obs,
+                          const std::string &Prefix);
+
+} // namespace jumpstart::obs
+
+#endif // JUMPSTART_OBS_EXPORT_H

@@ -1,0 +1,15 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Observability.h"
+
+using namespace jumpstart::obs;
+
+Observability &jumpstart::obs::defaultObservability() {
+  static Observability Default;
+  return Default;
+}

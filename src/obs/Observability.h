@@ -1,0 +1,44 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The observability context: one clock, one metrics registry, one tracer.
+///
+/// Components take an `Observability *` (null means "don't record") and
+/// thread it downward; harnesses that want a shared sink for several
+/// servers (the figure binaries, the fleet simulator) create one and pass
+/// it everywhere.  resolve() maps null to a process-global default so that
+/// casual callers (examples, ad-hoc tools) still aggregate somewhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_OBS_OBSERVABILITY_H
+#define JUMPSTART_OBS_OBSERVABILITY_H
+
+#include "obs/Clock.h"
+#include "obs/MetricsRegistry.h"
+#include "obs/Tracer.h"
+
+namespace jumpstart::obs {
+
+struct Observability {
+  VirtualClock Clock;
+  MetricsRegistry Metrics;
+  Tracer Trace{Clock};
+};
+
+/// The process-global fallback context.
+Observability &defaultObservability();
+
+/// \returns \p Obs when non-null, else the process-global default.
+inline Observability &resolve(Observability *Obs) {
+  return Obs ? *Obs : defaultObservability();
+}
+
+} // namespace jumpstart::obs
+
+#endif // JUMPSTART_OBS_OBSERVABILITY_H

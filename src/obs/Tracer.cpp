@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Tracer.h"
+
+#include "support/Assert.h"
+
+using namespace jumpstart;
+using namespace jumpstart::obs;
+
+uint32_t Tracer::allocTrack(std::string Name) {
+  uint32_t Track = static_cast<uint32_t>(TrackNames.size());
+  TrackNames.push_back(std::move(Name));
+  OpenStacks.emplace_back();
+  return Track;
+}
+
+int32_t Tracer::currentParent(uint32_t Track) const {
+  const auto &Stack = OpenStacks[Track];
+  return Stack.empty() ? -1 : static_cast<int32_t>(Stack.back());
+}
+
+size_t Tracer::beginSpan(std::string Name, std::string Cat, uint32_t Track) {
+  alwaysAssert(Track < TrackNames.size(), "beginSpan on unallocated track");
+  size_t Index = Spans.size();
+  Span S;
+  S.Name = std::move(Name);
+  S.Cat = std::move(Cat);
+  S.StartSec = Clock.now();
+  S.Track = Track;
+  S.Parent = currentParent(Track);
+  Spans.push_back(std::move(S));
+  OpenStacks[Track].push_back(Index);
+  return Index;
+}
+
+void Tracer::endSpan(size_t SpanIndex) {
+  Span &S = Spans[SpanIndex];
+  auto &Stack = OpenStacks[S.Track];
+  alwaysAssert(!Stack.empty() && Stack.back() == SpanIndex,
+               "spans on a track must close innermost-first");
+  Stack.pop_back();
+  S.DurSec = Clock.now() - S.StartSec;
+}
+
+size_t Tracer::completeSpan(std::string Name, std::string Cat, uint32_t Track,
+                            double StartSec, double DurSec,
+                            std::vector<std::string> Args) {
+  alwaysAssert(Track < TrackNames.size(), "completeSpan on unallocated track");
+  size_t Index = Spans.size();
+  Span S;
+  S.Name = std::move(Name);
+  S.Cat = std::move(Cat);
+  S.StartSec = StartSec;
+  S.DurSec = DurSec;
+  S.Track = Track;
+  S.Parent = currentParent(Track);
+  S.Args = std::move(Args);
+  Spans.push_back(std::move(S));
+  return Index;
+}
+
+size_t Tracer::instant(std::string Name, std::string Cat, uint32_t Track,
+                       std::vector<std::string> Args) {
+  alwaysAssert(Track < TrackNames.size(), "instant on unallocated track");
+  size_t Index = Spans.size();
+  Span S;
+  S.Name = std::move(Name);
+  S.Cat = std::move(Cat);
+  S.StartSec = Clock.now();
+  S.Track = Track;
+  S.Parent = currentParent(Track);
+  S.Instant = true;
+  S.Args = std::move(Args);
+  Spans.push_back(std::move(S));
+  return Index;
+}

@@ -1,0 +1,130 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The span/event tracer.
+///
+/// Spans cover the phases the paper cares about: request execution, tier-1
+/// and tier-2 compiles, retranslate-all, package publish / fetch /
+/// validate / accept / reject, and the push phases C1-C3.  Every span is
+/// stamped from the shared VirtualClock, so two identical runs emit
+/// byte-identical traces.
+///
+/// Tracks play the role wall-clock tracers give to threads: each server
+/// (and each server's JIT worker pool) allocates a track, spans on a track
+/// nest via a per-track open-span stack, and the chrome://tracing exporter
+/// maps tracks to tids so the UI draws one lane per track.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_OBS_TRACER_H
+#define JUMPSTART_OBS_TRACER_H
+
+#include "obs/Clock.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jumpstart::obs {
+
+/// One recorded span or instant event.
+struct Span {
+  std::string Name;
+  /// Category: "request", "jit", "package", "push", "phase", ...
+  std::string Cat;
+  double StartSec = 0;
+  /// Duration; 0 with Instant set means a point event.
+  double DurSec = 0;
+  uint32_t Track = 0;
+  /// Index into the tracer's span vector of the enclosing open span on the
+  /// same track, or -1 at top level.
+  int32_t Parent = -1;
+  bool Instant = false;
+  /// Optional "k=v" argument strings, exported verbatim.
+  std::vector<std::string> Args;
+};
+
+class Tracer {
+public:
+  explicit Tracer(const VirtualClock &Clock) : Clock(Clock) {}
+
+  /// Allocates a new track (a lane in the trace viewer) with a stable
+  /// display name.
+  uint32_t allocTrack(std::string Name);
+  const std::string &trackName(uint32_t Track) const {
+    return TrackNames[Track];
+  }
+  size_t numTracks() const { return TrackNames.size(); }
+
+  /// Opens a span at the clock's current time; nests under the track's
+  /// innermost open span.  \returns the span's index (pass to endSpan).
+  size_t beginSpan(std::string Name, std::string Cat, uint32_t Track);
+  /// Closes the span at the clock's current time.  Spans on the same track
+  /// must close innermost-first.
+  void endSpan(size_t SpanIndex);
+
+  /// Records a span whose duration is already known, without touching the
+  /// open-span stack (used for queued work whose cost is known at
+  /// completion, e.g. JIT jobs).  Nests under the track's innermost open
+  /// span, if any.
+  size_t completeSpan(std::string Name, std::string Cat, uint32_t Track,
+                      double StartSec, double DurSec,
+                      std::vector<std::string> Args = {});
+
+  /// A zero-duration point event at the clock's current time.
+  size_t instant(std::string Name, std::string Cat, uint32_t Track,
+                 std::vector<std::string> Args = {});
+
+  /// Attaches a "k=v" argument to an already-recorded span.
+  void addArg(size_t SpanIndex, std::string Arg) {
+    Spans[SpanIndex].Args.push_back(std::move(Arg));
+  }
+
+  const std::vector<Span> &spans() const { return Spans; }
+  size_t numSpans() const { return Spans.size(); }
+
+private:
+  int32_t currentParent(uint32_t Track) const;
+
+  const VirtualClock &Clock;
+  std::vector<Span> Spans;
+  std::vector<std::string> TrackNames;
+  /// Per-track stack of indices of open spans.
+  std::vector<std::vector<size_t>> OpenStacks;
+};
+
+/// RAII span: opens in the constructor, closes in the destructor.  The
+/// tracer pointer may be null (component running without observability),
+/// making instrumented code unconditional at call sites.
+class ScopedSpan {
+public:
+  ScopedSpan(Tracer *T, std::string Name, std::string Cat, uint32_t Track)
+      : T(T) {
+    if (T)
+      Index = T->beginSpan(std::move(Name), std::move(Cat), Track);
+  }
+  ~ScopedSpan() {
+    if (T)
+      T->endSpan(Index);
+  }
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  void addArg(std::string Arg) {
+    if (T)
+      T->addArg(Index, std::move(Arg));
+  }
+
+private:
+  Tracer *T;
+  size_t Index = 0;
+};
+
+} // namespace jumpstart::obs
+
+#endif // JUMPSTART_OBS_TRACER_H

@@ -11,12 +11,15 @@
 
 using namespace jumpstart;
 using namespace jumpstart::profile;
+using support::Status;
+using support::StatusCode;
 
-bool jumpstart::profile::readFileBytes(const std::string &Path,
-                                       std::vector<uint8_t> &Out) {
+Status jumpstart::profile::readFileBytes(const std::string &Path,
+                                         std::vector<uint8_t> &Out) {
   std::FILE *F = std::fopen(Path.c_str(), "rb");
   if (!F)
-    return false;
+    return support::errorStatus(StatusCode::IoError, "cannot open %s",
+                                Path.c_str());
   Out.clear();
   uint8_t Buffer[64 * 1024];
   size_t N;
@@ -24,31 +27,41 @@ bool jumpstart::profile::readFileBytes(const std::string &Path,
     Out.insert(Out.end(), Buffer, Buffer + N);
   bool Ok = std::ferror(F) == 0;
   std::fclose(F);
-  return Ok;
+  if (!Ok)
+    return support::errorStatus(StatusCode::IoError, "read error on %s",
+                                Path.c_str());
+  return Status::okStatus();
 }
 
-bool jumpstart::profile::writeFileBytes(const std::string &Path,
-                                        const std::vector<uint8_t> &Bytes) {
+Status jumpstart::profile::writeFileBytes(const std::string &Path,
+                                          const std::vector<uint8_t> &Bytes) {
   std::FILE *F = std::fopen(Path.c_str(), "wb");
   if (!F)
-    return false;
+    return support::errorStatus(StatusCode::IoError, "cannot open %s",
+                                Path.c_str());
   size_t Written = Bytes.empty()
                        ? 0
                        : std::fwrite(Bytes.data(), 1, Bytes.size(), F);
   bool Ok = Written == Bytes.size() && std::fflush(F) == 0;
   std::fclose(F);
-  return Ok;
+  if (!Ok)
+    return support::errorStatus(StatusCode::IoError, "short write to %s",
+                                Path.c_str());
+  return Status::okStatus();
 }
 
-bool jumpstart::profile::savePackageFile(const ProfilePackage &Pkg,
-                                         const std::string &Path) {
+Status jumpstart::profile::savePackageFile(const ProfilePackage &Pkg,
+                                           const std::string &Path) {
   return writeFileBytes(Path, Pkg.serialize());
 }
 
-bool jumpstart::profile::loadPackageFile(const std::string &Path,
-                                         ProfilePackage &Out) {
+Status jumpstart::profile::loadPackageFile(const std::string &Path,
+                                           ProfilePackage &Out) {
   std::vector<uint8_t> Bytes;
-  if (!readFileBytes(Path, Bytes))
-    return false;
-  return ProfilePackage::deserialize(Bytes, Out);
+  JUMPSTART_RETURN_IF_ERROR(readFileBytes(Path, Bytes));
+  if (!ProfilePackage::deserialize(Bytes, Out))
+    return support::errorStatus(StatusCode::CorruptData,
+                                "%s: package failed checksum/format checks",
+                                Path.c_str());
+  return Status::okStatus();
 }

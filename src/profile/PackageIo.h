@@ -16,24 +16,28 @@
 #define JUMPSTART_PROFILE_PACKAGEIO_H
 
 #include "profile/ProfilePackage.h"
+#include "support/Status.h"
 
 #include <string>
 
 namespace jumpstart::profile {
 
-/// Writes \p Pkg to \p Path.  \returns false on any I/O failure.
-bool savePackageFile(const ProfilePackage &Pkg, const std::string &Path);
+/// Writes \p Pkg to \p Path.  \returns io_error on any I/O failure.
+support::Status savePackageFile(const ProfilePackage &Pkg,
+                                const std::string &Path);
 
-/// Reads a package from \p Path.  \returns false on I/O failure or any
-/// corruption (deserialize()'s checks apply).
-bool loadPackageFile(const std::string &Path, ProfilePackage &Out);
+/// Reads a package from \p Path.  \returns io_error on I/O failure,
+/// corrupt_data when deserialize()'s checksum/format checks fail.
+support::Status loadPackageFile(const std::string &Path,
+                                ProfilePackage &Out);
 
-/// Reads a whole file into \p Out.  \returns false on failure.
-bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Out);
+/// Reads a whole file into \p Out.
+support::Status readFileBytes(const std::string &Path,
+                              std::vector<uint8_t> &Out);
 
-/// Writes \p Bytes to \p Path.  \returns false on failure.
-bool writeFileBytes(const std::string &Path,
-                    const std::vector<uint8_t> &Bytes);
+/// Writes \p Bytes to \p Path.
+support::Status writeFileBytes(const std::string &Path,
+                               const std::vector<uint8_t> &Bytes);
 
 } // namespace jumpstart::profile
 

@@ -16,9 +16,14 @@ CoverageResult jumpstart::profile::checkCoverage(const ProfilePackage &Pkg,
                                                  size_t PackageBytes,
                                                  const CoverageThresholds &T) {
   CoverageResult R;
+  auto Fail = [&R](support::StatusCode Code) {
+    if (R.Ok) // first failure's code wins
+      R.Code = Code;
+    R.Ok = false;
+  };
   size_t Profiled = Pkg.numProfiledFuncs();
   if (Profiled < T.MinProfiledFuncs) {
-    R.Ok = false;
+    Fail(support::StatusCode::CoverageTooLow);
     R.Problems.push_back(strFormat(
         "only %zu functions profiled (minimum %zu); the seeder likely "
         "received too little traffic",
@@ -26,21 +31,21 @@ CoverageResult jumpstart::profile::checkCoverage(const ProfilePackage &Pkg,
   }
   uint64_t Samples = Pkg.totalSamples();
   if (Samples < T.MinTotalSamples) {
-    R.Ok = false;
+    Fail(support::StatusCode::CoverageTooLow);
     R.Problems.push_back(strFormat(
         "only %llu profile samples collected (minimum %llu)",
         static_cast<unsigned long long>(Samples),
         static_cast<unsigned long long>(T.MinTotalSamples)));
   }
   if (PackageBytes < T.MinPackageBytes) {
-    R.Ok = false;
+    Fail(support::StatusCode::CoverageTooLow);
     R.Problems.push_back(strFormat(
         "package is %zu bytes (minimum %zu)", PackageBytes,
         T.MinPackageBytes));
   }
   if (T.ExpectedFingerprint != 0 &&
       Pkg.RepoFingerprint != T.ExpectedFingerprint) {
-    R.Ok = false;
+    Fail(support::StatusCode::FingerprintMismatch);
     R.Problems.push_back(
         "repo fingerprint mismatch: profile was collected on a different "
         "code version");

@@ -21,6 +21,7 @@
 #define JUMPSTART_PROFILE_VALIDATION_H
 
 #include "profile/ProfilePackage.h"
+#include "support/Status.h"
 
 #include <string>
 #include <vector>
@@ -40,7 +41,18 @@ struct CoverageThresholds {
 /// Result of a coverage check.
 struct CoverageResult {
   bool Ok = true;
+  /// The first failure's reason code (coverage_too_low or
+  /// fingerprint_mismatch); Ok when the check passed.
+  support::StatusCode Code = support::StatusCode::Ok;
   std::vector<std::string> Problems;
+
+  /// Renders the result as a Status (first problem as the message).
+  support::Status status() const {
+    if (Ok)
+      return support::Status::okStatus();
+    return support::Status::error(Code,
+                                  Problems.empty() ? "" : Problems.front());
+  }
 };
 
 /// Checks the already-parsed \p Pkg (whose serialized size was

@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Status.h"
+
+#include "support/StringUtil.h"
+
+#include <cstdarg>
+
+using namespace jumpstart;
+using namespace jumpstart::support;
+
+const char *jumpstart::support::statusCodeName(StatusCode C) {
+  switch (C) {
+  case StatusCode::Ok:
+    return "ok";
+  case StatusCode::InvalidArgument:
+    return "invalid_argument";
+  case StatusCode::FailedPrecondition:
+    return "failed_precondition";
+  case StatusCode::NotFound:
+    return "not_found";
+  case StatusCode::Unavailable:
+    return "unavailable";
+  case StatusCode::CorruptData:
+    return "corrupt_data";
+  case StatusCode::FingerprintMismatch:
+    return "fingerprint_mismatch";
+  case StatusCode::CoverageTooLow:
+    return "coverage_too_low";
+  case StatusCode::LintFailed:
+    return "lint_failed";
+  case StatusCode::ValidationCrash:
+    return "validation_crash";
+  case StatusCode::ValidationFaultRate:
+    return "validation_fault_rate";
+  case StatusCode::CrashDetected:
+    return "crash_detected";
+  case StatusCode::IoError:
+    return "io_error";
+  case StatusCode::Internal:
+    return "internal";
+  }
+  return "?";
+}
+
+std::string Status::str() const {
+  if (ok())
+    return "ok";
+  if (Message_.empty())
+    return statusCodeName(Code_);
+  return std::string(statusCodeName(Code_)) + ": " + Message_;
+}
+
+Status jumpstart::support::errorStatus(StatusCode C, const char *Fmt, ...) {
+  va_list Ap;
+  va_start(Ap, Fmt);
+  std::string Message = strFormatV(Fmt, Ap);
+  va_end(Ap);
+  return Status::error(C, std::move(Message));
+}

@@ -1,0 +1,113 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// support::Status -- the repository-wide error type.
+///
+/// A Status is a code plus a human-readable message.  The codes are
+/// *enumerated*, not free-form strings, so that every layer that observes a
+/// failure (the metrics registry in particular) can count failures
+/// per-reason: a Jump-Start package rejection shows up as a
+/// `jumpstart.package.rejected{reason=corrupt_data}` counter, not as an
+/// unparseable log line.  statusCodeName() renders the snake_case label
+/// used everywhere (metrics labels, logs, JSON exports).
+///
+/// Conventions:
+///  - Functions that can fail return Status (or a result struct carrying
+///    one) instead of bool / error strings.
+///  - JUMPSTART_RETURN_IF_ERROR(expr) propagates failures up a call chain.
+///  - Status is [[nodiscard]]: ignoring a failure is a compile-time
+///    warning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_SUPPORT_STATUS_H
+#define JUMPSTART_SUPPORT_STATUS_H
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace jumpstart::support {
+
+/// Why an operation failed.  Generic codes first, then the Jump-Start
+/// domain codes that the paper's section VI machinery distinguishes
+/// (each is a distinct per-reason rejection counter).
+enum class StatusCode : uint8_t {
+  Ok = 0,
+  /// A caller-supplied value is malformed (bad option key/value, ...).
+  InvalidArgument,
+  /// The operation is not legal in the current state.
+  FailedPrecondition,
+  /// The named entity does not exist.
+  NotFound,
+  /// No resource is available (e.g. the package store has no package).
+  Unavailable,
+  /// Serialized data failed checksum/format checks.
+  CorruptData,
+  /// A package was built against a different code version.
+  FingerprintMismatch,
+  /// Seeder coverage thresholds not met (paper section VI-B).
+  CoverageTooLow,
+  /// Strict semantic package lint found errors.
+  LintFailed,
+  /// The behavioural validation restart crashed (paper VI-A technique 1).
+  ValidationCrash,
+  /// The behavioural validation run showed an elevated fault rate.
+  ValidationFaultRate,
+  /// A consumer crashed in production with this package.
+  CrashDetected,
+  /// Filesystem I/O failed.
+  IoError,
+  /// An invariant the code relies on did not hold.
+  Internal,
+};
+
+/// Stable snake_case name of \p C ("corrupt_data", ...), used as the
+/// per-reason metric label and in rendered messages.
+const char *statusCodeName(StatusCode C);
+
+/// Code + message.  Default construction is Ok.
+class [[nodiscard]] Status {
+public:
+  Status() = default;
+
+  static Status okStatus() { return Status(); }
+  static Status error(StatusCode C, std::string Message) {
+    Status S;
+    S.Code_ = C;
+    S.Message_ = std::move(Message);
+    return S;
+  }
+
+  bool ok() const { return Code_ == StatusCode::Ok; }
+  StatusCode code() const { return Code_; }
+  const std::string &message() const { return Message_; }
+
+  /// "corrupt_data: checksum mismatch at byte 12" (or "ok").
+  std::string str() const;
+
+private:
+  StatusCode Code_ = StatusCode::Ok;
+  std::string Message_;
+};
+
+/// printf-style constructor for error statuses.
+Status errorStatus(StatusCode C, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+/// Propagates a failed Status out of the enclosing function.
+#define JUMPSTART_RETURN_IF_ERROR(Expr)                                      \
+  do {                                                                       \
+    ::jumpstart::support::Status StatusForMacro_ = (Expr);                   \
+    if (!StatusForMacro_.ok())                                               \
+      return StatusForMacro_;                                                \
+  } while (false)
+
+} // namespace jumpstart::support
+
+#endif // JUMPSTART_SUPPORT_STATUS_H

@@ -7,9 +7,11 @@
 
 #include "vm/Server.h"
 
+#include "obs/Observability.h"
 #include "support/Assert.h"
 #include "support/Hashing.h"
 
+#include <algorithm>
 #include <cmath>
 
 using namespace jumpstart;
@@ -48,6 +50,17 @@ Server::Server(const bc::Repo &R, ServerConfig Config, uint64_t Seed)
   Interp->setCallbacks(Hooks.get());
   Interp->setInstrCounts(&InstrCounts);
   Interp->setOutput(&Output);
+
+  if (this->Config.Obs) {
+    Obs = this->Config.Obs;
+    ServerTrack = Obs->Trace.allocTrack(this->Config.Name);
+    JitTrack = Obs->Trace.allocTrack(this->Config.Name + "/jit");
+    // JIT job costs convert to wall time at the worker pool's aggregate
+    // rate.
+    double PoolRate = this->Config.UnitsPerCorePerSecond *
+                      std::max(1u, this->Config.JitWorkerCores);
+    TheJit.setObservability(Obs, 1.0 / PoolRate, JitTrack);
+  }
 }
 
 uint64_t Server::repoFingerprint(const bc::Repo &R) {
@@ -71,6 +84,11 @@ bool Server::installPackage(const profile::ProfilePackage &Pkg) {
     return false;
   Package = Pkg;
   PackageBytes = Pkg.serialize().size();
+  if (Obs)
+    Obs->Trace.instant(
+        "install-package", "package", ServerTrack,
+        {"bytes=" + std::to_string(PackageBytes),
+         "seeder=" + std::to_string(Pkg.SeederId)});
   if (Config.ReorderProperties && !Package->Opt.PropAccessCounts.empty()) {
     if (Config.UseAffinityPropOrder && !Package->Opt.PropAffinity.empty())
       Classes.enableAffinityReordering(&Package->Opt.PropAccessCounts,
@@ -90,6 +108,9 @@ double Server::loadUnitsFor(bc::FuncId F) {
 
 double Server::executeRequest(bc::FuncId F,
                               const std::vector<runtime::Value> &Args) {
+  size_t SpanIndex = 0;
+  if (Obs)
+    SpanIndex = Obs->Trace.beginSpan("request", "request", ServerTrack);
   PendingLoadUnits = 0;
   InstrCounts.assign(R.numFuncs(), 0);
   interp::InterpResult Result = Interp->call(F, Args);
@@ -112,15 +133,35 @@ double Server::executeRequest(bc::FuncId F,
                             Config.RuntimeWarmupTau);
     Units *= 1.0 + Config.RuntimeWarmupPenalty * Decay;
   }
-  return unitsToSeconds(Units);
+  double Seconds = unitsToSeconds(Units);
+  if (Obs) {
+    // The request's CPU time is what moves this server's virtual clock.
+    Obs->Clock.advance(Seconds);
+    Obs->Trace.endSpan(SpanIndex);
+    obs::LabelSet ByServer{{"server", Config.Name}};
+    Obs->Metrics.counter("jumpstart.server.requests", ByServer).inc();
+    if (Result.Faults)
+      Obs->Metrics.counter("jumpstart.server.faults", ByServer)
+          .inc(Result.Faults);
+    Obs->Metrics
+        .histogram("jumpstart.server.request_seconds", ByServer,
+                   obs::latencyBucketsSeconds())
+        .observe(Seconds);
+  }
+  return Seconds;
 }
 
 double Server::grantJitTime(double Seconds) {
   double Budget = Seconds * Config.JitWorkerCores *
                   Config.UnitsPerCorePerSecond;
   double Consumed = TheJit.runJitWork(Budget);
-  return Consumed /
-         (Config.JitWorkerCores * Config.UnitsPerCorePerSecond);
+  double Wall =
+      Consumed / (Config.JitWorkerCores * Config.UnitsPerCorePerSecond);
+  // Background compilation moves the clock too, so JIT job spans land on
+  // a timeline even when no tick loop is driving it (e.g. runSeeder).
+  if (Obs)
+    Obs->Clock.advance(Wall);
+  return Wall;
 }
 
 void Server::attachCallbacks(interp::ExecCallbacks *CB) {
@@ -131,6 +172,29 @@ InitStats Server::startup() {
   alwaysAssert(!Started, "startup() called twice");
   Started = true;
   InitStats Stats;
+
+  // The startup span covers the whole initialization; phase sub-spans
+  // nest under it.  The clock ends exactly InitStats::TotalSeconds past
+  // its entry value (warmup requests advance it themselves; the final
+  // set() squares the parallel-warmup discount with the trace).
+  double ClockStart = Obs ? Obs->Clock.now() : 0;
+  size_t StartupSpan = 0;
+  if (Obs)
+    StartupSpan = Obs->Trace.beginSpan("startup", "phase", ServerTrack);
+  auto Finish = [&](InitStats &S) {
+    if (Obs) {
+      Obs->Clock.set(ClockStart + S.TotalSeconds);
+      Obs->Trace.endSpan(StartupSpan);
+      obs::LabelSet ByServer{{"server", Config.Name}};
+      Obs->Metrics.gauge("jumpstart.server.init_seconds", ByServer)
+          .set(S.TotalSeconds);
+      Obs->Metrics
+          .counter("jumpstart.server.boots",
+                   {{"jumpstart", S.UsedJumpStart ? "yes" : "no"}})
+          .inc();
+    }
+    return S;
+  };
 
   auto RunWarmupRequests = [&](bool Parallel) {
     double Total = 0;
@@ -147,9 +211,13 @@ InitStats Server::startup() {
     // Figure 3a: initialize, then run warmup requests *sequentially*
     // (their metadata-load order matters for locality; paper
     // section VII-A), then start serving.
-    Stats.WarmupRequestSeconds = RunWarmupRequests(/*Parallel=*/false);
+    {
+      obs::ScopedSpan Span(Obs ? &Obs->Trace : nullptr, "warmup-requests",
+                           "phase", ServerTrack);
+      Stats.WarmupRequestSeconds = RunWarmupRequests(/*Parallel=*/false);
+    }
     Stats.TotalSeconds = Stats.WarmupRequestSeconds;
-    return Stats;
+    return Finish(Stats);
   }
 
   // Figure 3c: deserialize the package, preload metadata, JIT all
@@ -158,6 +226,11 @@ InitStats Server::startup() {
   Stats.UsedJumpStart = true;
   Stats.DeserializeSeconds = unitsToSeconds(
       static_cast<double>(PackageBytes) * Config.DeserializeCostPerByte);
+  if (Obs) {
+    Obs->Trace.completeSpan("deserialize-package", "package", ServerTrack,
+                            Obs->Clock.now(), Stats.DeserializeSeconds);
+    Obs->Clock.advance(Stats.DeserializeSeconds);
+  }
 
   // Category-1 preload: units, classes and strings, in package order.
   double PreloadUnitsCost = 0;
@@ -171,20 +244,40 @@ InitStats Server::startup() {
   // warmup requests; paper section VII-A).
   Stats.PreloadSeconds =
       unitsToSeconds(PreloadUnitsCost) / Config.Cores;
+  if (Obs) {
+    Obs->Trace.completeSpan("preload-metadata", "phase", ServerTrack,
+                            Obs->Clock.now(), Stats.PreloadSeconds);
+    Obs->Clock.advance(Stats.PreloadSeconds);
+  }
 
-  // Precompile every optimized translation before serving.
-  TheJit.startConsumerPrecompile(*Package);
+  // Precompile every optimized translation before serving.  The clock
+  // advances with each work slice so JIT job spans spread across the
+  // precompile window (every core participates, hence / Cores).
   double PrecompileUnits = 0;
-  while (TheJit.hasPendingWork())
-    PrecompileUnits += TheJit.runJitWork(16.0 * Config.UnitsPerCorePerSecond);
+  {
+    obs::ScopedSpan Span(Obs ? &Obs->Trace : nullptr, "consumer-precompile",
+                         "phase", ServerTrack);
+    TheJit.startConsumerPrecompile(*Package);
+    while (TheJit.hasPendingWork()) {
+      double Step =
+          TheJit.runJitWork(16.0 * Config.UnitsPerCorePerSecond);
+      PrecompileUnits += Step;
+      if (Obs)
+        Obs->Clock.advance(unitsToSeconds(Step) / Config.Cores);
+    }
+  }
   Stats.PrecompileSeconds =
       unitsToSeconds(PrecompileUnits) / Config.Cores;
 
-  Stats.WarmupRequestSeconds = RunWarmupRequests(/*Parallel=*/true);
+  {
+    obs::ScopedSpan Span(Obs ? &Obs->Trace : nullptr, "warmup-requests",
+                         "phase", ServerTrack);
+    Stats.WarmupRequestSeconds = RunWarmupRequests(/*Parallel=*/true);
+  }
   Stats.TotalSeconds = Stats.DeserializeSeconds + Stats.PreloadSeconds +
                        Stats.PrecompileSeconds +
                        Stats.WarmupRequestSeconds;
-  return Stats;
+  return Finish(Stats);
 }
 
 profile::ProfilePackage Server::buildSeederPackage(uint32_t Region,

@@ -35,6 +35,10 @@
 #include <unordered_set>
 #include <vector>
 
+namespace jumpstart::obs {
+struct Observability;
+}
+
 namespace jumpstart::vm {
 
 /// Server configuration (the evaluation hardware of paper section VII is
@@ -71,6 +75,14 @@ struct ServerConfig {
   /// Endpoints exercised by the initialization warmup requests (raw
   /// FuncIds); empty skips warmup requests.
   std::vector<uint32_t> WarmupEndpoints;
+  /// Observability context (metrics + spans + virtual clock).  Null means
+  /// the server records nothing.  The server allocates two tracer tracks
+  /// (Name and Name + "/jit"), labels its metrics with {server=Name}, and
+  /// advances the shared clock as it executes requests and initializes.
+  obs::Observability *Obs = nullptr;
+  /// Display name for tracks and metric labels (distinguishes servers
+  /// sharing one Observability).
+  std::string Name = "server";
 };
 
 /// Initialization breakdown returned by startup().
@@ -145,6 +157,12 @@ public:
   uint64_t requestsServed() const { return Requests; }
   size_t loadedUnits() const { return LoadedUnits.size(); }
 
+  /// The observability context this server records into (null when the
+  /// configuration carried none).
+  obs::Observability *observability() const { return Obs; }
+  /// The tracer track request spans land on.
+  uint32_t serverTrack() const { return ServerTrack; }
+
   /// Stable fingerprint of a repo, for package validation.
   static uint64_t repoFingerprint(const bc::Repo &R);
 
@@ -157,6 +175,9 @@ private:
 
   const bc::Repo &R;
   ServerConfig Config;
+  obs::Observability *Obs = nullptr;
+  uint32_t ServerTrack = 0;
+  uint32_t JitTrack = 0;
   runtime::ClassTable Classes;
   runtime::Heap Heap;
   jit::Jit TheJit;

@@ -186,8 +186,8 @@ TEST(WarmupSim, JumpStartBeatsColdStart) {
       << "Jump-Start must reduce capacity loss";
   EXPECT_GT(Cold.CapacityLossFraction, 0.05);
   // The Jump-Start server must end the window serving more of the load.
-  EXPECT_GT(Js.NormalizedRps.points().back().Value,
-            Cold.NormalizedRps.points().back().Value * 0.99);
+  EXPECT_GT(Js.normalizedRps().points().back().Value,
+            Cold.normalizedRps().points().back().Value * 0.99);
 }
 
 TEST(WarmupSim, PhaseTimesAreOrdered) {
@@ -206,7 +206,7 @@ TEST(WarmupSim, PhaseTimesAreOrdered) {
   // Code keeps growing (live tail) at or past relocation end.
   EXPECT_GE(Res.Phases.JitingStopped, Res.Phases.RelocationEnd);
   // Code size curve is nondecreasing.
-  const auto &Pts = Res.CodeBytes.points();
+  const auto &Pts = Res.codeBytes().points();
   for (size_t I = 1; I < Pts.size(); ++I)
     EXPECT_GE(Pts[I].Value, Pts[I - 1].Value);
 }

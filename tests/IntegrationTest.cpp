@@ -199,9 +199,9 @@ TEST(Determinism, WarmupRunsAreReproducible) {
   fleet::WarmupResult A = fleet::runWarmup(*W, Traffic, Config, P);
   fleet::WarmupResult B = fleet::runWarmup(*W, Traffic, Config, P);
   EXPECT_DOUBLE_EQ(A.CapacityLossFraction, B.CapacityLossFraction);
-  ASSERT_EQ(A.Rps.points().size(), B.Rps.points().size());
-  for (size_t I = 0; I < A.Rps.points().size(); ++I)
-    EXPECT_DOUBLE_EQ(A.Rps.points()[I].Value, B.Rps.points()[I].Value);
+  ASSERT_EQ(A.rps().points().size(), B.rps().points().size());
+  for (size_t I = 0; I < A.rps().points().size(); ++I)
+    EXPECT_DOUBLE_EQ(A.rps().points()[I].Value, B.rps().points()[I].Value);
 }
 
 TEST(Determinism, SteadyStateMeasurementIsReproducible) {

@@ -256,17 +256,17 @@ TEST(Coverage, FlagsTinyPackage) {
 TEST(PackageIo, SaveLoadRoundTrip) {
   ProfilePackage Pkg = makeSamplePackage();
   std::string Path = ::testing::TempDir() + "/jumpstart_pkg_test.bin";
-  ASSERT_TRUE(savePackageFile(Pkg, Path));
+  ASSERT_TRUE(savePackageFile(Pkg, Path).ok());
   ProfilePackage Out;
-  ASSERT_TRUE(loadPackageFile(Path, Out));
+  ASSERT_TRUE(loadPackageFile(Path, Out).ok());
   EXPECT_EQ(Out.serialize(), Pkg.serialize());
   std::remove(Path.c_str());
 }
 
 TEST(PackageIo, MissingFileFails) {
   ProfilePackage Out;
-  EXPECT_FALSE(loadPackageFile("/nonexistent/dir/p.bin", Out));
-  EXPECT_FALSE(savePackageFile(Out, "/nonexistent/dir/p.bin"));
+  EXPECT_FALSE(loadPackageFile("/nonexistent/dir/p.bin", Out).ok());
+  EXPECT_FALSE(savePackageFile(Out, "/nonexistent/dir/p.bin").ok());
 }
 
 TEST(PackageIo, CorruptFileRejected) {
@@ -274,8 +274,8 @@ TEST(PackageIo, CorruptFileRejected) {
   std::string Path = ::testing::TempDir() + "/jumpstart_pkg_corrupt.bin";
   std::vector<uint8_t> Blob = Pkg.serialize();
   Blob[Blob.size() / 3] ^= 0x10;
-  ASSERT_TRUE(writeFileBytes(Path, Blob));
+  ASSERT_TRUE(writeFileBytes(Path, Blob).ok());
   ProfilePackage Out;
-  EXPECT_FALSE(loadPackageFile(Path, Out));
+  EXPECT_FALSE(loadPackageFile(Path, Out).ok());
   std::remove(Path.c_str());
 }
