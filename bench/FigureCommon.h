@@ -26,8 +26,10 @@
 #include "fleet/SteadyState.h"
 #include "obs/Export.h"
 #include "support/StringUtil.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 
@@ -113,13 +115,56 @@ inline void printSeriesPair(const char *Header, const TimeSeries &A,
                 PA[I].Value * Scale, PB[I].Value * Scale);
 }
 
-/// Parses the `--export PREFIX` flag every figure harness shares;
-/// \returns the prefix or nullptr when absent.
-inline const char *parseExportFlag(int argc, char **argv) {
-  for (int I = 1; I < argc; ++I)
-    if (std::strcmp(argv[I], "--export") == 0 && I + 1 < argc)
-      return argv[I + 1];
-  return nullptr;
+/// The command line every figure harness shares.
+struct FigureFlags {
+  /// `--export PREFIX`: dump observability next to the printed tables.
+  const char *ExportPrefix = nullptr;
+  /// `--threads N`: host compile-pool workers.  Wall-clock only -- the
+  /// virtual cost model and every exported number are byte-identical for
+  /// any value (ci/check.sh diffs the exports to enforce it).
+  uint32_t Threads = 1;
+};
+
+/// Parses the shared flags.  Unknown or incomplete flags are a hard
+/// error: a typo like `--exprot` must not silently run the harness
+/// without its export.
+inline FigureFlags parseFigureFlags(int argc, char **argv) {
+  auto Usage = [&](const char *Bad) {
+    std::fprintf(stderr,
+                 "%s: bad flag \"%s\"\n"
+                 "usage: %s [--export PREFIX] [--threads N]\n",
+                 argv[0], Bad, argv[0]);
+    std::exit(2);
+  };
+  FigureFlags F;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--export") == 0) {
+      if (I + 1 >= argc)
+        Usage(argv[I]);
+      F.ExportPrefix = argv[++I];
+    } else if (std::strcmp(argv[I], "--threads") == 0) {
+      if (I + 1 >= argc)
+        Usage(argv[I]);
+      char *End = nullptr;
+      unsigned long V = std::strtoul(argv[I + 1], &End, 10);
+      if (End == argv[I + 1] || *End != '\0')
+        Usage(argv[I + 1]);
+      F.Threads = static_cast<uint32_t>(V);
+      ++I;
+    } else {
+      Usage(argv[I]);
+    }
+  }
+  return F;
+}
+
+/// The host compile pool for `--threads` (null for N <= 1: the serial
+/// path needs no pool).
+inline std::unique_ptr<support::ThreadPool>
+makeCompilePool(uint32_t Threads) {
+  if (Threads <= 1)
+    return nullptr;
+  return std::make_unique<support::ThreadPool>(Threads);
 }
 
 /// Writes PREFIX.metrics.jsonl / .trace.jsonl / .chrome.json when a

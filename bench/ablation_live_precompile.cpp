@@ -69,7 +69,7 @@ int main() {
     vm::ServerConfig C = Config;
     C.Jit.PrecompileLiveCode = PrecompileLive;
     auto S = std::make_unique<vm::Server>(W->Repo, C, 71);
-    alwaysAssert(S->installPackage(LongPkg), "package rejected");
+    alwaysAssert(S->installPackage(LongPkg).ok(), "package rejected");
     vm::InitStats Init = S->startup();
     uint64_t LiveAtStart = liveBytes(*S);
     // Serve a while; watch the post-start live tail.

@@ -57,7 +57,7 @@ int main() {
 
   {
     vm::Server S(W->Repo, Config, 91);
-    alwaysAssert(S.installPackage(Pkg), "package rejected");
+    alwaysAssert(S.installPackage(Pkg).ok(), "package rejected");
     JumpStart.Init = S.startup();
     JumpStart.CyclesPerRequest =
         measureSteadyState(*W, Traffic, S, P).CyclesPerRequest;
@@ -66,7 +66,7 @@ int main() {
     vm::ServerConfig SJ = Config;
     SJ.Jit.ShareJitMode = true;
     vm::Server S(W->Repo, SJ, 91);
-    alwaysAssert(S.installPackage(Pkg), "package rejected");
+    alwaysAssert(S.installPackage(Pkg).ok(), "package rejected");
     ShareJit.Init = S.startup();
     ShareJit.CyclesPerRequest =
         measureSteadyState(*W, Traffic, S, P).CyclesPerRequest;

@@ -34,11 +34,14 @@ using namespace jumpstart;
 using namespace jumpstart::bench;
 
 int main(int argc, char **argv) {
+  FigureFlags Flags = parseFigureFlags(argc, argv);
   std::printf("=== Figure 1: JITed code size over time (no Jump-Start) "
               "===\n");
   auto W = fleet::generateWorkload(standardSite());
   fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 42);
   vm::ServerConfig Config = figureServerConfig();
+  auto Pool = makeCompilePool(Flags.Threads);
+  Config.CompilePool = Pool.get();
 
   obs::Observability Obs;
   fleet::ServerSimParams P;
@@ -70,5 +73,5 @@ int main(int argc, char **argv) {
   std::printf("paper shape check: A < B <= C < D, distinct B..C "
               "relocation step, long shallow tail to D (see the file "
               "header for the one divergence in the A..B rate)\n");
-  return exportIfRequested(Obs, parseExportFlag(argc, argv));
+  return exportIfRequested(Obs, Flags.ExportPrefix);
 }

@@ -23,11 +23,14 @@ using namespace jumpstart;
 using namespace jumpstart::bench;
 
 int main(int argc, char **argv) {
+  FigureFlags Flags = parseFigureFlags(argc, argv);
   std::printf("=== Figure 2: server capacity loss due to restart and "
               "warmup (no Jump-Start) ===\n");
   auto W = fleet::generateWorkload(standardSite());
   fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 42);
   vm::ServerConfig Config = figureServerConfig();
+  auto Pool = makeCompilePool(Flags.Threads);
+  Config.CompilePool = Pool.get();
 
   obs::Observability Obs;
   fleet::ServerSimParams P;
@@ -49,5 +52,5 @@ int main(int argc, char **argv) {
   std::printf("peak reached: %.0f%% of offered at t=%.0fs\n",
               100.0 * Res.normalizedRps().points().back().Value,
               Res.normalizedRps().points().back().TimeSec);
-  return exportIfRequested(Obs, parseExportFlag(argc, argv));
+  return exportIfRequested(Obs, Flags.ExportPrefix);
 }

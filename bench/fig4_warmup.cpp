@@ -30,17 +30,23 @@
 #include "FigureCommon.h"
 
 #include "core/PackageStore.h"
+#include "support/Assert.h"
 
 using namespace jumpstart;
 using namespace jumpstart::bench;
 
 int main(int argc, char **argv) {
-  const char *ExportPrefix = parseExportFlag(argc, argv);
+  FigureFlags Flags = parseFigureFlags(argc, argv);
 
   std::printf("=== Figure 4: warmup benefits of Jump-Start ===\n");
   auto W = fleet::generateWorkload(standardSite());
   fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 42);
   vm::ServerConfig Config = figureServerConfig();
+  // Host compile pool: spreads the consumer precompile lowering across
+  // OS threads.  Every virtual number below -- and the exported dumps --
+  // must be byte-identical for any --threads value.
+  auto Pool = makeCompilePool(Flags.Threads);
+  Config.CompilePool = Pool.get();
 
   obs::Observability Obs;
 
@@ -111,7 +117,9 @@ int main(int argc, char **argv) {
   // A store holding only a corrupted package: every attempt rejects
   // (corrupt_data), then the consumer falls back to booting without
   // Jump-Start.
-  Store.corrupt(0, 0, Store.publish(0, 0, Pkg.serialize()), CorruptRng);
+  support::Status Corrupted =
+      Store.corrupt(0, 0, Store.publish(0, 0, Pkg.serialize()), CorruptRng);
+  alwaysAssert(Corrupted.ok(), "corrupting a just-published package");
   core::ConsumerParams CP;
   CP.Seed = 21;
   CP.Name = "consumer-corrupt";
@@ -138,5 +146,20 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(
                   Rejected ? Rejected->value() : 0));
 
-  return exportIfRequested(Obs, ExportPrefix);
+  // --- Modeled-parallelism epilogue (see EXPERIMENTS.md): the virtual
+  // cost model charges the consumer precompile pass ceil(work/k) for k
+  // modeled cores, so boot time shrinks with diminishing returns.  This
+  // is the *virtual* knob (jit parallelism), independent of --threads.
+  std::printf("\nconsumer init vs modeled precompile parallelism:\n");
+  for (uint32_t K : {1u, 2u, 4u, 8u, 16u}) {
+    vm::ServerConfig C = Config;
+    C.Jit.Parallelism = K;
+    vm::Server S(W->Repo, C, 71);
+    alwaysAssert(S.installPackage(Pkg).ok(), "package rejected");
+    vm::InitStats Init = S.startup();
+    std::printf("  parallelism %2u: init %6.2fs (precompile %6.2fs)\n", K,
+                Init.TotalSeconds, Init.PrecompileSeconds);
+  }
+
+  return exportIfRequested(Obs, Flags.ExportPrefix);
 }

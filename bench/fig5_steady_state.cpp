@@ -39,8 +39,8 @@ int main() {
   JsConfig.Jit.UsePackageFuncOrder = true;
   JsConfig.ReorderProperties = true;
   vm::Server Js(W->Repo, JsConfig, 77);
-  bool Installed = Js.installPackage(Pkg);
-  alwaysAssert(Installed, "package rejected");
+  support::Status Installed = Js.installPackage(Pkg);
+  alwaysAssert(Installed.ok(), "package rejected");
   Js.startup();
 
   // No Jump-Start: the server warms itself (profiles its own traffic,

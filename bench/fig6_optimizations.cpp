@@ -37,8 +37,8 @@ measureVariant(const fleet::Workload &W, const fleet::TrafficModel &Traffic,
   Config.Jit.UsePackageFuncOrder = FuncOrder;
   Config.ReorderProperties = PropReorder;
   vm::Server Server(W.Repo, Config, 55);
-  bool Installed = Server.installPackage(Pkg);
-  alwaysAssert(Installed, "package rejected");
+  support::Status Installed = Server.installPackage(Pkg);
+  alwaysAssert(Installed.ok(), "package rejected");
   Server.startup();
   fleet::SteadyStateParams P;
   P.Requests = 400;

@@ -19,9 +19,13 @@
 #include "jit/Jit.h"
 #include "jit/Recorders.h"
 #include "jit/Lower.h"
+#include "jit/ParallelRetranslate.h"
 #include "jit/TransLayout.h"
+#include "support/ThreadPool.h"
 
 #include <benchmark/benchmark.h>
+
+#include <memory>
 
 using namespace jumpstart;
 
@@ -143,6 +147,48 @@ void BM_Tier2Pipeline(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_Tier2Pipeline);
+
+void BM_RetranslateAll(benchmark::State &State) {
+  // Full retranslate-all over a profiled site, lowered on Arg(0) host
+  // workers.  The output is byte-identical for every arg (the pool only
+  // moves the pure lowering work); wall-clock is what this measures.
+  fleet::WorkloadParams P;
+  P.NumHelpers = 400;
+  P.NumClasses = 48;
+  P.NumEndpoints = 24;
+  P.NumUnits = 16;
+  auto W = fleet::generateWorkload(P);
+  uint32_t Workers = static_cast<uint32_t>(State.range(0));
+  std::unique_ptr<support::ThreadPool> Pool;
+  if (Workers > 1)
+    Pool = std::make_unique<support::ThreadPool>(Workers);
+  size_t Placed = 0;
+  for (auto _ : State) {
+    State.PauseTiming();
+    jit::Jit J(W->Repo, jit::JitConfig());
+    for (uint32_t F = 0; F < W->Repo.numFuncs(); ++F) {
+      if (W->Repo.func(bc::FuncId(F)).Code.empty())
+        continue;
+      profile::FuncProfile &FP = J.profileStore().getOrCreate(F);
+      FP.EntryCount = 1000;
+      FP.BlockCounts.assign(
+          J.blockCache().blocks(bc::FuncId(F)).numBlocks(), 1000);
+    }
+    State.ResumeTiming();
+    jit::ParallelRetranslate Driver(J, Pool.get());
+    jit::RetranslateStats Stats = Driver.run(1e12);
+    Placed = Stats.TranslationsPlaced;
+    benchmark::DoNotOptimize(Placed);
+  }
+  State.counters["translations"] = static_cast<double>(Placed);
+}
+BENCHMARK(BM_RetranslateAll)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 } // namespace
 

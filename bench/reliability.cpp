@@ -22,14 +22,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "FigureCommon.h"
 #include "fleet/Reliability.h"
-#include "obs/Export.h"
-#include "obs/Observability.h"
 
 #include <cstdio>
-#include <cstring>
 
 using namespace jumpstart;
+using namespace jumpstart::bench;
 using namespace jumpstart::fleet;
 
 static void printRun(const char *Name, const ReliabilityResult &R,
@@ -47,6 +46,7 @@ static void printRun(const char *Name, const ReliabilityResult &R,
 }
 
 int main(int argc, char **argv) {
+  FigureFlags Flags = parseFigureFlags(argc, argv);
   std::printf("=== Section VI: reliability of Jump-Start deployment ===\n\n");
   const uint32_t Fleet = 8000;
   obs::Observability Obs;
@@ -91,17 +91,5 @@ int main(int argc, char **argv) {
               "full-fleet outage; [3] zero crashes; [4] bounded by "
               "attempts x fleet, all consumers recover via fallback\n");
 
-  for (int I = 1; I < argc; ++I) {
-    if (std::strcmp(argv[I], "--export") == 0 && I + 1 < argc) {
-      support::Status S = obs::exportAll(Obs, argv[I + 1]);
-      if (!S.ok()) {
-        std::fprintf(stderr, "export failed: %s\n", S.str().c_str());
-        return 1;
-      }
-      std::printf("exported %s.metrics.jsonl / .trace.jsonl / "
-                  ".chrome.json\n",
-                  argv[I + 1]);
-    }
-  }
-  return 0;
+  return exportIfRequested(Obs, Flags.ExportPrefix);
 }

@@ -6,10 +6,13 @@
 # Usage: ci/check.sh [build-dir]
 #
 #   ci/check.sh                 # tier-1 gate against ./build
-#   CHECK_SANITIZE=1 ci/check.sh  # additionally run ci/sanitize.sh
+#   CHECK_SANITIZE=1 ci/check.sh  # additionally run ci/sanitize.sh (ASan+UBSan)
+#   CHECK_TSAN=1 ci/check.sh      # additionally run the TSan sweep, which
+#                                 # re-runs the tests and the --threads
+#                                 # determinism sweep instrumented
 #
 # This is what "the tests pass" means for this repository; ci/sanitize.sh
-# is the deeper (slower) ASan+UBSan sweep.
+# is the deeper (slower) sanitizer sweep.
 
 set -euo pipefail
 
@@ -22,7 +25,9 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 ctest --test-dir "${BUILD_DIR}" -L tier1 --output-on-failure -j "${JOBS}"
 
-# Determinism acceptance check: identical runs -> identical bytes.
+# Determinism acceptance checks: identical runs -> identical bytes, and
+# the host compile pool (--threads) must not change a single exported
+# byte -- worker threads only move wall-clock time.
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
 "${BUILD_DIR}/bench/fig4_warmup" --export "${TMP_DIR}/run-a" >/dev/null
@@ -35,8 +40,23 @@ for SUFFIX in metrics.jsonl trace.jsonl chrome.json; do
 done
 echo "check.sh: fig4_warmup exports byte-identical across runs"
 
+for THREADS in 2 8; do
+  "${BUILD_DIR}/bench/fig4_warmup" --export "${TMP_DIR}/thr-${THREADS}" \
+    --threads "${THREADS}" >/dev/null
+  for SUFFIX in metrics.jsonl trace.jsonl chrome.json; do
+    if ! cmp -s "${TMP_DIR}/run-a.${SUFFIX}" "${TMP_DIR}/thr-${THREADS}.${SUFFIX}"; then
+      echo "check.sh: FAIL: fig4_warmup ${SUFFIX} differs at --threads ${THREADS}" >&2
+      exit 1
+    fi
+  done
+done
+echo "check.sh: fig4_warmup exports byte-identical for --threads 1/2/8"
+
 if [[ "${CHECK_SANITIZE:-0}" == "1" ]]; then
   "${REPO_DIR}/ci/sanitize.sh"
+fi
+if [[ "${CHECK_TSAN:-0}" == "1" ]]; then
+  JUMPSTART_SANITIZE=thread "${REPO_DIR}/ci/sanitize.sh"
 fi
 
 echo "check.sh: OK"

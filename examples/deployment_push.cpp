@@ -20,13 +20,38 @@
 #include "core/Deployment.h"
 #include "obs/Export.h"
 #include "support/StringUtil.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 
 using namespace jumpstart;
 
 int main(int argc, char **argv) {
+  const char *ExportPrefix = nullptr;
+  uint32_t Threads = 1;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--export") == 0 && I + 1 < argc) {
+      ExportPrefix = argv[++I];
+    } else if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc) {
+      char *End = nullptr;
+      Threads = static_cast<uint32_t>(std::strtoul(argv[I + 1], &End, 10));
+      if (End == argv[I + 1] || *End != '\0') {
+        std::fprintf(stderr, "bad --threads value \"%s\"\n", argv[I + 1]);
+        return 2;
+      }
+      ++I;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag \"%s\"\n"
+                   "usage: %s [--export PREFIX] [--threads N]\n",
+                   argv[I], argv[0]);
+      return 2;
+    }
+  }
+
   fleet::WorkloadParams WP;
   WP.NumHelpers = 300;
   WP.NumClasses = 36;
@@ -57,6 +82,12 @@ int main(int argc, char **argv) {
   DP.SeedersPerPair = 2;
   DP.SeederRequests = 150;
   DP.ConsumerSamplesPerPair = 1;
+  // Host-parallel push: seeders/consumers shard across the pool; the
+  // report is identical for any worker count.
+  std::unique_ptr<support::ThreadPool> Pool;
+  if (Threads > 1)
+    Pool = std::make_unique<support::ThreadPool>(Threads);
+  DP.Pool = Pool.get();
   core::DeploymentReport Report = core::simulateDeployment(
       *W, Traffic, Config, Opts, Store, DP, /*Chaos=*/nullptr, &Obs);
   for (const std::string &Line : Report.Log)
@@ -87,15 +118,13 @@ int main(int argc, char **argv) {
               "consumers fell back to self-profiling and kept serving)\n",
               Report2.ConsumersUsedJumpStart, Report2.ConsumersBooted);
 
-  for (int I = 1; I < argc; ++I) {
-    if (std::strcmp(argv[I], "--export") == 0 && I + 1 < argc) {
-      support::Status S = obs::exportAll(Obs, argv[I + 1]);
-      if (!S.ok()) {
-        std::fprintf(stderr, "export failed: %s\n", S.str().c_str());
-        return 1;
-      }
-      std::printf("exported push-1 observability to %s.*\n", argv[I + 1]);
+  if (ExportPrefix) {
+    support::Status S = obs::exportAll(Obs, ExportPrefix);
+    if (!S.ok()) {
+      std::fprintf(stderr, "export failed: %s\n", S.str().c_str());
+      return 1;
     }
+    std::printf("exported push-1 observability to %s.*\n", ExportPrefix);
   }
   return 0;
 }

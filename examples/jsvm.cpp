@@ -11,6 +11,8 @@
 ///   jsvm run <file.hack> [function] [int-arg]   compile + execute
 ///   jsvm disasm <file.hack> [function]          compile + disassemble
 ///   jsvm check <file.hack>                      compile + verify only
+///   jsvm jit <file.hack> [--threads N]          retranslate-all on a
+///                                               host compile pool
 ///   jsvm opts [k=v ...]                         parse + validate
 ///                                               Jump-Start options
 ///
@@ -21,11 +23,14 @@
 #include "core/JumpStartOptions.h"
 #include "frontend/Compiler.h"
 #include "interp/Interpreter.h"
+#include "jit/ParallelRetranslate.h"
 #include "runtime/ValueOps.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 using namespace jumpstart;
@@ -37,6 +42,7 @@ int usage() {
                "usage: jsvm run <file.hack> [function] [int-arg]\n"
                "       jsvm disasm <file.hack> [function]\n"
                "       jsvm check <file.hack>\n"
+               "       jsvm jit <file.hack> [--threads N]\n"
                "       jsvm opts [key=value ...]\n");
   return 2;
 }
@@ -129,6 +135,47 @@ int main(int argc, char **argv) {
     }
     for (const bc::Function &F : Repo.funcs())
       std::printf("%s\n", bc::disasmFunction(Repo, F).c_str());
+    return 0;
+  }
+
+  if (std::strcmp(Command, "jit") == 0) {
+    // Retranslate-all over the file's functions with a synthetic
+    // every-block-hot profile, lowered on --threads host workers.  The
+    // summary is identical for any worker count (the pool only moves
+    // wall-clock time); this is the CLI face of the --threads knob the
+    // bench binaries expose.
+    uint32_t Threads = 1;
+    for (int I = 3; I < argc; ++I) {
+      if (std::strcmp(argv[I], "--threads") == 0 && I + 1 < argc) {
+        char *End = nullptr;
+        Threads = static_cast<uint32_t>(std::strtoul(argv[++I], &End, 10));
+        if (End == nullptr || *End != '\0')
+          return usage();
+      } else {
+        return usage();
+      }
+    }
+    jit::Jit J(Repo, jit::JitConfig());
+    for (uint32_t F = 0; F < Repo.numFuncs(); ++F) {
+      if (Repo.func(bc::FuncId(F)).Code.empty())
+        continue;
+      profile::FuncProfile &P = J.profileStore().getOrCreate(F);
+      P.EntryCount = 1000;
+      P.BlockCounts.assign(
+          J.blockCache().blocks(bc::FuncId(F)).numBlocks(), 1000);
+    }
+    std::unique_ptr<support::ThreadPool> Pool;
+    if (Threads > 1)
+      Pool = std::make_unique<support::ThreadPool>(Threads);
+    jit::ParallelRetranslate Driver(J, Pool.get());
+    jit::RetranslateStats Stats = Driver.run(1e12);
+    std::printf("%s: %zu functions compiled, %zu translations placed, "
+                "%llu code bytes (%u host workers)\n",
+                Path, Stats.FunctionsCompiled, Stats.TranslationsPlaced,
+                static_cast<unsigned long long>(J.totalCodeBytes()),
+                Stats.HostWorkers);
+    std::printf("virtual cost: %.1f compile + %.1f relocate units\n",
+                Stats.CompileUnits, Stats.RelocateUnits);
     return 0;
   }
 

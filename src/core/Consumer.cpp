@@ -23,6 +23,8 @@ void jumpstart::core::applyOptimizationOptions(vm::ServerConfig &Config,
   Config.Jit.UsePackageFuncOrder = Opts.FunctionOrder;
   Config.ReorderProperties = Opts.PropertyReordering;
   Config.UseAffinityPropOrder = Opts.AffinityPropertyOrder;
+  Config.Jit.Parallelism = Opts.Parallelism;
+  Config.Jit.PrecompileLiveCode = Opts.PrecompileLiveCode;
 }
 
 ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
@@ -72,23 +74,21 @@ ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
 
   while (Outcome.Attempts < Opts.MaxConsumerAttempts) {
     ++Outcome.Attempts;
-    std::optional<PackageStore::Selection> Pick =
-        Store.pickRandom(P.Region, P.Bucket, R);
-    if (!Pick) {
-      Outcome.Rejections.push_back(Status::error(
-          StatusCode::Unavailable,
-          "no suitable profile-data package available"));
-      countPackageRejected(Obs, StatusCode::Unavailable);
-      BootWithoutJumpStart("no suitable profile-data package available");
+    PackageStore::Selection Pick;
+    support::Status Picked = Store.pickRandom(P.Region, P.Bucket, R, Pick);
+    if (!Picked.ok()) {
+      Outcome.Rejections.push_back(Picked);
+      countPackageRejected(Obs, Picked.code());
+      BootWithoutJumpStart(Picked.message().c_str());
       return Outcome;
     }
 
     profile::ProfilePackage Pkg;
-    if (!profile::ProfilePackage::deserialize(*Pick->Blob, Pkg)) {
+    if (!profile::ProfilePackage::deserialize(*Pick.Blob, Pkg)) {
       Reject(StatusCode::CorruptData,
              strFormat(
                  "package #%u is corrupt (checksum/format); trying another",
-                 Pick->Index));
+                 Pick.Index));
       continue;
     }
 
@@ -109,7 +109,7 @@ ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
         Reject(StatusCode::LintFailed,
                strFormat("package #%u failed strict lint (%zu errors, "
                          "first: %s); trying another",
-                         Pick->Index, analysis::countErrors(Diags),
+                         Pick.Index, analysis::countErrors(Diags),
                          Diags.front().str(&W.Repo).c_str()));
         continue;
       }
@@ -122,28 +122,28 @@ ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
       ++Outcome.CrashCount;
       Reject(StatusCode::CrashDetected,
              strFormat("crashed with package #%u; restarting",
-                       Pick->Index));
+                       Pick.Index));
       continue;
     }
 
     auto Server =
         std::make_unique<vm::Server>(W.Repo, BaseConfig, R.next());
-    if (!Server->installPackage(Pkg)) {
-      Reject(StatusCode::FingerprintMismatch,
-             strFormat("package #%u rejected (fingerprint mismatch); "
-                       "trying another",
-                       Pick->Index));
+    support::Status Installed = Server->installPackage(Pkg);
+    if (!Installed.ok()) {
+      Reject(Installed.code(),
+             strFormat("package #%u rejected (%s); trying another",
+                       Pick.Index, Installed.message().c_str()));
       continue;
     }
     Outcome.Init = Server->startup();
     Outcome.Server = std::move(Server);
     Outcome.UsedJumpStart = true;
     Outcome.Log.push_back(
-        strFormat("booted with package #%u", Pick->Index));
+        strFormat("booted with package #%u", Pick.Index));
     countPackageAccepted(Obs);
     if (Obs)
       Obs->Trace.instant("package-accept", "package", Track,
-                         {strFormat("index=%u", Pick->Index)});
+                         {strFormat("index=%u", Pick.Index)});
     return Outcome;
   }
 

@@ -19,6 +19,10 @@
 #include "core/Consumer.h"
 #include "core/Seeder.h"
 
+namespace jumpstart::support {
+class ThreadPool;
+}
+
 namespace jumpstart::core {
 
 /// Push-simulation parameters.  A real fleet has thousands of servers per
@@ -36,6 +40,16 @@ struct DeploymentParams {
   /// Consumers actually booted per (region, bucket).
   uint32_t ConsumerSamplesPerPair = 1;
   uint64_t Seed = 5;
+  /// Host thread pool sharding the independent C2 seeder and C3 consumer
+  /// simulations (null: serial).  Deterministic: every per-server seed is
+  /// drawn serially in loop order before the fan-out, each simulation
+  /// records into a task-local context, and packages/metrics/logs are
+  /// folded back in loop order after the join -- so the report and the
+  /// published packages are identical for any worker count.  With a pool,
+  /// workflow-level metrics merge into \p Obs but workflow trace spans
+  /// are task-local and dropped (phase spans still record); Chaos hooks,
+  /// if any, must be thread-safe.
+  support::ThreadPool *Pool = nullptr;
 };
 
 /// Summary of one site push.

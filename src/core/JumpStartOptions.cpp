@@ -103,6 +103,10 @@ Status JumpStartOptions::set(std::string_view Key, std::string_view Value) {
     return parseUInt(Key, Value, ValidationRequests);
   if (Key == "max_validation_fault_rate")
     return parseDouble(Key, Value, MaxValidationFaultRate);
+  if (Key == "parallelism")
+    return parseUInt(Key, Value, Parallelism);
+  if (Key == "precompile_live_code")
+    return parseBool(Key, Value, PrecompileLiveCode);
   if (Key == "min_profiled_funcs")
     return parseUInt(Key, Value, Coverage.MinProfiledFuncs);
   if (Key == "min_total_samples")
@@ -157,6 +161,8 @@ JumpStartOptions::toKeyValues() const {
                    strFormat("%u", ValidationRequests));
   KVs.emplace_back("max_validation_fault_rate",
                    strFormat("%g", MaxValidationFaultRate));
+  KVs.emplace_back("parallelism", strFormat("%u", Parallelism));
+  KVs.emplace_back("precompile_live_code", B(PrecompileLiveCode));
   KVs.emplace_back("min_profiled_funcs",
                    strFormat("%zu", Coverage.MinProfiledFuncs));
   KVs.emplace_back(
@@ -211,6 +217,15 @@ JumpStartOptionsBuilder::validationRequests(uint32_t V) {
 JumpStartOptionsBuilder &
 JumpStartOptionsBuilder::maxValidationFaultRate(double V) {
   Opts.MaxValidationFaultRate = V;
+  return *this;
+}
+JumpStartOptionsBuilder &JumpStartOptionsBuilder::parallelism(uint32_t V) {
+  Opts.Parallelism = V;
+  return *this;
+}
+JumpStartOptionsBuilder &
+JumpStartOptionsBuilder::precompileLiveCode(bool V) {
+  Opts.PrecompileLiveCode = V;
   return *this;
 }
 

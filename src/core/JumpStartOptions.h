@@ -65,6 +65,17 @@ struct JumpStartOptions {
   /// Maximum tolerated faults per validation request.
   double MaxValidationFaultRate = 0.05;
 
+  // Consumer precompile (retranslate-all) behaviour.  These mirror
+  // jit::JitConfig fields; applyOptimizationOptions() copies them over
+  // (see DESIGN.md "Options layering" for the full mapping).
+  /// Cores the virtual cost model charges for the consumer's precompile
+  /// pass (jit::JitConfig::Parallelism): 0 uses every modeled core,
+  /// otherwise clamped to the server's core count.
+  uint32_t Parallelism = 0;
+  /// Also pre-lower the package's recorded live translations during the
+  /// precompile pass (jit::JitConfig::PrecompileLiveCode).
+  bool PrecompileLiveCode = false;
+
   //===--------------------------------------------------------------------===
   // Validated-options API.
   //===--------------------------------------------------------------------===
@@ -107,6 +118,8 @@ public:
   JumpStartOptionsBuilder &strictPackageLint(bool V);
   JumpStartOptionsBuilder &validationRequests(uint32_t V);
   JumpStartOptionsBuilder &maxValidationFaultRate(double V);
+  JumpStartOptionsBuilder &parallelism(uint32_t V);
+  JumpStartOptionsBuilder &precompileLiveCode(bool V);
 
   /// \returns the built options; asserts they validate.
   JumpStartOptions build() const;

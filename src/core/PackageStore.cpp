@@ -7,10 +7,10 @@
 
 #include "core/PackageStore.h"
 
-#include "support/Assert.h"
-
 using namespace jumpstart;
 using namespace jumpstart::core;
+using support::Status;
+using support::StatusCode;
 
 uint32_t PackageStore::publish(uint32_t Region, uint32_t Bucket,
                                std::vector<uint8_t> Blob) {
@@ -26,19 +26,22 @@ const PackageStore::Shelf *PackageStore::find(uint32_t Region,
   return It == Shelves.end() ? nullptr : &It->second;
 }
 
-std::optional<PackageStore::Selection>
-PackageStore::pickRandom(uint32_t Region, uint32_t Bucket, Rng &R) const {
+Status PackageStore::pickRandom(uint32_t Region, uint32_t Bucket, Rng &R,
+                                Selection &Out) const {
   const Shelf *S = find(Region, Bucket);
-  if (!S)
-    return std::nullopt;
-  std::vector<uint32_t> Alive;
-  for (uint32_t I = 0; I < S->Blobs.size(); ++I)
-    if (!S->IsQuarantined[I])
-      Alive.push_back(I);
-  if (Alive.empty())
-    return std::nullopt;
-  uint32_t Index = Alive[R.nextBelow(Alive.size())];
-  return Selection{Index, &S->Blobs[Index]};
+  if (S) {
+    std::vector<uint32_t> Alive;
+    for (uint32_t I = 0; I < S->Blobs.size(); ++I)
+      if (!S->IsQuarantined[I])
+        Alive.push_back(I);
+    if (!Alive.empty()) {
+      Out.Index = Alive[R.nextBelow(Alive.size())];
+      Out.Blob = &S->Blobs[Out.Index];
+      return Status::okStatus();
+    }
+  }
+  return Status::error(StatusCode::Unavailable,
+                       "no suitable profile-data package available");
 }
 
 size_t PackageStore::available(uint32_t Region, uint32_t Bucket) const {
@@ -52,29 +55,39 @@ size_t PackageStore::available(uint32_t Region, uint32_t Bucket) const {
   return N;
 }
 
-void PackageStore::quarantine(uint32_t Region, uint32_t Bucket,
-                              uint32_t Index) {
+Status PackageStore::quarantine(uint32_t Region, uint32_t Bucket,
+                                uint32_t Index) {
   auto It = Shelves.find(key(Region, Bucket));
-  alwaysAssert(It != Shelves.end(), "quarantine of unknown shelf");
+  if (It == Shelves.end())
+    return support::errorStatus(StatusCode::NotFound,
+                                "quarantine of unknown shelf (r%u,b%u)",
+                                Region, Bucket);
   Shelf &S = It->second;
-  alwaysAssert(Index < S.Blobs.size(), "quarantine of unknown package");
-  if (S.IsQuarantined[Index])
-    return;
-  S.IsQuarantined[Index] = true;
-  Quarantined.push_back(S.Blobs[Index]);
+  if (Index >= S.Blobs.size())
+    return support::errorStatus(StatusCode::NotFound,
+                                "quarantine of unknown package #%u", Index);
+  if (!S.IsQuarantined[Index]) {
+    S.IsQuarantined[Index] = true;
+    Quarantined.push_back(S.Blobs[Index]);
+  }
+  return Status::okStatus();
 }
 
-void PackageStore::corrupt(uint32_t Region, uint32_t Bucket, uint32_t Index,
-                           Rng &R, uint32_t Flips) {
+Status PackageStore::corrupt(uint32_t Region, uint32_t Bucket,
+                             uint32_t Index, Rng &R, uint32_t Flips) {
   auto It = Shelves.find(key(Region, Bucket));
-  alwaysAssert(It != Shelves.end(), "corrupt() of unknown shelf");
+  if (It == Shelves.end())
+    return support::errorStatus(StatusCode::NotFound,
+                                "corrupt() of unknown shelf (r%u,b%u)",
+                                Region, Bucket);
   Shelf &S = It->second;
-  alwaysAssert(Index < S.Blobs.size(), "corrupt() of unknown package");
+  if (Index >= S.Blobs.size())
+    return support::errorStatus(StatusCode::NotFound,
+                                "corrupt() of unknown package #%u", Index);
   std::vector<uint8_t> &Blob = S.Blobs[Index];
-  if (Blob.empty())
-    return;
-  for (uint32_t I = 0; I < Flips; ++I) {
+  for (uint32_t I = 0; I < Flips && !Blob.empty(); ++I) {
     size_t At = R.nextBelow(Blob.size());
     Blob[At] ^= static_cast<uint8_t>(1 + R.nextBelow(255));
   }
+  return Status::okStatus();
 }

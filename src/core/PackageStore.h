@@ -20,10 +20,10 @@
 #define JUMPSTART_CORE_PACKAGESTORE_H
 
 #include "support/Random.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <map>
-#include <optional>
 #include <vector>
 
 namespace jumpstart::core {
@@ -41,24 +41,28 @@ public:
   uint32_t publish(uint32_t Region, uint32_t Bucket,
                    std::vector<uint8_t> Blob);
 
-  /// Picks a random non-quarantined package, or nullopt when none exist.
-  std::optional<Selection> pickRandom(uint32_t Region, uint32_t Bucket,
-                                      Rng &R) const;
+  /// Picks a random non-quarantined package into \p Out.  \returns
+  /// unavailable when the shelf is missing, empty, or fully quarantined
+  /// (the code doubles as the consumer's rejection-reason metric label).
+  support::Status pickRandom(uint32_t Region, uint32_t Bucket, Rng &R,
+                             Selection &Out) const;
 
   /// Number of available (non-quarantined) packages.
   size_t available(uint32_t Region, uint32_t Bucket) const;
 
   /// Moves a package to the problematic-data database (paper VI-A: kept
   /// "so that rare bugs ... can later be easily reproduced and
-  /// debugged").
-  void quarantine(uint32_t Region, uint32_t Bucket, uint32_t Index);
+  /// debugged").  \returns not_found for an unknown shelf or index.
+  support::Status quarantine(uint32_t Region, uint32_t Bucket,
+                             uint32_t Index);
 
   size_t quarantinedCount() const { return Quarantined.size(); }
 
   /// Test/chaos helper: flips random bytes of a published package,
-  /// simulating distribution-layer corruption.
-  void corrupt(uint32_t Region, uint32_t Bucket, uint32_t Index, Rng &R,
-               uint32_t Flips = 16);
+  /// simulating distribution-layer corruption.  \returns not_found for
+  /// an unknown shelf or index.
+  support::Status corrupt(uint32_t Region, uint32_t Bucket, uint32_t Index,
+                          Rng &R, uint32_t Flips = 16);
 
 private:
   struct Shelf {

@@ -72,14 +72,14 @@ SeederOutcome jumpstart::core::runSeederWorkflow(
   Coverage.ExpectedFingerprint = vm::Server::repoFingerprint(W.Repo);
   profile::CoverageResult CoverageCheck =
       profile::checkCoverage(Outcome.Package, Blob.size(), Coverage);
-  if (!CoverageCheck.Ok) {
+  if (!CoverageCheck.ok()) {
     Outcome.Problems = CoverageCheck.Problems;
     Outcome.Result = CoverageCheck.status();
-    countPackageRejected(Obs, CoverageCheck.Code);
+    countPackageRejected(Obs, CoverageCheck.code());
     if (Obs)
       Obs->Trace.instant("package-reject", "package", Track,
                          {strFormat("reason=%s", support::statusCodeName(
-                                                     CoverageCheck.Code))});
+                                                     CoverageCheck.code()))});
     return Outcome;
   }
 
@@ -117,9 +117,10 @@ SeederOutcome jumpstart::core::runSeederWorkflow(
   ValidationConfig.Obs = Obs;
   ValidationConfig.Name = SeederName + "/validator";
   vm::Server Validator(W.Repo, ValidationConfig, P.Seed ^ 0xabcdef);
-  if (!Validator.installPackage(Outcome.Package)) {
-    Reject(StatusCode::FingerprintMismatch,
-           "validation: package rejected (fingerprint mismatch)");
+  support::Status InstallStatus = Validator.installPackage(Outcome.Package);
+  if (!InstallStatus.ok()) {
+    Reject(InstallStatus.code(),
+           "validation: package rejected (" + InstallStatus.message() + ")");
     return Outcome;
   }
   Validator.startup();

@@ -8,6 +8,7 @@
 #include "fleet/ServerSim.h"
 
 #include "support/Assert.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <cmath>
@@ -57,8 +58,8 @@ WarmupResult jumpstart::fleet::runWarmup(const Workload &W,
   Config.Name = P.RunLabel;
   auto Server = std::make_unique<vm::Server>(W.Repo, Config, R.next());
   if (Pkg) {
-    bool Installed = Server->installPackage(*Pkg);
-    alwaysAssert(Installed, "runWarmup: package rejected");
+    support::Status Installed = Server->installPackage(*Pkg);
+    alwaysAssert(Installed.ok(), "runWarmup: package rejected");
   }
   Result.Init = Server->startup();
 
@@ -162,6 +163,32 @@ WarmupResult jumpstart::fleet::runWarmup(const Workload &W,
 
   Result.Server = std::move(Server);
   return Result;
+}
+
+std::vector<WarmupResult> jumpstart::fleet::runWarmupSweep(
+    const Workload &W, const TrafficModel &Traffic,
+    const vm::ServerConfig &Config, const std::vector<WarmupSweepRun> &Runs,
+    support::ThreadPool *Pool, obs::MetricsRegistry *Merged) {
+  for (const WarmupSweepRun &Run : Runs)
+    alwaysAssert(Run.Params.Obs == nullptr,
+                 "sweep runs record into run-owned registries "
+                 "(shard-then-merge); do not pass Params.Obs");
+  std::vector<WarmupResult> Results(Runs.size());
+  auto RunOne = [&](size_t I) {
+    Results[I] =
+        runWarmup(W, Traffic, Config, Runs[I].Params, Runs[I].Package);
+  };
+  if (Pool)
+    Pool->parallelFor(Runs.size(), RunOne);
+  else
+    for (size_t I = 0; I < Runs.size(); ++I)
+      RunOne(I);
+  // Deterministic merge: run-index order, regardless of which worker
+  // finished first.
+  if (Merged)
+    for (const WarmupResult &Result : Results)
+      Merged->mergeFrom(Result.Obs->Metrics);
+  return Results;
 }
 
 std::unique_ptr<vm::Server> jumpstart::fleet::runSeeder(

@@ -31,6 +31,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
+
+namespace jumpstart::support {
+class ThreadPool;
+}
 
 namespace jumpstart::fleet {
 
@@ -112,6 +117,29 @@ struct WarmupResult {
 WarmupResult runWarmup(const Workload &W, const TrafficModel &Traffic,
                        vm::ServerConfig Config, const ServerSimParams &P,
                        const profile::ProfilePackage *Package = nullptr);
+
+/// One run of a warmup sweep.  Params.Obs must be null: sweep runs are
+/// sharded across host threads, so each records into its own run-owned
+/// registry (shard-then-merge).
+struct WarmupSweepRun {
+  ServerSimParams Params;
+  /// Boot this run as a Jump-Start consumer with this package (null: no
+  /// Jump-Start).  Shared read-only across runs.
+  const profile::ProfilePackage *Package = nullptr;
+};
+
+/// Runs several *independent* warmup simulations, sharded across \p Pool
+/// (null: serial), then merges every run's metrics into \p Merged (when
+/// non-null) in run-index order.  Each simulation is single-threaded and
+/// seeded by its own params, and the merge order is fixed, so the results
+/// -- including a metricsToJsonLines() rendering of \p Merged -- are
+/// byte-identical for any worker count.
+std::vector<WarmupResult>
+runWarmupSweep(const Workload &W, const TrafficModel &Traffic,
+               const vm::ServerConfig &Config,
+               const std::vector<WarmupSweepRun> &Runs,
+               support::ThreadPool *Pool,
+               obs::MetricsRegistry *Merged = nullptr);
 
 /// Convenience: runs a server as a *seeder*: boots without Jump-Start,
 /// serves \p Requests real requests of its (region, bucket) mix (with

@@ -174,9 +174,7 @@ void Jit::beginRetranslateAll() {
   }
 }
 
-void Jit::compileOptimized(bc::FuncId F) {
-  if (Db.forFunc(F, TransKind::Optimized))
-    return;
+std::unique_ptr<VasmUnit> Jit::lowerOptimizedUnit(bc::FuncId F) {
   RegionDescriptor Region;
   if (Config.ShareJitMode) {
     // Sharing constraints forbid inlining user-defined functions and
@@ -198,6 +196,26 @@ void Jit::compileOptimized(bc::FuncId F) {
     auto It = Package->Opt.VasmBlockCounts.find(F.raw());
     if (It != Package->Opt.VasmBlockCounts.end())
       injectVasmCounts(*Unit, It->second);
+  }
+  return Unit;
+}
+
+std::unique_ptr<VasmUnit> Jit::lowerLiveUnit(bc::FuncId F) {
+  LowerOptions Opts;
+  Opts.Kind = TransKind::Live;
+  return lowerFunction(R, Blocks, F, nullptr, nullptr, Opts);
+}
+
+void Jit::compileOptimized(bc::FuncId F) {
+  if (Db.forFunc(F, TransKind::Optimized))
+    return;
+  std::unique_ptr<VasmUnit> Unit;
+  auto Scratch = PrecompiledOpt.find(F.raw());
+  if (Scratch != PrecompiledOpt.end()) {
+    Unit = std::move(Scratch->second);
+    PrecompiledOpt.erase(Scratch);
+  } else {
+    Unit = lowerOptimizedUnit(F);
   }
   Db.create(TransKind::Optimized, std::move(Unit));
 }
@@ -273,9 +291,14 @@ void Jit::finishJob(const Job &J) {
   case Job::Kind::CompileLive: {
     bc::FuncId F(J.Func);
     Enqueued.erase(J.Func);
-    LowerOptions Opts;
-    Opts.Kind = TransKind::Live;
-    auto Unit = lowerFunction(R, Blocks, F, nullptr, nullptr, Opts);
+    std::unique_ptr<VasmUnit> Unit;
+    auto Scratch = PrecompiledLive.find(J.Func);
+    if (Scratch != PrecompiledLive.end()) {
+      Unit = std::move(Scratch->second);
+      PrecompiledLive.erase(Scratch);
+    } else {
+      Unit = lowerLiveUnit(F);
+    }
     Translation &T = Db.create(TransKind::Live, std::move(Unit));
     UnitLayout L;
     L.HotOrder.resize(T.Unit->Blocks.size());
@@ -291,7 +314,14 @@ void Jit::finishJob(const Job &J) {
   case Job::Kind::Relocate: {
     Translation *T = Db.find(J.Trans);
     alwaysAssert(T != nullptr, "relocate job for unknown translation");
-    UnitLayout L = layoutUnit(*T->Unit, layoutOptions());
+    UnitLayout L;
+    auto Scratch = PrecomputedLayouts.find(T->Unit->Func.raw());
+    if (Scratch != PrecomputedLayouts.end()) {
+      L = std::move(Scratch->second);
+      PrecomputedLayouts.erase(Scratch);
+    } else {
+      L = layoutUnit(*T->Unit, layoutOptions());
+    }
     placeTranslation(*T, Cache, CodeArea::Hot, L);
     return;
   }
@@ -332,17 +362,23 @@ double Jit::runJitWork(double BudgetUnits) {
   return Consumed;
 }
 
-void Jit::startConsumerPrecompile(const profile::ProfilePackage &Pkg) {
+support::Status
+Jit::installPackageProfiles(const profile::ProfilePackage &Pkg) {
   alwaysAssert(Phase == JitPhase::Profiling && Db.size() == 0,
                "consumer precompile must run on a fresh JIT");
   Package = Pkg;
-  Store.loadFromPackage(Pkg);
+  return Store.loadFromPackage(Pkg);
+}
+
+void Jit::enqueueConsumerJobs() {
+  alwaysAssert(Package.has_value(),
+               "enqueueConsumerJobs without an installed package");
   // Skip profiling entirely: go straight to retranslate-all.
   beginRetranslateAll();
   // Optionally also pre-compile the seeder's live-code tail (the
   // section IV-A alternative).
   if (Config.PrecompileLiveCode) {
-    for (uint32_t FuncRaw : Pkg.Intermediate.LiveFuncs) {
+    for (uint32_t FuncRaw : Package->Intermediate.LiveFuncs) {
       bc::FuncId F(FuncRaw);
       if (FuncRaw >= R.numFuncs() || R.func(F).Code.empty())
         continue;
@@ -356,6 +392,13 @@ void Jit::startConsumerPrecompile(const profile::ProfilePackage &Pkg) {
     if (Phase == JitPhase::Mature && !Jobs.empty())
       Phase = JitPhase::Optimizing; // keep draining until live code done
   }
+}
+
+void Jit::startConsumerPrecompile(const profile::ProfilePackage &Pkg) {
+  support::Status S = installPackageProfiles(Pkg);
+  alwaysAssert(S.ok(), "startConsumerPrecompile: bad package (callers "
+                       "validate with deserialize + lint first)");
+  enqueueConsumerJobs();
 }
 
 profile::ProfilePackage Jit::buildPackage(uint32_t Region, uint32_t Bucket,

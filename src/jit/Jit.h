@@ -39,8 +39,10 @@
 #include "jit/TransLayout.h"
 #include "profile/ProfilePackage.h"
 #include "profile/ProfileStore.h"
+#include "support/Status.h"
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -63,6 +65,14 @@ struct JitConfig {
   /// Requests executed with profiling before retranslate-all fires
   /// (HHVM's ProfileRequests; point "A" of Figure 1).
   uint64_t ProfileRequestTarget = 300;
+
+  /// Cores the *virtual* cost model assumes retranslate-all runs on
+  /// (paper Figure 3c: the consumer optimizes "with all cores before
+  /// serving").  0 means all of the server's cores; a positive value is
+  /// clamped to the core count.  Compile wall-cost is charged as
+  /// work/parallelism.  Distinct from host threading (`--threads`, the
+  /// support::ThreadPool), which never changes virtual time.
+  uint32_t Parallelism = 0;
 
   // Cost model (cost units; 1 unit ~ 1 simulated cycle).
   double InterpCostPerBytecode = 25.0;
@@ -206,6 +216,12 @@ public:
   /// runJitWork() to completion before serving.
   void startConsumerPrecompile(const profile::ProfilePackage &Pkg);
 
+  /// First half of startConsumerPrecompile: installs \p Pkg's profiles
+  /// on a fresh JIT without enqueueing any work.  Used by
+  /// ParallelRetranslate, which pre-lowers into scratch before the
+  /// pipeline is enqueued.  \returns corrupt_data on duplicate FuncIds.
+  support::Status installPackageProfiles(const profile::ProfilePackage &Pkg);
+
   /// Seeder side: assembles a package from everything this JIT collected.
   /// The function order is computed with C3 over the tier-2 call graph
   /// when seeder instrumentation ran, else over the tier-1 graph.
@@ -243,6 +259,15 @@ private:
   void notePhase(JitPhase NewPhase);
   void compileOptimized(bc::FuncId F);
   void enqueueRelocations();
+  /// Second half of startConsumerPrecompile: enqueues retranslate-all
+  /// plus (optionally) the package's live-code tail.
+  void enqueueConsumerJobs();
+  /// Lowers \p F in optimized mode (region selection, package Vasm
+  /// counters).  Pure given an immutable profile store and a pre-warmed
+  /// block cache, so ParallelRetranslate may call it from workers.
+  std::unique_ptr<VasmUnit> lowerOptimizedUnit(bc::FuncId F);
+  /// Lowers \p F in live (tracelet) mode; same purity contract.
+  std::unique_ptr<VasmUnit> lowerLiveUnit(bc::FuncId F);
   std::vector<uint32_t> computeFuncOrder() const;
   LayoutOptions layoutOptions() const;
 
@@ -268,6 +293,20 @@ private:
 
   /// The installed Jump-Start package (consumer mode).
   std::optional<profile::ProfilePackage> Package;
+
+  /// Scratch from ParallelRetranslate: units lowered ahead of time on
+  /// host workers, consumed (instead of recomputed) when the serial
+  /// pipeline reaches the corresponding job.  Keyed by raw FuncId.
+  /// Virtual cost accounting is unchanged -- the pipeline charges the
+  /// same units whether a job hits scratch or lowers from scratch's
+  /// absence -- so host parallelism never shows up in virtual time.
+  std::unordered_map<uint32_t, std::unique_ptr<VasmUnit>> PrecompiledOpt;
+  std::unordered_map<uint32_t, std::unique_ptr<VasmUnit>> PrecompiledLive;
+  /// Layouts precomputed alongside PrecompiledOpt (layoutUnit is pure in
+  /// the unit, so computing it on a worker is placement-equivalent).
+  std::unordered_map<uint32_t, UnitLayout> PrecomputedLayouts;
+
+  friend class ParallelRetranslate;
 };
 
 } // namespace jumpstart::jit

@@ -1,0 +1,125 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/ParallelRetranslate.h"
+
+#include "support/Assert.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace jumpstart;
+using namespace jumpstart::jit;
+
+RetranslateStats
+ParallelRetranslate::run(double SliceUnits,
+                         const std::function<void(double)> &OnSlice) {
+  alwaysAssert(SliceUnits > 0, "retranslate slice budget must be positive");
+  alwaysAssert(J.phase() == JitPhase::Profiling,
+               "parallel retranslate-all needs a Profiling-phase JIT");
+  RetranslateStats Stats;
+  Stats.HostWorkers = Pool ? Pool->numWorkers() : 0;
+
+  // Collect the work-list the serial pipeline will enqueue: optimized
+  // compiles for every profiled function with code, plus the package's
+  // live-code tail (same filters as Jit::enqueueConsumerJobs).
+  struct Task {
+    uint32_t FuncRaw;
+    bool Live;
+  };
+  std::vector<Task> Tasks;
+  for (const auto &[FuncRaw, Prof] : J.Store.all()) {
+    (void)Prof;
+    if (!J.R.func(bc::FuncId(FuncRaw)).Code.empty())
+      Tasks.push_back({FuncRaw, /*Live=*/false});
+  }
+  // Scratch is keyed by func, so task order is irrelevant to the output;
+  // sort only to make per-worker chunking reproducible.
+  std::sort(Tasks.begin(), Tasks.end(),
+            [](const Task &A, const Task &B) {
+              return A.FuncRaw < B.FuncRaw;
+            });
+  if (J.Package && J.Config.PrecompileLiveCode) {
+    for (uint32_t FuncRaw : J.Package->Intermediate.LiveFuncs) {
+      if (FuncRaw >= J.R.numFuncs() ||
+          J.R.func(bc::FuncId(FuncRaw)).Code.empty())
+        continue;
+      if (J.Store.find(FuncRaw))
+        continue;
+      Tasks.push_back({FuncRaw, /*Live=*/true});
+    }
+  }
+
+  // Warm the block cache for every function before fanning out: it is
+  // the one lazily-built shared structure, and region selection may
+  // reach callees far outside the profiled set.  After this loop the
+  // workers only read it.
+  for (uint32_t FuncRaw = 0; FuncRaw < J.R.numFuncs(); ++FuncRaw)
+    (void)J.Blocks.blocks(bc::FuncId(FuncRaw));
+
+  // Parallel lowering into indexed scratch slots (no shared writes).
+  struct Slot {
+    std::unique_ptr<VasmUnit> Unit;
+    UnitLayout Layout;
+  };
+  std::vector<Slot> Slots(Tasks.size());
+  auto LowerOne = [&](size_t I) {
+    const Task &T = Tasks[I];
+    bc::FuncId F(T.FuncRaw);
+    if (T.Live) {
+      Slots[I].Unit = J.lowerLiveUnit(F);
+    } else {
+      Slots[I].Unit = J.lowerOptimizedUnit(F);
+      Slots[I].Layout = layoutUnit(*Slots[I].Unit, J.layoutOptions());
+    }
+  };
+  if (Pool)
+    Pool->parallelFor(Tasks.size(), LowerOne);
+  else
+    for (size_t I = 0; I < Tasks.size(); ++I)
+      LowerOne(I);
+
+  // Serial from here on.  Install the scratch, then run the unchanged
+  // pipeline; jobs consume scratch instead of recomputing.
+  for (size_t I = 0; I < Tasks.size(); ++I) {
+    if (Tasks[I].Live) {
+      J.PrecompiledLive.emplace(Tasks[I].FuncRaw, std::move(Slots[I].Unit));
+    } else {
+      J.PrecompiledOpt.emplace(Tasks[I].FuncRaw, std::move(Slots[I].Unit));
+      J.PrecomputedLayouts.emplace(Tasks[I].FuncRaw,
+                                   std::move(Slots[I].Layout));
+    }
+  }
+  if (J.Package)
+    J.enqueueConsumerJobs();
+  else
+    J.beginRetranslateAll();
+  for (const auto &Job : J.Jobs)
+    Stats.CompileUnits += Job.TotalCost;
+  Stats.FunctionsCompiled = J.Jobs.size();
+
+  double Consumed = 0;
+  while (J.hasPendingWork()) {
+    double Step = J.runJitWork(SliceUnits);
+    Consumed += Step;
+    if (OnSlice)
+      OnSlice(Step);
+    alwaysAssert(Step > 0, "jit pipeline stalled with pending work");
+  }
+  Stats.RelocateUnits = Consumed - Stats.CompileUnits;
+
+  for (const auto &T : J.Db.all())
+    if (T->Placed)
+      ++Stats.TranslationsPlaced;
+
+  // Anything the pipeline did not consume (e.g. a function whose
+  // optimized translation already existed) would go stale; drop it.
+  J.PrecompiledOpt.clear();
+  J.PrecompiledLive.clear();
+  J.PrecomputedLayouts.clear();
+  return Stats;
+}

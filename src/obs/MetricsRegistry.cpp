@@ -25,6 +25,15 @@ void Histogram::observe(double Value) {
   ++Counts[I];
 }
 
+void Histogram::merge(const Histogram &Other) {
+  alwaysAssert(Bounds == Other.Bounds,
+               "merging histograms with different bucket bounds");
+  for (size_t I = 0; I < Counts.size(); ++I)
+    Counts[I] += Other.Counts[I];
+  Sum += Other.Sum;
+  N += Other.N;
+}
+
 uint32_t MetricsRegistry::internName(std::string_view Name) {
   auto It = NameIds.find(Name);
   if (It != NameIds.end())
@@ -173,6 +182,32 @@ std::vector<MetricsRegistry::Entry> MetricsRegistry::sortedEntries() const {
                      static_cast<uint8_t>(B.MetricKind);
             });
   return Entries;
+}
+
+void MetricsRegistry::mergeFrom(const MetricsRegistry &Other) {
+  for (const Entry &E : Other.sortedEntries()) {
+    const std::string &Name = Other.name(E.NameId);
+    const LabelSet &Labels = Other.labels(E.LabelsId);
+    switch (E.MetricKind) {
+    case Kind::Counter:
+      counter(Name, Labels).inc(Other.counterAt(E.Index).value());
+      break;
+    case Kind::Gauge:
+      gauge(Name, Labels).set(Other.gaugeAt(E.Index).value());
+      break;
+    case Kind::Histogram: {
+      const Histogram &H = Other.histogramAt(E.Index);
+      histogram(Name, Labels, H.bounds()).merge(H);
+      break;
+    }
+    case Kind::Series: {
+      TimeSeries &S = series(Name, Labels);
+      for (const TimePoint &P : Other.seriesAt(E.Index).points())
+        S.record(P.TimeSec, P.Value);
+      break;
+    }
+    }
+  }
 }
 
 const std::vector<double> &jumpstart::obs::latencyBucketsSeconds() {

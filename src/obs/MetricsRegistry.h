@@ -73,6 +73,11 @@ public:
 
   void observe(double Value);
 
+  /// Adds \p Other's observations bucket-wise.  Both histograms must
+  /// have identical bounds (they do when both sides created the metric
+  /// through the same code path, which fixed-bounds creation enforces).
+  void merge(const Histogram &Other);
+
   uint64_t count() const { return N; }
   double sum() const { return Sum; }
   double mean() const { return N ? Sum / static_cast<double>(N) : 0; }
@@ -150,6 +155,15 @@ public:
   const TimeSeries &seriesAt(uint32_t Index) const { return Series[Index]; }
 
   size_t numMetrics() const { return Index.size(); }
+
+  /// Folds \p Other into this registry: counters add, gauges last-wins,
+  /// histograms merge bucket-wise, series points append (in \p Other's
+  /// recording order).  Metrics absent here are created.  \p Other's
+  /// entries are visited in its deterministic sortedEntries() order, so
+  /// merging shard registries in a fixed order yields identical output
+  /// regardless of how the shards were produced (the shard-then-merge
+  /// half of the fleet's host parallelism).
+  void mergeFrom(const MetricsRegistry &Other);
 
 private:
   using MetricKey = std::tuple<uint8_t, uint32_t, uint32_t>;

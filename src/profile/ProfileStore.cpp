@@ -11,6 +11,18 @@
 
 using namespace jumpstart;
 using namespace jumpstart::profile;
+using support::Status;
+using support::StatusCode;
+
+Status ProfileStore::loadFromPackage(const ProfilePackage &Pkg) {
+  Profiles.clear();
+  for (const FuncProfile &F : Pkg.Funcs)
+    if (!Profiles.emplace(F.Func, F).second)
+      return support::errorStatus(StatusCode::CorruptData,
+                                  "package profiles function %u twice",
+                                  F.Func);
+  return Status::okStatus();
+}
 
 void ProfileStore::exportToPackage(ProfilePackage &Pkg) const {
   Pkg.Funcs.clear();

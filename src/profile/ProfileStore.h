@@ -20,6 +20,7 @@
 #define JUMPSTART_PROFILE_PROFILESTORE_H
 
 #include "profile/ProfilePackage.h"
+#include "support/Status.h"
 
 #include <unordered_map>
 
@@ -49,12 +50,9 @@ public:
   }
 
   /// Replaces the store contents with the profiles of \p Pkg (consumer
-  /// side of Jump-Start).
-  void loadFromPackage(const ProfilePackage &Pkg) {
-    Profiles.clear();
-    for (const FuncProfile &F : Pkg.Funcs)
-      Profiles.emplace(F.Func, F);
-  }
+  /// side of Jump-Start).  \returns corrupt_data when the package lists
+  /// the same function twice (the store would silently drop one).
+  support::Status loadFromPackage(const ProfilePackage &Pkg);
 
   /// Copies all profiles into \p Pkg in FuncId order (deterministic
   /// serialization).

@@ -16,39 +16,31 @@ CoverageResult jumpstart::profile::checkCoverage(const ProfilePackage &Pkg,
                                                  size_t PackageBytes,
                                                  const CoverageThresholds &T) {
   CoverageResult R;
-  auto Fail = [&R](support::StatusCode Code) {
-    if (R.Ok) // first failure's code wins
-      R.Code = Code;
-    R.Ok = false;
+  auto Fail = [&R](support::StatusCode Code, std::string Problem) {
+    if (R.ok()) // first failure's code and message win
+      R.Result = support::Status::error(Code, Problem);
+    R.Problems.push_back(std::move(Problem));
   };
   size_t Profiled = Pkg.numProfiledFuncs();
-  if (Profiled < T.MinProfiledFuncs) {
-    Fail(support::StatusCode::CoverageTooLow);
-    R.Problems.push_back(strFormat(
-        "only %zu functions profiled (minimum %zu); the seeder likely "
-        "received too little traffic",
-        Profiled, T.MinProfiledFuncs));
-  }
+  if (Profiled < T.MinProfiledFuncs)
+    Fail(support::StatusCode::CoverageTooLow,
+         strFormat("only %zu functions profiled (minimum %zu); the seeder "
+                   "likely received too little traffic",
+                   Profiled, T.MinProfiledFuncs));
   uint64_t Samples = Pkg.totalSamples();
-  if (Samples < T.MinTotalSamples) {
-    Fail(support::StatusCode::CoverageTooLow);
-    R.Problems.push_back(strFormat(
-        "only %llu profile samples collected (minimum %llu)",
-        static_cast<unsigned long long>(Samples),
-        static_cast<unsigned long long>(T.MinTotalSamples)));
-  }
-  if (PackageBytes < T.MinPackageBytes) {
-    Fail(support::StatusCode::CoverageTooLow);
-    R.Problems.push_back(strFormat(
-        "package is %zu bytes (minimum %zu)", PackageBytes,
-        T.MinPackageBytes));
-  }
+  if (Samples < T.MinTotalSamples)
+    Fail(support::StatusCode::CoverageTooLow,
+         strFormat("only %llu profile samples collected (minimum %llu)",
+                   static_cast<unsigned long long>(Samples),
+                   static_cast<unsigned long long>(T.MinTotalSamples)));
+  if (PackageBytes < T.MinPackageBytes)
+    Fail(support::StatusCode::CoverageTooLow,
+         strFormat("package is %zu bytes (minimum %zu)", PackageBytes,
+                   T.MinPackageBytes));
   if (T.ExpectedFingerprint != 0 &&
-      Pkg.RepoFingerprint != T.ExpectedFingerprint) {
-    Fail(support::StatusCode::FingerprintMismatch);
-    R.Problems.push_back(
-        "repo fingerprint mismatch: profile was collected on a different "
-        "code version");
-  }
+      Pkg.RepoFingerprint != T.ExpectedFingerprint)
+    Fail(support::StatusCode::FingerprintMismatch,
+         "repo fingerprint mismatch: profile was collected on a different "
+         "code version");
   return R;
 }

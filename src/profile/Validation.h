@@ -38,21 +38,16 @@ struct CoverageThresholds {
   uint64_t ExpectedFingerprint = 0;
 };
 
-/// Result of a coverage check.
+/// Result of a coverage check: an overall Status (Ok, or the first
+/// failure -- coverage_too_low or fingerprint_mismatch -- with that
+/// problem's text as the message) plus every problem found.
 struct CoverageResult {
-  bool Ok = true;
-  /// The first failure's reason code (coverage_too_low or
-  /// fingerprint_mismatch); Ok when the check passed.
-  support::StatusCode Code = support::StatusCode::Ok;
+  support::Status Result = support::Status::okStatus();
   std::vector<std::string> Problems;
 
-  /// Renders the result as a Status (first problem as the message).
-  support::Status status() const {
-    if (Ok)
-      return support::Status::okStatus();
-    return support::Status::error(Code,
-                                  Problems.empty() ? "" : Problems.front());
-  }
+  bool ok() const { return Result.ok(); }
+  support::StatusCode code() const { return Result.code(); }
+  const support::Status &status() const { return Result; }
 };
 
 /// Checks the already-parsed \p Pkg (whose serialized size was

@@ -1,0 +1,156 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+
+using namespace jumpstart;
+using namespace jumpstart::support;
+
+namespace {
+/// The pool the current thread is a worker of, for nested-parallelFor
+/// detection.
+thread_local const ThreadPool *CurrentWorkerPool = nullptr;
+} // namespace
+
+ThreadPool::ThreadPool(uint32_t NumWorkers, size_t QueueCapacity)
+    : QueueCapacity(std::max<size_t>(1, QueueCapacity)) {
+  if (NumWorkers <= 1) {
+    TaskCounts.resize(1, 0); // inline mode: one slot for the caller
+    return;
+  }
+  TaskCounts.resize(NumWorkers, 0);
+  Workers.reserve(NumWorkers);
+  for (uint32_t I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::onWorkerThread() const { return CurrentWorkerPool == this; }
+
+void ThreadPool::recordError(std::exception_ptr E) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (!FirstError)
+    FirstError = std::move(E);
+}
+
+void ThreadPool::rethrowFirstError() {
+  std::exception_ptr E;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    std::swap(E, FirstError);
+  }
+  if (E)
+    std::rethrow_exception(E);
+}
+
+void ThreadPool::workerLoop(uint32_t Index) {
+  CurrentWorkerPool = this;
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(M);
+      NotEmpty.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+      ++InFlight;
+      NotFull.notify_one();
+    }
+    try {
+      Task();
+    } catch (...) {
+      recordError(std::current_exception());
+    }
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      ++TaskCounts[Index];
+      --InFlight;
+      if (Queue.empty() && InFlight == 0)
+        AllDone.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  if (Workers.empty() || onWorkerThread()) {
+    // Inline mode, or a task submitting from a worker (run it directly
+    // rather than risking a full queue deadlock).
+    try {
+      Task();
+    } catch (...) {
+      recordError(std::current_exception());
+    }
+    std::lock_guard<std::mutex> Lock(M);
+    ++InlineTaskCount;
+    return;
+  }
+  std::unique_lock<std::mutex> Lock(M);
+  alwaysAssert(!Stopping, "submit() after shutdown()");
+  NotFull.wait(Lock, [&] { return Queue.size() < QueueCapacity; });
+  Queue.push_back(std::move(Task));
+  NotEmpty.notify_one();
+}
+
+void ThreadPool::wait() {
+  if (!Workers.empty()) {
+    std::unique_lock<std::mutex> Lock(M);
+    AllDone.wait(Lock, [&] { return Queue.empty() && InFlight == 0; });
+  }
+  rethrowFirstError();
+}
+
+void ThreadPool::shutdown() {
+  if (!Workers.empty()) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Stopping = true;
+    }
+    NotEmpty.notify_all();
+    for (std::thread &T : Workers)
+      T.join();
+    Workers.clear();
+  }
+  // Exceptions surfacing only now are dropped (a destructor must not
+  // throw); call wait() before destruction to observe them.
+}
+
+std::vector<uint64_t> ThreadPool::perWorkerTaskCounts() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::vector<uint64_t> Counts = TaskCounts;
+  if (Workers.empty())
+    Counts[0] = InlineTaskCount;
+  return Counts;
+}
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Body) {
+  if (N == 0)
+    return;
+  if (Workers.empty() || onWorkerThread()) {
+    // Serial path (also taken for nested fan-out from a worker thread:
+    // waiting on the pool from inside it would deadlock).
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+  size_t Chunks = std::min<size_t>(N, Workers.size());
+  for (size_t C = 0; C < Chunks; ++C) {
+    size_t Begin = N * C / Chunks;
+    size_t End = N * (C + 1) / Chunks;
+    submit([&Body, Begin, End] {
+      for (size_t I = Begin; I < End; ++I)
+        Body(I);
+    });
+  }
+  wait();
+}

@@ -1,0 +1,112 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool with a bounded queue.
+///
+/// This is the repository's only source of host-thread parallelism; the
+/// simulation's *virtual* time stays single-threaded and deterministic.
+/// The pool therefore never appears in any cost model -- it only changes
+/// how fast the host machine gets through deterministic work (the
+/// parallel retranslate-all fan-out, fleet sweeps over independent
+/// servers).  Users that need determinism run the fan-out into per-task
+/// scratch storage and do all order-sensitive work serially after wait().
+///
+/// Semantics:
+///  - 0 or 1 workers means *inline* execution: submit() runs the task on
+///    the calling thread and no OS threads are created.  Code written
+///    against the pool degrades to the serial path with zero overhead.
+///  - submit() blocks while the queue is at capacity (backpressure, not
+///    unbounded memory).
+///  - shutdown() is graceful: queued tasks finish first, then workers
+///    join.  The destructor calls it.
+///  - The first exception thrown by any task is captured and rethrown
+///    from the next wait() (or swallowed by the destructor).
+///  - parallelFor() shards [0, N) into contiguous per-worker chunks --
+///    a deterministic static schedule -- and waits.  Calling it from
+///    inside one of this pool's own workers runs inline (no deadlock on
+///    nested fan-out).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_SUPPORT_THREADPOOL_H
+#define JUMPSTART_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jumpstart::support {
+
+class ThreadPool {
+public:
+  /// Creates \p Workers worker threads (0 or 1: inline mode, none).
+  /// \p QueueCapacity bounds the number of queued-but-unstarted tasks.
+  explicit ThreadPool(uint32_t Workers, size_t QueueCapacity = 1024);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Number of worker threads (0 in inline mode).
+  uint32_t numWorkers() const {
+    return static_cast<uint32_t>(Workers.size());
+  }
+
+  /// Enqueues \p Task; blocks while the queue is full.  Inline mode runs
+  /// it immediately on the calling thread.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first captured task exception (if any).
+  void wait();
+
+  /// Graceful shutdown: stops accepting work, drains the queue, joins.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// Tasks completed by each worker, indexed by worker.  Inline-mode
+  /// pools report one slot (the calling thread's count).
+  std::vector<uint64_t> perWorkerTaskCounts() const;
+
+  /// Runs Body(I) for every I in [0, N), sharded into contiguous chunks
+  /// across the workers (deterministic static schedule), and waits.
+  /// Runs inline when the pool has no workers or when called from one of
+  /// this pool's own worker threads.
+  void parallelFor(size_t N, const std::function<void(size_t)> &Body);
+
+private:
+  void workerLoop(uint32_t Index);
+  void recordError(std::exception_ptr E);
+  void rethrowFirstError();
+  /// True when the calling thread is one of this pool's workers.
+  bool onWorkerThread() const;
+
+  const size_t QueueCapacity;
+  std::vector<std::thread> Workers;
+
+  mutable std::mutex M;
+  std::condition_variable NotEmpty; ///< queue gained a task / stopping
+  std::condition_variable NotFull;  ///< queue lost a task
+  std::condition_variable AllDone;  ///< queue empty and nothing in flight
+  std::deque<std::function<void()>> Queue;
+  size_t InFlight = 0;
+  bool Stopping = false;
+  std::exception_ptr FirstError;
+  std::vector<uint64_t> TaskCounts;
+  uint64_t InlineTaskCount = 0;
+};
+
+} // namespace jumpstart::support
+
+#endif // JUMPSTART_SUPPORT_THREADPOOL_H

@@ -39,6 +39,10 @@ namespace jumpstart::obs {
 struct Observability;
 }
 
+namespace jumpstart::support {
+class ThreadPool;
+}
+
 namespace jumpstart::vm {
 
 /// Server configuration (the evaluation hardware of paper section VII is
@@ -83,6 +87,11 @@ struct ServerConfig {
   /// Display name for tracks and metric labels (distinguishes servers
   /// sharing one Observability).
   std::string Name = "server";
+  /// Host thread pool for the consumer precompile's parallel lowering
+  /// (jit::ParallelRetranslate).  Null runs it inline.  Host-only: the
+  /// virtual clock and all exports are identical with or without it; the
+  /// *modeled* precompile parallelism is JitConfig::Parallelism.
+  support::ThreadPool *CompilePool = nullptr;
 };
 
 /// Initialization breakdown returned by startup().
@@ -105,9 +114,10 @@ public:
   //===--------------------------------------------------------------------===
 
   /// Consumer mode: installs the downloaded package.  Must precede
-  /// startup().  \returns false when the package is rejected (corrupt
-  /// blob already filtered by the caller; this checks fingerprint).
-  bool installPackage(const profile::ProfilePackage &Pkg);
+  /// startup().  \returns fingerprint_mismatch when the package was built
+  /// against a different repo (corrupt blobs are already filtered by the
+  /// caller); the code doubles as the rejection-reason metric label.
+  support::Status installPackage(const profile::ProfilePackage &Pkg);
 
   /// Initializes the server: consumer mode deserializes + precompiles all
   /// optimized code with every core, then runs warmup requests in

@@ -79,14 +79,16 @@ fleet::TrafficModel *CoreFixture::Traffic = nullptr;
 TEST(PackageStoreTest, PublishAndPick) {
   PackageStore S;
   Rng R(1);
-  EXPECT_FALSE(S.pickRandom(0, 0, R).has_value());
+  PackageStore::Selection Pick;
+  support::Status Empty = S.pickRandom(0, 0, R, Pick);
+  EXPECT_FALSE(Empty.ok());
+  EXPECT_EQ(Empty.code(), support::StatusCode::Unavailable);
   S.publish(0, 0, {1, 2, 3});
   S.publish(0, 0, {4, 5, 6});
   EXPECT_EQ(S.available(0, 0), 2u);
-  auto Pick = S.pickRandom(0, 0, R);
-  ASSERT_TRUE(Pick.has_value());
-  EXPECT_LT(Pick->Index, 2u);
-  EXPECT_FALSE(S.pickRandom(0, 1, R).has_value())
+  ASSERT_TRUE(S.pickRandom(0, 0, R, Pick).ok());
+  EXPECT_LT(Pick.Index, 2u);
+  EXPECT_FALSE(S.pickRandom(0, 1, R, Pick).ok())
       << "shelves are per (region, bucket)";
 }
 
@@ -96,8 +98,11 @@ TEST(PackageStoreTest, RandomPickCoversAllPackages) {
     S.publish(1, 1, {I});
   Rng R(9);
   std::set<uint32_t> Seen;
-  for (int I = 0; I < 200; ++I)
-    Seen.insert(S.pickRandom(1, 1, R)->Index);
+  for (int I = 0; I < 200; ++I) {
+    PackageStore::Selection Pick;
+    ASSERT_TRUE(S.pickRandom(1, 1, R, Pick).ok());
+    Seen.insert(Pick.Index);
+  }
   EXPECT_EQ(Seen.size(), 4u);
 }
 
@@ -105,15 +110,30 @@ TEST(PackageStoreTest, QuarantineRemovesFromRotation) {
   PackageStore S;
   S.publish(0, 0, {1});
   S.publish(0, 0, {2});
-  S.quarantine(0, 0, 0);
+  ASSERT_TRUE(S.quarantine(0, 0, 0).ok());
   EXPECT_EQ(S.available(0, 0), 1u);
   EXPECT_EQ(S.quarantinedCount(), 1u);
   Rng R(3);
-  for (int I = 0; I < 50; ++I)
-    EXPECT_EQ(S.pickRandom(0, 0, R)->Index, 1u);
+  for (int I = 0; I < 50; ++I) {
+    PackageStore::Selection Pick;
+    ASSERT_TRUE(S.pickRandom(0, 0, R, Pick).ok());
+    EXPECT_EQ(Pick.Index, 1u);
+  }
   // Idempotent.
-  S.quarantine(0, 0, 0);
+  ASSERT_TRUE(S.quarantine(0, 0, 0).ok());
   EXPECT_EQ(S.quarantinedCount(), 1u);
+}
+
+TEST(PackageStoreTest, QuarantineAndCorruptReportNotFound) {
+  PackageStore S;
+  Rng R(8);
+  EXPECT_EQ(S.quarantine(3, 1, 0).code(), support::StatusCode::NotFound)
+      << "unknown shelf";
+  EXPECT_EQ(S.corrupt(3, 1, 0, R).code(), support::StatusCode::NotFound);
+  S.publish(0, 0, {1});
+  EXPECT_EQ(S.quarantine(0, 0, 9).code(), support::StatusCode::NotFound)
+      << "unknown package index";
+  EXPECT_EQ(S.corrupt(0, 0, 9, R).code(), support::StatusCode::NotFound);
 }
 
 TEST(PackageStoreTest, CorruptFlipsBytes) {
@@ -121,10 +141,10 @@ TEST(PackageStoreTest, CorruptFlipsBytes) {
   std::vector<uint8_t> Blob(100, 0xAA);
   S.publish(0, 0, Blob);
   Rng R(4);
-  S.corrupt(0, 0, 0, R);
-  auto Pick = S.pickRandom(0, 0, R);
-  ASSERT_TRUE(Pick.has_value());
-  EXPECT_NE(*Pick->Blob, Blob);
+  ASSERT_TRUE(S.corrupt(0, 0, 0, R).ok());
+  PackageStore::Selection Pick;
+  ASSERT_TRUE(S.pickRandom(0, 0, R, Pick).ok());
+  EXPECT_NE(*Pick.Blob, Blob);
 }
 
 //===----------------------------------------------------------------------===//
@@ -140,9 +160,10 @@ TEST_F(CoreFixture, SeederPublishesValidPackage) {
   EXPECT_GT(Out.PackageBytes, 500u);
   // The published blob deserializes back to an equivalent package.
   Rng R(1);
-  auto Pick = Store.pickRandom(0, 0, R);
+  PackageStore::Selection Pick;
+  ASSERT_TRUE(Store.pickRandom(0, 0, R, Pick).ok());
   profile::ProfilePackage Pkg;
-  ASSERT_TRUE(profile::ProfilePackage::deserialize(*Pick->Blob, Pkg));
+  ASSERT_TRUE(profile::ProfilePackage::deserialize(*Pick.Blob, Pkg));
   EXPECT_EQ(Pkg.numProfiledFuncs(), Out.Package.numProfiledFuncs());
 }
 
@@ -200,7 +221,7 @@ TEST_F(CoreFixture, ConsumerSkipsCorruptPackage) {
   ASSERT_TRUE(seedInto(Store, 5).Published);
   ASSERT_TRUE(seedInto(Store, 6).Published);
   Rng R(2);
-  Store.corrupt(0, 0, 0, R);
+  ASSERT_TRUE(Store.corrupt(0, 0, 0, R).ok());
 
   // With two packages and one corrupt, consumers eventually succeed; with
   // enough attempts allowed, every boot should end up on the good one.

@@ -434,7 +434,7 @@ TEST_P(PackageFuzz, DistributionCorruptionFallsBack) {
   Rng R(GetParam() * 40503);
   core::PackageStore Store;
   Store.publish(0, 0, Seeded->serialize());
-  Store.corrupt(0, 0, 0, R);
+  ASSERT_TRUE(Store.corrupt(0, 0, 0, R).ok());
 
   core::ConsumerParams CP;
   CP.Seed = GetParam();

@@ -18,6 +18,8 @@
 #include "fleet/SteadyState.h"
 #include "jit/VasmTracer.h"
 #include "runtime/ValueOps.h"
+#include "support/StringUtil.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
@@ -90,7 +92,7 @@ TEST(SemanticInvariance, TiersDoNotChangeResults) {
   vm::ServerConfig CConfig;
   CConfig.Jit.ProfileRequestTarget = 30;
   vm::Server Consumer(W->Repo, CConfig, 6);
-  ASSERT_TRUE(Consumer.installPackage(Pkg));
+  ASSERT_TRUE(Consumer.installPackage(Pkg).ok());
   Consumer.startup();
   ASSERT_EQ(Consumer.theJit().phase(), jit::JitPhase::Mature);
 
@@ -232,6 +234,45 @@ TEST(Determinism, PackagesAreByteIdentical) {
   auto S2 = fleet::runSeeder(*W, Traffic, Config, 0, 0, 60, 10);
   EXPECT_EQ(S1->buildSeederPackage(0, 0, 1).serialize(),
             S2->buildSeederPackage(0, 0, 1).serialize());
+}
+
+TEST(Determinism, ConsumerBootIdenticalAcrossHostThreads) {
+  // The host compile pool only changes wall-clock time: the translations
+  // a consumer boots with -- ids, placement addresses, block layout,
+  // costs -- must be byte-for-byte identical for any worker count.
+  auto W = fleet::generateWorkload(tinySite(10));
+  fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 10);
+  vm::ServerConfig Config;
+  Config.Jit.ProfileRequestTarget = 30;
+  Config.Jit.SeederInstrumentation = true;
+  auto Seeder = fleet::runSeeder(*W, Traffic, Config, 0, 0, 100, 11);
+  profile::ProfilePackage Pkg = Seeder->buildSeederPackage(0, 0, 1);
+
+  auto TransDbDump = [&](support::ThreadPool *Pool) {
+    vm::ServerConfig C;
+    C.Jit.ProfileRequestTarget = 30;
+    C.CompilePool = Pool;
+    vm::Server S(W->Repo, C, 12);
+    EXPECT_TRUE(S.installPackage(Pkg).ok());
+    S.startup();
+    std::string Dump;
+    for (const auto &T : S.theJit().transDb().all()) {
+      Dump += strFormat("t%u k=%s f=%u entry=%llu cost=%f [", T->Id,
+                        jit::transKindName(T->Kind), T->func().raw(),
+                        static_cast<unsigned long long>(T->entryAddr()),
+                        T->CostPerBytecode);
+      for (uint64_t A : T->BlockAddrs)
+        Dump += strFormat("%llu,", static_cast<unsigned long long>(A));
+      Dump += "]\n";
+    }
+    return Dump;
+  };
+  std::string Serial = TransDbDump(nullptr);
+  ASSERT_FALSE(Serial.empty());
+  for (uint32_t Workers : {2u, 8u}) {
+    support::ThreadPool Pool(Workers);
+    EXPECT_EQ(TransDbDump(&Pool), Serial) << Workers << " workers";
+  }
 }
 
 //===----------------------------------------------------------------------===//

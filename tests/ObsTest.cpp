@@ -403,7 +403,7 @@ TEST(ObsEndToEndTest, CorruptPackageInjectionCountsRejections) {
   // consumer: every attempt must reject it as corrupt_data, fall back,
   // and count each rejection.
   Rng R(7);
-  Store.corrupt(0, 0, 0, R);
+  ASSERT_TRUE(Store.corrupt(0, 0, 0, R).ok());
   core::ConsumerParams CP;
   CP.Name = "consumer-corrupt";
   core::ConsumerOutcome Out = core::startConsumer(

@@ -204,10 +204,21 @@ TEST(ProfileStoreTest, RoundTripThroughPackage) {
   EXPECT_EQ(Pkg.Funcs[1].Func, 5u);
 
   ProfileStore Loaded;
-  Loaded.loadFromPackage(Pkg);
+  ASSERT_TRUE(Loaded.loadFromPackage(Pkg).ok());
   ASSERT_NE(Loaded.find(5), nullptr);
   EXPECT_EQ(Loaded.find(5)->EntryCount, 10u);
   EXPECT_EQ(Loaded.find(99), nullptr);
+}
+
+TEST(ProfileStoreTest, LoadRejectsDuplicateFunctions) {
+  ProfilePackage Pkg;
+  Pkg.Funcs.resize(2);
+  Pkg.Funcs[0].Func = 7;
+  Pkg.Funcs[1].Func = 7;
+  ProfileStore Loaded;
+  support::Status S = Loaded.loadFromPackage(Pkg);
+  EXPECT_FALSE(S.ok());
+  EXPECT_EQ(S.code(), support::StatusCode::CorruptData);
 }
 
 TEST(Coverage, PassesGoodPackage) {
@@ -217,7 +228,8 @@ TEST(Coverage, PassesGoodPackage) {
   T.MinTotalSamples = 100;
   T.MinPackageBytes = 10;
   CoverageResult R = checkCoverage(Pkg, 1000, T);
-  EXPECT_TRUE(R.Ok) << (R.Problems.empty() ? "" : R.Problems[0]);
+  EXPECT_TRUE(R.ok()) << (R.Problems.empty() ? "" : R.Problems[0]);
+  EXPECT_EQ(R.code(), support::StatusCode::Ok);
 }
 
 TEST(Coverage, FlagsUnderProfiledSeeder) {
@@ -226,7 +238,8 @@ TEST(Coverage, FlagsUnderProfiledSeeder) {
   T.MinProfiledFuncs = 10;
   T.MinTotalSamples = 1000;
   CoverageResult R = checkCoverage(Pkg, 50000, T);
-  EXPECT_FALSE(R.Ok);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.code(), support::StatusCode::CoverageTooLow);
   EXPECT_GE(R.Problems.size(), 2u);
 }
 
@@ -238,7 +251,8 @@ TEST(Coverage, FlagsFingerprintMismatch) {
   T.MinPackageBytes = 0;
   T.ExpectedFingerprint = 0x1234;
   CoverageResult R = checkCoverage(Pkg, 1000, T);
-  EXPECT_FALSE(R.Ok);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.code(), support::StatusCode::FingerprintMismatch);
   ASSERT_EQ(R.Problems.size(), 1u);
   EXPECT_NE(R.Problems[0].find("fingerprint"), std::string::npos);
 }
@@ -250,7 +264,8 @@ TEST(Coverage, FlagsTinyPackage) {
   T.MinTotalSamples = 1;
   T.MinPackageBytes = 1 << 20;
   CoverageResult R = checkCoverage(Pkg, 100, T);
-  EXPECT_FALSE(R.Ok);
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.code(), support::StatusCode::CoverageTooLow);
 }
 
 TEST(PackageIo, SaveLoadRoundTrip) {

@@ -1,0 +1,352 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the host-parallelism layer: the thread pool itself, the
+/// shard-then-merge metrics machinery, and -- the load-bearing property
+/// -- that every simulated result is byte-identical for any worker
+/// count.  Host threads may only change wall-clock time, never output.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Deployment.h"
+#include "fleet/ServerSim.h"
+#include "fleet/WorkloadGen.h"
+#include "obs/Export.h"
+#include "support/StringUtil.h"
+#include "support/ThreadPool.h"
+#include "vm/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+using namespace jumpstart;
+using support::ThreadPool;
+
+//===----------------------------------------------------------------------===//
+// ThreadPool.
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, InlineModeRunsOnCaller) {
+  for (uint32_t N : {0u, 1u}) {
+    ThreadPool P(N);
+    EXPECT_EQ(P.numWorkers(), 0u) << "<=1 workers spawns no threads";
+    int Ran = 0;
+    std::thread::id TaskThread;
+    P.submit([&] {
+      ++Ran;
+      TaskThread = std::this_thread::get_id();
+    });
+    EXPECT_EQ(Ran, 1) << "inline submit completes before returning";
+    EXPECT_EQ(TaskThread, std::this_thread::get_id());
+    P.wait();
+    std::vector<uint64_t> Counts = P.perWorkerTaskCounts();
+    ASSERT_EQ(Counts.size(), 1u);
+    EXPECT_EQ(Counts[0], 1u);
+  }
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskAcrossWorkers) {
+  ThreadPool P(4);
+  EXPECT_EQ(P.numWorkers(), 4u);
+  std::atomic<int> Sum{0};
+  for (int I = 0; I < 500; ++I)
+    P.submit([&Sum] { Sum.fetch_add(1, std::memory_order_relaxed); });
+  P.wait();
+  EXPECT_EQ(Sum.load(), 500);
+  uint64_t Total = 0;
+  for (uint64_t C : P.perWorkerTaskCounts())
+    Total += C;
+  EXPECT_EQ(Total, 500u) << "per-worker stats account for every task";
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool P(3);
+  std::vector<std::atomic<int>> Hits(97);
+  P.parallelFor(Hits.size(), [&](size_t I) {
+    Hits[I].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t I = 0; I < Hits.size(); ++I)
+    EXPECT_EQ(Hits[I].load(), 1) << "index " << I;
+  // N == 0 is a no-op.
+  P.parallelFor(0, [&](size_t) { ADD_FAILURE() << "body ran for N=0"; });
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstTaskException) {
+  ThreadPool P(2);
+  P.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(P.wait(), std::runtime_error);
+  // The pool stays usable after an error.
+  std::atomic<int> Ran{0};
+  P.submit([&Ran] { ++Ran; });
+  P.wait();
+  EXPECT_EQ(Ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, InlineModeAlsoRethrows) {
+  ThreadPool P(1);
+  P.submit([] { throw std::runtime_error("inline boom"); });
+  EXPECT_THROW(P.wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedWorkUnderLoad) {
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool P(2, /*QueueCapacity=*/8);
+    for (int I = 0; I < 64; ++I)
+      P.submit([&Ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        Ran.fetch_add(1, std::memory_order_relaxed);
+      });
+    P.shutdown(); // graceful: drains the queue, then joins
+  }
+  EXPECT_EQ(Ran.load(), 64) << "shutdown must not drop queued tasks";
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // A task running on a pool worker fans out on the same pool (the
+  // deployment boots consumers whose servers use the same CompilePool);
+  // the nested fan-out must run inline instead of deadlocking.
+  ThreadPool P(2);
+  std::atomic<int> Inner{0};
+  P.parallelFor(4, [&](size_t) {
+    P.parallelFor(8, [&](size_t) {
+      Inner.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(Inner.load(), 32);
+}
+
+//===----------------------------------------------------------------------===//
+// Shard-then-merge metrics.
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsMergeTest, HistogramMergeAddsBuckets) {
+  obs::Histogram A({1.0, 2.0});
+  obs::Histogram B({1.0, 2.0});
+  A.observe(0.5);
+  A.observe(1.5);
+  B.observe(1.5);
+  B.observe(5.0);
+  A.merge(B);
+  EXPECT_EQ(A.count(), 4u);
+  EXPECT_DOUBLE_EQ(A.sum(), 8.5);
+  EXPECT_EQ(A.bucketCount(0), 1u);
+  EXPECT_EQ(A.bucketCount(1), 2u);
+  EXPECT_EQ(A.bucketCount(2), 1u) << "overflow bucket";
+}
+
+TEST(MetricsMergeTest, MergeFromFoldsEveryKind) {
+  obs::MetricsRegistry Shard;
+  Shard.counter("c", {{"k", "v"}}).inc(3);
+  Shard.gauge("g").set(2.5);
+  Shard.histogram("h", {}, {1.0}).observe(0.5);
+  Shard.series("s", {{"run", "a"}}).record(1.0, 10.0);
+
+  obs::MetricsRegistry Main;
+  Main.counter("c", {{"k", "v"}}).inc(2);
+  Main.mergeFrom(Shard);
+  EXPECT_EQ(Main.findCounter("c", {{"k", "v"}})->value(), 5u);
+  EXPECT_DOUBLE_EQ(Main.findGauge("g")->value(), 2.5);
+  EXPECT_EQ(Main.findHistogram("h")->count(), 1u);
+  ASSERT_NE(Main.findSeries("s", {{"run", "a"}}), nullptr);
+  EXPECT_EQ(Main.findSeries("s", {{"run", "a"}})->points().size(), 1u);
+
+  // Merging identical shards in the same order renders identically.
+  obs::MetricsRegistry M1, M2;
+  M1.mergeFrom(Shard);
+  M2.mergeFrom(Shard);
+  EXPECT_EQ(obs::metricsToJsonLines(M1), obs::metricsToJsonLines(M2));
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism: identical output for any worker count.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class ThreadingFixture : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    fleet::WorkloadParams P;
+    P.NumHelpers = 120;
+    P.NumClasses = 24;
+    P.NumEndpoints = 12;
+    P.NumUnits = 12;
+    W = fleet::generateWorkload(P).release();
+    Traffic = new fleet::TrafficModel(*W, fleet::TrafficParams(), 42);
+    vm::ServerConfig SeederConfig = baseConfig();
+    SeederConfig.Jit.SeederInstrumentation = true;
+    Pkg = new profile::ProfilePackage(
+        fleet::runSeeder(*W, *Traffic, SeederConfig, 0, 0, 300, 12)
+            ->buildSeederPackage(0, 0, 1));
+  }
+  static void TearDownTestSuite() {
+    delete Pkg;
+    delete Traffic;
+    delete W;
+    Pkg = nullptr;
+    Traffic = nullptr;
+    W = nullptr;
+  }
+
+  static vm::ServerConfig baseConfig() {
+    vm::ServerConfig C;
+    C.Jit.ProfileRequestTarget = 40;
+    return C;
+  }
+
+  /// Boots a consumer with the given host pool and renders everything
+  /// observable about the result into one string: full metrics + trace
+  /// dumps plus a per-translation TransDb summary.
+  static std::string bootSignature(support::ThreadPool *Pool,
+                                   bool PrecompileLive) {
+    obs::Observability Obs;
+    vm::ServerConfig C = baseConfig();
+    C.CompilePool = Pool;
+    C.Jit.PrecompileLiveCode = PrecompileLive;
+    C.Obs = &Obs;
+    C.Name = "consumer";
+    vm::Server S(W->Repo, C, 17);
+    if (!S.installPackage(*Pkg).ok())
+      return "install failed";
+    vm::InitStats Init = S.startup();
+    std::string Sig = strFormat("init=%.6f precompile=%.6f code=%llu\n",
+                                Init.TotalSeconds, Init.PrecompileSeconds,
+                                static_cast<unsigned long long>(
+                                    S.theJit().totalCodeBytes()));
+    for (const auto &T : S.theJit().transDb().all())
+      Sig += strFormat("t%u k=%s f=%u placed=%d entry=%llu blocks=%zu "
+                       "cost=%.6f\n",
+                       T->Id, jit::transKindName(T->Kind),
+                       T->func().raw(), T->Placed ? 1 : 0,
+                       static_cast<unsigned long long>(T->entryAddr()),
+                       T->BlockAddrs.size(), T->CostPerBytecode);
+    Sig += obs::metricsToJsonLines(Obs.Metrics);
+    Sig += obs::traceToJsonLines(Obs.Trace);
+    return Sig;
+  }
+
+  static fleet::Workload *W;
+  static fleet::TrafficModel *Traffic;
+  static profile::ProfilePackage *Pkg;
+};
+
+fleet::Workload *ThreadingFixture::W = nullptr;
+fleet::TrafficModel *ThreadingFixture::Traffic = nullptr;
+profile::ProfilePackage *ThreadingFixture::Pkg = nullptr;
+
+} // namespace
+
+TEST_F(ThreadingFixture, ConsumerBootIdenticalForAnyWorkerCount) {
+  for (bool PrecompileLive : {false, true}) {
+    std::string Serial = bootSignature(nullptr, PrecompileLive);
+    ASSERT_NE(Serial.find("placed=1"), std::string::npos)
+        << "precompile must place translations";
+    for (uint32_t Workers : {1u, 2u, 8u}) {
+      ThreadPool Pool(Workers);
+      EXPECT_EQ(bootSignature(&Pool, PrecompileLive), Serial)
+          << Workers << " workers, precompile_live=" << PrecompileLive;
+    }
+  }
+}
+
+TEST_F(ThreadingFixture, WarmupSweepMatchesSerial) {
+  vm::ServerConfig Config = baseConfig();
+  auto MakeRuns = [&] {
+    std::vector<fleet::WarmupSweepRun> Runs;
+    for (int I = 0; I < 3; ++I) {
+      fleet::WarmupSweepRun Run;
+      Run.Params.DurationSeconds = 60;
+      Run.Params.Seed = 7 + I;
+      Run.Params.RunLabel = strFormat("run%d", I);
+      Run.Package = (I == 1) ? Pkg : nullptr;
+      Runs.push_back(std::move(Run));
+    }
+    return Runs;
+  };
+  obs::MetricsRegistry SerialMerged;
+  std::vector<fleet::WarmupResult> Serial = fleet::runWarmupSweep(
+      *W, *Traffic, Config, MakeRuns(), nullptr, &SerialMerged);
+  std::string SerialJson = obs::metricsToJsonLines(SerialMerged);
+  for (uint32_t Workers : {2u, 8u}) {
+    ThreadPool Pool(Workers);
+    obs::MetricsRegistry Merged;
+    std::vector<fleet::WarmupResult> Results = fleet::runWarmupSweep(
+        *W, *Traffic, Config, MakeRuns(), &Pool, &Merged);
+    EXPECT_EQ(obs::metricsToJsonLines(Merged), SerialJson)
+        << Workers << " workers";
+    ASSERT_EQ(Results.size(), Serial.size());
+    for (size_t I = 0; I < Results.size(); ++I)
+      EXPECT_DOUBLE_EQ(Results[I].CapacityLossFraction,
+                       Serial[I].CapacityLossFraction);
+  }
+}
+
+TEST_F(ThreadingFixture, DeploymentIdenticalForAnyWorkerCount) {
+  core::JumpStartOptions Opts;
+  Opts.Coverage.MinProfiledFuncs = 5;
+  Opts.Coverage.MinTotalSamples = 100;
+  Opts.ValidationRequests = 10;
+  core::DeploymentParams DP;
+  DP.Regions = 1;
+  DP.Buckets = 2;
+  DP.SeedersPerPair = 1;
+  DP.SeederRequests = 120;
+  DP.ConsumerSamplesPerPair = 1;
+  vm::ServerConfig Config = baseConfig();
+
+  auto RunPush = [&](support::ThreadPool *Pool, core::PackageStore &Store) {
+    core::DeploymentParams P = DP;
+    P.Pool = Pool;
+    return core::simulateDeployment(*W, *Traffic, Config, Opts, Store, P);
+  };
+  auto ReportText = [](const core::DeploymentReport &R) {
+    std::string S = strFormat(
+        "canary=%d seeders=%u published=%u failures=%u booted=%u js=%u "
+        "init=%.6f\n",
+        R.CanaryHealthy ? 1 : 0, R.SeedersRun, R.PackagesPublished,
+        R.SeederFailures, R.ConsumersBooted, R.ConsumersUsedJumpStart,
+        R.MeanConsumerInitSeconds);
+    for (const std::string &Line : R.Log)
+      S += Line + "\n";
+    return S;
+  };
+
+  core::PackageStore SerialStore;
+  std::string Serial = ReportText(RunPush(nullptr, SerialStore));
+  for (uint32_t Workers : {1u, 2u, 8u}) {
+    ThreadPool Pool(Workers);
+    core::PackageStore Store;
+    EXPECT_EQ(ReportText(RunPush(&Pool, Store)), Serial)
+        << Workers << " workers";
+    for (uint32_t B = 0; B < DP.Buckets; ++B)
+      EXPECT_EQ(Store.available(0, B), SerialStore.available(0, B))
+          << "published blobs must land on the same shelves";
+  }
+
+  // The parallel path's merged metrics are themselves deterministic
+  // across worker counts (the serial path records into the shared
+  // registry directly, so it is compared separately above).
+  auto MetricsText = [&](uint32_t Workers) {
+    ThreadPool Pool(Workers);
+    obs::Observability Obs;
+    core::PackageStore Store;
+    core::DeploymentParams P = DP;
+    P.Pool = &Pool;
+    core::simulateDeployment(*W, *Traffic, Config, Opts, Store, P,
+                             /*Chaos=*/nullptr, &Obs);
+    return obs::metricsToJsonLines(Obs.Metrics);
+  };
+  std::string M1 = MetricsText(1);
+  EXPECT_EQ(MetricsText(2), M1);
+  EXPECT_EQ(MetricsText(8), M1);
+}

@@ -93,11 +93,11 @@ TEST_F(VmTestFixture, InstallPackageRejectsWrongFingerprint) {
   vm::Server S(W->Repo, fastConfig(), 3);
   profile::ProfilePackage Pkg;
   Pkg.RepoFingerprint = 0x1111; // not this repo
-  EXPECT_FALSE(S.installPackage(Pkg));
+  EXPECT_FALSE(S.installPackage(Pkg).ok());
   profile::ProfilePackage Ok;
   Ok.RepoFingerprint = vm::Server::repoFingerprint(W->Repo);
   vm::Server S2(W->Repo, fastConfig(), 3);
-  EXPECT_TRUE(S2.installPackage(Ok));
+  EXPECT_TRUE(S2.installPackage(Ok).ok());
 }
 
 TEST_F(VmTestFixture, SeederPackageIsSubstantive) {
@@ -133,7 +133,7 @@ TEST_F(VmTestFixture, ConsumerBootsMatureAndFast) {
   vm::ServerConfig ConsumerConfig = fastConfig();
   ConsumerConfig.WarmupEndpoints = {W->Endpoints[0].raw()};
   vm::Server Consumer(W->Repo, ConsumerConfig, 17);
-  ASSERT_TRUE(Consumer.installPackage(Pkg));
+  ASSERT_TRUE(Consumer.installPackage(Pkg).ok());
   vm::InitStats Init = Consumer.startup();
   EXPECT_TRUE(Init.UsedJumpStart);
   EXPECT_GT(Init.PrecompileSeconds, 0.0);
@@ -162,7 +162,7 @@ TEST_F(VmTestFixture, ConsumerWarmupRequestsRunParallel) {
     WithWarmup.WarmupEndpoints.push_back(W->Endpoints[I].raw());
 
   vm::Server Js(W->Repo, WithWarmup, 23);
-  ASSERT_TRUE(Js.installPackage(Pkg));
+  ASSERT_TRUE(Js.installPackage(Pkg).ok());
   vm::InitStats JsInit = Js.startup();
 
   vm::Server NoJs(W->Repo, WithWarmup, 23);
@@ -187,13 +187,13 @@ TEST_F(VmTestFixture, PropertyReorderingRequiresPackageCounts) {
   ASSERT_FALSE(Pkg.Opt.PropAccessCounts.empty());
 
   vm::Server Consumer(W->Repo, fastConfig(), 37);
-  ASSERT_TRUE(Consumer.installPackage(Pkg));
+  ASSERT_TRUE(Consumer.installPackage(Pkg).ok());
   EXPECT_TRUE(Consumer.classes().reorderingEnabled());
 
   vm::ServerConfig NoReorder = fastConfig();
   NoReorder.ReorderProperties = false;
   vm::Server Disabled(W->Repo, NoReorder, 37);
-  ASSERT_TRUE(Disabled.installPackage(Pkg));
+  ASSERT_TRUE(Disabled.installPackage(Pkg).ok());
   EXPECT_FALSE(Disabled.classes().reorderingEnabled());
 }
 
