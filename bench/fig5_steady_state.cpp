@@ -23,7 +23,9 @@
 using namespace jumpstart;
 using namespace jumpstart::bench;
 
-int main() {
+int main(int argc, char **argv) {
+  FigureFlags Flags = parseFigureFlags(argc, argv);
+  std::unique_ptr<support::ThreadPool> Pool = makeCompilePool(Flags.Threads);
   std::printf("=== Figure 5: steady-state impact of Jump-Start ===\n");
   auto W = fleet::generateWorkload(standardSite());
   fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 42);
@@ -38,6 +40,7 @@ int main() {
   JsConfig.Jit.UseVasmCounters = true;
   JsConfig.Jit.UsePackageFuncOrder = true;
   JsConfig.ReorderProperties = true;
+  JsConfig.CompilePool = Pool.get();
   vm::Server Js(W->Repo, JsConfig, 77);
   support::Status Installed = Js.installPackage(Pkg);
   alwaysAssert(Installed.ok(), "package rejected");
@@ -91,5 +94,22 @@ int main() {
                         RNo.L1IMissRate, RNo.ITlbMissRate, RNo.L1DMissRate,
                         RNo.DTlbMissRate, RNo.LlcMissRate)
                   .c_str());
-  return 0;
+
+  // Export: one gauge per counter per mode, plus the headline speedup
+  // (tests/golden/fig5.metrics.jsonl byte-diffs this).
+  obs::Observability Obs;
+  auto Record = [&](const char *Mode, const fleet::SteadyStateResult &R) {
+    obs::LabelSet L{{"mode", Mode}};
+    Obs.Metrics.gauge("fig5.cycles_per_request", L).set(R.CyclesPerRequest);
+    Obs.Metrics.gauge("fig5.branch_miss_rate", L).set(R.BranchMissRate);
+    Obs.Metrics.gauge("fig5.l1i_miss_rate", L).set(R.L1IMissRate);
+    Obs.Metrics.gauge("fig5.itlb_miss_rate", L).set(R.ITlbMissRate);
+    Obs.Metrics.gauge("fig5.l1d_miss_rate", L).set(R.L1DMissRate);
+    Obs.Metrics.gauge("fig5.dtlb_miss_rate", L).set(R.DTlbMissRate);
+    Obs.Metrics.gauge("fig5.llc_miss_rate", L).set(R.LlcMissRate);
+  };
+  Record("jumpstart", RJs);
+  Record("nojumpstart", RNo);
+  Obs.Metrics.gauge("fig5.speedup_percent").set(Speedup);
+  return exportIfRequested(Obs, Flags.ExportPrefix);
 }

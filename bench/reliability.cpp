@@ -41,7 +41,7 @@ static void printRun(const char *Name, const ReliabilityResult &R,
   std::printf("\n  peak simultaneous crashes  : %u (%.1f%% of fleet)\n",
               R.PeakCrashed, 100.0 * R.PeakCrashed / Consumers);
   std::printf("  consumers in fallback      : %u\n", R.FallbackCount);
-  std::printf("  healthy at end             : %u / %u\n\n", R.HealthyAtEnd,
+  std::printf("  healthy with Jump-Start    : %u / %u\n\n", R.HealthyAtEnd,
               Consumers);
 }
 

@@ -10,6 +10,9 @@
 #   CHECK_TSAN=1 ci/check.sh      # additionally run the TSan sweep, which
 #                                 # re-runs the tests and the --threads
 #                                 # determinism sweep instrumented
+#   CHECK_DIFF=0 ci/check.sh      # skip the differential conformance smoke
+#                                 # (50 generated programs through the
+#                                 # interp/JIT/Jump-Start config matrix)
 #
 # This is what "the tests pass" means for this repository; ci/sanitize.sh
 # is the deeper (slower) sanitizer sweep.
@@ -51,6 +54,23 @@ for THREADS in 2 8; do
   done
 done
 echo "check.sh: fig4_warmup exports byte-identical for --threads 1/2/8"
+
+# Differential conformance smoke: 50 generated programs through the smoke
+# config matrix (interpreter / JIT tiers / Jump-Start consumer boot), run
+# twice -- zero mismatches and a byte-identical summary (which embeds the
+# sweep digest covering every observable).
+if [[ "${CHECK_DIFF:-1}" == "1" ]]; then
+  "${BUILD_DIR}/examples/jsvm" fuzz --programs 50 --seed 7 \
+    --repro "${TMP_DIR}/repro" > "${TMP_DIR}/diff-a.txt"
+  "${BUILD_DIR}/examples/jsvm" fuzz --programs 50 --seed 7 \
+    --repro "${TMP_DIR}/repro" > "${TMP_DIR}/diff-b.txt"
+  if ! cmp -s "${TMP_DIR}/diff-a.txt" "${TMP_DIR}/diff-b.txt"; then
+    echo "check.sh: FAIL: conformance sweep digest differs between runs" >&2
+    diff "${TMP_DIR}/diff-a.txt" "${TMP_DIR}/diff-b.txt" >&2 || true
+    exit 1
+  fi
+  echo "check.sh: $(cat "${TMP_DIR}/diff-a.txt")"
+fi
 
 if [[ "${CHECK_SANITIZE:-0}" == "1" ]]; then
   "${REPO_DIR}/ci/sanitize.sh"

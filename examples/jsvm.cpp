@@ -15,6 +15,8 @@
 ///                                               host compile pool
 ///   jsvm opts [k=v ...]                         parse + validate
 ///                                               Jump-Start options
+///   jsvm fuzz [--programs N] [--seed S] ...     differential conformance
+///                                               sweep (src/testing)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,6 +28,7 @@
 #include "jit/ParallelRetranslate.h"
 #include "runtime/ValueOps.h"
 #include "support/ThreadPool.h"
+#include "testing/DiffRunner.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -43,7 +46,9 @@ int usage() {
                "       jsvm disasm <file.hack> [function]\n"
                "       jsvm check <file.hack>\n"
                "       jsvm jit <file.hack> [--threads N]\n"
-               "       jsvm opts [key=value ...]\n");
+               "       jsvm opts [key=value ...]\n"
+               "       jsvm fuzz [--programs N] [--seed S] [--requests N]\n"
+               "                 [--full] [--skew K] [--repro DIR]\n");
   return 2;
 }
 
@@ -106,6 +111,65 @@ int main(int argc, char **argv) {
     for (const auto &[Key, Value] : Opts.toKeyValues())
       std::printf("%s=%s\n", Key.c_str(), Value.c_str());
     return Diags.empty() ? 0 : 1;
+  }
+
+  // `fuzz` runs the differential conformance sweep: generated programs
+  // executed under the full config matrix (interpreter vs JIT tiers vs
+  // Jump-Start consumer boot), mismatches shrunk to reproducers.
+  if (std::strcmp(Command, "fuzz") == 0) {
+    jumpstart::testing::DiffParams P;
+    bool Full = false;
+    int64_t Skew = 0;
+    for (int I = 2; I < argc; ++I) {
+      auto IntArg = [&](int64_t &Out) {
+        if (I + 1 >= argc)
+          return false;
+        Out = std::strtoll(argv[++I], nullptr, 10);
+        return true;
+      };
+      int64_t V = 0;
+      if (std::strcmp(argv[I], "--programs") == 0 && IntArg(V))
+        P.NumPrograms = static_cast<uint32_t>(V);
+      else if (std::strcmp(argv[I], "--seed") == 0 && IntArg(V))
+        P.Seed = static_cast<uint64_t>(V);
+      else if (std::strcmp(argv[I], "--requests") == 0 && IntArg(V))
+        P.RequestsPerProgram = static_cast<uint32_t>(V);
+      else if (std::strcmp(argv[I], "--skew") == 0 && IntArg(V))
+        Skew = V;
+      else if (std::strcmp(argv[I], "--full") == 0)
+        Full = true;
+      else if (std::strcmp(argv[I], "--repro") == 0 && I + 1 < argc)
+        P.ReproDir = argv[++I];
+      else
+        return usage();
+    }
+    P.Matrix = Full ? jumpstart::testing::fullMatrix()
+                    : jumpstart::testing::smokeMatrix();
+    if (Skew != 0) {
+      // Self-test mode: inject an interpreter divergence the oracle must
+      // catch (nonzero exit proves detection works end to end).
+      jumpstart::testing::ExecConfig C = jumpstart::testing::skewConfig();
+      C.IntAddSkew = Skew;
+      P.Matrix = {P.Matrix.front(), C};
+    }
+    jumpstart::testing::DiffRunner Runner(std::move(P));
+    jumpstart::testing::DiffStats Stats = Runner.run();
+    for (const jumpstart::testing::Mismatch &M : Stats.Mismatches) {
+      std::fprintf(stderr,
+                   "jsvm: MISMATCH seed=%llu %s vs %s: %s\n",
+                   static_cast<unsigned long long>(M.ProgramSeed),
+                   M.ConfigA.c_str(), M.ConfigB.c_str(), M.What.c_str());
+      if (!M.ArtifactPath.empty())
+        std::fprintf(stderr, "jsvm:   reproducer (%zu lines): %s\n",
+                     M.ShrunkLines, M.ArtifactPath.c_str());
+    }
+    std::printf("fuzz: %u programs, %u runs, %u jumpstart boots, "
+                "%u digest comparisons, %zu mismatches, "
+                "sweep digest %016llx\n",
+                Stats.Programs, Stats.Runs, Stats.JumpStartBoots,
+                Stats.DigestComparisons, Stats.Mismatches.size(),
+                static_cast<unsigned long long>(Stats.SweepDigest));
+    return Stats.Mismatches.empty() ? 0 : 1;
   }
 
   if (argc < 3)

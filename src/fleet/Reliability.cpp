@@ -35,10 +35,11 @@ jumpstart::fleet::simulateCrashLoop(const ReliabilityParams &P) {
     if (IsPoisoned)
       ++Result.PoisonedPublished;
   }
-  // If validation removed everything, consumers fall back immediately.
+  // If validation removed everything, consumers fall back immediately:
+  // all serving, none with Jump-Start.
   if (Published.empty()) {
     Result.FallbackCount = P.NumConsumers;
-    Result.HealthyAtEnd = P.NumConsumers;
+    Result.HealthyAtEnd = 0;
     Result.CrashedPerRound.assign(P.Rounds, 0);
     return Result;
   }
@@ -74,8 +75,10 @@ jumpstart::fleet::simulateCrashLoop(const ReliabilityParams &P) {
     Result.PeakCrashed = std::max(Result.PeakCrashed, Crashed);
   }
 
+  // Healthy-with-Jump-Start and fallback are disjoint outcomes; see the
+  // partition invariant on ReliabilityResult.
   for (const Consumer &C : Consumers) {
-    if (C.Healthy || C.Fallback)
+    if (C.Healthy)
       ++Result.HealthyAtEnd;
     if (C.Fallback)
       ++Result.FallbackCount;

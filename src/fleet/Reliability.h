@@ -60,12 +60,21 @@ struct ReliabilityParams {
 };
 
 /// Outcome of the crash-loop simulation.
+///
+/// Partition invariant: every consumer ends either healthy *with*
+/// Jump-Start or in no-Jump-Start fallback, so whenever Rounds >=
+/// MaxJumpStartAttempts (enough rounds for every unlucky consumer to
+/// exhaust its attempts), HealthyAtEnd + FallbackCount == NumConsumers
+/// for ANY seed and any parameters with RandomizedSelection enabled.
+/// The reliability property tests assert exactly this.
 struct ReliabilityResult {
   /// Consumers that crashed in each restart round.
   std::vector<uint32_t> CrashedPerRound;
-  /// Consumers that ended up in no-Jump-Start fallback.
+  /// Consumers that ended up in no-Jump-Start fallback (serving, but
+  /// they collect their own profile).
   uint32_t FallbackCount = 0;
-  /// Consumers healthy (serving, with or without Jump-Start) at the end.
+  /// Consumers serving WITH Jump-Start at the end; fallback consumers
+  /// are counted in FallbackCount only, never here.
   uint32_t HealthyAtEnd = 0;
   /// Peak simultaneous crash count (site-outage indicator).
   uint32_t PeakCrashed = 0;

@@ -293,6 +293,9 @@ Value Interpreter::execFrame(bc::FuncId FId, const Value *Args,
         break;
       }
       Value Res = runtime::arith(O, A, B);
+      if (Opts.TestOnlyIntAddSkew != 0 && In.Opcode == bc::Op::Add &&
+          Res.isInt())
+        Res = Value::integer(Res.I + Opts.TestOnlyIntAddSkew);
       if (Res.isNull() && !(A.isNull() || B.isNull()))
         ++Faults;
       if (Callbacks)

@@ -47,6 +47,11 @@ struct InterpResult {
 struct InterpOptions {
   uint64_t StepBudget = 100'000'000;
   uint32_t MaxCallDepth = 200;
+  /// Test-only fault injection: added to every integer Add result.  The
+  /// differential conformance oracle (src/testing) uses a nonzero skew to
+  /// prove it can detect a single-opcode semantic divergence between two
+  /// otherwise identical configurations.  Must be 0 in production.
+  int64_t TestOnlyIntAddSkew = 0;
 };
 
 /// Executes bytecode against the runtime.  One instance per simulated

@@ -8,6 +8,7 @@
 #include "jit/TransDb.h"
 
 #include "support/Assert.h"
+#include "support/StringUtil.h"
 
 using namespace jumpstart;
 using namespace jumpstart::jit;
@@ -93,4 +94,15 @@ uint64_t TransDb::bytesOfKind(TransKind K) const {
     if (T->Kind == K)
       Total += T->Unit->sizeBytes();
   return Total;
+}
+
+std::string TransDb::placementDigest() const {
+  std::string Out;
+  for (const auto &T : All)
+    Out += strFormat("t%u %s f%u placed=%d entry=%llu blocks=%zu\n",
+                     T->Id, transKindName(T->Kind), T->func().raw(),
+                     T->Placed ? 1 : 0,
+                     static_cast<unsigned long long>(T->entryAddr()),
+                     T->BlockAddrs.size());
+  return Out;
 }

@@ -17,6 +17,7 @@
 #include "jit/Translation.h"
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -47,6 +48,13 @@ public:
 
   /// Total Vasm bytes of translations of kind \p K (placed or not).
   uint64_t bytesOfKind(TransKind K) const;
+
+  /// One line per translation in id order (kind, function, placement,
+  /// entry address, block count).  Part of the determinism promise: two
+  /// runs of the same schedule must produce byte-identical digests
+  /// regardless of host compile-pool width; the conformance oracle
+  /// (src/testing) asserts exactly that.
+  std::string placementDigest() const;
 
 private:
   std::unordered_map<uint32_t, uint32_t> &mapFor(TransKind K);

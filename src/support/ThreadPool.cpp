@@ -85,6 +85,10 @@ void ThreadPool::submit(std::function<void()> Task) {
   if (Workers.empty() || onWorkerThread()) {
     // Inline mode, or a task submitting from a worker (run it directly
     // rather than risking a full queue deadlock).
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      alwaysAssert(!Stopping, "submit() after shutdown()");
+    }
     try {
       Task();
     } catch (...) {
@@ -110,11 +114,14 @@ void ThreadPool::wait() {
 }
 
 void ThreadPool::shutdown() {
+  // Stopping is set even in inline mode (and even though joined workers
+  // leave Workers empty) so a late submit() on any pool trips the
+  // "submit() after shutdown()" assertion instead of silently running.
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stopping = true;
+  }
   if (!Workers.empty()) {
-    {
-      std::lock_guard<std::mutex> Lock(M);
-      Stopping = true;
-    }
     NotEmpty.notify_all();
     for (std::thread &T : Workers)
       T.join();

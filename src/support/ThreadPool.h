@@ -64,7 +64,9 @@ public:
   }
 
   /// Enqueues \p Task; blocks while the queue is full.  Inline mode runs
-  /// it immediately on the calling thread.
+  /// it immediately on the calling thread.  Aborts on a pool that has
+  /// been shut down (in inline mode too -- a silently swallowed task
+  /// would be a far worse bug than an abort).
   void submit(std::function<void()> Task);
 
   /// Blocks until every submitted task has finished, then rethrows the

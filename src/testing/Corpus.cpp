@@ -1,0 +1,114 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/Corpus.h"
+
+#include "support/StringUtil.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace jumpstart;
+using namespace jumpstart::testing;
+using support::Status;
+using support::StatusCode;
+
+std::string jumpstart::testing::renderCorpusEntry(const CorpusEntry &E) {
+  std::string Out = "# replayable fuzz failure; see src/testing/Corpus.h\n";
+  Out += strFormat("kind=%s\n", E.Kind.c_str());
+  Out += strFormat("seed=%llu\n", static_cast<unsigned long long>(E.Seed));
+  if (!E.Note.empty()) {
+    // Notes are one line; newlines would break the format.
+    std::string Note = E.Note;
+    std::replace(Note.begin(), Note.end(), '\n', ' ');
+    Out += strFormat("note=%s\n", Note.c_str());
+  }
+  return Out;
+}
+
+Status jumpstart::testing::parseCorpusEntry(const std::string &Text,
+                                            CorpusEntry &E) {
+  bool HaveKind = false;
+  bool HaveSeed = false;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    size_t Eq = Line.find('=');
+    if (Eq == std::string::npos)
+      return support::errorStatus(StatusCode::CorruptData,
+                                  "corpus line without '=': %s",
+                                  Line.c_str());
+    std::string Key = Line.substr(0, Eq);
+    std::string Val = Line.substr(Eq + 1);
+    if (Key == "kind") {
+      E.Kind = Val;
+      HaveKind = true;
+    } else if (Key == "seed") {
+      char *End = nullptr;
+      E.Seed = std::strtoull(Val.c_str(), &End, 10);
+      if (End == Val.c_str() || *End != '\0')
+        return support::errorStatus(StatusCode::CorruptData,
+                                    "bad corpus seed: %s", Val.c_str());
+      HaveSeed = true;
+    } else if (Key == "note") {
+      E.Note = Val;
+    }
+    // Unknown keys: ignored for forward compatibility.
+  }
+  if (!HaveKind || !HaveSeed)
+    return Status::error(StatusCode::CorruptData,
+                         "corpus entry missing kind or seed");
+  return Status::okStatus();
+}
+
+std::vector<CorpusEntry>
+jumpstart::testing::loadCorpusDir(const std::string &Dir) {
+  std::vector<CorpusEntry> Entries;
+  std::error_code Ec;
+  std::vector<std::filesystem::path> Paths;
+  for (const auto &DirEnt :
+       std::filesystem::directory_iterator(Dir, Ec)) {
+    if (DirEnt.path().extension() == ".corpus")
+      Paths.push_back(DirEnt.path());
+  }
+  std::sort(Paths.begin(), Paths.end());
+  for (const std::filesystem::path &P : Paths) {
+    std::ifstream In(P);
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    CorpusEntry E;
+    if (parseCorpusEntry(Buf.str(), E).ok()) {
+      E.Path = P.string();
+      Entries.push_back(std::move(E));
+    }
+  }
+  return Entries;
+}
+
+Status jumpstart::testing::writeCorpusEntry(const std::string &Dir,
+                                            const CorpusEntry &E,
+                                            std::string *PathOut) {
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  std::string Path =
+      strFormat("%s/%s-%llu.corpus", Dir.c_str(), E.Kind.c_str(),
+                static_cast<unsigned long long>(E.Seed));
+  std::ofstream Out(Path);
+  if (!Out)
+    return support::errorStatus(StatusCode::IoError,
+                                "cannot write corpus entry %s",
+                                Path.c_str());
+  Out << renderCorpusEntry(E);
+  if (PathOut)
+    *PathOut = Path;
+  return Status::okStatus();
+}

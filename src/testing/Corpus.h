@@ -1,0 +1,68 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The replayable failure corpus.  Every fuzzing harness in this library
+/// is seed-driven, so a failure is fully described by (kind, seed): when
+/// a fuzz test fails it dumps one small text file under tests/corpus/,
+/// and a dedicated ctest replays every checked-in entry on every run --
+/// regressions stay fixed.
+///
+/// Entry format (one per file, extension .corpus):
+///
+///   # free-form comment lines
+///   kind=pkg_struct
+///   seed=7
+///   note=out-of-range profiled function id
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_TESTING_CORPUS_H
+#define JUMPSTART_TESTING_CORPUS_H
+
+#include "support/Status.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jumpstart::testing {
+
+/// One replayable failure.  Kind selects the harness:
+///   pkg_struct       -- semantic package mutation + consumer boot
+///   pkg_byteflip     -- wire-level byte flips and truncations
+///   pkg_distribution -- in-store corruption after publication
+///   diff_program     -- differential sweep of one generated program
+struct CorpusEntry {
+  std::string Kind;
+  uint64_t Seed = 0;
+  /// Human context, e.g. the original failure message.
+  std::string Note;
+  /// File the entry was loaded from ("" for fresh entries).
+  std::string Path;
+};
+
+/// Serializes \p E to the .corpus text format.
+std::string renderCorpusEntry(const CorpusEntry &E);
+
+/// Parses one .corpus file's contents.  Unknown keys are ignored (forward
+/// compatibility); a missing kind or seed fails.
+support::Status parseCorpusEntry(const std::string &Text, CorpusEntry &E);
+
+/// Loads every *.corpus file under \p Dir, sorted by filename so replay
+/// order is deterministic.  A missing directory yields an empty corpus.
+std::vector<CorpusEntry> loadCorpusDir(const std::string &Dir);
+
+/// Writes \p E as Dir/<kind>-<seed>.corpus (creating Dir), and returns
+/// the path written to via \p PathOut.
+support::Status writeCorpusEntry(const std::string &Dir,
+                                 const CorpusEntry &E,
+                                 std::string *PathOut = nullptr);
+
+} // namespace jumpstart::testing
+
+#endif // JUMPSTART_TESTING_CORPUS_H

@@ -1,0 +1,219 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/PackageMutator.h"
+
+#include "analysis/Linter.h"
+#include "core/PackageStore.h"
+#include "core/Seeder.h"
+#include "fleet/Traffic.h"
+#include "runtime/Builtins.h"
+#include "support/Assert.h"
+#include "support/StringUtil.h"
+
+using namespace jumpstart;
+using namespace jumpstart::testing;
+
+namespace {
+
+uint32_t numBuiltins() {
+  return static_cast<uint32_t>(runtime::BuiltinTable::standard().size());
+}
+
+} // namespace
+
+MutationEnv jumpstart::testing::buildMutationEnv() {
+  MutationEnv Env;
+  fleet::WorkloadParams P;
+  P.NumHelpers = 120;
+  P.NumClasses = 24;
+  P.NumEndpoints = 12;
+  P.NumUnits = 12;
+  Env.W = fleet::generateWorkload(P);
+
+  fleet::TrafficModel Traffic(*Env.W, fleet::TrafficParams(), 42);
+  core::PackageStore Store;
+  core::SeederParams SP;
+  SP.Requests = 120;
+  SP.Seed = 5;
+  core::SeederOutcome Out = core::runSeederWorkflow(
+      *Env.W, Traffic, mutationBaseConfig(), mutationOptions(), Store, SP);
+  alwaysAssert(Out.Published,
+               Out.Problems.empty()
+                   ? "mutation-env seeder failed to publish"
+                   : Out.Problems.front().c_str());
+  Env.Seeded = Out.Package;
+  return Env;
+}
+
+vm::ServerConfig jumpstart::testing::mutationBaseConfig() {
+  vm::ServerConfig C;
+  C.Jit.ProfileRequestTarget = 20;
+  return C;
+}
+
+core::JumpStartOptions jumpstart::testing::mutationOptions() {
+  core::JumpStartOptions O;
+  O.Coverage.MinProfiledFuncs = 3;
+  O.Coverage.MinTotalSamples = 50;
+  O.Coverage.MinPackageBytes = 64;
+  O.ValidationRequests = 10;
+  return O;
+}
+
+std::string jumpstart::testing::mutatePackage(profile::ProfilePackage &Pkg,
+                                              Rng &R) {
+  switch (R.nextBelow(10)) {
+  case 0:
+    if (Pkg.Preload.Strings.empty())
+      Pkg.Preload.Strings.push_back(0);
+    Pkg.Preload.Strings.push_back(Pkg.Preload.Strings.front());
+    return "duplicate preload string";
+  case 1:
+    Pkg.Preload.Units.push_back(1u << 20);
+    return "out-of-range preload unit";
+  case 2:
+    if (!Pkg.Funcs.empty())
+      Pkg.Funcs[R.nextBelow(Pkg.Funcs.size())].Func = 1u << 20;
+    return "out-of-range profiled function id";
+  case 3:
+    if (!Pkg.Funcs.empty())
+      Pkg.Funcs[R.nextBelow(Pkg.Funcs.size())].BlockCounts.resize(4096, 0);
+    return "oversized block-counter vector";
+  case 4:
+    if (!Pkg.Funcs.empty())
+      Pkg.Funcs[R.nextBelow(Pkg.Funcs.size())].CallTargets[0xFFFFFF][0] = 1;
+    return "call-target record past end of bytecode";
+  case 5:
+    if (!Pkg.Funcs.empty())
+      Pkg.Funcs[R.nextBelow(Pkg.Funcs.size())].ParamTypes.resize(
+          bc::kMaxCallArgs + 8);
+    return "implausible parameter arity";
+  case 6:
+    Pkg.Opt.VasmBlockCounts[1u << 20] = {1, 2, 3};
+    return "vasm counters for unknown function";
+  case 7:
+    Pkg.Opt.PropAccessCounts["NoSuchClass::p"] = 9;
+    return "property counter for unknown class";
+  case 8:
+    Pkg.Intermediate.FuncOrder.push_back(1u << 20);
+    return "out-of-range function-order entry";
+  default:
+    // Benign: counters only.  The lint must still pass and the consumer
+    // must not log a lint rejection.
+    for (profile::FuncProfile &F : Pkg.Funcs)
+      F.EntryCount += 1;
+    return "benign counter perturbation";
+  }
+}
+
+std::string jumpstart::testing::checkStructMutation(const MutationEnv &Env,
+                                                    uint64_t P) {
+  Rng R(P * 31337);
+  profile::ProfilePackage Mutant = Env.Seeded;
+  std::string What = mutatePackage(Mutant, R);
+
+  // The re-serialized mutant is checksum-clean and fingerprint-correct:
+  // only the strict lint stands between it and the JIT.
+  analysis::Linter L(Env.W->Repo, numBuiltins());
+  size_t LintErrors = analysis::countErrors(L.lintPackage(Mutant));
+
+  core::PackageStore Store;
+  Store.publish(0, 0, Mutant.serialize());
+  core::ConsumerParams CP;
+  CP.Seed = P;
+  core::ConsumerOutcome Out = core::startConsumer(
+      *Env.W, mutationBaseConfig(), mutationOptions(), Store, CP);
+
+  if (Out.Server == nullptr)
+    return strFormat("fallback failed to boot a server (%s)",
+                     What.c_str());
+  bool SawLintRejection = false;
+  for (const std::string &Line : Out.Log)
+    if (Line.find("strict lint") != std::string::npos)
+      SawLintRejection = true;
+
+  if (LintErrors > 0) {
+    if (Out.UsedJumpStart)
+      return strFormat("lint-rejected package steered a boot (%s)",
+                       What.c_str());
+    if (!SawLintRejection)
+      return strFormat("lint found errors but consumer never logged the "
+                       "rejection (%s)",
+                       What.c_str());
+  } else if (SawLintRejection) {
+    return strFormat("lint-clean package rejected as if it had errors "
+                     "(%s)",
+                     What.c_str());
+  }
+  return "";
+}
+
+std::string jumpstart::testing::checkByteFlips(const MutationEnv &Env,
+                                               uint64_t P) {
+  Rng R(P * 977);
+  std::vector<uint8_t> Blob = Env.Seeded.serialize();
+  if (Blob.empty())
+    return "seeded package serialized to nothing";
+
+  for (int I = 0; I < 200; ++I) {
+    std::vector<uint8_t> Mutant = Blob;
+    uint32_t Flips = 1 + static_cast<uint32_t>(R.nextBelow(8));
+    for (uint32_t F = 0; F < Flips; ++F) {
+      size_t Pos = R.nextBelow(Mutant.size());
+      Mutant[Pos] ^= static_cast<uint8_t>(1 + R.nextBelow(255));
+    }
+    profile::ProfilePackage Out;
+    if (profile::ProfilePackage::deserialize(Mutant, Out)) {
+      // The checksum survived the flips (vanishingly rare).  Whatever
+      // came out must still go through the lint without crashing.
+      analysis::Linter L(Env.W->Repo, numBuiltins());
+      (void)L.lintPackage(Out);
+    }
+  }
+
+  // Every truncation band must be rejected, including the empty blob.
+  for (size_t Len = 0; Len < Blob.size(); Len += 1 + Blob.size() / 64) {
+    std::vector<uint8_t> Trunc(Blob.begin(),
+                               Blob.begin() + static_cast<ptrdiff_t>(Len));
+    profile::ProfilePackage Out;
+    if (profile::ProfilePackage::deserialize(Trunc, Out))
+      return strFormat("truncation to %zu bytes deserialized", Len);
+  }
+  return "";
+}
+
+std::string
+jumpstart::testing::checkDistributionCorruption(const MutationEnv &Env,
+                                                uint64_t P) {
+  Rng R(P * 40503);
+  core::PackageStore Store;
+  Store.publish(0, 0, Env.Seeded.serialize());
+  support::Status Corrupted = Store.corrupt(0, 0, 0, R);
+  if (!Corrupted.ok())
+    return strFormat("store corruption hook failed: %s",
+                     Corrupted.message().c_str());
+
+  core::ConsumerParams CP;
+  CP.Seed = P;
+  core::ConsumerOutcome Out = core::startConsumer(
+      *Env.W, mutationBaseConfig(), mutationOptions(), Store, CP);
+  if (Out.Server == nullptr)
+    return "consumer failed to boot after store corruption";
+  return "";
+}
+
+std::string jumpstart::testing::replayPackageEntry(const MutationEnv &Env,
+                                                   const CorpusEntry &E) {
+  if (E.Kind == "pkg_struct")
+    return checkStructMutation(Env, E.Seed);
+  if (E.Kind == "pkg_byteflip")
+    return checkByteFlips(Env, E.Seed);
+  if (E.Kind == "pkg_distribution")
+    return checkDistributionCorruption(Env, E.Seed);
+  return strFormat("unknown package corpus kind \"%s\"", E.Kind.c_str());
+}

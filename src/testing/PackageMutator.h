@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Package-mutation fuzzing as a library.  Jump-Start's safety story
+/// (paper section VI) rests on two layers: the wire format rejects
+/// anything corrupted in transit, and the strict package lint rejects
+/// anything checksum-clean but semantically wrong.  The checkers here
+/// fuzz both layers from a genuine seeder-produced package; each returns
+/// "" on success or a failure description, so the same code backs the
+/// gtest fuzzers (tests/FuzzTest.cpp) and the corpus replayer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_TESTING_PACKAGEMUTATOR_H
+#define JUMPSTART_TESTING_PACKAGEMUTATOR_H
+
+#include "core/Consumer.h"
+#include "fleet/WorkloadGen.h"
+#include "profile/ProfilePackage.h"
+#include "support/Random.h"
+#include "testing/Corpus.h"
+#include "vm/Server.h"
+
+#include <memory>
+#include <string>
+
+namespace jumpstart::testing {
+
+/// A seeded workload plus the package a real seeder grew on it -- the
+/// shared, immutable starting point of every package checker.  Building
+/// it runs the full seeder workflow once; reuse across checks.
+struct MutationEnv {
+  std::unique_ptr<fleet::Workload> W;
+  profile::ProfilePackage Seeded;
+};
+
+/// Grows the environment (aborts on seeder-workflow bugs).
+MutationEnv buildMutationEnv();
+
+/// The consumer boot configuration the checkers use.
+vm::ServerConfig mutationBaseConfig();
+core::JumpStartOptions mutationOptions();
+
+/// Applies one random semantic mutation to \p Pkg; \returns a description
+/// for failure messages.  Some mutations are benign by design: the fuzzer
+/// must also demonstrate the lint does not over-reject.
+std::string mutatePackage(profile::ProfilePackage &Pkg, Rng &R);
+
+/// Checkers.  Seed \p P selects the mutation stream exactly as the
+/// original gtest fuzzers did, so checked-in corpus seeds replay the
+/// historical failures byte-for-byte.  Each returns "" when the invariant
+/// holds.
+///
+/// Struct mutation: re-serialized (checksum-clean) mutants must be
+/// lint-rejected at consumer accept time or genuinely harmless, and the
+/// boot outcome must agree with the lint verdict.
+std::string checkStructMutation(const MutationEnv &Env, uint64_t P);
+/// Wire fuzzing: byte flips and truncation bands must fail
+/// deserialization cleanly (or survive into a lint that doesn't crash).
+std::string checkByteFlips(const MutationEnv &Env, uint64_t P);
+/// In-store corruption after publication must fall back, never crash.
+std::string checkDistributionCorruption(const MutationEnv &Env,
+                                        uint64_t P);
+
+/// Replays one corpus entry of a pkg_* kind; "" on pass, failure text
+/// (including unknown-kind) otherwise.
+std::string replayPackageEntry(const MutationEnv &Env,
+                               const CorpusEntry &E);
+
+} // namespace jumpstart::testing
+
+#endif // JUMPSTART_TESTING_PACKAGEMUTATOR_H

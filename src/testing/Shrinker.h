@@ -1,0 +1,51 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-debugging for generated programs: given a failing program and a
+/// predicate ("still fails"), greedily remove whole functions, whole
+/// classes and individual statements -- and simplify return expressions
+/// to constants -- until no single removal preserves the failure.
+///
+/// The predicate sees a *candidate program*; it must return true only
+/// when the candidate both compiles and still exhibits the original
+/// failure (DiffRunner builds exactly that predicate from the mismatching
+/// config pair).  Removals that break compilation therefore revert
+/// automatically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_TESTING_SHRINKER_H
+#define JUMPSTART_TESTING_SHRINKER_H
+
+#include "testing/ProgramGen.h"
+
+#include <functional>
+
+namespace jumpstart::testing {
+
+/// True when the candidate still reproduces the failure being shrunk.
+using ShrinkPredicate = std::function<bool(const GenProgram &)>;
+
+/// Statistics of one shrink run.
+struct ShrinkStats {
+  uint32_t PredicateCalls = 0;
+  uint32_t Removals = 0;
+};
+
+/// Greedily minimizes \p Prog under \p StillFails.  \p MaxPredicateCalls
+/// bounds the work (the greedy pass is O(lines^2) predicate calls in the
+/// worst case; generated programs are tens of lines, so the default is
+/// generous).  \returns the smallest program found; the input must
+/// satisfy the predicate.
+GenProgram shrinkProgram(GenProgram Prog, const ShrinkPredicate &StillFails,
+                         uint32_t MaxPredicateCalls = 600,
+                         ShrinkStats *Stats = nullptr);
+
+} // namespace jumpstart::testing
+
+#endif // JUMPSTART_TESTING_SHRINKER_H

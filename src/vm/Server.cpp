@@ -9,6 +9,7 @@
 
 #include "jit/ParallelRetranslate.h"
 #include "obs/Observability.h"
+#include "runtime/ValueOps.h"
 #include "support/Assert.h"
 #include "support/Hashing.h"
 #include "support/ThreadPool.h"
@@ -119,6 +120,11 @@ double Server::executeRequest(bc::FuncId F,
   PendingLoadUnits = 0;
   InstrCounts.assign(R.numFuncs(), 0);
   interp::InterpResult Result = Interp->call(F, Args);
+  // Render before the heap reset: the return value may point into it.
+  LastRequest.Ret = runtime::toString(Result.Ret);
+  LastRequest.Output = Output;
+  LastRequest.Faults = Result.Faults;
+  LastRequest.Ok = Result.Ok;
   Faults += Result.Faults;
   ++Requests;
   TheJit.onRequestFinished();

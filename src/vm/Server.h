@@ -104,6 +104,21 @@ struct InitStats {
   bool UsedJumpStart = false;
 };
 
+/// Observables of the most recent executeRequest() -- everything a client
+/// of the simulated server could see.  Captured before the per-request
+/// heap reset (the return value is rendered to a string because it may
+/// point into the heap).  The differential conformance oracle
+/// (src/testing) asserts these are identical across execution tiers.
+struct RequestObservables {
+  /// toString() of the endpoint's return value.
+  std::string Ret;
+  /// Everything the request printed.
+  std::string Output;
+  uint64_t Faults = 0;
+  /// False when the request aborted (step budget, stack depth).
+  bool Ok = true;
+};
+
 /// One simulated HHVM server process.
 class Server {
 public:
@@ -165,6 +180,9 @@ public:
 
   uint64_t totalFaults() const { return Faults; }
   uint64_t requestsServed() const { return Requests; }
+  /// Observables of the most recent request (meaningful once
+  /// executeRequest() has run).
+  const RequestObservables &lastRequest() const { return LastRequest; }
   size_t loadedUnits() const { return LoadedUnits.size(); }
 
   /// The observability context this server records into (null when the
@@ -198,6 +216,7 @@ private:
   double PendingLoadUnits = 0;
   uint64_t PackageBytes = 0;
   std::string Output;
+  RequestObservables LastRequest;
   std::vector<uint64_t> InstrCounts;
   std::unordered_set<uint32_t> LoadedUnits;
   std::optional<profile::ProfilePackage> Package;

@@ -1,0 +1,101 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays every checked-in fuzz reproducer under tests/corpus/ (the
+/// JUMPSTART_CORPUS_DIR compile definition).  Each entry is a (kind,
+/// seed) pair some fuzz run once failed on; replaying them on every test
+/// run keeps historical failures fixed.  See src/testing/Corpus.h for the
+/// format and tests/FuzzTest.cpp for how failures are dumped.
+///
+//===----------------------------------------------------------------------===//
+
+#include "testing/Corpus.h"
+#include "testing/DiffRunner.h"
+#include "testing/PackageMutator.h"
+#include "testing/ProgramGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace jumpstart;
+namespace jstest = jumpstart::testing;
+
+#ifndef JUMPSTART_CORPUS_DIR
+#error "build must define JUMPSTART_CORPUS_DIR"
+#endif
+
+namespace {
+
+/// Replays a diff_program entry: the seed is a program seed for the
+/// smoke-matrix differential check (no shrinking -- a corpus failure
+/// message should point at the original, reproducible seed).
+std::string replayDiffProgram(const jstest::CorpusEntry &E) {
+  jstest::DiffParams P;
+  P.Shrink = false;
+  jstest::DiffRunner Runner(P);
+  jstest::GenParams G;
+  G.Seed = E.Seed;
+  jstest::DiffStats Stats;
+  Runner.checkProgram(jstest::generateProgram(G), E.Seed, Stats);
+  if (!Stats.Mismatches.empty())
+    return Stats.Mismatches.front().ConfigA + " vs " +
+           Stats.Mismatches.front().ConfigB + ": " +
+           Stats.Mismatches.front().What;
+  return "";
+}
+
+} // namespace
+
+TEST(CorpusReplay, EveryCheckedInReproducerStillPasses) {
+  std::vector<jstest::CorpusEntry> Corpus =
+      jstest::loadCorpusDir(JUMPSTART_CORPUS_DIR);
+  ASSERT_FALSE(Corpus.empty())
+      << "no corpus entries under " JUMPSTART_CORPUS_DIR
+      << " -- the replay harness itself is broken";
+
+  // The package environment is expensive (a full seeder workflow); build
+  // it once iff some entry needs it.
+  std::unique_ptr<jstest::MutationEnv> Env;
+  for (const jstest::CorpusEntry &E : Corpus) {
+    SCOPED_TRACE(E.Path + " (" + E.Kind + " seed " +
+                 std::to_string(E.Seed) + ": " + E.Note + ")");
+    std::string Failure;
+    if (E.Kind == "diff_program") {
+      Failure = replayDiffProgram(E);
+    } else {
+      if (!Env)
+        Env = std::make_unique<jstest::MutationEnv>(
+            jstest::buildMutationEnv());
+      Failure = jstest::replayPackageEntry(*Env, E);
+    }
+    EXPECT_EQ(Failure, "");
+  }
+}
+
+TEST(CorpusFormat, RoundTripsAndRejectsGarbage) {
+  jstest::CorpusEntry E;
+  E.Kind = "pkg_struct";
+  E.Seed = 12345;
+  E.Note = "multi\nline notes are flattened";
+  jstest::CorpusEntry Back;
+  ASSERT_TRUE(
+      jstest::parseCorpusEntry(jstest::renderCorpusEntry(E), Back).ok());
+  EXPECT_EQ(Back.Kind, E.Kind);
+  EXPECT_EQ(Back.Seed, E.Seed);
+  EXPECT_EQ(Back.Note, "multi line notes are flattened");
+
+  jstest::CorpusEntry Bad;
+  EXPECT_FALSE(jstest::parseCorpusEntry("kind=pkg_struct\n", Bad).ok())
+      << "missing seed must fail";
+  EXPECT_FALSE(jstest::parseCorpusEntry("seed=notanumber\nkind=x\n", Bad)
+                   .ok());
+  EXPECT_FALSE(jstest::parseCorpusEntry("no equals sign\n", Bad).ok());
+  // Unknown keys are forward-compatible, not errors.
+  EXPECT_TRUE(jstest::parseCorpusEntry(
+                  "kind=pkg_struct\nseed=1\nfuture_key=whatever\n", Bad)
+                  .ok());
+}

@@ -260,7 +260,7 @@ TEST(ReliabilityTest, RandomizedSelectionDecaysExponentially) {
   EXPECT_NEAR(R.CrashedPerRound[0], 1000, 200);
   EXPECT_LT(R.CrashedPerRound[1], R.CrashedPerRound[0] / 4);
   EXPECT_LT(R.CrashedPerRound[2], R.CrashedPerRound[1]);
-  EXPECT_EQ(R.HealthyAtEnd, P.NumConsumers)
+  EXPECT_EQ(R.HealthyAtEnd + R.FallbackCount, P.NumConsumers)
       << "every consumer recovers (good pick or fallback)";
 }
 
@@ -299,5 +299,63 @@ TEST(ReliabilityTest, FallbackBoundsCrashCount) {
   EXPECT_EQ(TotalCrashes, 500u * 2)
       << "each consumer crashes at most MaxJumpStartAttempts times";
   EXPECT_EQ(R.FallbackCount, 500u);
-  EXPECT_EQ(R.HealthyAtEnd, 500u);
+  EXPECT_EQ(R.HealthyAtEnd, 0u)
+      << "nobody is healthy WITH Jump-Start when the only package is bad";
+}
+
+TEST(ReliabilityTest, PartitionInvariantHoldsForAnySeed) {
+  // HealthyAtEnd counts Jump-Start successes, FallbackCount the rest;
+  // with randomized selection and enough rounds for every consumer to
+  // exhaust its attempts, the two always partition the fleet -- across
+  // seeds and parameter shapes.  CrashedPerRound is monotone
+  // non-increasing by construction (only round r's crashers can still be
+  // unresolved in round r+1), and identically zero from round
+  // MaxJumpStartAttempts on (everyone has found a good package or
+  // exhausted their attempts by then).
+  for (uint64_t Seed = 1; Seed <= 40; ++Seed) {
+    ReliabilityParams P;
+    P.Seed = Seed;
+    P.NumConsumers = 100 + static_cast<uint32_t>(Seed) * 37;
+    P.NumPackages = 1 + static_cast<uint32_t>(Seed % 9);
+    P.NumPoisoned = static_cast<uint32_t>(Seed % (P.NumPackages + 1));
+    P.MaxJumpStartAttempts = 1 + static_cast<uint32_t>(Seed % 4);
+    P.Rounds = P.MaxJumpStartAttempts + 2 +
+               static_cast<uint32_t>(Seed % 5);
+    P.ValidationCatchProbability = (Seed % 3) * 0.4;
+    P.RandomizedSelection = true;
+    ReliabilityResult R = simulateCrashLoop(P);
+    EXPECT_EQ(R.HealthyAtEnd + R.FallbackCount, P.NumConsumers)
+        << "seed " << Seed;
+    ASSERT_EQ(R.CrashedPerRound.size(), P.Rounds) << "seed " << Seed;
+    for (size_t Round = 1; Round < R.CrashedPerRound.size(); ++Round)
+      EXPECT_LE(R.CrashedPerRound[Round], R.CrashedPerRound[Round - 1])
+          << "seed " << Seed << " round " << Round;
+    for (size_t Round = P.MaxJumpStartAttempts;
+         Round < R.CrashedPerRound.size(); ++Round)
+      EXPECT_EQ(R.CrashedPerRound[Round], 0u)
+          << "seed " << Seed << " round " << Round;
+  }
+}
+
+TEST(ReliabilityTest, RandomizationStrictlyImprovesPeak) {
+  // The paper's section VI argument as a property: with at least one
+  // poisoned package published and no validation, single-package mode
+  // crashes the entire fleet at once while randomized selection never
+  // does.
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    ReliabilityParams P;
+    P.Seed = Seed;
+    P.NumConsumers = 2000;
+    P.NumPackages = 8;
+    P.NumPoisoned = 1;
+    P.ValidationCatchProbability = 0.0;
+
+    P.RandomizedSelection = false;
+    ReliabilityResult Single = simulateCrashLoop(P);
+    P.RandomizedSelection = true;
+    ReliabilityResult Rand = simulateCrashLoop(P);
+
+    EXPECT_EQ(Single.PeakCrashed, P.NumConsumers) << "seed " << Seed;
+    EXPECT_LT(Rand.PeakCrashed, Single.PeakCrashed) << "seed " << Seed;
+  }
 }

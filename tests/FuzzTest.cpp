@@ -30,8 +30,12 @@
 #include "runtime/ValueOps.h"
 #include "support/Random.h"
 #include "support/StringUtil.h"
+#include "testing/Corpus.h"
+#include "testing/PackageMutator.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 using namespace jumpstart;
 
@@ -247,200 +251,65 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
 //===----------------------------------------------------------------------===//
 // Package-mutation fuzzing.
 //
-// Jump-Start's safety story (paper section VI) rests on two layers: the
-// wire format rejects anything corrupted in transit, and the strict
-// package lint rejects anything checksum-clean but semantically wrong.
-// Fuzz both layers from a genuine seeder-produced package: random byte
-// flips and truncations must fail deserialization cleanly, and
-// field-level struct mutations (re-serialized, so the checksum is valid
-// again) must either be caught by the lint at consumer accept time or be
-// genuinely harmless.  Nothing may ever crash, and the consumer must
-// always end up with a booted server.
+// The checkers live in src/testing/PackageMutator.h (shared with the
+// corpus replayer); these tests drive them across a seed range and, on
+// failure, dump a replayable (kind, seed) corpus entry so the regression
+// is pinned forever.  tests/CorpusReplayTest.cpp replays every checked-in
+// entry on every run.
 //===----------------------------------------------------------------------===//
+
+namespace jstest = jumpstart::testing;
 
 namespace {
 
-uint32_t numBuiltins() {
-  return static_cast<uint32_t>(runtime::BuiltinTable::standard().size());
+/// On failure, writes a corpus entry to $JUMPSTART_CORPUS_DUMP_DIR (or
+/// the checked-in corpus dir) so the failing seed can be committed as a
+/// permanent regression test.
+void dumpCorpusOnFailure(const std::string &Kind, uint64_t Seed,
+                         const std::string &Failure) {
+  if (Failure.empty())
+    return;
+  const char *DumpDir = std::getenv("JUMPSTART_CORPUS_DUMP_DIR");
+  jstest::CorpusEntry E;
+  E.Kind = Kind;
+  E.Seed = Seed;
+  E.Note = Failure;
+  std::string Path;
+  if (jstest::writeCorpusEntry(DumpDir ? DumpDir : JUMPSTART_CORPUS_DIR,
+                               E, &Path)
+          .ok())
+    ADD_FAILURE() << "corpus entry dumped to " << Path
+                  << " -- commit it to pin this regression";
 }
 
-/// Applies one random semantic mutation to \p Pkg; \returns a description
-/// for failure messages.  Some mutations are benign by design: the fuzzer
-/// must also demonstrate the lint does not over-reject.
-std::string mutatePackage(profile::ProfilePackage &Pkg, Rng &R) {
-  switch (R.nextBelow(10)) {
-  case 0:
-    if (Pkg.Preload.Strings.empty())
-      Pkg.Preload.Strings.push_back(0);
-    Pkg.Preload.Strings.push_back(Pkg.Preload.Strings.front());
-    return "duplicate preload string";
-  case 1:
-    Pkg.Preload.Units.push_back(1u << 20);
-    return "out-of-range preload unit";
-  case 2:
-    if (!Pkg.Funcs.empty())
-      Pkg.Funcs[R.nextBelow(Pkg.Funcs.size())].Func = 1u << 20;
-    return "out-of-range profiled function id";
-  case 3:
-    if (!Pkg.Funcs.empty())
-      Pkg.Funcs[R.nextBelow(Pkg.Funcs.size())].BlockCounts.resize(4096, 0);
-    return "oversized block-counter vector";
-  case 4:
-    if (!Pkg.Funcs.empty())
-      Pkg.Funcs[R.nextBelow(Pkg.Funcs.size())].CallTargets[0xFFFFFF][0] = 1;
-    return "call-target record past end of bytecode";
-  case 5:
-    if (!Pkg.Funcs.empty())
-      Pkg.Funcs[R.nextBelow(Pkg.Funcs.size())].ParamTypes.resize(
-          bc::kMaxCallArgs + 8);
-    return "implausible parameter arity";
-  case 6:
-    Pkg.Opt.VasmBlockCounts[1u << 20] = {1, 2, 3};
-    return "vasm counters for unknown function";
-  case 7:
-    Pkg.Opt.PropAccessCounts["NoSuchClass::p"] = 9;
-    return "property counter for unknown class";
-  case 8:
-    Pkg.Intermediate.FuncOrder.push_back(1u << 20);
-    return "out-of-range function-order entry";
-  default:
-    // Benign: counters only.  The lint must still pass and the consumer
-    // must not log a lint rejection.
-    for (profile::FuncProfile &F : Pkg.Funcs)
-      F.EntryCount += 1;
-    return "benign counter perturbation";
-  }
+const jstest::MutationEnv &sharedEnv() {
+  // Built once per process: the env runs a full seeder workflow.
+  static const jstest::MutationEnv Env = jstest::buildMutationEnv();
+  return Env;
 }
-
-class PackageFuzz : public ::testing::TestWithParam<uint64_t> {
-protected:
-  static void SetUpTestSuite() {
-    fleet::WorkloadParams P;
-    P.NumHelpers = 120;
-    P.NumClasses = 24;
-    P.NumEndpoints = 12;
-    P.NumUnits = 12;
-    W = fleet::generateWorkload(P).release();
-
-    fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 42);
-    core::PackageStore Store;
-    core::SeederParams SP;
-    SP.Requests = 120;
-    SP.Seed = 5;
-    core::SeederOutcome Out = core::runSeederWorkflow(
-        *W, Traffic, baseConfig(), opts(), Store, SP);
-    ASSERT_TRUE(Out.Published)
-        << (Out.Problems.empty() ? "" : Out.Problems.front());
-    Seeded = new profile::ProfilePackage(Out.Package);
-  }
-  static void TearDownTestSuite() {
-    delete Seeded;
-    delete W;
-    Seeded = nullptr;
-    W = nullptr;
-  }
-
-  static vm::ServerConfig baseConfig() {
-    vm::ServerConfig C;
-    C.Jit.ProfileRequestTarget = 20;
-    return C;
-  }
-
-  static core::JumpStartOptions opts() {
-    core::JumpStartOptions O;
-    O.Coverage.MinProfiledFuncs = 3;
-    O.Coverage.MinTotalSamples = 50;
-    O.Coverage.MinPackageBytes = 64;
-    O.ValidationRequests = 10;
-    return O;
-  }
-
-  static fleet::Workload *W;
-  static profile::ProfilePackage *Seeded;
-};
-
-fleet::Workload *PackageFuzz::W = nullptr;
-profile::ProfilePackage *PackageFuzz::Seeded = nullptr;
 
 } // namespace
 
+class PackageFuzz : public ::testing::TestWithParam<uint64_t> {};
+
 TEST_P(PackageFuzz, ByteFlipsAndTruncationsFailCleanly) {
-  Rng R(GetParam() * 977);
-  std::vector<uint8_t> Blob = Seeded->serialize();
-  ASSERT_FALSE(Blob.empty());
-
-  for (int I = 0; I < 200; ++I) {
-    std::vector<uint8_t> Mutant = Blob;
-    uint32_t Flips = 1 + static_cast<uint32_t>(R.nextBelow(8));
-    for (uint32_t F = 0; F < Flips; ++F) {
-      size_t Pos = R.nextBelow(Mutant.size());
-      Mutant[Pos] ^= static_cast<uint8_t>(1 + R.nextBelow(255));
-    }
-    profile::ProfilePackage Out;
-    if (profile::ProfilePackage::deserialize(Mutant, Out)) {
-      // The checksum survived the flips (vanishingly rare).  Whatever came
-      // out must still go through the lint without crashing.
-      analysis::Linter L(W->Repo, numBuiltins());
-      (void)L.lintPackage(Out);
-    }
-  }
-
-  // Every truncation band must be rejected, including the empty blob.
-  for (size_t Len = 0; Len < Blob.size(); Len += 1 + Blob.size() / 64) {
-    std::vector<uint8_t> Trunc(Blob.begin(),
-                               Blob.begin() + static_cast<ptrdiff_t>(Len));
-    profile::ProfilePackage Out;
-    EXPECT_FALSE(profile::ProfilePackage::deserialize(Trunc, Out))
-        << "truncated to " << Len << " bytes";
-  }
+  std::string Failure = jstest::checkByteFlips(sharedEnv(), GetParam());
+  dumpCorpusOnFailure("pkg_byteflip", GetParam(), Failure);
+  EXPECT_EQ(Failure, "");
 }
 
 TEST_P(PackageFuzz, StructMutationsAreCaughtOrHarmless) {
-  Rng R(GetParam() * 31337);
-  profile::ProfilePackage Mutant = *Seeded;
-  std::string What = mutatePackage(Mutant, R);
-
-  // The re-serialized mutant is checksum-clean and fingerprint-correct:
-  // only the strict lint stands between it and the JIT.
-  analysis::Linter L(W->Repo, numBuiltins());
-  size_t LintErrors = analysis::countErrors(L.lintPackage(Mutant));
-
-  core::PackageStore Store;
-  Store.publish(0, 0, Mutant.serialize());
-  core::ConsumerParams CP;
-  CP.Seed = GetParam();
-  core::ConsumerOutcome Out =
-      core::startConsumer(*W, baseConfig(), opts(), Store, CP);
-
-  ASSERT_NE(Out.Server, nullptr)
-      << "fallback must boot a server (" << What << ")";
-  bool SawLintRejection = false;
-  for (const std::string &Line : Out.Log)
-    if (Line.find("strict lint") != std::string::npos)
-      SawLintRejection = true;
-
-  if (LintErrors > 0) {
-    EXPECT_FALSE(Out.UsedJumpStart)
-        << "lint-rejected package steered a boot (" << What << ")";
-    EXPECT_TRUE(SawLintRejection) << What;
-  } else {
-    EXPECT_FALSE(SawLintRejection)
-        << "lint-clean package rejected as if it had errors (" << What
-        << ")";
-  }
+  std::string Failure =
+      jstest::checkStructMutation(sharedEnv(), GetParam());
+  dumpCorpusOnFailure("pkg_struct", GetParam(), Failure);
+  EXPECT_EQ(Failure, "");
 }
 
 TEST_P(PackageFuzz, DistributionCorruptionFallsBack) {
-  Rng R(GetParam() * 40503);
-  core::PackageStore Store;
-  Store.publish(0, 0, Seeded->serialize());
-  ASSERT_TRUE(Store.corrupt(0, 0, 0, R).ok());
-
-  core::ConsumerParams CP;
-  CP.Seed = GetParam();
-  core::ConsumerOutcome Out =
-      core::startConsumer(*W, baseConfig(), opts(), Store, CP);
-  ASSERT_NE(Out.Server, nullptr);
+  std::string Failure =
+      jstest::checkDistributionCorruption(sharedEnv(), GetParam());
+  dumpCorpusOnFailure("pkg_distribution", GetParam(), Failure);
+  EXPECT_EQ(Failure, "");
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PackageFuzz,

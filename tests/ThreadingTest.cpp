@@ -111,6 +111,83 @@ TEST(ThreadPoolTest, ShutdownDrainsQueuedWorkUnderLoad) {
   EXPECT_EQ(Ran.load(), 64) << "shutdown must not drop queued tasks";
 }
 
+TEST(ThreadPoolTest, ZeroCapacityQueueIsClampedNotDeadlocked) {
+  // QueueCapacity 0 would make NotFull.wait() unsatisfiable: every
+  // submit() would block forever.  The constructor clamps it to 1.
+  ThreadPool P(2, /*QueueCapacity=*/0);
+  std::atomic<int> Ran{0};
+  for (int I = 0; I < 16; ++I)
+    P.submit([&Ran] { Ran.fetch_add(1, std::memory_order_relaxed); });
+  P.wait();
+  EXPECT_EQ(Ran.load(), 16);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskDoesNotPoisonThePool) {
+  // One task throwing must neither kill the worker nor block later
+  // tasks; wait() reports the first exception and clears it.
+  ThreadPool P(2);
+  std::atomic<int> Ran{0};
+  P.submit([] { throw std::runtime_error("task boom"); });
+  for (int I = 0; I < 32; ++I)
+    P.submit([&Ran] { Ran.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_THROW(P.wait(), std::runtime_error);
+  EXPECT_EQ(Ran.load(), 32) << "tasks after the throw still ran";
+  // The error was consumed: a second wait() is clean.
+  P.submit([&Ran] { Ran.fetch_add(1, std::memory_order_relaxed); });
+  P.wait();
+  EXPECT_EQ(Ran.load(), 33);
+}
+
+TEST(ThreadPoolDeathTest, SubmitAfterShutdownAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // Queue path (live workers)...
+  EXPECT_DEATH(
+      {
+        ThreadPool P(2);
+        P.shutdown();
+        P.submit([] {});
+      },
+      "submit\\(\\) after shutdown\\(\\)");
+  // ...and the inline path: a pool with joined (or no) workers must not
+  // silently run the task on the caller either.
+  EXPECT_DEATH(
+      {
+        ThreadPool P(0);
+        P.shutdown();
+        P.submit([] {});
+      },
+      "submit\\(\\) after shutdown\\(\\)");
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromLastLiveWorker) {
+  // A task that submits from a worker while every other worker is
+  // blocked: the nested submits must run inline on that worker (queueing
+  // them could deadlock -- nobody is left to drain the queue).
+  ThreadPool P(2, /*QueueCapacity=*/1);
+  std::atomic<bool> Release{false};
+  std::atomic<int> Nested{0};
+  P.submit([&Release] {
+    while (!Release.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+  });
+  P.submit([&] {
+    for (int I = 0; I < 8; ++I)
+      P.submit([&Nested] {
+        Nested.fetch_add(1, std::memory_order_relaxed);
+      });
+    Release.store(true, std::memory_order_release);
+  });
+  P.wait();
+  EXPECT_EQ(Nested.load(), 8);
+  // All eight ran inline on the submitting worker, none were queued.
+  std::vector<uint64_t> Counts = P.perWorkerTaskCounts();
+  uint64_t QueuedTasks = 0;
+  for (uint64_t C : Counts)
+    QueuedTasks += C;
+  EXPECT_EQ(QueuedTasks, 2u) << "only the two outer tasks went through "
+                                "the queue";
+}
+
 TEST(ThreadPoolTest, NestedParallelForRunsInline) {
   // A task running on a pool worker fans out on the same pool (the
   // deployment boots consumers whose servers use the same CompilePool);

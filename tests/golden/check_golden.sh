@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Golden-export check: run a figure binary with --export and byte-diff its
+# metrics JSONL against the checked-in golden file.  The figures run on a
+# deterministic virtual clock, so the export must be byte-identical on
+# every machine and every run; any diff is either a regression or an
+# intentional model change (regenerate with:
+#   <binary> --export tests/golden/<name> && git diff tests/golden/).
+set -euo pipefail
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: check_golden.sh <figure-binary> <golden.metrics.jsonl>" >&2
+  exit 2
+fi
+BIN="$1"
+GOLDEN="$2"
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "${TMP_DIR}"' EXIT
+
+"${BIN}" --export "${TMP_DIR}/fresh" > /dev/null
+
+if ! cmp -s "${TMP_DIR}/fresh.metrics.jsonl" "${GOLDEN}"; then
+  echo "golden mismatch: $(basename "${BIN}") export differs from ${GOLDEN}" >&2
+  diff "${GOLDEN}" "${TMP_DIR}/fresh.metrics.jsonl" | head -20 >&2
+  exit 1
+fi
+echo "golden ok: $(basename "${BIN}") matches ${GOLDEN}"
