@@ -1,0 +1,350 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fast-vs-legacy interpreter engine benchmark.
+///
+/// Drives both engines over the same request mix (dispatch-heavy loops,
+/// calls, string constants, dict lookups, property/method sites) and
+/// reports requests/sec, interpreted instructions/sec and host
+/// allocations per request for each, plus the fast:legacy ratios.  The
+/// checked-in BENCH_interp.json is a snapshot of this harness's `--json`
+/// output; ci/check.sh re-runs `--quick` and fails if allocs/request
+/// regress against that snapshot.
+///
+/// Wall-clock numbers vary with the host; every counter in `--counters`
+/// output (steps, faults, allocations, inline-cache hits) is
+/// deterministic and byte-compared across runs by the CI perf smoke.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Compiler.h"
+#include "interp/Interpreter.h"
+#include "runtime/ValueOps.h"
+#include "support/StringUtil.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace jumpstart;
+
+namespace {
+
+/// The benchmark program: each endpoint stresses one part of the engine,
+/// and the request mix cycles through all of them.  Weighted toward the
+/// costs the fast engine removes -- frame vectors (deep call chains),
+/// string materialization, dict probes, property/method dispatch --
+/// while endpoint0 keeps pure dispatch arithmetic in the mix.
+const char *kSource =
+    // Pure dispatch: tight arithmetic loop, no allocation.
+    "function endpoint0($n) {"
+    "  $acc = 0; $i = 0;"
+    "  while ($i < 400) {"
+    "    $acc = ($acc * 3 + $i + $n) % 65537;"
+    "    $i = $i + 1;"
+    "  }"
+    "  return $acc;"
+    "}"
+    // Call-heavy: every iteration pays two frames (legacy: 4 vectors).
+    "function leafA($x) { return $x * 2 + 1; }"
+    "function leafB($x) { return leafA($x) + leafA($x + 1); }"
+    "function endpoint1($n) {"
+    "  $t = 0; $i = 0;"
+    "  while ($i < 120) { $t = $t + leafB($i + $n % 7); $i = $i + 1; }"
+    "  return $t;"
+    "}"
+    // String constants: legacy allocates a VmString per execution.
+    "function endpoint2($n) {"
+    "  $t = 0; $i = 0;"
+    "  while ($i < 100) {"
+    "    $t = $t + strlen(\"alpha\") + strlen(\"beta-longer-constant\")"
+    "       + strlen(\"gamma-const\") + strlen(\"delta-string-constant-x\");"
+    "    $i = $i + 1;"
+    "  }"
+    "  return $t + $n % 3;"
+    "}"
+    // Dict workload: build once, then probe far past the index threshold.
+    "function endpoint3($n) {"
+    "  $d = dict[]; $i = 0;"
+    "  while ($i < 24) { $d[$i * 7 % 31] = $i; $i = $i + 1; }"
+    "  $t = 0; $j = 0;"
+    "  while ($j < 80) { $t = $t + $d[$j * 7 % 31 % 31]; $j = $j + 1; }"
+    "  return $t + $n % 5;"
+    "}"
+    // Property/method sites: the inline-cache workload.  The class has a
+    // realistic handful of properties and methods so uncached lookups
+    // pay a real scan; the hot sites touch the last-declared ones.
+    "class Counter {"
+    "  prop $a; prop $b; prop $c; prop $d; prop $e; prop $f; prop $g;"
+    "  prop $v;"
+    "  method m0() { return 0; } method m1() { return 1; }"
+    "  method m2() { return 2; } method m3() { return 3; }"
+    "  method bump($d) { $this->v = $this->v + $d; return $this->v; }"
+    "  method scale($k) { return $this->v * $k + $this->a; }"
+    "}"
+    "function endpoint4($n) {"
+    "  $c = new Counter(); $c->v = 0; $c->a = 3; $i = 0; $t = 0;"
+    "  while ($i < 90) {"
+    "    $t = $t + $c->bump($i % 5) + $c->scale(2);"
+    "    $i = $i + 1;"
+    "  }"
+    "  return $t + $n % 2;"
+    "}";
+
+constexpr uint32_t kNumEndpoints = 5;
+
+/// Request cycle, weighted toward the call/string/property endpoints the
+/// fast engine targets (the paper's workload is dominated by calls and
+/// member access, not straight-line arithmetic); the arithmetic and dict
+/// endpoints stay in the mix as the honest tail.
+constexpr uint32_t kMix[] = {0, 1, 2, 4, 3, 1, 2, 4};
+constexpr uint32_t kMixLen = sizeof(kMix) / sizeof(kMix[0]);
+
+struct EngineResult {
+  std::string Name;
+  uint64_t Requests = 0;
+  double Seconds = 0;
+  uint64_t Steps = 0;
+  uint64_t Allocs = 0;
+  uint64_t Faults = 0;
+  uint64_t ICHits = 0;
+  uint64_t ICMisses = 0;
+
+  double requestsPerSec() const { return Requests / Seconds; }
+  double instrsPerSec() const { return Steps / Seconds; }
+  double allocsPerRequest() const {
+    return static_cast<double>(Allocs) / Requests;
+  }
+  double stepsPerRequest() const {
+    return static_cast<double>(Steps) / Requests;
+  }
+};
+
+/// When >= 0, every request hits that one endpoint (per-endpoint
+/// breakdown mode, `--endpoint N`).
+int OnlyEndpoint = -1;
+
+/// One engine's VM instance plus the endpoint ids it serves.
+struct EngineState {
+  runtime::ClassTable Classes;
+  runtime::Heap Heap;
+  interp::Interpreter Interp;
+  std::vector<bc::FuncId> Endpoints;
+
+  EngineState(const bc::Repo &Repo, interp::InterpEngine Engine)
+      : Classes(Repo),
+        Interp(Repo, Classes, Heap, runtime::BuiltinTable::standard(),
+               [Engine] {
+                 interp::InterpOptions O;
+                 O.Engine = Engine;
+                 return O;
+               }()) {
+    for (uint32_t E = 0; E < kNumEndpoints; ++E) {
+      bc::FuncId F = Repo.findFunction(strFormat("endpoint%u", E));
+      if (!F.valid()) {
+        std::fprintf(stderr, "missing endpoint%u\n", E);
+        std::exit(1);
+      }
+      Endpoints.push_back(F);
+    }
+  }
+
+  interp::InterpResult serve(uint32_t Rq) {
+    Args[0] = runtime::Value::integer(static_cast<int64_t>(Rq * 37 % 1000));
+    bc::FuncId Target = OnlyEndpoint >= 0
+                            ? Endpoints[static_cast<uint32_t>(OnlyEndpoint)]
+                            : Endpoints[kMix[Rq % kMixLen]];
+    interp::InterpResult R = Interp.call(Target, Args);
+    Heap.reset();
+    return R;
+  }
+
+  // Reused across requests: argument marshalling is harness cost, not
+  // engine cost, and must not dilute the engine comparison.
+  std::vector<runtime::Value> Args{runtime::Value::null()};
+};
+
+/// One timed pass of \p Requests requests.  The first pass per engine
+/// also accumulates the deterministic counters (identical every pass, so
+/// once is enough).
+double timedPass(EngineState &S, uint32_t Requests, EngineResult *Counters) {
+  uint64_t AllocsBefore = S.Heap.hostAllocs();
+  auto T0 = std::chrono::steady_clock::now();
+  if (Counters) {
+    for (uint32_t Rq = 0; Rq < Requests; ++Rq) {
+      interp::InterpResult Res = S.serve(Rq);
+      Counters->Steps += Res.Steps;
+      Counters->Faults += Res.Faults;
+    }
+  } else {
+    for (uint32_t Rq = 0; Rq < Requests; ++Rq)
+      S.serve(Rq);
+  }
+  auto T1 = std::chrono::steady_clock::now();
+  if (Counters)
+    Counters->Allocs = S.Heap.hostAllocs() - AllocsBefore;
+  double Sec = std::chrono::duration<double>(T1 - T0).count();
+  return Sec > 0 ? Sec : 1e-9;
+}
+
+/// Benchmarks both engines over the same request stream.  The timed
+/// windows interleave (fast, legacy, fast, legacy, ...) and each engine
+/// keeps its best window, so a load spike on a shared host degrades both
+/// engines rather than whichever one it happened to land on.
+void runEngines(const bc::Repo &Repo, uint32_t Requests, uint32_t Reps,
+                EngineResult &Fast, EngineResult &Legacy) {
+  EngineState FastS(Repo, interp::InterpEngine::Fast);
+  EngineState LegacyS(Repo, interp::InterpEngine::Legacy);
+
+  // One warmup pass over all endpoints pays the one-time costs (string
+  // interning, per-function metadata, arena growth) outside the window.
+  for (uint32_t Rq = 0; Rq < kNumEndpoints; ++Rq) {
+    FastS.serve(Rq);
+    LegacyS.serve(Rq);
+  }
+
+  Fast.Name = "fast";
+  Legacy.Name = "legacy";
+  Fast.Requests = Legacy.Requests = Requests;
+  Fast.Seconds = Legacy.Seconds = 1e300;
+  for (uint32_t Rep = 0; Rep < Reps; ++Rep) {
+    double SecF = timedPass(FastS, Requests, Rep == 0 ? &Fast : nullptr);
+    double SecL = timedPass(LegacyS, Requests, Rep == 0 ? &Legacy : nullptr);
+    Fast.Seconds = std::min(Fast.Seconds, SecF);
+    Legacy.Seconds = std::min(Legacy.Seconds, SecL);
+  }
+  Fast.ICHits = FastS.Interp.caches().ICHits;
+  Fast.ICMisses = FastS.Interp.caches().ICMisses;
+  Legacy.ICHits = LegacyS.Interp.caches().ICHits;
+  Legacy.ICMisses = LegacyS.Interp.caches().ICMisses;
+}
+
+void writeJson(const std::string &Path, const EngineResult &Fast,
+               const EngineResult &Legacy) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    std::exit(1);
+  }
+  auto Emit = [&](const EngineResult &R, const char *Trail) {
+    Out << strFormat(
+        "  \"%s\": {\"requests\": %llu, \"seconds\": %.6f, "
+        "\"requests_per_sec\": %.1f, \"instrs_per_sec\": %.1f, "
+        "\"steps_per_request\": %.2f, \"allocs_per_request\": %.4f, "
+        "\"faults\": %llu, \"ic_hits\": %llu, \"ic_misses\": %llu}%s\n",
+        R.Name.c_str(), static_cast<unsigned long long>(R.Requests),
+        R.Seconds, R.requestsPerSec(), R.instrsPerSec(),
+        R.stepsPerRequest(), R.allocsPerRequest(),
+        static_cast<unsigned long long>(R.Faults),
+        static_cast<unsigned long long>(R.ICHits),
+        static_cast<unsigned long long>(R.ICMisses), Trail);
+  };
+  double AllocRatio = Fast.Allocs == 0
+                          ? Legacy.allocsPerRequest() / 0.0001
+                          : Legacy.allocsPerRequest() / Fast.allocsPerRequest();
+  Out << "{\n";
+  Emit(Fast, ",");
+  Emit(Legacy, ",");
+  Out << strFormat("  \"speedup_requests_per_sec\": %.2f,\n",
+                   Fast.requestsPerSec() / Legacy.requestsPerSec());
+  Out << strFormat("  \"alloc_reduction\": %.1f\n", AllocRatio);
+  Out << "}\n";
+}
+
+/// Deterministic counters only -- byte-identical across runs on any
+/// host, which the CI perf smoke asserts by diffing two runs.
+void writeCounters(const std::string &Path, const EngineResult &Fast,
+                   const EngineResult &Legacy) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    std::exit(1);
+  }
+  for (const EngineResult *R : {&Fast, &Legacy})
+    Out << strFormat("%s steps=%llu faults=%llu allocs=%llu ic_hits=%llu "
+                     "ic_misses=%llu\n",
+                     R->Name.c_str(),
+                     static_cast<unsigned long long>(R->Steps),
+                     static_cast<unsigned long long>(R->Faults),
+                     static_cast<unsigned long long>(R->Allocs),
+                     static_cast<unsigned long long>(R->ICHits),
+                     static_cast<unsigned long long>(R->ICMisses));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint32_t Requests = 20000;
+  uint32_t Reps = 5;
+  std::string JsonPath;
+  std::string CountersPath;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--quick") == 0) {
+      Requests = 2000;
+      Reps = 3;
+    } else if (std::strcmp(argv[I], "--json") == 0 && I + 1 < argc) {
+      JsonPath = argv[++I];
+    } else if (std::strcmp(argv[I], "--counters") == 0 && I + 1 < argc) {
+      CountersPath = argv[++I];
+    } else if (std::strcmp(argv[I], "--endpoint") == 0 && I + 1 < argc) {
+      OnlyEndpoint = std::atoi(argv[++I]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json PATH] [--counters PATH] "
+                   "[--endpoint N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  bc::Repo Repo;
+  std::vector<std::string> Errors = frontend::compileUnit(
+      Repo, runtime::BuiltinTable::standard(), "bench.hack", kSource);
+  if (!Errors.empty()) {
+    std::fprintf(stderr, "compile failed: %s\n", Errors.front().c_str());
+    return 1;
+  }
+
+  EngineResult Fast, Legacy;
+  runEngines(Repo, Requests, Reps, Fast, Legacy);
+
+  // The engines must agree on every deterministic counter except the
+  // IC stats (the legacy engine has no caches); a mismatch here means
+  // an engine bug, not a perf problem.
+  if (Fast.Steps != Legacy.Steps || Fast.Faults != Legacy.Faults) {
+    std::fprintf(stderr,
+                 "ENGINE DIVERGENCE: steps %llu vs %llu, faults %llu vs "
+                 "%llu\n",
+                 static_cast<unsigned long long>(Fast.Steps),
+                 static_cast<unsigned long long>(Legacy.Steps),
+                 static_cast<unsigned long long>(Fast.Faults),
+                 static_cast<unsigned long long>(Legacy.Faults));
+    return 1;
+  }
+
+  for (const EngineResult *R : {&Fast, &Legacy})
+    std::printf("%-6s  %8.0f req/s  %12.0f instr/s  %7.2f allocs/req  "
+                "%6.1f steps/req\n",
+                R->Name.c_str(), R->requestsPerSec(), R->instrsPerSec(),
+                R->allocsPerRequest(), R->stepsPerRequest());
+  std::printf("speedup %.2fx   alloc reduction %.1fx\n",
+              Fast.requestsPerSec() / Legacy.requestsPerSec(),
+              Fast.Allocs == 0 ? Legacy.allocsPerRequest() / 0.0001
+                               : Legacy.allocsPerRequest() /
+                                     Fast.allocsPerRequest());
+
+  if (!JsonPath.empty())
+    writeJson(JsonPath, Fast, Legacy);
+  if (!CountersPath.empty())
+    writeCounters(CountersPath, Fast, Legacy);
+  return 0;
+}

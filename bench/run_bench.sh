@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Runs the interpreter engine benchmark (bench/micro_interp) and writes
+# the perf-trajectory snapshot.
+#
+# Usage: bench/run_bench.sh [--quick] [--json PATH] [--counters PATH]
+#                           [--build-dir DIR]
+#
+#   bench/run_bench.sh                  # full run, rewrites ./BENCH_interp.json
+#   bench/run_bench.sh --quick          # 10x fewer requests; writes nothing
+#                                       # unless --json/--counters are given
+#
+# The committed BENCH_interp.json at the repo root is this script's full
+# output on some host: wall-clock fields are host-dependent, but the
+# counter fields (steps, allocs, IC hits) are deterministic, and
+# ci/check.sh's CHECK_PERF stage re-runs --quick against the snapshot to
+# catch allocation regressions.  BENCH_*.json is gitignored except the
+# committed snapshot, so scratch runs never dirty the tree.
+
+set -euo pipefail
+
+REPO_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${REPO_DIR}/build"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+QUICK=""
+JSON_PATH=""
+COUNTERS_PATH=""
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --quick) QUICK="--quick"; shift ;;
+    --json) JSON_PATH="$2"; shift 2 ;;
+    --counters) COUNTERS_PATH="$2"; shift 2 ;;
+    --build-dir) BUILD_DIR="$2"; shift 2 ;;
+    *) echo "usage: $0 [--quick] [--json PATH] [--counters PATH] [--build-dir DIR]" >&2
+       exit 2 ;;
+  esac
+done
+
+# Full runs default to rewriting the committed snapshot.
+if [[ -z "${QUICK}" && -z "${JSON_PATH}" ]]; then
+  JSON_PATH="${REPO_DIR}/BENCH_interp.json"
+fi
+
+cmake -S "${REPO_DIR}" -B "${BUILD_DIR}" >/dev/null
+cmake --build "${BUILD_DIR}" --target micro_interp -j "${JOBS}" >/dev/null
+
+ARGS=(${QUICK})
+[[ -n "${JSON_PATH}" ]] && ARGS+=(--json "${JSON_PATH}")
+[[ -n "${COUNTERS_PATH}" ]] && ARGS+=(--counters "${COUNTERS_PATH}")
+
+"${BUILD_DIR}/bench/micro_interp" "${ARGS[@]}"
+if [[ -n "${JSON_PATH}" ]]; then
+  echo "run_bench.sh: wrote ${JSON_PATH}"
+fi

@@ -13,6 +13,10 @@
 #   CHECK_DIFF=0 ci/check.sh      # skip the differential conformance smoke
 #                                 # (50 generated programs through the
 #                                 # interp/JIT/Jump-Start config matrix)
+#   CHECK_PERF=0 ci/check.sh      # skip the interpreter perf smoke (two
+#                                 # quick micro_interp runs byte-compared,
+#                                 # plus an allocs/request regression gate
+#                                 # against the committed BENCH_interp.json)
 #
 # This is what "the tests pass" means for this repository; ci/sanitize.sh
 # is the deeper (slower) sanitizer sweep.
@@ -70,6 +74,42 @@ if [[ "${CHECK_DIFF:-1}" == "1" ]]; then
     exit 1
   fi
   echo "check.sh: $(cat "${TMP_DIR}/diff-a.txt")"
+fi
+
+# Interpreter perf smoke: the wall-clock numbers are host noise, but
+# every counter micro_interp emits (steps, faults, allocs, IC hits) is
+# deterministic -- two runs must be byte-identical -- and fast-engine
+# allocs/request must not regress past the committed snapshot.
+if [[ "${CHECK_PERF:-1}" == "1" ]]; then
+  "${REPO_DIR}/bench/run_bench.sh" --quick --build-dir "${BUILD_DIR}" \
+    --json "${TMP_DIR}/perf-a.json" --counters "${TMP_DIR}/perf-a.counters" \
+    >/dev/null
+  "${REPO_DIR}/bench/run_bench.sh" --quick --build-dir "${BUILD_DIR}" \
+    --counters "${TMP_DIR}/perf-b.counters" >/dev/null
+  if ! cmp -s "${TMP_DIR}/perf-a.counters" "${TMP_DIR}/perf-b.counters"; then
+    echo "check.sh: FAIL: micro_interp deterministic counters differ between runs" >&2
+    diff "${TMP_DIR}/perf-a.counters" "${TMP_DIR}/perf-b.counters" >&2 || true
+    exit 1
+  fi
+  SNAPSHOT="${REPO_DIR}/BENCH_interp.json"
+  if [[ -f "${SNAPSHOT}" ]]; then
+    alloc_of() { sed -n 's/.*"'"$2"'": {.*"allocs_per_request": \([0-9.]*\).*/\1/p' "$1"; }
+    COMMITTED="$(alloc_of "${SNAPSHOT}" fast)"
+    CURRENT="$(alloc_of "${TMP_DIR}/perf-a.json" fast)"
+    if [[ -z "${COMMITTED}" || -z "${CURRENT}" ]]; then
+      echo "check.sh: FAIL: cannot parse allocs_per_request from perf JSON" >&2
+      exit 1
+    fi
+    if ! awk -v c="${CURRENT}" -v s="${COMMITTED}" \
+        'BEGIN { exit !(c <= s + 0.0001) }'; then
+      echo "check.sh: FAIL: fast-engine allocs/request regressed:" \
+           "${CURRENT} > committed ${COMMITTED} (BENCH_interp.json)" >&2
+      exit 1
+    fi
+    echo "check.sh: micro_interp counters deterministic; allocs/request ${CURRENT} (committed ${COMMITTED})"
+  else
+    echo "check.sh: micro_interp counters deterministic (no BENCH_interp.json snapshot)"
+  fi
 fi
 
 if [[ "${CHECK_SANITIZE:-0}" == "1" ]]; then

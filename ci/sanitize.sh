@@ -45,6 +45,12 @@ export TSAN_OPTIONS="halt_on_error=1:abort_on_error=1:second_deadlock_stack=1"
 # uninstrumented sweep plus a 50-program smoke.
 ctest --test-dir "${BUILD_DIR}" -LE tier2 --output-on-failure -j "${JOBS}"
 
+# The interpreter perf harness exercises the frame arena, interned
+# strings, and the inline-cache side table far harder than any unit
+# test; run its quick mode so those paths get sanitizer coverage.
+"${BUILD_DIR}/bench/micro_interp" --quick >/dev/null
+echo "sanitize.sh: micro_interp --quick clean"
+
 if [[ "${SANITIZERS}" == "thread" ]]; then
   TMP_DIR="$(mktemp -d)"
   trap 'rm -rf "${TMP_DIR}"' EXIT

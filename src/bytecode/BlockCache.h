@@ -37,6 +37,10 @@ public:
     return *Slot;
   }
 
+  /// Precomputed Pc -> block-id table for \p F (see
+  /// BlockList::instrToBlockData).
+  const uint32_t *pcToBlock(FuncId F) { return blocks(F).instrToBlockData(); }
+
 private:
   const Repo &R;
   std::vector<std::unique_ptr<BlockList>> Cache;

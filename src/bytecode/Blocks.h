@@ -58,6 +58,12 @@ public:
     return InstrToBlock[InstrIndex];
   }
 
+  /// Raw Pc -> block-id table (one entry per instruction).  The
+  /// interpreter's dispatch loop keeps a borrowed pointer to this so
+  /// block-entry profiling is a single indexed load with no indirection
+  /// through the BlockList.
+  const uint32_t *instrToBlockData() const { return InstrToBlock.data(); }
+
 private:
   std::vector<BcBlock> Blocks;
   std::vector<uint32_t> InstrToBlock;

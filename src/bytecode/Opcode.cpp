@@ -7,6 +7,7 @@
 
 #include "bytecode/Opcode.h"
 
+#include "bytecode/Instruction.h"
 #include "support/Assert.h"
 
 using namespace jumpstart;
@@ -23,4 +24,18 @@ const OpInfo &jumpstart::bc::opInfo(Op O) {
   unsigned Index = static_cast<unsigned>(O);
   assert(Index < kNumOpcodes && "invalid opcode");
   return OpTable[Index];
+}
+
+int jumpstart::bc::instrStackPops(const Instr &In) {
+  const OpInfo &Info = opInfo(In.Opcode);
+  if (Info.Pop >= 0)
+    return Info.Pop;
+  int Pops = static_cast<int>(In.countImm());
+  if (In.Opcode == Op::FCallObj)
+    ++Pops;
+  return Pops;
+}
+
+int jumpstart::bc::instrStackDelta(const Instr &In) {
+  return opInfo(In.Opcode).Push - instrStackPops(In);
 }

@@ -147,6 +147,17 @@ inline bool opEndsBlock(Op O) {
          hasFlag(F, OpFlags::Terminal);
 }
 
+struct Instr;
+
+/// Number of operand-stack values popped by \p In, taking variable-arity
+/// calls into account (FCall/NativeCall pop NumArgs; FCallObj also pops
+/// the receiver).  Shared by the verifier's dataflow pass and the
+/// interpreter's static frame-size analysis.
+int instrStackPops(const Instr &In);
+
+/// Net operand-stack effect of \p In (pushes minus pops).
+int instrStackDelta(const Instr &In);
+
 } // namespace jumpstart::bc
 
 #endif // JUMPSTART_BYTECODE_OPCODE_H

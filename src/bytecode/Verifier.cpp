@@ -38,29 +38,6 @@ private:
   std::vector<VerifyIssue> &Out;
 };
 
-/// Net stack effect of \p In, taking variable-arity calls into account.
-int stackDelta(const Instr &In) {
-  const OpInfo &Info = opInfo(In.Opcode);
-  if (Info.Pop >= 0)
-    return Info.Push - Info.Pop;
-  // Calls: FCall/NativeCall pop NumArgs, FCallObj also pops the receiver.
-  int Pops = static_cast<int>(In.countImm());
-  if (In.Opcode == Op::FCallObj)
-    ++Pops;
-  return Info.Push - Pops;
-}
-
-/// Number of values popped by \p In.
-int stackPops(const Instr &In) {
-  const OpInfo &Info = opInfo(In.Opcode);
-  if (Info.Pop >= 0)
-    return Info.Pop;
-  int Pops = static_cast<int>(In.countImm());
-  if (In.Opcode == Op::FCallObj)
-    ++Pops;
-  return Pops;
-}
-
 void verifyImmediates(const Repo &R, const Function &F, uint32_t NumBuiltins,
                       ErrorSink &Sink) {
   auto CheckImm = [&](uint32_t Index, ImmKind Kind, int64_t Raw) {
@@ -143,12 +120,12 @@ void verifyStackDepth(const Function &F, ErrorSink &Sink) {
     int Depth = EntryDepth[BlockId];
     for (uint32_t I = B.Start; I < B.End; ++I) {
       const Instr &In = F.Code[I];
-      if (Depth < stackPops(In)) {
+      if (Depth < instrStackPops(In)) {
         Sink.error(I, "instr %u (%s): stack underflow (depth %d)", I,
                    opName(In.Opcode), Depth);
         return;
       }
-      Depth += stackDelta(In);
+      Depth += instrStackDelta(In);
       if (In.Opcode == Op::RetC && Depth != 0) {
         Sink.error(I, "instr %u: return leaves %d values on the stack", I,
                    Depth);

@@ -1,0 +1,127 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/InterpCache.h"
+
+#include "bytecode/Blocks.h"
+
+#include <algorithm>
+#include <deque>
+
+using namespace jumpstart;
+using namespace jumpstart::interp;
+
+namespace {
+
+/// A run ends at any instruction after which control may leave the
+/// straight line: branches and returns transfer control, and calls hand
+/// the step counter to a callee (so charging must stop there for the
+/// callee to observe the same count as under per-instruction checking).
+bool endsRun(bc::Op O) {
+  bc::OpFlags F = bc::opInfo(O).Flags;
+  return bc::hasFlag(F, bc::OpFlags::Branch) ||
+         bc::hasFlag(F, bc::OpFlags::CondBranch) ||
+         bc::hasFlag(F, bc::OpFlags::Terminal) ||
+         bc::hasFlag(F, bc::OpFlags::Call);
+}
+
+bool hasCacheableSite(const bc::Function &F) {
+  for (const bc::Instr &In : F.Code)
+    if (In.Opcode == bc::Op::GetProp || In.Opcode == bc::Op::SetProp ||
+        In.Opcode == bc::Op::FCallObj)
+      return true;
+  return false;
+}
+
+/// Preconditions for the CFG-based analysis (and for BlockList::compute,
+/// which assumes verified code): all branch targets in range and control
+/// unable to fall off the end.
+bool structurallySound(const bc::Function &F) {
+  if (F.Code.empty())
+    return false;
+  const bc::OpInfo &Last = bc::opInfo(F.Code.back().Opcode);
+  if (!bc::hasFlag(Last.Flags, bc::OpFlags::Terminal) &&
+      !bc::hasFlag(Last.Flags, bc::OpFlags::Branch))
+    return false;
+  for (const bc::Instr &In : F.Code) {
+    const bc::OpInfo &Info = bc::opInfo(In.Opcode);
+    if ((Info.ImmA == bc::ImmKind::Target &&
+         static_cast<uint64_t>(In.ImmA) >= F.Code.size()) ||
+        (Info.ImmB == bc::ImmKind::Target &&
+         static_cast<uint64_t>(In.ImmB) >= F.Code.size()))
+      return false;
+    if (In.Opcode == bc::Op::GetL || In.Opcode == bc::Op::SetL)
+      if (In.localImm() >= F.NumLocals)
+        return false;
+  }
+  return true;
+}
+
+/// Verifier-style abstract interpretation of stack depth.  \returns true
+/// and sets \p MaxStack on success; false when depths underflow or are
+/// inconsistent (such functions run on the legacy engine).
+bool computeMaxStack(const bc::Function &F, uint32_t &MaxStack) {
+  bc::BlockList Blocks = bc::BlockList::compute(F);
+  constexpr int kUnknown = -1;
+  std::vector<int> EntryDepth(Blocks.numBlocks(), kUnknown);
+  EntryDepth[0] = 0;
+  std::deque<uint32_t> Worklist;
+  Worklist.push_back(0);
+  int Max = 0;
+
+  while (!Worklist.empty()) {
+    uint32_t BlockId = Worklist.front();
+    Worklist.pop_front();
+    const bc::BcBlock &B = Blocks.block(BlockId);
+    int Depth = EntryDepth[BlockId];
+    for (uint32_t I = B.Start; I < B.End; ++I) {
+      const bc::Instr &In = F.Code[I];
+      if (Depth < bc::instrStackPops(In))
+        return false;
+      Depth += bc::instrStackDelta(In);
+      Max = std::max(Max, Depth);
+      if (In.Opcode == bc::Op::RetC && Depth != 0)
+        return false;
+    }
+    auto Propagate = [&](uint32_t Succ) {
+      if (EntryDepth[Succ] == kUnknown) {
+        EntryDepth[Succ] = Depth;
+        Worklist.push_back(Succ);
+        return true;
+      }
+      return EntryDepth[Succ] == Depth;
+    };
+    if (B.hasTaken() && !Propagate(B.Taken))
+      return false;
+    if (B.hasFallthru() && !Propagate(B.Fallthru))
+      return false;
+  }
+  MaxStack = static_cast<uint32_t>(Max);
+  return true;
+}
+
+} // namespace
+
+FuncExecInfo jumpstart::interp::computeExecInfo(const bc::Function &F) {
+  FuncExecInfo Info;
+  if (!structurallySound(F))
+    return Info;
+  if (!computeMaxStack(F, Info.MaxStack))
+    return Info;
+  Info.HasStaticStack = true;
+
+  size_t N = F.Code.size();
+  Info.RunLen.resize(N);
+  for (size_t I = N; I-- > 0;)
+    Info.RunLen[I] = (endsRun(F.Code[I].Opcode) || I + 1 == N)
+                         ? 1
+                         : Info.RunLen[I + 1] + 1;
+
+  if (hasCacheableSite(F))
+    Info.ICs.assign(N, ICEntry{});
+  return Info;
+}

@@ -1,0 +1,108 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function execution metadata for the fast interpreter engine.
+///
+/// The fast engine (interp/Interpreter.cpp) relies on three pieces of
+/// statically derived information per function, computed once on first
+/// execution and cached here:
+///
+///  - Run lengths for bulk step accounting: a "run" is the straight-line
+///    instruction sequence ending at (and including) the next
+///    branch/terminal/call.  Charging a whole run against the step budget
+///    at its first instruction is exactly equivalent to the legacy
+///    per-instruction check: a run, once entered, executes completely, and
+///    because calls end runs the global step counter agrees with the
+///    legacy engine's at every callee entry and every abort point.
+///
+///  - The maximum operand-stack depth, from the same abstract
+///    interpretation the verifier performs.  It lets a frame's locals and
+///    stack be carved out of the request FrameArena in one allocation
+///    with no per-push growth checks.  Functions whose analysis fails
+///    (unverifiable code reached via fuzzing) set HasStaticStack = false
+///    and execute on the legacy engine, which handles anything.
+///
+///  - Inline caches for property and method dispatch sites, keyed by the
+///    receiver's ClassLayout.  They live here, outside the immutable
+///    bytecode, in a side table indexed by Pc.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_INTERP_INTERPCACHE_H
+#define JUMPSTART_INTERP_INTERPCACHE_H
+
+#include "bytecode/Repo.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace jumpstart::interp {
+
+/// One monomorphic inline cache.  For GetProp/SetProp sites Key is the
+/// receiver's ClassLayout and Payload the physical slot; for FCallObj
+/// sites Key is the layout and Payload the resolved raw FuncId.  A null
+/// Key means the site has not yet cached a successful lookup; negative
+/// lookups are never cached.
+struct ICEntry {
+  const void *Key = nullptr;
+  uint64_t Payload = 0;
+};
+
+/// Static execution metadata for one function (see file comment).
+struct FuncExecInfo {
+  /// RunLen[I]: instructions from I through the end of I's run,
+  /// inclusive.  Empty when !HasStaticStack.
+  std::vector<uint32_t> RunLen;
+
+  /// Inline caches indexed by Pc.  Empty when !HasStaticStack or the
+  /// function has no cacheable site.
+  std::vector<ICEntry> ICs;
+
+  /// Maximum operand-stack depth over all paths.
+  uint32_t MaxStack = 0;
+
+  /// True when the static analysis succeeded (branch targets in range,
+  /// control cannot fall off the end, stack depths consistent).  False
+  /// sends frames of this function to the legacy engine.
+  bool HasStaticStack = false;
+};
+
+/// Computes FuncExecInfo for \p F (exposed for tests).
+FuncExecInfo computeExecInfo(const bc::Function &F);
+
+/// Caches FuncExecInfo per FuncId, plus deterministic inline-cache hit
+/// statistics.  One instance per Interpreter; not thread-safe, matching
+/// the single-threaded simulated servers.
+class InterpCaches {
+public:
+  explicit InterpCaches(const bc::Repo &R) : R(R) {}
+
+  /// The (lazily computed) execution metadata for \p F.
+  FuncExecInfo &info(bc::FuncId F) {
+    if (Cache.size() < R.numFuncs())
+      Cache.resize(R.numFuncs());
+    auto &Slot = Cache[F.raw()];
+    if (!Slot)
+      Slot = std::make_unique<FuncExecInfo>(computeExecInfo(R.func(F)));
+    return *Slot;
+  }
+
+  /// Deterministic counters (bumped only by the fast engine; the bench
+  /// and CI perf smoke compare them byte-for-byte across runs).
+  uint64_t ICHits = 0;
+  uint64_t ICMisses = 0;
+
+private:
+  const bc::Repo &R;
+  std::vector<std::unique_ptr<FuncExecInfo>> Cache;
+};
+
+} // namespace jumpstart::interp
+
+#endif // JUMPSTART_INTERP_INTERPCACHE_H

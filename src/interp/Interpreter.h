@@ -22,6 +22,7 @@
 #include "bytecode/BlockCache.h"
 #include "bytecode/Repo.h"
 #include "interp/ExecCallbacks.h"
+#include "interp/InterpCache.h"
 #include "runtime/Builtins.h"
 #include "runtime/ClassLayout.h"
 #include "runtime/Heap.h"
@@ -43,10 +44,26 @@ struct InterpResult {
   uint64_t Faults = 0;
 };
 
+/// Which execution engine frames run on.  Both are observably identical
+/// (same results, faults, step accounting, callback streams); they differ
+/// only in speed.  The differential conformance harness (src/testing)
+/// keeps them honest by diffing full execution digests across engines.
+enum class InterpEngine : uint8_t {
+  /// Threaded dispatch, arena frames, interned strings, inline caches,
+  /// per-run step accounting.  Falls back to Legacy per function when
+  /// static frame analysis fails (see interp/InterpCache.h).
+  Fast,
+  /// The original switch loop with per-instruction checks and
+  /// vector-backed frames.  Kept as the semantic reference and the
+  /// baseline the benchmarks measure against.
+  Legacy,
+};
+
 /// Interpreter configuration.
 struct InterpOptions {
   uint64_t StepBudget = 100'000'000;
   uint32_t MaxCallDepth = 200;
+  InterpEngine Engine = InterpEngine::Fast;
   /// Test-only fault injection: added to every integer Add result.  The
   /// differential conformance oracle (src/testing) uses a nonzero skew to
   /// prove it can detect a single-opcode semantic divergence between two
@@ -80,10 +97,34 @@ public:
   runtime::Heap &heap() { return H; }
   runtime::ClassTable &classes() { return Classes; }
 
+  /// Fast-engine metadata and inline-cache statistics (deterministic;
+  /// the perf smoke compares them across runs).
+  const InterpCaches &caches() const { return Caches; }
+
 private:
   runtime::Value execFrame(bc::FuncId FId, const runtime::Value *Args,
                            uint32_t NumArgs, runtime::Value This,
                            bc::FuncId Caller, uint32_t Depth);
+  runtime::Value execFrameLegacy(const bc::Function &F, bc::FuncId FId,
+                                 const runtime::Value *Args, uint32_t NumArgs,
+                                 runtime::Value This, bc::FuncId Caller,
+                                 uint32_t Depth);
+  /// The fast engine's frame loop.  Instrumented is the per-frame
+  /// hoisted "Callbacks != nullptr" decision: the uninstrumented
+  /// instantiation contains no callback code at all.
+  template <bool Instrumented>
+  runtime::Value execFrameFast(const bc::Function &F, FuncExecInfo &Info,
+                               bc::FuncId FId, const runtime::Value *Args,
+                               uint32_t NumArgs, runtime::Value This,
+                               bc::FuncId Caller, uint32_t Depth);
+  /// Call entry used by fast-engine call sites: identical to execFrame
+  /// but skips the engine-selection and callback tests, both of which
+  /// the calling frame already resolved (the engine cannot change
+  /// mid-request and Instrumented carries the callback decision).
+  template <bool Instrumented>
+  runtime::Value callFast(bc::FuncId FId, const runtime::Value *Args,
+                          uint32_t NumArgs, runtime::Value This,
+                          bc::FuncId Caller, uint32_t Depth);
   runtime::Value fault();
 
   const bc::Repo &R;
@@ -92,6 +133,7 @@ private:
   const runtime::BuiltinTable &Builtins;
   InterpOptions Opts;
   bc::BlockCache Blocks;
+  InterpCaches Caches;
 
   ExecCallbacks *Callbacks = nullptr;
   std::vector<uint64_t> *InstrCounts = nullptr;

@@ -13,7 +13,7 @@
 using namespace jumpstart;
 using namespace jumpstart::jit;
 
-std::unordered_map<uint32_t, uint32_t> &TransDb::mapFor(TransKind K) {
+TransDb::FuncMap &TransDb::mapFor(TransKind K) {
   switch (K) {
   case TransKind::Live:
     return LiveMap;
@@ -25,8 +25,7 @@ std::unordered_map<uint32_t, uint32_t> &TransDb::mapFor(TransKind K) {
   unreachable("unhandled TransKind");
 }
 
-const std::unordered_map<uint32_t, uint32_t> &
-TransDb::mapFor(TransKind K) const {
+const TransDb::FuncMap &TransDb::mapFor(TransKind K) const {
   return const_cast<TransDb *>(this)->mapFor(K);
 }
 
@@ -60,15 +59,14 @@ Translation &TransDb::create(TransKind Kind,
           ? static_cast<double>(Cost) /
                 static_cast<double>(T->Unit->BytecodeCount)
           : 1.0;
-  mapFor(Kind)[T->Unit->Func.raw()] = T->Id;
+  mapFor(Kind).insertOrAssign(T->Unit->Func.raw(), T->Id);
   All.push_back(std::move(T));
   return *All.back();
 }
 
 Translation *TransDb::forFunc(bc::FuncId F, TransKind K) {
-  auto &Map = mapFor(K);
-  auto It = Map.find(F.raw());
-  return It == Map.end() ? nullptr : All[It->second].get();
+  const uint32_t *Id = mapFor(K).find(F.raw());
+  return Id ? All[*Id].get() : nullptr;
 }
 
 const Translation *TransDb::forFunc(bc::FuncId F, TransKind K) const {

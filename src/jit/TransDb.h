@@ -15,10 +15,10 @@
 #define JUMPSTART_JIT_TRANSDB_H
 
 #include "jit/Translation.h"
+#include "support/FlatMap.h"
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace jumpstart::jit {
@@ -57,13 +57,17 @@ public:
   std::string placementDigest() const;
 
 private:
-  std::unordered_map<uint32_t, uint32_t> &mapFor(TransKind K);
-  const std::unordered_map<uint32_t, uint32_t> &mapFor(TransKind K) const;
+  /// FuncId -> translation id, one per kind.  Read-heavy after
+  /// retranslate-all (every request probes best()), hence flat sorted
+  /// vectors rather than hash maps; see support/FlatMap.h.
+  using FuncMap = support::FlatMap<uint32_t, uint32_t>;
+  FuncMap &mapFor(TransKind K);
+  const FuncMap &mapFor(TransKind K) const;
 
   std::vector<std::unique_ptr<Translation>> All;
-  std::unordered_map<uint32_t, uint32_t> LiveMap;
-  std::unordered_map<uint32_t, uint32_t> ProfileMap;
-  std::unordered_map<uint32_t, uint32_t> OptMap;
+  FuncMap LiveMap;
+  FuncMap ProfileMap;
+  FuncMap OptMap;
 };
 
 } // namespace jumpstart::jit

@@ -7,8 +7,30 @@
 
 #include "runtime/Heap.h"
 
+#include <algorithm>
+
 using namespace jumpstart;
 using namespace jumpstart::runtime;
+
+Value *FrameArena::alloc(uint32_t N) {
+  while (true) {
+    if (CurChunk < Chunks.size()) {
+      Chunk &C = Chunks[CurChunk];
+      if (C.Cap - Used >= N) {
+        Value *P = C.Slots.get() + Used;
+        Used += N;
+        return P;
+      }
+      // The tail of this chunk is too small; it stays unused until the
+      // enclosing mark is rewound.
+      ++CurChunk;
+      Used = 0;
+      continue;
+    }
+    uint32_t Cap = std::max(kChunkSlots, N);
+    Chunks.push_back(Chunk{std::make_unique<Value[]>(Cap), Cap});
+  }
+}
 
 uint64_t Heap::bump(uint64_t Size) {
   // 16-byte alignment, like a real allocator's size classes.
@@ -18,6 +40,7 @@ uint64_t Heap::bump(uint64_t Size) {
 }
 
 VmString *Heap::allocString(std::string_view S) {
+  ++HostAllocs;
   Strings.emplace_back();
   VmString &Str = Strings.back();
   Str.Data = std::string(S);
@@ -26,6 +49,7 @@ VmString *Heap::allocString(std::string_view S) {
 }
 
 VmVec *Heap::allocVec() {
+  ++HostAllocs;
   Vecs.emplace_back();
   VmVec &V = Vecs.back();
   V.Addr = bump(48);
@@ -33,6 +57,7 @@ VmVec *Heap::allocVec() {
 }
 
 VmDict *Heap::allocDict() {
+  ++HostAllocs;
   Dicts.emplace_back();
   VmDict &D = Dicts.back();
   D.Addr = bump(64);
@@ -40,6 +65,7 @@ VmDict *Heap::allocDict() {
 }
 
 VmObject *Heap::allocObject(const ClassLayout *Layout, uint32_t NumSlots) {
+  ++HostAllocs;
   Objects.emplace_back();
   VmObject &O = Objects.back();
   O.Layout = Layout;
@@ -48,10 +74,30 @@ VmObject *Heap::allocObject(const ClassLayout *Layout, uint32_t NumSlots) {
   return &O;
 }
 
+VmString *Heap::internString(uint32_t StringId, std::string_view S) {
+  // Bump first, hit or miss: the simulated layout must match a heap that
+  // allocates this string afresh.
+  uint64_t Addr = bump(24 + S.size());
+  if (StringId < InternById.size()) {
+    if (VmString *Hit = InternById[StringId])
+      return Hit;
+  } else {
+    InternById.resize(StringId + 1, nullptr);
+  }
+  ++HostAllocs;
+  Interned.emplace_back();
+  VmString &Str = Interned.back();
+  Str.Data = std::string(S);
+  Str.Addr = Addr;
+  InternById[StringId] = &Str;
+  return &Str;
+}
+
 void Heap::reset() {
   Strings.clear();
   Vecs.clear();
   Dicts.clear();
   Objects.clear();
+  Frames.clear();
   NextAddr = Base;
 }

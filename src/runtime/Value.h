@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace jumpstart::runtime {
@@ -164,14 +165,34 @@ struct VmDict {
   std::vector<std::pair<DictKey, Value>> Entries;
   uint64_t Addr = 0;
 
-  /// Linear-probe lookup; dicts in the generated workloads are small.
-  /// \returns the entry index or -1.
-  int64_t find(const DictKey &K) const {
-    for (size_t I = 0; I < Entries.size(); ++I)
-      if (Entries[I].first == K)
-        return static_cast<int64_t>(I);
-    return -1;
-  }
+  /// Below this entry count a linear scan beats hashing; above it find()
+  /// builds and maintains a hash index.
+  static constexpr size_t kIndexThreshold = 8;
+
+  /// Lookup returning the entry index or -1.  Small dicts scan linearly;
+  /// larger ones probe a lazily built open-addressing index that maps key
+  /// hash -> first entry with that key, preserving the linear scan's
+  /// first-match semantics.
+  int64_t find(const DictKey &K) const;
+
+  /// Allocation-free lookups for the common key shapes: the string
+  /// overload avoids materializing a DictKey (and its std::string) per
+  /// probe.  Hashes and equality match DictKey's exactly.
+  int64_t find(std::string_view S) const;
+  int64_t find(int64_t I) const;
+
+private:
+  /// Open-addressing table of entry indices (-1 = empty), sized to a
+  /// power of two at <= 50% load.  Mutable: it is a cache over Entries,
+  /// (re)built inside const find().  IndexedCount is how many leading
+  /// entries the table covers; entries appended directly to Entries
+  /// since the last probe are absorbed incrementally (self-healing), so
+  /// code paths that bypass find() for insertion stay correct.
+  mutable std::vector<int32_t> Index;
+  mutable size_t IndexedCount = 0;
+
+  void healIndex() const;
+  template <typename KeyT> int64_t findImpl(const KeyT &K) const;
 };
 
 class ClassLayout;

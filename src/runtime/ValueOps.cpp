@@ -44,6 +44,74 @@ uint64_t DictKey::hash() const {
   return hashCombine(0x9e3779b97f4a7c15ULL, static_cast<uint64_t>(IntKey));
 }
 
+namespace {
+
+// Heterogeneous key equality/hash, each agreeing exactly with
+// DictKey::operator== / DictKey::hash for the corresponding key shape.
+bool dictKeyEq(const DictKey &E, const DictKey &K) { return E == K; }
+bool dictKeyEq(const DictKey &E, std::string_view S) {
+  return E.IsStr && E.StrKey == S;
+}
+bool dictKeyEq(const DictKey &E, int64_t I) {
+  return !E.IsStr && E.IntKey == I;
+}
+
+uint64_t dictKeyHash(const DictKey &K) { return K.hash(); }
+uint64_t dictKeyHash(std::string_view S) { return hashString(S); }
+uint64_t dictKeyHash(int64_t I) {
+  return hashCombine(0x9e3779b97f4a7c15ULL, static_cast<uint64_t>(I));
+}
+
+} // namespace
+
+void VmDict::healIndex() const {
+  size_t N = Entries.size();
+  // Rebuild when the table is absent, over half full, or (defensively)
+  // claims coverage beyond the current entry count.
+  if (Index.empty() || N * 2 > Index.size() || IndexedCount > N) {
+    size_t Cap = 2 * kIndexThreshold;
+    while (Cap < N * 2)
+      Cap <<= 1;
+    Index.assign(Cap, -1);
+    IndexedCount = 0;
+  }
+  size_t Mask = Index.size() - 1;
+  for (; IndexedCount < N; ++IndexedCount) {
+    const DictKey &K = Entries[IndexedCount].first;
+    size_t Slot = dictKeyHash(K) & Mask;
+    while (Index[Slot] >= 0) {
+      if (Entries[static_cast<size_t>(Index[Slot])].first == K)
+        break; // Duplicate key: keep the earlier entry (first-match wins).
+      Slot = (Slot + 1) & Mask;
+    }
+    if (Index[Slot] < 0)
+      Index[Slot] = static_cast<int32_t>(IndexedCount);
+  }
+}
+
+template <typename KeyT> int64_t VmDict::findImpl(const KeyT &K) const {
+  size_t N = Entries.size();
+  if (N < kIndexThreshold) {
+    for (size_t I = 0; I < N; ++I)
+      if (dictKeyEq(Entries[I].first, K))
+        return static_cast<int64_t>(I);
+    return -1;
+  }
+  healIndex();
+  size_t Mask = Index.size() - 1;
+  for (size_t Slot = dictKeyHash(K) & Mask;; Slot = (Slot + 1) & Mask) {
+    int32_t At = Index[Slot];
+    if (At < 0)
+      return -1;
+    if (dictKeyEq(Entries[static_cast<size_t>(At)].first, K))
+      return At;
+  }
+}
+
+int64_t VmDict::find(const DictKey &K) const { return findImpl(K); }
+int64_t VmDict::find(std::string_view S) const { return findImpl(S); }
+int64_t VmDict::find(int64_t I) const { return findImpl(I); }
+
 bool jumpstart::runtime::toBool(const Value &V) {
   switch (V.T) {
   case Type::Null:

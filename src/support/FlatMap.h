@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sorted-vector map for read-heavy integer-keyed tables.
+///
+/// The JIT's translation indexes are written once per translation but
+/// probed on every request (tier selection, cost lookup), and after
+/// retranslate-all they are effectively frozen.  A sorted vector probed by
+/// binary search beats an unordered_map here: no per-node allocation, no
+/// hashing, and the whole table lands in a handful of cache lines.
+/// Iteration order is key order, which is deterministic by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_SUPPORT_FLATMAP_H
+#define JUMPSTART_SUPPORT_FLATMAP_H
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace jumpstart::support {
+
+/// A map from \p Key to \p Value stored as a vector of pairs sorted by
+/// key.  Lookup is O(log n); insertion is O(n) (rare in the intended
+/// uses).  Keys are expected to be cheap integral types.
+template <typename Key, typename Value> class FlatMap {
+public:
+  using Entry = std::pair<Key, Value>;
+
+  /// \returns a pointer to the value for \p K, or nullptr when absent.
+  Value *find(Key K) {
+    auto It = lowerBound(K);
+    return (It != Data.end() && It->first == K) ? &It->second : nullptr;
+  }
+  const Value *find(Key K) const {
+    return const_cast<FlatMap *>(this)->find(K);
+  }
+
+  /// Inserts \p V under \p K, overwriting any existing entry.
+  void insertOrAssign(Key K, Value V) {
+    auto It = lowerBound(K);
+    if (It != Data.end() && It->first == K)
+      It->second = std::move(V);
+    else
+      Data.insert(It, Entry{K, std::move(V)});
+  }
+
+  bool contains(Key K) const { return find(K) != nullptr; }
+  size_t size() const { return Data.size(); }
+  bool empty() const { return Data.empty(); }
+  void clear() { Data.clear(); }
+  void reserve(size_t N) { Data.reserve(N); }
+
+  /// Entries in ascending key order.
+  typename std::vector<Entry>::const_iterator begin() const {
+    return Data.begin();
+  }
+  typename std::vector<Entry>::const_iterator end() const {
+    return Data.end();
+  }
+
+private:
+  typename std::vector<Entry>::iterator lowerBound(Key K) {
+    return std::lower_bound(
+        Data.begin(), Data.end(), K,
+        [](const Entry &E, Key Want) { return E.first < Want; });
+  }
+
+  std::vector<Entry> Data;
+};
+
+} // namespace jumpstart::support
+
+#endif // JUMPSTART_SUPPORT_FLATMAP_H

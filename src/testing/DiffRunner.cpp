@@ -45,6 +45,14 @@ std::vector<ExecConfig> jumpstart::testing::smokeMatrix() {
   Interp.Mode = ExecConfig::Tier::InterpOnly;
   M.push_back(Interp);
 
+  // The same semantic reference on the legacy interpreter engine: the
+  // fast/legacy pair is diffed like any other cell, so every sweep is
+  // also a cross-engine conformance run.
+  ExecConfig InterpLegacy = Interp;
+  InterpLegacy.Name = "interp-legacy";
+  InterpLegacy.LegacyInterp = true;
+  M.push_back(InterpLegacy);
+
   ExecConfig Profile;
   Profile.Name = "profile";
   Profile.Mode = ExecConfig::Tier::ProfileOnly;
@@ -52,7 +60,16 @@ std::vector<ExecConfig> jumpstart::testing::smokeMatrix() {
 
   ExecConfig Jit;
   Jit.Name = "jit";
+  Jit.DigestGroup = "engine";
   M.push_back(Jit);
+
+  // Full server on the legacy engine, digest-grouped with "jit": the
+  // engine swap must not move a single exported byte (profiles, tier
+  // transitions, placement, metrics all derive from interpretation).
+  ExecConfig JitLegacy = Jit;
+  JitLegacy.Name = "jit-legacy";
+  JitLegacy.LegacyInterp = true;
+  M.push_back(JitLegacy);
 
   ExecConfig Js;
   Js.Name = "jumpstart";
@@ -217,6 +234,8 @@ RunTrace DiffRunner::runConfig(const fleet::Workload &W,
     runtime::Heap Heap;
     interp::InterpOptions Opts;
     Opts.StepBudget = kStepBudget;
+    Opts.Engine = C.LegacyInterp ? interp::InterpEngine::Legacy
+                                 : interp::InterpEngine::Fast;
     Opts.TestOnlyIntAddSkew = C.IntAddSkew;
     interp::Interpreter Interp(W.Repo, Classes, Heap,
                                runtime::BuiltinTable::standard(), Opts);
@@ -243,6 +262,8 @@ RunTrace DiffRunner::runConfig(const fleet::Workload &W,
   SC.JitWorkerCores = 1;
   SC.WarmupEndpoints.clear(); // the schedule is the only traffic
   SC.Interp.StepBudget = kStepBudget;
+  SC.Interp.Engine = C.LegacyInterp ? interp::InterpEngine::Legacy
+                                    : interp::InterpEngine::Fast;
   SC.Interp.TestOnlyIntAddSkew = C.IntAddSkew;
   SC.Jit.ProfileRequestTarget =
       C.Mode == ExecConfig::Tier::FullJit

@@ -60,6 +60,12 @@ struct ExecConfig {
   /// Host compile-pool workers (the --threads axis).  Host-only: must
   /// never change an observable or an exported byte.
   uint32_t HostThreads = 1;
+  /// Run all interpretation on the legacy engine
+  /// (interp::InterpEngine::Legacy) instead of the fast one.  Host-only,
+  /// like HostThreads: the engines promise identical observables AND
+  /// identical determinism digests, which the "engine" digest group
+  /// asserts byte-for-byte.
+  bool LegacyInterp = false;
   /// Test-only interpreter divergence injection, added to every integer
   /// Add result (interp::InterpOptions::TestOnlyIntAddSkew).  The oracle
   /// must catch any nonzero value as a cross-config mismatch.

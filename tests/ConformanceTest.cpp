@@ -136,7 +136,9 @@ TEST(DiffRunnerTest, SmokeSweepFindsNoMismatches) {
                   << " vs " << M.ConfigB << ": " << M.What << "\n"
                   << M.Shrunk;
   EXPECT_EQ(Stats.Programs, 30u);
-  EXPECT_EQ(Stats.Runs, 30u * 5);
+  // 7 matrix cells: interp, interp-legacy, profile, jit, jit-legacy,
+  // jumpstart, jumpstart-threads4.
+  EXPECT_EQ(Stats.Runs, 30u * 7);
   EXPECT_GT(Stats.JumpStartBoots, 0u)
       << "the jumpstart matrix cells never actually booted from a "
          "package -- the sweep silently lost its main coverage";
@@ -203,11 +205,12 @@ TEST(DiffRunnerTest, InjectedDivergenceIsCaughtAndShrunk) {
 TEST(DiffRunnerTest, FullMatrixCoversEveryAxis) {
   std::vector<jstest::ExecConfig> M = jstest::fullMatrix();
   bool SawInterp = false, SawJumpStart = false, SawThreads = false,
-       SawLayoutOff = false;
+       SawLayoutOff = false, SawLegacyEngine = false;
   for (const jstest::ExecConfig &C : M) {
     SawInterp |= C.Mode == jstest::ExecConfig::Tier::InterpOnly;
     SawJumpStart |= C.JumpStart;
     SawThreads |= C.HostThreads > 1;
+    SawLegacyEngine |= C.LegacyInterp;
     SawLayoutOff |= !C.UseExtTsp || !C.SplitHotCold || !C.UseFunctionSort ||
                     !C.ReorderProperties;
     EXPECT_EQ(C.IntAddSkew, 0) << C.Name
@@ -217,4 +220,5 @@ TEST(DiffRunnerTest, FullMatrixCoversEveryAxis) {
   EXPECT_TRUE(SawJumpStart);
   EXPECT_TRUE(SawThreads);
   EXPECT_TRUE(SawLayoutOff);
+  EXPECT_TRUE(SawLegacyEngine);
 }

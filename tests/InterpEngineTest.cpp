@@ -1,0 +1,458 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fast-vs-legacy interpreter engine conformance.
+///
+/// The fast engine (threaded dispatch, arena frames, interned strings,
+/// inline caches, per-run step accounting) must be observably identical
+/// to the legacy switch loop: same results, same faults, same step
+/// totals, same per-function instruction counts, and -- the strictest
+/// check -- the same callback stream event for event, including type
+/// observations and simulated heap addresses.  These tests drive both
+/// engines over generated programs and hand-written edge cases and diff
+/// everything.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestHelpers.h"
+
+#include "interp/InterpCache.h"
+#include "runtime/ValueOps.h"
+#include "support/StringUtil.h"
+#include "testing/DiffRunner.h"
+#include "testing/ProgramGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace jumpstart;
+namespace jstest = jumpstart::testing;
+
+namespace {
+
+/// Records every callback invocation as one line, so two engines'
+/// observation streams can be diffed as strings.
+class RecordingCallbacks : public interp::ExecCallbacks {
+public:
+  /// Tracing every instruction of every function makes the stream (and
+  /// the legacy/fast preamble paths) maximally sensitive.
+  bool wantsInstrTrace(bc::FuncId) override { return true; }
+
+  void onFuncEnter(bc::FuncId Callee, bc::FuncId Caller,
+                   const runtime::Value *Args, uint32_t NumArgs) override {
+    Log += strFormat("enter %u from %u args %u\n", Callee.raw(), Caller.raw(),
+                     NumArgs);
+    for (uint32_t I = 0; I < NumArgs; ++I)
+      Log += strFormat("  arg %s\n", runtime::toString(Args[I]).c_str());
+  }
+  void onFuncExit(bc::FuncId F) override {
+    Log += strFormat("exit %u\n", F.raw());
+  }
+  void onBlockEnter(bc::FuncId F, uint32_t Block) override {
+    Log += strFormat("block %u:%u\n", F.raw(), Block);
+  }
+  void onInstr(bc::FuncId F, uint32_t InstrIndex, uint32_t Depth) override {
+    Log += strFormat("instr %u:%u depth %u\n", F.raw(), InstrIndex, Depth);
+  }
+  void onVirtualCall(bc::FuncId Caller, uint32_t InstrIndex,
+                     bc::FuncId Callee) override {
+    Log += strFormat("vcall %u:%u -> %u\n", Caller.raw(), InstrIndex,
+                     Callee.raw());
+  }
+  void onTypeObserve(bc::FuncId F, uint32_t InstrIndex,
+                     runtime::Type T) override {
+    Log += strFormat("type %u:%u %s\n", F.raw(), InstrIndex,
+                     runtime::typeName(T));
+  }
+  void onPropAccess(bc::ClassId Cls, bc::StringId Prop, bool IsWrite,
+                    uint64_t Addr) override {
+    Log += strFormat("prop %u.%u w%d @%llu\n", Cls.raw(), Prop.raw(), IsWrite,
+                     static_cast<unsigned long long>(Addr));
+  }
+  void onDataAccess(uint64_t Addr, bool IsWrite) override {
+    Log += strFormat("data w%d @%llu\n", IsWrite,
+                     static_cast<unsigned long long>(Addr));
+  }
+
+  std::string Log;
+};
+
+/// Everything one engine produced for one program.
+struct EngineTrace {
+  std::vector<std::string> Rets;
+  std::vector<std::string> Outputs;
+  std::vector<uint64_t> Faults;
+  std::vector<uint64_t> Steps;
+  std::vector<bool> Oks;
+  std::vector<uint64_t> InstrCounts;
+  std::string CallbackLog;
+};
+
+/// Runs \p Requests requests against every endpoint of \p W on a fresh
+/// interpreter using \p Engine, with full observation attached.
+EngineTrace runEngine(const fleet::Workload &W, interp::InterpEngine Engine,
+                      uint32_t Requests, uint64_t StepBudget = 200'000) {
+  runtime::ClassTable Classes(W.Repo);
+  runtime::Heap Heap;
+  interp::InterpOptions Opts;
+  Opts.Engine = Engine;
+  Opts.StepBudget = StepBudget;
+  interp::Interpreter Interp(W.Repo, Classes, Heap,
+                             runtime::BuiltinTable::standard(), Opts);
+  EngineTrace T;
+  RecordingCallbacks CB;
+  Interp.setCallbacks(&CB);
+  Interp.setInstrCounts(&T.InstrCounts);
+  std::string Output;
+  Interp.setOutput(&Output);
+  for (uint32_t Rq = 0; Rq < Requests; ++Rq) {
+    bc::FuncId F = W.Endpoints[Rq % W.Endpoints.size()];
+    std::vector<runtime::Value> Args = {runtime::Value::integer(
+        static_cast<int64_t>((Rq * 2654435761ull) & 0xFFFFFull))};
+    interp::InterpResult R = Interp.call(F, Args);
+    T.Rets.push_back(runtime::toString(R.Ret));
+    T.Outputs.push_back(Output);
+    T.Faults.push_back(R.Faults);
+    T.Steps.push_back(R.Steps);
+    T.Oks.push_back(R.Ok);
+    Heap.reset();
+    Output.clear();
+  }
+  T.CallbackLog = std::move(CB.Log);
+  return T;
+}
+
+void expectTracesEqual(const EngineTrace &Fast, const EngineTrace &Legacy,
+                       uint64_t Seed) {
+  ASSERT_EQ(Fast.Rets.size(), Legacy.Rets.size()) << "seed " << Seed;
+  for (size_t I = 0; I < Fast.Rets.size(); ++I) {
+    EXPECT_EQ(Fast.Rets[I], Legacy.Rets[I]) << "seed " << Seed << " rq " << I;
+    EXPECT_EQ(Fast.Outputs[I], Legacy.Outputs[I])
+        << "seed " << Seed << " rq " << I;
+    EXPECT_EQ(Fast.Faults[I], Legacy.Faults[I])
+        << "seed " << Seed << " rq " << I;
+    EXPECT_EQ(Fast.Steps[I], Legacy.Steps[I])
+        << "seed " << Seed << " rq " << I;
+    EXPECT_EQ(Fast.Oks[I], Legacy.Oks[I]) << "seed " << Seed << " rq " << I;
+  }
+  EXPECT_EQ(Fast.InstrCounts, Legacy.InstrCounts) << "seed " << Seed;
+  EXPECT_EQ(Fast.CallbackLog, Legacy.CallbackLog) << "seed " << Seed;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Generative cross-engine conformance.
+//===----------------------------------------------------------------------===//
+
+TEST(InterpEngine, GeneratedProgramsMatchAcrossEngines) {
+  // 50 generated programs, every observable diffed between engines --
+  // including the full callback stream (blocks, instr traces, type
+  // observations, property and data-access addresses).
+  for (uint32_t I = 0; I < 50; ++I) {
+    uint64_t Seed = 90'000'001ull + I;
+    jstest::GenParams G;
+    G.Seed = Seed;
+    G.NumClasses = 2;
+    jstest::GenProgram Prog = jstest::generateProgram(G);
+    fleet::Workload W;
+    ASSERT_TRUE(jstest::DiffRunner::compileProgram(Prog.render(), W).ok())
+        << "seed " << Seed;
+    EngineTrace Fast = runEngine(W, interp::InterpEngine::Fast, 8);
+    EngineTrace Legacy = runEngine(W, interp::InterpEngine::Legacy, 8);
+    expectTracesEqual(Fast, Legacy, Seed);
+  }
+}
+
+TEST(InterpEngine, StepBudgetAbortsIdentically) {
+  // Tight budgets land the abort mid-program; the per-run bulk charge
+  // must abort at exactly the same instruction (same Steps, same
+  // truncated callback stream) as the per-instruction legacy check.
+  jstest::GenParams G;
+  G.Seed = 424242;
+  G.MaxStmts = 6;
+  jstest::GenProgram Prog = jstest::generateProgram(G);
+  fleet::Workload W;
+  ASSERT_TRUE(jstest::DiffRunner::compileProgram(Prog.render(), W).ok());
+  // First find a budget that actually truncates execution.
+  EngineTrace Free = runEngine(W, interp::InterpEngine::Legacy, 2);
+  uint64_t FullSteps = Free.Steps[0];
+  ASSERT_GT(FullSteps, 4u);
+  for (uint64_t Budget : {FullSteps / 2, FullSteps - 1, uint64_t(3),
+                          uint64_t(1)}) {
+    EngineTrace Fast = runEngine(W, interp::InterpEngine::Fast, 2, Budget);
+    EngineTrace Legacy = runEngine(W, interp::InterpEngine::Legacy, 2, Budget);
+    expectTracesEqual(Fast, Legacy, Budget);
+    EXPECT_FALSE(Fast.Oks[0]) << "budget " << Budget << " did not abort";
+  }
+}
+
+TEST(InterpEngine, UninstrumentedResultsMatchInstrumented) {
+  // The fast engine compiles two instantiations (with and without
+  // callback code), and only the plain one contains the fused peephole
+  // paths -- so this diff is the fused paths' primary oracle.  Sweep a
+  // spread of generated programs, endpoints, and arguments.
+  for (uint64_t Seed = 777; Seed < 777 + 30; ++Seed) {
+    jstest::GenParams G;
+    G.Seed = Seed;
+    G.NumClasses = 2;
+    jstest::GenProgram Prog = jstest::generateProgram(G);
+    fleet::Workload W;
+    ASSERT_TRUE(jstest::DiffRunner::compileProgram(Prog.render(), W).ok());
+
+    runtime::ClassTable Classes(W.Repo);
+    runtime::Heap Heap;
+    interp::Interpreter Interp(W.Repo, Classes, Heap,
+                               runtime::BuiltinTable::standard());
+    RecordingCallbacks CB;
+    for (bc::FuncId Endpoint : W.Endpoints) {
+      for (int64_t Arg : {0, 5, 999}) {
+        std::vector<runtime::Value> Args = {runtime::Value::integer(Arg)};
+        Interp.setCallbacks(nullptr);
+        interp::InterpResult Plain = Interp.call(Endpoint, Args);
+        // Stringify before reset: a string return points into the heap.
+        std::string PlainRet = runtime::toString(Plain.Ret);
+        Heap.reset();
+        Interp.setCallbacks(&CB);
+        interp::InterpResult Observed = Interp.call(Endpoint, Args);
+        std::string ObservedRet = runtime::toString(Observed.Ret);
+        Heap.reset();
+        EXPECT_EQ(PlainRet, ObservedRet)
+            << "seed " << Seed << " arg " << Arg;
+        EXPECT_EQ(Plain.Steps, Observed.Steps)
+            << "seed " << Seed << " arg " << Arg;
+        EXPECT_EQ(Plain.Faults, Observed.Faults)
+            << "seed " << Seed << " arg " << Arg;
+      }
+    }
+    EXPECT_FALSE(CB.Log.empty());
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Inline caches.
+//===----------------------------------------------------------------------===//
+
+TEST(InterpEngine, InlineCachesHitAndStayCorrect) {
+  jstest::TestVm Vm(
+      "class P { prop $x; method get() { return $this->x; } }"
+      "function main() {"
+      "  $p = new P(); $p->x = 0; $i = 0; $t = 0;"
+      "  while ($i < 50) { $p->x = $i; $t = $t + $p->get(); $i = $i + 1; }"
+      "  return $t;"
+      "}");
+  ASSERT_TRUE(Vm.ok());
+  EXPECT_EQ(Vm.runInt("main"), 49 * 50 / 2);
+  const interp::InterpCaches &C = Vm.Interp->caches();
+  // Each site misses once (first execution) and hits thereafter.
+  EXPECT_GT(C.ICHits, C.ICMisses);
+  EXPECT_GT(C.ICMisses, 0u);
+}
+
+TEST(InterpEngine, PolymorphicSitesStayCorrect) {
+  // One call site alternating between two receiver layouts: the
+  // monomorphic cache thrashes but must never dispatch to the wrong
+  // method or slot.
+  jstest::TestVm Vm(
+      "class A { prop $v; method tag() { return 100 + $this->v; } }"
+      "class B { prop $v; method tag() { return 200 + $this->v; } }"
+      "function poke($o) { return $o->tag(); }"
+      "function main() {"
+      "  $a = new A(); $a->v = 1; $b = new B(); $b->v = 2;"
+      "  $i = 0; $t = 0;"
+      "  while ($i < 10) { $t = $t + poke($a) + poke($b); $i = $i + 1; }"
+      "  return $t;"
+      "}");
+  ASSERT_TRUE(Vm.ok());
+  EXPECT_EQ(Vm.runInt("main"), 10 * (101 + 202));
+}
+
+TEST(InterpEngine, ICStatsAreDeterministic) {
+  const char *Source =
+      "class K { prop $n; method bump() { $this->n = $this->n + 1; "
+      "return $this->n; } }"
+      "function main() {"
+      "  $k = new K(); $k->n = 0; $i = 0;"
+      "  while ($i < 20) { $k->bump(); $i = $i + 1; }"
+      "  return $k->n;"
+      "}";
+  uint64_t Hits[2], Misses[2];
+  for (int Round = 0; Round < 2; ++Round) {
+    jstest::TestVm Vm(Source);
+    ASSERT_TRUE(Vm.ok());
+    EXPECT_EQ(Vm.runInt("main"), 20);
+    Hits[Round] = Vm.Interp->caches().ICHits;
+    Misses[Round] = Vm.Interp->caches().ICMisses;
+  }
+  EXPECT_EQ(Hits[0], Hits[1]);
+  EXPECT_EQ(Misses[0], Misses[1]);
+  EXPECT_GT(Hits[0], 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Static execution metadata.
+//===----------------------------------------------------------------------===//
+
+TEST(InterpEngine, ExecInfoRunLengthsAndMaxStack) {
+  jstest::TestVm Vm("function main() {"
+                    "  $a = 1 + 2 * 3;"
+                    "  if ($a > 5) { $a = $a - 1; }"
+                    "  return $a;"
+                    "}");
+  ASSERT_TRUE(Vm.ok());
+  const bc::Function &F = Vm.Repo.func(Vm.Repo.findFunction("main"));
+  interp::FuncExecInfo Info = interp::computeExecInfo(F);
+  ASSERT_TRUE(Info.HasStaticStack);
+  ASSERT_EQ(Info.RunLen.size(), F.Code.size());
+  // Every run length is >= 1, and positions followed by a non-run-ending
+  // instruction extend the successor's run by exactly one.
+  for (size_t I = 0; I < F.Code.size(); ++I) {
+    EXPECT_GE(Info.RunLen[I], 1u);
+    const bc::OpInfo &OI = bc::opInfo(F.Code[I].Opcode);
+    bool Ends = bc::hasFlag(OI.Flags, bc::OpFlags::Branch) ||
+                bc::hasFlag(OI.Flags, bc::OpFlags::CondBranch) ||
+                bc::hasFlag(OI.Flags, bc::OpFlags::Terminal) ||
+                bc::hasFlag(OI.Flags, bc::OpFlags::Call);
+    if (Ends || I + 1 == F.Code.size())
+      EXPECT_EQ(Info.RunLen[I], 1u) << "at " << I;
+    else
+      EXPECT_EQ(Info.RunLen[I], Info.RunLen[I + 1] + 1) << "at " << I;
+  }
+  // `1 + 2 * 3` needs at least three simultaneous stack slots.
+  EXPECT_GE(Info.MaxStack, 3u);
+  EXPECT_LE(Info.MaxStack, 16u);
+}
+
+TEST(InterpEngine, UnsoundFunctionFallsBackToLegacy) {
+  // A function whose last instruction can fall off the end fails the
+  // static analysis; the fast engine must refuse it (and the interpreter
+  // then runs it on the legacy engine, which tolerates anything).
+  bc::Function F;
+  F.NumLocals = 1;
+  bc::Instr Nop;
+  Nop.Opcode = bc::Op::Nop;
+  F.Code = {Nop};
+  interp::FuncExecInfo Info = interp::computeExecInfo(F);
+  EXPECT_FALSE(Info.HasStaticStack);
+
+  // Out-of-range local index: same verdict.
+  bc::Function G;
+  G.NumLocals = 1;
+  bc::Instr Get;
+  Get.Opcode = bc::Op::GetL;
+  Get.ImmA = 9; // only local 0 exists
+  bc::Instr Ret;
+  Ret.Opcode = bc::Op::RetC;
+  G.Code = {Get, Ret};
+  interp::FuncExecInfo GInfo = interp::computeExecInfo(G);
+  EXPECT_FALSE(GInfo.HasStaticStack);
+}
+
+//===----------------------------------------------------------------------===//
+// Frame arena.
+//===----------------------------------------------------------------------===//
+
+TEST(InterpEngine, FrameArenaLifoReuse) {
+  runtime::FrameArena A;
+  runtime::FrameArena::Mark M0 = A.mark();
+  runtime::Value *F1 = A.alloc(10);
+  runtime::FrameArena::Mark M1 = A.mark();
+  runtime::Value *F2 = A.alloc(20);
+  EXPECT_EQ(F2, F1 + 10) << "nested frames are contiguous";
+  A.rewind(M1);
+  runtime::Value *F3 = A.alloc(5);
+  EXPECT_EQ(F3, F2) << "rewind frees the nested frame's space";
+  A.rewind(M0);
+  EXPECT_EQ(A.alloc(1), F1) << "full rewind returns to the base";
+
+  // Oversized frames get their own chunk; normal allocation continues
+  // after rewind.
+  A.clear();
+  runtime::Value *Big = A.alloc(100'000);
+  Big[99'999] = runtime::Value::integer(7);
+  EXPECT_EQ(Big[99'999].I, 7);
+  EXPECT_GE(A.numChunks(), 1u);
+  A.clear();
+  runtime::Value *After = A.alloc(1);
+  After[0] = runtime::Value::integer(1);
+  EXPECT_EQ(After[0].I, 1);
+}
+
+TEST(InterpEngine, DeepRecursionReusesArena) {
+  // 60 nested frames, run twice: the second request must not grow the
+  // arena (capacity is retained across Heap::reset).
+  jstest::TestVm Vm("function f($n) {"
+                    "  if ($n <= 0) { return 0; }"
+                    "  return $n + f($n - 1);"
+                    "}"
+                    "function main() { return f(60); }");
+  ASSERT_TRUE(Vm.ok());
+  EXPECT_EQ(Vm.runInt("main"), 60 * 61 / 2);
+  size_t ChunksAfterFirst = Vm.Heap.frameArena().numChunks();
+  Vm.Heap.reset();
+  EXPECT_EQ(Vm.runInt("main"), 60 * 61 / 2);
+  EXPECT_EQ(Vm.Heap.frameArena().numChunks(), ChunksAfterFirst);
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation accounting (what the benchmark and CI perf smoke measure).
+//===----------------------------------------------------------------------===//
+
+TEST(InterpEngine, FastEngineAllocatesLessThanLegacy) {
+  // Call-and-string-heavy source: the legacy engine pays two vector
+  // allocations per frame plus one VmString per Str execution; the fast
+  // engine pays neither after the first request.
+  const char *Source =
+      "function leaf($i) { $s = \"tag\"; return strlen($s) + $i; }"
+      "function main() {"
+      "  $i = 0; $t = 0;"
+      "  while ($i < 30) { $t = $t + leaf($i); $i = $i + 1; }"
+      "  return $t;"
+      "}";
+  auto AllocsPerRequest = [&](interp::InterpEngine E) {
+    jstest::TestVm Vm(Source);
+    EXPECT_TRUE(Vm.ok());
+    interp::InterpOptions Opts;
+    Opts.Engine = E;
+    interp::Interpreter Interp(Vm.Repo, Vm.Classes, Vm.Heap, Vm.Builtins,
+                               Opts);
+    bc::FuncId Main = Vm.Repo.findFunction("main");
+    // Warmup request pays one-time costs (interning, metadata).
+    Interp.call(Main, {});
+    Vm.Heap.reset();
+    uint64_t Before = Vm.Heap.hostAllocs();
+    Interp.call(Main, {});
+    return Vm.Heap.hostAllocs() - Before;
+  };
+  uint64_t Fast = AllocsPerRequest(interp::InterpEngine::Fast);
+  uint64_t Legacy = AllocsPerRequest(interp::InterpEngine::Legacy);
+  // Legacy: >= 62 frame vectors + 30 strings.  Fast: 0.
+  EXPECT_EQ(Fast, 0u);
+  EXPECT_GE(Legacy, 90u);
+}
+
+TEST(InterpEngine, InternedStringsKeepLegacyAddressStream) {
+  // The interned VmString is reused, but the simulated address space
+  // must advance exactly as if each execution allocated afresh --
+  // that is what keeps D-cache simulation results engine-independent.
+  runtime::Heap Interning;
+  runtime::VmString *A = Interning.internString(3, "hello");
+  runtime::VmString *B = Interning.internString(3, "hello");
+  EXPECT_EQ(A, B) << "same id must intern to the same string";
+  EXPECT_EQ(A->Data, "hello");
+
+  runtime::Heap Allocating;
+  runtime::VmString *X = Allocating.allocString("hello");
+  runtime::VmString *Y = Allocating.allocString("hello");
+  EXPECT_NE(X, Y);
+  EXPECT_EQ(A->Addr, X->Addr);
+  // The probe allocation lands at the same simulated address on both
+  // heaps only if the intern *hit* advanced the bump pointer too.
+  EXPECT_EQ(Interning.allocString("probe")->Addr,
+            Allocating.allocString("probe")->Addr)
+      << "an intern hit must still advance the simulated heap";
+}
