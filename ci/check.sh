@@ -13,6 +13,10 @@
 #   CHECK_DIFF=0 ci/check.sh      # skip the differential conformance smoke
 #                                 # (50 generated programs through the
 #                                 # interp/JIT/Jump-Start config matrix)
+#   CHECK_ANALYZE=0 ci/check.sh   # skip the static-analysis gate (jslint
+#                                 # --json over examples/hack plus a
+#                                 # 100-program soundness sweep with
+#                                 # proven-guard elision enabled)
 #   CHECK_PERF=0 ci/check.sh      # skip the interpreter perf smoke (two
 #                                 # quick micro_interp runs byte-compared,
 #                                 # plus an allocs/request regression gate
@@ -74,6 +78,40 @@ if [[ "${CHECK_DIFF:-1}" == "1" ]]; then
     exit 1
   fi
   echo "check.sh: $(cat "${TMP_DIR}/diff-a.txt")"
+fi
+
+# Static-analysis gate: jslint --json over the checked-in mini-Hack
+# examples (must lint clean) and a 100-program generated-corpus soundness
+# sweep (every guard the JIT elides must be re-proven by an independent
+# whole-program analysis run, with zero error findings and at least one
+# guard measurably elided).
+if [[ "${CHECK_ANALYZE:-1}" == "1" ]]; then
+  errors_of() { sed -n 's/.*"errors": \([0-9]*\).*/\1/p' "$1"; }
+  for HACK in "${REPO_DIR}"/examples/hack/*.hack; do
+    "${BUILD_DIR}/examples/jslint" --json "${HACK}" > "${TMP_DIR}/lint.json" \
+      || { echo "check.sh: FAIL: jslint found errors in ${HACK}:" >&2; \
+           cat "${TMP_DIR}/lint.json" >&2; exit 1; }
+    if [[ "$(errors_of "${TMP_DIR}/lint.json")" != "0" ]]; then
+      echo "check.sh: FAIL: jslint reports errors for ${HACK}" >&2
+      cat "${TMP_DIR}/lint.json" >&2
+      exit 1
+    fi
+  done
+  "${BUILD_DIR}/examples/jslint" --json --gen 100 21 > "${TMP_DIR}/gen.json" \
+    || { echo "check.sh: FAIL: analysis soundness sweep found errors:" >&2; \
+         cat "${TMP_DIR}/gen.json" >&2; exit 1; }
+  if [[ "$(errors_of "${TMP_DIR}/gen.json")" != "0" ]]; then
+    echo "check.sh: FAIL: analysis soundness sweep reports errors" >&2
+    cat "${TMP_DIR}/gen.json" >&2
+    exit 1
+  fi
+  ELIDED="$(sed -n 's/.*"guards_elided": \([0-9]*\).*/\1/p' "${TMP_DIR}/gen.json")"
+  if [[ -z "${ELIDED}" || "${ELIDED}" == "0" ]]; then
+    echo "check.sh: FAIL: soundness sweep elided no guards (analysis inert)" >&2
+    cat "${TMP_DIR}/gen.json" >&2
+    exit 1
+  fi
+  echo "check.sh: analysis gate clean (100-program sweep, ${ELIDED} guards elided)"
 fi
 
 # Interpreter perf smoke: the wall-clock numbers are host noise, but

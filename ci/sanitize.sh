@@ -5,6 +5,12 @@
 #
 #   ci/sanitize.sh                            # ASan+UBSan in build-asan/
 #   JUMPSTART_SANITIZE=thread ci/sanitize.sh  # TSan in build-tsan/
+#   JUMPSTART_SANITIZE=thread-safety ci/sanitize.sh
+#                     # clang static -Wthread-safety analysis (compile
+#                     # only, -Werror) against src/support/ThreadSafety.h
+#                     # annotations, in build-threadsafety/.  No-op
+#                     # (prints a skip notice) when CXX is gcc, which
+#                     # has no such analysis.
 #
 # Each sanitizer set lives in its own tree so it never clobbers the
 # regular build/ (or each other).  Any sanitizer report is fatal:
@@ -23,10 +29,29 @@ REPO_DIR="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 SANITIZERS="${JUMPSTART_SANITIZE:-address,undefined}"
 case "${SANITIZERS}" in
   thread) DEFAULT_BUILD_DIR="${REPO_DIR}/build-tsan" ;;
+  thread-safety) DEFAULT_BUILD_DIR="${REPO_DIR}/build-threadsafety" ;;
   *) DEFAULT_BUILD_DIR="${REPO_DIR}/build-asan" ;;
 esac
 BUILD_DIR="${1:-${DEFAULT_BUILD_DIR}}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# thread-safety is a static analysis, not a runtime sanitizer: a clean
+# clang build with -Wthread-safety promoted to an error IS the result,
+# so there is nothing to execute afterwards.  gcc has no equivalent
+# analysis; the annotations compile away there, so the mode is an
+# explicit no-op rather than a false green.
+if [[ "${SANITIZERS}" == "thread-safety" ]]; then
+  if ! "${CXX:-c++}" --version 2>/dev/null | grep -qi clang; then
+    echo "sanitize.sh: thread-safety analysis needs clang (CXX=${CXX:-c++} is not); skipping"
+    exit 0
+  fi
+  cmake -S "${REPO_DIR}" -B "${BUILD_DIR}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DJUMPSTART_SANITIZE=thread-safety
+  cmake --build "${BUILD_DIR}" -j "${JOBS}"
+  echo "sanitize.sh: -Wthread-safety analysis clean"
+  exit 0
+fi
 
 cmake -S "${REPO_DIR}" -B "${BUILD_DIR}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -1,0 +1,38 @@
+// Devirtualization showcase: a single class implementing each method
+// name, so every virtual site is proven-monomorphic by the whole-program
+// analysis (UniqueMethod) and receivers allocated in-function carry an
+// exact class (ExactRecv).
+class Accumulator {
+  prop $total;
+  prop $count;
+  method reset() {
+    $this->total = 0;
+    $this->count = 0;
+    return $this;
+  }
+  method add($x) {
+    $this->total = $this->total + $x;
+    $this->count = $this->count + 1;
+    return $this->total;
+  }
+  method mean() {
+    if ($this->count == 0) { return 0; }
+    return $this->total / $this->count;
+  }
+}
+
+function fill($n) {
+  $a = new Accumulator()->reset();
+  $i = 0;
+  while ($i < $n) {
+    $a->add($i * $i);
+    $i = $i + 1;
+  }
+  return $a;
+}
+
+function endpoint0($n) {
+  $bounded = $n - ($n / 7) * 7;
+  $a = fill($bounded + 3);
+  return $a->mean();
+}

@@ -1,0 +1,23 @@
+// Recursion showcase: a direct self-recursive function and a mutually
+// recursive pair.  Both collapse into multi-round strongly-connected
+// components in the whole-program call graph; their return summaries
+// reach the fixpoint via the bounded-iteration widening path.
+function fact($n) {
+  if ($n < 2) { return 1; }
+  return $n * fact($n - 1);
+}
+
+function isEven($n) {
+  if ($n == 0) { return 1; }
+  return isOdd($n - 1);
+}
+
+function isOdd($n) {
+  if ($n == 0) { return 0; }
+  return isEven($n - 1);
+}
+
+function endpoint0($n) {
+  $bounded = $n - ($n / 9) * 9;
+  return fact($bounded) + isEven($bounded);
+}

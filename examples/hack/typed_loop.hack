@@ -1,0 +1,19 @@
+// Type-proof showcase: every operand below is statically proven integer
+// or vec, so the analysis proves the masks profile-placed type guards
+// would otherwise check at runtime (TypeProven elisions), and container
+// sites keep a proven vec operand.
+function sumSquares($n) {
+  $v = vec[1, 2, 3];
+  $i = 0;
+  $acc = 0;
+  while ($i < $n) {
+    $acc = $acc + $i * $i + $v[$i - ($i / 3) * 3];
+    $i = $i + 1;
+  }
+  return $acc;
+}
+
+function endpoint0($n) {
+  $bounded = $n - ($n / 11) * 11;
+  return sumSquares($bounded + 2);
+}

@@ -1,0 +1,183 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include "bytecode/Instruction.h"
+#include "bytecode/Opcode.h"
+
+#include <algorithm>
+
+using namespace jumpstart;
+using namespace jumpstart::analysis;
+
+CallGraph::CallGraph(const bc::Repo &Repo) : R(Repo) {
+  size_t N = R.numFuncs();
+  Sites.resize(N);
+  Callees.resize(N);
+
+  for (const bc::Function &F : R.funcs()) {
+    std::vector<CallSite> &FS = Sites[F.Id.raw()];
+    std::vector<bc::FuncId> &FC = Callees[F.Id.raw()];
+    for (uint32_t I = 0; I < F.Code.size(); ++I) {
+      const bc::Instr &In = F.Code[I];
+      if (In.Opcode == bc::Op::FCall) {
+        CallSite S;
+        S.Pc = I;
+        S.Targets.push_back(In.funcImm());
+        FS.push_back(std::move(S));
+      } else if (In.Opcode == bc::Op::FCallObj) {
+        CallSite S;
+        S.Pc = I;
+        S.Virtual = true;
+        S.Method = In.strImm();
+        S.Targets = chaFor(S.Method).Resolutions;
+        FS.push_back(std::move(S));
+      }
+    }
+    for (const CallSite &S : FS) {
+      Edges += S.Targets.size();
+      FC.insert(FC.end(), S.Targets.begin(), S.Targets.end());
+    }
+    std::sort(FC.begin(), FC.end(),
+              [](bc::FuncId A, bc::FuncId B) { return A.raw() < B.raw(); });
+    FC.erase(std::unique(FC.begin(), FC.end(),
+                         [](bc::FuncId A, bc::FuncId B) {
+                           return A.raw() == B.raw();
+                         }),
+             FC.end());
+  }
+
+  condense();
+}
+
+bool CallGraph::hasEdge(bc::FuncId Caller, bc::FuncId Callee) const {
+  const std::vector<bc::FuncId> &FC = Callees[Caller.raw()];
+  return std::binary_search(FC.begin(), FC.end(), Callee,
+                            [](bc::FuncId A, bc::FuncId B) {
+                              return A.raw() < B.raw();
+                            });
+}
+
+bool CallGraph::reaches(bc::FuncId Caller, bc::FuncId Callee) const {
+  // Plain DFS over the successor lists.  Seeded with the caller's direct
+  // callees (not the caller itself) so a self-arc needs a genuine cycle,
+  // not a trivial empty path.
+  std::vector<bool> Visited(Callees.size(), false);
+  std::vector<uint32_t> Work;
+  Work.push_back(Caller.raw());
+  while (!Work.empty()) {
+    uint32_t V = Work.back();
+    Work.pop_back();
+    for (bc::FuncId C : Callees[V]) {
+      if (C.raw() == Callee.raw())
+        return true;
+      if (!Visited[C.raw()]) {
+        Visited[C.raw()] = true;
+        Work.push_back(C.raw());
+      }
+    }
+  }
+  return false;
+}
+
+const CallGraph::ChaEntry &CallGraph::chaFor(bc::StringId Name) const {
+  auto It = Cha.find(Name.raw());
+  if (It != Cha.end())
+    return It->second;
+  ChaEntry E;
+  E.Resolutions = R.allMethodResolutions(Name);
+  E.AllResolve = R.allClassesResolve(Name);
+  return Cha.emplace(Name.raw(), std::move(E)).first->second;
+}
+
+const std::vector<bc::FuncId> &CallGraph::resolutions(bc::StringId Name) const {
+  return chaFor(Name).Resolutions;
+}
+
+bc::FuncId CallGraph::uniqueResolution(bc::StringId Name) const {
+  const std::vector<bc::FuncId> &All = chaFor(Name).Resolutions;
+  return All.size() == 1 ? All.front() : bc::FuncId();
+}
+
+bool CallGraph::allClassesResolve(bc::StringId Name) const {
+  return chaFor(Name).AllResolve;
+}
+
+/// Iterative Tarjan.  Popping a component only once all components it
+/// reaches are popped gives exactly the bottom-up (callee-first) order
+/// the summary fixpoint wants, so Sccs needs no post-sort.
+void CallGraph::condense() {
+  size_t N = R.numFuncs();
+  SccId.assign(N, ~0u);
+  Recursive.assign(N, false);
+
+  constexpr uint32_t kUnvisited = ~0u;
+  std::vector<uint32_t> Index(N, kUnvisited);
+  std::vector<uint32_t> Low(N, 0);
+  std::vector<bool> OnStack(N, false);
+  std::vector<uint32_t> Stack;
+  uint32_t Next = 0;
+
+  struct Frame {
+    uint32_t Node;
+    uint32_t Edge; // next callee index to visit
+  };
+  std::vector<Frame> Work;
+
+  for (uint32_t Root = 0; Root < N; ++Root) {
+    if (Index[Root] != kUnvisited)
+      continue;
+    Work.push_back({Root, 0});
+    while (!Work.empty()) {
+      Frame &Fr = Work.back();
+      uint32_t V = Fr.Node;
+      if (Fr.Edge == 0) {
+        Index[V] = Low[V] = Next++;
+        Stack.push_back(V);
+        OnStack[V] = true;
+      }
+      const std::vector<bc::FuncId> &Succ = Callees[V];
+      bool Descended = false;
+      while (Fr.Edge < Succ.size()) {
+        uint32_t W = Succ[Fr.Edge++].raw();
+        if (Index[W] == kUnvisited) {
+          Work.push_back({W, 0});
+          Descended = true;
+          break;
+        }
+        if (OnStack[W])
+          Low[V] = std::min(Low[V], Index[W]);
+      }
+      if (Descended)
+        continue;
+      if (Low[V] == Index[V]) {
+        std::vector<bc::FuncId> Comp;
+        uint32_t W;
+        do {
+          W = Stack.back();
+          Stack.pop_back();
+          OnStack[W] = false;
+          SccId[W] = static_cast<uint32_t>(Sccs.size());
+          Comp.push_back(bc::FuncId(W));
+        } while (W != V);
+        std::sort(Comp.begin(), Comp.end(), [](bc::FuncId A, bc::FuncId B) {
+          return A.raw() < B.raw();
+        });
+        bool Rec = Comp.size() > 1;
+        if (!Rec)
+          Rec = hasEdge(Comp.front(), Comp.front());
+        for (bc::FuncId F : Comp)
+          Recursive[F.raw()] = Rec;
+        Sccs.push_back(std::move(Comp));
+      }
+      Work.pop_back();
+      if (!Work.empty())
+        Low[Work.back().Node] = std::min(Low[Work.back().Node], Low[V]);
+    }
+  }
+}

@@ -1,0 +1,130 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-program call graph over a bytecode repository.
+///
+/// Nodes are functions; edges come from two site kinds:
+///
+///   - FCall: one direct edge to the callee;
+///   - FCallObj: one edge per class-hierarchy resolution of the method
+///     name (Repo::allMethodResolutions) -- the sound over-approximation
+///     of dynamic dispatch when nothing is known about the receiver.
+///
+/// NativeCall sites have no bytecode callee and contribute no edges (they
+/// are tracked as an effect on the caller instead).  The graph is
+/// condensed into strongly-connected components (iterative Tarjan) so
+/// mutual recursion collapses into single summary units; components()
+/// returns them bottom-up (callees before callers), the evaluation order
+/// the summary fixpoint in Summaries.cpp relies on.
+///
+/// Class-hierarchy resolution sets for every method name appearing at
+/// some FCallObj site are precomputed here and shared by the summaries,
+/// guard-elision proofs and PackageLint's contradiction checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_ANALYSIS_CALLGRAPH_H
+#define JUMPSTART_ANALYSIS_CALLGRAPH_H
+
+#include "bytecode/Repo.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace jumpstart::analysis {
+
+/// One call site of one function.
+struct CallSite {
+  /// Instruction index of the FCall/FCallObj.
+  uint32_t Pc = 0;
+  /// True for FCallObj (dynamic dispatch), false for direct FCall.
+  bool Virtual = false;
+  /// Method name (Virtual sites only).
+  bc::StringId Method;
+  /// Possible callees: the single direct target, or every
+  /// class-hierarchy resolution of Method.  Ascending raw-id order.
+  std::vector<bc::FuncId> Targets;
+};
+
+class CallGraph {
+public:
+  explicit CallGraph(const bc::Repo &R);
+
+  const bc::Repo &repo() const { return R; }
+
+  /// Call sites of \p F, in bytecode order.
+  const std::vector<CallSite> &sites(bc::FuncId F) const {
+    return Sites[F.raw()];
+  }
+
+  /// Deduplicated callees of \p F (ascending raw-id order).
+  const std::vector<bc::FuncId> &callees(bc::FuncId F) const {
+    return Callees[F.raw()];
+  }
+
+  /// The strongly-connected component containing \p F.
+  uint32_t sccOf(bc::FuncId F) const { return SccId[F.raw()]; }
+
+  /// Components in bottom-up order: every callee's component precedes
+  /// its callers' (mutual recursion excepted -- that is one component).
+  const std::vector<std::vector<bc::FuncId>> &components() const {
+    return Sccs;
+  }
+
+  /// True when \p F can (transitively through its component) call itself:
+  /// member of a multi-function component, or directly self-recursive.
+  bool recursive(bc::FuncId F) const { return Recursive[F.raw()]; }
+
+  /// Total directed edges (a site with N resolutions contributes N).
+  size_t numEdges() const { return Edges; }
+
+  /// True when \p Callee appears in the resolution set of some site of
+  /// \p Caller (i.e. the edge Caller -> Callee exists).
+  bool hasEdge(bc::FuncId Caller, bc::FuncId Callee) const;
+
+  /// True when a call path of length >= 1 leads from \p Caller to
+  /// \p Callee.  This, not hasEdge, is the sound check for profiled
+  /// call arcs: the tier-2 profiler records the *physical* caller (the
+  /// unit whose code issued the call), so an arc skips every semantic
+  /// frame the JIT inlined in between.
+  bool reaches(bc::FuncId Caller, bc::FuncId Callee) const;
+
+  //===--------------------------------------------------------------------===
+  // Cached class-hierarchy resolution (for method names that appear at
+  // some virtual site; other names fall through to the repo).
+  //===--------------------------------------------------------------------===
+
+  const std::vector<bc::FuncId> &resolutions(bc::StringId Name) const;
+  bc::FuncId uniqueResolution(bc::StringId Name) const;
+  bool allClassesResolve(bc::StringId Name) const;
+
+private:
+  const bc::Repo &R;
+  std::vector<std::vector<CallSite>> Sites;
+  std::vector<std::vector<bc::FuncId>> Callees;
+  std::vector<uint32_t> SccId;
+  std::vector<std::vector<bc::FuncId>> Sccs;
+  std::vector<bool> Recursive;
+  size_t Edges = 0;
+
+  struct ChaEntry {
+    std::vector<bc::FuncId> Resolutions;
+    bool AllResolve = false;
+  };
+  /// Lazily filled on first query per name (single-threaded build +
+  /// queries; the harness computes facts before any thread pool spins up).
+  mutable std::map<uint32_t, ChaEntry> Cha;
+
+  const ChaEntry &chaFor(bc::StringId Name) const;
+  void condense();
+};
+
+} // namespace jumpstart::analysis
+
+#endif // JUMPSTART_ANALYSIS_CALLGRAPH_H

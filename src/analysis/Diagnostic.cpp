@@ -51,6 +51,10 @@ const char *jumpstart::analysis::diagKindName(DiagKind K) {
     return "package-structure";
   case DiagKind::PackageSemantics:
     return "package-semantics";
+  case DiagKind::ElisionUnproven:
+    return "elision-unproven";
+  case DiagKind::SummaryContradiction:
+    return "summary-contradiction";
   }
   unreachable("unhandled DiagKind");
 }

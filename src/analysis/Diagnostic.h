@@ -48,6 +48,12 @@ enum class DiagKind : uint8_t {
   PackageStructure,        ///< Package ids/shapes out of range for the repo.
   PackageSemantics,        ///< Package contents name entities that do not
                            ///< exist (properties, call sites, permutations).
+  ElisionUnproven,         ///< A translation elided a guard the whole-program
+                           ///< analysis cannot re-prove (JIT acted on a fact
+                           ///< that does not hold).
+  SummaryContradiction,    ///< Profile observations contradict the static
+                           ///< call graph or type summaries (a profiled
+                           ///< callee/type the analysis proves impossible).
 };
 
 const char *severityName(Severity S);

@@ -30,7 +30,10 @@
 #include "analysis/PackageLint.h"
 #include "analysis/RegionCheck.h"
 #include "analysis/TypeFlow.h"
+#include "analysis/WholeProgram.h"
 #include "bytecode/BlockCache.h"
+
+#include <memory>
 
 namespace jumpstart::analysis {
 
@@ -52,12 +55,27 @@ public:
     return analysis::lintRegion(R, Blocks, Region);
   }
   std::vector<Diagnostic> lintTranslations(const jit::TransDb &Db) {
-    return analysis::lintTranslations(R, Blocks, Db);
+    return analysis::lintTranslations(R, Blocks, Db, WP.get());
   }
 
-  /// See analysis/PackageLint.h.
-  std::vector<Diagnostic> lintPackage(const profile::ProfilePackage &Pkg) {
-    return analysis::lintPackage(R, Blocks, Pkg);
+  /// See analysis/PackageLint.h.  \p CrossCheckCallGraph additionally
+  /// validates profiled call targets/arcs against the whole-program call
+  /// graph (SummaryContradiction findings); it builds the facts store on
+  /// first use.
+  std::vector<Diagnostic> lintPackage(const profile::ProfilePackage &Pkg,
+                                      bool CrossCheckCallGraph = false) {
+    return analysis::lintPackage(
+        R, Blocks, Pkg,
+        CrossCheckCallGraph ? &wholeProgram().callGraph() : nullptr);
+  }
+
+  /// The whole-program facts store (call graph + interprocedural
+  /// summaries + distilled JIT facts), built lazily on first use and
+  /// cached for the Linter's lifetime.
+  const WholeProgram &wholeProgram() {
+    if (!WP)
+      WP = std::make_unique<WholeProgram>(R);
+    return *WP;
   }
 
   const bc::Repo &repo() const { return R; }
@@ -66,6 +84,7 @@ private:
   const bc::Repo &R;
   bc::BlockCache Blocks;
   uint32_t NumBuiltins;
+  std::unique_ptr<WholeProgram> WP;
 };
 
 } // namespace jumpstart::analysis

@@ -7,8 +7,11 @@
 
 #include "analysis/PackageLint.h"
 
+#include "analysis/CallGraph.h"
 #include "analysis/TypeFlow.h"
 #include "support/StringUtil.h"
+
+#include <algorithm>
 
 #include <set>
 #include <string_view>
@@ -35,6 +38,14 @@ public:
     va_list Ap;
     va_start(Ap, Fmt);
     add(DiagKind::PackageSemantics, Func, strFormatV(Fmt, Ap));
+    va_end(Ap);
+  }
+
+  __attribute__((format(printf, 3, 4))) void
+  contradiction(bc::FuncId Func, const char *Fmt, ...) {
+    va_list Ap;
+    va_start(Ap, Fmt);
+    add(DiagKind::SummaryContradiction, Func, strFormatV(Fmt, Ap));
     va_end(Ap);
   }
 
@@ -112,7 +123,8 @@ std::vector<std::string_view> splitPropKey(std::string_view Key,
 }
 
 void lintFuncProfile(const bc::Repo &R, bc::BlockCache &Blocks,
-                     const profile::FuncProfile &FP, PackageSink &Sink) {
+                     const profile::FuncProfile &FP, const CallGraph *CG,
+                     PackageSink &Sink) {
   bc::FuncId Func(FP.Func);
   const bc::Function &F = R.func(Func);
 
@@ -140,11 +152,26 @@ void lintFuncProfile(const bc::Repo &R, bc::BlockCache &Blocks,
     }
     for (const auto &[Target, Count] : Targets) {
       (void)Count;
-      if (Target >= R.numFuncs())
+      if (Target >= R.numFuncs()) {
         Sink.structure(Func,
                        "call-target profile at instr %u names function "
                        "#%u, out of range",
                        Pc, Target);
+        continue;
+      }
+      // CHA cross-check: a dynamically-observed callee must be one of
+      // the method name's class-hierarchy resolutions.
+      if (CG) {
+        const std::vector<bc::FuncId> &Res =
+            CG->resolutions(F.Code[Pc].strImm());
+        if (!std::binary_search(Res.begin(), Res.end(), bc::FuncId(Target)))
+          Sink.contradiction(
+              Func,
+              "call-target profile at instr %u claims callee %s, which no "
+              "class resolves \"%s\" to",
+              Pc, R.func(bc::FuncId(Target)).Name.c_str(),
+              R.str(F.Code[Pc].strImm()).c_str());
+      }
     }
   }
 
@@ -161,7 +188,7 @@ void lintFuncProfile(const bc::Repo &R, bc::BlockCache &Blocks,
 }
 
 void lintOptProfile(const bc::Repo &R, const profile::OptProfile &Opt,
-                    PackageSink &Sink) {
+                    const CallGraph *CG, PackageSink &Sink) {
   for (const auto &[FuncRaw, Counts] : Opt.VasmBlockCounts) {
     (void)Counts;
     if (FuncRaw >= R.numFuncs())
@@ -171,9 +198,23 @@ void lintOptProfile(const bc::Repo &R, const profile::OptProfile &Opt,
   }
   for (const auto &[Arc, Count] : Opt.CallArcs) {
     (void)Count;
-    if (Arc.first >= R.numFuncs() || Arc.second >= R.numFuncs())
+    if (Arc.first >= R.numFuncs() || Arc.second >= R.numFuncs()) {
       Sink.structure(bc::FuncId(), "call arc %u->%u out of range", Arc.first,
                      Arc.second);
+      continue;
+    }
+    // Every dynamically-profiled arc must correspond to a call *path* in
+    // the static graph (which over-approximates dispatch).  Not an edge:
+    // the tier-2 profiler attributes calls to the physical caller, so
+    // inlining legitimately collapses A -> B -> C into an A -> C arc.  No
+    // path at all means the profile records a call the bytecode cannot
+    // make.
+    if (CG && !CG->reaches(bc::FuncId(Arc.first), bc::FuncId(Arc.second)))
+      Sink.contradiction(bc::FuncId(Arc.first),
+                         "profiled call arc %s -> %s has no static "
+                         "call path",
+                         R.func(bc::FuncId(Arc.first)).Name.c_str(),
+                         R.func(bc::FuncId(Arc.second)).Name.c_str());
   }
 
   auto CheckProp = [&](std::string_view ClsName, std::string_view PropName,
@@ -228,7 +269,8 @@ void lintOptProfile(const bc::Repo &R, const profile::OptProfile &Opt,
 
 std::vector<Diagnostic>
 jumpstart::analysis::lintPackage(const bc::Repo &R, bc::BlockCache &Blocks,
-                                 const profile::ProfilePackage &Pkg) {
+                                 const profile::ProfilePackage &Pkg,
+                                 const CallGraph *CG) {
   std::vector<Diagnostic> Diags;
   PackageSink Sink(Diags);
 
@@ -250,10 +292,10 @@ jumpstart::analysis::lintPackage(const bc::Repo &R, bc::BlockCache &Blocks,
                      "duplicate profile for function #%u", FP.Func);
       continue;
     }
-    lintFuncProfile(R, Blocks, FP, Sink);
+    lintFuncProfile(R, Blocks, FP, CG, Sink);
   }
 
-  lintOptProfile(R, Pkg.Opt, Sink);
+  lintOptProfile(R, Pkg.Opt, CG, Sink);
 
   checkIdList(Sink, Pkg.Intermediate.FuncOrder, R.numFuncs(),
               "function order");

@@ -29,13 +29,23 @@
 
 namespace jumpstart::analysis {
 
+class CallGraph;
+
 /// Lints \p Pkg against \p R.  Structural problems (out-of-range ids,
 /// duplicate entries, impossible shapes) are PackageStructure errors;
 /// profile data attached to the wrong kind of instruction or naming
 /// non-existent classes/properties are PackageSemantics errors.
+///
+/// With \p CG, profile observations are additionally cross-checked
+/// against the static call graph: a profiled virtual-call target must be
+/// a class-hierarchy resolution of the site's method name, and every
+/// profiled call arc must be a static call-graph edge.  Violations are
+/// SummaryContradiction errors -- the profile claims an execution the
+/// analysis proves impossible, so one of the two is wrong.
 std::vector<Diagnostic> lintPackage(const bc::Repo &R,
                                     bc::BlockCache &Blocks,
-                                    const profile::ProfilePackage &Pkg);
+                                    const profile::ProfilePackage &Pkg,
+                                    const CallGraph *CG = nullptr);
 
 } // namespace jumpstart::analysis
 

@@ -8,9 +8,11 @@
 #include "analysis/RegionCheck.h"
 
 #include "analysis/TypeFlow.h"
+#include "analysis/WholeProgram.h"
 #include "support/StringUtil.h"
 
 #include <algorithm>
+#include <memory>
 
 using namespace jumpstart;
 using namespace jumpstart::analysis;
@@ -132,8 +134,19 @@ jumpstart::analysis::lintRegion(const bc::Repo &R, bc::BlockCache &Blocks,
 std::vector<Diagnostic>
 jumpstart::analysis::lintTranslations(const bc::Repo &R,
                                       bc::BlockCache &Blocks,
-                                      const jit::TransDb &Db) {
+                                      const jit::TransDb &Db,
+                                      const WholeProgram *WP) {
   std::vector<Diagnostic> Diags;
+  // The facts store is only needed (and only built) when a translation
+  // actually elided a guard; the caller may share a pre-built one.
+  std::unique_ptr<WholeProgram> OwnedWP;
+  auto Facts = [&]() -> const jit::ProvenFacts & {
+    if (!WP) {
+      OwnedWP = std::make_unique<WholeProgram>(R);
+      WP = OwnedWP.get();
+    }
+    return *WP->jitFacts();
+  };
   auto Report = [&](const jit::Translation &T, std::string Message) {
     Diagnostic D;
     D.Sev = Severity::Error;
@@ -196,6 +209,66 @@ jumpstart::analysis::lintTranslations(const bc::Repo &R,
     for (const jit::VasmUnit::CallEdge &E : Unit.CallEdges)
       if (E.Src >= NumVBlocks || E.Dst >= NumVBlocks)
         Report(T, strFormat("call edge %u->%u out of range", E.Src, E.Dst));
+
+    // Re-prove every elided guard.  The lowering recorded what it skipped
+    // and why (ElidedGuard); an independent analysis run must reach the
+    // same conclusion or the elision was unsound.
+    for (const jit::VasmUnit::ElidedGuard &EG : Unit.ElidedGuards) {
+      auto ReportElision = [&](std::string Message) {
+        Diagnostic D;
+        D.Sev = Severity::Error;
+        D.Kind = DiagKind::ElisionUnproven;
+        D.Func = bc::FuncId(static_cast<uint32_t>(EG.SiteKey >> 32));
+        D.Instr = static_cast<uint32_t>(EG.SiteKey);
+        D.Message = strFormat("translation #%u: %s", T.Id, Message.c_str());
+        Diags.push_back(D);
+      };
+      uint32_t FRaw = static_cast<uint32_t>(EG.SiteKey >> 32);
+      uint32_t Pc = static_cast<uint32_t>(EG.SiteKey);
+      if (FRaw >= R.numFuncs() ||
+          Pc >= R.func(bc::FuncId(FRaw)).Code.size()) {
+        ReportElision(strFormat("elided guard site func#%u:i%u out of range",
+                                FRaw, Pc));
+        continue;
+      }
+      if (EG.ProofKind >
+          static_cast<uint8_t>(jit::GuardProof::TypeProven)) {
+        ReportElision(strFormat("elided guard carries unknown proof kind %u",
+                                EG.ProofKind));
+        continue;
+      }
+      auto Proof = static_cast<jit::GuardProof>(EG.ProofKind);
+      const jit::ProvenFacts &PF = Facts();
+      if (Proof == jit::GuardProof::TypeProven) {
+        auto It = PF.ProvenMasks.find(EG.SiteKey);
+        if (It == PF.ProvenMasks.end())
+          ReportElision(strFormat(
+              "type guard elided but the analysis proves no mask at i%u",
+              Pc));
+        else if (It->second == 0 || (It->second & ~EG.Target) != 0)
+          ReportElision(strFormat(
+              "type guard elided with checked set 0x%02x but the analysis "
+              "proves mask 0x%02x",
+              EG.Target, It->second));
+      } else {
+        auto It = PF.ProvenCalls.find(EG.SiteKey);
+        if (It == PF.ProvenCalls.end())
+          ReportElision(strFormat(
+              "%s class guard elided but the site has no proven-call fact",
+              guardProofName(Proof)));
+        else if (It->second.Target != EG.Target)
+          ReportElision(strFormat(
+              "%s class guard elided for target #%u but the analysis "
+              "proves target #%u",
+              guardProofName(Proof), EG.Target, It->second.Target));
+        else if (Proof == jit::GuardProof::ExactRecv &&
+                 It->second.RecvCls != EG.ClsOrMask)
+          ReportElision(strFormat(
+              "exact-receiver guard elided for class #%u but the analysis "
+              "proves class #%u",
+              EG.ClsOrMask, It->second.RecvCls));
+      }
+    }
 
     if (T.Placed) {
       if (T.BlockAddrs.size() != NumVBlocks)

@@ -37,11 +37,19 @@ namespace jumpstart::analysis {
 std::vector<Diagnostic> lintRegion(const bc::Repo &R, bc::BlockCache &Blocks,
                                    const jit::RegionDescriptor &Region);
 
+class WholeProgram;
+
 /// Lints every translation in \p Db for internal consistency with the
-/// bytecode it claims to implement.
+/// bytecode it claims to implement.  Translations carrying elided guards
+/// (VasmUnit::ElidedGuards) additionally have every elision re-proven
+/// against the whole-program analysis: \p WP supplies the facts store, or
+/// null to build one on demand the first time an elision is seen.  An
+/// elision the analysis cannot re-derive is an ElisionUnproven error --
+/// the JIT acted on a claim that does not hold.
 std::vector<Diagnostic> lintTranslations(const bc::Repo &R,
                                          bc::BlockCache &Blocks,
-                                         const jit::TransDb &Db);
+                                         const jit::TransDb &Db,
+                                         const WholeProgram *WP = nullptr);
 
 } // namespace jumpstart::analysis
 

@@ -1,0 +1,167 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Summaries.h"
+
+#include "bytecode/Blocks.h"
+#include "bytecode/Instruction.h"
+#include "bytecode/Opcode.h"
+
+using namespace jumpstart;
+using namespace jumpstart::analysis;
+
+namespace {
+
+/// Own (non-transitive) effect bits, straight off the bytecode.
+void ownEffects(const bc::Function &F, FuncSummary &S) {
+  for (const bc::Instr &In : F.Code) {
+    switch (In.Opcode) {
+    case bc::Op::SetProp:
+    case bc::Op::SetElem:
+    case bc::Op::AddElem:
+    case bc::Op::AddKeyElem:
+      S.WritesHeap = true;
+      break;
+    case bc::Op::NativeCall:
+      S.CallsNative = true;
+      break;
+    default:
+      break;
+    }
+  }
+}
+
+} // namespace
+
+SummaryStore::SummaryStore(const CallGraph &Graph) : CG(Graph) {
+  size_t N = CG.repo().numFuncs();
+  Summaries.resize(N);
+  Facts.resize(N);
+
+  for (const bc::Function &F : CG.repo().funcs()) {
+    FuncSummary &S = Summaries[F.Id.raw()];
+    S.ParamDemands.assign(F.NumParams, AbstractValue::kAllBits);
+    ownEffects(F, S);
+    if (F.Code.empty()) {
+      // Unanalyzable body: assume the worst locally; transitive bits are
+      // folded in by propagateEffects.
+      S.Ret = AbstractValue::top();
+      S.WritesHeap = true;
+      S.CallsNative = true;
+      S.EscapesAllocs = true;
+    }
+  }
+
+  for (const std::vector<bc::FuncId> &Comp : CG.components()) {
+    bool Rec = CG.recursive(Comp.front());
+    analyzeComponent(Comp, Rec);
+    propagateEffects(Comp);
+  }
+}
+
+void SummaryStore::analyzeComponent(const std::vector<bc::FuncId> &Comp,
+                                    bool Recursive) {
+  const bc::Repo &R = CG.repo();
+
+  // The lattice has tiny height (8 mask bits + two refinement collapses),
+  // so even a whole component of mutually-recursive functions stabilizes
+  // in a handful of rounds.  The bound is a safety valve only.
+  // An acyclic component's facts depend only on callee summaries that the
+  // bottom-up order has already finalized, so its single round IS the
+  // fixpoint -- the bottom-to-value transition it reports is convergence,
+  // not instability.  Only a recursive component can still be unstable
+  // when the bound stops it.
+  uint32_t Limit = Recursive ? 16 : 1;
+  uint32_t Round = 0;
+  bool Changed = true;
+  while (Round < Limit) {
+    ++Round;
+    Changed = false;
+    for (bc::FuncId Id : Comp) {
+      const bc::Function &F = R.func(Id);
+      if (F.Code.empty())
+        continue;
+      bc::BlockList Blocks = bc::BlockList::compute(F);
+      SiteFacts New = computeSiteFacts(R, F, Blocks, this);
+      if (New.Ret != Summaries[Id.raw()].Ret)
+        Changed = true;
+      Summaries[Id.raw()].Ret = New.Ret;
+      Summaries[Id.raw()].ParamDemands = New.ParamDemands;
+      if (New.EscapesAllocs)
+        Summaries[Id.raw()].EscapesAllocs = true;
+      Facts[Id.raw()] = std::move(New);
+    }
+    if (!Changed)
+      break;
+  }
+  if (Changed && Recursive) {
+    // Bound tripped (should be unreachable): give up soundly on the whole
+    // component and re-derive site facts under Top returns.
+    for (bc::FuncId Id : Comp)
+      Summaries[Id.raw()].Ret = AbstractValue::top();
+    for (bc::FuncId Id : Comp) {
+      const bc::Function &F = R.func(Id);
+      if (F.Code.empty())
+        continue;
+      bc::BlockList Blocks = bc::BlockList::compute(F);
+      Facts[Id.raw()] = computeSiteFacts(R, F, Blocks, this);
+      Summaries[Id.raw()].Ret = AbstractValue::top();
+    }
+    ++Round;
+  }
+  MaxRounds = std::max(MaxRounds, Round);
+}
+
+/// Transitive effect closure of one component.  Members of a cycle all
+/// share one effect set: the union of every member's own bits and of the
+/// (already-final, thanks to bottom-up order) transitive bits of every
+/// callee outside the component.
+void SummaryStore::propagateEffects(const std::vector<bc::FuncId> &Comp) {
+  bool Writes = false, Native = false, Escapes = false;
+  for (bc::FuncId F : Comp) {
+    const FuncSummary &S = Summaries[F.raw()];
+    Writes |= S.WritesHeap;
+    Native |= S.CallsNative;
+    Escapes |= S.EscapesAllocs;
+    for (bc::FuncId Callee : CG.callees(F)) {
+      if (CG.sccOf(Callee) == CG.sccOf(F))
+        continue;
+      const FuncSummary &C = Summaries[Callee.raw()];
+      Writes |= C.WritesHeap;
+      Native |= C.CallsNative;
+      Escapes |= C.EscapesAllocs;
+    }
+  }
+  for (bc::FuncId F : Comp) {
+    Summaries[F.raw()].WritesHeap = Writes;
+    Summaries[F.raw()].CallsNative = Native;
+    Summaries[F.raw()].EscapesAllocs = Escapes;
+  }
+}
+
+AbstractValue SummaryStore::returnOf(bc::FuncId Callee) const {
+  if (Callee.raw() >= Summaries.size())
+    return AbstractValue::top();
+  return Summaries[Callee.raw()].Ret;
+}
+
+AbstractValue SummaryStore::methodReturn(bc::StringId Name,
+                                         bc::ClassId Exact) const {
+  const bc::Repo &R = CG.repo();
+  if (Exact.valid()) {
+    bc::FuncId M = R.resolveMethod(Exact, Name);
+    if (!M.valid())
+      return AbstractValue::ofMask(AbstractValue::kNullBit);
+    return returnOf(M);
+  }
+  AbstractValue V = AbstractValue::bottom();
+  for (bc::FuncId M : CG.resolutions(Name))
+    V.join(returnOf(M));
+  if (!CG.allClassesResolve(Name))
+    V.join(AbstractValue::ofMask(AbstractValue::kNullBit));
+  return V;
+}

@@ -1,0 +1,92 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bottom-up interprocedural function summaries.
+///
+/// For every function the store keeps a FuncSummary: the return-value
+/// lattice element, per-parameter type demands, transitive effect bits
+/// (heap writes, native calls) and allocation escape -- plus the full
+/// per-site SiteFacts the abstract-type fixpoint proved.
+///
+/// Evaluation walks the call graph's strongly-connected components
+/// bottom-up.  Acyclic components converge in one pass (every callee's
+/// summary is final before the caller runs); recursive components iterate
+/// optimistically from Bottom return values until the component's returns
+/// stabilize, with a generous bound (the lattice height is tiny) and a
+/// Top fallback should it ever trip.
+///
+/// The store implements TypeFlow's SummaryQuery, so the per-function
+/// dataflow that *computes* the facts is the same pass that *consumes*
+/// callee summaries -- one code path, interprocedural by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_ANALYSIS_SUMMARIES_H
+#define JUMPSTART_ANALYSIS_SUMMARIES_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/TypeFlow.h"
+
+#include <vector>
+
+namespace jumpstart::analysis {
+
+/// What the whole-program analysis knows about one function.
+struct FuncSummary {
+  /// Join of all reachable returns; Bottom = provably never returns.
+  AbstractValue Ret = AbstractValue::bottom();
+  /// Per-parameter non-faulting type masks (see SiteFacts::ParamDemands).
+  std::vector<uint8_t> ParamDemands;
+  /// May the function (transitively) write a property or container slot?
+  bool WritesHeap = false;
+  /// May the function (transitively) invoke a native builtin?
+  bool CallsNative = false;
+  /// May an allocation made here (transitively) escape its frame?
+  bool EscapesAllocs = false;
+  /// Effect-free: no heap writes, no native calls, no escaping allocs.
+  bool pure() const { return !WritesHeap && !CallsNative && !EscapesAllocs; }
+};
+
+class SummaryStore final : public SummaryQuery {
+public:
+  /// Runs the bottom-up fixpoint over \p CG's components.  \p CG (and the
+  /// repo behind it) must outlive the store.
+  explicit SummaryStore(const CallGraph &CG);
+
+  const FuncSummary &summary(bc::FuncId F) const {
+    return Summaries[F.raw()];
+  }
+
+  /// The per-site facts proven for \p F during the final summary round.
+  const SiteFacts &facts(bc::FuncId F) const { return Facts[F.raw()]; }
+
+  /// Rounds the slowest recursive component took to stabilize (1 for an
+  /// acyclic program); exposed for tests and the jslint report.
+  uint32_t maxRounds() const { return MaxRounds; }
+
+  //===--------------------------------------------------------------------===
+  // SummaryQuery.
+  //===--------------------------------------------------------------------===
+
+  AbstractValue returnOf(bc::FuncId Callee) const override;
+  AbstractValue methodReturn(bc::StringId Name,
+                             bc::ClassId Exact) const override;
+
+private:
+  const CallGraph &CG;
+  std::vector<FuncSummary> Summaries;
+  std::vector<SiteFacts> Facts;
+  uint32_t MaxRounds = 0;
+
+  void analyzeComponent(const std::vector<bc::FuncId> &Comp, bool Recursive);
+  void propagateEffects(const std::vector<bc::FuncId> &Comp);
+};
+
+} // namespace jumpstart::analysis
+
+#endif // JUMPSTART_ANALYSIS_SUMMARIES_H

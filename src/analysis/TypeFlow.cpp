@@ -38,6 +38,14 @@ struct LocalState {
   AbstractValue Val;
   bool MayAssigned = false;
   bool MustAssigned = false;
+  /// May the local hold a locally-allocated, not-yet-escaped value?
+  /// (May-information; joins as OR.)
+  bool Fresh = false;
+  /// The parameter index this local still holds unmodified (a parameter
+  /// local is its own origin until a SetL overwrites it); kNoParam
+  /// otherwise.  Must-information; joins intersect to kNoParam.
+  static constexpr uint32_t kNoParam = ~0u;
+  uint32_t OrigParam = kNoParam;
 };
 
 /// One operand-stack slot: abstract value plus provenance -- the local a
@@ -48,6 +56,8 @@ struct SlotState {
   AbstractValue Val;
   static constexpr uint32_t kNoLocal = ~0u;
   uint32_t FromLocal = kNoLocal;
+  /// May the slot hold a locally-allocated, not-yet-escaped value?
+  bool Fresh = false;
 };
 
 struct TypeState {
@@ -63,13 +73,18 @@ public:
   using State = TypeState;
 
   TypeDomain(const bc::Repo &R, const bc::Function &F,
-             const DevirtSites *Devirt)
-      : R(R), F(F), Devirt(Devirt) {}
+             const DevirtSites *Devirt,
+             const SummaryQuery *Summaries = nullptr)
+      : R(R), F(F), Devirt(Devirt), Summaries(Summaries) {}
 
   /// Reporting mode: when set, transfer() emits diagnostics (the final
   /// walk sets it; fixpoint iterations leave it null).
   std::vector<Diagnostic> *Sink = nullptr;
   uint32_t CurBlock = Diagnostic::kNone;
+
+  /// Fact-collection mode: when set, transfer() records per-site proofs
+  /// (another final-walk-only hook, like Sink).
+  SiteFacts *Facts = nullptr;
 
   State boundary() const {
     State S;
@@ -82,6 +97,7 @@ public:
         S.Locals[L].Val = AbstractValue::top();
         S.Locals[L].MayAssigned = true;
         S.Locals[L].MustAssigned = true;
+        S.Locals[L].OrigParam = L;
       } else {
         // Unassigned locals read as null (Interpreter.cpp initializes the
         // frame with nulls); definite-assignment tracks the flags.
@@ -107,6 +123,15 @@ public:
         A.MustAssigned = false;
         Changed = true;
       }
+      if (B.Fresh && !A.Fresh) {
+        A.Fresh = true;
+        Changed = true;
+      }
+      if (A.OrigParam != B.OrigParam &&
+          A.OrigParam != LocalState::kNoParam) {
+        A.OrigParam = LocalState::kNoParam;
+        Changed = true;
+      }
     }
     // Pass zero guarantees consistent stack depths at joins.
     alwaysAssert(Into.Stack.size() == From.Stack.size(),
@@ -117,6 +142,10 @@ public:
       Changed |= A.Val.join(B.Val);
       if (A.FromLocal != B.FromLocal && A.FromLocal != SlotState::kNoLocal) {
         A.FromLocal = SlotState::kNoLocal;
+        Changed = true;
+      }
+      if (B.Fresh && !A.Fresh) {
+        A.Fresh = true;
         Changed = true;
       }
     }
@@ -183,19 +212,44 @@ private:
   }
 
   void push(State &S, AbstractValue V,
-            uint32_t FromLocal = SlotState::kNoLocal) {
-    S.Stack.push_back(SlotState{V, FromLocal});
+            uint32_t FromLocal = SlotState::kNoLocal, bool Fresh = false) {
+    S.Stack.push_back(SlotState{V, FromLocal, Fresh});
   }
 
-  void setLocal(State &S, uint32_t L, AbstractValue V) {
-    S.Locals[L].Val = V;
+  void setLocal(State &S, uint32_t L, const SlotState &Slot) {
+    S.Locals[L].Val = Slot.Val;
     S.Locals[L].MayAssigned = true;
     S.Locals[L].MustAssigned = true;
-    for (SlotState &Slot : S.Stack)
-      if (Slot.FromLocal == L)
-        Slot.FromLocal = SlotState::kNoLocal;
+    S.Locals[L].Fresh = Slot.Fresh;
+    S.Locals[L].OrigParam = LocalState::kNoParam;
+    for (SlotState &Other : S.Stack)
+      if (Other.FromLocal == L)
+        Other.FromLocal = SlotState::kNoLocal;
     if (L < S.Guards.size())
       S.Guards[L].clear();
+  }
+
+  /// Fact collection (final walk only; no-ops while Facts is null).
+  void recordSiteMask(uint32_t InstrIndex, const AbstractValue &V) {
+    if (Facts)
+      Facts->SiteMask[InstrIndex] = V.mask();
+  }
+
+  /// Narrows the demand of the parameter \p Slot still carries (if any)
+  /// to \p Mask -- the types for which this use cannot fault.
+  void demand(const State &S, const SlotState &Slot, uint8_t Mask) {
+    if (!Facts || Slot.FromLocal == SlotState::kNoLocal)
+      return;
+    uint32_t P = S.Locals[Slot.FromLocal].OrigParam;
+    if (P != LocalState::kNoParam && P < Facts->ParamDemands.size())
+      Facts->ParamDemands[P] &= Mask;
+  }
+
+  /// Marks the function escaping when \p Slot may hold a fresh
+  /// allocation being consumed by an escaping use.
+  void escapeIf(const SlotState &Slot) {
+    if (Facts && Slot.Fresh)
+      Facts->EscapesAllocs = true;
   }
 
   void transferArith(State &S, const bc::Instr &In, uint32_t InstrIndex);
@@ -204,12 +258,20 @@ private:
   const bc::Repo &R;
   const bc::Function &F;
   const DevirtSites *Devirt;
+  const SummaryQuery *Summaries;
 };
 
 void TypeDomain::transferArith(State &S, const bc::Instr &In,
                                uint32_t InstrIndex) {
-  AbstractValue B = pop(S).Val;
-  AbstractValue A = pop(S).Val;
+  SlotState SlotB = pop(S);
+  SlotState SlotA = pop(S);
+  AbstractValue B = SlotB.Val;
+  AbstractValue A = SlotA.Val;
+  // The interpreter's type profiling observes the left operand here.
+  recordSiteMask(InstrIndex, A);
+  // arith() cannot fault when an operand is numeric-ish or null.
+  demand(S, SlotA, AbstractValue::kNumericish | AbstractValue::kNullBit);
+  demand(S, SlotB, AbstractValue::kNumericish | AbstractValue::kNullBit);
   // runtime::arith yields null for any non-numeric, non-bool operand, and
   // the interpreter counts a fault only when neither operand was null.
   constexpr uint8_t kFaulting =
@@ -246,6 +308,16 @@ void TypeDomain::transferFCallObj(State &S, const bc::Instr &In,
   uint32_t N = In.countImm();
   alwaysAssert(S.Stack.size() >= N + 1, "abstract stack underflow at call");
   SlotState Recv = S.Stack[S.Stack.size() - N - 1];
+
+  if (Facts) {
+    Facts->RecvMask[InstrIndex] = Recv.Val.mask();
+    if (bc::ClassId Exact = Recv.Val.exactClass(); Exact.valid())
+      Facts->ExactRecv[InstrIndex] = Exact.raw();
+    demand(S, Recv, AbstractValue::kObjBit);
+    // The receiver and every argument escape into the callee.
+    for (size_t I = S.Stack.size() - N - 1; I < S.Stack.size(); ++I)
+      escapeIf(S.Stack[I]);
+  }
 
   if (!Recv.Val.mayBe(Type::Obj)) {
     report(DiagKind::TypeError, Severity::Error, InstrIndex,
@@ -297,7 +369,14 @@ void TypeDomain::transferFCallObj(State &S, const bc::Instr &In,
   }
 
   S.Stack.resize(S.Stack.size() - N - 1);
-  push(S, AbstractValue::top());
+  AbstractValue Res = AbstractValue::top();
+  if (Summaries) {
+    Res = Summaries->methodReturn(In.strImm(), Recv.Val.exactClass());
+    // A receiver that may not be an object adds the fault path's null.
+    if (!Recv.Val.subsetOf(AbstractValue::kObjBit))
+      Res.join(AbstractValue::ofType(Type::Null));
+  }
+  push(S, Res);
 }
 
 void TypeDomain::transfer(State &S, uint32_t InstrIndex) {
@@ -325,14 +404,18 @@ void TypeDomain::transfer(State &S, uint32_t InstrIndex) {
     push(S, AbstractValue::ofType(Type::Str));
     break;
   case bc::Op::NewVec:
-    push(S, AbstractValue::ofType(Type::Vec));
+    push(S, AbstractValue::ofType(Type::Vec), SlotState::kNoLocal,
+         /*Fresh=*/true);
     break;
   case bc::Op::NewDict:
-    push(S, AbstractValue::ofType(Type::Dict));
+    push(S, AbstractValue::ofType(Type::Dict), SlotState::kNoLocal,
+         /*Fresh=*/true);
     break;
   case bc::Op::AddElem: {
-    pop(S); // value
-    AbstractValue C = pop(S).Val;
+    SlotState V = pop(S); // value
+    SlotState SC = pop(S);
+    escapeIf(V);
+    AbstractValue C = SC.Val;
     if (!C.mayBe(Type::Vec))
       report(DiagKind::TypeError, Severity::Error, InstrIndex,
              "AddElem always faults: container %s is never a vec",
@@ -340,13 +423,15 @@ void TypeDomain::transfer(State &S, uint32_t InstrIndex) {
     uint8_t Result = C.mask() & AbstractValue::kVecBit;
     if ((C.mask() & ~AbstractValue::kVecBit) != 0 || Result == 0)
       Result |= AbstractValue::kNullBit;
-    push(S, AbstractValue::ofMask(Result));
+    push(S, AbstractValue::ofMask(Result), SlotState::kNoLocal, SC.Fresh);
     break;
   }
   case bc::Op::AddKeyElem: {
-    pop(S); // value
-    pop(S); // key
-    AbstractValue C = pop(S).Val;
+    SlotState V = pop(S); // value
+    pop(S);               // key
+    SlotState SC = pop(S);
+    escapeIf(V);
+    AbstractValue C = SC.Val;
     if (!C.mayBe(Type::Dict))
       report(DiagKind::TypeError, Severity::Error, InstrIndex,
              "AddKeyElem always faults: container %s is never a dict",
@@ -354,14 +439,17 @@ void TypeDomain::transfer(State &S, uint32_t InstrIndex) {
     uint8_t Result = C.mask() & AbstractValue::kDictBit;
     if ((C.mask() & ~AbstractValue::kDictBit) != 0 || Result == 0)
       Result |= AbstractValue::kNullBit;
-    push(S, AbstractValue::ofMask(Result));
+    push(S, AbstractValue::ofMask(Result), SlotState::kNoLocal, SC.Fresh);
     break;
   }
   case bc::Op::GetElem: {
     pop(S); // key
-    AbstractValue C = pop(S).Val;
+    SlotState SC = pop(S);
+    AbstractValue C = SC.Val;
     constexpr uint8_t kContainers =
         AbstractValue::kVecBit | AbstractValue::kDictBit;
+    recordSiteMask(InstrIndex, C);
+    demand(S, SC, kContainers);
     if ((C.mask() & kContainers) == 0)
       report(DiagKind::TypeError, Severity::Error, InstrIndex,
              "GetElem always faults: container %s is never a vec or dict",
@@ -370,11 +458,15 @@ void TypeDomain::transfer(State &S, uint32_t InstrIndex) {
     break;
   }
   case bc::Op::SetElem: {
-    pop(S); // value
-    pop(S); // key
-    AbstractValue C = pop(S).Val;
+    SlotState V = pop(S); // value
+    pop(S);               // key
+    SlotState SC = pop(S);
+    escapeIf(V);
+    AbstractValue C = SC.Val;
     constexpr uint8_t kContainers =
         AbstractValue::kVecBit | AbstractValue::kDictBit;
+    recordSiteMask(InstrIndex, C);
+    demand(S, SC, kContainers);
     if ((C.mask() & kContainers) == 0)
       report(DiagKind::TypeError, Severity::Error, InstrIndex,
              "SetElem always faults: container %s is never a vec or dict",
@@ -384,14 +476,16 @@ void TypeDomain::transfer(State &S, uint32_t InstrIndex) {
     // range), pushing null.
     if (!C.definitely(Type::Dict))
       Result |= AbstractValue::kNullBit;
-    push(S, AbstractValue::ofMask(Result));
+    push(S, AbstractValue::ofMask(Result), SlotState::kNoLocal, SC.Fresh);
     break;
   }
   case bc::Op::Len: {
-    AbstractValue C = pop(S).Val;
+    SlotState SC = pop(S);
+    AbstractValue C = SC.Val;
     constexpr uint8_t kMeasurable = AbstractValue::kVecBit |
                                     AbstractValue::kDictBit |
                                     AbstractValue::kStrBit;
+    demand(S, SC, kMeasurable);
     if ((C.mask() & kMeasurable) == 0)
       report(DiagKind::TypeError, Severity::Error, InstrIndex,
              "Len always faults: operand %s has no length", C.str().c_str());
@@ -416,11 +510,11 @@ void TypeDomain::transfer(State &S, uint32_t InstrIndex) {
     if (!Local.MayAssigned && L >= F.NumParams)
       report(DiagKind::UseBeforeAssign, Severity::Warning, InstrIndex,
              "local %u is read before any path assigns it (reads null)", L);
-    push(S, Local.Val, L);
+    push(S, Local.Val, L, Local.Fresh);
     break;
   }
   case bc::Op::SetL:
-    setLocal(S, In.localImm(), pop(S).Val);
+    setLocal(S, In.localImm(), pop(S));
     break;
   case bc::Op::Add:
   case bc::Op::Sub:
@@ -446,11 +540,14 @@ void TypeDomain::transfer(State &S, uint32_t InstrIndex) {
   case bc::Op::CmpLt:
   case bc::Op::CmpLe:
   case bc::Op::CmpGt:
-  case bc::Op::CmpGe:
+  case bc::Op::CmpGe: {
     pop(S);
-    pop(S);
+    SlotState SA = pop(S);
+    // Type profiling observes the left operand of comparisons too.
+    recordSiteMask(InstrIndex, SA.Val);
     push(S, AbstractValue::ofType(Type::Bool));
     break;
+  }
   case bc::Op::JmpZ:
   case bc::Op::JmpNZ:
     pop(S);
@@ -458,8 +555,12 @@ void TypeDomain::transfer(State &S, uint32_t InstrIndex) {
   case bc::Op::FCall: {
     uint32_t N = In.countImm();
     alwaysAssert(S.Stack.size() >= N, "abstract stack underflow at call");
+    if (Facts)
+      for (size_t I = S.Stack.size() - N; I < S.Stack.size(); ++I)
+        escapeIf(S.Stack[I]);
     S.Stack.resize(S.Stack.size() - N);
-    push(S, AbstractValue::top());
+    push(S, Summaries ? Summaries->returnOf(In.funcImm())
+                      : AbstractValue::top());
     break;
   }
   case bc::Op::FCallObj:
@@ -468,15 +569,24 @@ void TypeDomain::transfer(State &S, uint32_t InstrIndex) {
   case bc::Op::NativeCall: {
     uint32_t N = In.countImm();
     alwaysAssert(S.Stack.size() >= N, "abstract stack underflow at call");
+    if (Facts)
+      for (size_t I = S.Stack.size() - N; I < S.Stack.size(); ++I)
+        escapeIf(S.Stack[I]);
     S.Stack.resize(S.Stack.size() - N);
     push(S, AbstractValue::top());
     break;
   }
   case bc::Op::NewObj:
-    push(S, AbstractValue::obj(In.clsImm()));
+    push(S, AbstractValue::obj(In.clsImm()), SlotState::kNoLocal,
+         /*Fresh=*/true);
     break;
   case bc::Op::GetProp: {
-    AbstractValue O = pop(S).Val;
+    SlotState SO = pop(S);
+    AbstractValue O = SO.Val;
+    demand(S, SO, AbstractValue::kObjBit);
+    if (Facts)
+      if (bc::ClassId Exact = O.exactClass(); Exact.valid())
+        Facts->ExactRecv[InstrIndex] = Exact.raw();
     if (!O.mayBe(Type::Obj))
       report(DiagKind::TypeError, Severity::Error, InstrIndex,
              "GetProp '%s' always faults: receiver %s is never an object",
@@ -490,8 +600,14 @@ void TypeDomain::transfer(State &S, uint32_t InstrIndex) {
     break;
   }
   case bc::Op::SetProp: {
-    pop(S); // value
-    AbstractValue O = pop(S).Val;
+    SlotState V = pop(S); // value
+    SlotState SO = pop(S);
+    escapeIf(V);
+    AbstractValue O = SO.Val;
+    demand(S, SO, AbstractValue::kObjBit);
+    if (Facts)
+      if (bc::ClassId Exact = O.exactClass(); Exact.valid())
+        Facts->ExactRecv[InstrIndex] = Exact.raw();
     if (!O.mayBe(Type::Obj))
       report(DiagKind::TypeError, Severity::Error, InstrIndex,
              "SetProp '%s' always faults: receiver %s is never an object",
@@ -509,9 +625,13 @@ void TypeDomain::transfer(State &S, uint32_t InstrIndex) {
     push(S, F.Cls.valid() ? AbstractValue::ofMask(AbstractValue::kObjBit)
                           : AbstractValue::ofType(Type::Null));
     break;
-  case bc::Op::RetC:
-    pop(S);
+  case bc::Op::RetC: {
+    SlotState RS = pop(S);
+    escapeIf(RS);
+    if (Facts)
+      Facts->Ret.join(RS.Val);
     break;
+  }
   }
 }
 
@@ -569,11 +689,44 @@ void scanDeadStores(const bc::Function &F, const bc::BcBlock &B,
 
 } // namespace
 
+SiteFacts
+jumpstart::analysis::computeSiteFacts(const bc::Repo &R,
+                                      const bc::Function &F,
+                                      const bc::BlockList &Blocks,
+                                      const SummaryQuery *Summaries) {
+  SiteFacts Facts;
+  Facts.ParamDemands.assign(F.NumParams, AbstractValue::kAllBits);
+  if (F.Code.empty()) {
+    // Nothing to analyze; conservative facts (Top return, no proofs).
+    Facts.Ret = AbstractValue::top();
+    return Facts;
+  }
+  TypeDomain D(R, F, /*Devirt=*/nullptr, Summaries);
+  ForwardDataflow<TypeDomain> Flow(F, Blocks, D);
+  Flow.run();
+
+  // Deterministic collection walk from the fixpoint entry states: every
+  // reached block once, recording per-site proofs.
+  D.Facts = &Facts;
+  for (uint32_t B = 0; B < Blocks.numBlocks(); ++B) {
+    if (!Flow.reached(B))
+      continue;
+    TypeState S = Flow.entryState(B);
+    const bc::BcBlock &Block = Blocks.block(B);
+    for (uint32_t I = Block.Start; I < Block.End; ++I)
+      D.transfer(S, I);
+  }
+  D.Facts = nullptr;
+  Facts.Analyzed = true;
+  return Facts;
+}
+
 std::vector<Diagnostic>
 jumpstart::analysis::analyzeFunction(const bc::Repo &R, const bc::Function &F,
                                      const bc::BlockList &Blocks,
-                                     const DevirtSites *Devirt) {
-  TypeDomain D(R, F, Devirt);
+                                     const DevirtSites *Devirt,
+                                     const SummaryQuery *Summaries) {
+  TypeDomain D(R, F, Devirt, Summaries);
   ForwardDataflow<TypeDomain> Flow(F, Blocks, D);
   Flow.run();
 

@@ -33,6 +33,7 @@
 #ifndef JUMPSTART_ANALYSIS_TYPEFLOW_H
 #define JUMPSTART_ANALYSIS_TYPEFLOW_H
 
+#include "analysis/AbstractType.h"
 #include "analysis/Diagnostic.h"
 #include "bytecode/Blocks.h"
 
@@ -50,13 +51,73 @@ struct DevirtSites {
 /// \p C itself) declares property \p Prop.
 bool classHasProp(const bc::Repo &R, bc::ClassId C, bc::StringId Prop);
 
+/// Callee return-type oracle, making the per-function dataflow
+/// interprocedural.  Implemented by analysis::WholeProgram (which answers
+/// from its bottom-up SCC summaries); without one, every call result is
+/// Top -- exactly the historical intraprocedural behavior.
+class SummaryQuery {
+public:
+  virtual ~SummaryQuery() = default;
+
+  /// The return-value lattice element of \p Callee.  Must over-approximate
+  /// every value a call can evaluate to (Bottom = provably never returns).
+  virtual AbstractValue returnOf(bc::FuncId Callee) const = 0;
+
+  /// The join of returnOf over the possible resolutions of method \p Name:
+  /// with \p Exact valid, the single resolution on that class (Null when
+  /// the class lacks the method -- the missing-method fault value); with
+  /// \p Exact invalid, all class-hierarchy resolutions, joined with Null
+  /// unless every class of the repo resolves \p Name.  The caller is
+  /// responsible for folding in the non-object-receiver fault path.
+  virtual AbstractValue methodReturn(bc::StringId Name,
+                                     bc::ClassId Exact) const = 0;
+};
+
+/// Per-site facts of one function, proven by the abstract-type fixpoint
+/// (optionally sharpened by callee summaries).  Everything here is an
+/// over-approximation of all feasible executions -- the soundness
+/// contract guard elision and IC seeding rely on.
+struct SiteFacts {
+  /// Join of the returned value over every reachable RetC.
+  AbstractValue Ret = AbstractValue::bottom();
+  /// Proven type mask of the operand the interpreter's type profiling
+  /// observes, per observing site (GetElem/SetElem: the container;
+  /// arithmetic and comparisons: the left operand).
+  std::map<uint32_t, uint8_t> SiteMask;
+  /// Sites (FCallObj/GetProp/SetProp) whose receiver has a statically
+  /// exact class: instruction index -> raw ClassId.
+  std::map<uint32_t, uint32_t> ExactRecv;
+  /// FCallObj sites: proven type mask of the receiver.
+  std::map<uint32_t, uint8_t> RecvMask;
+  /// Per-parameter type demand: the mask of argument types for which no
+  /// *direct* use of the (unreassigned) parameter can fault.  Purely
+  /// advisory -- calls outside the demand may still be fine on paths
+  /// that skip the demanding use.
+  std::vector<uint8_t> ParamDemands;
+  /// May a locally-allocated object/dict/vec escape (returned, stored
+  /// into a container or property, or passed to a callee)?
+  bool EscapesAllocs = false;
+  /// False when the function was not analyzable (empty body); all other
+  /// fields are then vacuously Top/conservative.
+  bool Analyzed = false;
+};
+
+/// Runs the abstract-type fixpoint over \p F and extracts SiteFacts.
+/// Reports nothing; see analyzeFunction for the diagnostic walk.
+SiteFacts computeSiteFacts(const bc::Repo &R, const bc::Function &F,
+                           const bc::BlockList &Blocks,
+                           const SummaryQuery *Summaries = nullptr);
+
 /// Runs all dataflow passes over \p F and \returns the diagnostics.
 /// \p Blocks must be F's block list; \p Devirt (optional) enables the
-/// region guard cross-checks.
+/// region guard cross-checks; \p Summaries (optional) sharpens call
+/// results with interprocedural return types.
 std::vector<Diagnostic> analyzeFunction(const bc::Repo &R,
                                         const bc::Function &F,
                                         const bc::BlockList &Blocks,
-                                        const DevirtSites *Devirt = nullptr);
+                                        const DevirtSites *Devirt = nullptr,
+                                        const SummaryQuery *Summaries =
+                                            nullptr);
 
 } // namespace jumpstart::analysis
 

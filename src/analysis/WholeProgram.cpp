@@ -1,0 +1,116 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/WholeProgram.h"
+
+#include "bytecode/Instruction.h"
+#include "bytecode/Opcode.h"
+
+using namespace jumpstart;
+using namespace jumpstart::analysis;
+
+WholeProgram::WholeProgram(const bc::Repo &Repo)
+    : R(Repo), CG(Repo), Store(CG), JitFacts(distill()) {}
+
+std::shared_ptr<const jit::ProvenFacts> WholeProgram::distill() const {
+  auto Out = std::make_shared<jit::ProvenFacts>();
+
+  for (const bc::Function &F : R.funcs()) {
+    const SiteFacts &SF = Store.facts(F.Id);
+    if (!SF.Analyzed)
+      continue;
+    uint32_t FRaw = F.Id.raw();
+
+    // Devirtualization guard proofs at virtual call sites.
+    for (const CallSite &Site : CG.sites(F.Id)) {
+      if (!Site.Virtual)
+        continue;
+      uint64_t Key = jit::ProvenFacts::siteKey(FRaw, Site.Pc);
+      auto Exact = SF.ExactRecv.find(Site.Pc);
+      if (Exact != SF.ExactRecv.end()) {
+        bc::FuncId M = R.resolveMethod(bc::ClassId(Exact->second), Site.Method);
+        if (M.valid()) {
+          jit::ProvenFacts::CallFact Fact;
+          Fact.Target = M.raw();
+          Fact.Proof = jit::GuardProof::ExactRecv;
+          Fact.RecvCls = Exact->second;
+          Out->ProvenCalls.emplace(Key, Fact);
+          jit::ProvenFacts::ICSeed Seed;
+          Seed.Func = FRaw;
+          Seed.Pc = Site.Pc;
+          Seed.Cls = Exact->second;
+          Seed.K = jit::ProvenFacts::ICSeed::Kind::Call;
+          Out->ICSeeds.push_back(Seed);
+        }
+        continue;
+      }
+      // UniqueMethod: a receiver that is provably *some* object, where
+      // every class resolves the name and all resolutions agree.  The
+      // original guard would fault for a receiver lacking the method, so
+      // the whole-hierarchy condition is load-bearing, not an
+      // optimization nicety.
+      auto Mask = SF.RecvMask.find(Site.Pc);
+      if (Mask != SF.RecvMask.end() &&
+          Mask->second == AbstractValue::kObjBit &&
+          CG.allClassesResolve(Site.Method)) {
+        bc::FuncId U = CG.uniqueResolution(Site.Method);
+        if (U.valid()) {
+          jit::ProvenFacts::CallFact Fact;
+          Fact.Target = U.raw();
+          Fact.Proof = jit::GuardProof::UniqueMethod;
+          Out->ProvenCalls.emplace(Key, Fact);
+        }
+      }
+    }
+
+    // Proven operand masks at profile-observed sites.  Bottom (site
+    // unreachable) and Top (nothing proven) are both useless to the JIT.
+    for (const auto &[Pc, Mask] : SF.SiteMask) {
+      if (Mask == 0 || Mask == AbstractValue::kAllBits)
+        continue;
+      Out->ProvenMasks.emplace(jit::ProvenFacts::siteKey(FRaw, Pc), Mask);
+    }
+
+    // Property-access IC seeds: exact receiver class that actually
+    // declares the property (a missing property faults without caching,
+    // so seeding it would invent an entry the interpreter never makes).
+    for (const auto &[Pc, Cls] : SF.ExactRecv) {
+      const bc::Instr &In = F.Code[Pc];
+      jit::ProvenFacts::ICSeed::Kind K;
+      if (In.Opcode == bc::Op::GetProp)
+        K = jit::ProvenFacts::ICSeed::Kind::GetProp;
+      else if (In.Opcode == bc::Op::SetProp)
+        K = jit::ProvenFacts::ICSeed::Kind::SetProp;
+      else
+        continue; // FCallObj handled with the call-site proofs above.
+      if (!classHasProp(R, bc::ClassId(Cls), In.strImm()))
+        continue;
+      jit::ProvenFacts::ICSeed Seed;
+      Seed.Func = FRaw;
+      Seed.Pc = Pc;
+      Seed.Cls = Cls;
+      Seed.K = K;
+      Out->ICSeeds.push_back(Seed);
+    }
+  }
+  return Out;
+}
+
+WholeProgram::Stats WholeProgram::stats() const {
+  Stats S;
+  S.Functions = R.numFuncs();
+  S.Edges = CG.numEdges();
+  S.Components = CG.components().size();
+  for (const std::vector<bc::FuncId> &Comp : CG.components())
+    if (CG.recursive(Comp.front()))
+      ++S.RecursiveComponents;
+  S.MaxRounds = Store.maxRounds();
+  S.ProvenCalls = JitFacts->ProvenCalls.size();
+  S.ProvenMasks = JitFacts->ProvenMasks.size();
+  S.ICSeeds = JitFacts->ICSeeds.size();
+  return S;
+}

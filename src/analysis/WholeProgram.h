@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The whole-program facts store: one object the JIT, the linter and the
+/// package checks all query.
+///
+/// Construction builds the call graph, runs the bottom-up summary
+/// fixpoint, and distills the per-site facts into the jit::ProvenFacts
+/// drop box (see that header for the layering story):
+///
+///   - ProvenCalls: FCallObj sites whose devirtualization guard provably
+///     always passes -- receiver of exact known class resolving to the
+///     target (ExactRecv), or receiver provably an object where the whole
+///     hierarchy resolves the name to a single target (UniqueMethod);
+///   - ProvenMasks: profile-observed operand type masks the analysis
+///     already proves, letting the JIT skip the profile guard;
+///   - ICSeeds: statically-monomorphic dispatch/property sites whose
+///     interpreter inline cache can be pre-filled at server startup.
+///
+/// Every fact is a *claim* to downstream consumers: RegionCheck re-proves
+/// each one a translation acted on, and the DiffRunner ablation matrix
+/// checks observational equivalence with elision on and off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_ANALYSIS_WHOLEPROGRAM_H
+#define JUMPSTART_ANALYSIS_WHOLEPROGRAM_H
+
+#include "analysis/Summaries.h"
+#include "jit/ProvenFacts.h"
+
+#include <memory>
+
+namespace jumpstart::analysis {
+
+class WholeProgram {
+public:
+  explicit WholeProgram(const bc::Repo &R);
+
+  const bc::Repo &repo() const { return R; }
+  const CallGraph &callGraph() const { return CG; }
+  const SummaryStore &summaries() const { return Store; }
+
+  const FuncSummary &summary(bc::FuncId F) const { return Store.summary(F); }
+  const SiteFacts &facts(bc::FuncId F) const { return Store.facts(F); }
+
+  /// The distilled JIT-facing facts.  Shared ownership: JitConfig copies
+  /// keep the facts alive across server/consumer lifetimes.
+  std::shared_ptr<const jit::ProvenFacts> jitFacts() const { return JitFacts; }
+
+  struct Stats {
+    size_t Functions = 0;
+    size_t Edges = 0;
+    size_t Components = 0;
+    size_t RecursiveComponents = 0;
+    uint32_t MaxRounds = 0;
+    size_t ProvenCalls = 0;
+    size_t ProvenMasks = 0;
+    size_t ICSeeds = 0;
+  };
+  Stats stats() const;
+
+private:
+  const bc::Repo &R;
+  CallGraph CG;
+  SummaryStore Store;
+  std::shared_ptr<const jit::ProvenFacts> JitFacts;
+
+  std::shared_ptr<const jit::ProvenFacts> distill() const;
+};
+
+} // namespace jumpstart::analysis
+
+#endif // JUMPSTART_ANALYSIS_WHOLEPROGRAM_H

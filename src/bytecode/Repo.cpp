@@ -9,6 +9,8 @@
 
 #include "support/Assert.h"
 
+#include <algorithm>
+
 using namespace jumpstart;
 using namespace jumpstart::bc;
 
@@ -112,6 +114,35 @@ FuncId Repo::resolveMethod(ClassId C, StringId Name) const {
     C = K.Parent;
   }
   return FuncId();
+}
+
+std::vector<FuncId> Repo::allMethodResolutions(StringId Name) const {
+  std::vector<FuncId> Out;
+  for (const Class &K : Classes) {
+    FuncId M = resolveMethod(K.Id, Name);
+    if (M.valid())
+      Out.push_back(M);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](FuncId A, FuncId B) { return A.raw() < B.raw(); });
+  Out.erase(std::unique(Out.begin(), Out.end(),
+                        [](FuncId A, FuncId B) { return A.raw() == B.raw(); }),
+            Out.end());
+  return Out;
+}
+
+FuncId Repo::uniqueMethodResolution(StringId Name) const {
+  std::vector<FuncId> All = allMethodResolutions(Name);
+  return All.size() == 1 ? All.front() : FuncId();
+}
+
+bool Repo::allClassesResolve(StringId Name) const {
+  if (Classes.empty())
+    return false;
+  for (const Class &K : Classes)
+    if (!resolveMethod(K.Id, Name).valid())
+      return false;
+  return true;
 }
 
 size_t Repo::totalBytecode() const {

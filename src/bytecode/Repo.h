@@ -76,6 +76,24 @@ public:
   /// chain; \returns an invalid id when no ancestor declares it.
   FuncId resolveMethod(ClassId C, StringId Name) const;
 
+  //===--------------------------------------------------------------------===
+  // Whole-program method resolution (class-hierarchy analysis).
+  //===--------------------------------------------------------------------===
+
+  /// Every distinct function some class of the repo resolves \p Name to
+  /// (deduplicated, ascending FuncId order).  Classes that do not resolve
+  /// \p Name contribute nothing.
+  std::vector<FuncId> allMethodResolutions(StringId Name) const;
+
+  /// The single function every class that resolves \p Name resolves it
+  /// to; invalid when zero or more than one distinct target exists.
+  FuncId uniqueMethodResolution(StringId Name) const;
+
+  /// True when *every* class of the repo resolves \p Name (so a method
+  /// call on any object receiver cannot take the missing-method fault
+  /// path).  False for a repo with no classes.
+  bool allClassesResolve(StringId Name) const;
+
   size_t numStrings() const { return Strings.size(); }
   size_t numUnits() const { return Units.size(); }
   size_t numFuncs() const { return Funcs.size(); }

@@ -8,6 +8,7 @@
 #include "core/Consumer.h"
 
 #include "analysis/Linter.h"
+#include "analysis/WholeProgram.h"
 #include "core/CoreObs.h"
 #include "runtime/Builtins.h"
 #include "support/StringUtil.h"
@@ -25,6 +26,15 @@ void jumpstart::core::applyOptimizationOptions(vm::ServerConfig &Config,
   Config.UseAffinityPropOrder = Opts.AffinityPropertyOrder;
   Config.Jit.Parallelism = Opts.Parallelism;
   Config.Jit.PrecompileLiveCode = Opts.PrecompileLiveCode;
+  Config.Jit.ProvenGuardElision = Opts.ProvenGuardElision;
+}
+
+void jumpstart::core::attachProvenFacts(vm::ServerConfig &Config,
+                                        const bc::Repo &R) {
+  if (!Config.Jit.ProvenGuardElision || Config.Jit.Facts)
+    return;
+  analysis::WholeProgram WP(R);
+  Config.Jit.Facts = WP.jitFacts();
 }
 
 ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
@@ -37,6 +47,7 @@ ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
   ConsumerOutcome Outcome;
   Rng R(P.Seed);
   applyOptimizationOptions(BaseConfig, Opts);
+  attachProvenFacts(BaseConfig, W.Repo);
   BaseConfig.Obs = Obs;
   BaseConfig.Name = P.Name;
   uint32_t Track = 0;
@@ -104,7 +115,11 @@ ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
       analysis::Linter Linter(W.Repo,
                               static_cast<uint32_t>(
                                   runtime::BuiltinTable::standard().size()));
-      std::vector<analysis::Diagnostic> Diags = Linter.lintPackage(Pkg);
+      // With the whole-program analysis enabled, the lint also
+      // cross-checks profiled call targets/arcs against the static call
+      // graph (the facts already paid for themselves at boot).
+      std::vector<analysis::Diagnostic> Diags =
+          Linter.lintPackage(Pkg, Opts.ProvenGuardElision);
       if (analysis::countErrors(Diags) > 0) {
         Reject(StatusCode::LintFailed,
                strFormat("package #%u failed strict lint (%zu errors, "

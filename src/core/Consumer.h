@@ -64,6 +64,13 @@ struct ConsumerOutcome {
 void applyOptimizationOptions(vm::ServerConfig &Config,
                               const JumpStartOptions &Opts);
 
+/// Runs the whole-program analysis over \p R and attaches the distilled
+/// JIT facts to \p Config.  No-op unless ProvenGuardElision is enabled
+/// and no facts are attached yet, so callers can pre-attach a shared
+/// facts object (the conformance matrix analyzes each program once and
+/// shares the result across cells).
+void attachProvenFacts(vm::ServerConfig &Config, const bc::Repo &R);
+
 /// Boots one consumer against \p Store with full fallback behaviour.
 /// \p Obs (optional) receives per-reason package rejection counters, the
 /// accept counter, and the consumer's server/JIT spans.

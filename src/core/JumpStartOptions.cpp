@@ -107,6 +107,8 @@ Status JumpStartOptions::set(std::string_view Key, std::string_view Value) {
     return parseUInt(Key, Value, Parallelism);
   if (Key == "precompile_live_code")
     return parseBool(Key, Value, PrecompileLiveCode);
+  if (Key == "proven_guard_elision")
+    return parseBool(Key, Value, ProvenGuardElision);
   if (Key == "min_profiled_funcs")
     return parseUInt(Key, Value, Coverage.MinProfiledFuncs);
   if (Key == "min_total_samples")
@@ -163,6 +165,7 @@ JumpStartOptions::toKeyValues() const {
                    strFormat("%g", MaxValidationFaultRate));
   KVs.emplace_back("parallelism", strFormat("%u", Parallelism));
   KVs.emplace_back("precompile_live_code", B(PrecompileLiveCode));
+  KVs.emplace_back("proven_guard_elision", B(ProvenGuardElision));
   KVs.emplace_back("min_profiled_funcs",
                    strFormat("%zu", Coverage.MinProfiledFuncs));
   KVs.emplace_back(
@@ -226,6 +229,11 @@ JumpStartOptionsBuilder &JumpStartOptionsBuilder::parallelism(uint32_t V) {
 JumpStartOptionsBuilder &
 JumpStartOptionsBuilder::precompileLiveCode(bool V) {
   Opts.PrecompileLiveCode = V;
+  return *this;
+}
+JumpStartOptionsBuilder &
+JumpStartOptionsBuilder::provenGuardElision(bool V) {
+  Opts.ProvenGuardElision = V;
   return *this;
 }
 

@@ -76,6 +76,14 @@ struct JumpStartOptions {
   /// precompile pass (jit::JitConfig::PrecompileLiveCode).
   bool PrecompileLiveCode = false;
 
+  // Whole-program static analysis driving the JIT.
+  /// Compute interprocedural facts (analysis::WholeProgram) and act on
+  /// them: elide provably-redundant guards, devirtualize
+  /// proven-monomorphic virtual sites, and pre-seed interpreter inline
+  /// caches at startup (jit::JitConfig::ProvenGuardElision).  Off by
+  /// default; the conformance ablation matrix exercises both settings.
+  bool ProvenGuardElision = false;
+
   //===--------------------------------------------------------------------===
   // Validated-options API.
   //===--------------------------------------------------------------------===
@@ -120,6 +128,7 @@ public:
   JumpStartOptionsBuilder &maxValidationFaultRate(double V);
   JumpStartOptionsBuilder &parallelism(uint32_t V);
   JumpStartOptionsBuilder &precompileLiveCode(bool V);
+  JumpStartOptionsBuilder &provenGuardElision(bool V);
 
   /// \returns the built options; asserts they validate.
   JumpStartOptions build() const;

@@ -60,6 +60,21 @@ Value Interpreter::fault() {
   return Value::null();
 }
 
+bool Interpreter::seedIC(bc::FuncId F, uint32_t Pc, const void *Key,
+                         uint64_t Payload) {
+  if (F.raw() >= R.numFuncs() || !Key)
+    return false;
+  FuncExecInfo &Info = Caches.info(F);
+  if (Pc >= Info.ICs.size())
+    return false; // legacy-engine function (no IC table) or bad site
+  ICEntry &E = Info.ICs[Pc];
+  if (E.Key)
+    return false; // already warm; never overwrite a live entry
+  E.Key = Key;
+  E.Payload = Payload;
+  return true;
+}
+
 InterpResult Interpreter::call(bc::FuncId F,
                                const std::vector<Value> &Args) {
   Steps = 0;

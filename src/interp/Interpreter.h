@@ -101,6 +101,15 @@ public:
   /// the perf smoke compares them across runs).
   const InterpCaches &caches() const { return Caches; }
 
+  /// Pre-fills the inline cache at (F, Pc) with a proven-monomorphic
+  /// entry (whole-program analysis; ProvenFacts::ICSeeds).  Caches only
+  /// what a successful dynamic lookup would cache: the caller supplies
+  /// the receiver's ClassLayout as \p Key and the resolved slot/FuncId
+  /// as \p Payload.  \returns true when an empty entry was filled; a
+  /// legacy-engine function, an out-of-range site or an already-warm
+  /// entry is left untouched.
+  bool seedIC(bc::FuncId F, uint32_t Pc, const void *Key, uint64_t Payload);
+
 private:
   runtime::Value execFrame(bc::FuncId FId, const runtime::Value *Args,
                            uint32_t NumArgs, runtime::Value This,

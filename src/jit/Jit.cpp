@@ -68,6 +68,13 @@ void Jit::noteJobDone(const Job &J) {
       .counter("jumpstart.jit.jobs_completed",
                {{"kind", jobSpanName(J.Kind)}})
       .inc();
+  // Proven-fact guard elisions accumulate in the translation database as
+  // compiles install; exporting after each job keeps the gauge current
+  // without a per-elision metric write.  Absent entirely when the
+  // whole-program analysis is off (the count stays zero).
+  if (uint64_t Elided = Db.guardsElided())
+    Obs->Metrics.gauge("jumpstart.jit.guards_elided", {})
+        .set(static_cast<double>(Elided));
 }
 
 void Jit::notePhase(JitPhase NewPhase) {
@@ -181,13 +188,19 @@ std::unique_ptr<VasmUnit> Jit::lowerOptimizedUnit(bc::FuncId F) {
     // devirtualized direct calls (they embed addresses).
     Region.Func = F;
   } else {
-    Region = selectRegion(R, Blocks, Store, F, Config.Region);
+    // Proven facts extend devirtualization beyond profile dominance, but
+    // never under sharing constraints (direct calls embed addresses).
+    const ProvenFacts *Facts =
+        Config.ProvenGuardElision ? Config.Facts.get() : nullptr;
+    Region = selectRegion(R, Blocks, Store, F, Config.Region, Facts);
   }
   LowerOptions Opts;
   Opts.Kind = TransKind::Optimized;
   Opts.SeederInstrumentation = Config.SeederInstrumentation;
   Opts.TypeMonoThreshold = Config.TypeMonoThreshold;
   Opts.SharedCodeConstraints = Config.ShareJitMode;
+  if (Config.ProvenGuardElision && !Config.ShareJitMode)
+    Opts.Facts = Config.Facts.get();
   auto Unit = lowerFunction(R, Blocks, F, &Store, &Region, Opts);
 
   // Jump-Start consumers inject the accurate Vasm counters right before

@@ -110,6 +110,17 @@ struct JitConfig {
   /// post-start tracelet tail at the cost of longer consumer init and a
   /// much longer seeder collection window).
   bool PrecompileLiveCode = false;
+
+  /// Act on the whole-program analysis facts below: elide guards the
+  /// analysis proved redundant, devirtualize proven-monomorphic virtual
+  /// sites without waiting for profile dominance, and let the harness
+  /// pre-seed interpreter inline caches.  Off by default -- the
+  /// DiffRunner ablation matrix compares both settings.
+  bool ProvenGuardElision = false;
+  /// The facts themselves (analysis::WholeProgram::jitFacts()).  Shared
+  /// ownership: copied configs (server/consumer/harness) keep the facts
+  /// alive for as long as any JIT consults them.
+  std::shared_ptr<const ProvenFacts> Facts;
 };
 
 /// Lifecycle phase (see file header).
@@ -166,6 +177,10 @@ public:
   /// profile + live + optimized, whether placed or still in temporary
   /// buffers.
   uint64_t totalCodeBytes() const;
+
+  /// Guards the whole-program analysis let optimized lowering skip so
+  /// far (sum of VasmUnit::ElidedGuards over installed translations).
+  uint64_t guardsElided() const { return Db.guardsElided(); }
 
   /// True when the JIT has stopped producing code (live area full or no
   /// pending work and nothing new arriving) -- Figure 1's point "D" is

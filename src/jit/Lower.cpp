@@ -57,6 +57,12 @@ uint64_t distortWeight(uint64_t W, uint32_t FuncRaw, uint32_t BlockId) {
   return Q;
 }
 
+/// The analysis-side lattice bit for one runtime type (matches
+/// analysis::typeBit; ProvenFacts masks use this encoding).
+constexpr uint8_t typeMaskBit(runtime::Type T) {
+  return static_cast<uint8_t>(1u << static_cast<unsigned>(T));
+}
+
 /// An inlined call site awaiting callee emission.
 struct PendingInline {
   uint32_t CallBlock;   ///< Vasm block containing the call site.
@@ -86,6 +92,52 @@ private:
   /// monomorphy threshold and equals \p Want (or \p Want is Null meaning
   /// "any dominant type").
   bool siteIsMono(bc::FuncId F, uint32_t Pc, runtime::Type Want) const;
+
+  /// The statically-proven operand mask at (F, Pc), or 0 when unknown.
+  uint8_t provenMask(bc::FuncId F, uint32_t Pc) const {
+    if (!optimized() || !Opts.Facts)
+      return 0;
+    auto It =
+        Opts.Facts->ProvenMasks.find(ProvenFacts::siteKey(F.raw(), Pc));
+    return It == Opts.Facts->ProvenMasks.end() ? 0 : It->second;
+  }
+
+  /// True when the proven mask at (F, Pc) is non-empty and inside
+  /// \p Bits: a type guard checking \p Bits could never fail, so the
+  /// specialized lowering needs no guard at all.
+  bool provenWithin(bc::FuncId F, uint32_t Pc, uint8_t Bits) const {
+    uint8_t M = provenMask(F, Pc);
+    return M != 0 && (M & ~Bits) == 0;
+  }
+
+  void recordTypeElision(bc::FuncId F, uint32_t Pc, uint8_t CheckedBits) {
+    Unit.ElidedGuards.push_back(
+        {ProvenFacts::siteKey(F.raw(), Pc),
+         static_cast<uint8_t>(GuardProof::TypeProven), provenMask(F, Pc),
+         CheckedBits});
+  }
+
+  /// The proven-call fact at (F, Pc) when it devirtualizes to exactly
+  /// \p Target (the class guard protecting that direct call or inline
+  /// body can never fail); nullptr otherwise.
+  const ProvenFacts::CallFact *provenCall(bc::FuncId F, uint32_t Pc,
+                                          bc::FuncId Target) const {
+    if (!optimized() || !Opts.Facts)
+      return nullptr;
+    auto It =
+        Opts.Facts->ProvenCalls.find(ProvenFacts::siteKey(F.raw(), Pc));
+    if (It == Opts.Facts->ProvenCalls.end() ||
+        It->second.Target != Target.raw())
+      return nullptr;
+    return &It->second;
+  }
+
+  void recordCallElision(bc::FuncId F, uint32_t Pc,
+                         const ProvenFacts::CallFact &Fact) {
+    Unit.ElidedGuards.push_back({ProvenFacts::siteKey(F.raw(), Pc),
+                                 static_cast<uint8_t>(Fact.Proof),
+                                 Fact.RecvCls, Fact.Target});
+  }
 
   void lowerInstr(bc::FuncId F, uint32_t Pc, const bc::Instr &In,
                   VBlock &B);
@@ -164,6 +216,12 @@ void FuncLowering::lowerInstr(bc::FuncId F, uint32_t Pc, const bc::Instr &In,
     emit(B, VKind::Generic, 3);
     return;
   case Op::GetElem:
+    if (provenWithin(F, Pc, typeMaskBit(runtime::Type::Vec))) {
+      recordTypeElision(F, Pc, typeMaskBit(runtime::Type::Vec));
+      emit(B, VKind::Generic, 3); // bounds check
+      emit(B, VKind::Load, 4);
+      return;
+    }
     if (siteIsMono(F, Pc, runtime::Type::Vec)) {
       emit(B, VKind::Guard, 4);
       emit(B, VKind::Generic, 3); // bounds check
@@ -175,6 +233,12 @@ void FuncLowering::lowerInstr(bc::FuncId F, uint32_t Pc, const bc::Instr &In,
     emit(B, VKind::Generic, 3);
     return;
   case Op::SetElem:
+    if (provenWithin(F, Pc, typeMaskBit(runtime::Type::Vec))) {
+      recordTypeElision(F, Pc, typeMaskBit(runtime::Type::Vec));
+      emit(B, VKind::Generic, 3);
+      emit(B, VKind::Store, 4);
+      return;
+    }
     if (siteIsMono(F, Pc, runtime::Type::Vec)) {
       emit(B, VKind::Guard, 4);
       emit(B, VKind::Generic, 3);
@@ -217,7 +281,14 @@ void FuncLowering::lowerInstr(bc::FuncId F, uint32_t Pc, const bc::Instr &In,
   case Op::CmpLt:
   case Op::CmpLe:
   case Op::CmpGt:
-  case Op::CmpGe:
+  case Op::CmpGe: {
+    constexpr uint8_t NumBits = typeMaskBit(runtime::Type::Int) |
+                                typeMaskBit(runtime::Type::Dbl);
+    if (provenWithin(F, Pc, NumBits)) {
+      recordTypeElision(F, Pc, NumBits);
+      emit(B, VKind::Generic, 3);
+      return;
+    }
     if (siteIsMono(F, Pc, runtime::Type::Int) ||
         siteIsMono(F, Pc, runtime::Type::Dbl)) {
       emit(B, VKind::Guard, 3);
@@ -228,8 +299,15 @@ void FuncLowering::lowerInstr(bc::FuncId F, uint32_t Pc, const bc::Instr &In,
     emit(B, VKind::Generic, 3);
     emit(B, VKind::Generic, 3);
     return;
+  }
   case Op::Div:
   case Op::Mod:
+    if (provenWithin(F, Pc, typeMaskBit(runtime::Type::Int))) {
+      recordTypeElision(F, Pc, typeMaskBit(runtime::Type::Int));
+      emit(B, VKind::Generic, 3); // zero check
+      emit(B, VKind::Generic, 3);
+      return;
+    }
     if (siteIsMono(F, Pc, runtime::Type::Int)) {
       emit(B, VKind::Guard, 3);
       emit(B, VKind::Generic, 3); // zero check
@@ -279,11 +357,23 @@ void FuncLowering::lowerInstr(bc::FuncId F, uint32_t Pc, const bc::Instr &In,
   }
   case Op::FCallObj: {
     if (Region && Region->inlinedCallee(F, Pc).valid()) {
+      if (const ProvenFacts::CallFact *Fact =
+              provenCall(F, Pc, Region->inlinedCallee(F, Pc))) {
+        recordCallElision(F, Pc, *Fact);
+        emit(B, VKind::Generic, 2);
+        return;
+      }
       emit(B, VKind::Guard, 4); // class guard protecting the inline
       emit(B, VKind::Generic, 2);
       return;
     }
     if (Region && Region->devirtTarget(F, Pc).valid()) {
+      if (const ProvenFacts::CallFact *Fact =
+              provenCall(F, Pc, Region->devirtTarget(F, Pc))) {
+        recordCallElision(F, Pc, *Fact);
+        emit(B, VKind::Call, 5);
+        return;
+      }
       emit(B, VKind::Guard, 4);
       emit(B, VKind::Call, 5);
       return;

@@ -29,6 +29,7 @@
 #ifndef JUMPSTART_JIT_LOWER_H
 #define JUMPSTART_JIT_LOWER_H
 
+#include "jit/ProvenFacts.h"
 #include "jit/Region.h"
 #include "jit/Translation.h"
 
@@ -51,6 +52,11 @@ struct LowerOptions {
   /// strings, direct call targets and class pointers go through
   /// indirection tables -- and user-defined functions are never inlined.
   bool SharedCodeConstraints = false;
+  /// Whole-program proven facts (non-owning; the Jit's config keeps them
+  /// alive).  When set, optimized lowering elides guards the analysis
+  /// proved redundant and specializes sites whose types are proven even
+  /// without profile monomorphy, recording every elision on the unit.
+  const ProvenFacts *Facts = nullptr;
 };
 
 /// Lowers \p Func.  For optimized kind, \p Store supplies type and block

@@ -21,8 +21,10 @@ class InlinePlanner {
 public:
   InlinePlanner(const bc::Repo &R, bc::BlockCache &Blocks,
                 const profile::ProfileStore &Store,
-                const RegionParams &Params, RegionDescriptor &Out)
-      : R(R), Blocks(Blocks), Store(Store), Params(Params), Out(Out) {}
+                const RegionParams &Params, const ProvenFacts *Facts,
+                RegionDescriptor &Out)
+      : R(R), Blocks(Blocks), Store(Store), Params(Params), Facts(Facts),
+        Out(Out) {}
 
   void plan(bc::FuncId F, uint32_t Depth) {
     const profile::FuncProfile *Prof = Store.find(F.raw());
@@ -35,8 +37,10 @@ public:
         considerInline(F, Pc, In.funcImm(), Prof, BL, Depth);
         continue;
       }
-      if (In.Opcode == bc::Op::FCallObj && Prof) {
-        bc::FuncId Target = dominantTarget(*Prof, Pc);
+      if (In.Opcode == bc::Op::FCallObj) {
+        bc::FuncId Target = Prof ? dominantTarget(*Prof, Pc) : bc::FuncId();
+        if (!Target.valid())
+          Target = provenTarget(F, Pc);
         if (!Target.valid())
           continue;
         // Devirtualize; additionally inline when the target qualifies.
@@ -47,6 +51,16 @@ public:
   }
 
 private:
+  /// \returns the analysis-proven single target of the virtual site, or
+  /// an invalid id.
+  bc::FuncId provenTarget(bc::FuncId F, uint32_t Pc) const {
+    if (!Facts)
+      return bc::FuncId();
+    auto It = Facts->ProvenCalls.find(ProvenFacts::siteKey(F.raw(), Pc));
+    return It == Facts->ProvenCalls.end() ? bc::FuncId()
+                                          : bc::FuncId(It->second.Target);
+  }
+
   /// \returns the callee covering CallTargetMonoThreshold of the site's
   /// profile, or an invalid id.
   bc::FuncId dominantTarget(const profile::FuncProfile &Prof,
@@ -118,6 +132,7 @@ private:
   bc::BlockCache &Blocks;
   const profile::ProfileStore &Store;
   const RegionParams &Params;
+  const ProvenFacts *Facts;
   RegionDescriptor &Out;
 };
 
@@ -127,11 +142,12 @@ RegionDescriptor jumpstart::jit::selectRegion(const bc::Repo &R,
                                               bc::BlockCache &Blocks,
                                               const profile::ProfileStore &S,
                                               bc::FuncId Func,
-                                              const RegionParams &Params) {
+                                              const RegionParams &Params,
+                                              const ProvenFacts *Facts) {
   RegionDescriptor Out;
   Out.Func = Func;
   Out.TotalBytecodes = static_cast<uint32_t>(R.func(Func).Code.size());
-  InlinePlanner Planner(R, Blocks, S, Params, Out);
+  InlinePlanner Planner(R, Blocks, S, Params, Facts, Out);
   Planner.plan(Func, /*Depth=*/0);
   return Out;
 }

@@ -24,6 +24,7 @@
 
 #include "bytecode/BlockCache.h"
 #include "bytecode/Repo.h"
+#include "jit/ProvenFacts.h"
 #include "profile/ProfileStore.h"
 
 #include <map>
@@ -82,11 +83,15 @@ struct RegionDescriptor {
 };
 
 /// Builds the region (inline plan) for \p Func from the tier-1 profiles
-/// in \p Store.
+/// in \p Store.  \p Facts (optional) adds analysis-proven
+/// devirtualizations: a virtual site with a proven unique target
+/// devirtualizes even when the call-target profile never reached
+/// dominance (or never ran at all).
 RegionDescriptor selectRegion(const bc::Repo &R, bc::BlockCache &Blocks,
                               const profile::ProfileStore &Store,
                               bc::FuncId Func,
-                              const RegionParams &Params = RegionParams());
+                              const RegionParams &Params = RegionParams(),
+                              const ProvenFacts *Facts = nullptr);
 
 } // namespace jumpstart::jit
 

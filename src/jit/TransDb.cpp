@@ -32,7 +32,6 @@ const TransDb::FuncMap &TransDb::mapFor(TransKind K) const {
 Translation &TransDb::create(TransKind Kind,
                              std::unique_ptr<VasmUnit> Unit) {
   auto T = std::make_unique<Translation>();
-  T->Id = static_cast<uint32_t>(All.size());
   T->Kind = Kind;
   T->Unit = std::move(Unit);
   // Execution cost: cost units per bytecode covered.  Calls model helper
@@ -59,34 +58,45 @@ Translation &TransDb::create(TransKind Kind,
           ? static_cast<double>(Cost) /
                 static_cast<double>(T->Unit->BytecodeCount)
           : 1.0;
+  support::MutexLock Lock(M);
+  T->Id = static_cast<uint32_t>(All.size());
+  ElidedGuardCount += T->Unit->ElidedGuards.size();
   mapFor(Kind).insertOrAssign(T->Unit->Func.raw(), T->Id);
   All.push_back(std::move(T));
   return *All.back();
 }
 
-Translation *TransDb::forFunc(bc::FuncId F, TransKind K) {
+Translation *TransDb::forFuncLocked(bc::FuncId F, TransKind K) const {
   const uint32_t *Id = mapFor(K).find(F.raw());
   return Id ? All[*Id].get() : nullptr;
 }
 
+Translation *TransDb::forFunc(bc::FuncId F, TransKind K) {
+  support::MutexLock Lock(M);
+  return forFuncLocked(F, K);
+}
+
 const Translation *TransDb::forFunc(bc::FuncId F, TransKind K) const {
-  return const_cast<TransDb *>(this)->forFunc(F, K);
+  support::MutexLock Lock(M);
+  return forFuncLocked(F, K);
 }
 
 const Translation *TransDb::best(bc::FuncId F) const {
-  const Translation *Opt = forFunc(F, TransKind::Optimized);
+  support::MutexLock Lock(M);
+  const Translation *Opt = forFuncLocked(F, TransKind::Optimized);
   if (Opt && Opt->Placed)
     return Opt;
-  const Translation *Live = forFunc(F, TransKind::Live);
+  const Translation *Live = forFuncLocked(F, TransKind::Live);
   if (Live && Live->Placed)
     return Live;
-  const Translation *Prof = forFunc(F, TransKind::Profile);
+  const Translation *Prof = forFuncLocked(F, TransKind::Profile);
   if (Prof && Prof->Placed)
     return Prof;
   return nullptr;
 }
 
 uint64_t TransDb::bytesOfKind(TransKind K) const {
+  support::MutexLock Lock(M);
   uint64_t Total = 0;
   for (const auto &T : All)
     if (T->Kind == K)
@@ -95,6 +105,7 @@ uint64_t TransDb::bytesOfKind(TransKind K) const {
 }
 
 std::string TransDb::placementDigest() const {
+  support::MutexLock Lock(M);
   std::string Out;
   for (const auto &T : All)
     Out += strFormat("t%u %s f%u placed=%d entry=%llu blocks=%zu\n",

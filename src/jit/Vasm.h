@@ -132,6 +132,26 @@ public:
   /// Number of bytecode instructions this unit covers (region size).
   uint32_t BytecodeCount = 0;
 
+  /// One guard lowering chose not to emit because the whole-program
+  /// analysis proved it could never fail.  Each entry is an auditable
+  /// claim: analysis::RegionCheck re-derives every one from scratch, and
+  /// the DiffRunner ablation matrix checks behavior with elision off.
+  struct ElidedGuard {
+    /// (FuncId.raw() << 32) | bytecode instruction index -- the site the
+    /// guard would have protected (function, not region: inlined callee
+    /// sites carry the callee's id).
+    uint64_t SiteKey = 0;
+    /// jit::GuardProof, widened for storage.
+    uint8_t ProofKind = 0;
+    /// ExactRecv: the proven receiver ClassId.  TypeProven: the proven
+    /// operand mask (analysis bit encoding).  UniqueMethod: ~0u.
+    uint32_t ClsOrMask = ~0u;
+    /// Call proofs: raw FuncId of the guarded target.  TypeProven: the
+    /// mask the elided guard would have checked.
+    uint32_t Target = 0;
+  };
+  std::vector<ElidedGuard> ElidedGuards;
+
 private:
   static uint64_t key(bc::FuncId F, uint32_t BcBlock) {
     return (static_cast<uint64_t>(F.raw()) << 32) | BcBlock;

@@ -37,7 +37,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 bool ThreadPool::onWorkerThread() const { return CurrentWorkerPool == this; }
 
 void ThreadPool::recordError(std::exception_ptr E) {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   if (!FirstError)
     FirstError = std::move(E);
 }
@@ -45,7 +45,7 @@ void ThreadPool::recordError(std::exception_ptr E) {
 void ThreadPool::rethrowFirstError() {
   std::exception_ptr E;
   {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     std::swap(E, FirstError);
   }
   if (E)
@@ -57,14 +57,15 @@ void ThreadPool::workerLoop(uint32_t Index) {
   for (;;) {
     std::function<void()> Task;
     {
-      std::unique_lock<std::mutex> Lock(M);
-      NotEmpty.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+      MutexLock Lock(M);
+      while (!Stopping && Queue.empty())
+        NotEmpty.wait(Lock);
       if (Queue.empty())
         return; // Stopping and drained
       Task = std::move(Queue.front());
       Queue.pop_front();
       ++InFlight;
-      NotFull.notify_one();
+      NotFull.notifyOne();
     }
     try {
       Task();
@@ -72,11 +73,11 @@ void ThreadPool::workerLoop(uint32_t Index) {
       recordError(std::current_exception());
     }
     {
-      std::lock_guard<std::mutex> Lock(M);
+      MutexLock Lock(M);
       ++TaskCounts[Index];
       --InFlight;
       if (Queue.empty() && InFlight == 0)
-        AllDone.notify_all();
+        AllDone.notifyAll();
     }
   }
 }
@@ -86,7 +87,7 @@ void ThreadPool::submit(std::function<void()> Task) {
     // Inline mode, or a task submitting from a worker (run it directly
     // rather than risking a full queue deadlock).
     {
-      std::lock_guard<std::mutex> Lock(M);
+      MutexLock Lock(M);
       alwaysAssert(!Stopping, "submit() after shutdown()");
     }
     try {
@@ -94,21 +95,23 @@ void ThreadPool::submit(std::function<void()> Task) {
     } catch (...) {
       recordError(std::current_exception());
     }
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     ++InlineTaskCount;
     return;
   }
-  std::unique_lock<std::mutex> Lock(M);
+  MutexLock Lock(M);
   alwaysAssert(!Stopping, "submit() after shutdown()");
-  NotFull.wait(Lock, [&] { return Queue.size() < QueueCapacity; });
+  while (Queue.size() >= QueueCapacity)
+    NotFull.wait(Lock);
   Queue.push_back(std::move(Task));
-  NotEmpty.notify_one();
+  NotEmpty.notifyOne();
 }
 
 void ThreadPool::wait() {
   if (!Workers.empty()) {
-    std::unique_lock<std::mutex> Lock(M);
-    AllDone.wait(Lock, [&] { return Queue.empty() && InFlight == 0; });
+    MutexLock Lock(M);
+    while (!Queue.empty() || InFlight != 0)
+      AllDone.wait(Lock);
   }
   rethrowFirstError();
 }
@@ -118,11 +121,11 @@ void ThreadPool::shutdown() {
   // leave Workers empty) so a late submit() on any pool trips the
   // "submit() after shutdown()" assertion instead of silently running.
   {
-    std::lock_guard<std::mutex> Lock(M);
+    MutexLock Lock(M);
     Stopping = true;
   }
   if (!Workers.empty()) {
-    NotEmpty.notify_all();
+    NotEmpty.notifyAll();
     for (std::thread &T : Workers)
       T.join();
     Workers.clear();
@@ -132,7 +135,7 @@ void ThreadPool::shutdown() {
 }
 
 std::vector<uint64_t> ThreadPool::perWorkerTaskCounts() const {
-  std::lock_guard<std::mutex> Lock(M);
+  MutexLock Lock(M);
   std::vector<uint64_t> Counts = TaskCounts;
   if (Workers.empty())
     Counts[0] = InlineTaskCount;

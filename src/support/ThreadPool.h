@@ -36,13 +36,13 @@
 #ifndef JUMPSTART_SUPPORT_THREADPOOL_H
 #define JUMPSTART_SUPPORT_THREADPOOL_H
 
-#include <condition_variable>
+#include "support/ThreadSafety.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -67,19 +67,19 @@ public:
   /// it immediately on the calling thread.  Aborts on a pool that has
   /// been shut down (in inline mode too -- a silently swallowed task
   /// would be a far worse bug than an abort).
-  void submit(std::function<void()> Task);
+  void submit(std::function<void()> Task) JUMPSTART_EXCLUDES(M);
 
   /// Blocks until every submitted task has finished, then rethrows the
   /// first captured task exception (if any).
-  void wait();
+  void wait() JUMPSTART_EXCLUDES(M);
 
   /// Graceful shutdown: stops accepting work, drains the queue, joins.
   /// Idempotent; the destructor calls it.
-  void shutdown();
+  void shutdown() JUMPSTART_EXCLUDES(M);
 
   /// Tasks completed by each worker, indexed by worker.  Inline-mode
   /// pools report one slot (the calling thread's count).
-  std::vector<uint64_t> perWorkerTaskCounts() const;
+  std::vector<uint64_t> perWorkerTaskCounts() const JUMPSTART_EXCLUDES(M);
 
   /// Runs Body(I) for every I in [0, N), sharded into contiguous chunks
   /// across the workers (deterministic static schedule), and waits.
@@ -88,25 +88,29 @@ public:
   void parallelFor(size_t N, const std::function<void(size_t)> &Body);
 
 private:
-  void workerLoop(uint32_t Index);
-  void recordError(std::exception_ptr E);
-  void rethrowFirstError();
+  void workerLoop(uint32_t Index) JUMPSTART_EXCLUDES(M);
+  void recordError(std::exception_ptr E) JUMPSTART_EXCLUDES(M);
+  void rethrowFirstError() JUMPSTART_EXCLUDES(M);
   /// True when the calling thread is one of this pool's workers.
   bool onWorkerThread() const;
 
   const size_t QueueCapacity;
+  /// Written only by the constructor and shutdown(), both of which run
+  /// on the owning thread; workers never touch it.  Not guarded by M.
   std::vector<std::thread> Workers;
 
-  mutable std::mutex M;
-  std::condition_variable NotEmpty; ///< queue gained a task / stopping
-  std::condition_variable NotFull;  ///< queue lost a task
-  std::condition_variable AllDone;  ///< queue empty and nothing in flight
-  std::deque<std::function<void()>> Queue;
-  size_t InFlight = 0;
-  bool Stopping = false;
-  std::exception_ptr FirstError;
-  std::vector<uint64_t> TaskCounts;
-  uint64_t InlineTaskCount = 0;
+  /// Guards all cross-thread state below; the -Wthread-safety build
+  /// (JUMPSTART_SANITIZE=thread-safety) verifies the annotations.
+  mutable Mutex M;
+  CondVar NotEmpty; ///< queue gained a task / stopping
+  CondVar NotFull;  ///< queue lost a task
+  CondVar AllDone;  ///< queue empty and nothing in flight
+  std::deque<std::function<void()>> Queue JUMPSTART_GUARDED_BY(M);
+  size_t InFlight JUMPSTART_GUARDED_BY(M) = 0;
+  bool Stopping JUMPSTART_GUARDED_BY(M) = false;
+  std::exception_ptr FirstError JUMPSTART_GUARDED_BY(M);
+  std::vector<uint64_t> TaskCounts JUMPSTART_GUARDED_BY(M);
+  uint64_t InlineTaskCount JUMPSTART_GUARDED_BY(M) = 0;
 };
 
 } // namespace jumpstart::support

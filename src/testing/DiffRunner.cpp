@@ -7,6 +7,7 @@
 
 #include "testing/DiffRunner.h"
 
+#include "analysis/Linter.h"
 #include "bytecode/Verifier.h"
 #include "core/Consumer.h"
 #include "core/PackageStore.h"
@@ -71,6 +72,15 @@ std::vector<ExecConfig> jumpstart::testing::smokeMatrix() {
   JitLegacy.LegacyInterp = true;
   M.push_back(JitLegacy);
 
+  // Full JIT with whole-program proven-guard elision: placement differs
+  // (elided guards), observables must not.  Every recorded elision is
+  // re-proven via analysis::lintTranslations after the run.
+  ExecConfig JitProven = Jit;
+  JitProven.Name = "jit-proven";
+  JitProven.DigestGroup.clear();
+  JitProven.ProvenGuardElision = true;
+  M.push_back(JitProven);
+
   ExecConfig Js;
   Js.Name = "jumpstart";
   Js.JumpStart = true;
@@ -117,6 +127,22 @@ std::vector<ExecConfig> jumpstart::testing::fullMatrix() {
   JsNoExtTsp.JumpStart = true;
   JsNoExtTsp.UseExtTsp = false;
   M.push_back(JsNoExtTsp);
+
+  // Jump-Start consumer with the whole-program analysis on, once with a
+  // host compile pool: the analysis is deterministic, so the pair must
+  // produce byte-identical digests (shared group), and both must match
+  // every other cell observably.
+  ExecConfig JsProven;
+  JsProven.Name = "jumpstart-proven";
+  JsProven.JumpStart = true;
+  JsProven.ProvenGuardElision = true;
+  JsProven.DigestGroup = "jumpstart-proven";
+  M.push_back(JsProven);
+
+  ExecConfig JsProvenThreads = JsProven;
+  JsProvenThreads.Name = "jumpstart-proven-threads4";
+  JsProvenThreads.HostThreads = 4;
+  M.push_back(JsProvenThreads);
   return M;
 }
 
@@ -273,6 +299,8 @@ RunTrace DiffRunner::runConfig(const fleet::Workload &W,
   SC.Jit.SplitHotCold = C.SplitHotCold;
   SC.Jit.UseFunctionSort = C.UseFunctionSort;
   SC.ReorderProperties = C.ReorderProperties;
+  SC.Jit.ProvenGuardElision = C.ProvenGuardElision;
+  core::attachProvenFacts(SC, W.Repo);
   SC.Name = "diff";
   SC.CompilePool = Pool.get();
 
@@ -284,6 +312,18 @@ RunTrace DiffRunner::runConfig(const fleet::Workload &W,
       // Drain the JIT pipeline so tier transitions happen at the same
       // request index on every run.
       S.grantJitTime(16.0);
+    }
+    // Cross-validate every guard the lowering elided: an independent
+    // analysis run must re-prove each recorded elision.
+    if (C.ProvenGuardElision) {
+      analysis::Linter L(W.Repo,
+                         static_cast<uint32_t>(
+                             runtime::BuiltinTable::standard().size()));
+      for (const analysis::Diagnostic &D :
+           L.lintTranslations(S.theJit().transDb()))
+        if (D.Sev == analysis::Severity::Error &&
+            T.ElisionLint.empty())
+          T.ElisionLint = D.str(&W.Repo);
     }
   };
 
@@ -323,6 +363,7 @@ RunTrace DiffRunner::runConfig(const fleet::Workload &W,
   Opts.Coverage.MinTotalSamples = 1;
   Opts.Coverage.MinPackageBytes = 1;
   Opts.PropertyReordering = C.ReorderProperties;
+  Opts.ProvenGuardElision = C.ProvenGuardElision;
 
   core::ConsumerParams CP;
   CP.Seed = 13;
@@ -367,8 +408,11 @@ std::string DiffRunner::compareTraces(const RunTrace &A,
 DiffRunner::DiffRunner(DiffParams P) : Params(std::move(P)) {
   if (Params.Matrix.empty())
     Params.Matrix = smokeMatrix();
-  alwaysAssert(Params.Matrix.size() >= 2,
-               "differential testing needs at least two configurations");
+  // A single-config matrix is allowed: ablation sweeps run one arm at a
+  // time and compare the two sweeps' observables digests (ObsDigest)
+  // instead of doing pairwise in-run comparison.
+  alwaysAssert(!Params.Matrix.empty(),
+               "differential testing needs at least one configuration");
 }
 
 void DiffRunner::recordMismatch(const GenProgram &Prog,
@@ -432,7 +476,10 @@ void DiffRunner::checkProgram(const GenProgram &Prog, uint64_t ProgramSeed,
   std::string Source = Prog.render();
   if (Stats.SweepDigest == 0)
     Stats.SweepDigest = kFnvOffset;
+  if (Stats.ObsDigest == 0)
+    Stats.ObsDigest = kFnvOffset;
   fold(Stats.SweepDigest, Source);
+  fold(Stats.ObsDigest, Source);
 
   fleet::Workload W;
   Status Compiled = compileProgram(Source, W);
@@ -465,9 +512,25 @@ void DiffRunner::checkProgram(const GenProgram &Prog, uint64_t ProgramSeed,
       fold(Stats.SweepDigest, R.Output);
       foldU64(Stats.SweepDigest, R.Faults);
       foldU64(Stats.SweepDigest, R.Ok ? 1 : 0);
+      // The observables-only digest deliberately skips config names and
+      // placement/metrics digests: the elision ablation compares it
+      // across matrices whose cells differ in those.
+      fold(Stats.ObsDigest, R.Ret);
+      fold(Stats.ObsDigest, R.Output);
+      foldU64(Stats.ObsDigest, R.Faults);
+      foldU64(Stats.ObsDigest, R.Ok ? 1 : 0);
     }
     fold(Stats.SweepDigest, T.Digest);
   }
+
+  // Elision re-proof failures surface as mismatches against "analysis":
+  // the JIT elided a guard the whole-program analysis cannot defend.
+  for (size_t I = 0; I < Params.Matrix.size(); ++I)
+    if (!Traces[I].ElisionLint.empty())
+      recordMismatch(Prog, ProgramSeed, Params.Matrix[I], Params.Matrix[I],
+                     strFormat("elision re-proof failed: %s",
+                               Traces[I].ElisionLint.c_str()),
+                     /*DigestOnly=*/false, Stats);
 
   // (a) semantic equality against the reference config (matrix cell 0).
   const ExecConfig &Ref = Params.Matrix.front();

@@ -57,6 +57,15 @@ struct ExecConfig {
   bool SplitHotCold = true;
   bool UseFunctionSort = true;
   bool ReorderProperties = true;
+  /// Whole-program analysis facts drive the JIT: proven guard elision,
+  /// proven devirtualization and interpreter IC pre-seeding
+  /// (core::JumpStartOptions::ProvenGuardElision).  Legitimately changes
+  /// the placement digest (fewer guards lower to fewer bytes) but must
+  /// never change an observable; the ablation sweep asserts the
+  /// observables-only digest is identical with the flag on and off, and
+  /// every run re-proves each recorded elision through
+  /// analysis::lintTranslations.
+  bool ProvenGuardElision = false;
   /// Host compile-pool workers (the --threads axis).  Host-only: must
   /// never change an observable or an exported byte.
   uint32_t HostThreads = 1;
@@ -98,6 +107,9 @@ struct RunTrace {
   /// (empty for InterpOnly).
   std::string Digest;
   bool BootedJumpStart = false;
+  /// First elision-re-proof failure from analysis::lintTranslations
+  /// (ProvenGuardElision cells only; "" when every elision re-proved).
+  std::string ElisionLint;
 };
 
 /// One verified divergence between two configurations.
@@ -144,6 +156,12 @@ struct DiffStats {
   /// the same sweep must reproduce it bit-for-bit; ci/check.sh and the
   /// tier-2 sweep enforce that.
   uint64_t SweepDigest = 0;
+  /// FNV-1a over program sources and per-request observables only -- no
+  /// config names, no placement/metrics digests.  Two sweeps over the
+  /// same programs whose matrices differ only in host- or
+  /// placement-level axes (ProvenGuardElision on vs off) must produce
+  /// the identical ObsDigest even though their SweepDigests differ.
+  uint64_t ObsDigest = 0;
 };
 
 class DiffRunner {

@@ -179,10 +179,45 @@ void Server::attachCallbacks(interp::ExecCallbacks *CB) {
   Interp->setCallbacks(CB ? CB : Hooks.get());
 }
 
+void Server::seedInlineCaches() {
+  if (!Config.Jit.ProvenGuardElision || !Config.Jit.Facts)
+    return;
+  for (const jit::ProvenFacts::ICSeed &S : Config.Jit.Facts->ICSeeds) {
+    bc::FuncId F(S.Func);
+    if (F.raw() >= R.numFuncs() || S.Pc >= R.func(F).Code.size() ||
+        S.Cls >= R.numClasses())
+      continue;
+    const bc::Instr &In = R.func(F).Code[S.Pc];
+    const runtime::ClassLayout &L = Classes.layout(bc::ClassId(S.Cls));
+    // Seed exactly what the first successful dynamic lookup would cache;
+    // an unresolvable site (missing method/property) caches nothing
+    // dynamically, so it must stay cold here too.
+    uint64_t Payload;
+    if (S.K == jit::ProvenFacts::ICSeed::Kind::Call) {
+      bc::FuncId M = L.findMethod(In.strImm());
+      if (!M.valid())
+        continue;
+      Payload = M.raw();
+    } else {
+      int64_t Slot = L.findSlot(In.strImm());
+      if (Slot < 0)
+        continue;
+      Payload = static_cast<uint64_t>(Slot);
+    }
+    if (Interp->seedIC(F, S.Pc, &L, Payload))
+      ++ICsSeeded;
+  }
+  if (Obs && ICsSeeded)
+    Obs->Metrics
+        .counter("jumpstart.interp.ics_seeded", {{"server", Config.Name}})
+        .inc(ICsSeeded);
+}
+
 InitStats Server::startup() {
   alwaysAssert(!Started, "startup() called twice");
   Started = true;
   InitStats Stats;
+  seedInlineCaches();
 
   // The startup span covers the whole initialization; phase sub-spans
   // nest under it.  The clock ends exactly InitStats::TotalSeconds past

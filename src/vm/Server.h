@@ -180,6 +180,9 @@ public:
 
   uint64_t totalFaults() const { return Faults; }
   uint64_t requestsServed() const { return Requests; }
+  /// Interpreter inline caches pre-filled at startup from the
+  /// whole-program analysis facts (0 unless ProvenGuardElision is on).
+  uint64_t icsSeeded() const { return ICsSeeded; }
   /// Observables of the most recent request (meaningful once
   /// executeRequest() has run).
   const RequestObservables &lastRequest() const { return LastRequest; }
@@ -200,6 +203,9 @@ private:
   }
   /// Charges first-touch unit loading for everything \p F needs.
   double loadUnitsFor(bc::FuncId F);
+  /// Pre-fills interpreter inline caches from the analysis facts
+  /// (startup; no-op unless ProvenGuardElision is on and facts exist).
+  void seedInlineCaches();
 
   const bc::Repo &R;
   ServerConfig Config;
@@ -222,6 +228,7 @@ private:
   std::optional<profile::ProfilePackage> Package;
   uint64_t Faults = 0;
   uint64_t Requests = 0;
+  uint64_t ICsSeeded = 0;
   bool Started = false;
 };
 

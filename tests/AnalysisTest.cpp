@@ -15,9 +15,11 @@
 
 #include "analysis/AbstractType.h"
 #include "analysis/Linter.h"
+#include "analysis/WholeProgram.h"
 #include "bytecode/FuncBuilder.h"
 #include "core/Consumer.h"
 #include "core/Seeder.h"
+#include "jit/TransDb.h"
 #include "fleet/Traffic.h"
 #include "fleet/WorkloadGen.h"
 #include "runtime/Builtins.h"
@@ -746,4 +748,285 @@ TEST(ZeroFalsePositives, GeneratedWorkloadIsClean) {
   std::vector<Diagnostic> Diags = L.lintRepo();
   EXPECT_TRUE(Diags.empty())
       << "first diagnostic: " << Diags.front().str(&W->Repo);
+}
+
+//===----------------------------------------------------------------------===//
+// Interprocedural analysis: call graph, summaries, whole-program facts.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A seven-function repo exercising every call-graph shape: a leaf, a
+/// direct caller of it, a mutually recursive pair with a base case, a
+/// heap-writing function, and a devirtualizable virtual call on a fresh
+/// exact-class receiver.
+struct InterproceduralFixture {
+  bc::Repo R;
+  bc::ClassId K;
+  bc::StringId NameM, PropP;
+  bc::FuncId MethodM, Leaf, Caller, RecA, RecB, Writer, Virt;
+  /// Instruction index of the FCallObj inside virt().
+  uint32_t VirtCallPc = 1;
+
+  InterproceduralFixture() {
+    bc::Unit &U = R.createUnit("inter");
+    bc::Class &Cls = R.createClass(U, "K");
+    K = Cls.Id;
+    NameM = R.internString("m");
+    PropP = R.internString("p");
+    R.clsMutable(K).DeclProps.push_back(PropP);
+
+    // Create every function up front: Repo stores functions in a vector,
+    // so references from createFunction go stale as more are added.
+    MethodM = R.createFunction(U, "K::m").Id;
+    Leaf = R.createFunction(U, "leaf").Id;
+    Caller = R.createFunction(U, "caller").Id;
+    RecA = R.createFunction(U, "recA").Id;
+    RecB = R.createFunction(U, "recB").Id;
+    Writer = R.createFunction(U, "writer").Id;
+    Virt = R.createFunction(U, "virt").Id;
+
+    R.funcMutable(MethodM).Cls = K;
+    R.clsMutable(K).Methods.emplace(NameM.raw(), MethodM);
+
+    build(MethodM, 0, 0, [&](FuncBuilder &B) {
+      B.emit(Op::Int, 7);
+      B.emit(Op::RetC);
+    });
+    build(Leaf, 0, 0, [&](FuncBuilder &B) {
+      B.emit(Op::Int, 1);
+      B.emit(Op::RetC);
+    });
+    build(Caller, 0, 0, [&](FuncBuilder &B) {
+      B.emit(Op::FCall, Leaf.raw(), 0);
+      B.emit(Op::RetC);
+    });
+    auto Recur = [&](bc::FuncId Other) {
+      return [&, Other](FuncBuilder &B) {
+        auto Base = B.newLabel();
+        B.emit(Op::GetL, 0);        // 0
+        B.emitJump(Op::JmpZ, Base); // 1
+        B.emit(Op::GetL, 0);        // 2
+        B.emit(Op::FCall, Other.raw(), 1); // 3
+        B.emit(Op::RetC);           // 4
+        B.bind(Base);
+        B.emit(Op::Int, 0);         // 5
+        B.emit(Op::RetC);           // 6
+      };
+    };
+    build(RecA, 1, 1, Recur(RecB));
+    build(RecB, 1, 1, Recur(RecA));
+    build(Writer, 0, 0, [&](FuncBuilder &B) {
+      B.emit(Op::NewObj, K.raw()); // 0
+      B.emit(Op::Int, 1);          // 1
+      B.emit(Op::SetProp, PropP.raw()); // 2
+      B.emit(Op::Null);            // 3
+      B.emit(Op::RetC);            // 4
+    });
+    build(Virt, 0, 0, [&](FuncBuilder &B) {
+      B.emit(Op::NewObj, K.raw());          // 0
+      B.emit(Op::FCallObj, NameM.raw(), 0); // 1
+      B.emit(Op::RetC);                     // 2
+    });
+  }
+
+  template <typename Fn>
+  void build(bc::FuncId F, uint32_t NumParams, uint32_t NumLocals, Fn Body) {
+    bc::Function &Func = R.funcMutable(F);
+    Func.NumParams = NumParams;
+    Func.NumLocals = NumLocals;
+    FuncBuilder B(Func);
+    Body(B);
+    B.finish();
+  }
+
+  /// Index of the component containing \p F in bottom-up order.
+  static size_t componentIndex(const CallGraph &CG, bc::FuncId F) {
+    const auto &Comps = CG.components();
+    for (size_t I = 0; I < Comps.size(); ++I)
+      for (bc::FuncId G : Comps[I])
+        if (G == F)
+          return I;
+    ADD_FAILURE() << "function " << F.raw() << " is in no component";
+    return 0;
+  }
+};
+
+} // namespace
+
+TEST(CallGraphTest, DirectAndChaEdges) {
+  InterproceduralFixture Fx;
+  CallGraph CG(Fx.R);
+
+  EXPECT_TRUE(CG.hasEdge(Fx.Caller, Fx.Leaf));
+  EXPECT_FALSE(CG.hasEdge(Fx.Leaf, Fx.Caller));
+  EXPECT_TRUE(CG.hasEdge(Fx.Virt, Fx.MethodM))
+      << "virtual sites contribute class-hierarchy edges";
+  // caller->leaf, recA->recB, recB->recA, virt->K::m.
+  EXPECT_EQ(CG.numEdges(), 4u);
+
+  ASSERT_EQ(CG.sites(Fx.Virt).size(), 1u);
+  const CallSite &S = CG.sites(Fx.Virt).front();
+  EXPECT_TRUE(S.Virtual);
+  EXPECT_EQ(S.Pc, Fx.VirtCallPc);
+  ASSERT_EQ(S.Targets.size(), 1u);
+  EXPECT_EQ(S.Targets.front(), Fx.MethodM);
+
+  EXPECT_EQ(CG.uniqueResolution(Fx.NameM), Fx.MethodM);
+  EXPECT_TRUE(CG.allClassesResolve(Fx.NameM));
+  ASSERT_EQ(CG.resolutions(Fx.NameM).size(), 1u);
+}
+
+TEST(CallGraphTest, SccCondensationIsBottomUp) {
+  InterproceduralFixture Fx;
+  CallGraph CG(Fx.R);
+
+  EXPECT_EQ(CG.sccOf(Fx.RecA), CG.sccOf(Fx.RecB))
+      << "mutual recursion collapses into one component";
+  EXPECT_NE(CG.sccOf(Fx.Leaf), CG.sccOf(Fx.Caller));
+  EXPECT_TRUE(CG.recursive(Fx.RecA));
+  EXPECT_TRUE(CG.recursive(Fx.RecB));
+  EXPECT_FALSE(CG.recursive(Fx.Caller));
+  EXPECT_FALSE(CG.recursive(Fx.Leaf));
+
+  // 7 functions, RecA+RecB merged: 6 components, callees first.
+  EXPECT_EQ(CG.components().size(), 6u);
+  EXPECT_LT(InterproceduralFixture::componentIndex(CG, Fx.Leaf),
+            InterproceduralFixture::componentIndex(CG, Fx.Caller));
+  EXPECT_LT(InterproceduralFixture::componentIndex(CG, Fx.MethodM),
+            InterproceduralFixture::componentIndex(CG, Fx.Virt));
+}
+
+TEST(SummariesTest, ReturnLatticePurityAndRecursiveFixpoint) {
+  InterproceduralFixture Fx;
+  WholeProgram WP(Fx.R);
+
+  EXPECT_TRUE(WP.summary(Fx.Leaf).Ret.definitely(Type::Int));
+  EXPECT_TRUE(WP.summary(Fx.Caller).Ret.definitely(Type::Int))
+      << "the callee's return summary must flow into the caller's";
+  EXPECT_TRUE(WP.summary(Fx.RecA).Ret.definitely(Type::Int))
+      << "the recursive component must converge to int, not widen to top";
+  EXPECT_TRUE(WP.summary(Fx.RecB).Ret.definitely(Type::Int));
+  EXPECT_GE(WP.summaries().maxRounds(), 2u)
+      << "a recursive component cannot stabilize in a single round";
+
+  EXPECT_TRUE(WP.summary(Fx.Leaf).pure());
+  EXPECT_TRUE(WP.summary(Fx.Caller).pure())
+      << "purity is transitive through pure callees";
+  EXPECT_TRUE(WP.summary(Fx.Writer).WritesHeap);
+  EXPECT_FALSE(WP.summary(Fx.Writer).pure());
+}
+
+TEST(WholeProgramTest, ProvenDevirtAndStats) {
+  InterproceduralFixture Fx;
+  WholeProgram WP(Fx.R);
+  std::shared_ptr<const jit::ProvenFacts> Facts = WP.jitFacts();
+  ASSERT_NE(Facts, nullptr);
+
+  auto It = Facts->ProvenCalls.find(
+      jit::ProvenFacts::siteKey(Fx.Virt.raw(), Fx.VirtCallPc));
+  ASSERT_NE(It, Facts->ProvenCalls.end())
+      << "a virtual call on a freshly allocated receiver must be proven";
+  EXPECT_EQ(It->second.Target, Fx.MethodM.raw());
+  EXPECT_EQ(It->second.Proof, jit::GuardProof::ExactRecv);
+  EXPECT_EQ(It->second.RecvCls, Fx.K.raw());
+
+  bool SawCallSeed = false;
+  for (const jit::ProvenFacts::ICSeed &S : Facts->ICSeeds)
+    SawCallSeed |= S.Func == Fx.Virt.raw() && S.Pc == Fx.VirtCallPc &&
+                   S.Cls == Fx.K.raw() &&
+                   S.K == jit::ProvenFacts::ICSeed::Kind::Call;
+  EXPECT_TRUE(SawCallSeed) << "the proven monomorphic site must seed its IC";
+
+  WholeProgram::Stats S = WP.stats();
+  EXPECT_EQ(S.Functions, Fx.R.numFuncs());
+  EXPECT_EQ(S.Edges, 4u);
+  EXPECT_EQ(S.Components, 6u);
+  EXPECT_EQ(S.RecursiveComponents, 1u);
+  EXPECT_GE(S.MaxRounds, 2u);
+  EXPECT_GE(S.ProvenCalls, 1u);
+  EXPECT_GE(S.ICSeeds, 1u);
+}
+
+TEST(RegionCheck, ElisionReproofCatchesBogusClaims) {
+  InterproceduralFixture Fx;
+  jit::TransDb Db;
+  auto MakeUnit = [&](uint8_t Proof, uint32_t Target, uint32_t Cls) {
+    auto U = std::make_unique<jit::VasmUnit>();
+    U->Func = Fx.Virt;
+    jit::VasmUnit::ElidedGuard EG;
+    EG.SiteKey = jit::ProvenFacts::siteKey(Fx.Virt.raw(), Fx.VirtCallPc);
+    EG.ProofKind = Proof;
+    EG.ClsOrMask = Cls;
+    EG.Target = Target;
+    U->ElidedGuards.push_back(EG);
+    return U;
+  };
+  uint8_t Exact = static_cast<uint8_t>(jit::GuardProof::ExactRecv);
+  // Sound claim: the analysis proves exactly this elision.
+  Db.create(jit::TransKind::Optimized,
+            MakeUnit(Exact, Fx.MethodM.raw(), Fx.K.raw()));
+  // Wrong target: claims the site dispatches somewhere it cannot.
+  Db.create(jit::TransKind::Optimized,
+            MakeUnit(Exact, Fx.Leaf.raw(), Fx.K.raw()));
+  // Wrong receiver class for an otherwise-correct target.
+  Db.create(jit::TransKind::Optimized,
+            MakeUnit(Exact, Fx.MethodM.raw(), Fx.K.raw() + 17));
+  EXPECT_EQ(Db.guardsElided(), 3u);
+
+  Linter L(Fx.R, numBuiltins());
+  std::vector<Diagnostic> Diags = L.lintTranslations(Db);
+  EXPECT_EQ(countKind(Diags, DiagKind::ElisionUnproven), 2u)
+      << "exactly the two bogus claims must fail re-proof";
+  for (const Diagnostic &D : Diags)
+    if (D.Kind == DiagKind::ElisionUnproven)
+      EXPECT_EQ(D.Sev, Severity::Error);
+}
+
+TEST(PackageLint, CallGraphContradictions) {
+  InterproceduralFixture Fx;
+  Linter L(Fx.R, numBuiltins());
+
+  // A profiled dynamic target that is not a CHA resolution of the site's
+  // method name contradicts the static over-approximation.
+  profile::ProfilePackage Bad;
+  profile::FuncProfile FP;
+  FP.Func = Fx.Virt.raw();
+  FP.CallTargets[Fx.VirtCallPc][Fx.Leaf.raw()] = 10;
+  Bad.Funcs.push_back(FP);
+  EXPECT_TRUE(hasKind(L.lintPackage(Bad, /*CrossCheckCallGraph=*/true),
+                      DiagKind::SummaryContradiction));
+  EXPECT_FALSE(hasKind(L.lintPackage(Bad, /*CrossCheckCallGraph=*/false),
+                       DiagKind::SummaryContradiction))
+      << "the cross-check is opt-in";
+
+  // The genuine resolution is consistent.
+  profile::ProfilePackage Good;
+  profile::FuncProfile GP;
+  GP.Func = Fx.Virt.raw();
+  GP.CallTargets[Fx.VirtCallPc][Fx.MethodM.raw()] = 10;
+  Good.Funcs.push_back(GP);
+  EXPECT_FALSE(hasKind(L.lintPackage(Good, /*CrossCheckCallGraph=*/true),
+                       DiagKind::SummaryContradiction));
+
+  // A profiled call arc with no static call path is impossible (leaf
+  // calls nothing, so leaf -> caller cannot be explained by inlining).
+  profile::ProfilePackage BadArc;
+  BadArc.Opt.CallArcs[{Fx.Leaf.raw(), Fx.Caller.raw()}] = 3;
+  EXPECT_TRUE(hasKind(L.lintPackage(BadArc, /*CrossCheckCallGraph=*/true),
+                      DiagKind::SummaryContradiction));
+
+  profile::ProfilePackage GoodArc;
+  GoodArc.Opt.CallArcs[{Fx.Caller.raw(), Fx.Leaf.raw()}] = 3;
+  EXPECT_FALSE(hasKind(L.lintPackage(GoodArc, /*CrossCheckCallGraph=*/true),
+                       DiagKind::SummaryContradiction));
+
+  // Arcs record *physical* callers, so inlining collapses semantic
+  // frames: a recA -> recA self-arc (recB inlined away) is a path, not
+  // an edge, and must be accepted.
+  profile::ProfilePackage InlinedArc;
+  InlinedArc.Opt.CallArcs[{Fx.RecA.raw(), Fx.RecA.raw()}] = 3;
+  EXPECT_FALSE(hasKind(L.lintPackage(InlinedArc, /*CrossCheckCallGraph=*/true),
+                       DiagKind::SummaryContradiction))
+      << "a transitive (inlined) arc is not a contradiction";
 }

@@ -37,13 +37,41 @@ TEST(ConformanceSweep, TwoHundredProgramsFullMatrixTwice) {
                   << M.Shrunk;
   EXPECT_EQ(First.Programs, 200u);
   EXPECT_EQ(First.Runs, 200u * jstest::fullMatrix().size());
-  // Every jumpstart cell must genuinely boot from the package: 4 such
-  // cells in the full matrix.
-  EXPECT_EQ(First.JumpStartBoots, 200u * 4);
+  // Every jumpstart cell must genuinely boot from the package: 6 such
+  // cells in the full matrix (incl. the proven-guard-elision pair).
+  EXPECT_EQ(First.JumpStartBoots, 200u * 6);
   EXPECT_GT(First.DigestComparisons, 0u);
 
   jstest::DiffStats Second = jstest::DiffRunner(P).run();
   EXPECT_EQ(Second.Mismatches.size(), 0u);
   EXPECT_EQ(First.SweepDigest, Second.SweepDigest)
       << "the sweep is not deterministic across re-runs";
+}
+
+TEST(ConformanceSweep, TwoHundredProgramElisionAblation) {
+  // Acceptance bar for the whole-program analysis: across 200 generated
+  // programs, enabling proven-guard elision must not change a single
+  // observable (the ObsDigest folds sources, return values, outputs and
+  // fault counts only -- no placement-level data), while the analysis
+  // must measurably fire somewhere in the corpus.
+  jstest::ExecConfig Off;
+  Off.Name = "jit";
+  jstest::ExecConfig On = Off;
+  On.ProvenGuardElision = true;
+
+  jstest::DiffParams P;
+  P.Seed = 4099;
+  P.NumPrograms = 200;
+  P.Matrix = {Off};
+  jstest::DiffStats A = jstest::DiffRunner(P).run();
+  P.Matrix = {On};
+  jstest::DiffStats B = jstest::DiffRunner(P).run();
+
+  ASSERT_EQ(A.Mismatches.size(), 0u);
+  ASSERT_EQ(B.Mismatches.size(), 0u)
+      << "elision run hit a mismatch (incl. elision re-proof failures)";
+  EXPECT_NE(A.ObsDigest, 0u);
+  EXPECT_EQ(A.ObsDigest, B.ObsDigest)
+      << "proven-guard elision changed an observable somewhere in the "
+         "200-program corpus";
 }

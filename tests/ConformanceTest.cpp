@@ -136,9 +136,9 @@ TEST(DiffRunnerTest, SmokeSweepFindsNoMismatches) {
                   << " vs " << M.ConfigB << ": " << M.What << "\n"
                   << M.Shrunk;
   EXPECT_EQ(Stats.Programs, 30u);
-  // 7 matrix cells: interp, interp-legacy, profile, jit, jit-legacy,
-  // jumpstart, jumpstart-threads4.
-  EXPECT_EQ(Stats.Runs, 30u * 7);
+  // 8 matrix cells: interp, interp-legacy, profile, jit, jit-legacy,
+  // jit-proven, jumpstart, jumpstart-threads4.
+  EXPECT_EQ(Stats.Runs, 30u * 8);
   EXPECT_GT(Stats.JumpStartBoots, 0u)
       << "the jumpstart matrix cells never actually booted from a "
          "package -- the sweep silently lost its main coverage";
@@ -221,4 +221,32 @@ TEST(DiffRunnerTest, FullMatrixCoversEveryAxis) {
   EXPECT_TRUE(SawThreads);
   EXPECT_TRUE(SawLayoutOff);
   EXPECT_TRUE(SawLegacyEngine);
+}
+
+TEST(DiffRunnerTest, ElisionAblationPreservesObservables) {
+  // The proven-guard-elision ablation: run the same programs through the
+  // full-JIT cell with elision off and again with it on.  The
+  // observables digest folds sources, return values, outputs and fault
+  // counts -- and nothing placement-level -- so equality says elision
+  // never changed a single observable, while the guard counter says the
+  // analysis actually did something.
+  jstest::ExecConfig Off;
+  Off.Name = "jit";
+  jstest::ExecConfig On = Off;
+  On.Name = "jit";
+  On.ProvenGuardElision = true;
+
+  jstest::DiffParams P;
+  P.Seed = 29;
+  P.NumPrograms = 30;
+  P.Matrix = {Off};
+  jstest::DiffStats A = jstest::DiffRunner(P).run();
+  P.Matrix = {On};
+  jstest::DiffStats B = jstest::DiffRunner(P).run();
+
+  ASSERT_EQ(A.Mismatches.size(), 0u);
+  ASSERT_EQ(B.Mismatches.size(), 0u);
+  EXPECT_NE(A.ObsDigest, 0u);
+  EXPECT_EQ(A.ObsDigest, B.ObsDigest)
+      << "guard elision changed an observable";
 }

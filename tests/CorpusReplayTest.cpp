@@ -14,6 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "analysis/WholeProgram.h"
 #include "testing/Corpus.h"
 #include "testing/DiffRunner.h"
 #include "testing/PackageMutator.h"
@@ -98,4 +99,52 @@ TEST(CorpusFormat, RoundTripsAndRejectsGarbage) {
   EXPECT_TRUE(jstest::parseCorpusEntry(
                   "kind=pkg_struct\nseed=1\nfuture_key=whatever\n", Bad)
                   .ok());
+}
+
+TEST(CorpusReplay, RecursiveProgramSurvivesElision) {
+  // A hand-kept reproducer class of its own: recursive programs are the
+  // summary fixpoint's hard case (optimistic rounds, widening fallback),
+  // and a generated corpus does not reliably produce them.  The source
+  // mirrors examples/hack/recursion.hack.
+  static const char *Source = R"(
+function fact($n) {
+  if ($n < 2) { return 1; }
+  return $n * fact($n - 1);
+}
+function isEven($n) {
+  if ($n == 0) { return 1; }
+  return isOdd($n - 1);
+}
+function isOdd($n) {
+  if ($n == 0) { return 0; }
+  return isEven($n - 1);
+}
+function endpoint0($n) {
+  $bounded = $n - ($n / 9) * 9;
+  return fact($bounded) + isEven($bounded);
+}
+)";
+  fleet::Workload W;
+  ASSERT_TRUE(jstest::DiffRunner::compileProgram(Source, W).ok());
+
+  // The analysis must see the recursion and still converge.
+  analysis::WholeProgram WP(W.Repo);
+  analysis::WholeProgram::Stats S = WP.stats();
+  EXPECT_EQ(S.RecursiveComponents, 2u)
+      << "fact's self-loop and the isEven/isOdd pair";
+  EXPECT_GE(S.MaxRounds, 2u);
+
+  // Elision on vs off must agree on every observable.
+  jstest::DiffParams P;
+  P.Shrink = false;
+  jstest::DiffRunner Runner(P);
+  jstest::ExecConfig Off;
+  Off.Name = "jit";
+  jstest::ExecConfig On = Off;
+  On.ProvenGuardElision = true;
+  jstest::RunTrace A = Runner.runConfig(W, Off);
+  jstest::RunTrace B = Runner.runConfig(W, On);
+  EXPECT_EQ(jstest::DiffRunner::compareTraces(A, B), "");
+  EXPECT_EQ(B.ElisionLint, "")
+      << "a guard elided in the recursive program failed re-proof";
 }
