@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
-# Runs the interpreter engine benchmark (bench/micro_interp) and writes
-# the perf-trajectory snapshot.
+# Runs a perf harness and writes its snapshot: by default the
+# interpreter engine benchmark (bench/micro_interp); with --server the
+# concurrent-serving load harness (bench/server_load).
 #
-# Usage: bench/run_bench.sh [--quick] [--json PATH] [--counters PATH]
+# Usage: bench/run_bench.sh [--server] [--quick] [--json PATH]
+#                           [--counters PATH] [--threads N]
 #                           [--build-dir DIR]
 #
 #   bench/run_bench.sh                  # full run, rewrites ./BENCH_interp.json
 #   bench/run_bench.sh --quick          # 10x fewer requests; writes nothing
 #                                       # unless --json/--counters are given
+#   bench/run_bench.sh --server         # rewrites ./BENCH_server.json (always
+#                                       # the --quick workload: its
+#                                       # deterministic fields are what
+#                                       # CHECK_SERVER re-checks, and they
+#                                       # depend on the request count)
 #
 # The committed BENCH_interp.json at the repo root is this script's full
 # output on some host: wall-clock fields are host-dependent, but the
@@ -24,31 +31,47 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 QUICK=""
 JSON_PATH=""
 COUNTERS_PATH=""
+SERVER=""
+THREADS=""
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) QUICK="--quick"; shift ;;
+    --server) SERVER=1; shift ;;
+    --threads) THREADS="$2"; shift 2 ;;
     --json) JSON_PATH="$2"; shift 2 ;;
     --counters) COUNTERS_PATH="$2"; shift 2 ;;
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
-    *) echo "usage: $0 [--quick] [--json PATH] [--counters PATH] [--build-dir DIR]" >&2
+    *) echo "usage: $0 [--server] [--quick] [--json PATH] [--counters PATH]" \
+            "[--threads N] [--build-dir DIR]" >&2
        exit 2 ;;
   esac
 done
 
-# Full runs default to rewriting the committed snapshot.
-if [[ -z "${QUICK}" && -z "${JSON_PATH}" ]]; then
-  JSON_PATH="${REPO_DIR}/BENCH_interp.json"
+if [[ -n "${SERVER}" ]]; then
+  # The committed server snapshot is always the --quick workload (see
+  # usage above); a bare --server run rewrites it.
+  TARGET=server_load
+  QUICK="--quick"
+  [[ -z "${JSON_PATH}" ]] && JSON_PATH="${REPO_DIR}/BENCH_server.json"
+  [[ -z "${THREADS}" ]] && THREADS=4
+else
+  TARGET=micro_interp
+  # Full runs default to rewriting the committed snapshot.
+  if [[ -z "${QUICK}" && -z "${JSON_PATH}" ]]; then
+    JSON_PATH="${REPO_DIR}/BENCH_interp.json"
+  fi
 fi
 
 cmake -S "${REPO_DIR}" -B "${BUILD_DIR}" >/dev/null
-cmake --build "${BUILD_DIR}" --target micro_interp -j "${JOBS}" >/dev/null
+cmake --build "${BUILD_DIR}" --target "${TARGET}" -j "${JOBS}" >/dev/null
 
 ARGS=(${QUICK})
 [[ -n "${JSON_PATH}" ]] && ARGS+=(--json "${JSON_PATH}")
 [[ -n "${COUNTERS_PATH}" ]] && ARGS+=(--counters "${COUNTERS_PATH}")
+[[ -n "${SERVER}" && -n "${THREADS}" ]] && ARGS+=(--threads "${THREADS}")
 
-"${BUILD_DIR}/bench/micro_interp" "${ARGS[@]}"
+"${BUILD_DIR}/bench/${TARGET}" "${ARGS[@]}"
 if [[ -n "${JSON_PATH}" ]]; then
   echo "run_bench.sh: wrote ${JSON_PATH}"
 fi

@@ -21,6 +21,12 @@
 #                                 # quick micro_interp runs byte-compared,
 #                                 # plus an allocs/request regression gate
 #                                 # against the committed BENCH_interp.json)
+#   CHECK_SERVER=0 ci/check.sh    # skip the concurrent-serving smoke (the
+#                                 # server_load harness at --threads 1 and
+#                                 # 4 byte-compared -- the thread-count
+#                                 # invariance contract -- plus the
+#                                 # deterministic fields of the committed
+#                                 # BENCH_server.json)
 #
 # This is what "the tests pass" means for this repository; ci/sanitize.sh
 # is the deeper (slower) sanitizer sweep.
@@ -147,6 +153,41 @@ if [[ "${CHECK_PERF:-1}" == "1" ]]; then
     echo "check.sh: micro_interp counters deterministic; allocs/request ${CURRENT} (committed ${COMMITTED})"
   else
     echo "check.sh: micro_interp counters deterministic (no BENCH_interp.json snapshot)"
+  fi
+fi
+
+# Concurrent-serving smoke: the load harness's deterministic counters
+# (served/shed, per-index observables digest, placement digest, snapshot
+# count) must be byte-identical across client thread counts -- host
+# threads move wall-clock time, never an observable -- and must match
+# the committed BENCH_server.json snapshot (which is the --quick
+# workload; host-time percentiles in it are reported, never gated).
+if [[ "${CHECK_SERVER:-1}" == "1" ]]; then
+  "${BUILD_DIR}/bench/server_load" --quick --threads 1 \
+    --counters "${TMP_DIR}/serve-t1.counters" >/dev/null
+  "${BUILD_DIR}/bench/server_load" --quick --threads 4 \
+    --counters "${TMP_DIR}/serve-t4.counters" >/dev/null
+  if ! cmp -s "${TMP_DIR}/serve-t1.counters" "${TMP_DIR}/serve-t4.counters"; then
+    echo "check.sh: FAIL: server_load deterministic counters differ across --threads 1/4" >&2
+    diff "${TMP_DIR}/serve-t1.counters" "${TMP_DIR}/serve-t4.counters" >&2 || true
+    exit 1
+  fi
+  SERVER_SNAPSHOT="${REPO_DIR}/BENCH_server.json"
+  if [[ -f "${SERVER_SNAPSHOT}" ]]; then
+    field_of() { sed -n 's/.*"'"$2"'": "\{0,1\}\([0-9a-fx]*\)"\{0,1\}[,}].*/\1/p' "$1"; }
+    for FIELD in served shed obs_digest placement_digest snapshots_published; do
+      WANT="$(field_of "${SERVER_SNAPSHOT}" "${FIELD}")"
+      GOT="$(sed -n 's/.*\b'"${FIELD/snapshots_published/snapshots}"'=\([0-9a-f]*\).*/\1/p' \
+             "${TMP_DIR}/serve-t4.counters")"
+      if [[ -z "${WANT}" || -z "${GOT}" || "${WANT}" != "${GOT}" ]]; then
+        echo "check.sh: FAIL: server_load ${FIELD} = '${GOT}' differs from" \
+             "committed BENCH_server.json ('${WANT}')" >&2
+        exit 1
+      fi
+    done
+    echo "check.sh: server_load counters deterministic across threads and match BENCH_server.json"
+  else
+    echo "check.sh: server_load counters deterministic across threads (no BENCH_server.json snapshot)"
   fi
 fi
 

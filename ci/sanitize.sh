@@ -76,6 +76,12 @@ ctest --test-dir "${BUILD_DIR}" -LE tier2 --output-on-failure -j "${JOBS}"
 "${BUILD_DIR}/bench/micro_interp" --quick >/dev/null
 echo "sanitize.sh: micro_interp --quick clean"
 
+# The concurrent-serving load harness is the densest epoch/snapshot
+# churn in the tree: N client threads pinning read epochs while the
+# background compiler publishes and reclaims translation snapshots.
+"${BUILD_DIR}/bench/server_load" --quick --threads 4 >/dev/null
+echo "sanitize.sh: server_load --quick clean"
+
 if [[ "${SANITIZERS}" == "thread" ]]; then
   TMP_DIR="$(mktemp -d)"
   trap 'rm -rf "${TMP_DIR}"' EXIT
@@ -92,4 +98,17 @@ if [[ "${SANITIZERS}" == "thread" ]]; then
     done
   done
   echo "sanitize.sh: fig4_warmup exports byte-identical under TSan for --threads 1/2/8"
+
+  # Concurrent serving: the deterministic counters must survive client
+  # thread count even with TSan's scheduling distortion.
+  for THREADS in 1 4; do
+    "${BUILD_DIR}/bench/server_load" --quick --threads "${THREADS}" \
+      --counters "${TMP_DIR}/serve-t${THREADS}.counters" >/dev/null
+  done
+  if ! cmp -s "${TMP_DIR}/serve-t1.counters" "${TMP_DIR}/serve-t4.counters"; then
+    echo "sanitize.sh: FAIL: server_load counters differ across --threads 1/4 under TSan" >&2
+    diff "${TMP_DIR}/serve-t1.counters" "${TMP_DIR}/serve-t4.counters" >&2 || true
+    exit 1
+  fi
+  echo "sanitize.sh: server_load counters byte-identical under TSan for --threads 1/4"
 fi

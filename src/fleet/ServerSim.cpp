@@ -91,7 +91,8 @@ WarmupResult jumpstart::fleet::runWarmup(const Workload &W,
     for (uint32_t S = 0; S < Samples; ++S) {
       uint32_t E = Traffic.sampleEndpoint(P.Region, P.Bucket, R);
       SampleCost += Server->executeRequest(W.Endpoints[E],
-                                           TrafficModel::makeArgs(R));
+                                           TrafficModel::makeArgs(R))
+                        .Seconds;
     }
     double ServiceSec = SampleCost / Samples;
 

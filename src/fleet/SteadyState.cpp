@@ -18,20 +18,20 @@ SteadyStateResult jumpstart::fleet::measureSteadyState(
   Rng R(P.Seed);
   sim::MachineSim Machine(P.Machine);
   jit::VasmTracer Tracer(Server.theJit(), Machine);
-  Server.attachCallbacks(&Tracer);
 
-  auto RunOne = [&] {
-    uint32_t E = Traffic.sampleEndpoint(P.Region, P.Bucket, R);
-    Server.executeRequest(W.Endpoints[E], TrafficModel::makeArgs(R));
-  };
+  {
+    vm::CallbackScope Scope(Server, &Tracer);
+    auto RunOne = [&] {
+      uint32_t E = Traffic.sampleEndpoint(P.Region, P.Bucket, R);
+      Server.executeRequest(W.Endpoints[E], TrafficModel::makeArgs(R));
+    };
 
-  for (uint32_t I = 0; I < P.WarmupRequests; ++I)
-    RunOne();
-  Machine.reset();
-  for (uint32_t I = 0; I < P.Requests; ++I)
-    RunOne();
-
-  Server.attachCallbacks(nullptr);
+    for (uint32_t I = 0; I < P.WarmupRequests; ++I)
+      RunOne();
+    Machine.reset();
+    for (uint32_t I = 0; I < P.Requests; ++I)
+      RunOne();
+  }
 
   SteadyStateResult Result;
   Result.Counters = Machine.counters();

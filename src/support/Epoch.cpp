@@ -1,0 +1,126 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Epoch.h"
+
+#include <algorithm>
+
+namespace jumpstart::support {
+
+EpochDomain::~EpochDomain() {
+  MutexLock Lock(M);
+  assert(SlotsInUse == 0 && "destroying EpochDomain with live readers");
+  // Nothing can be pinned with no slot in use, so everything retired is
+  // reclaimable.
+  for (Retired &R : RetiredList) {
+    R.Deleter();
+    ++TotalFreed;
+  }
+  RetiredList.clear();
+}
+
+EpochDomain::Slot *EpochDomain::acquireSlot() {
+  MutexLock Lock(M);
+  ++SlotsInUse;
+  if (!FreeSlots.empty()) {
+    Slot *S = FreeSlots.back();
+    FreeSlots.pop_back();
+    return S;
+  }
+  Slots.emplace_back();
+  return &Slots.back();
+}
+
+void EpochDomain::releaseSlot(Slot *S) {
+  MutexLock Lock(M);
+  assert(S && "releasing null slot");
+  assert(S->Pinned.load(std::memory_order_relaxed) == kQuiescent &&
+         "releasing a pinned slot");
+  assert(SlotsInUse > 0 && "releaseSlot without acquireSlot");
+  --SlotsInUse;
+  FreeSlots.push_back(S);
+}
+
+void EpochDomain::retire(std::function<void()> Deleter) {
+  uint64_t Tag = Global.load(std::memory_order_seq_cst);
+  MutexLock Lock(M);
+  RetiredList.push_back(Retired{Tag, std::move(Deleter)});
+  ++TotalRetired;
+}
+
+uint64_t EpochDomain::minPinnedEpoch() {
+  uint64_t Min = kQuiescent;
+  for (Slot &S : Slots)
+    Min = std::min(Min, S.Pinned.load(std::memory_order_seq_cst));
+  return Min;
+}
+
+size_t EpochDomain::freeBefore(uint64_t Bound) {
+  size_t Freed = 0;
+  auto Keep = RetiredList.begin();
+  for (auto It = RetiredList.begin(); It != RetiredList.end(); ++It) {
+    if (It->Tag < Bound) {
+      It->Deleter();
+      ++Freed;
+    } else {
+      if (Keep != It)
+        *Keep = std::move(*It);
+      ++Keep;
+    }
+  }
+  RetiredList.erase(Keep, RetiredList.end());
+  TotalFreed += Freed;
+  return Freed;
+}
+
+size_t EpochDomain::tryReclaim() {
+  // Advance first so readers pinning from here on announce an epoch
+  // strictly greater than any already-retired tag.
+  Global.fetch_add(1, std::memory_order_seq_cst);
+  MutexLock Lock(M);
+  // With no reader pinned, minPinnedEpoch() is kQuiescent and every tag
+  // is below it, so the whole list drains.
+  return freeBefore(minPinnedEpoch());
+}
+
+size_t EpochDomain::reclaimAll() {
+  MutexLock Lock(M);
+  assert(minPinnedEpoch() == kQuiescent &&
+         "reclaimAll() with a reader still pinned");
+  size_t Freed = RetiredList.size();
+  for (Retired &R : RetiredList)
+    R.Deleter();
+  RetiredList.clear();
+  TotalFreed += Freed;
+  return Freed;
+}
+
+size_t EpochDomain::pinnedReaders() {
+  MutexLock Lock(M);
+  size_t N = 0;
+  for (Slot &S : Slots)
+    if (S.Pinned.load(std::memory_order_seq_cst) != kQuiescent)
+      ++N;
+  return N;
+}
+
+uint64_t EpochDomain::retiredCount() {
+  MutexLock Lock(M);
+  return TotalRetired;
+}
+
+uint64_t EpochDomain::freedCount() {
+  MutexLock Lock(M);
+  return TotalFreed;
+}
+
+uint64_t EpochDomain::pendingCount() {
+  MutexLock Lock(M);
+  return TotalRetired - TotalFreed;
+}
+
+} // namespace jumpstart::support

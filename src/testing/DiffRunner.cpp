@@ -26,9 +26,11 @@
 #include "vm/Server.h"
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <thread>
 
 using namespace jumpstart;
 using namespace jumpstart::testing;
@@ -143,6 +145,30 @@ std::vector<ExecConfig> jumpstart::testing::fullMatrix() {
   JsProvenThreads.Name = "jumpstart-proven-threads4";
   JsProvenThreads.HostThreads = 4;
   M.push_back(JsProvenThreads);
+  return M;
+}
+
+std::vector<ExecConfig> jumpstart::testing::serveMatrix(uint32_t Threads) {
+  std::vector<ExecConfig> M;
+  ExecConfig Interp;
+  Interp.Name = "interp";
+  Interp.Mode = ExecConfig::Tier::InterpOnly;
+  M.push_back(Interp);
+
+  // Jump-Start-booted (mature before the window opens, like a production
+  // consumer), served through the concurrent engine.  One client thread
+  // vs N must agree on every observable AND on the determinism digest.
+  ExecConfig Serve1;
+  Serve1.Name = "jumpstart-serve1";
+  Serve1.JumpStart = true;
+  Serve1.ServeThreads = 1;
+  Serve1.DigestGroup = "serve";
+  M.push_back(Serve1);
+
+  ExecConfig ServeN = Serve1;
+  ServeN.Name = strFormat("jumpstart-serve%u", Threads);
+  ServeN.ServeThreads = Threads;
+  M.push_back(ServeN);
   return M;
 }
 
@@ -303,12 +329,49 @@ RunTrace DiffRunner::runConfig(const fleet::Workload &W,
   core::attachProvenFacts(SC, W.Repo);
   SC.Name = "diff";
   SC.CompilePool = Pool.get();
+  if (C.ServeThreads > 0)
+    SC.ServeWorkers = C.ServeThreads;
+
+  // Concurrent-serving cells: open a window, let ServeThreads closed-loop
+  // clients pull a shared ticket and serve, close the window.  Request Rq
+  // lands at Results[Rq], so the recorded order is schedule order no
+  // matter which thread ran it.
+  auto ServeConcurrent = [&](vm::Server &S) {
+    S.beginConcurrentServing();
+    std::vector<RequestObs> Results(NumRequests);
+    std::atomic<uint32_t> Next{0};
+    auto Client = [&] {
+      for (;;) {
+        uint32_t Rq = Next.fetch_add(1, std::memory_order_relaxed);
+        if (Rq >= NumRequests)
+          break;
+        vm::RequestResult Res =
+            S.serve(W.Endpoints[Rq % NumEndpoints], argsFor(Rq), Rq);
+        Results[Rq] = {Res.Obs.Ret, Res.Obs.Output, Res.Obs.Faults,
+                       Res.Obs.Ok};
+      }
+    };
+    std::vector<std::thread> Clients;
+    for (uint32_t I = 1; I < C.ServeThreads; ++I)
+      Clients.emplace_back(Client);
+    Client();
+    for (std::thread &Th : Clients)
+      Th.join();
+    S.endConcurrentServing();
+    for (RequestObs &R : Results)
+      T.Requests.push_back(std::move(R));
+  };
 
   auto Serve = [&](vm::Server &S) {
+    if (C.ServeThreads > 0) {
+      ServeConcurrent(S);
+      return;
+    }
     for (uint32_t Rq = 0; Rq < NumRequests; ++Rq) {
-      S.executeRequest(W.Endpoints[Rq % NumEndpoints], argsFor(Rq));
-      const vm::RequestObservables &L = S.lastRequest();
-      T.Requests.push_back({L.Ret, L.Output, L.Faults, L.Ok});
+      vm::RequestResult Res =
+          S.executeRequest(W.Endpoints[Rq % NumEndpoints], argsFor(Rq));
+      T.Requests.push_back({Res.Obs.Ret, Res.Obs.Output, Res.Obs.Faults,
+                            Res.Obs.Ok});
       // Drain the JIT pipeline so tier transitions happen at the same
       // request index on every run.
       S.grantJitTime(16.0);

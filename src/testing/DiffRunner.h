@@ -79,6 +79,13 @@ struct ExecConfig {
   /// Add result (interp::InterpOptions::TestOnlyIntAddSkew).  The oracle
   /// must catch any nonzero value as a cross-config mismatch.
   int64_t IntAddSkew = 0;
+  /// When > 0, the schedule is served through a concurrent-serving
+  /// window (vm::Server::serve) by this many closed-loop client threads
+  /// over as many execution contexts, instead of serially.  Host-only
+  /// by contract: per-request observables and the determinism digest
+  /// must match any other thread count -- the "serve" digest group in
+  /// serveMatrix() asserts 1 vs N byte-for-byte.
+  uint32_t ServeThreads = 0;
   /// Configs sharing a non-empty group must produce byte-identical
   /// determinism digests (how the --threads promise is asserted).
   std::string DigestGroup;
@@ -88,6 +95,10 @@ struct ExecConfig {
 /// toggled, threads 1/4) and the smaller smoke matrix CI runs.
 std::vector<ExecConfig> fullMatrix();
 std::vector<ExecConfig> smokeMatrix();
+/// The concurrent-serving matrix: the interpreter reference plus
+/// Jump-Start-booted servers serving through 1 and N client threads,
+/// digest-grouped so the thread-count axis is asserted byte-identical.
+std::vector<ExecConfig> serveMatrix(uint32_t Threads = 4);
 /// The injected-divergence config for harness self-tests.
 ExecConfig skewConfig();
 

@@ -24,6 +24,7 @@ namespace jumpstart::vm {
 
 /// Extends the JIT's profiling hooks with server concerns: first-touch
 /// unit loading and feeding function-entry events to the tiering policy.
+/// Serial path only -- concurrent contexts run uninstrumented.
 class ServerHooks : public jit::JitProfilingHooks {
 public:
   ServerHooks(Server &S, jit::Jit &J)
@@ -31,7 +32,7 @@ public:
 
   void onFuncEnter(bc::FuncId Callee, bc::FuncId Caller,
                    const runtime::Value *Args, uint32_t NumArgs) override {
-    S.PendingLoadUnits += S.loadUnitsFor(Callee);
+    S.Serial->PendingLoadUnits += S.loadUnitsFor(Callee);
     S.TheJit.onFuncEntered(Callee);
     jit::JitProfilingHooks::onFuncEnter(Callee, Caller, Args, NumArgs);
   }
@@ -42,17 +43,23 @@ private:
 
 } // namespace jumpstart::vm
 
+Server::ExecContext::ExecContext(const bc::Repo &R,
+                                 runtime::ClassTable &Classes,
+                                 const interp::InterpOptions &Opts) {
+  Interp = std::make_unique<interp::Interpreter>(
+      R, Classes, Heap, runtime::BuiltinTable::standard(), Opts);
+  Interp->setInstrCounts(&InstrCounts);
+  Interp->setOutput(&Output);
+}
+
 Server::Server(const bc::Repo &R, ServerConfig Config, uint64_t Seed)
     : R(R), Config(std::move(Config)), Classes(R),
       TheJit(R, this->Config.Jit) {
   (void)Seed;
-  Interp = std::make_unique<interp::Interpreter>(
-      R, Classes, Heap, runtime::BuiltinTable::standard(),
-      this->Config.Interp);
+  Serial =
+      std::make_unique<ExecContext>(R, Classes, this->Config.Interp);
   Hooks = std::make_unique<ServerHooks>(*this, TheJit);
-  Interp->setCallbacks(Hooks.get());
-  Interp->setInstrCounts(&InstrCounts);
-  Interp->setOutput(&Output);
+  Serial->Interp->setCallbacks(Hooks.get());
 
   if (this->Config.Obs) {
     Obs = this->Config.Obs;
@@ -64,6 +71,11 @@ Server::Server(const bc::Repo &R, ServerConfig Config, uint64_t Seed)
                       std::max(1u, this->Config.JitWorkerCores);
     TheJit.setObservability(Obs, 1.0 / PoolRate, JitTrack);
   }
+}
+
+Server::~Server() {
+  alwaysAssert(!Serving.load(std::memory_order_acquire),
+               "destroying a server inside a concurrent-serving window");
 }
 
 uint64_t Server::repoFingerprint(const bc::Repo &R) {
@@ -112,30 +124,34 @@ double Server::loadUnitsFor(bc::FuncId F) {
   return Config.UnitLoadCost;
 }
 
-double Server::executeRequest(bc::FuncId F,
-                              const std::vector<runtime::Value> &Args) {
+RequestResult Server::executeRequest(bc::FuncId F,
+                                     const std::vector<runtime::Value> &Args) {
+  alwaysAssert(!Serving.load(std::memory_order_acquire),
+               "executeRequest() is the serial path; use serve() inside a "
+               "concurrent-serving window");
+  ExecContext &Ctx = *Serial;
   size_t SpanIndex = 0;
   if (Obs)
     SpanIndex = Obs->Trace.beginSpan("request", "request", ServerTrack);
-  PendingLoadUnits = 0;
-  InstrCounts.assign(R.numFuncs(), 0);
-  interp::InterpResult Result = Interp->call(F, Args);
+  Ctx.PendingLoadUnits = 0;
+  Ctx.InstrCounts.assign(R.numFuncs(), 0);
+  interp::InterpResult Result = Ctx.Interp->call(F, Args);
   // Render before the heap reset: the return value may point into it.
   LastRequest.Ret = runtime::toString(Result.Ret);
-  LastRequest.Output = Output;
+  LastRequest.Output = Ctx.Output;
   LastRequest.Faults = Result.Faults;
   LastRequest.Ok = Result.Ok;
   Faults += Result.Faults;
   ++Requests;
   TheJit.onRequestFinished();
-  Heap.reset();
-  Output.clear();
+  Ctx.Heap.reset();
+  Ctx.Output.clear();
 
-  double Units = PendingLoadUnits;
-  for (uint32_t FuncRaw = 0; FuncRaw < InstrCounts.size(); ++FuncRaw) {
-    if (InstrCounts[FuncRaw] == 0)
+  double Units = Ctx.PendingLoadUnits;
+  for (uint32_t FuncRaw = 0; FuncRaw < Ctx.InstrCounts.size(); ++FuncRaw) {
+    if (Ctx.InstrCounts[FuncRaw] == 0)
       continue;
-    Units += static_cast<double>(InstrCounts[FuncRaw]) *
+    Units += static_cast<double>(Ctx.InstrCounts[FuncRaw]) *
              TheJit.execCostPerBytecode(bc::FuncId(FuncRaw));
   }
   // Runtime-warmup friction (see ServerConfig::RuntimeWarmupPenalty).
@@ -159,10 +175,16 @@ double Server::executeRequest(bc::FuncId F,
                    obs::latencyBucketsSeconds())
         .observe(Seconds);
   }
-  return Seconds;
+  RequestResult Res;
+  Res.Seconds = Seconds;
+  Res.Obs = LastRequest;
+  return Res;
 }
 
 double Server::grantJitTime(double Seconds) {
+  alwaysAssert(!Serving.load(std::memory_order_acquire),
+               "grantJitTime() is the serial path; use "
+               "runBackgroundJitWork() inside a concurrent-serving window");
   double Budget = Seconds * Config.JitWorkerCores *
                   Config.UnitsPerCorePerSecond;
   double Consumed = TheJit.runJitWork(Budget);
@@ -176,7 +198,7 @@ double Server::grantJitTime(double Seconds) {
 }
 
 void Server::attachCallbacks(interp::ExecCallbacks *CB) {
-  Interp->setCallbacks(CB ? CB : Hooks.get());
+  Serial->Interp->setCallbacks(CB ? CB : Hooks.get());
 }
 
 void Server::seedInlineCaches() {
@@ -204,7 +226,7 @@ void Server::seedInlineCaches() {
         continue;
       Payload = static_cast<uint64_t>(Slot);
     }
-    if (Interp->seedIC(F, S.Pc, &L, Payload))
+    if (Serial->Interp->seedIC(F, S.Pc, &L, Payload))
       ++ICsSeeded;
   }
   if (Obs && ICsSeeded)
@@ -246,7 +268,7 @@ InitStats Server::startup() {
     double Total = 0;
     for (uint32_t Raw : Config.WarmupEndpoints) {
       std::vector<runtime::Value> Args{runtime::Value::integer(0)};
-      Total += executeRequest(bc::FuncId(Raw), Args);
+      Total += executeRequest(bc::FuncId(Raw), Args).Seconds;
     }
     if (Parallel && Config.Cores > 1)
       Total /= static_cast<double>(Config.Cores);

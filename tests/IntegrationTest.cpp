@@ -176,8 +176,8 @@ TEST_P(PackageRoundTrip, SeedConsumeServe) {
   for (int I = 0; I < 10; ++I) {
     auto Args = fleet::TrafficModel::makeArgs(R);
     bc::FuncId E = W->Endpoints[R.nextBelow(W->Endpoints.size())];
-    WarmCost += Consumer.Server->executeRequest(E, Args);
-    ColdCost += Cold.executeRequest(E, Args);
+    WarmCost += Consumer.Server->executeRequest(E, Args).Seconds;
+    ColdCost += Cold.executeRequest(E, Args).Seconds;
   }
   EXPECT_EQ(Consumer.Server->totalFaults(), FaultsBefore);
   EXPECT_LT(WarmCost, ColdCost);
@@ -289,13 +289,14 @@ TEST(TracerIntegration, MatureServerProducesJitAddressTraffic) {
 
   sim::MachineSim Machine;
   jit::VasmTracer Tracer(Server->theJit(), Machine);
-  Server->attachCallbacks(&Tracer);
-  Rng R(2);
-  for (int I = 0; I < 20; ++I) {
-    bc::FuncId E = W->Endpoints[R.nextBelow(W->Endpoints.size())];
-    Server->executeRequest(E, fleet::TrafficModel::makeArgs(R));
+  {
+    vm::CallbackScope Scope(*Server, &Tracer);
+    Rng R(2);
+    for (int I = 0; I < 20; ++I) {
+      bc::FuncId E = W->Endpoints[R.nextBelow(W->Endpoints.size())];
+      Server->executeRequest(E, fleet::TrafficModel::makeArgs(R));
+    }
   }
-  Server->attachCallbacks(nullptr);
 
   const sim::PerfCounters &C = Machine.counters();
   EXPECT_GT(C.Instructions, 10000u);

@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tier-2 concurrent-serving sweep: generated programs through the
+/// serveMatrix() -- the interpreter reference plus Jump-Start-booted
+/// servers serving the schedule through 1 and 4 closed-loop client
+/// threads.  Zero mismatches means per-request observables survive real
+/// host concurrency; the "serve" digest group asserts the determinism
+/// digest (placement + exported metrics) is byte-identical for 1 vs N
+/// threads.  Run twice for a bit-for-bit reproducible sweep digest.
+///
+/// Labeled tier2 in ctest; ci/sanitize.sh excludes it (-LE tier2), plain
+/// `ctest` runs it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "testing/DiffRunner.h"
+
+#include <gtest/gtest.h>
+
+using namespace jumpstart;
+namespace jstest = jumpstart::testing;
+
+TEST(ServeSweep, ObservablesAndDigestsSurviveThreadCount) {
+  jstest::DiffParams P;
+  P.Seed = 777;
+  P.NumPrograms = 60;
+  P.Matrix = jstest::serveMatrix(4);
+
+  jstest::DiffStats First = jstest::DiffRunner(P).run();
+  for (const jstest::Mismatch &M : First.Mismatches)
+    ADD_FAILURE() << "seed " << M.ProgramSeed << " " << M.ConfigA
+                  << " vs " << M.ConfigB << ": " << M.What << "\n"
+                  << M.Shrunk;
+  EXPECT_EQ(First.Programs, 60u);
+  EXPECT_EQ(First.Runs, 60u * jstest::serveMatrix(4).size());
+  // Both serving cells boot from the seeder package.
+  EXPECT_EQ(First.JumpStartBoots, 60u * 2);
+  // The "serve" digest group compared 1-thread vs 4-thread digests for
+  // every program.
+  EXPECT_GT(First.DigestComparisons, 0u);
+
+  jstest::DiffStats Second = jstest::DiffRunner(P).run();
+  EXPECT_EQ(Second.Mismatches.size(), 0u);
+  EXPECT_EQ(First.SweepDigest, Second.SweepDigest)
+      << "the concurrent-serving sweep is not deterministic across "
+         "re-runs";
+}

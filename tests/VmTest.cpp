@@ -67,10 +67,10 @@ TEST_F(VmTestFixture, RequestsGetCheaperAsJitWarms) {
   S.startup();
   bc::FuncId E = W->Endpoints[0];
   std::vector<runtime::Value> Args{runtime::Value::integer(5)};
-  double FirstCost = S.executeRequest(E, Args);
+  double FirstCost = S.executeRequest(E, Args).Seconds;
   serve(S, 60);
   ASSERT_EQ(S.theJit().phase(), jit::JitPhase::Mature);
-  double WarmCost = S.executeRequest(E, Args);
+  double WarmCost = S.executeRequest(E, Args).Seconds;
   EXPECT_LT(WarmCost, FirstCost / 3)
       << "optimized execution must be several times cheaper than "
          "interpret+load";
@@ -140,12 +140,15 @@ TEST_F(VmTestFixture, ConsumerBootsMatureAndFast) {
   EXPECT_EQ(Consumer.theJit().phase(), jit::JitPhase::Mature);
 
   // First request is already fast (no interpretation of hot code).
-  double Cost = Consumer.executeRequest(
-      W->Endpoints[0], {runtime::Value::integer(5)});
+  double Cost = Consumer
+                    .executeRequest(W->Endpoints[0],
+                                    {runtime::Value::integer(5)})
+                    .Seconds;
   vm::Server Cold(W->Repo, fastConfig(), 17);
   Cold.startup();
   double ColdCost = Cold.executeRequest(W->Endpoints[0],
-                                        {runtime::Value::integer(5)});
+                                        {runtime::Value::integer(5)})
+                        .Seconds;
   EXPECT_LT(Cost, ColdCost / 3);
 }
 
@@ -206,6 +209,7 @@ TEST_F(VmTestFixture, FaultsAreCountedNotFatal) {
   S.executeRequest(W->Endpoints[0], Args);
   // The server is still alive and serving.
   double Cost = S.executeRequest(W->Endpoints[1],
-                                 {runtime::Value::integer(1)});
+                                 {runtime::Value::integer(1)})
+                    .Seconds;
   EXPECT_GT(Cost, 0.0);
 }
