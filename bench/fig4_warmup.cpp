@@ -29,7 +29,7 @@
 
 #include "FigureCommon.h"
 
-#include "core/PackageStore.h"
+#include "core/PackageManager.h"
 #include "support/Assert.h"
 
 using namespace jumpstart;
@@ -111,28 +111,32 @@ int main(int argc, char **argv) {
   // reject paths so the exported trace carries the full package story.
   std::printf("\npackage lifecycle (accept + reject observability):\n");
   core::JumpStartOptions Opts;
-  core::PackageStore Store;
+  core::PackageManager Manager;
   Rng CorruptRng(99);
 
-  // A store holding only a corrupted package: every attempt rejects
+  // A shelf holding only a corrupted package: every attempt rejects
   // (corrupt_data), then the consumer falls back to booting without
   // Jump-Start.
+  core::PackageManifest Manifest;
+  alwaysAssert(Manager.publish(0, 0, Pkg.serialize(), &Manifest).ok(),
+               "publishing the package");
   support::Status Corrupted =
-      Store.corrupt(0, 0, Store.publish(0, 0, Pkg.serialize()), CorruptRng);
+      Manager.corrupt(0, 0, Manifest.Id.Index, CorruptRng);
   alwaysAssert(Corrupted.ok(), "corrupting a just-published package");
   core::ConsumerParams CP;
   CP.Seed = 21;
   CP.Name = "consumer-corrupt";
   core::ConsumerOutcome Bad = core::startConsumer(
-      *W, Config, Opts, Store, CP, /*Chaos=*/nullptr, &Obs);
+      *W, Config, Opts, Manager, CP, /*Chaos=*/nullptr, &Obs);
   std::printf("  corrupt-only store: jump-start=%s after %u attempts\n",
               Bad.UsedJumpStart ? "yes" : "no", Bad.Attempts);
 
   // Publish the good package too: the next consumer eventually accepts.
-  Store.publish(0, 0, Pkg.serialize());
+  alwaysAssert(Manager.publish(0, 0, Pkg.serialize()).ok(),
+               "publishing the good package");
   CP.Name = "consumer-mixed";
   core::ConsumerOutcome Good = core::startConsumer(
-      *W, Config, Opts, Store, CP, /*Chaos=*/nullptr, &Obs);
+      *W, Config, Opts, Manager, CP, /*Chaos=*/nullptr, &Obs);
   std::printf("  mixed store:        jump-start=%s after %u attempts\n",
               Good.UsedJumpStart ? "yes" : "no", Good.Attempts);
 

@@ -27,6 +27,11 @@
 #                                 # invariance contract -- plus the
 #                                 # deterministic fields of the committed
 #                                 # BENCH_server.json)
+#   CHECK_PACKAGE=0 ci/check.sh   # skip the package-lifecycle gate (a
+#                                 # 100-program merge-order/delta/lint
+#                                 # property sweep, plus the drift sweep
+#                                 # byte-compared against the committed
+#                                 # BENCH_package.json)
 #
 # This is what "the tests pass" means for this repository; ci/sanitize.sh
 # is the deeper (slower) sanitizer sweep.
@@ -188,6 +193,29 @@ if [[ "${CHECK_SERVER:-1}" == "1" ]]; then
     echo "check.sh: server_load counters deterministic across threads and match BENCH_server.json"
   else
     echo "check.sh: server_load counters deterministic across threads (no BENCH_server.json snapshot)"
+  fi
+fi
+
+# Package-lifecycle gate: per generated program, the merged package's
+# bytes must be identical for either seeder arrival order, the delta
+# against a sibling release must reconstruct exactly, and the merged
+# package must pass the consumer's strict lint.  Then the full
+# staleness-under-drift sweep re-runs; it is virtual-clock deterministic,
+# so its JSON must byte-match the committed BENCH_package.json.
+if [[ "${CHECK_PACKAGE:-1}" == "1" ]]; then
+  "${BUILD_DIR}/bench/package_lifecycle" --check 100 1
+  PACKAGE_SNAPSHOT="${REPO_DIR}/BENCH_package.json"
+  "${BUILD_DIR}/bench/package_lifecycle" --json "${TMP_DIR}/package.json" \
+    >/dev/null
+  if [[ -f "${PACKAGE_SNAPSHOT}" ]]; then
+    if ! cmp -s "${TMP_DIR}/package.json" "${PACKAGE_SNAPSHOT}"; then
+      echo "check.sh: FAIL: drift sweep differs from committed BENCH_package.json" >&2
+      diff "${TMP_DIR}/package.json" "${PACKAGE_SNAPSHOT}" >&2 || true
+      exit 1
+    fi
+    echo "check.sh: package lifecycle clean; drift sweep matches BENCH_package.json"
+  else
+    echo "check.sh: package lifecycle clean (no BENCH_package.json snapshot)"
   fi
 fi
 

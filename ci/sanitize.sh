@@ -82,6 +82,12 @@ echo "sanitize.sh: micro_interp --quick clean"
 "${BUILD_DIR}/bench/server_load" --quick --threads 4 >/dev/null
 echo "sanitize.sh: server_load --quick clean"
 
+# The package lifecycle crosses every serialization boundary in one run
+# (merge, delta encode/apply, rebase, manager round trips, consumer
+# accept); the quick drift sweep gives the sanitizers that whole path.
+"${BUILD_DIR}/bench/package_lifecycle" --quick >/dev/null
+echo "sanitize.sh: package_lifecycle --quick clean"
+
 if [[ "${SANITIZERS}" == "thread" ]]; then
   TMP_DIR="$(mktemp -d)"
   trap 'rm -rf "${TMP_DIR}"' EXIT

@@ -75,13 +75,15 @@ int main(int argc, char **argv) {
   // accept/reject counters; --export PREFIX dumps them.
   obs::Observability Obs;
   std::printf("=== push 1: new website version rolls out ===\n");
-  core::PackageStore Store;
+  core::PackageManager Manager;
   core::DeploymentParams DP;
   DP.Regions = 1;
   DP.Buckets = 3;
   DP.SeedersPerPair = 2;
   DP.SeederRequests = 150;
   DP.ConsumerSamplesPerPair = 1;
+  // Fold each shelf's seeders into one merged multi-seeder package too.
+  DP.PublishMergedPackage = true;
   // Host-parallel push: seeders/consumers shard across the pool; the
   // report is identical for any worker count.
   std::unique_ptr<support::ThreadPool> Pool;
@@ -89,7 +91,7 @@ int main(int argc, char **argv) {
     Pool = std::make_unique<support::ThreadPool>(Threads);
   DP.Pool = Pool.get();
   core::DeploymentReport Report = core::simulateDeployment(
-      *W, Traffic, Config, Opts, Store, DP, /*Chaos=*/nullptr, &Obs);
+      *W, Traffic, Config, Opts, Manager, DP, /*Chaos=*/nullptr, &Obs);
   for (const std::string &Line : Report.Log)
     std::printf("  %s\n", Line.c_str());
   std::printf("summary: %u/%u seeders published; %u/%u consumers used "
@@ -107,11 +109,11 @@ int main(int argc, char **argv) {
   Chaos.CrashesInProduction = [](const profile::ProfilePackage &Pkg) {
     return Pkg.Bucket == 1;
   };
-  core::PackageStore Store2;
+  core::PackageManager Manager2;
   core::DeploymentParams DP2 = DP;
   DP2.Seed = 77;
   core::DeploymentReport Report2 = core::simulateDeployment(
-      *W, Traffic, Config, Opts, Store2, DP2, &Chaos);
+      *W, Traffic, Config, Opts, Manager2, DP2, &Chaos);
   for (const std::string &Line : Report2.Log)
     std::printf("  %s\n", Line.c_str());
   std::printf("summary: %u/%u consumers used jump-start (bucket 1 "

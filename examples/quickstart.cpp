@@ -44,12 +44,12 @@ int main() {
   vm::ServerConfig Config;
 
   // 2. Seeder: collect + validate + publish (paper Figure 3b).
-  core::PackageStore Store;
+  core::PackageManager Manager;
   core::JumpStartOptions Opts;
   core::SeederParams SP;
   SP.Requests = 400;
   core::SeederOutcome Seeded =
-      core::runSeederWorkflow(*W, Traffic, Config, Opts, Store, SP);
+      core::runSeederWorkflow(*W, Traffic, Config, Opts, Manager, SP);
   if (!Seeded.Published) {
     std::printf("seeder failed: %s\n", Seeded.Result.str().c_str());
     return 1;
@@ -59,11 +59,16 @@ int main() {
               Seeded.PackageBytes, Seeded.Package.numProfiledFuncs(),
               static_cast<unsigned long long>(
                   Seeded.Package.totalSamples()));
+  std::printf("manifest: release %u, shelf #%u, checksum %016llx, "
+              "%zu seeder(s)\n",
+              Seeded.Manifest.Id.Release, Seeded.Manifest.Id.Index,
+              static_cast<unsigned long long>(Seeded.Manifest.Checksum),
+              Seeded.Manifest.Seeders.size());
 
   // 3. Consumer boot (paper Figure 3c).
   core::ConsumerParams CP;
   core::ConsumerOutcome Consumer =
-      core::startConsumer(*W, Config, Opts, Store, CP);
+      core::startConsumer(*W, Config, Opts, Manager, CP);
   std::printf("consumer: jump-start=%s, init=%.2fs (deserialize %.2fs, "
               "preload %.2fs, precompile %.2fs, warmup-reqs %.2fs)\n",
               Consumer.UsedJumpStart ? "yes" : "no",

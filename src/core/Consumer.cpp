@@ -40,7 +40,7 @@ void jumpstart::core::attachProvenFacts(vm::ServerConfig &Config,
 ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
                                                vm::ServerConfig BaseConfig,
                                                const JumpStartOptions &Opts,
-                                               const PackageStore &Store,
+                                               const PackageManager &Manager,
                                                const ConsumerParams &P,
                                                const ChaosHooks *Chaos,
                                                obs::Observability *Obs) {
@@ -85,8 +85,9 @@ ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
 
   while (Outcome.Attempts < Opts.MaxConsumerAttempts) {
     ++Outcome.Attempts;
-    PackageStore::Selection Pick;
-    support::Status Picked = Store.pickRandom(P.Region, P.Bucket, R, Pick);
+    PackageHandle Pick;
+    support::Status Picked = Manager.pickRandom(P.Region, P.Bucket, R, Pick);
+    uint32_t PickIndex = Pick.Manifest.Id.Index;
     if (!Picked.ok()) {
       Outcome.Rejections.push_back(Picked);
       countPackageRejected(Obs, Picked.code());
@@ -99,7 +100,7 @@ ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
       Reject(StatusCode::CorruptData,
              strFormat(
                  "package #%u is corrupt (checksum/format); trying another",
-                 Pick.Index));
+                 PickIndex));
       continue;
     }
 
@@ -124,7 +125,7 @@ ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
         Reject(StatusCode::LintFailed,
                strFormat("package #%u failed strict lint (%zu errors, "
                          "first: %s); trying another",
-                         Pick.Index, analysis::countErrors(Diags),
+                         PickIndex, analysis::countErrors(Diags),
                          Diags.front().str(&W.Repo).c_str()));
         continue;
       }
@@ -137,7 +138,7 @@ ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
       ++Outcome.CrashCount;
       Reject(StatusCode::CrashDetected,
              strFormat("crashed with package #%u; restarting",
-                       Pick.Index));
+                       PickIndex));
       continue;
     }
 
@@ -147,18 +148,18 @@ ConsumerOutcome jumpstart::core::startConsumer(const fleet::Workload &W,
     if (!Installed.ok()) {
       Reject(Installed.code(),
              strFormat("package #%u rejected (%s); trying another",
-                       Pick.Index, Installed.message().c_str()));
+                       PickIndex, Installed.message().c_str()));
       continue;
     }
     Outcome.Init = Server->startup();
     Outcome.Server = std::move(Server);
     Outcome.UsedJumpStart = true;
     Outcome.Log.push_back(
-        strFormat("booted with package #%u", Pick.Index));
+        strFormat("booted with package #%u", PickIndex));
     countPackageAccepted(Obs);
     if (Obs)
       Obs->Trace.instant("package-accept", "package", Track,
-                         {strFormat("index=%u", Pick.Index)});
+                         {strFormat("index=%u", PickIndex)});
     return Outcome;
   }
 

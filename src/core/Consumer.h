@@ -22,7 +22,7 @@
 
 #include "core/Chaos.h"
 #include "core/JumpStartOptions.h"
-#include "core/PackageStore.h"
+#include "core/PackageManager.h"
 #include "fleet/Traffic.h"
 #include "fleet/WorkloadGen.h"
 #include "support/Status.h"
@@ -71,13 +71,13 @@ void applyOptimizationOptions(vm::ServerConfig &Config,
 /// shares the result across cells).
 void attachProvenFacts(vm::ServerConfig &Config, const bc::Repo &R);
 
-/// Boots one consumer against \p Store with full fallback behaviour.
+/// Boots one consumer against \p Manager with full fallback behaviour.
 /// \p Obs (optional) receives per-reason package rejection counters, the
 /// accept counter, and the consumer's server/JIT spans.
 ConsumerOutcome startConsumer(const fleet::Workload &W,
                               vm::ServerConfig BaseConfig,
                               const JumpStartOptions &Opts,
-                              const PackageStore &Store,
+                              const PackageManager &Manager,
                               const ConsumerParams &P,
                               const ChaosHooks *Chaos = nullptr,
                               obs::Observability *Obs = nullptr);

@@ -18,7 +18,7 @@ using namespace jumpstart::core;
 DeploymentReport jumpstart::core::simulateDeployment(
     const fleet::Workload &W, const fleet::TrafficModel &Traffic,
     const vm::ServerConfig &BaseConfig, const JumpStartOptions &Opts,
-    PackageStore &Store, const DeploymentParams &P,
+    PackageManager &Manager, const DeploymentParams &P,
     const ChaosHooks *Chaos, obs::Observability *Obs) {
   DeploymentReport Report;
   Rng R(P.Seed);
@@ -84,31 +84,34 @@ DeploymentReport jumpstart::core::simulateDeployment(
     if (!P.Pool) {
       for (size_t I = 0; I < Tasks.size(); ++I)
         Outcomes[I] = runSeederWorkflow(W, Traffic, BaseConfig, Opts,
-                                        Store, Tasks[I].SP, Chaos, Obs);
+                                        Manager, Tasks[I].SP, Chaos, Obs);
     } else {
-      // Each task publishes into a task-local store and records into
+      // Each task publishes into a task-local manager and records into
       // task-local observability; results fold back in loop order below.
-      std::vector<PackageStore> LocalStores(Tasks.size());
+      std::vector<PackageManager> LocalManagers(Tasks.size());
       std::vector<std::unique_ptr<obs::Observability>> LocalObs(
           Tasks.size());
       P.Pool->parallelFor(Tasks.size(), [&](size_t I) {
         if (Obs)
           LocalObs[I] = std::make_unique<obs::Observability>();
-        Outcomes[I] =
-            runSeederWorkflow(W, Traffic, BaseConfig, Opts, LocalStores[I],
-                              Tasks[I].SP, Chaos, LocalObs[I].get());
+        Outcomes[I] = runSeederWorkflow(W, Traffic, BaseConfig, Opts,
+                                        LocalManagers[I], Tasks[I].SP, Chaos,
+                                        LocalObs[I].get());
       });
       for (size_t I = 0; I < Tasks.size(); ++I) {
         if (Obs && LocalObs[I])
           Obs->Metrics.mergeFrom(LocalObs[I]->Metrics);
-        // Republish into the shared store.  The workflow published the
+        // Republish into the shared manager.  The workflow published the
         // package's serialized bytes, so re-serializing here lands the
         // byte-identical blob at the same shelf position as the serial
         // path.
-        if (Outcomes[I].Published)
-          Outcomes[I].PackageIndex =
-              Store.publish(Tasks[I].Region, Tasks[I].Bucket,
-                            Outcomes[I].Package.serialize());
+        if (Outcomes[I].Published &&
+            Manager
+                .publish(Tasks[I].Region, Tasks[I].Bucket,
+                         Outcomes[I].Package.serialize(),
+                         &Outcomes[I].Manifest)
+                .ok())
+          Outcomes[I].PackageIndex = Outcomes[I].Manifest.Id.Index;
       }
     }
     for (size_t I = 0; I < Tasks.size(); ++I) {
@@ -128,6 +131,30 @@ DeploymentReport jumpstart::core::simulateDeployment(
         Report.Log.push_back(strFormat(
             "C2: seeder (r%u,b%u,#%u) FAILED: %s", T.Region, T.Bucket,
             T.S, Why.c_str()));
+      }
+    }
+
+    // Optional multi-seeder fold: one merged release per shelf, published
+    // alongside the individual packages.  The merge itself is input-order
+    // insensitive and this loop is serial, so the shelf contents stay
+    // identical for any worker count.
+    if (P.PublishMergedPackage) {
+      for (uint32_t Region = 0; Region < P.Regions; ++Region) {
+        for (uint32_t Bucket = 0; Bucket < P.Buckets; ++Bucket) {
+          PackageManifest Merged;
+          support::Status MergeStatus =
+              Manager.merge(Region, Bucket, &Merged);
+          if (MergeStatus.ok()) {
+            ++Report.MergedPackages;
+            Report.Log.push_back(strFormat(
+                "C2: merged shelf (r%u,b%u) from %zu seeders (%zu bytes)",
+                Region, Bucket, Merged.Seeders.size(), Merged.Bytes));
+          } else {
+            Report.Log.push_back(strFormat(
+                "C2: merge of shelf (r%u,b%u) skipped: %s", Region, Bucket,
+                MergeStatus.message().c_str()));
+          }
+        }
       }
     }
   }
@@ -157,7 +184,7 @@ DeploymentReport jumpstart::core::simulateDeployment(
     std::vector<ConsumerOutcome> Outcomes(Tasks.size());
     if (!P.Pool) {
       for (size_t I = 0; I < Tasks.size(); ++I)
-        Outcomes[I] = startConsumer(W, BaseConfig, Opts, Store,
+        Outcomes[I] = startConsumer(W, BaseConfig, Opts, Manager,
                                     Tasks[I].CP, Chaos, Obs);
     } else {
       // Consumers only read the shared store (const pickRandom); each
@@ -167,7 +194,7 @@ DeploymentReport jumpstart::core::simulateDeployment(
       P.Pool->parallelFor(Tasks.size(), [&](size_t I) {
         if (Obs)
           LocalObs[I] = std::make_unique<obs::Observability>();
-        Outcomes[I] = startConsumer(W, BaseConfig, Opts, Store,
+        Outcomes[I] = startConsumer(W, BaseConfig, Opts, Manager,
                                     Tasks[I].CP, Chaos, LocalObs[I].get());
       });
       for (size_t I = 0; I < Tasks.size(); ++I)

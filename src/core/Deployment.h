@@ -50,6 +50,14 @@ struct DeploymentParams {
   /// are task-local and dropped (phase spans still record); Chaos hooks,
   /// if any, must be thread-safe.
   support::ThreadPool *Pool = nullptr;
+  /// After C2, additionally fold every shelf's published packages into
+  /// one multi-seeder package (PackageManager::merge) -- "use of
+  /// multiple, randomized profiles" collapsed into one release blob.
+  /// The merged package is published onto the same shelf, so C3
+  /// consumers can pick it like any other.  Folding happens in
+  /// (region, bucket) loop order after the (order-insensitive) merge,
+  /// so the shelf contents stay identical for any worker count.
+  bool PublishMergedPackage = false;
 };
 
 /// Summary of one site push.
@@ -60,6 +68,8 @@ struct DeploymentReport {
   uint32_t SeedersRun = 0;
   uint32_t PackagesPublished = 0;
   uint32_t SeederFailures = 0;
+  /// Multi-seeder merges published (PublishMergedPackage only).
+  uint32_t MergedPackages = 0;
   // C3: consumers.
   uint32_t ConsumersBooted = 0;
   uint32_t ConsumersUsedJumpStart = 0;
@@ -67,7 +77,7 @@ struct DeploymentReport {
   std::vector<std::string> Log;
 };
 
-/// Simulates one complete push.  Packages land in \p Store (so a later
+/// Simulates one complete push.  Packages land in \p Manager (so a later
 /// push can reuse it or a test can inspect it).  \p Obs (optional)
 /// receives push-phase spans (C1 canary / C2 seeders / C3 consumers) on a
 /// "deployment" track plus everything the seeder and consumer workflows
@@ -76,7 +86,7 @@ DeploymentReport simulateDeployment(const fleet::Workload &W,
                                     const fleet::TrafficModel &Traffic,
                                     const vm::ServerConfig &BaseConfig,
                                     const JumpStartOptions &Opts,
-                                    PackageStore &Store,
+                                    PackageManager &Manager,
                                     const DeploymentParams &P,
                                     const ChaosHooks *Chaos = nullptr,
                                     obs::Observability *Obs = nullptr);

@@ -1,0 +1,246 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PackageManager.h"
+
+#include "profile/PackageDelta.h"
+#include "profile/PackageMerge.h"
+#include "profile/ProfilePackage.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+
+using namespace jumpstart;
+using namespace jumpstart::core;
+using support::Status;
+using support::StatusCode;
+
+const PackageManager::Shelf *PackageManager::find(uint32_t Region,
+                                                  uint32_t Bucket) const {
+  auto It = Shelves.find(key(Region, Bucket));
+  return It == Shelves.end() ? nullptr : &It->second;
+}
+
+const PackageManager::Record *PackageManager::find(const PackageId &Id) const {
+  const Shelf *S = find(Id.Region, Id.Bucket);
+  if (!S || Id.Index >= S->Records.size())
+    return nullptr;
+  const Record &R = S->Records[Id.Index];
+  return R.Manifest.Id == Id ? &R : nullptr;
+}
+
+PackageManager::Record &PackageManager::append(uint32_t Region,
+                                               uint32_t Bucket,
+                                               std::vector<uint8_t> Blob) {
+  Shelf &S = Shelves[key(Region, Bucket)];
+  Record R;
+  R.Manifest.Id = {Region, Bucket, CurrentRelease,
+                   static_cast<uint32_t>(S.Records.size())};
+  R.Manifest.Checksum = fnv1a(Blob.data(), Blob.size());
+  R.Manifest.Bytes = Blob.size();
+  // Distribution ships opaque bytes; parsing here only enriches the
+  // manifest.  A blob that is not a well-formed package still publishes
+  // (the consumer's defensive deserialize is what rejects it).
+  profile::ProfilePackage Pkg;
+  if (profile::ProfilePackage::deserialize(Blob, Pkg)) {
+    R.Manifest.RepoFingerprint = Pkg.RepoFingerprint;
+    R.Manifest.Seeders.push_back(Pkg.SeederId);
+  }
+  R.Full = std::move(Blob);
+  S.Records.push_back(std::move(R));
+  return S.Records.back();
+}
+
+Status PackageManager::publish(uint32_t Region, uint32_t Bucket,
+                               std::vector<uint8_t> Blob,
+                               PackageManifest *Out) {
+  Record &R = append(Region, Bucket, std::move(Blob));
+  if (Out)
+    *Out = R.Manifest;
+  return Status::okStatus();
+}
+
+Status PackageManager::publishDelta(uint32_t Region, uint32_t Bucket,
+                                    std::vector<uint8_t> Blob,
+                                    const PackageId &Parent,
+                                    PackageManifest *Out) {
+  const Record *P = find(Parent);
+  if (!P)
+    return support::errorStatus(
+        StatusCode::NotFound,
+        "delta parent (r%u,b%u) release %u #%u is not a published package",
+        Parent.Region, Parent.Bucket, Parent.Release, Parent.Index);
+  std::vector<uint8_t> Delta = profile::encodeDelta(P->Full, Blob);
+  Record &R = append(Region, Bucket, std::move(Blob));
+  R.Manifest.DeltaBytes = Delta.size();
+  R.Manifest.Parent = Parent;
+  R.Manifest.IsDelta = true;
+  R.Delta = std::move(Delta);
+  if (Out)
+    *Out = R.Manifest;
+  return Status::okStatus();
+}
+
+Status PackageManager::merge(uint32_t Region, uint32_t Bucket,
+                             PackageManifest *Out,
+                             const std::map<uint64_t, uint64_t> *Weights) {
+  const Shelf *S = find(Region, Bucket);
+  if (!S)
+    return support::errorStatus(StatusCode::FailedPrecondition,
+                                "merge of empty shelf (r%u,b%u)", Region,
+                                Bucket);
+  // Decode every live package; opaque or corrupt blobs simply do not
+  // participate (the consumer would reject them individually anyway).
+  std::vector<profile::ProfilePackage> Pkgs;
+  for (const Record &R : S->Records) {
+    if (R.IsQuarantined)
+      continue;
+    profile::ProfilePackage P;
+    if (profile::ProfilePackage::deserialize(R.Full, P))
+      Pkgs.push_back(std::move(P));
+  }
+  if (Pkgs.empty())
+    return support::errorStatus(StatusCode::FailedPrecondition,
+                                "shelf (r%u,b%u) holds no mergeable package",
+                                Region, Bucket);
+  std::vector<profile::MergeInput> Inputs;
+  Inputs.reserve(Pkgs.size());
+  for (const profile::ProfilePackage &P : Pkgs) {
+    profile::MergeInput In;
+    In.Pkg = &P;
+    if (Weights) {
+      auto It = Weights->find(P.SeederId);
+      if (It != Weights->end())
+        In.Weight = It->second;
+    }
+    Inputs.push_back(In);
+  }
+  profile::ProfilePackage Merged;
+  JUMPSTART_RETURN_IF_ERROR(profile::mergePackages(Inputs, Merged));
+  PackageManifest M;
+  JUMPSTART_RETURN_IF_ERROR(publish(Region, Bucket, Merged.serialize(), &M));
+  // The merged package's own manifest credits the whole seeder set, not
+  // the synthetic merged SeederId the wire format carries.
+  Shelf &Sh = Shelves[key(Region, Bucket)];
+  Record &R = Sh.Records[M.Id.Index];
+  R.Manifest.Seeders.clear();
+  for (const profile::MergeInput &In : Inputs)
+    R.Manifest.Seeders.push_back(In.Pkg->SeederId);
+  std::sort(R.Manifest.Seeders.begin(), R.Manifest.Seeders.end());
+  if (Out)
+    *Out = R.Manifest;
+  return Status::okStatus();
+}
+
+Status PackageManager::fetch(const PackageId &Id, PackageHandle &Out) const {
+  const Record *R = find(Id);
+  if (!R)
+    return support::errorStatus(
+        StatusCode::NotFound, "no package (r%u,b%u) release %u #%u", Id.Region,
+        Id.Bucket, Id.Release, Id.Index);
+  Out.Manifest = R->Manifest;
+  Out.Blob = &R->Full;
+  return Status::okStatus();
+}
+
+Status PackageManager::reconstruct(const PackageId &Id,
+                                   std::vector<uint8_t> &Out) const {
+  const Record *R = find(Id);
+  if (!R)
+    return support::errorStatus(
+        StatusCode::NotFound, "no package (r%u,b%u) release %u #%u", Id.Region,
+        Id.Bucket, Id.Release, Id.Index);
+  if (!R->Manifest.IsDelta) {
+    Out = R->Full;
+    return Status::okStatus();
+  }
+  const Record *P = find(R->Manifest.Parent);
+  if (!P)
+    return support::errorStatus(
+        StatusCode::NotFound,
+        "delta parent of (r%u,b%u) release %u #%u has vanished", Id.Region,
+        Id.Bucket, Id.Release, Id.Index);
+  return profile::applyDelta(P->Full, R->Delta, Out);
+}
+
+Status PackageManager::pickRandom(uint32_t Region, uint32_t Bucket, Rng &R,
+                                  PackageHandle &Out) const {
+  const Shelf *S = find(Region, Bucket);
+  if (S) {
+    std::vector<uint32_t> Alive;
+    for (uint32_t I = 0; I < S->Records.size(); ++I)
+      if (!S->Records[I].IsQuarantined)
+        Alive.push_back(I);
+    if (!Alive.empty()) {
+      const Record &Rec = S->Records[Alive[R.nextBelow(Alive.size())]];
+      Out.Manifest = Rec.Manifest;
+      Out.Blob = &Rec.Full;
+      return Status::okStatus();
+    }
+  }
+  return Status::error(StatusCode::Unavailable,
+                       "no suitable profile-data package available");
+}
+
+size_t PackageManager::available(uint32_t Region, uint32_t Bucket) const {
+  const Shelf *S = find(Region, Bucket);
+  if (!S)
+    return 0;
+  size_t N = 0;
+  for (const Record &R : S->Records)
+    if (!R.IsQuarantined)
+      ++N;
+  return N;
+}
+
+Status PackageManager::quarantine(uint32_t Region, uint32_t Bucket,
+                                  uint32_t Index) {
+  auto It = Shelves.find(key(Region, Bucket));
+  if (It == Shelves.end())
+    return support::errorStatus(StatusCode::NotFound,
+                                "quarantine of unknown shelf (r%u,b%u)",
+                                Region, Bucket);
+  Shelf &S = It->second;
+  if (Index >= S.Records.size())
+    return support::errorStatus(StatusCode::NotFound,
+                                "quarantine of unknown package #%u", Index);
+  Record &R = S.Records[Index];
+  if (!R.IsQuarantined) {
+    R.IsQuarantined = true;
+    Quarantined.push_back(R.Full);
+  }
+  return Status::okStatus();
+}
+
+Status PackageManager::corrupt(uint32_t Region, uint32_t Bucket,
+                               uint32_t Index, Rng &R, uint32_t Flips) {
+  auto It = Shelves.find(key(Region, Bucket));
+  if (It == Shelves.end())
+    return support::errorStatus(StatusCode::NotFound,
+                                "corrupt() of unknown shelf (r%u,b%u)",
+                                Region, Bucket);
+  Shelf &S = It->second;
+  if (Index >= S.Records.size())
+    return support::errorStatus(StatusCode::NotFound,
+                                "corrupt() of unknown package #%u", Index);
+  std::vector<uint8_t> &Blob = S.Records[Index].Full;
+  for (uint32_t I = 0; I < Flips && !Blob.empty(); ++I) {
+    size_t At = R.nextBelow(Blob.size());
+    Blob[At] ^= static_cast<uint8_t>(1 + R.nextBelow(255));
+  }
+  return Status::okStatus();
+}
+
+std::vector<PackageManifest> PackageManager::manifests(uint32_t Region,
+                                                       uint32_t Bucket) const {
+  std::vector<PackageManifest> Out;
+  const Shelf *S = find(Region, Bucket);
+  if (S)
+    for (const Record &R : S->Records)
+      Out.push_back(R.Manifest);
+  return Out;
+}

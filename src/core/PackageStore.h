@@ -8,6 +8,12 @@
 /// \file
 /// The profile-package distribution store.
 ///
+/// DEPRECATED: superseded by core::PackageManager (PackageManager.h),
+/// which adds versioned PackageIds, provenance manifests, multi-seeder
+/// merge, and delta releases on top of the same shelf semantics.  This
+/// shim is kept for one release for out-of-tree users; everything
+/// in-tree has been migrated.  New code must use PackageManager.
+///
 /// Seeders publish serialized packages keyed by (data-center region,
 /// semantic bucket); consumers pick one *at random* per restart (paper
 /// section VI-A technique 2).  The store also implements the paper's

@@ -20,7 +20,7 @@ using support::StatusCode;
 SeederOutcome jumpstart::core::runSeederWorkflow(
     const fleet::Workload &W, const fleet::TrafficModel &Traffic,
     vm::ServerConfig BaseConfig, const JumpStartOptions &Opts,
-    PackageStore &Store, const SeederParams &P, const ChaosHooks *Chaos,
+    PackageManager &Manager, const SeederParams &P, const ChaosHooks *Chaos,
     obs::Observability *Obs) {
   SeederOutcome Outcome;
 
@@ -145,7 +145,14 @@ SeederOutcome jumpstart::core::runSeederWorkflow(
   }
 
   // 5. Publish.
-  Outcome.PackageIndex = Store.publish(P.Region, P.Bucket, std::move(Blob));
+  Status PublishStatus =
+      Manager.publish(P.Region, P.Bucket, std::move(Blob), &Outcome.Manifest);
+  if (!PublishStatus.ok()) {
+    Reject(PublishStatus.code(),
+           "publish: " + PublishStatus.message());
+    return Outcome;
+  }
+  Outcome.PackageIndex = Outcome.Manifest.Id.Index;
   Outcome.Published = true;
   Outcome.Result = Status::okStatus();
   countPackagePublished(Obs);

@@ -22,7 +22,7 @@
 
 #include "core/Chaos.h"
 #include "core/JumpStartOptions.h"
-#include "core/PackageStore.h"
+#include "core/PackageManager.h"
 #include "fleet/ServerSim.h"
 #include "support/Status.h"
 
@@ -44,8 +44,10 @@ struct SeederParams {
 /// Outcome of one seeder run.
 struct SeederOutcome {
   bool Published = false;
-  /// Index in the store when published.
+  /// Index on the manager's (region, bucket) shelf when published.
   uint32_t PackageIndex = 0;
+  /// Full manifest of the published package (valid when Published).
+  PackageManifest Manifest;
   size_t PackageBytes = 0;
   profile::ProfilePackage Package;
   /// Why the workflow stopped: ok when published, else the enumerated
@@ -57,16 +59,17 @@ struct SeederOutcome {
   std::vector<std::string> Problems;
 };
 
-/// Runs the complete seeder workflow against \p Store.  \p BaseConfig is
-/// the fleet's server configuration; seeder instrumentation is enabled on
-/// top of it.  \p Chaos (optional) injects JIT bugs for reliability
+/// Runs the complete seeder workflow against \p Manager.  \p BaseConfig
+/// is the fleet's server configuration; seeder instrumentation is enabled
+/// on top of it.  \p Chaos (optional) injects JIT bugs for reliability
 /// experiments.  \p Obs (optional) receives the workflow's spans
 /// (collect / validate / publish) and per-reason rejection counters.
 SeederOutcome runSeederWorkflow(const fleet::Workload &W,
                                 const fleet::TrafficModel &Traffic,
                                 vm::ServerConfig BaseConfig,
                                 const JumpStartOptions &Opts,
-                                PackageStore &Store, const SeederParams &P,
+                                PackageManager &Manager,
+                                const SeederParams &P,
                                 const ChaosHooks *Chaos = nullptr,
                                 obs::Observability *Obs = nullptr);
 

@@ -18,19 +18,24 @@ using namespace jumpstart::fleet;
 ReliabilityResult
 jumpstart::fleet::simulateCrashLoop(const ReliabilityParams &P) {
   alwaysAssert(P.NumPackages > 0, "need at least one package");
-  alwaysAssert(P.NumPoisoned <= P.NumPackages,
-               "more poisoned packages than packages");
+  alwaysAssert(P.NumPoisoned + P.NumStale <= P.NumPackages,
+               "more poisoned+stale packages than packages");
   Rng R(P.Seed);
   ReliabilityResult Result;
 
-  // Validation: each poisoned package is caught independently.
+  // Validation: each poisoned package is caught independently.  Stale
+  // packages occupy the slots after the poisoned ones; validation does
+  // not catch staleness (the seeder that built them was healthy -- the
+  // *site* moved underneath them).
   std::vector<bool> Poisoned(P.NumPackages, false);
+  std::vector<bool> Stale(P.NumPackages, false);
   std::vector<uint32_t> Published;
   for (uint32_t I = 0; I < P.NumPackages; ++I) {
     bool IsPoisoned = I < P.NumPoisoned;
     if (IsPoisoned && R.nextBool(P.ValidationCatchProbability))
       continue; // caught: never published
     Poisoned[I] = IsPoisoned;
+    Stale[I] = !IsPoisoned && I < P.NumPoisoned + P.NumStale;
     Published.push_back(I);
     if (IsPoisoned)
       ++Result.PoisonedPublished;
@@ -67,6 +72,13 @@ jumpstart::fleet::simulateCrashLoop(const ReliabilityParams &P) {
           // Automatic no-Jump-Start fallback: collect own profile.
           C.Fallback = true;
         }
+      } else if (Stale[Pick] && R.nextBool(P.StaleRejectProbability)) {
+        // Drift attrition: the install is rejected cleanly (no crash),
+        // but the attempt is spent -- same bounded-retry machinery.
+        ++Result.StaleRejections;
+        ++C.FailedAttempts;
+        if (C.FailedAttempts >= P.MaxJumpStartAttempts)
+          C.Fallback = true;
       } else {
         C.Healthy = true;
       }
@@ -101,6 +113,12 @@ jumpstart::fleet::simulateCrashLoop(const ReliabilityParams &P) {
     P.Obs->Metrics
         .counter("jumpstart.reliability.poisoned_published", ByRun)
         .inc(Result.PoisonedPublished);
+    // Only materialized when the drift knob is on, so runs without stale
+    // packages keep their exact metric export (golden-file compatible).
+    if (P.NumStale > 0)
+      P.Obs->Metrics
+          .counter("jumpstart.reliability.stale_rejections", ByRun)
+          .inc(Result.StaleRejections);
   }
   return Result;
 }

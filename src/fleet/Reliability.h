@@ -41,6 +41,14 @@ struct ReliabilityParams {
   /// randomized profiles".
   uint32_t NumPackages = 8;
   uint32_t NumPoisoned = 1;
+  /// Of the published packages, how many are *stale*: rebased from an
+  /// older release after code drift.  A stale package never crashes a
+  /// consumer, but its install is rejected (fingerprint/lint attrition)
+  /// with StaleRejectProbability per pick; a rejection burns a
+  /// Jump-Start attempt just like a crash does.  Poisoned and stale
+  /// package sets are disjoint.
+  uint32_t NumStale = 0;
+  double StaleRejectProbability = 0.0;
   /// Probability that validation catches a poisoned package before
   /// publication (paper VI-A technique 1).
   double ValidationCatchProbability = 0.0;
@@ -80,6 +88,9 @@ struct ReliabilityResult {
   uint32_t PeakCrashed = 0;
   /// Packages that were poisoned and published (post-validation).
   uint32_t PoisonedPublished = 0;
+  /// Stale-package installs rejected across all rounds (drift attrition;
+  /// each burned one Jump-Start attempt without crashing anything).
+  uint32_t StaleRejections = 0;
 };
 
 /// Runs the crash-loop model.

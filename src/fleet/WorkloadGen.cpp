@@ -11,19 +11,56 @@
 #include "frontend/Compiler.h"
 #include "runtime/Builtins.h"
 #include "support/Assert.h"
+#include "support/Hashing.h"
 #include "support/StringUtil.h"
 
 #include <algorithm>
+#include <map>
 
 using namespace jumpstart;
 using namespace jumpstart::fleet;
 
 namespace {
 
+/// The cumulative mutation set implied by DriftParams, resolved to
+/// concrete endpoint ids.  Built from its own RNG stream (never the site
+/// writer's), so everything the plan leaves alone is emitted with the
+/// exact release-0 bytes.
+struct DriftPlan {
+  /// Endpoint id -> release of its most recent rename.
+  std::map<uint32_t, uint32_t> RenameRelease;
+  /// Endpoint id -> release that split it (first split wins; a split
+  /// endpoint keeps its tail function in every later release).
+  std::map<uint32_t, uint32_t> SplitRelease;
+  /// Endpoints added since release 0 (ids NumEndpoints..+NumAdded-1).
+  uint32_t NumAdded = 0;
+  /// Hot-slice rotation applied to every partition.
+  uint32_t Rotation = 0;
+};
+
+DriftPlan buildDriftPlan(const WorkloadParams &P, const DriftParams &D) {
+  DriftPlan Plan;
+  for (uint32_t Rel = 1; Rel <= D.Release; ++Rel) {
+    Rng DR(hashCombine(D.DriftSeed, Rel));
+    for (uint32_t I = 0; I < D.RenamesPerRelease; ++I)
+      Plan.RenameRelease[static_cast<uint32_t>(
+          DR.nextBelow(P.NumEndpoints))] = Rel;
+    for (uint32_t I = 0; I < D.SplitsPerRelease; ++I)
+      Plan.SplitRelease.emplace(
+          static_cast<uint32_t>(DR.nextBelow(P.NumEndpoints)), Rel);
+    Plan.NumAdded += D.AddsPerRelease;
+  }
+  if (D.RotateHotness)
+    Plan.Rotation = D.Release % P.NumPartitions;
+  return Plan;
+}
+
 /// Emits the source text of the synthetic site.
 class SiteWriter {
 public:
-  SiteWriter(const WorkloadParams &P, Rng &R) : P(P), R(R) {}
+  SiteWriter(const WorkloadParams &P, const DriftParams &D,
+             const DriftPlan &Plan, Rng &R)
+      : P(P), D(D), Plan(Plan), R(R) {}
 
   std::vector<frontend::SourceFile> write();
 
@@ -36,7 +73,7 @@ private:
 
   void writeClass(std::string &Out, uint32_t I);
   void writeHelper(std::string &Out, uint32_t I);
-  void writeEndpoint(std::string &Out, uint32_t I);
+  void writeEndpoint(std::string &Out, uint32_t I, Rng &Rand);
 
   /// Helpers below this index are "common" (reachable from the endpoint
   /// mixes); the rest are rare-path helpers only reached behind
@@ -66,6 +103,8 @@ private:
   uint32_t familyRoot(uint32_t I) const { return I - (I % kFamilySize); }
 
   const WorkloadParams &P;
+  const DriftParams &D;
+  const DriftPlan &Plan;
   Rng &R;
 };
 
@@ -221,28 +260,37 @@ void SiteWriter::writeHelper(std::string &Out, uint32_t I) {
   Out += "}\n";
 }
 
-void SiteWriter::writeEndpoint(std::string &Out, uint32_t E) {
+void SiteWriter::writeEndpoint(std::string &Out, uint32_t E, Rng &Rand) {
   uint32_t Partition = E % P.NumPartitions;
   std::string Name = strFormat("endpoint_%u", E);
+  auto Renamed = Plan.RenameRelease.find(E);
+  if (Renamed != Plan.RenameRelease.end())
+    Name = strFormat("endpoint_%u_r%u", E, Renamed->second);
   EndpointNames.push_back(Name);
   Out += strFormat("function %s($req) {\n", Name.c_str());
   Out += "  $acc = 0;\n";
 
   // The partition's helper slice plus the shared global head (both drawn
   // from the common range; rare helpers are only reachable through the
-  // guarded calls below).
+  // guarded calls below).  Drift rotates which slice is hot without
+  // touching any code.
   uint32_t Common = numCommon();
   uint32_t SliceSize = Common / P.NumPartitions;
-  uint32_t SliceBase = Partition * SliceSize;
+  uint32_t SliceBase =
+      ((Partition + Plan.Rotation) % P.NumPartitions) * SliceSize;
   ZipfDistribution SliceDist(SliceSize, P.Flatness);
   ZipfDistribution HeadDist(std::min<uint32_t>(Common, 64), P.Flatness);
 
+  // Call lines are generated up-front (one fixed draw sequence per
+  // endpoint regardless of drift) and only then routed into either the
+  // endpoint body or its split-off tail function.
+  std::vector<std::string> Calls;
   for (uint32_t C = 0; C < P.CallsPerEndpoint; ++C) {
     uint32_t Helper;
-    if (R.nextBool(0.7))
-      Helper = SliceBase + static_cast<uint32_t>(SliceDist.sample(R));
+    if (Rand.nextBool(0.7))
+      Helper = SliceBase + static_cast<uint32_t>(SliceDist.sample(Rand));
     else
-      Helper = static_cast<uint32_t>(HeadDist.sample(R));
+      Helper = static_cast<uint32_t>(HeadDist.sample(Rand));
     Helper = std::min(Helper, Common - 1);
 
     // Argument type varies by endpoint parity: some endpoints feed
@@ -255,12 +303,28 @@ void SiteWriter::writeEndpoint(std::string &Out, uint32_t E) {
     else
       Arg = strFormat("($req + %u)", C * 7 + 1);
     if (helperArity(Helper) == 2)
-      Out += strFormat("  $acc = $acc + %s(%s, $req %% 11);\n",
-                       helperName(Helper).c_str(), Arg.c_str());
+      Calls.push_back(strFormat("  $acc = $acc + %s(%s, $req %% 11);\n",
+                                helperName(Helper).c_str(), Arg.c_str()));
     else
-      Out += strFormat("  $acc = $acc + %s(%s);\n",
-                       helperName(Helper).c_str(), Arg.c_str());
+      Calls.push_back(strFormat("  $acc = $acc + %s(%s);\n",
+                                helperName(Helper).c_str(), Arg.c_str()));
   }
+
+  // A split endpoint keeps the first half of its helper calls and moves
+  // the rest into a tail function (emitted after the endpoint, below):
+  // the endpoint's body -- and so its block structure and basic-block
+  // counts -- genuinely changes across the release.
+  auto Split = Plan.SplitRelease.find(E);
+  size_t InMain = Calls.size();
+  std::string TailName;
+  if (Split != Plan.SplitRelease.end() && Calls.size() >= 2) {
+    InMain = Calls.size() / 2;
+    TailName = strFormat("tail_%u_r%u", E, Split->second);
+  }
+  for (size_t C = 0; C < InMain; ++C)
+    Out += Calls[C];
+  if (!TailName.empty())
+    Out += strFormat("  $acc = $acc + %s($req);\n", TailName.c_str());
 
   // Rare code paths: each endpoint calls a couple of tail helpers behind
   // low-probability request guards.  These functions are almost never
@@ -292,6 +356,14 @@ void SiteWriter::writeEndpoint(std::string &Out, uint32_t E) {
          "    $acc = $acc + strlen($s);\n"
          "  }\n";
   Out += "  return $acc;\n}\n";
+
+  if (!TailName.empty()) {
+    Out += strFormat("function %s($req) {\n  $acc = 0;\n",
+                     TailName.c_str());
+    for (size_t C = InMain; C < Calls.size(); ++C)
+      Out += Calls[C];
+    Out += "  return $acc;\n}\n";
+  }
 }
 
 std::vector<frontend::SourceFile> SiteWriter::write() {
@@ -326,7 +398,18 @@ std::vector<frontend::SourceFile> SiteWriter::write() {
   for (uint32_t U = 0; U < EndpointUnits; ++U) {
     std::string Src;
     for (uint32_t E = U; E < P.NumEndpoints; E += EndpointUnits)
-      writeEndpoint(Src, E);
+      writeEndpoint(Src, E, R);
+    if (U + 1 == EndpointUnits) {
+      // Drift-added endpoints go at the end of the last endpoint unit.
+      // Each draws from a self-seeded RNG keyed on its id, so (a) the
+      // base site's draw stream is untouched and (b) an endpoint added
+      // in release N has the identical body in every later release.
+      for (uint32_t A = 0; A < Plan.NumAdded; ++A) {
+        uint32_t E = P.NumEndpoints + A;
+        Rng AddRng(hashCombine(hashCombine(D.DriftSeed, 0x616464ull), E));
+        writeEndpoint(Src, E, AddRng);
+      }
+    }
     Files.push_back({strFormat("endpoints_%u.hack", U), std::move(Src)});
   }
   // writeEndpoint appended names in unit-interleaved order; re-sort them
@@ -345,11 +428,18 @@ std::vector<frontend::SourceFile> SiteWriter::write() {
 
 std::unique_ptr<Workload>
 jumpstart::fleet::generateWorkload(const WorkloadParams &P) {
+  return generateDriftedWorkload(P, DriftParams{});
+}
+
+std::unique_ptr<Workload>
+jumpstart::fleet::generateDriftedWorkload(const WorkloadParams &P,
+                                          const DriftParams &D) {
   Rng R(P.Seed);
   auto W = std::make_unique<Workload>();
   W->NumPartitions = P.NumPartitions;
 
-  SiteWriter Writer(P, R);
+  DriftPlan Plan = buildDriftPlan(P, D);
+  SiteWriter Writer(P, D, Plan, R);
   std::vector<frontend::SourceFile> Files = Writer.write();
   for (const frontend::SourceFile &F : Files)
     W->Sources.emplace_back(F.Name, F.Source);
@@ -367,8 +457,12 @@ jumpstart::fleet::generateWorkload(const WorkloadParams &P) {
     std::fprintf(stderr, "workload verify error: %s\n", E.c_str());
   alwaysAssert(VerifyErrors.empty(), "generated workload failed to verify");
 
-  for (uint32_t E = 0; E < P.NumEndpoints; ++E) {
-    bc::FuncId F = W->Repo.findFunction(strFormat("endpoint_%u", E));
+  uint32_t Total = P.NumEndpoints + Plan.NumAdded;
+  alwaysAssert(Writer.EndpointNames.size() == Total,
+               "endpoint name bookkeeping broken");
+  W->EndpointNames = Writer.EndpointNames;
+  for (uint32_t E = 0; E < Total; ++E) {
+    bc::FuncId F = W->Repo.findFunction(W->EndpointNames[E]);
     alwaysAssert(F.valid(), "endpoint function missing");
     W->Endpoints.push_back(F);
     W->EndpointPartition.push_back(E % P.NumPartitions);

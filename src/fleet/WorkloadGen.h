@@ -57,11 +57,37 @@ struct WorkloadParams {
   uint32_t CallsPerEndpoint = 14;
 };
 
+/// Code-drift knobs: how the synthetic site mutates across releases
+/// (ROADMAP item 4, "staleness under drift").  Release 0 is byte-for-byte
+/// the undrifted site; each later release cumulatively renames endpoints
+/// (same body, new name -- profile anchors break by name), splits
+/// endpoints (half the helper calls move into a new tail function --
+/// function bodies shrink and block structures change), adds brand-new
+/// endpoints (never profiled), and rotates which helper slice each
+/// partition hammers (hotness shift).  The drift plan draws from its own
+/// RNG, so the surviving code of release N is textually identical to
+/// release 0 -- exactly the "mostly the same site" a real weekly push
+/// produces.
+struct DriftParams {
+  /// Releases of drift to apply (0 = pristine site).
+  uint32_t Release = 0;
+  uint32_t RenamesPerRelease = 2;
+  uint32_t SplitsPerRelease = 1;
+  uint32_t AddsPerRelease = 1;
+  /// Rotate each partition's hot helper slice by one partition per
+  /// release (shifts hotness without touching any code).
+  bool RotateHotness = true;
+  uint64_t DriftSeed = 77;
+};
+
 /// The generated application.
 struct Workload {
   bc::Repo Repo;
   /// Endpoint functions, index = endpoint id.
   std::vector<bc::FuncId> Endpoints;
+  /// Endpoint function names, index = endpoint id (drift can rename
+  /// them, so "endpoint_<id>" is not always the name).
+  std::vector<std::string> EndpointNames;
   /// Semantic partition of each endpoint.
   std::vector<uint32_t> EndpointPartition;
   uint32_t NumPartitions = 0;
@@ -72,6 +98,11 @@ struct Workload {
 /// Generates and compiles a workload.  Aborts (alwaysAssert) on generator
 /// bugs -- generated code must always compile and verify.
 std::unique_ptr<Workload> generateWorkload(const WorkloadParams &P);
+
+/// Generates release \p D.Release of the drifting site.  With
+/// D.Release == 0 the result is byte-identical to generateWorkload(P).
+std::unique_ptr<Workload> generateDriftedWorkload(const WorkloadParams &P,
+                                                  const DriftParams &D);
 
 } // namespace jumpstart::fleet
 

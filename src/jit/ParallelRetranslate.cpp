@@ -15,6 +15,95 @@
 using namespace jumpstart;
 using namespace jumpstart::jit;
 
+void ParallelRetranslate::prelowerPending(Jit &J,
+                                          support::ThreadPool *Pool) {
+  if (J.Jobs.empty())
+    return;
+
+  // Snapshot the lowering work the queued jobs will need.  Profile
+  // compiles are skipped: they are cheap, phase-dependent, and have no
+  // scratch slot.
+  struct Task {
+    uint32_t FuncRaw = 0;
+    const VasmUnit *LayoutOf = nullptr; ///< layout-only (relocate jobs)
+    bool Live = false;
+  };
+  std::vector<Task> Tasks;
+  for (const Jit::Job &Job : J.Jobs) {
+    switch (Job.Kind) {
+    case Jit::Job::Kind::CompileProfile:
+      break;
+    case Jit::Job::Kind::CompileOptimized:
+      if (J.Db.forFunc(bc::FuncId(Job.Func), TransKind::Optimized) ||
+          J.PrecompiledOpt.count(Job.Func))
+        break; // already compiled or already prelowered
+      Tasks.push_back({Job.Func, nullptr, /*Live=*/false});
+      break;
+    case Jit::Job::Kind::CompileLive:
+      if (!J.PrecompiledLive.count(Job.Func))
+        Tasks.push_back({Job.Func, nullptr, /*Live=*/true});
+      break;
+    case Jit::Job::Kind::Relocate: {
+      const Translation *T = J.Db.find(Job.Trans);
+      if (!T || T->Placed ||
+          J.PrecomputedLayouts.count(T->Unit->Func.raw()))
+        break;
+      Tasks.push_back({T->Unit->Func.raw(), T->Unit.get(), false});
+      break;
+    }
+    }
+  }
+  if (Tasks.empty())
+    return;
+
+  // Warm the shared block cache serially (see run()); after this the
+  // workers only read it.
+  for (uint32_t FuncRaw = 0; FuncRaw < J.R.numFuncs(); ++FuncRaw)
+    (void)J.Blocks.blocks(bc::FuncId(FuncRaw));
+
+  struct Slot {
+    std::unique_ptr<VasmUnit> Unit;
+    UnitLayout Layout;
+    bool HasLayout = false;
+  };
+  std::vector<Slot> Slots(Tasks.size());
+  const LayoutOptions LO = J.layoutOptions();
+  auto LowerOne = [&](size_t I) {
+    const Task &T = Tasks[I];
+    if (T.LayoutOf) {
+      Slots[I].Layout = layoutUnit(*T.LayoutOf, LO);
+      Slots[I].HasLayout = true;
+      return;
+    }
+    bc::FuncId F(T.FuncRaw);
+    if (T.Live) {
+      Slots[I].Unit = J.lowerLiveUnit(F);
+    } else {
+      Slots[I].Unit = J.lowerOptimizedUnit(F);
+      Slots[I].Layout = layoutUnit(*Slots[I].Unit, LO);
+      Slots[I].HasLayout = true;
+    }
+  };
+  if (Pool)
+    Pool->parallelFor(Tasks.size(), LowerOne);
+  else
+    for (size_t I = 0; I < Tasks.size(); ++I)
+      LowerOne(I);
+
+  for (size_t I = 0; I < Tasks.size(); ++I) {
+    const Task &T = Tasks[I];
+    if (T.Live) {
+      J.PrecompiledLive.emplace(T.FuncRaw, std::move(Slots[I].Unit));
+      continue;
+    }
+    if (Slots[I].Unit)
+      J.PrecompiledOpt.emplace(T.FuncRaw, std::move(Slots[I].Unit));
+    if (Slots[I].HasLayout)
+      J.PrecomputedLayouts.emplace(T.FuncRaw,
+                                   std::move(Slots[I].Layout));
+  }
+}
+
 RetranslateStats
 ParallelRetranslate::run(double SliceUnits,
                          const std::function<void(double)> &OnSlice) {

@@ -85,6 +85,17 @@ public:
   RetranslateStats run(double SliceUnits,
                        const std::function<void(double)> &OnSlice = {});
 
+  /// Pre-lowers \p J's currently queued jobs on \p Pool without running
+  /// any of them: optimized/live units are lowered and block layouts
+  /// precomputed into the Jit's scratch slots, which the serial pipeline
+  /// then consumes instead of recomputing.  Virtual cost accounting and
+  /// placement order are untouched, so output is byte-identical to a
+  /// scratch-less drain -- only host wall-clock changes.  Intended for
+  /// incremental drains (vm::Server::runBackgroundJitWork) where the
+  /// caller owns the slice loop; idempotent, so calling it before every
+  /// slice is cheap once the scratch is populated.
+  static void prelowerPending(Jit &J, support::ThreadPool *Pool);
+
 private:
   Jit &J;
   support::ThreadPool *Pool;

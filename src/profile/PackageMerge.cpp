@@ -1,0 +1,194 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/PackageMerge.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace jumpstart::profile {
+
+using support::Status;
+
+namespace {
+
+/// Weighted rank aggregation over ordered id lists.  An id absent from an
+/// input is charged that input's full list length, so ids every seeder
+/// agrees are early stay early and ids only one seeder saw sink towards
+/// the tail.  Ties break on the id itself, keeping the result independent
+/// of input order.
+std::vector<uint32_t>
+mergeOrderedList(const std::vector<MergeInput> &Inputs,
+                 const std::vector<uint32_t> &(*Get)(const ProfilePackage &)) {
+  std::map<uint32_t, uint64_t> Score;
+  for (const MergeInput &In : Inputs) {
+    const std::vector<uint32_t> &List = Get(*In.Pkg);
+    for (uint32_t Id : List)
+      Score.emplace(Id, 0); // every id any input mentions gets scored
+  }
+  for (const MergeInput &In : Inputs) {
+    const std::vector<uint32_t> &List = Get(*In.Pkg);
+    std::map<uint32_t, uint64_t> Pos;
+    for (size_t P = 0; P < List.size(); ++P)
+      Pos.emplace(List[P], P);
+    for (auto &[Id, S] : Score) {
+      auto It = Pos.find(Id);
+      uint64_t Rank = It != Pos.end() ? It->second : List.size();
+      S += In.Weight * Rank;
+    }
+  }
+  std::vector<std::pair<uint64_t, uint32_t>> Ranked;
+  Ranked.reserve(Score.size());
+  for (const auto &[Id, S] : Score)
+    Ranked.emplace_back(S, Id);
+  std::sort(Ranked.begin(), Ranked.end());
+  std::vector<uint32_t> Out;
+  Out.reserve(Ranked.size());
+  for (const auto &[S, Id] : Ranked)
+    Out.push_back(Id);
+  return Out;
+}
+
+void addWeighted(std::vector<uint64_t> &Into, const std::vector<uint64_t> &From,
+                 uint64_t W) {
+  if (Into.size() < From.size())
+    Into.resize(From.size(), 0);
+  for (size_t I = 0; I < From.size(); ++I)
+    Into[I] += W * From[I];
+}
+
+void addWeighted(TypeObservation &Into, const TypeObservation &From,
+                 uint64_t W) {
+  for (unsigned I = 0; I < TypeObservation::kNumTypes; ++I)
+    Into.Counts[I] += W * From.Counts[I];
+}
+
+void mergeFuncProfile(FuncProfile &Into, const FuncProfile &From, uint64_t W) {
+  Into.EntryCount += W * From.EntryCount;
+  addWeighted(Into.BlockCounts, From.BlockCounts, W);
+  for (const auto &[Pc, Targets] : From.CallTargets)
+    for (const auto &[Callee, Count] : Targets)
+      Into.CallTargets[Pc][Callee] += W * Count;
+  if (Into.ParamTypes.size() < From.ParamTypes.size())
+    Into.ParamTypes.resize(From.ParamTypes.size());
+  for (size_t I = 0; I < From.ParamTypes.size(); ++I)
+    addWeighted(Into.ParamTypes[I], From.ParamTypes[I], W);
+  for (const auto &[Pc, Obs] : From.LoadTypes)
+    addWeighted(Into.LoadTypes[Pc], Obs, W);
+}
+
+} // namespace
+
+Status mergePackages(const std::vector<MergeInput> &Inputs,
+                     ProfilePackage &Out) {
+  if (Inputs.empty())
+    return support::errorStatus(support::StatusCode::InvalidArgument,
+                                "merge of zero packages");
+  for (const MergeInput &In : Inputs) {
+    if (!In.Pkg)
+      return support::errorStatus(support::StatusCode::InvalidArgument,
+                                  "merge input without a package");
+    if (In.Weight == 0)
+      return support::errorStatus(support::StatusCode::InvalidArgument,
+                                  "merge input with weight 0 (seeder %llu)",
+                                  (unsigned long long)In.Pkg->SeederId);
+  }
+
+  const ProfilePackage &First = *Inputs.front().Pkg;
+  std::set<uint64_t> Seeders;
+  for (const MergeInput &In : Inputs) {
+    const ProfilePackage &P = *In.Pkg;
+    if (P.Region != First.Region || P.Bucket != First.Bucket)
+      return support::errorStatus(
+          support::StatusCode::FailedPrecondition,
+          "merge across shelves: (r%u,b%u) vs (r%u,b%u)", P.Region, P.Bucket,
+          First.Region, First.Bucket);
+    if (P.RepoFingerprint != First.RepoFingerprint)
+      return support::errorStatus(
+          support::StatusCode::FailedPrecondition,
+          "merge across application builds: fingerprint %llx vs %llx",
+          (unsigned long long)P.RepoFingerprint,
+          (unsigned long long)First.RepoFingerprint);
+    if (!Seeders.insert(P.SeederId).second)
+      return support::errorStatus(support::StatusCode::FailedPrecondition,
+                                  "duplicate seeder %llu in merge set",
+                                  (unsigned long long)P.SeederId);
+  }
+
+  // Canonicalize: fold in SeederId order, never arrival order.
+  std::vector<MergeInput> Sorted = Inputs;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const MergeInput &A, const MergeInput &B) {
+              return A.Pkg->SeederId < B.Pkg->SeederId;
+            });
+
+  ProfilePackage Merged;
+  Merged.RepoFingerprint = First.RepoFingerprint;
+  Merged.Region = First.Region;
+  Merged.Bucket = First.Bucket;
+  uint64_t SeederHash = 0x6d65726765ull; // "merge"
+  for (uint64_t S : Seeders)
+    SeederHash = hashCombine(SeederHash, S);
+  Merged.SeederId = SeederHash;
+
+  Merged.Preload.Units = mergeOrderedList(
+      Sorted, +[](const ProfilePackage &P) -> const std::vector<uint32_t> & {
+        return P.Preload.Units;
+      });
+  Merged.Preload.Strings = mergeOrderedList(
+      Sorted, +[](const ProfilePackage &P) -> const std::vector<uint32_t> & {
+        return P.Preload.Strings;
+      });
+  Merged.Preload.Classes = mergeOrderedList(
+      Sorted, +[](const ProfilePackage &P) -> const std::vector<uint32_t> & {
+        return P.Preload.Classes;
+      });
+  Merged.Intermediate.FuncOrder = mergeOrderedList(
+      Sorted, +[](const ProfilePackage &P) -> const std::vector<uint32_t> & {
+        return P.Intermediate.FuncOrder;
+      });
+
+  // Tier-1 profiles: keyed by function, counters folded weight-scaled.
+  std::map<uint32_t, FuncProfile> Funcs;
+  for (const MergeInput &In : Sorted)
+    for (const FuncProfile &FP : In.Pkg->Funcs) {
+      FuncProfile &Into = Funcs[FP.Func];
+      Into.Func = FP.Func;
+      mergeFuncProfile(Into, FP, In.Weight);
+    }
+  Merged.Funcs.reserve(Funcs.size());
+  for (auto &[Id, FP] : Funcs)
+    Merged.Funcs.push_back(std::move(FP));
+
+  // Optimized-code profiles (category 3).
+  for (const MergeInput &In : Sorted) {
+    const OptProfile &O = In.Pkg->Opt;
+    for (const auto &[Func, Counts] : O.VasmBlockCounts)
+      addWeighted(Merged.Opt.VasmBlockCounts[Func], Counts, In.Weight);
+    for (const auto &[Arc, Count] : O.CallArcs)
+      Merged.Opt.CallArcs[Arc] += In.Weight * Count;
+    for (const auto &[Key, Count] : O.PropAccessCounts)
+      Merged.Opt.PropAccessCounts[Key] += In.Weight * Count;
+    for (const auto &[Key, Count] : O.PropAffinity)
+      Merged.Opt.PropAffinity[Key] += In.Weight * Count;
+  }
+
+  // Live-code set: sorted union (order carries no ranking here).
+  std::set<uint32_t> Live;
+  for (const MergeInput &In : Sorted)
+    Live.insert(In.Pkg->Intermediate.LiveFuncs.begin(),
+                In.Pkg->Intermediate.LiveFuncs.end());
+  Merged.Intermediate.LiveFuncs.assign(Live.begin(), Live.end());
+
+  Out = std::move(Merged);
+  return Status::okStatus();
+}
+
+} // namespace jumpstart::profile

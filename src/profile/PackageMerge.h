@@ -1,0 +1,61 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-seeder package merge (ROADMAP item 4).
+///
+/// The paper ships the package of a single seeder per (region, bucket);
+/// with N seeders the packages must be folded into one before release.
+/// The merge is a weighted counter union with deterministic conflict
+/// rules:
+///
+///   * Counters (block counts, call targets, type observations, Vasm
+///     counters, call arcs, property counters) are summed slot-wise,
+///     each input scaled by its weight.  Vectors of different lengths
+///     are first resized to the longest input.
+///   * Ordered lists (preload lists, the C3 function order) are combined
+///     by weighted rank aggregation: an id's score is the weighted sum of
+///     its positions (absent inputs charge their list length), and the
+///     output is sorted by (score, id).  Every id appears exactly once,
+///     so merged lists pass the same duplicate checks `lintPackage`
+///     applies to single-seeder lists.
+///   * LiveFuncs is the sorted union.
+///
+/// Inputs are canonicalized by SeederId before any folding, so the merged
+/// package is byte-identical regardless of the order seeders arrive in.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_PROFILE_PACKAGEMERGE_H
+#define JUMPSTART_PROFILE_PACKAGEMERGE_H
+
+#include "profile/ProfilePackage.h"
+#include "support/Status.h"
+
+#include <vector>
+
+namespace jumpstart::profile {
+
+/// One seeder package feeding a merge, with the weight its counters are
+/// scaled by (e.g. the seeder's request share).  Weight 0 is rejected --
+/// a voiceless input should simply not be passed.
+struct MergeInput {
+  const ProfilePackage *Pkg = nullptr;
+  uint64_t Weight = 1;
+};
+
+/// Merges \p Inputs into \p Out.  All inputs must target the same
+/// (Region, Bucket), carry the same RepoFingerprint and have pairwise
+/// distinct SeederIds; violations are InvalidArgument /
+/// FailedPrecondition errors and leave \p Out untouched.  The merged
+/// SeederId is a deterministic hash of the sorted input seeder set.
+support::Status mergePackages(const std::vector<MergeInput> &Inputs,
+                              ProfilePackage &Out);
+
+} // namespace jumpstart::profile
+
+#endif // JUMPSTART_PROFILE_PACKAGEMERGE_H

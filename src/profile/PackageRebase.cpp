@@ -1,0 +1,273 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+
+#include "profile/PackageRebase.h"
+
+#include "bytecode/BlockCache.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace jumpstart::profile {
+
+using support::Status;
+using support::StatusCode;
+
+namespace {
+
+/// Splits "Class::prop" / "Class::a::b" on "::".
+std::vector<std::string> splitKey(const std::string &Key) {
+  std::vector<std::string> Parts;
+  size_t Pos = 0;
+  while (true) {
+    size_t Next = Key.find("::", Pos);
+    if (Next == std::string::npos) {
+      Parts.push_back(Key.substr(Pos));
+      return Parts;
+    }
+    Parts.push_back(Key.substr(Pos, Next - Pos));
+    Pos = Next + 2;
+  }
+}
+
+/// Walks the inheritance chain of \p C looking for a declared property
+/// named \p Prop (the same resolution strict lint applies).
+bool classDeclaresProp(const bc::Repo &R, bc::ClassId C, bc::StringId Prop) {
+  while (C.valid()) {
+    const bc::Class &K = R.cls(C);
+    for (bc::StringId P : K.DeclProps)
+      if (P == Prop)
+        return true;
+    C = K.Parent;
+  }
+  return false;
+}
+
+/// Name-keyed id maps from the old repo into the new one.  Function names
+/// are class-qualified ("K0::init"), so one lookup covers methods too.
+struct IdMapper {
+  const bc::Repo &Old;
+  const bc::Repo &New;
+  std::unordered_map<std::string, uint32_t> UnitByName;
+
+  IdMapper(const bc::Repo &Old, const bc::Repo &New) : Old(Old), New(New) {
+    for (const bc::Unit &U : New.units())
+      UnitByName.emplace(U.Name, U.Id.raw());
+  }
+
+  bc::FuncId mapFunc(uint32_t Raw) const {
+    if (Raw >= Old.numFuncs())
+      return bc::FuncId();
+    return New.findFunction(Old.func(bc::FuncId(Raw)).Name);
+  }
+  bc::ClassId mapClass(uint32_t Raw) const {
+    if (Raw >= Old.numClasses())
+      return bc::ClassId();
+    return New.findClass(Old.cls(bc::ClassId(Raw)).Name);
+  }
+  bc::StringId mapString(uint32_t Raw) const {
+    if (Raw >= Old.numStrings())
+      return bc::StringId();
+    return New.findString(Old.str(bc::StringId(Raw)));
+  }
+  bc::UnitId mapUnit(uint32_t Raw) const {
+    if (Raw >= Old.numUnits())
+      return bc::UnitId();
+    auto It = UnitByName.find(Old.unit(bc::UnitId(Raw)).Name);
+    return It == UnitByName.end() ? bc::UnitId() : bc::UnitId(It->second);
+  }
+};
+
+/// Maps an ordered id list, dropping vanished entries (order otherwise
+/// preserved).  Mapping by unique name is injective, so the result stays
+/// duplicate-free -- a lint requirement.
+template <typename MapFn>
+std::vector<uint32_t> mapList(const std::vector<uint32_t> &Ids, MapFn Map,
+                              size_t &Dropped) {
+  std::vector<uint32_t> Out;
+  Out.reserve(Ids.size());
+  for (uint32_t Id : Ids) {
+    auto Mapped = Map(Id);
+    if (Mapped.valid())
+      Out.push_back(Mapped.raw());
+    else
+      ++Dropped;
+  }
+  return Out;
+}
+
+} // namespace
+
+Status rebasePackage(const ProfilePackage &Old, const bc::Repo &OldRepo,
+                     const bc::Repo &NewRepo, uint64_t NewFingerprint,
+                     ProfilePackage &Out, RebaseStats *Stats) {
+  IdMapper M(OldRepo, NewRepo);
+  RebaseStats S;
+  bc::BlockCache NewBlocks(NewRepo);
+
+  ProfilePackage R;
+  R.RepoFingerprint = NewFingerprint;
+  R.Region = Old.Region;
+  R.Bucket = Old.Bucket;
+  R.SeederId = Old.SeederId;
+
+  R.Preload.Units = mapList(
+      Old.Preload.Units, [&](uint32_t Id) { return M.mapUnit(Id); },
+      S.PreloadDropped);
+  R.Preload.Strings = mapList(
+      Old.Preload.Strings, [&](uint32_t Id) { return M.mapString(Id); },
+      S.PreloadDropped);
+  R.Preload.Classes = mapList(
+      Old.Preload.Classes, [&](uint32_t Id) { return M.mapClass(Id); },
+      S.PreloadDropped);
+
+  // Tier-1 function profiles.  Output is keyed (and thus serialized) in
+  // new-FuncId order for deterministic bytes.
+  std::map<uint32_t, FuncProfile> Funcs;
+  for (const FuncProfile &FP : Old.Funcs) {
+    bc::FuncId NewId = M.mapFunc(FP.Func);
+    if (!NewId.valid() || FP.Func >= OldRepo.numFuncs()) {
+      ++S.FuncsDropped;
+      continue;
+    }
+    const bc::Function &OF = OldRepo.func(bc::FuncId(FP.Func));
+    const bc::Function &NF = NewRepo.func(NewId);
+
+    FuncProfile NP;
+    NP.Func = NewId.raw();
+    NP.EntryCount = FP.EntryCount;
+
+    // Block counters: the new function may have fewer blocks (a split or
+    // edit); lint rejects counters past the block count, so truncate.
+    size_t NewNumBlocks = NewBlocks.blocks(NewId).numBlocks();
+    NP.BlockCounts = FP.BlockCounts;
+    if (NP.BlockCounts.size() > NewNumBlocks) {
+      NP.BlockCounts.resize(NewNumBlocks);
+      ++S.BlockCountsTruncated;
+    }
+
+    // Call-target profiles survive only when the site is *provably* the
+    // same call: in range on both sides, still an FCallObj, same method
+    // name, the callee still exists, and the callee is still a
+    // class-hierarchy resolution of that name (the CG cross-check strict
+    // lint may apply).
+    for (const auto &[Pc, Targets] : FP.CallTargets) {
+      bool SiteOk = Pc < OF.Code.size() && Pc < NF.Code.size() &&
+                    OF.Code[Pc].Opcode == bc::Op::FCallObj &&
+                    NF.Code[Pc].Opcode == bc::Op::FCallObj;
+      bc::StringId NewName;
+      if (SiteOk) {
+        const std::string &OldName = OldRepo.str(OF.Code[Pc].strImm());
+        NewName = NF.Code[Pc].strImm();
+        SiteOk = NewName.valid() && NewRepo.str(NewName) == OldName;
+      }
+      if (!SiteOk) {
+        ++S.CallTargetsDropped;
+        continue;
+      }
+      std::vector<bc::FuncId> Resolutions =
+          NewRepo.allMethodResolutions(NewName);
+      std::map<uint32_t, uint64_t> NewTargets;
+      for (const auto &[Callee, Count] : Targets) {
+        bc::FuncId NewCallee = M.mapFunc(Callee);
+        if (NewCallee.valid() &&
+            std::binary_search(Resolutions.begin(), Resolutions.end(),
+                               NewCallee))
+          NewTargets[NewCallee.raw()] += Count;
+      }
+      if (NewTargets.empty())
+        ++S.CallTargetsDropped;
+      else
+        NP.CallTargets.emplace(Pc, std::move(NewTargets));
+    }
+
+    NP.ParamTypes = FP.ParamTypes;
+    if (NP.ParamTypes.size() > NF.NumParams)
+      NP.ParamTypes.resize(NF.NumParams);
+
+    // Load-type observations: kept only when the instruction at that
+    // index is unchanged (same opcode), which also keeps it one of the
+    // type-observing opcodes lint accepts.
+    for (const auto &[Pc, Obs] : FP.LoadTypes) {
+      if (Pc < OF.Code.size() && Pc < NF.Code.size() &&
+          OF.Code[Pc].Opcode == NF.Code[Pc].Opcode)
+        NP.LoadTypes.emplace(Pc, Obs);
+      else
+        ++S.LoadTypesDropped;
+    }
+
+    ++S.FuncsMapped;
+    Funcs.emplace(NP.Func, std::move(NP));
+  }
+  R.Funcs.reserve(Funcs.size());
+  for (auto &[Id, FP] : Funcs)
+    R.Funcs.push_back(std::move(FP));
+
+  // Optimized-code profiles.
+  for (const auto &[Func, Counts] : Old.Opt.VasmBlockCounts) {
+    bc::FuncId NewId = M.mapFunc(Func);
+    if (NewId.valid())
+      R.Opt.VasmBlockCounts.emplace(NewId.raw(), Counts);
+    else
+      ++S.ArcsDropped;
+  }
+  for (const auto &[Arc, Count] : Old.Opt.CallArcs) {
+    bc::FuncId Caller = M.mapFunc(Arc.first);
+    bc::FuncId Callee = M.mapFunc(Arc.second);
+    if (Caller.valid() && Callee.valid())
+      R.Opt.CallArcs[{Caller.raw(), Callee.raw()}] += Count;
+    else
+      ++S.ArcsDropped;
+  }
+  for (const auto &[Key, Count] : Old.Opt.PropAccessCounts) {
+    std::vector<std::string> Parts = splitKey(Key);
+    bc::ClassId C = Parts.size() == 2 ? NewRepo.findClass(Parts[0])
+                                      : bc::ClassId();
+    bc::StringId Prop = C.valid() ? NewRepo.findString(Parts[1])
+                                  : bc::StringId();
+    if (Prop.valid() && classDeclaresProp(NewRepo, C, Prop))
+      R.Opt.PropAccessCounts[Key] += Count;
+    else
+      ++S.PropKeysDropped;
+  }
+  for (const auto &[Key, Count] : Old.Opt.PropAffinity) {
+    std::vector<std::string> Parts = splitKey(Key);
+    bool Keep = Parts.size() == 3;
+    if (Keep) {
+      bc::ClassId C = NewRepo.findClass(Parts[0]);
+      bc::StringId A = NewRepo.findString(Parts[1]);
+      bc::StringId B = NewRepo.findString(Parts[2]);
+      Keep = C.valid() && A.valid() && B.valid() &&
+             classDeclaresProp(NewRepo, C, A) &&
+             classDeclaresProp(NewRepo, C, B);
+    }
+    if (Keep)
+      R.Opt.PropAffinity[Key] += Count;
+    else
+      ++S.PropKeysDropped;
+  }
+
+  R.Intermediate.FuncOrder = mapList(
+      Old.Intermediate.FuncOrder, [&](uint32_t Id) { return M.mapFunc(Id); },
+      S.OrderDropped);
+  R.Intermediate.LiveFuncs = mapList(
+      Old.Intermediate.LiveFuncs, [&](uint32_t Id) { return M.mapFunc(Id); },
+      S.LiveDropped);
+
+  if (Stats)
+    *Stats = S;
+  if (S.FuncsMapped == 0)
+    return support::errorStatus(
+        StatusCode::FailedPrecondition,
+        "rebase kept no function profile: the releases share no function");
+  Out = std::move(R);
+  return Status::okStatus();
+}
+
+} // namespace jumpstart::profile

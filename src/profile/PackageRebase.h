@@ -1,0 +1,66 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-release package rebase (ROADMAP item 4, "staleness under drift").
+///
+/// A package is keyed to one application build by its RepoFingerprint;
+/// after a code push the ids it carries mean different things and a
+/// consumer rightly rejects it.  But most of a release's code survives a
+/// push, so most of the profile is still true -- it is just mis-keyed.
+/// rebasePackage() re-keys a stale package onto a new repo by *name*:
+/// functions (methods carry their class-qualified name), classes, units
+/// and interned strings are looked up in the new repo, entries whose
+/// anchor no longer exists (or whose anchoring instruction changed) are
+/// dropped, and block-counter vectors are truncated to the new block
+/// structure.  The result passes the same strict `lintPackage` checks as
+/// a fresh package for the new repo, so it flows through the unmodified
+/// consumer accept path.
+///
+/// What survives is exactly what drift left intact; RebaseStats reports
+/// the attrition so the drift sweep can correlate benefit with package
+/// age.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_PROFILE_PACKAGEREBASE_H
+#define JUMPSTART_PROFILE_PACKAGEREBASE_H
+
+#include "bytecode/Repo.h"
+#include "profile/ProfilePackage.h"
+#include "support/Status.h"
+
+namespace jumpstart::profile {
+
+/// Attrition accounting for one rebase.
+struct RebaseStats {
+  size_t FuncsMapped = 0;        ///< function profiles carried over
+  size_t FuncsDropped = 0;       ///< profiled functions gone from the new repo
+  size_t BlockCountsTruncated = 0; ///< functions whose counter vector shrank
+  size_t CallTargetsDropped = 0; ///< call sites whose instruction changed
+  size_t LoadTypesDropped = 0;   ///< load sites whose instruction changed
+  size_t PreloadDropped = 0;     ///< preload-list ids gone from the new repo
+  size_t OrderDropped = 0;       ///< C3 order entries gone
+  size_t LiveDropped = 0;        ///< live funcs gone
+  size_t ArcsDropped = 0; ///< opt-profile entries with a vanished function
+  size_t PropKeysDropped = 0;    ///< property keys naming vanished members
+};
+
+/// Re-keys \p Old (collected on \p OldRepo) onto \p NewRepo, stamping the
+/// result with \p NewFingerprint (the consumer-side fingerprint of
+/// \p NewRepo).  Fails with FailedPrecondition when nothing survives --
+/// a package with zero remaining function profiles helps nobody and
+/// would only burn a consumer attempt.
+support::Status rebasePackage(const ProfilePackage &Old,
+                              const bc::Repo &OldRepo,
+                              const bc::Repo &NewRepo,
+                              uint64_t NewFingerprint, ProfilePackage &Out,
+                              RebaseStats *Stats = nullptr);
+
+} // namespace jumpstart::profile
+
+#endif // JUMPSTART_PROFILE_PACKAGEREBASE_H

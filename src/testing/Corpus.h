@@ -36,6 +36,7 @@ namespace jumpstart::testing {
 ///   pkg_struct       -- semantic package mutation + consumer boot
 ///   pkg_byteflip     -- wire-level byte flips and truncations
 ///   pkg_distribution -- in-store corruption after publication
+///   pkg_drift        -- rebase onto a drifted release + consumer boot
 ///   diff_program     -- differential sweep of one generated program
 struct CorpusEntry {
   std::string Kind;

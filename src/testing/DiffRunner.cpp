@@ -10,7 +10,7 @@
 #include "analysis/Linter.h"
 #include "bytecode/Verifier.h"
 #include "core/Consumer.h"
-#include "core/PackageStore.h"
+#include "core/PackageManager.h"
 #include "frontend/Compiler.h"
 #include "interp/Interpreter.h"
 #include "obs/Export.h"
@@ -416,8 +416,9 @@ RunTrace DiffRunner::runConfig(const fleet::Workload &W,
   }
   profile::ProfilePackage Pkg = Seeder.buildSeederPackage(0, 0, 1);
 
-  core::PackageStore Store;
-  Store.publish(0, 0, Pkg.serialize());
+  core::PackageManager Manager;
+  alwaysAssert(Manager.publish(0, 0, Pkg.serialize()).ok(),
+               "publishing the diff package");
 
   core::JumpStartOptions Opts;
   // Tiny generated programs cannot meet production coverage thresholds;
@@ -432,7 +433,7 @@ RunTrace DiffRunner::runConfig(const fleet::Workload &W,
   CP.Seed = 13;
   CP.Name = "diff";
   core::ConsumerOutcome Out =
-      core::startConsumer(W, SC, Opts, Store, CP, nullptr, &Obs);
+      core::startConsumer(W, SC, Opts, Manager, CP, nullptr, &Obs);
   alwaysAssert(Out.Server != nullptr, "consumer failed to boot at all");
   T.BootedJumpStart = Out.UsedJumpStart;
   Serve(*Out.Server);

@@ -50,7 +50,7 @@ struct ExecConfig {
   };
   Tier Mode = Tier::FullJit;
   /// Boot as a Jump-Start consumer from a seeder-published package
-  /// (core::startConsumer against a real PackageStore) instead of cold.
+  /// (core::startConsumer against a real PackageManager) instead of cold.
   bool JumpStart = false;
   // Layout / optimization axes (server tiers only).
   bool UseExtTsp = true;

@@ -8,9 +8,10 @@
 #include "testing/PackageMutator.h"
 
 #include "analysis/Linter.h"
-#include "core/PackageStore.h"
+#include "core/PackageManager.h"
 #include "core/Seeder.h"
 #include "fleet/Traffic.h"
+#include "profile/PackageRebase.h"
 #include "runtime/Builtins.h"
 #include "support/Assert.h"
 #include "support/StringUtil.h"
@@ -26,22 +27,26 @@ uint32_t numBuiltins() {
 
 } // namespace
 
-MutationEnv jumpstart::testing::buildMutationEnv() {
-  MutationEnv Env;
+fleet::WorkloadParams jumpstart::testing::mutationSiteParams() {
   fleet::WorkloadParams P;
   P.NumHelpers = 120;
   P.NumClasses = 24;
   P.NumEndpoints = 12;
   P.NumUnits = 12;
-  Env.W = fleet::generateWorkload(P);
+  return P;
+}
+
+MutationEnv jumpstart::testing::buildMutationEnv() {
+  MutationEnv Env;
+  Env.W = fleet::generateWorkload(mutationSiteParams());
 
   fleet::TrafficModel Traffic(*Env.W, fleet::TrafficParams(), 42);
-  core::PackageStore Store;
+  core::PackageManager Manager;
   core::SeederParams SP;
   SP.Requests = 120;
   SP.Seed = 5;
   core::SeederOutcome Out = core::runSeederWorkflow(
-      *Env.W, Traffic, mutationBaseConfig(), mutationOptions(), Store, SP);
+      *Env.W, Traffic, mutationBaseConfig(), mutationOptions(), Manager, SP);
   alwaysAssert(Out.Published,
                Out.Problems.empty()
                    ? "mutation-env seeder failed to publish"
@@ -122,12 +127,13 @@ std::string jumpstart::testing::checkStructMutation(const MutationEnv &Env,
   analysis::Linter L(Env.W->Repo, numBuiltins());
   size_t LintErrors = analysis::countErrors(L.lintPackage(Mutant));
 
-  core::PackageStore Store;
-  Store.publish(0, 0, Mutant.serialize());
+  core::PackageManager Manager;
+  support::Status Published = Manager.publish(0, 0, Mutant.serialize());
+  alwaysAssert(Published.ok(), "publishing the mutant");
   core::ConsumerParams CP;
   CP.Seed = P;
   core::ConsumerOutcome Out = core::startConsumer(
-      *Env.W, mutationBaseConfig(), mutationOptions(), Store, CP);
+      *Env.W, mutationBaseConfig(), mutationOptions(), Manager, CP);
 
   if (Out.Server == nullptr)
     return strFormat("fallback failed to boot a server (%s)",
@@ -191,19 +197,68 @@ std::string
 jumpstart::testing::checkDistributionCorruption(const MutationEnv &Env,
                                                 uint64_t P) {
   Rng R(P * 40503);
-  core::PackageStore Store;
-  Store.publish(0, 0, Env.Seeded.serialize());
-  support::Status Corrupted = Store.corrupt(0, 0, 0, R);
+  core::PackageManager Manager;
+  support::Status Published = Manager.publish(0, 0, Env.Seeded.serialize());
+  alwaysAssert(Published.ok(), "publishing the seeded package");
+  support::Status Corrupted = Manager.corrupt(0, 0, 0, R);
   if (!Corrupted.ok())
-    return strFormat("store corruption hook failed: %s",
+    return strFormat("manager corruption hook failed: %s",
                      Corrupted.message().c_str());
 
   core::ConsumerParams CP;
   CP.Seed = P;
   core::ConsumerOutcome Out = core::startConsumer(
-      *Env.W, mutationBaseConfig(), mutationOptions(), Store, CP);
+      *Env.W, mutationBaseConfig(), mutationOptions(), Manager, CP);
   if (Out.Server == nullptr)
     return "consumer failed to boot after store corruption";
+  return "";
+}
+
+std::string jumpstart::testing::checkDriftRebase(const MutationEnv &Env,
+                                                 uint64_t P) {
+  // A drifted release of the same small site; the seed steers how far it
+  // drifted and along which plan.
+  fleet::DriftParams D;
+  D.Release = 1 + static_cast<uint32_t>(P % 3);
+  D.DriftSeed = P * 131 + 7;
+  auto W2 = fleet::generateDriftedWorkload(mutationSiteParams(), D);
+
+  profile::ProfilePackage Rebased;
+  profile::RebaseStats Stats;
+  support::Status RebaseStatus = profile::rebasePackage(
+      Env.Seeded, Env.W->Repo, W2->Repo,
+      vm::Server::repoFingerprint(W2->Repo), Rebased, &Stats);
+  if (!RebaseStatus.ok())
+    return strFormat("rebase onto release %u failed: %s", D.Release,
+                     RebaseStatus.message().c_str());
+
+  // Invariant 1: whatever the rebase kept must be lint-clean against the
+  // NEW repo -- the whole point of rebasing is not to hand the JIT stale
+  // ids.
+  analysis::Linter L(W2->Repo, numBuiltins());
+  size_t LintErrors = analysis::countErrors(L.lintPackage(Rebased));
+  if (LintErrors > 0)
+    return strFormat("rebased package has %zu lint errors on release %u",
+                     LintErrors, D.Release);
+
+  // Invariant 2: a consumer on the drifted release accepts it (the
+  // fingerprint was rewritten to the new repo) and boots with Jump-Start.
+  core::PackageManager Manager;
+  support::Status Published = Manager.publish(0, 0, Rebased.serialize());
+  alwaysAssert(Published.ok(), "publishing the rebased package");
+  core::ConsumerParams CP;
+  CP.Seed = P;
+  core::ConsumerOutcome Out = core::startConsumer(
+      *W2, mutationBaseConfig(), mutationOptions(), Manager, CP);
+  if (Out.Server == nullptr)
+    return "consumer failed to boot on the drifted release";
+  if (!Out.UsedJumpStart) {
+    std::string Why = Out.Rejections.empty()
+                          ? std::string("no rejection recorded")
+                          : Out.Rejections.front().message();
+    return strFormat("rebased package rejected on release %u: %s",
+                     D.Release, Why.c_str());
+  }
   return "";
 }
 
@@ -215,5 +270,7 @@ std::string jumpstart::testing::replayPackageEntry(const MutationEnv &Env,
     return checkByteFlips(Env, E.Seed);
   if (E.Kind == "pkg_distribution")
     return checkDistributionCorruption(Env, E.Seed);
+  if (E.Kind == "pkg_drift")
+    return checkDriftRebase(Env, E.Seed);
   return strFormat("unknown package corpus kind \"%s\"", E.Kind.c_str());
 }

@@ -39,6 +39,10 @@ struct MutationEnv {
   profile::ProfilePackage Seeded;
 };
 
+/// The small workload the environment is grown on (shared with the
+/// drift checker, which regenerates drifted releases of the same site).
+fleet::WorkloadParams mutationSiteParams();
+
 /// Grows the environment (aborts on seeder-workflow bugs).
 MutationEnv buildMutationEnv();
 
@@ -66,6 +70,9 @@ std::string checkByteFlips(const MutationEnv &Env, uint64_t P);
 /// In-store corruption after publication must fall back, never crash.
 std::string checkDistributionCorruption(const MutationEnv &Env,
                                         uint64_t P);
+/// Drift scenario: the seeded package rebased onto a drifted release of
+/// the same site must be lint-clean there and accepted by a consumer.
+std::string checkDriftRebase(const MutationEnv &Env, uint64_t P);
 
 /// Replays one corpus entry of a pkg_* kind; "" on pass, failure text
 /// (including unknown-kind) otherwise.

@@ -136,11 +136,12 @@ RequestResult Server::executeRequest(bc::FuncId F,
   Ctx.PendingLoadUnits = 0;
   Ctx.InstrCounts.assign(R.numFuncs(), 0);
   interp::InterpResult Result = Ctx.Interp->call(F, Args);
+  RequestResult Res;
   // Render before the heap reset: the return value may point into it.
-  LastRequest.Ret = runtime::toString(Result.Ret);
-  LastRequest.Output = Ctx.Output;
-  LastRequest.Faults = Result.Faults;
-  LastRequest.Ok = Result.Ok;
+  Res.Obs.Ret = runtime::toString(Result.Ret);
+  Res.Obs.Output = Ctx.Output;
+  Res.Obs.Faults = Result.Faults;
+  Res.Obs.Ok = Result.Ok;
   Faults += Result.Faults;
   ++Requests;
   TheJit.onRequestFinished();
@@ -175,9 +176,7 @@ RequestResult Server::executeRequest(bc::FuncId F,
                    obs::latencyBucketsSeconds())
         .observe(Seconds);
   }
-  RequestResult Res;
   Res.Seconds = Seconds;
-  Res.Obs = LastRequest;
   return Res;
 }
 

@@ -351,10 +351,6 @@ public:
   /// Interpreter inline caches pre-filled at startup from the
   /// whole-program analysis facts (0 unless ProvenGuardElision is on).
   uint64_t icsSeeded() const { return ICsSeeded; }
-  /// Observables of the most recent serial executeRequest().
-  /// Deprecated: racy by construction under concurrency -- use the
-  /// RequestResult return value; kept one release for stragglers.
-  const RequestObservables &lastRequest() const { return LastRequest; }
   size_t loadedUnits() const { return LoadedUnits.size(); }
 
   /// The observability context this server records into (null when the
@@ -425,7 +421,6 @@ private:
   std::unique_ptr<ExecContext> Serial;
   std::unique_ptr<jit::JitProfilingHooks> Hooks;
   uint64_t PackageBytes = 0;
-  RequestObservables LastRequest;
   std::unordered_set<uint32_t> LoadedUnits;
   std::optional<profile::ProfilePackage> Package;
   uint64_t Faults = 0;

@@ -26,6 +26,8 @@
 
 #include "vm/Server.h"
 
+#include "jit/ParallelRetranslate.h"
+
 #include "obs/Observability.h"
 #include "runtime/ValueOps.h"
 #include "support/Assert.h"
@@ -185,6 +187,12 @@ Server::executeOnContext(ExecContext &Ctx, bc::FuncId F,
 double Server::runBackgroundJitWork(double Seconds) {
   alwaysAssert(Serving.load(std::memory_order_acquire),
                "runBackgroundJitWork() outside a concurrent-serving window");
+  // Host-parallel prelowering: lower queued units on the compile pool so
+  // the serial drain below mostly installs scratch.  Placement order and
+  // virtual cost accounting are untouched -- translations, spans and
+  // digests stay byte-identical to the pool-less path.
+  if (Config.CompilePool && TheJit.hasPendingWork())
+    jit::ParallelRetranslate::prelowerPending(TheJit, Config.CompilePool);
   double Budget = Seconds * Config.JitWorkerCores *
                   Config.UnitsPerCorePerSecond;
   double Consumed = TheJit.runJitWork(Budget);

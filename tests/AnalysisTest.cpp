@@ -679,7 +679,7 @@ fleet::TrafficModel *StrictLintFixture::Traffic = nullptr;
 } // namespace
 
 TEST_F(StrictLintFixture, SeederPublishesCleanPackage) {
-  core::PackageStore Store;
+  core::PackageManager Store;
   core::SeederParams SP;
   SP.Requests = 120;
   SP.Seed = 5;
@@ -697,7 +697,7 @@ TEST_F(StrictLintFixture, ConsumerRejectsCorruptPackageBeforeUse) {
   // Produce a genuine package, then corrupt it *semantically*: the blob
   // stays checksum-clean and fingerprint-correct, so only the strict lint
   // can catch it -- at accept time, before it steers any compilation.
-  core::PackageStore CleanStore;
+  core::PackageManager CleanStore;
   core::SeederParams SP;
   SP.Requests = 120;
   SP.Seed = 5;
@@ -710,8 +710,8 @@ TEST_F(StrictLintFixture, ConsumerRejectsCorruptPackageBeforeUse) {
     Corrupt.Preload.Strings.push_back(0);
   Corrupt.Preload.Strings.push_back(Corrupt.Preload.Strings.front());
 
-  core::PackageStore Store;
-  Store.publish(0, 0, Corrupt.serialize());
+  core::PackageManager Store;
+  ASSERT_TRUE(Store.publish(0, 0, Corrupt.serialize()).ok());
 
   core::ConsumerOutcome Out = core::startConsumer(
       *W, baseConfig(), lenientOpts(), Store, core::ConsumerParams());

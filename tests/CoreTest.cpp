@@ -6,7 +6,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Tests for the Jump-Start core: package store, seeder workflow with
+/// Tests for the Jump-Start core: package manager, seeder workflow with
 /// validation, consumer fallback behaviour, and the phased-deployment
 /// simulation.
 ///
@@ -54,13 +54,13 @@ protected:
     return O;
   }
 
-  static SeederOutcome seedInto(PackageStore &Store, uint64_t Seed = 5,
+  static SeederOutcome seedInto(PackageManager &Manager, uint64_t Seed = 5,
                                 const ChaosHooks *Chaos = nullptr) {
     SeederParams SP;
     SP.Requests = 120;
     SP.Seed = Seed;
     return runSeederWorkflow(*W, *Traffic, baseConfig(), lenientOpts(),
-                             Store, SP, Chaos);
+                             Manager, SP, Chaos);
   }
 
   static fleet::Workload *W;
@@ -73,78 +73,103 @@ fleet::TrafficModel *CoreFixture::Traffic = nullptr;
 } // namespace
 
 //===----------------------------------------------------------------------===//
-// PackageStore.
+// PackageManager.
 //===----------------------------------------------------------------------===//
 
-TEST(PackageStoreTest, PublishAndPick) {
-  PackageStore S;
+TEST(PackageManagerTest, PublishAndPick) {
+  PackageManager M;
   Rng R(1);
-  PackageStore::Selection Pick;
-  support::Status Empty = S.pickRandom(0, 0, R, Pick);
+  PackageHandle Pick;
+  support::Status Empty = M.pickRandom(0, 0, R, Pick);
   EXPECT_FALSE(Empty.ok());
   EXPECT_EQ(Empty.code(), support::StatusCode::Unavailable);
-  S.publish(0, 0, {1, 2, 3});
-  S.publish(0, 0, {4, 5, 6});
-  EXPECT_EQ(S.available(0, 0), 2u);
-  ASSERT_TRUE(S.pickRandom(0, 0, R, Pick).ok());
-  EXPECT_LT(Pick.Index, 2u);
-  EXPECT_FALSE(S.pickRandom(0, 1, R, Pick).ok())
+  ASSERT_TRUE(M.publish(0, 0, {1, 2, 3}).ok());
+  ASSERT_TRUE(M.publish(0, 0, {4, 5, 6}).ok());
+  EXPECT_EQ(M.available(0, 0), 2u);
+  ASSERT_TRUE(M.pickRandom(0, 0, R, Pick).ok());
+  EXPECT_LT(Pick.Manifest.Id.Index, 2u);
+  EXPECT_FALSE(M.pickRandom(0, 1, R, Pick).ok())
       << "shelves are per (region, bucket)";
 }
 
-TEST(PackageStoreTest, RandomPickCoversAllPackages) {
-  PackageStore S;
+TEST(PackageManagerTest, RandomPickCoversAllPackages) {
+  PackageManager M;
   for (uint8_t I = 0; I < 4; ++I)
-    S.publish(1, 1, {I});
+    ASSERT_TRUE(M.publish(1, 1, {I}).ok());
   Rng R(9);
   std::set<uint32_t> Seen;
   for (int I = 0; I < 200; ++I) {
-    PackageStore::Selection Pick;
-    ASSERT_TRUE(S.pickRandom(1, 1, R, Pick).ok());
-    Seen.insert(Pick.Index);
+    PackageHandle Pick;
+    ASSERT_TRUE(M.pickRandom(1, 1, R, Pick).ok());
+    Seen.insert(Pick.Manifest.Id.Index);
   }
   EXPECT_EQ(Seen.size(), 4u);
 }
 
-TEST(PackageStoreTest, QuarantineRemovesFromRotation) {
-  PackageStore S;
-  S.publish(0, 0, {1});
-  S.publish(0, 0, {2});
-  ASSERT_TRUE(S.quarantine(0, 0, 0).ok());
-  EXPECT_EQ(S.available(0, 0), 1u);
-  EXPECT_EQ(S.quarantinedCount(), 1u);
+TEST(PackageManagerTest, QuarantineRemovesFromRotation) {
+  PackageManager M;
+  ASSERT_TRUE(M.publish(0, 0, {1}).ok());
+  ASSERT_TRUE(M.publish(0, 0, {2}).ok());
+  ASSERT_TRUE(M.quarantine(0, 0, 0).ok());
+  EXPECT_EQ(M.available(0, 0), 1u);
+  EXPECT_EQ(M.quarantinedCount(), 1u);
   Rng R(3);
   for (int I = 0; I < 50; ++I) {
-    PackageStore::Selection Pick;
-    ASSERT_TRUE(S.pickRandom(0, 0, R, Pick).ok());
-    EXPECT_EQ(Pick.Index, 1u);
+    PackageHandle Pick;
+    ASSERT_TRUE(M.pickRandom(0, 0, R, Pick).ok());
+    EXPECT_EQ(Pick.Manifest.Id.Index, 1u);
   }
   // Idempotent.
-  ASSERT_TRUE(S.quarantine(0, 0, 0).ok());
-  EXPECT_EQ(S.quarantinedCount(), 1u);
+  ASSERT_TRUE(M.quarantine(0, 0, 0).ok());
+  EXPECT_EQ(M.quarantinedCount(), 1u);
 }
 
-TEST(PackageStoreTest, QuarantineAndCorruptReportNotFound) {
-  PackageStore S;
+TEST(PackageManagerTest, QuarantineAndCorruptReportNotFound) {
+  PackageManager M;
   Rng R(8);
-  EXPECT_EQ(S.quarantine(3, 1, 0).code(), support::StatusCode::NotFound)
+  EXPECT_EQ(M.quarantine(3, 1, 0).code(), support::StatusCode::NotFound)
       << "unknown shelf";
-  EXPECT_EQ(S.corrupt(3, 1, 0, R).code(), support::StatusCode::NotFound);
-  S.publish(0, 0, {1});
-  EXPECT_EQ(S.quarantine(0, 0, 9).code(), support::StatusCode::NotFound)
+  EXPECT_EQ(M.corrupt(3, 1, 0, R).code(), support::StatusCode::NotFound);
+  ASSERT_TRUE(M.publish(0, 0, {1}).ok());
+  EXPECT_EQ(M.quarantine(0, 0, 9).code(), support::StatusCode::NotFound)
       << "unknown package index";
-  EXPECT_EQ(S.corrupt(0, 0, 9, R).code(), support::StatusCode::NotFound);
+  EXPECT_EQ(M.corrupt(0, 0, 9, R).code(), support::StatusCode::NotFound);
 }
 
-TEST(PackageStoreTest, CorruptFlipsBytes) {
-  PackageStore S;
+TEST(PackageManagerTest, CorruptFlipsBytes) {
+  PackageManager M;
   std::vector<uint8_t> Blob(100, 0xAA);
-  S.publish(0, 0, Blob);
+  ASSERT_TRUE(M.publish(0, 0, Blob).ok());
   Rng R(4);
-  ASSERT_TRUE(S.corrupt(0, 0, 0, R).ok());
-  PackageStore::Selection Pick;
-  ASSERT_TRUE(S.pickRandom(0, 0, R, Pick).ok());
+  ASSERT_TRUE(M.corrupt(0, 0, 0, R).ok());
+  PackageHandle Pick;
+  ASSERT_TRUE(M.pickRandom(0, 0, R, Pick).ok());
   EXPECT_NE(*Pick.Blob, Blob);
+}
+
+TEST(PackageManagerTest, ManifestRecordsProvenance) {
+  PackageManager M;
+  M.beginRelease();
+  PackageManifest Out;
+  ASSERT_TRUE(M.publish(2, 3, {9, 9, 9}, &Out).ok());
+  EXPECT_EQ(Out.Id.Region, 2u);
+  EXPECT_EQ(Out.Id.Bucket, 3u);
+  EXPECT_EQ(Out.Id.Release, 1u);
+  EXPECT_EQ(Out.Id.Index, 0u);
+  EXPECT_EQ(Out.Bytes, 3u);
+  EXPECT_FALSE(Out.isDelta());
+  EXPECT_EQ(Out.RepoFingerprint, 0u) << "opaque blobs carry no fingerprint";
+
+  PackageHandle H;
+  ASSERT_TRUE(M.fetch(Out.Id, H).ok());
+  EXPECT_EQ(H.Manifest.Checksum, Out.Checksum);
+  ASSERT_NE(H.Blob, nullptr);
+  EXPECT_EQ(H.Blob->size(), 3u);
+
+  PackageId Missing = Out.Id;
+  Missing.Release = 7;
+  EXPECT_EQ(M.fetch(Missing, H).code(), support::StatusCode::NotFound)
+      << "all four id coordinates must match";
 }
 
 //===----------------------------------------------------------------------===//
@@ -152,41 +177,43 @@ TEST(PackageStoreTest, CorruptFlipsBytes) {
 //===----------------------------------------------------------------------===//
 
 TEST_F(CoreFixture, SeederPublishesValidPackage) {
-  PackageStore Store;
-  SeederOutcome Out = seedInto(Store);
+  PackageManager Manager;
+  SeederOutcome Out = seedInto(Manager);
   ASSERT_TRUE(Out.Published)
       << (Out.Problems.empty() ? "?" : Out.Problems[0]);
-  EXPECT_EQ(Store.available(0, 0), 1u);
+  EXPECT_EQ(Manager.available(0, 0), 1u);
   EXPECT_GT(Out.PackageBytes, 500u);
+  EXPECT_EQ(Out.Manifest.Seeders.size(), 1u);
+  EXPECT_NE(Out.Manifest.RepoFingerprint, 0u);
   // The published blob deserializes back to an equivalent package.
   Rng R(1);
-  PackageStore::Selection Pick;
-  ASSERT_TRUE(Store.pickRandom(0, 0, R, Pick).ok());
+  PackageHandle Pick;
+  ASSERT_TRUE(Manager.pickRandom(0, 0, R, Pick).ok());
   profile::ProfilePackage Pkg;
   ASSERT_TRUE(profile::ProfilePackage::deserialize(*Pick.Blob, Pkg));
   EXPECT_EQ(Pkg.numProfiledFuncs(), Out.Package.numProfiledFuncs());
 }
 
 TEST_F(CoreFixture, SeederRejectsUnderProfiledRun) {
-  PackageStore Store;
+  PackageManager Manager;
   JumpStartOptions Strict = lenientOpts();
   Strict.Coverage.MinProfiledFuncs = 100000; // impossible
   SeederParams SP;
   SP.Requests = 60;
   SeederOutcome Out = runSeederWorkflow(*W, *Traffic, baseConfig(), Strict,
-                                        Store, SP);
+                                        Manager, SP);
   EXPECT_FALSE(Out.Published);
   ASSERT_FALSE(Out.Problems.empty());
-  EXPECT_EQ(Store.available(0, 0), 0u);
+  EXPECT_EQ(Manager.available(0, 0), 0u);
 }
 
 TEST_F(CoreFixture, SeederValidationCatchesCrashingPackage) {
-  PackageStore Store;
+  PackageManager Manager;
   ChaosHooks Chaos;
   Chaos.CrashesInValidation = [](const profile::ProfilePackage &) {
     return true;
   };
-  SeederOutcome Out = seedInto(Store, 5, &Chaos);
+  SeederOutcome Out = seedInto(Manager, 5, &Chaos);
   EXPECT_FALSE(Out.Published);
   ASSERT_FALSE(Out.Problems.empty());
   EXPECT_NE(Out.Problems[0].find("crash"), std::string::npos);
@@ -197,10 +224,10 @@ TEST_F(CoreFixture, SeederValidationCatchesCrashingPackage) {
 //===----------------------------------------------------------------------===//
 
 TEST_F(CoreFixture, ConsumerUsesPublishedPackage) {
-  PackageStore Store;
-  ASSERT_TRUE(seedInto(Store).Published);
+  PackageManager Manager;
+  ASSERT_TRUE(seedInto(Manager).Published);
   ConsumerOutcome Out = startConsumer(*W, baseConfig(), lenientOpts(),
-                                      Store, ConsumerParams());
+                                      Manager, ConsumerParams());
   EXPECT_TRUE(Out.UsedJumpStart);
   EXPECT_EQ(Out.Attempts, 1u);
   ASSERT_NE(Out.Server, nullptr);
@@ -208,20 +235,20 @@ TEST_F(CoreFixture, ConsumerUsesPublishedPackage) {
 }
 
 TEST_F(CoreFixture, ConsumerFallsBackWhenStoreEmpty) {
-  PackageStore Store;
+  PackageManager Manager;
   ConsumerOutcome Out = startConsumer(*W, baseConfig(), lenientOpts(),
-                                      Store, ConsumerParams());
+                                      Manager, ConsumerParams());
   EXPECT_FALSE(Out.UsedJumpStart);
   ASSERT_NE(Out.Server, nullptr);
   EXPECT_EQ(Out.Server->theJit().phase(), jit::JitPhase::Profiling);
 }
 
 TEST_F(CoreFixture, ConsumerSkipsCorruptPackage) {
-  PackageStore Store;
-  ASSERT_TRUE(seedInto(Store, 5).Published);
-  ASSERT_TRUE(seedInto(Store, 6).Published);
+  PackageManager Manager;
+  ASSERT_TRUE(seedInto(Manager, 5).Published);
+  ASSERT_TRUE(seedInto(Manager, 6).Published);
   Rng R(2);
-  ASSERT_TRUE(Store.corrupt(0, 0, 0, R).ok());
+  ASSERT_TRUE(Manager.corrupt(0, 0, 0, R).ok());
 
   // With two packages and one corrupt, consumers eventually succeed; with
   // enough attempts allowed, every boot should end up on the good one.
@@ -231,7 +258,7 @@ TEST_F(CoreFixture, ConsumerSkipsCorruptPackage) {
   for (uint64_t Seed = 0; Seed < 5; ++Seed) {
     ConsumerParams CP;
     CP.Seed = Seed;
-    ConsumerOutcome Out = startConsumer(*W, baseConfig(), Opts, Store, CP);
+    ConsumerOutcome Out = startConsumer(*W, baseConfig(), Opts, Manager, CP);
     if (Out.UsedJumpStart)
       ++UsedJs;
   }
@@ -239,26 +266,26 @@ TEST_F(CoreFixture, ConsumerSkipsCorruptPackage) {
 }
 
 TEST_F(CoreFixture, ConsumerDisabledByMasterSwitch) {
-  PackageStore Store;
-  ASSERT_TRUE(seedInto(Store).Published);
+  PackageManager Manager;
+  ASSERT_TRUE(seedInto(Manager).Published);
   JumpStartOptions Opts = lenientOpts();
   Opts.Enabled = false;
-  ConsumerOutcome Out = startConsumer(*W, baseConfig(), Opts, Store,
+  ConsumerOutcome Out = startConsumer(*W, baseConfig(), Opts, Manager,
                                       ConsumerParams());
   EXPECT_FALSE(Out.UsedJumpStart);
   EXPECT_EQ(Out.Attempts, 0u);
 }
 
 TEST_F(CoreFixture, ConsumerCrashLoopEndsInFallback) {
-  PackageStore Store;
-  ASSERT_TRUE(seedInto(Store).Published);
+  PackageManager Manager;
+  ASSERT_TRUE(seedInto(Manager).Published);
   ChaosHooks Chaos;
   Chaos.CrashesInProduction = [](const profile::ProfilePackage &) {
     return true; // every package crashes in production
   };
   JumpStartOptions Opts = lenientOpts();
   Opts.MaxConsumerAttempts = 3;
-  ConsumerOutcome Out = startConsumer(*W, baseConfig(), Opts, Store,
+  ConsumerOutcome Out = startConsumer(*W, baseConfig(), Opts, Manager,
                                       ConsumerParams(), &Chaos);
   EXPECT_FALSE(Out.UsedJumpStart);
   EXPECT_EQ(Out.CrashCount, 3u);
@@ -282,7 +309,7 @@ TEST_F(CoreFixture, OptimizationSwitchesReachServerConfig) {
 //===----------------------------------------------------------------------===//
 
 TEST_F(CoreFixture, DeploymentRunsAllPhases) {
-  PackageStore Store;
+  PackageManager Manager;
   DeploymentParams P;
   P.Regions = 1;
   P.Buckets = 2;
@@ -290,7 +317,7 @@ TEST_F(CoreFixture, DeploymentRunsAllPhases) {
   P.SeederRequests = 120;
   P.ConsumerSamplesPerPair = 1;
   DeploymentReport Report = simulateDeployment(
-      *W, *Traffic, baseConfig(), lenientOpts(), Store, P);
+      *W, *Traffic, baseConfig(), lenientOpts(), Manager, P);
   EXPECT_TRUE(Report.CanaryHealthy);
   EXPECT_EQ(Report.SeedersRun, 2u);
   EXPECT_EQ(Report.PackagesPublished, 2u)
@@ -304,8 +331,8 @@ TEST_F(CoreFixture, NewCodeVersionInvalidatesOldPackages) {
   // Continuous deployment: packages are tied to the code version that
   // produced them.  After a push changes the site, consumers on the new
   // version must reject the stale packages and fall back.
-  PackageStore Store;
-  ASSERT_TRUE(seedInto(Store).Published);
+  PackageManager Manager;
+  ASSERT_TRUE(seedInto(Manager).Published);
 
   fleet::WorkloadParams P;
   P.NumHelpers = 121; // "new release": one helper added
@@ -315,7 +342,7 @@ TEST_F(CoreFixture, NewCodeVersionInvalidatesOldPackages) {
   auto NewSite = fleet::generateWorkload(P);
 
   ConsumerOutcome Out = startConsumer(*NewSite, baseConfig(),
-                                      lenientOpts(), Store,
+                                      lenientOpts(), Manager,
                                       ConsumerParams());
   EXPECT_FALSE(Out.UsedJumpStart)
       << "a stale package must never jump-start a new code version";

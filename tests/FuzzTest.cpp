@@ -312,5 +312,11 @@ TEST_P(PackageFuzz, DistributionCorruptionFallsBack) {
   EXPECT_EQ(Failure, "");
 }
 
+TEST_P(PackageFuzz, RebasedPackageSurvivesDrift) {
+  std::string Failure = jstest::checkDriftRebase(sharedEnv(), GetParam());
+  dumpCorpusOnFailure("pkg_drift", GetParam(), Failure);
+  EXPECT_EQ(Failure, "");
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PackageFuzz,
                          ::testing::Range<uint64_t>(1, 13));

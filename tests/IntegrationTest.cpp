@@ -145,7 +145,7 @@ TEST_P(PackageRoundTrip, SeedConsumeServe) {
   vm::ServerConfig Config;
   Config.Jit.ProfileRequestTarget = 30;
 
-  core::PackageStore Store;
+  core::PackageManager Manager;
   core::JumpStartOptions Opts;
   Opts.Coverage.MinProfiledFuncs = 3;
   Opts.Coverage.MinTotalSamples = 50;
@@ -154,14 +154,14 @@ TEST_P(PackageRoundTrip, SeedConsumeServe) {
   SP.Requests = 80;
   SP.Seed = GetParam() * 7 + 1;
   core::SeederOutcome Seeded = core::runSeederWorkflow(
-      *W, Traffic, Config, Opts, Store, SP);
+      *W, Traffic, Config, Opts, Manager, SP);
   ASSERT_TRUE(Seeded.Published)
       << (Seeded.Problems.empty() ? "?" : Seeded.Problems[0]);
 
   core::ConsumerParams CP;
   CP.Seed = GetParam() * 13 + 5;
   core::ConsumerOutcome Consumer =
-      core::startConsumer(*W, Config, Opts, Store, CP);
+      core::startConsumer(*W, Config, Opts, Manager, CP);
   ASSERT_TRUE(Consumer.UsedJumpStart);
   ASSERT_EQ(Consumer.Server->theJit().phase(), jit::JitPhase::Mature);
 

@@ -15,7 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Consumer.h"
-#include "core/PackageStore.h"
+#include "core/PackageManager.h"
 #include "core/Seeder.h"
 #include "fleet/ServerSim.h"
 #include "fleet/WorkloadGen.h"
@@ -387,7 +387,7 @@ TEST(ObsEndToEndTest, CorruptPackageInjectionCountsRejections) {
   core::JumpStartOptions Opts = tinyOptions();
   obs::Observability Obs;
 
-  core::PackageStore Store;
+  core::PackageManager Store;
   core::SeederParams SP;
   SP.Requests = 120;
   core::SeederOutcome Seeded = core::runSeederWorkflow(
@@ -421,7 +421,7 @@ TEST(ObsEndToEndTest, CorruptPackageInjectionCountsRejections) {
   EXPECT_EQ(Obs.Metrics.findCounter("jumpstart.package.accepted"), nullptr);
 
   // Publish a clean copy; the next consumer eventually accepts it.
-  Store.publish(0, 0, Seeded.Package.serialize());
+  ASSERT_TRUE(Store.publish(0, 0, Seeded.Package.serialize()).ok());
   CP.Name = "consumer-mixed";
   core::ConsumerOutcome Out2 = core::startConsumer(
       *W, Config, Opts, Store, CP, nullptr, &Obs);
@@ -438,7 +438,7 @@ TEST(ObsEndToEndTest, SeederRejectionReasonsEnumerated) {
   vm::ServerConfig Config = tinyConfig();
   core::JumpStartOptions Opts = tinyOptions();
   obs::Observability Obs;
-  core::PackageStore Store;
+  core::PackageManager Store;
 
   // Chaos: validation crashes -> validation_crash, message keeps "crash".
   core::ChaosHooks Chaos;

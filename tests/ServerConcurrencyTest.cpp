@@ -20,6 +20,7 @@
 #include "fleet/WorkloadGen.h"
 #include "jit/TransSnapshot.h"
 #include "support/Epoch.h"
+#include "support/ThreadPool.h"
 #include "vm/Server.h"
 
 #include <gtest/gtest.h>
@@ -311,6 +312,38 @@ TEST_F(ServerConcurrencyFixture, RetranslateAllUnderLiveLoadMatchesSerial) {
   EXPECT_EQ(B.theJit().transDb().placementDigest(), SerialPlacement);
 }
 
+TEST_F(ServerConcurrencyFixture, BackgroundPrelowerMatchesSerialDigest) {
+  constexpr uint32_t kProfile = 20;
+
+  // Serial reference: drain the queued retranslate-all inline.
+  vm::Server A(W->Repo, fastConfig(), 7);
+  A.startup();
+  profilePrefix(A, kProfile);
+  while (A.theJit().hasPendingWork())
+    A.grantJitTime(1.0);
+  std::string SerialPlacement = A.theJit().transDb().placementDigest();
+
+  // Twin: same prefix, but the background drain prelowers every queued
+  // unit on a host compile pool before each slice.  The pool must be
+  // invisible in the placement digest.
+  support::ThreadPool Pool(3);
+  vm::ServerConfig CB = fastConfig();
+  CB.CompilePool = &Pool;
+  vm::Server B(W->Repo, CB, 7);
+  B.startup();
+  profilePrefix(B, kProfile);
+  ASSERT_TRUE(B.theJit().hasPendingWork());
+
+  B.beginConcurrentServing();
+  while (B.theJit().hasPendingWork())
+    B.runBackgroundJitWork(0.25);
+  vm::ServeStats Stats = B.endConcurrentServing();
+  EXPECT_EQ(Stats.Submitted, 0u);
+
+  EXPECT_EQ(B.theJit().phase(), jit::JitPhase::Mature);
+  EXPECT_EQ(B.theJit().transDb().placementDigest(), SerialPlacement);
+}
+
 TEST_F(ServerConcurrencyFixture, SnapshotCaptureMatchesJitCosts) {
   vm::Server S(W->Repo, fastConfig(), 7);
   S.startup();
@@ -409,17 +442,20 @@ TEST_F(ServerConcurrencyFixture, BlockPolicyNeverSheds) {
 // API redesign: RequestResult, CallbackScope, builder.
 //===----------------------------------------------------------------------===//
 
-TEST_F(ServerConcurrencyFixture, RequestResultMatchesDeprecatedShim) {
+TEST_F(ServerConcurrencyFixture, RequestResultCarriesObservables) {
   vm::Server S(W->Repo, fastConfig(), 7);
   S.startup();
   vm::RequestResult Res = S.executeRequest(endpointFor(3), argsFor(3));
   EXPECT_GT(Res.Seconds, 0.0);
   EXPECT_FALSE(Res.Shed);
-  // The one-release shim must agree with the returned value.
-  EXPECT_EQ(Res.Obs.Ret, S.lastRequest().Ret);
-  EXPECT_EQ(Res.Obs.Output, S.lastRequest().Output);
-  EXPECT_EQ(Res.Obs.Faults, S.lastRequest().Faults);
-  EXPECT_EQ(Res.Obs.Ok, S.lastRequest().Ok);
+  EXPECT_TRUE(Res.Obs.Ok);
+  EXPECT_EQ(Res.Obs.Faults, 0u);
+  // The request is deterministic: the same call must observe the same
+  // return value and output, carried entirely in the RequestResult.
+  vm::RequestResult Again = S.executeRequest(endpointFor(3), argsFor(3));
+  EXPECT_EQ(Res.Obs.Ret, Again.Obs.Ret);
+  EXPECT_EQ(Res.Obs.Output, Again.Obs.Output);
+  EXPECT_EQ(Res.Obs.Ok, Again.Obs.Ok);
 }
 
 namespace {

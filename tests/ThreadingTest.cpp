@@ -381,10 +381,10 @@ TEST_F(ThreadingFixture, DeploymentIdenticalForAnyWorkerCount) {
   DP.ConsumerSamplesPerPair = 1;
   vm::ServerConfig Config = baseConfig();
 
-  auto RunPush = [&](support::ThreadPool *Pool, core::PackageStore &Store) {
+  auto RunPush = [&](support::ThreadPool *Pool, core::PackageManager &Manager) {
     core::DeploymentParams P = DP;
     P.Pool = Pool;
-    return core::simulateDeployment(*W, *Traffic, Config, Opts, Store, P);
+    return core::simulateDeployment(*W, *Traffic, Config, Opts, Manager, P);
   };
   auto ReportText = [](const core::DeploymentReport &R) {
     std::string S = strFormat(
@@ -398,16 +398,24 @@ TEST_F(ThreadingFixture, DeploymentIdenticalForAnyWorkerCount) {
     return S;
   };
 
-  core::PackageStore SerialStore;
-  std::string Serial = ReportText(RunPush(nullptr, SerialStore));
+  core::PackageManager SerialManager;
+  std::string Serial = ReportText(RunPush(nullptr, SerialManager));
   for (uint32_t Workers : {1u, 2u, 8u}) {
     ThreadPool Pool(Workers);
-    core::PackageStore Store;
-    EXPECT_EQ(ReportText(RunPush(&Pool, Store)), Serial)
+    core::PackageManager Manager;
+    EXPECT_EQ(ReportText(RunPush(&Pool, Manager)), Serial)
         << Workers << " workers";
-    for (uint32_t B = 0; B < DP.Buckets; ++B)
-      EXPECT_EQ(Store.available(0, B), SerialStore.available(0, B))
+    for (uint32_t B = 0; B < DP.Buckets; ++B) {
+      EXPECT_EQ(Manager.available(0, B), SerialManager.available(0, B))
           << "published blobs must land on the same shelves";
+      // Manifest-level determinism: same checksums in the same order.
+      auto A = Manager.manifests(0, B);
+      auto S2 = SerialManager.manifests(0, B);
+      ASSERT_EQ(A.size(), S2.size());
+      for (size_t I = 0; I < A.size(); ++I)
+        EXPECT_EQ(A[I].Checksum, S2[I].Checksum)
+            << "shelf (0," << B << ") package #" << I;
+    }
   }
 
   // The parallel path's merged metrics are themselves deterministic
@@ -416,10 +424,10 @@ TEST_F(ThreadingFixture, DeploymentIdenticalForAnyWorkerCount) {
   auto MetricsText = [&](uint32_t Workers) {
     ThreadPool Pool(Workers);
     obs::Observability Obs;
-    core::PackageStore Store;
+    core::PackageManager Manager;
     core::DeploymentParams P = DP;
     P.Pool = &Pool;
-    core::simulateDeployment(*W, *Traffic, Config, Opts, Store, P,
+    core::simulateDeployment(*W, *Traffic, Config, Opts, Manager, P,
                              /*Chaos=*/nullptr, &Obs);
     return obs::metricsToJsonLines(Obs.Metrics);
   };
