@@ -30,7 +30,10 @@
 #include "FigureCommon.h"
 
 #include "core/PackageManager.h"
+#include "fleet/WarmupStats.h"
 #include "support/Assert.h"
+
+#include <fstream>
 
 using namespace jumpstart;
 using namespace jumpstart::bench;
@@ -149,6 +152,50 @@ int main(int argc, char **argv) {
                   Accepted ? Accepted->value() : 0),
               static_cast<unsigned long long>(
                   Rejected ? Rejected->value() : 0));
+
+  // --- Warmup-class transition table: the statistical reading of this
+  // figure.  Per seed, the no-Jump-Start and Jump-Start runs are
+  // re-simulated and their normalized-RPS curves classified by the exact
+  // changepoint detector; Jump-Start should turn `warmup` into `flat`
+  // (or at least an earlier steady-state tick).  The sweep shards across
+  // the --threads pool with run-owned registries (Merged = nullptr), so
+  // the shared export above is untouched and the table -- exported as
+  // PREFIX.classes.json -- is byte-identical for any worker count.
+  std::printf("\nwarmup-class transitions (changepoint classification):\n");
+  constexpr uint64_t kClassSeeds[] = {4, 5, 6, 7};
+  std::vector<fleet::WarmupSweepRun> Runs;
+  for (uint64_t Seed : kClassSeeds) {
+    for (bool WithJs : {false, true}) {
+      fleet::WarmupSweepRun Run;
+      Run.Params.DurationSeconds = P.DurationSeconds;
+      Run.Params.OfferedRps = P.OfferedRps;
+      Run.Params.Seed = Seed;
+      Run.Params.RunLabel =
+          strFormat("class-s%llu-%s", static_cast<unsigned long long>(Seed),
+                    WithJs ? "js" : "nojs");
+      Run.Package = WithJs ? &Pkg : nullptr;
+      Runs.push_back(std::move(Run));
+    }
+  }
+  std::vector<fleet::WarmupResult> Sweep =
+      fleet::runWarmupSweep(*W, Traffic, Config, Runs, Pool.get());
+  std::vector<fleet::ClassTransition> Transitions;
+  for (size_t I = 0; I + 1 < Sweep.size(); I += 2) {
+    fleet::ClassTransition T;
+    T.Seed = kClassSeeds[I / 2];
+    T.Label = strFormat("server-%zu", I / 2);
+    T.Cold = fleet::classifyWarmupThroughput(Sweep[I]);
+    T.Warm = fleet::classifyWarmupThroughput(Sweep[I + 1]);
+    Transitions.push_back(std::move(T));
+  }
+  std::printf("%s", fleet::renderTransitionTableText(Transitions).c_str());
+  if (Flags.ExportPrefix) {
+    std::string ClassesPath = strFormat("%s.classes.json", Flags.ExportPrefix);
+    std::ofstream ClassesOut(ClassesPath);
+    alwaysAssert(static_cast<bool>(ClassesOut), "writing classes.json");
+    ClassesOut << fleet::renderTransitionTableJson(Transitions);
+    std::printf("exported %s\n", ClassesPath.c_str());
+  }
 
   // --- Modeled-parallelism epilogue (see EXPERIMENTS.md): the virtual
   // cost model charges the consumer precompile pass ceil(work/k) for k

@@ -22,6 +22,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "StatsRunner.h"
 #include "analysis/WholeProgram.h"
 #include "core/Consumer.h"
 #include "frontend/Compiler.h"
@@ -336,8 +337,44 @@ ProvenResult runProvenAblation(const bc::Repo &Repo, uint32_t Requests,
   return P;
 }
 
+//===----------------------------------------------------------------------===//
+// Statistical mode (--stats seeds=N,iters=M): multi-seed warmup curves.
+//===----------------------------------------------------------------------===//
+
+/// Runs the fast engine N times from cold with distinct request streams
+/// and records host allocations per request over fixed-size iteration
+/// blocks.  The block size is independent of --quick so the quick CI run
+/// and the full snapshot run produce the same series -- allocation counts
+/// are a pure function of the request stream, so the resulting stats
+/// block is byte-identical across hosts and runs.
+stats::StatsSummary runStatsSweep(const bc::Repo &Repo,
+                                  const bench::StatsCliOptions &O) {
+  constexpr uint32_t kBlock = 60;
+  std::vector<std::pair<uint64_t, std::vector<double>>> SeedSeries;
+  for (uint32_t Seed = 0; Seed < O.Seeds; ++Seed) {
+    // Fresh engine per seed: iteration 0 pays the one-time costs
+    // (interning, metadata, arena growth) and later blocks are steady.
+    EngineState Eng(Repo, interp::InterpEngine::Fast);
+    std::vector<double> Series;
+    Series.reserve(O.Iters);
+    uint64_t Prev = Eng.Heap.hostAllocs();
+    for (uint32_t It = 0; It < O.Iters; ++It) {
+      for (uint32_t Rq = 0; Rq < kBlock; ++Rq)
+        Eng.serve(Seed * 131 + It * kBlock + Rq);
+      uint64_t Now = Eng.Heap.hostAllocs();
+      Series.push_back(static_cast<double>(Now - Prev) /
+                       static_cast<double>(kBlock));
+      Prev = Now;
+    }
+    SeedSeries.emplace_back(Seed, std::move(Series));
+  }
+  return stats::analyzeRuns(SeedSeries);
+}
+
 void writeJson(const std::string &Path, const EngineResult &Fast,
-               const EngineResult &Legacy, const ProvenResult &Proven) {
+               const EngineResult &Legacy, const ProvenResult &Proven,
+               const bench::StatsCliOptions &StatsOpts,
+               const stats::StatsSummary *Stats) {
   std::ofstream Out(Path);
   if (!Out) {
     std::fprintf(stderr, "cannot write %s\n", Path.c_str());
@@ -375,6 +412,9 @@ void writeJson(const std::string &Path, const EngineResult &Fast,
       Proven.onRequestsPerSec() / Proven.offRequestsPerSec(),
       static_cast<unsigned long long>(Proven.MissesOff),
       static_cast<unsigned long long>(Proven.MissesOn));
+  if (Stats)
+    Out << bench::statsBlockJson("allocs_per_request", StatsOpts, *Stats)
+        << ",\n";
   Out << strFormat("  \"speedup_requests_per_sec\": %.2f,\n",
                    Fast.requestsPerSec() / Legacy.requestsPerSec());
   Out << strFormat("  \"alloc_reduction\": %.1f\n", AllocRatio);
@@ -384,7 +424,8 @@ void writeJson(const std::string &Path, const EngineResult &Fast,
 /// Deterministic counters only -- byte-identical across runs on any
 /// host, which the CI perf smoke asserts by diffing two runs.
 void writeCounters(const std::string &Path, const EngineResult &Fast,
-                   const EngineResult &Legacy, const ProvenResult &Proven) {
+                   const EngineResult &Legacy, const ProvenResult &Proven,
+                   const stats::StatsSummary *Stats) {
   std::ofstream Out(Path);
   if (!Out) {
     std::fprintf(stderr, "cannot write %s\n", Path.c_str());
@@ -408,6 +449,8 @@ void writeCounters(const std::string &Path, const EngineResult &Fast,
                    static_cast<unsigned long long>(Proven.GuardsElided),
                    static_cast<unsigned long long>(Proven.MissesOff),
                    static_cast<unsigned long long>(Proven.MissesOn));
+  if (Stats)
+    Out << bench::statsCountersLine("allocs_per_request", *Stats);
 }
 
 } // namespace
@@ -417,6 +460,7 @@ int main(int argc, char **argv) {
   uint32_t Reps = 5;
   std::string JsonPath;
   std::string CountersPath;
+  bench::StatsCliOptions StatsOpts;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--quick") == 0) {
       Requests = 2000;
@@ -427,10 +471,18 @@ int main(int argc, char **argv) {
       CountersPath = argv[++I];
     } else if (std::strcmp(argv[I], "--endpoint") == 0 && I + 1 < argc) {
       OnlyEndpoint = std::atoi(argv[++I]);
+    } else if (std::strcmp(argv[I], "--stats") == 0) {
+      std::string_view Spec =
+          I + 1 < argc && argv[I + 1][0] != '-' ? argv[++I] : "";
+      if (!bench::parseStatsSpec(Spec, StatsOpts)) {
+        std::fprintf(stderr, "bad --stats spec: %s\n",
+                     std::string(Spec).c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--json PATH] [--counters PATH] "
-                   "[--endpoint N]\n",
+                   "[--endpoint N] [--stats [seeds=N,iters=M]]\n",
                    argv[0]);
       return 2;
     }
@@ -447,6 +499,9 @@ int main(int argc, char **argv) {
   EngineResult Fast, Legacy;
   runEngines(Repo, Requests, Reps, Fast, Legacy);
   ProvenResult Proven = runProvenAblation(Repo, Requests, Reps);
+  stats::StatsSummary Stats;
+  if (StatsOpts.Enabled)
+    Stats = runStatsSweep(Repo, StatsOpts);
 
   // The engines must agree on every deterministic counter except the
   // IC stats (the legacy engine has no caches); a mismatch here means
@@ -479,10 +534,18 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(Proven.MissesOff),
               static_cast<unsigned long long>(Proven.MissesOn),
               Proven.onRequestsPerSec() / Proven.offRequestsPerSec());
+  if (StatsOpts.Enabled)
+    std::printf("stats   allocs/req over %u seeds x %u iters: worst=%s "
+                "ci=[%.4f, %.4f]\n",
+                StatsOpts.Seeds, StatsOpts.Iters,
+                stats::warmupClassName(Stats.WorstClass), Stats.SteadyCI.Lo,
+                Stats.SteadyCI.Hi);
 
   if (!JsonPath.empty())
-    writeJson(JsonPath, Fast, Legacy, Proven);
+    writeJson(JsonPath, Fast, Legacy, Proven, StatsOpts,
+              StatsOpts.Enabled ? &Stats : nullptr);
   if (!CountersPath.empty())
-    writeCounters(CountersPath, Fast, Legacy, Proven);
+    writeCounters(CountersPath, Fast, Legacy, Proven,
+                  StatsOpts.Enabled ? &Stats : nullptr);
   return 0;
 }

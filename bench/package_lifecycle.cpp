@@ -29,6 +29,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "StatsRunner.h"
 #include "analysis/Linter.h"
 #include "core/DriftSweep.h"
 #include "profile/PackageDelta.h"
@@ -72,8 +73,50 @@ core::DriftSweepParams sweepParams(bool Quick) {
   return P;
 }
 
+//===----------------------------------------------------------------------===//
+// Statistical mode (--stats seeds=N,iters=M): multi-seed warmup curves.
+//===----------------------------------------------------------------------===//
+
+/// Runs N Jump-Start consumer warmup simulations with distinct seeds on
+/// a fixed small site (independent of --quick, so every invocation
+/// reproduces the committed snapshot's stats block) and classifies each
+/// virtual-time normalized-RPS curve.  Iterations map to simulated
+/// seconds: one sample per tick.
+stats::StatsSummary runStatsSweep(const bench::StatsCliOptions &O) {
+  fleet::WorkloadParams SiteP;
+  SiteP.NumHelpers = 120;
+  SiteP.NumClasses = 24;
+  SiteP.NumEndpoints = 12;
+  SiteP.NumUnits = 12;
+  std::unique_ptr<fleet::Workload> W = fleet::generateWorkload(SiteP);
+  fleet::TrafficModel Traffic(*W, fleet::TrafficParams(), 21);
+  vm::ServerConfig Config;
+  Config.Jit.ProfileRequestTarget = 200;
+
+  vm::ServerConfig SeederConfig = Config;
+  SeederConfig.Jit.SeederInstrumentation = true;
+  auto Seeder = fleet::runSeeder(*W, Traffic, SeederConfig, 0, 0, 150, 3);
+  profile::ProfilePackage Pkg = Seeder->buildSeederPackage(0, 0, 1);
+  Seeder.reset();
+
+  std::vector<std::pair<uint64_t, std::vector<double>>> SeedSeries;
+  for (uint32_t Seed = 0; Seed < O.Seeds; ++Seed) {
+    fleet::ServerSimParams P;
+    P.DurationSeconds = O.Iters;
+    P.OfferedRps = 450;
+    P.Seed = 7 + Seed;
+    P.RunLabel = strFormat("stats-s%u", Seed);
+    fleet::WarmupResult R = fleet::runWarmup(*W, Traffic, Config, P, &Pkg);
+    SeedSeries.emplace_back(Seed, R.normalizedRps().values());
+  }
+  return stats::analyzeRuns(SeedSeries,
+                            fleet::warmupThroughputClassifyParams());
+}
+
 void writeJson(const std::string &Path, const core::DriftSweepParams &P,
-               const core::DriftSweepResult &R) {
+               const core::DriftSweepResult &R,
+               const bench::StatsCliOptions &StatsOpts,
+               const stats::StatsSummary *Stats) {
   std::ofstream Out(Path);
   if (!Out) {
     std::fprintf(stderr, "cannot write %s\n", Path.c_str());
@@ -94,17 +137,26 @@ void writeJson(const std::string &Path, const core::DriftSweepParams &P,
         "    {\"age\": %u, \"jump_start\": %s, \"profiled_funcs\": %zu, "
         "\"funcs_dropped\": %zu, \"package_bytes\": %zu, "
         "\"wire_bytes\": %zu, \"loss_with\": %.6f, \"loss_without\": %.6f, "
-        "\"benefit_fraction\": %.6f}%s\n",
+        "\"benefit_fraction\": %.6f, \"class_without\": \"%s\", "
+        "\"class_with\": \"%s\", \"steady_start_without\": %zu, "
+        "\"steady_start_with\": %zu}%s\n",
         Pt.Age, Pt.ConsumerUsedJumpStart ? "true" : "false",
         Pt.ProfiledFuncs, Pt.Rebase.FuncsDropped, Pt.PackageBytes,
         Pt.WireBytes, Pt.CapacityLossWith, Pt.CapacityLossWithout,
-        Pt.BenefitFraction, I + 1 < R.Points.size() ? "," : "");
+        Pt.BenefitFraction, stats::warmupClassName(Pt.ColdClass.Class),
+        stats::warmupClassName(Pt.WarmClass.Class), Pt.ColdClass.SteadyStart,
+        Pt.WarmClass.SteadyStart, I + 1 < R.Points.size() ? "," : "");
   }
-  Out << "  ]\n";
+  Out << strFormat("  ]%s\n", Stats ? "," : "");
+  if (Stats)
+    Out << bench::statsBlockJson("jumpstart_normalized_rps", StatsOpts,
+                                 *Stats)
+        << "\n";
   Out << "}\n";
 }
 
-int runSweep(bool Quick, const std::string &JsonPath) {
+int runSweep(bool Quick, const std::string &JsonPath,
+             const bench::StatsCliOptions &StatsOpts) {
   core::DriftSweepParams P = sweepParams(Quick);
   core::DriftSweepResult R = core::runDriftSweep(P);
   for (const std::string &Line : R.Log)
@@ -118,8 +170,17 @@ int runSweep(bool Quick, const std::string &JsonPath) {
               "-> %.1f%% at age %u\n",
               R.Points.size(), 100 * R.Points.front().BenefitFraction,
               100 * R.Points.back().BenefitFraction, R.Points.back().Age);
+  stats::StatsSummary Stats;
+  if (StatsOpts.Enabled) {
+    Stats = runStatsSweep(StatsOpts);
+    std::printf("package_lifecycle: stats js normalized-rps over %u seeds "
+                "x %u iters: worst=%s ci=[%.6f, %.6f] steady from %.1f\n",
+                StatsOpts.Seeds, StatsOpts.Iters,
+                stats::warmupClassName(Stats.WorstClass), Stats.SteadyCI.Lo,
+                Stats.SteadyCI.Hi, Stats.SteadyStartMean);
+  }
   if (!JsonPath.empty())
-    writeJson(JsonPath, P, R);
+    writeJson(JsonPath, P, R, StatsOpts, StatsOpts.Enabled ? &Stats : nullptr);
   return 0;
 }
 
@@ -236,6 +297,7 @@ int main(int argc, char **argv) {
   std::string JsonPath;
   int CheckPrograms = -1;
   uint64_t CheckSeed = 1;
+  bench::StatsCliOptions StatsOpts;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--quick") == 0) {
       Quick = true;
@@ -246,15 +308,23 @@ int main(int argc, char **argv) {
     } else if (std::strcmp(argv[I], "--check") == 0 && I + 2 < argc) {
       CheckPrograms = std::atoi(argv[++I]);
       CheckSeed = static_cast<uint64_t>(std::atoll(argv[++I]));
+    } else if (std::strcmp(argv[I], "--stats") == 0) {
+      std::string_view Spec =
+          I + 1 < argc && argv[I + 1][0] != '-' ? argv[++I] : "";
+      if (!bench::parseStatsSpec(Spec, StatsOpts)) {
+        std::fprintf(stderr, "bad --stats spec: %s\n",
+                     std::string(Spec).c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--sweep] [--quick] [--json PATH] "
-                   "[--check PROGRAMS SEED]\n",
+                   "[--check PROGRAMS SEED] [--stats [seeds=N,iters=M]]\n",
                    argv[0]);
       return 2;
     }
   }
   if (CheckPrograms >= 0)
     return runCheck(static_cast<uint32_t>(CheckPrograms), CheckSeed);
-  return runSweep(Quick, JsonPath);
+  return runSweep(Quick, JsonPath, StatsOpts);
 }

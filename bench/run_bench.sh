@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Runs a perf harness and writes its snapshot: by default the
 # interpreter engine benchmark (bench/micro_interp); with --server the
-# concurrent-serving load harness (bench/server_load).
+# concurrent-serving load harness (bench/server_load); with --package
+# the drift-sweep lifecycle harness (bench/package_lifecycle); with
+# --all every snapshot in sequence.
 #
-# Usage: bench/run_bench.sh [--server] [--quick] [--json PATH]
-#                           [--counters PATH] [--threads N]
-#                           [--build-dir DIR]
+# Usage: bench/run_bench.sh [--server|--package|--all] [--quick]
+#                           [--json PATH] [--counters PATH] [--threads N]
+#                           [--stats SPEC] [--build-dir DIR]
 #
 #   bench/run_bench.sh                  # full run, rewrites ./BENCH_interp.json
 #   bench/run_bench.sh --quick          # 10x fewer requests; writes nothing
@@ -15,13 +17,30 @@
 #                                       # deterministic fields are what
 #                                       # CHECK_SERVER re-checks, and they
 #                                       # depend on the request count)
+#   bench/run_bench.sh --package        # rewrites ./BENCH_package.json (the
+#                                       # full staleness-under-drift sweep)
+#   bench/run_bench.sh --all            # rewrites all three snapshots; exits
+#                                       # nonzero if ANY bench failed (each
+#                                       # binary's exit code is checked
+#                                       # individually -- one bad bench never
+#                                       # yields a green run)
+#   bench/run_bench.sh --stats seeds=8,iters=40   # override the stats sweep
+#
+# Snapshot runs always include the multi-seed `--stats` sweep, so every
+# committed BENCH_*.json carries a `stats` block (warmup classes,
+# steady-state confidence interval, per-seed changepoints).  The canonical
+# specs below are what the committed snapshots were generated with; the
+# stats sub-runs use fixed workload sizes independent of --quick, so
+# ci/check.sh's quick re-runs reproduce the committed stats blocks
+# byte-for-byte.
 #
 # The committed BENCH_interp.json at the repo root is this script's full
 # output on some host: wall-clock fields are host-dependent, but the
 # counter fields (steps, allocs, IC hits) are deterministic, and
-# ci/check.sh's CHECK_PERF stage re-runs --quick against the snapshot to
-# catch allocation regressions.  BENCH_*.json is gitignored except the
-# committed snapshot, so scratch runs never dirty the tree.
+# ci/check.sh's CHECK_PERF stage re-runs --quick against the snapshot,
+# gating on the steady-state CI instead of a single number.  BENCH_*.json
+# is gitignored except the committed snapshots, so scratch runs never
+# dirty the tree.
 
 set -euo pipefail
 
@@ -31,47 +50,100 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 QUICK=""
 JSON_PATH=""
 COUNTERS_PATH=""
-SERVER=""
+MODE="interp"
 THREADS=""
+STATS_SPEC=""
+
+# The specs the committed snapshots are generated with (and that
+# ci/check.sh re-derives when byte-comparing stats blocks).
+INTERP_STATS="seeds=5,iters=30"
+SERVER_STATS="seeds=5,iters=30"
+PACKAGE_STATS="seeds=3,iters=60"
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) QUICK="--quick"; shift ;;
-    --server) SERVER=1; shift ;;
+    --server) MODE="server"; shift ;;
+    --package) MODE="package"; shift ;;
+    --all) MODE="all"; shift ;;
     --threads) THREADS="$2"; shift 2 ;;
     --json) JSON_PATH="$2"; shift 2 ;;
     --counters) COUNTERS_PATH="$2"; shift 2 ;;
+    --stats) STATS_SPEC="$2"; shift 2 ;;
     --build-dir) BUILD_DIR="$2"; shift 2 ;;
-    *) echo "usage: $0 [--server] [--quick] [--json PATH] [--counters PATH]" \
-            "[--threads N] [--build-dir DIR]" >&2
+    *) echo "usage: $0 [--server|--package|--all] [--quick] [--json PATH]" \
+            "[--counters PATH] [--threads N] [--stats SPEC] [--build-dir DIR]" >&2
        exit 2 ;;
   esac
 done
 
-if [[ -n "${SERVER}" ]]; then
+# Runs one bench binary, checking its exit code explicitly: a failing
+# bench must fail the script even when more benches follow (--all).
+# Returns the binary's status so --all can accumulate failures.
+run_target() {
+  local target="$1"; shift
+  cmake --build "${BUILD_DIR}" --target "${target}" -j "${JOBS}" >/dev/null
+  local status=0
+  "${BUILD_DIR}/bench/${target}" "$@" || status=$?
+  if [[ "${status}" -ne 0 ]]; then
+    echo "run_bench.sh: FAIL: ${target} exited with status ${status}" >&2
+  fi
+  return "${status}"
+}
+
+run_interp() {
+  local args=()
+  [[ -n "${QUICK}" ]] && args+=("${QUICK}")
+  local json="${JSON_PATH}"
+  # Full runs default to rewriting the committed snapshot.
+  if [[ -z "${QUICK}" && -z "${json}" ]]; then
+    json="${REPO_DIR}/BENCH_interp.json"
+  fi
+  [[ -n "${json}" ]] && args+=(--json "${json}")
+  [[ -n "${COUNTERS_PATH}" ]] && args+=(--counters "${COUNTERS_PATH}")
+  args+=(--stats "${STATS_SPEC:-${INTERP_STATS}}")
+  run_target micro_interp "${args[@]}"
+  if [[ -n "${json}" ]]; then
+    echo "run_bench.sh: wrote ${json}"
+  fi
+}
+
+run_server() {
   # The committed server snapshot is always the --quick workload (see
   # usage above); a bare --server run rewrites it.
-  TARGET=server_load
-  QUICK="--quick"
-  [[ -z "${JSON_PATH}" ]] && JSON_PATH="${REPO_DIR}/BENCH_server.json"
-  [[ -z "${THREADS}" ]] && THREADS=4
-else
-  TARGET=micro_interp
-  # Full runs default to rewriting the committed snapshot.
-  if [[ -z "${QUICK}" && -z "${JSON_PATH}" ]]; then
-    JSON_PATH="${REPO_DIR}/BENCH_interp.json"
-  fi
-fi
+  local json="${JSON_PATH:-${REPO_DIR}/BENCH_server.json}"
+  local args=(--quick --json "${json}" --threads "${THREADS:-4}")
+  [[ -n "${COUNTERS_PATH}" ]] && args+=(--counters "${COUNTERS_PATH}")
+  args+=(--stats "${STATS_SPEC:-${SERVER_STATS}}")
+  run_target server_load "${args[@]}"
+  echo "run_bench.sh: wrote ${json}"
+}
+
+run_package() {
+  local json="${JSON_PATH:-${REPO_DIR}/BENCH_package.json}"
+  local args=(--sweep --json "${json}")
+  [[ -n "${QUICK}" ]] && args+=("${QUICK}")
+  args+=(--stats "${STATS_SPEC:-${PACKAGE_STATS}}")
+  run_target package_lifecycle "${args[@]}"
+  echo "run_bench.sh: wrote ${json}"
+}
 
 cmake -S "${REPO_DIR}" -B "${BUILD_DIR}" >/dev/null
-cmake --build "${BUILD_DIR}" --target "${TARGET}" -j "${JOBS}" >/dev/null
 
-ARGS=(${QUICK})
-[[ -n "${JSON_PATH}" ]] && ARGS+=(--json "${JSON_PATH}")
-[[ -n "${COUNTERS_PATH}" ]] && ARGS+=(--counters "${COUNTERS_PATH}")
-[[ -n "${SERVER}" && -n "${THREADS}" ]] && ARGS+=(--threads "${THREADS}")
-
-"${BUILD_DIR}/bench/${TARGET}" "${ARGS[@]}"
-if [[ -n "${JSON_PATH}" ]]; then
-  echo "run_bench.sh: wrote ${JSON_PATH}"
-fi
+case "${MODE}" in
+  interp) run_interp ;;
+  server) run_server ;;
+  package) run_package ;;
+  all)
+    # Run every bench even after a failure, then report: per-binary exit
+    # codes are individually checked and any nonzero fails the run.
+    FAILED=()
+    run_interp || FAILED+=(micro_interp)
+    run_server || FAILED+=(server_load)
+    run_package || FAILED+=(package_lifecycle)
+    if [[ "${#FAILED[@]}" -gt 0 ]]; then
+      echo "run_bench.sh: FAIL: ${FAILED[*]}" >&2
+      exit 1
+    fi
+    ;;
+esac

@@ -27,6 +27,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "StatsRunner.h"
 #include "fleet/WorkloadGen.h"
 #include "support/Hashing.h"
 #include "support/StringUtil.h"
@@ -194,6 +195,51 @@ LoadResult runLoad(const fleet::Workload &W, uint32_t ProfileTarget,
   return R;
 }
 
+//===----------------------------------------------------------------------===//
+// Statistical mode (--stats seeds=N,iters=M): multi-seed warmup curves.
+//===----------------------------------------------------------------------===//
+
+/// Runs N fresh servers serially and records mean *virtual* seconds per
+/// request over fixed-size iteration blocks, granting the JIT a quantum
+/// after every request so translations mature mid-series.  The early
+/// blocks run interpreted and the later ones JITed: a genuine warmup
+/// curve, measured on the virtual clock so the series -- and the stats
+/// block derived from it -- is byte-identical on any host.  Block size
+/// and profile target are fixed independently of --quick so the quick CI
+/// run reproduces the committed snapshot's stats block exactly.
+stats::StatsSummary runStatsSweep(const fleet::Workload &W,
+                                  const bench::StatsCliOptions &O) {
+  constexpr uint32_t kBlock = 40;
+  constexpr uint32_t kProfileTarget = 120;
+  std::vector<std::pair<uint64_t, std::vector<double>>> SeedSeries;
+  for (uint32_t Seed = 0; Seed < O.Seeds; ++Seed) {
+    vm::ServerConfig C = vm::ServerConfigBuilder()
+                             .cores(16)
+                             .jitWorkerCores(2)
+                             .name(strFormat("stats-s%u", Seed))
+                             .build();
+    C.Jit.ProfileRequestTarget = kProfileTarget;
+    vm::Server S(W.Repo, C, /*Seed=*/7 + Seed);
+    S.startup();
+    std::vector<double> Series;
+    Series.reserve(O.Iters);
+    const uint32_t Rq0 = Seed * 9176;
+    for (uint32_t It = 0; It < O.Iters; ++It) {
+      double Sum = 0;
+      for (uint32_t B = 0; B < kBlock; ++B) {
+        uint32_t Rq = Rq0 + It * kBlock + B;
+        vm::RequestResult Res =
+            S.executeRequest(W.Endpoints[Rq % W.Endpoints.size()], argsFor(Rq));
+        Sum += Res.Seconds;
+        S.grantJitTime(0.25);
+      }
+      Series.push_back(Sum / kBlock);
+    }
+    SeedSeries.emplace_back(Seed, std::move(Series));
+  }
+  return stats::analyzeRuns(SeedSeries);
+}
+
 void printPhase(const char *Name, const std::vector<double> &Sorted) {
   std::printf("  %-7s samples=%-7zu p50=%9.0fns  p95=%9.0fns  p99=%9.0fns\n",
               Name, Sorted.size(), percentile(Sorted, 0.50),
@@ -208,7 +254,9 @@ void emitPhaseJson(std::ofstream &Out, const char *Name,
                    percentile(Sorted, 0.95), percentile(Sorted, 0.99), Trail);
 }
 
-void writeJson(const std::string &Path, const LoadResult &R) {
+void writeJson(const std::string &Path, const LoadResult &R,
+               const bench::StatsCliOptions &StatsOpts,
+               const stats::StatsSummary *Stats) {
   std::ofstream Out(Path);
   if (!Out) {
     std::fprintf(stderr, "cannot write %s\n", Path.c_str());
@@ -229,7 +277,7 @@ void writeJson(const std::string &Path, const LoadResult &R) {
       "  \"deterministic\": {\"requests\": %llu, \"served\": %llu, "
       "\"shed\": %llu, \"faults\": %llu, \"snapshots_published\": %llu, "
       "\"snapshots_reclaimed\": %llu, \"translations\": %llu, "
-      "\"obs_digest\": \"%016llx\", \"placement_digest\": \"%016llx\"}\n",
+      "\"obs_digest\": \"%016llx\", \"placement_digest\": \"%016llx\"}%s\n",
       static_cast<unsigned long long>(R.Requests),
       static_cast<unsigned long long>(R.Stats.Served),
       static_cast<unsigned long long>(R.Stats.Shed),
@@ -238,11 +286,16 @@ void writeJson(const std::string &Path, const LoadResult &R) {
       static_cast<unsigned long long>(R.Stats.SnapshotsReclaimed),
       static_cast<unsigned long long>(R.JitTranslations),
       static_cast<unsigned long long>(R.ObsDigest),
-      static_cast<unsigned long long>(R.PlacementDigest));
+      static_cast<unsigned long long>(R.PlacementDigest), Stats ? "," : "");
+  if (Stats)
+    Out << bench::statsBlockJson("virtual_seconds_per_request", StatsOpts,
+                                 *Stats)
+        << "\n";
   Out << "}\n";
 }
 
-void writeCounters(const std::string &Path, const LoadResult &R) {
+void writeCounters(const std::string &Path, const LoadResult &R,
+                   const stats::StatsSummary *Stats) {
   std::ofstream Out(Path);
   if (!Out) {
     std::fprintf(stderr, "cannot write %s\n", Path.c_str());
@@ -261,6 +314,8 @@ void writeCounters(const std::string &Path, const LoadResult &R) {
       static_cast<unsigned long long>(R.JitTranslations),
       static_cast<unsigned long long>(R.ObsDigest),
       static_cast<unsigned long long>(R.PlacementDigest));
+  if (Stats)
+    Out << bench::statsCountersLine("virtual_seconds_per_request", *Stats);
 }
 
 } // namespace
@@ -271,6 +326,7 @@ int main(int argc, char **argv) {
   uint32_t Threads = 4;
   std::string JsonPath;
   std::string CountersPath;
+  bench::StatsCliOptions StatsOpts;
   for (int I = 1; I < argc; ++I) {
     if (std::strcmp(argv[I], "--quick") == 0) {
       ProfileTarget = 60;
@@ -285,10 +341,18 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "--threads must be >= 1\n");
         return 2;
       }
+    } else if (std::strcmp(argv[I], "--stats") == 0) {
+      std::string_view Spec =
+          I + 1 < argc && argv[I + 1][0] != '-' ? argv[++I] : "";
+      if (!bench::parseStatsSpec(Spec, StatsOpts)) {
+        std::fprintf(stderr, "bad --stats spec: %s\n",
+                     std::string(Spec).c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--quick] [--json PATH] [--counters PATH] "
-                   "[--threads N]\n",
+                   "[--threads N] [--stats [seeds=N,iters=M]]\n",
                    argv[0]);
       return 2;
     }
@@ -302,6 +366,9 @@ int main(int argc, char **argv) {
   std::unique_ptr<fleet::Workload> W = fleet::generateWorkload(P);
 
   LoadResult R = runLoad(*W, ProfileTarget, Requests, Threads);
+  stats::StatsSummary Stats;
+  if (StatsOpts.Enabled)
+    Stats = runStatsSweep(*W, StatsOpts);
 
   std::printf("server_load: %u client threads, %llu requests, %.3fs "
               "(%.0f req/s), warmup boundary at ticket %llu\n",
@@ -317,10 +384,16 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(R.Stats.SnapshotsReclaimed),
               static_cast<unsigned long long>(R.Stats.SnapshotsPublished),
               static_cast<unsigned long long>(R.ObsDigest));
+  if (StatsOpts.Enabled)
+    std::printf("  stats virtual-s/req over %u seeds x %u iters: worst=%s "
+                "ci=[%.6f, %.6f] steady from iter %.1f\n",
+                StatsOpts.Seeds, StatsOpts.Iters,
+                stats::warmupClassName(Stats.WorstClass), Stats.SteadyCI.Lo,
+                Stats.SteadyCI.Hi, Stats.SteadyStartMean);
 
   if (!JsonPath.empty())
-    writeJson(JsonPath, R);
+    writeJson(JsonPath, R, StatsOpts, StatsOpts.Enabled ? &Stats : nullptr);
   if (!CountersPath.empty())
-    writeCounters(CountersPath, R);
+    writeCounters(CountersPath, R, StatsOpts.Enabled ? &Stats : nullptr);
   return 0;
 }

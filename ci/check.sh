@@ -17,10 +17,18 @@
 #                                 # --json over examples/hack plus a
 #                                 # 100-program soundness sweep with
 #                                 # proven-guard elision enabled)
+#   CHECK_STATS=0 ci/check.sh     # skip the stats-determinism gate (two
+#                                 # quick micro_interp --stats runs must
+#                                 # emit byte-identical `stats` blocks:
+#                                 # the changepoint/classifier/bootstrap
+#                                 # pipeline is exactly reproducible)
 #   CHECK_PERF=0 ci/check.sh      # skip the interpreter perf smoke (two
 #                                 # quick micro_interp runs byte-compared,
-#                                 # plus an allocs/request regression gate
-#                                 # against the committed BENCH_interp.json)
+#                                 # plus the statistical regression gate
+#                                 # against the committed BENCH_interp.json:
+#                                 # fail only if the fresh steady-state CI
+#                                 # is disjointly worse, or the warmup
+#                                 # class degrades)
 #   CHECK_SERVER=0 ci/check.sh    # skip the concurrent-serving smoke (the
 #                                 # server_load harness at --threads 1 and
 #                                 # 4 byte-compared -- the thread-count
@@ -54,7 +62,7 @@ TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
 "${BUILD_DIR}/bench/fig4_warmup" --export "${TMP_DIR}/run-a" >/dev/null
 "${BUILD_DIR}/bench/fig4_warmup" --export "${TMP_DIR}/run-b" >/dev/null
-for SUFFIX in metrics.jsonl trace.jsonl chrome.json; do
+for SUFFIX in metrics.jsonl trace.jsonl chrome.json classes.json; do
   if ! cmp -s "${TMP_DIR}/run-a.${SUFFIX}" "${TMP_DIR}/run-b.${SUFFIX}"; then
     echo "check.sh: FAIL: fig4_warmup ${SUFFIX} differs between runs" >&2
     exit 1
@@ -65,7 +73,7 @@ echo "check.sh: fig4_warmup exports byte-identical across runs"
 for THREADS in 2 8; do
   "${BUILD_DIR}/bench/fig4_warmup" --export "${TMP_DIR}/thr-${THREADS}" \
     --threads "${THREADS}" >/dev/null
-  for SUFFIX in metrics.jsonl trace.jsonl chrome.json; do
+  for SUFFIX in metrics.jsonl trace.jsonl chrome.json classes.json; do
     if ! cmp -s "${TMP_DIR}/run-a.${SUFFIX}" "${TMP_DIR}/thr-${THREADS}.${SUFFIX}"; then
       echo "check.sh: FAIL: fig4_warmup ${SUFFIX} differs at --threads ${THREADS}" >&2
       exit 1
@@ -125,10 +133,48 @@ if [[ "${CHECK_ANALYZE:-1}" == "1" ]]; then
   echo "check.sh: analysis gate clean (100-program sweep, ${ELIDED} guards elided)"
 fi
 
+# Helpers for the statistical gates below: pull scalar fields out of a
+# `stats` block's one-line header (the first match is the header; later
+# "steady_mean"s belong to per-seed runs lines).
+stat_of() { sed -n 's/.*"'"$2"'": \([0-9.]*\).*/\1/p' "$1" | head -1; }
+class_of() { sed -n 's/.*"worst_class": "\([a-z]*\)".*/\1/p' "$1" | head -1; }
+class_rank() {
+  case "$1" in
+    flat) echo 0 ;; warmup) echo 1 ;; slowdown) echo 2 ;;
+    inconsistent) echo 3 ;; *) echo 4 ;;
+  esac
+}
+stats_block() { sed -n '/"stats": {/,/^  }/p' "$1"; }
+
+# Stats-determinism gate: the changepoint detector, curve classifier and
+# bootstrap CI are exactly reproducible -- two quick multi-seed sweeps
+# must emit byte-identical `stats` blocks.
+if [[ "${CHECK_STATS:-1}" == "1" ]]; then
+  "${BUILD_DIR}/bench/micro_interp" --quick --stats seeds=5,iters=30 \
+    --json "${TMP_DIR}/stats-a.json" >/dev/null
+  "${BUILD_DIR}/bench/micro_interp" --quick --stats seeds=5,iters=30 \
+    --json "${TMP_DIR}/stats-b.json" >/dev/null
+  stats_block "${TMP_DIR}/stats-a.json" > "${TMP_DIR}/stats-a.block"
+  stats_block "${TMP_DIR}/stats-b.json" > "${TMP_DIR}/stats-b.block"
+  if [[ ! -s "${TMP_DIR}/stats-a.block" ]]; then
+    echo "check.sh: FAIL: micro_interp --stats emitted no stats block" >&2
+    exit 1
+  fi
+  if ! cmp -s "${TMP_DIR}/stats-a.block" "${TMP_DIR}/stats-b.block"; then
+    echo "check.sh: FAIL: micro_interp stats blocks differ between runs" >&2
+    diff "${TMP_DIR}/stats-a.block" "${TMP_DIR}/stats-b.block" >&2 || true
+    exit 1
+  fi
+  echo "check.sh: stats analysis deterministic (byte-identical stats blocks)"
+fi
+
 # Interpreter perf smoke: the wall-clock numbers are host noise, but
 # every counter micro_interp emits (steps, faults, allocs, IC hits) is
-# deterministic -- two runs must be byte-identical -- and fast-engine
-# allocs/request must not regress past the committed snapshot.
+# deterministic -- two runs must be byte-identical.  The regression gate
+# against the committed snapshot is statistical: fail only when the fresh
+# steady-state confidence interval is disjointly worse than the committed
+# one (allocs/request: lower is better), or when the warmup class
+# degrades (flat < warmup < slowdown < inconsistent).
 if [[ "${CHECK_PERF:-1}" == "1" ]]; then
   "${REPO_DIR}/bench/run_bench.sh" --quick --build-dir "${BUILD_DIR}" \
     --json "${TMP_DIR}/perf-a.json" --counters "${TMP_DIR}/perf-a.counters" \
@@ -142,20 +188,32 @@ if [[ "${CHECK_PERF:-1}" == "1" ]]; then
   fi
   SNAPSHOT="${REPO_DIR}/BENCH_interp.json"
   if [[ -f "${SNAPSHOT}" ]]; then
-    alloc_of() { sed -n 's/.*"'"$2"'": {.*"allocs_per_request": \([0-9.]*\).*/\1/p' "$1"; }
-    COMMITTED="$(alloc_of "${SNAPSHOT}" fast)"
-    CURRENT="$(alloc_of "${TMP_DIR}/perf-a.json" fast)"
-    if [[ -z "${COMMITTED}" || -z "${CURRENT}" ]]; then
-      echo "check.sh: FAIL: cannot parse allocs_per_request from perf JSON" >&2
+    COMMITTED_HI="$(stat_of "${SNAPSHOT}" steady_ci_hi)"
+    CURRENT_LO="$(stat_of "${TMP_DIR}/perf-a.json" steady_ci_lo)"
+    COMMITTED_CLASS="$(class_of "${SNAPSHOT}")"
+    CURRENT_CLASS="$(class_of "${TMP_DIR}/perf-a.json")"
+    if [[ -z "${COMMITTED_HI}" || -z "${CURRENT_LO}" ||
+          -z "${COMMITTED_CLASS}" || -z "${CURRENT_CLASS}" ]]; then
+      echo "check.sh: FAIL: cannot parse stats block from perf JSON" >&2
       exit 1
     fi
-    if ! awk -v c="${CURRENT}" -v s="${COMMITTED}" \
-        'BEGIN { exit !(c <= s + 0.0001) }'; then
-      echo "check.sh: FAIL: fast-engine allocs/request regressed:" \
-           "${CURRENT} > committed ${COMMITTED} (BENCH_interp.json)" >&2
+    # CI gate: the fresh interval must overlap (or beat) the committed
+    # one.  Disjointly above it = a real allocation regression, not
+    # noise.
+    if ! awk -v lo="${CURRENT_LO}" -v hi="${COMMITTED_HI}" \
+        'BEGIN { exit !(lo <= hi) }'; then
+      echo "check.sh: FAIL: fast-engine allocs/request CI disjointly" \
+           "regressed: fresh lo ${CURRENT_LO} > committed hi ${COMMITTED_HI}" \
+           "(BENCH_interp.json)" >&2
       exit 1
     fi
-    echo "check.sh: micro_interp counters deterministic; allocs/request ${CURRENT} (committed ${COMMITTED})"
+    if [[ "$(class_rank "${CURRENT_CLASS}")" -gt \
+          "$(class_rank "${COMMITTED_CLASS}")" ]]; then
+      echo "check.sh: FAIL: fast-engine warmup class degraded:" \
+           "${CURRENT_CLASS} vs committed ${COMMITTED_CLASS}" >&2
+      exit 1
+    fi
+    echo "check.sh: micro_interp counters deterministic; steady CI lo ${CURRENT_LO} vs committed hi ${COMMITTED_HI}, class ${CURRENT_CLASS}"
   else
     echo "check.sh: micro_interp counters deterministic (no BENCH_interp.json snapshot)"
   fi
@@ -168,9 +226,13 @@ fi
 # the committed BENCH_server.json snapshot (which is the --quick
 # workload; host-time percentiles in it are reported, never gated).
 if [[ "${CHECK_SERVER:-1}" == "1" ]]; then
+  # --stats on both runs: the counters byte-compare below then also
+  # proves the multi-seed stats sweep is thread-count invariant.
   "${BUILD_DIR}/bench/server_load" --quick --threads 1 \
+    --stats seeds=5,iters=30 \
     --counters "${TMP_DIR}/serve-t1.counters" >/dev/null
   "${BUILD_DIR}/bench/server_load" --quick --threads 4 \
+    --stats seeds=5,iters=30 \
     --counters "${TMP_DIR}/serve-t4.counters" >/dev/null
   if ! cmp -s "${TMP_DIR}/serve-t1.counters" "${TMP_DIR}/serve-t4.counters"; then
     echo "check.sh: FAIL: server_load deterministic counters differ across --threads 1/4" >&2
@@ -179,6 +241,19 @@ if [[ "${CHECK_SERVER:-1}" == "1" ]]; then
   fi
   SERVER_SNAPSHOT="${REPO_DIR}/BENCH_server.json"
   if [[ -f "${SERVER_SNAPSHOT}" ]]; then
+    # Warmup-class gate: the serving curve's class must not degrade
+    # versus the committed snapshot (warmup is expected; slowdown or
+    # inconsistent would mean the JIT ramp no longer converges).
+    SRV_COMMITTED_CLASS="$(class_of "${SERVER_SNAPSHOT}")"
+    SRV_CURRENT_CLASS="$(sed -n 's/.*worst_class=\([a-z]*\).*/\1/p' \
+                         "${TMP_DIR}/serve-t4.counters" | head -1)"
+    if [[ -n "${SRV_COMMITTED_CLASS}" && -n "${SRV_CURRENT_CLASS}" &&
+          "$(class_rank "${SRV_CURRENT_CLASS}")" -gt \
+          "$(class_rank "${SRV_COMMITTED_CLASS}")" ]]; then
+      echo "check.sh: FAIL: server_load warmup class degraded:" \
+           "${SRV_CURRENT_CLASS} vs committed ${SRV_COMMITTED_CLASS}" >&2
+      exit 1
+    fi
     field_of() { sed -n 's/.*"'"$2"'": "\{0,1\}\([0-9a-fx]*\)"\{0,1\}[,}].*/\1/p' "$1"; }
     for FIELD in served shed obs_digest placement_digest snapshots_published; do
       WANT="$(field_of "${SERVER_SNAPSHOT}" "${FIELD}")"
@@ -205,8 +280,11 @@ fi
 if [[ "${CHECK_PACKAGE:-1}" == "1" ]]; then
   "${BUILD_DIR}/bench/package_lifecycle" --check 100 1
   PACKAGE_SNAPSHOT="${REPO_DIR}/BENCH_package.json"
+  # Same --stats spec the committed snapshot was generated with
+  # (bench/run_bench.sh --package): the byte-compare covers the stats
+  # block and the per-age warmup-class columns too.
   "${BUILD_DIR}/bench/package_lifecycle" --json "${TMP_DIR}/package.json" \
-    >/dev/null
+    --stats seeds=3,iters=60 >/dev/null
   if [[ -f "${PACKAGE_SNAPSHOT}" ]]; then
     if ! cmp -s "${TMP_DIR}/package.json" "${PACKAGE_SNAPSHOT}"; then
       echo "check.sh: FAIL: drift sweep differs from committed BENCH_package.json" >&2

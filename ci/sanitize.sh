@@ -72,9 +72,10 @@ ctest --test-dir "${BUILD_DIR}" -LE tier2 --output-on-failure -j "${JOBS}"
 
 # The interpreter perf harness exercises the frame arena, interned
 # strings, and the inline-cache side table far harder than any unit
-# test; run its quick mode so those paths get sanitizer coverage.
-"${BUILD_DIR}/bench/micro_interp" --quick >/dev/null
-echo "sanitize.sh: micro_interp --quick clean"
+# test; run its quick mode -- with a small multi-seed stats sweep so the
+# changepoint/classifier/bootstrap analysis path is instrumented too.
+"${BUILD_DIR}/bench/micro_interp" --quick --stats seeds=2,iters=10 >/dev/null
+echo "sanitize.sh: micro_interp --quick --stats clean"
 
 # The concurrent-serving load harness is the densest epoch/snapshot
 # churn in the tree: N client threads pinning read epochs while the

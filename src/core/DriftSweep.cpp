@@ -135,15 +135,20 @@ DriftSweepResult jumpstart::core::runDriftSweep(const DriftSweepParams &P) {
         Cold.CapacityLossFraction > 0
             ? 1.0 - Warm.CapacityLossFraction / Cold.CapacityLossFraction
             : 0.0;
+    Point.ColdClass = fleet::classifyWarmupThroughput(Cold);
+    Point.WarmClass = fleet::classifyWarmupThroughput(Warm);
 
     R.Log.push_back(strFormat(
-        "age %u: funcs %zu (dropped %u), wire %zu bytes%s, "
-        "jump-start=%s, loss %.3f vs %.3f (benefit %.1f%%)",
+        "age %u: funcs %zu (dropped %zu), wire %zu bytes%s, "
+        "jump-start=%s, loss %.3f vs %.3f (benefit %.1f%%), "
+        "class %s -> %s",
         Age, Point.ProfiledFuncs, Point.Rebase.FuncsDropped,
         Point.WireBytes, Manifest.isDelta() ? " (delta)" : "",
         Point.ConsumerUsedJumpStart ? "yes" : "no",
         Point.CapacityLossWith, Point.CapacityLossWithout,
-        100 * Point.BenefitFraction));
+        100 * Point.BenefitFraction,
+        stats::warmupClassName(Point.ColdClass.Class),
+        stats::warmupClassName(Point.WarmClass.Class)));
     R.Points.push_back(Point);
   }
   return R;

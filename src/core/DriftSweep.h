@@ -34,6 +34,7 @@
 
 #include "core/PackageManager.h"
 #include "fleet/ServerSim.h"
+#include "fleet/WarmupStats.h"
 #include "fleet/WorkloadGen.h"
 #include "profile/PackageRebase.h"
 #include "support/Status.h"
@@ -84,6 +85,12 @@ struct DriftAgePoint {
   double CapacityLossWithout = 0;
   /// 1 - With/Without: the surviving Jump-Start benefit.
   double BenefitFraction = 0;
+  /// Changepoint classification of the virtual-time normalized-RPS
+  /// curves (fleet::classifyWarmupThroughput): the cold boot should
+  /// read `warmup`, the Jump-Start boot `flat` -- or at least reach
+  /// steady state earlier.
+  stats::Classification ColdClass;
+  stats::Classification WarmClass;
 };
 
 /// Sweep outcome.  Result is non-ok if any lifecycle step failed

@@ -8,8 +8,8 @@
 /// \file
 /// The profile-package lifecycle manager (ROADMAP item 4).
 ///
-/// PackageManager is the successor of the raw PackageStore surface: every
-/// published package gets a versioned identity (PackageId) and a manifest
+/// PackageManager gives every published package a versioned identity
+/// (PackageId) and a manifest
 /// recording how it came to be -- release epoch, the set of seeders whose
 /// profiles it folds, its checksum, and (for delta releases) the parent
 /// package it was encoded against.  On top of the store's shelving /
@@ -132,9 +132,8 @@ public:
                               std::vector<uint8_t> &Out) const;
 
   /// Picks a random non-quarantined package (paper section VI-A
-  /// technique 2).  Draw-for-draw compatible with the deprecated
-  /// PackageStore::pickRandom, including the Unavailable message the
-  /// consumer's fallback path logs.
+  /// technique 2), with a stable Unavailable message the consumer's
+  /// fallback path logs.
   support::Status pickRandom(uint32_t Region, uint32_t Bucket, Rng &R,
                              PackageHandle &Out) const;
 

@@ -1,0 +1,99 @@
+//===----------------------------------------------------------------------===//
+//
+// Part of the jumpstart project, a reproduction of "HHVM Jump-Start:
+// Boosting Both Warmup and Steady-State Performance at Scale" (CGO 2021).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Warmup-curve classification for fleet simulations.
+///
+/// Bridges the fleet layer's virtual-time warmup curves (WarmupResult's
+/// registry-backed latency series) into the stats/ changepoint
+/// classifier, and renders the Jump-Start on/off warmup-class-transition
+/// table the paper's Figure 4 motivates: per (server, seed), the class
+/// of the cold-start curve next to the class of the Jump-Start curve.
+/// The expected transition is warmup -> flat (or at least an earlier
+/// steady-state iteration); a run that stays `warmup` with Jump-Start on
+/// is a regression the statistical CHECK_PERF gate flags.
+///
+/// Everything here is deterministic: the input curves come from the
+/// virtual clock, classification is RNG-free, and both renderings format
+/// with fixed printf conversions, so exports are byte-identical across
+/// runs and ThreadPool worker counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JUMPSTART_FLEET_WARMUPSTATS_H
+#define JUMPSTART_FLEET_WARMUPSTATS_H
+
+#include "fleet/ServerSim.h"
+#include "stats/Warmup.h"
+
+#include <string>
+#include <vector>
+
+namespace jumpstart::fleet {
+
+/// Classification parameters tuned for virtual-time latency curves.
+/// Latency-like (lower is better), with a looser equivalence tolerance
+/// than the allocation-counter default: the simulated latency oscillates
+/// a few percent tick-to-tick with traffic-model load, and those wobbles
+/// are not warmup phases.  Outlier masking is OFF for every fleet curve:
+/// the virtual clock has no measurement noise to clip, and when most of
+/// a run sits at its steady value the Tukey fences collapse (IQR = 0)
+/// and would winsorize away the very warmup ramp being classified.
+inline stats::ClassifyParams warmupLatencyClassifyParams() {
+  stats::ClassifyParams P;
+  P.LowerIsBetter = true;
+  P.RelTolerance = 0.05;
+  P.MaskOutliers = false;
+  return P;
+}
+
+/// Classifies a warmup run's per-tick latency curve.  Deterministic.
+stats::Classification
+classifyWarmupLatency(const WarmupResult &R,
+                      const stats::ClassifyParams &P =
+                          warmupLatencyClassifyParams());
+
+/// Parameters for the normalized-RPS (served/offered) curve: throughput
+/// direction (higher is better).  Unlike raw latency -- which the JIT's
+/// live tail keeps nudging down for the whole window -- the normalized
+/// curve saturates once the server reaches offered capacity, so it is
+/// the curve whose steady state the transition table reads.
+inline stats::ClassifyParams warmupThroughputClassifyParams() {
+  stats::ClassifyParams P;
+  P.LowerIsBetter = false;
+  P.RelTolerance = 0.05;
+  P.MaskOutliers = false;
+  return P;
+}
+
+/// Classifies a warmup run's normalized-RPS curve.  Deterministic.
+stats::Classification
+classifyWarmupThroughput(const WarmupResult &R,
+                         const stats::ClassifyParams &P =
+                             warmupThroughputClassifyParams());
+
+/// One row of the warmup-class-transition table: the same (server,
+/// seed) run measured without and with a Jump-Start profile package.
+struct ClassTransition {
+  std::string Label;
+  uint64_t Seed = 0;
+  /// Cold start (no Jump-Start package).
+  stats::Classification Cold;
+  /// Jump-Start consumer boot.
+  stats::Classification Warm;
+};
+
+/// Human-readable table (aligned columns) for bench stdout.
+std::string renderTransitionTableText(const std::vector<ClassTransition> &Rows);
+
+/// JSON rendering for `PREFIX.classes.json` exports: one object with a
+/// `rows` array; every double printed with %.6f.
+std::string renderTransitionTableJson(const std::vector<ClassTransition> &Rows);
+
+} // namespace jumpstart::fleet
+
+#endif // JUMPSTART_FLEET_WARMUPSTATS_H

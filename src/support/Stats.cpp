@@ -121,3 +121,11 @@ std::vector<TimePoint> TimeSeries::resample(size_t MaxPoints) const {
   }
   return Result;
 }
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> Result;
+  Result.reserve(Points.size());
+  for (const TimePoint &P : Points)
+    Result.push_back(P.Value);
+  return Result;
+}

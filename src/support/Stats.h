@@ -82,6 +82,10 @@ public:
   /// printing figure rows without flooding the terminal).
   std::vector<TimePoint> resample(size_t MaxPoints) const;
 
+  /// The recorded values in recording order, timestamps dropped: the
+  /// per-iteration vector the stats/ changepoint analyses consume.
+  std::vector<double> values() const;
+
 private:
   std::string Name;
   std::vector<TimePoint> Points;

@@ -16,7 +16,10 @@
 #include "fleet/ServerSim.h"
 #include "fleet/SteadyState.h"
 #include "fleet/Traffic.h"
+#include "fleet/WarmupStats.h"
 #include "fleet/WorkloadGen.h"
+#include "support/StringUtil.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
@@ -188,6 +191,88 @@ TEST(WarmupSim, JumpStartBeatsColdStart) {
   // The Jump-Start server must end the window serving more of the load.
   EXPECT_GT(Js.normalizedRps().points().back().Value,
             Cold.normalizedRps().points().back().Value * 0.99);
+}
+
+TEST(WarmupSim, JumpStartImprovesWarmupClass) {
+  // The statistical reading of Figure 4: the cold boot's normalized-RPS
+  // curve classifies `warmup`, and Jump-Start either removes the warmup
+  // phase entirely (`flat`) or reaches steady state strictly earlier.
+  auto W = generateWorkload(smallParams());
+  TrafficModel Traffic(*W, TrafficParams(), 21);
+  vm::ServerConfig Config;
+  Config.Jit.ProfileRequestTarget = 200;
+
+  vm::ServerConfig SeederConfig = Config;
+  SeederConfig.Jit.SeederInstrumentation = true;
+  auto Seeder = runSeeder(*W, Traffic, SeederConfig, 0, 0, 150, 3);
+  profile::ProfilePackage Pkg = Seeder->buildSeederPackage(0, 0, 1);
+
+  ServerSimParams P;
+  P.DurationSeconds = 120;
+  P.OfferedRps = 450;
+  P.RunLabel = "class-cold";
+  WarmupResult ColdRun = runWarmup(*W, Traffic, Config, P);
+  P.RunLabel = "class-js";
+  WarmupResult JsRun = runWarmup(*W, Traffic, Config, P, &Pkg);
+
+  stats::Classification Cold = classifyWarmupThroughput(ColdRun);
+  stats::Classification Js = classifyWarmupThroughput(JsRun);
+  EXPECT_EQ(Cold.Class, stats::WarmupClass::Warmup);
+  EXPECT_TRUE(Js.Class == stats::WarmupClass::Flat ||
+              Js.SteadyStart < Cold.SteadyStart)
+      << "jump-start class " << stats::warmupClassName(Js.Class)
+      << " steady-start " << Js.SteadyStart << " vs cold "
+      << Cold.SteadyStart;
+}
+
+TEST(WarmupSim, ClassificationIdenticalAcrossWorkerCounts) {
+  // The transition-table rendering must be byte-identical whether the
+  // sweep runs serially or sharded across a host thread pool: each run
+  // records into its own registry and classification is RNG-free.
+  auto W = generateWorkload(smallParams());
+  TrafficModel Traffic(*W, TrafficParams(), 21);
+  vm::ServerConfig Config;
+  Config.Jit.ProfileRequestTarget = 200;
+
+  vm::ServerConfig SeederConfig = Config;
+  SeederConfig.Jit.SeederInstrumentation = true;
+  auto Seeder = runSeeder(*W, Traffic, SeederConfig, 0, 0, 150, 3);
+  profile::ProfilePackage Pkg = Seeder->buildSeederPackage(0, 0, 1);
+
+  std::vector<WarmupSweepRun> Runs;
+  for (uint64_t Seed : {5, 6}) {
+    for (bool WithJs : {false, true}) {
+      WarmupSweepRun Run;
+      Run.Params.DurationSeconds = 120;
+      Run.Params.OfferedRps = 450;
+      Run.Params.Seed = Seed;
+      Run.Params.RunLabel = strFormat("sweep-s%llu-%s",
+                                      static_cast<unsigned long long>(Seed),
+                                      WithJs ? "js" : "nojs");
+      Run.Package = WithJs ? &Pkg : nullptr;
+      Runs.push_back(std::move(Run));
+    }
+  }
+
+  auto RenderWith = [&](support::ThreadPool *Pool) {
+    std::vector<WarmupResult> Sweep =
+        runWarmupSweep(*W, Traffic, Config, Runs, Pool);
+    std::vector<ClassTransition> Rows;
+    for (size_t I = 0; I + 1 < Sweep.size(); I += 2) {
+      ClassTransition T;
+      T.Label = strFormat("server-%zu", I / 2);
+      T.Seed = Runs[I].Params.Seed;
+      T.Cold = classifyWarmupThroughput(Sweep[I]);
+      T.Warm = classifyWarmupThroughput(Sweep[I + 1]);
+      Rows.push_back(std::move(T));
+    }
+    return renderTransitionTableText(Rows) + renderTransitionTableJson(Rows);
+  };
+
+  std::string Serial = RenderWith(nullptr);
+  support::ThreadPool Pool(4);
+  std::string Sharded = RenderWith(&Pool);
+  EXPECT_EQ(Serial, Sharded);
 }
 
 TEST(WarmupSim, PhaseTimesAreOrdered) {
